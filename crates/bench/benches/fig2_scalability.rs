@@ -1,0 +1,43 @@
+//! Figure 2 bench: throughput of all seven algorithms as the thread count
+//! grows (each in its high-throughput configuration).
+//!
+//! On the paper's 16-core testbed the 2D-stack keeps scaling where
+//! treiber/elimination flatten; on this container the threads interleave
+//! preemptively, so read the series as contention behaviour rather than
+//! parallel speedup (EXPERIMENTS.md discusses the mapping).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use stack2d_bench::{fresh_stack, BenchScale};
+use stack2d_harness::{Algorithm, BuildSpec};
+use stack2d_workload::{run_fixed_ops, OpMix};
+
+fn bench_fig2(c: &mut Criterion) {
+    let scale = BenchScale::from_env();
+    let mut group = c.benchmark_group("fig2_scalability");
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * scale.ops) as u64));
+        for algo in Algorithm::ALL {
+            group.bench_function(format!("{}/p={threads}", algo.name()), |b| {
+                b.iter_batched(
+                    || fresh_stack(algo, BuildSpec::high_throughput(threads), scale.prefill),
+                    |stack| run_fixed_ops(&stack, threads, scale.ops, OpMix::symmetric(), 7),
+                    BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(1_500))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    targets = bench_fig2
+}
+criterion_main!(benches);

@@ -1,0 +1,260 @@
+//! 2D-Counter — the window design applied to a shared counter (extension).
+//!
+//! The simplest instance of the paper's §5 generalization: a counter split
+//! into `width` cache-padded sub-counters (disjoint access parallelism),
+//! with the same `Global`/window mechanism bounding how far any
+//! sub-counter may run ahead. Threads increment a window-valid sub-counter
+//! and raise the window when none is valid, exactly like the stack's push
+//! path; the aggregate value is the sum of the sub-counters.
+//!
+//! The window gives the counter its quality guarantee: at any quiescent
+//! point, `max_i(sub_i) - min_i(sub_i) <= depth + shift`, so a scanning
+//! read (which sums sub-counters one at a time) is at most
+//! `(depth + shift) * (width - 1)` away from a linearized count plus the
+//! increments concurrent with the scan. A `width = 1` counter is exact.
+//!
+//! Increments-only by design (like `fetch_add` statistics counters);
+//! [`Counter2D::value`] never decreases between quiescent reads.
+
+use core::fmt;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::params::Params;
+use crate::rng::HopRng;
+
+/// A relaxed, window-bounded sharded counter.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d::{Counter2D, Params};
+///
+/// let c = Counter2D::new(Params::new(4, 8, 4).unwrap());
+/// let mut h = c.handle_seeded(1);
+/// for _ in 0..1000 {
+///     h.increment();
+/// }
+/// assert_eq!(c.value(), 1000);
+/// ```
+pub struct Counter2D {
+    subs: Box<[CachePadded<AtomicUsize>]>,
+    global: CachePadded<AtomicUsize>,
+    params: Params,
+}
+
+impl Counter2D {
+    /// Creates a counter with the given window parameters.
+    pub fn new(params: Params) -> Self {
+        Counter2D {
+            subs: (0..params.width())
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+            global: CachePadded::new(AtomicUsize::new(params.initial_global())),
+            params,
+        }
+    }
+
+    /// The window parameters.
+    #[inline]
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// Registers a per-thread handle.
+    pub fn handle(&self) -> CounterHandle<'_> {
+        let mut rng = HopRng::from_thread();
+        let last = rng.bounded(self.subs.len());
+        CounterHandle { counter: self, last, rng }
+    }
+
+    /// Registers a handle with a deterministic RNG seed.
+    pub fn handle_seeded(&self, seed: u64) -> CounterHandle<'_> {
+        let mut rng = HopRng::seeded(seed);
+        let last = rng.bounded(self.subs.len());
+        CounterHandle { counter: self, last, rng }
+    }
+
+    /// The aggregate count: the sum of all sub-counters.
+    ///
+    /// Exact when quiescent; under concurrency the scan may miss or
+    /// double-count in-flight increments up to the window bound (see the
+    /// module docs).
+    pub fn value(&self) -> usize {
+        self.subs.iter().map(|s| s.load(Ordering::Acquire)).sum()
+    }
+
+    /// Per-sub-counter values (the load profile).
+    pub fn profile(&self) -> Vec<usize> {
+        self.subs.iter().map(|s| s.load(Ordering::Acquire)).collect()
+    }
+
+    /// The quiescent spread bound: `max - min` over sub-counters never
+    /// exceeds this after all increments complete.
+    pub fn spread_bound(&self) -> usize {
+        self.params.depth() + self.params.shift()
+    }
+
+    /// Convenience increment through an ephemeral handle.
+    pub fn increment(&self) {
+        self.handle().increment();
+    }
+}
+
+impl fmt::Debug for Counter2D {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Counter2D")
+            .field("params", &self.params)
+            .field("value", &self.value())
+            .finish()
+    }
+}
+
+/// Per-thread handle to a [`Counter2D`].
+pub struct CounterHandle<'c> {
+    counter: &'c Counter2D,
+    last: usize,
+    rng: HopRng,
+}
+
+impl CounterHandle<'_> {
+    /// Adds one to the counter on some window-valid sub-counter.
+    pub fn increment(&mut self) {
+        let c = self.counter;
+        let width = c.subs.len();
+        let shift = c.params.shift();
+        let mut start = self.last;
+        loop {
+            let global = c.global.load(Ordering::SeqCst);
+            let mut advanced = false;
+            // One random hop then a covering sweep, as in the stack.
+            for step in 0..=width {
+                let i = if step == 0 { start } else { (start + step) % width };
+                if c.global.load(Ordering::SeqCst) != global {
+                    start = i;
+                    advanced = true;
+                    break;
+                }
+                let v = c.subs[i].load(Ordering::Acquire);
+                if v < global {
+                    // Claim one unit via CAS so the window check and the
+                    // increment apply to the same observed value.
+                    if c.subs[i]
+                        .compare_exchange(v, v + 1, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.last = i;
+                        return;
+                    }
+                    // Lost a race: random hop (contention avoidance).
+                    start = self.rng.bounded(width);
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                // Every sub-counter is at the window's edge: raise it.
+                let _ = c.global.compare_exchange(
+                    global,
+                    global + shift,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                start = self.last;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for CounterHandle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CounterHandle").field("last", &self.last).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn params(w: usize, d: usize, s: usize) -> Params {
+        Params::new(w, d, s).unwrap()
+    }
+
+    #[test]
+    fn starts_at_zero() {
+        let c = Counter2D::new(params(4, 2, 1));
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.profile(), vec![0; 4]);
+    }
+
+    #[test]
+    fn counts_exactly_single_thread() {
+        let c = Counter2D::new(params(4, 3, 2));
+        let mut h = c.handle_seeded(7);
+        for _ in 0..10_000 {
+            h.increment();
+        }
+        assert_eq!(c.value(), 10_000);
+    }
+
+    #[test]
+    fn width_one_is_an_exact_counter() {
+        let c = Counter2D::new(params(1, 1, 1));
+        for _ in 0..100 {
+            c.increment();
+        }
+        assert_eq!(c.value(), 100);
+        assert_eq!(c.profile(), vec![100]);
+    }
+
+    #[test]
+    fn quiescent_spread_respects_window_bound() {
+        let p = params(8, 4, 2);
+        let c = Counter2D::new(p);
+        let mut h = c.handle_seeded(3);
+        for _ in 0..5_000 {
+            h.increment();
+        }
+        let profile = c.profile();
+        let spread = profile.iter().max().unwrap() - profile.iter().min().unwrap();
+        assert!(
+            spread <= c.spread_bound(),
+            "spread {spread} exceeds bound {} ({profile:?})",
+            c.spread_bound()
+        );
+    }
+
+    #[test]
+    fn concurrent_increments_are_all_counted() {
+        const THREADS: usize = 4;
+        const PER: usize = 25_000;
+        let c = Arc::new(Counter2D::new(params(4, 4, 2)));
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let c = Arc::clone(&c);
+            joins.push(std::thread::spawn(move || {
+                let mut h = c.handle_seeded(t as u64 + 1);
+                for _ in 0..PER {
+                    h.increment();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(c.value(), THREADS * PER, "increments lost or duplicated");
+        // Quiescent spread bound holds under concurrency too.
+        let profile = c.profile();
+        let spread = profile.iter().max().unwrap() - profile.iter().min().unwrap();
+        assert!(spread <= c.spread_bound(), "{profile:?}");
+    }
+
+    #[test]
+    fn debug_formats() {
+        let c = Counter2D::new(params(2, 1, 1));
+        assert!(format!("{c:?}").contains("Counter2D"));
+        assert!(format!("{:?}", c.handle()).contains("CounterHandle"));
+    }
+}

@@ -1,0 +1,105 @@
+//! # stack2d — the 2D-Stack
+//!
+//! A reproduction of **"Brief Announcement: 2D-Stack — A Scalable Lock-Free
+//! Stack Design that Continuously Relaxes Semantics for Better Performance"**
+//! (Rukundo, Atalar, Tsigas — PODC 2018).
+//!
+//! Concurrent stacks bottleneck on their single access point. The 2D-Stack
+//! relaxes LIFO semantics in a *controlled* way to remove that bottleneck:
+//! items live in `width` lock-free sub-stacks (disjoint access parallelism —
+//! the **horizontal** dimension), and a shared window of `depth` items per
+//! sub-stack (the **vertical** dimension, exploited for locality) keeps the
+//! sub-stacks so close in length that a pop can only ever be `k` positions
+//! out of order, with the deterministic bound of the paper's Theorem 1:
+//!
+//! ```text
+//! k = (2 * shift + depth) * (width - 1)
+//! ```
+//!
+//! *(Reproduction finding: for `shift < (depth-1)/2` the stated formula is
+//! exceedable and the implementation guarantees
+//! `(2*depth - 1)*(width - 1)` instead — see [`Params::k_bound`]; every
+//! preset configuration is unaffected.)*
+//!
+//! ## Quick start
+//!
+//! ```
+//! use stack2d::{Params, Stack2D};
+//!
+//! # fn main() -> Result<(), stack2d::ParamsError> {
+//! // A stack tuned for 4 worker threads (width = 4P, paper §4).
+//! let stack = Stack2D::new(Params::for_threads(4));
+//!
+//! std::thread::scope(|s| {
+//!     for t in 0..4 {
+//!         let stack = &stack;
+//!         s.spawn(move || {
+//!             let mut h = stack.handle(); // per-thread handle: locality + hop RNG
+//!             for i in 0..1_000 {
+//!                 h.push(t * 1_000 + i);
+//!             }
+//!             for _ in 0..1_000 {
+//!                 h.pop();
+//!             }
+//!         });
+//!     }
+//! });
+//! assert!(stack.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Choosing parameters
+//!
+//! * [`Params::for_threads`] — the paper's high-throughput preset
+//!   (`width = 4P`, tightest window).
+//! * [`Params::for_k`] — invert a relaxation budget `k` into parameters,
+//!   growing horizontally first and vertically after `width` saturates at
+//!   `4P`, exactly the continuous trade-off of Figure 1.
+//! * [`Params::new`] — full manual control.
+//!
+//! ## Crate layout
+//!
+//! * [`stack`] / [`Stack2D`] — the 2D window algorithm;
+//! * [`substack`] — the descriptor-based lock-free sub-stack (public because
+//!   the paper's `random` / `random-c2` / `k-robin` baselines in
+//!   `stack2d-baselines` are built from the same block);
+//! * [`search`] — the two-phase search policy and its ablation variants;
+//! * [`params`] — window parameters and the Theorem 1 bound;
+//! * [`traits`] — the [`ConcurrentStack`] interface shared with every
+//!   baseline;
+//! * [`metrics`] — contention / probe / window-shift counters
+//!   ([`Stack2D::metrics`](stack::Stack2D::metrics));
+//! * [`queue2d`] and [`counter2d`] — the paper's stated future work (§5):
+//!   the same window design generalized to a FIFO queue and a sharded
+//!   counter;
+//! * [`rng`] — the xorshift hop RNG.
+//!
+//! ## Memory reclamation
+//!
+//! The paper updates each sub-stack's `(top, count)` descriptor with a
+//! 16-byte compare-and-exchange. This crate realizes the same atomicity by
+//! swinging a descriptor *pointer* with a single-word CAS and retiring
+//! displaced descriptors and nodes through epoch-based reclamation
+//! (`crossbeam-epoch`); see `DESIGN.md` for the full substitution argument.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod counter2d;
+pub mod metrics;
+pub mod params;
+pub mod queue2d;
+pub mod rng;
+pub mod search;
+pub mod stack;
+pub mod substack;
+pub mod traits;
+
+pub use counter2d::{Counter2D, CounterHandle};
+pub use metrics::MetricsSnapshot;
+pub use params::{Params, ParamsError};
+pub use queue2d::{Queue2D, QueueHandle};
+pub use search::{SearchPolicy, StackConfig};
+pub use stack::{Handle2D, Stack2D};
+pub use traits::{ConcurrentStack, StackHandle};

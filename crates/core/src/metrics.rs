@@ -1,0 +1,200 @@
+//! Operation metrics: counters for the events the paper's §3 design
+//! discussion is about.
+//!
+//! The 2D-Stack's performance argument rests on *event frequencies*: how
+//! often a CAS is lost (contention), how often the search restarts on a
+//! `Global` change, how many sub-stacks are probed per operation, how often
+//! the window shifts. These counters make those frequencies observable so
+//! the ablation experiments can explain throughput differences instead of
+//! just reporting them.
+//!
+//! Counters are relaxed atomics bumped once per *event batch* (probes are
+//! accumulated locally and added once per search round), keeping overhead
+//! in the low single-digit percent range; they are always on.
+
+use core::fmt;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Internal counter block owned by a [`Stack2D`](crate::Stack2D).
+#[derive(Debug, Default)]
+pub(crate) struct OpCounters {
+    /// Descriptor CASes lost to another thread.
+    pub cas_failures: CachePadded<AtomicU64>,
+    /// Sub-stack validations performed (window checks).
+    pub probes: CachePadded<AtomicU64>,
+    /// Successful `Global` raises (push side).
+    pub shifts_up: CachePadded<AtomicU64>,
+    /// Successful `Global` lowers (pop side).
+    pub shifts_down: CachePadded<AtomicU64>,
+    /// Search rounds abandoned because `Global` changed mid-search.
+    pub global_restarts: CachePadded<AtomicU64>,
+    /// Pops that returned `None` after a covering sweep saw all empty.
+    pub empty_pops: CachePadded<AtomicU64>,
+    /// Completed operations (pushes + pops, including empty pops).
+    pub ops: CachePadded<AtomicU64>,
+}
+
+impl OpCounters {
+    #[inline]
+    pub(crate) fn add(&self, field: impl Fn(&Self) -> &CachePadded<AtomicU64>, n: u64) {
+        if n > 0 {
+            field(self).fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cas_failures: self.cas_failures.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            shifts_up: self.shifts_up.load(Ordering::Relaxed),
+            shifts_down: self.shifts_down.load(Ordering::Relaxed),
+            global_restarts: self.global_restarts.load(Ordering::Relaxed),
+            empty_pops: self.empty_pops.load(Ordering::Relaxed),
+            ops: self.ops.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.cas_failures.store(0, Ordering::Relaxed);
+        self.probes.store(0, Ordering::Relaxed);
+        self.shifts_up.store(0, Ordering::Relaxed);
+        self.shifts_down.store(0, Ordering::Relaxed);
+        self.global_restarts.store(0, Ordering::Relaxed);
+        self.empty_pops.store(0, Ordering::Relaxed);
+        self.ops.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a stack's operation counters.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d::{Params, Stack2D};
+///
+/// let stack = Stack2D::new(Params::new(2, 1, 1).unwrap());
+/// for i in 0..10 {
+///     stack.push(i);
+/// }
+/// let m = stack.metrics();
+/// assert_eq!(m.ops, 10);
+/// // 2 sub-stacks of depth 1 can hold 2 items per window: pushing 10
+/// // items must have raised the window several times.
+/// assert!(m.shifts_up >= 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Descriptor CASes lost to another thread.
+    pub cas_failures: u64,
+    /// Sub-stack validations performed.
+    pub probes: u64,
+    /// Successful `Global` raises.
+    pub shifts_up: u64,
+    /// Successful `Global` lowers.
+    pub shifts_down: u64,
+    /// Search rounds restarted due to an observed `Global` change.
+    pub global_restarts: u64,
+    /// Pops that reported empty.
+    pub empty_pops: u64,
+    /// Completed operations.
+    pub ops: u64,
+}
+
+impl MetricsSnapshot {
+    /// Average sub-stack validations per completed operation — the paper's
+    /// step-complexity proxy. Zero when no ops completed.
+    pub fn probes_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.probes as f64 / self.ops as f64
+        }
+    }
+
+    /// Fraction of operations that lost at least the counted CASes (an
+    /// upper estimate of the contention rate). Zero when no ops completed.
+    pub fn contention_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.cas_failures as f64 / self.ops as f64
+        }
+    }
+
+    /// Window shifts (either direction) per operation.
+    pub fn shift_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            (self.shifts_up + self.shifts_down) as f64 / self.ops as f64
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ops={} probes/op={:.2} cas-fail={} shifts(up/down)={}/{} restarts={} empty={}",
+            self.ops,
+            self.probes_per_op(),
+            self.cas_failures,
+            self.shifts_up,
+            self.shifts_down,
+            self.global_restarts,
+            self.empty_pops,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_snapshot_is_zero() {
+        let m = MetricsSnapshot::default();
+        assert_eq!(m.probes_per_op(), 0.0);
+        assert_eq!(m.contention_rate(), 0.0);
+        assert_eq!(m.shift_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_divide_by_ops() {
+        let m = MetricsSnapshot {
+            cas_failures: 5,
+            probes: 30,
+            shifts_up: 2,
+            shifts_down: 1,
+            global_restarts: 0,
+            empty_pops: 0,
+            ops: 10,
+        };
+        assert_eq!(m.probes_per_op(), 3.0);
+        assert_eq!(m.contention_rate(), 0.5);
+        assert!((m.shift_rate() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_snapshot_and_reset() {
+        let c = OpCounters::default();
+        c.add(|c| &c.probes, 7);
+        c.add(|c| &c.ops, 2);
+        c.add(|c| &c.cas_failures, 0); // no-op
+        let snap = c.snapshot();
+        assert_eq!(snap.probes, 7);
+        assert_eq!(snap.ops, 2);
+        assert_eq!(snap.cas_failures, 0);
+        c.reset();
+        assert_eq!(c.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn display_mentions_core_fields() {
+        let s = MetricsSnapshot { ops: 4, probes: 8, ..Default::default() }.to_string();
+        assert!(s.contains("ops=4"));
+        assert!(s.contains("probes/op=2.00"));
+    }
+}

@@ -1,0 +1,525 @@
+//! Tuning parameters of the 2D window: `width`, `depth` and `shift`.
+//!
+//! The paper (§3) defines an *operational region* — the **window** — by two
+//! parameters: `width` is the number of sub-stacks and `depth` is the maximum
+//! number of items a single sub-stack may gain or lose within one window.
+//! A third parameter, `shift`, is the amount by which the shared `Global`
+//! counter moves when a thread finds no valid sub-stack; the paper requires
+//! `shift <= depth`.
+//!
+//! Theorem 1 of the paper bounds the relaxation: the 2D-Stack is linearizable
+//! with respect to k-out-of-order stack semantics with
+//!
+//! ```text
+//! k = (2 * shift + depth) * (width - 1)
+//! ```
+//!
+//! [`Params::k_bound`] computes exactly this quantity, and the quality
+//! checker in `stack2d-quality` verifies it empirically.
+
+use core::fmt;
+
+/// Validated tuning parameters for a [`Stack2D`](crate::Stack2D).
+///
+/// Construct with [`Params::new`] (validating) or through the presets
+/// [`Params::for_threads`] and [`Params::for_k`].
+///
+/// # Examples
+///
+/// ```
+/// use stack2d::Params;
+///
+/// # fn main() -> Result<(), stack2d::ParamsError> {
+/// let p = Params::new(8, 4, 2)?;
+/// assert_eq!(p.width(), 8);
+/// assert_eq!(p.k_bound(), (2 * 2 + 4) * (8 - 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Params {
+    width: usize,
+    depth: usize,
+    shift: usize,
+}
+
+/// Error returned when [`Params::new`] is given an invalid combination.
+///
+/// The constraints come straight from the paper: at least one sub-stack,
+/// a window of depth at least one, and `1 <= shift <= depth`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamsError {
+    /// `width` was zero; the stack needs at least one sub-stack.
+    ZeroWidth,
+    /// `depth` was zero; the window must admit at least one item.
+    ZeroDepth,
+    /// `shift` was zero; a `Global` update must make progress.
+    ZeroShift,
+    /// `shift` exceeded `depth`, violating the paper's `shift <= depth`.
+    ShiftExceedsDepth {
+        /// The offending shift.
+        shift: usize,
+        /// The depth it had to stay within.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ParamsError::ZeroWidth => write!(f, "width must be at least 1"),
+            ParamsError::ZeroDepth => write!(f, "depth must be at least 1"),
+            ParamsError::ZeroShift => write!(f, "shift must be at least 1"),
+            ParamsError::ShiftExceedsDepth { shift, depth } => {
+                write!(f, "shift ({shift}) must not exceed depth ({depth})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+impl Params {
+    /// Creates a validated parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamsError`] if `width == 0`, `depth == 0`, `shift == 0`
+    /// or `shift > depth`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Params, ParamsError};
+    ///
+    /// assert!(Params::new(4, 2, 1).is_ok());
+    /// assert_eq!(Params::new(4, 2, 3).unwrap_err(),
+    ///            ParamsError::ShiftExceedsDepth { shift: 3, depth: 2 });
+    /// ```
+    pub fn new(width: usize, depth: usize, shift: usize) -> Result<Self, ParamsError> {
+        if width == 0 {
+            return Err(ParamsError::ZeroWidth);
+        }
+        if depth == 0 {
+            return Err(ParamsError::ZeroDepth);
+        }
+        if shift == 0 {
+            return Err(ParamsError::ZeroShift);
+        }
+        if shift > depth {
+            return Err(ParamsError::ShiftExceedsDepth { shift, depth });
+        }
+        Ok(Params { width, depth, shift })
+    }
+
+    /// The paper's optimal high-throughput configuration for `threads`
+    /// concurrent threads: `width = 4 * threads` (§4, "we select 4P as the
+    /// optimal performance configuration"), with the tightest window
+    /// (`depth = shift = 1`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::Params;
+    ///
+    /// let p = Params::for_threads(8);
+    /// assert_eq!(p.width(), 32);
+    /// assert_eq!(p.depth(), 1);
+    /// ```
+    pub fn for_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        Params { width: 4 * threads, depth: 1, shift: 1 }
+    }
+
+    /// Derives parameters targeting a relaxation bound of *at most* `k`
+    /// for `threads` threads, following the paper's two-dimensional tuning
+    /// strategy (§4):
+    ///
+    /// 1. grow **horizontally** (more sub-stacks, `depth = shift = 1`) while
+    ///    `width <= 4 * threads`, because disjoint access parallelism is the
+    ///    cheaper dimension for quality;
+    /// 2. once `width` saturates at `4 * threads`, grow **vertically**
+    ///    (larger `depth`, with `shift = depth`), trading locality for the
+    ///    remaining relaxation budget.
+    ///
+    /// With `shift = depth = d` the bound is `k = 3d(width-1)`, which is what
+    /// this preset inverts. `k = 0` yields the strict single-sub-stack
+    /// configuration (a plain Treiber stack).
+    ///
+    /// The returned parameters always satisfy `Params::k_bound() <= k`
+    /// (except for `k = 0`, where the bound is exactly 0).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::Params;
+    ///
+    /// // Small k: horizontal growth only.
+    /// let p = Params::for_k(30, 8);
+    /// assert!(p.k_bound() <= 30);
+    /// assert_eq!(p.depth(), 1);
+    ///
+    /// // Large k: width saturates at 4P = 32, depth takes over.
+    /// let p = Params::for_k(10_000, 8);
+    /// assert_eq!(p.width(), 32);
+    /// assert!(p.depth() > 1);
+    /// assert!(p.k_bound() <= 10_000);
+    /// ```
+    pub fn for_k(k: usize, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let max_width = 4 * threads;
+        if k == 0 {
+            // Strict stack: one sub-stack, degenerate window.
+            return Params { width: 1, depth: 1, shift: 1 };
+        }
+        // Horizontal phase: depth = shift = 1 gives k = 3 (width - 1).
+        let width_for_k = k / 3 + 1;
+        if width_for_k <= max_width {
+            let width = width_for_k.max(1);
+            return Params { width, depth: 1, shift: 1 };
+        }
+        // Vertical phase: width = 4P, shift = depth = d, k = 3 d (width - 1).
+        let width = max_width;
+        let d = (k / (3 * (width - 1))).max(1);
+        Params { width, depth: d, shift: d }
+    }
+
+    /// Number of sub-stacks (the *horizontal* dimension).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Maximum per-sub-stack item slack within one window (the *vertical*
+    /// dimension).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Amount the `Global` counter moves per window shift; `1 <= shift <=
+    /// depth`.
+    #[inline]
+    pub fn shift(&self) -> usize {
+        self.shift
+    }
+
+    /// The k-out-of-order relaxation bound of the paper's Theorem 1:
+    /// `k = (2 * shift + depth) * (width - 1)`.
+    ///
+    /// **Reproduction finding:** this formula does *not* hold for the
+    /// algorithm as stated in the brief announcement when
+    /// `shift < (depth - 1) / 2`. An item pushed at height `h` while a
+    /// sibling sub-stack is shallow can later see that sibling completely
+    /// refreshed with newer items as the window climbs, giving up to
+    /// `2*depth - 1` newer items per sibling — more than the
+    /// `2*shift + depth` the formula budgets (a deterministic 19-operation
+    /// counterexample lives in `tests/theorem1_finding.rs`). Use
+    /// [`Params::k_bound_sequential`] for the bound this implementation
+    /// provably satisfies, and [`Params::k_bound`] (their maximum) for the
+    /// bound the crate guarantees and tests enforce. For `depth = 1` —
+    /// including the paper's high-throughput `4P` preset — the published
+    /// formula is safe (and in fact conservative).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::Params;
+    ///
+    /// # fn main() -> Result<(), stack2d::ParamsError> {
+    /// assert_eq!(Params::new(1, 5, 5)?.k_bound_paper(), 0);
+    /// assert_eq!(Params::new(4, 2, 1)?.k_bound_paper(), (2 + 2) * 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[inline]
+    pub fn k_bound_paper(&self) -> usize {
+        (2 * self.shift + self.depth) * (self.width - 1)
+    }
+
+    /// The sequential relaxation bound this implementation satisfies:
+    /// `k = (2 * depth - 1) * (width - 1)`.
+    ///
+    /// Derivation sketch (see DESIGN.md for the full argument): when an
+    /// item at height `h` is popped, pop validity forces
+    /// `Global < h + depth`, so every sibling sub-stack holds at most
+    /// `h + depth - 1` items; and because lowering `Global` past
+    /// `h + depth` is blocked while the item is resident, each sibling
+    /// retains at least `h - depth` items that predate the popped item.
+    /// The newer items per sibling are therefore at most `2*depth - 1`.
+    /// The property tests in `tests/theorem1.rs` verify this bound over
+    /// arbitrary parameters and workloads.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::Params;
+    ///
+    /// # fn main() -> Result<(), stack2d::ParamsError> {
+    /// assert_eq!(Params::new(7, 4, 1)?.k_bound_sequential(), 7 * 6);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[inline]
+    pub fn k_bound_sequential(&self) -> usize {
+        (2 * self.depth - 1) * (self.width - 1)
+    }
+
+    /// The deterministic k-out-of-order bound this crate guarantees: the
+    /// maximum of the paper's Theorem 1 formula ([`Params::k_bound_paper`])
+    /// and the implementation's sequential bound
+    /// ([`Params::k_bound_sequential`]).
+    ///
+    /// A pop returns an item at most `k` positions below the top of the
+    /// corresponding strict (linearized) stack; a width-1 configuration is
+    /// a strict stack (`k = 0`). For `shift = depth` and for `depth = 1`
+    /// (all presets produced by [`Params::for_k`] / [`Params::for_threads`])
+    /// this equals the paper's formula.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::Params;
+    ///
+    /// # fn main() -> Result<(), stack2d::ParamsError> {
+    /// assert_eq!(Params::new(1, 5, 5)?.k_bound(), 0);
+    /// // shift = depth: paper formula dominates.
+    /// assert_eq!(Params::new(4, 2, 2)?.k_bound(), (4 + 2) * 3);
+    /// // shift << depth: the implementation bound dominates.
+    /// assert_eq!(Params::new(7, 4, 1)?.k_bound(), 7 * 6);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[inline]
+    pub fn k_bound(&self) -> usize {
+        self.k_bound_paper().max(self.k_bound_sequential())
+    }
+
+    /// Initial value of the `Global` counter.
+    ///
+    /// `Global` is the *upper* edge of the window; starting it at `depth`
+    /// makes the initial window `[0, depth]`, so pushes are valid on empty
+    /// sub-stacks and pops correctly observe emptiness.
+    #[inline]
+    pub(crate) fn initial_global(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Default for Params {
+    /// A conservative default suitable for a handful of threads:
+    /// `width = 4`, `depth = 1`, `shift = 1` (`k = 9`).
+    fn default() -> Self {
+        Params { width: 4, depth: 1, shift: 1 }
+    }
+}
+
+impl fmt::Display for Params {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "width={} depth={} shift={} (k={})",
+            self.width,
+            self.depth,
+            self.shift,
+            self.k_bound()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_valid_combinations() {
+        for width in 1..6 {
+            for depth in 1..6 {
+                for shift in 1..=depth {
+                    let p = Params::new(width, depth, shift).unwrap();
+                    assert_eq!(p.width(), width);
+                    assert_eq!(p.depth(), depth);
+                    assert_eq!(p.shift(), shift);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn new_rejects_zero_width() {
+        assert_eq!(Params::new(0, 1, 1).unwrap_err(), ParamsError::ZeroWidth);
+    }
+
+    #[test]
+    fn new_rejects_zero_depth() {
+        assert_eq!(Params::new(1, 0, 1).unwrap_err(), ParamsError::ZeroDepth);
+    }
+
+    #[test]
+    fn new_rejects_zero_shift() {
+        assert_eq!(Params::new(1, 1, 0).unwrap_err(), ParamsError::ZeroShift);
+    }
+
+    #[test]
+    fn new_rejects_shift_above_depth() {
+        assert_eq!(
+            Params::new(2, 3, 4).unwrap_err(),
+            ParamsError::ShiftExceedsDepth { shift: 4, depth: 3 }
+        );
+    }
+
+    #[test]
+    fn k_bound_paper_matches_theorem_one() {
+        let p = Params::new(16, 8, 4).unwrap();
+        assert_eq!(p.k_bound_paper(), (2 * 4 + 8) * 15);
+    }
+
+    #[test]
+    fn k_bound_is_max_of_paper_and_sequential() {
+        for w in 1..8 {
+            for d in 1..8 {
+                for s in 1..=d {
+                    let p = Params::new(w, d, s).unwrap();
+                    assert_eq!(p.k_bound(), p.k_bound_paper().max(p.k_bound_sequential()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_bound_dominates_exactly_when_shift_is_small() {
+        // 2d - 1 > 2s + d  <=>  s < (d - 1) / 2.
+        for d in 1usize..12 {
+            for s in 1..=d {
+                let p = Params::new(4, d, s).unwrap();
+                let seq_dominates = p.k_bound_sequential() > p.k_bound_paper();
+                assert_eq!(seq_dominates, 2 * s < d - 1, "d={d} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn presets_guarantee_equals_paper_formula() {
+        // for_threads and for_k only emit depth=1 or shift=depth shapes,
+        // where the published Theorem 1 formula is the binding one.
+        for threads in [1, 2, 8] {
+            let p = Params::for_threads(threads);
+            assert_eq!(p.k_bound(), p.k_bound_paper());
+            for k in [0usize, 5, 50, 5_000] {
+                let p = Params::for_k(k, threads);
+                assert_eq!(p.k_bound(), p.k_bound_paper(), "k={k} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_bound_is_zero_for_single_substack() {
+        for depth in 1..10 {
+            let p = Params::new(1, depth, depth).unwrap();
+            assert_eq!(p.k_bound(), 0, "width=1 must be a strict stack");
+        }
+    }
+
+    #[test]
+    fn for_threads_uses_four_p() {
+        for p in 1..33 {
+            let params = Params::for_threads(p);
+            assert_eq!(params.width(), 4 * p);
+            assert_eq!(params.depth(), 1);
+            assert_eq!(params.shift(), 1);
+        }
+    }
+
+    #[test]
+    fn for_threads_zero_clamps_to_one() {
+        assert_eq!(Params::for_threads(0).width(), 4);
+    }
+
+    #[test]
+    fn for_k_zero_is_strict() {
+        let p = Params::for_k(0, 8);
+        assert_eq!(p.width(), 1);
+        assert_eq!(p.k_bound(), 0);
+    }
+
+    #[test]
+    fn for_k_never_exceeds_budget() {
+        for threads in [1, 2, 4, 8, 16] {
+            for k in [0usize, 1, 2, 3, 5, 9, 30, 100, 450, 1000, 5000, 100_000] {
+                let p = Params::for_k(k, threads);
+                assert!(
+                    p.k_bound() <= k,
+                    "k_bound {} exceeds budget {} for threads={} ({p})",
+                    p.k_bound(),
+                    k,
+                    threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn for_k_grows_horizontally_first() {
+        // Budget small enough that width stays under 4P: depth must be 1.
+        let p = Params::for_k(60, 8);
+        assert_eq!(p.depth(), 1);
+        assert_eq!(p.shift(), 1);
+        assert!(p.width() <= 32);
+    }
+
+    #[test]
+    fn for_k_switches_to_vertical_at_saturation() {
+        let threads = 4;
+        let p = Params::for_k(1_000_000, threads);
+        assert_eq!(p.width(), 4 * threads);
+        assert!(p.depth() > 1);
+        assert_eq!(p.shift(), p.depth());
+    }
+
+    #[test]
+    fn for_k_monotone_in_k() {
+        // A larger budget never produces a *smaller* bound.
+        let mut last = 0;
+        for k in 1..2000 {
+            let b = Params::for_k(k, 8).k_bound();
+            assert!(b >= last, "k_bound regressed at k={k}: {b} < {last}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn default_is_valid() {
+        let p = Params::default();
+        assert!(Params::new(p.width(), p.depth(), p.shift()).is_ok());
+        assert_eq!(p.k_bound(), 9);
+    }
+
+    #[test]
+    fn initial_global_equals_depth() {
+        let p = Params::new(3, 7, 2).unwrap();
+        assert_eq!(p.initial_global(), 7);
+    }
+
+    #[test]
+    fn display_mentions_every_field() {
+        let s = Params::new(2, 3, 1).unwrap().to_string();
+        assert!(s.contains("width=2"));
+        assert!(s.contains("depth=3"));
+        assert!(s.contains("shift=1"));
+        assert!(s.contains("k=5"));
+    }
+
+    #[test]
+    fn params_error_display_is_lowercase_and_informative() {
+        let msgs = [
+            ParamsError::ZeroWidth.to_string(),
+            ParamsError::ZeroDepth.to_string(),
+            ParamsError::ZeroShift.to_string(),
+            ParamsError::ShiftExceedsDepth { shift: 9, depth: 3 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+}

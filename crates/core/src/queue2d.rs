@@ -1,0 +1,531 @@
+//! 2D-Queue — the paper's stated future work (§5), included as an extension.
+//!
+//! *"As future work, we are working towards generalizing our design to work
+//! for other concurrent data structures."* This module carries the window
+//! idea over to a FIFO queue, following the shape the same authors later
+//! published for the general 2D framework: `width` Michael–Scott sub-queues,
+//! a **put window** over per-sub-queue enqueue counts and a **get window**
+//! over dequeue counts. Both windows only ever move forward (counts are
+//! monotone), so the two `Global` counters only increase.
+//!
+//! An enqueue is valid on a sub-queue iff its enqueue count is below the put
+//! window's edge; a dequeue iff its dequeue count is below the get window's
+//! edge *and* the sub-queue is non-empty. When a covering sweep finds no
+//! valid sub-queue the thread shifts the corresponding window by `shift`.
+//! This bounds how far any two sub-queues can run apart, which in turn
+//! bounds the out-of-order distance of dequeues by
+//! `k = (2*shift + depth)*(width-1)`, mirroring Theorem 1.
+//!
+//! Unlike the stack, the sub-queue operation counters live in separate
+//! atomics (an MS queue has two mutation points, head and tail, so a single
+//! descriptor cannot cover both). Counters are bumped *after* a successful
+//! operation, so a count may lag the structure by in-flight operations; the
+//! window bound then holds up to one in-flight operation per thread, the
+//! same slack the full 2D-framework analysis accounts for. This module is an
+//! extension prototype and is not part of the paper's evaluation.
+
+use core::fmt;
+use core::mem::MaybeUninit;
+use core::ptr;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use crossbeam_utils::CachePadded;
+
+use crate::params::Params;
+use crate::rng::HopRng;
+
+struct QNode<T> {
+    value: MaybeUninit<T>,
+    next: Atomic<QNode<T>>,
+}
+
+/// One Michael–Scott lock-free FIFO sub-queue with operation counters.
+struct SubQueue<T> {
+    head: Atomic<QNode<T>>,
+    tail: Atomic<QNode<T>>,
+    /// Monotone count of completed enqueues.
+    enq: AtomicUsize,
+    /// Monotone count of completed dequeues.
+    deq: AtomicUsize,
+}
+
+unsafe impl<T: Send> Send for SubQueue<T> {}
+unsafe impl<T: Send> Sync for SubQueue<T> {}
+
+impl<T> SubQueue<T> {
+    fn new() -> Self {
+        let dummy = Owned::new(QNode {
+            value: MaybeUninit::uninit(),
+            next: Atomic::null(),
+        });
+        let guard = unsafe { epoch::unprotected() };
+        let dummy = dummy.into_shared(guard);
+        SubQueue {
+            head: Atomic::from(dummy),
+            tail: Atomic::from(dummy),
+            enq: AtomicUsize::new(0),
+            deq: AtomicUsize::new(0),
+        }
+    }
+
+    /// Single MS enqueue attempt; helps a lagging tail before reporting
+    /// contention so the window search can hop.
+    fn try_enqueue(&self, node: Owned<QNode<T>>, guard: &Guard) -> Result<(), Owned<QNode<T>>> {
+        let node = node.into_shared(guard);
+        let tail = self.tail.load(Ordering::Acquire, guard);
+        let t = unsafe { tail.deref() };
+        let next = t.next.load(Ordering::Acquire, guard);
+        if !next.is_null() {
+            // Tail lagging: help swing it, then report contention.
+            let _ =
+                self.tail.compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire, guard);
+            return Err(unsafe { node.into_owned() });
+        }
+        match t.next.compare_exchange(
+            Shared::null(),
+            node,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            guard,
+        ) {
+            Ok(_) => {
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    node,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    guard,
+                );
+                self.enq.fetch_add(1, Ordering::AcqRel);
+                Ok(())
+            }
+            Err(_) => Err(unsafe { node.into_owned() }),
+        }
+    }
+
+    /// Single dequeue attempt. `Ok(None)` = observed empty, `Err(())` =
+    /// lost a race.
+    fn try_dequeue(&self, guard: &Guard) -> Result<Option<T>, ()> {
+        let head = self.head.load(Ordering::Acquire, guard);
+        let h = unsafe { head.deref() };
+        let next = h.next.load(Ordering::Acquire, guard);
+        if next.is_null() {
+            return Ok(None);
+        }
+        match self.head.compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire, guard) {
+            Ok(_) => {
+                let value = unsafe { ptr::read(next.deref().value.as_ptr()) };
+                unsafe { guard.defer_destroy(head) };
+                self.deq.fetch_add(1, Ordering::AcqRel);
+                Ok(Some(value))
+            }
+            Err(_) => Err(()),
+        }
+    }
+
+    fn is_empty(&self, guard: &Guard) -> bool {
+        let head = self.head.load(Ordering::Acquire, guard);
+        unsafe { head.deref() }.next.load(Ordering::Acquire, guard).is_null()
+    }
+}
+
+impl<T> Drop for SubQueue<T> {
+    fn drop(&mut self) {
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut head = self.head.load(Ordering::Relaxed, guard);
+            // The head node is a dummy: its value is uninitialized (either
+            // from construction or already moved out by a dequeue).
+            let mut first = true;
+            while !head.is_null() {
+                let node = head.into_owned();
+                let next = node.next.load(Ordering::Relaxed, guard);
+                if !first {
+                    ptr::drop_in_place(node.into_box().value.as_mut_ptr());
+                } else {
+                    first = false;
+                }
+                head = next;
+            }
+        }
+    }
+}
+
+/// A relaxed lock-free FIFO queue built from the 2D window design
+/// (extension of the paper's future work).
+///
+/// Dequeues may return items up to `k = (2*shift + depth)*(width-1)`
+/// positions out of FIFO order (up to per-thread in-flight slack; see the
+/// module docs).
+///
+/// # Examples
+///
+/// ```
+/// use stack2d::{Params, Queue2D};
+///
+/// # fn main() -> Result<(), stack2d::ParamsError> {
+/// let q = Queue2D::new(Params::new(2, 2, 1)?);
+/// let mut h = q.handle();
+/// h.enqueue(1);
+/// h.enqueue(2);
+/// let a = h.dequeue().unwrap();
+/// let b = h.dequeue().unwrap();
+/// assert_eq!({ let mut v = vec![a, b]; v.sort(); v }, vec![1, 2]);
+/// assert_eq!(h.dequeue(), None);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Queue2D<T> {
+    subs: Box<[CachePadded<SubQueue<T>>]>,
+    put_global: CachePadded<AtomicUsize>,
+    get_global: CachePadded<AtomicUsize>,
+    params: Params,
+}
+
+impl<T> Queue2D<T> {
+    /// Creates a 2D-Queue with the given window parameters.
+    pub fn new(params: Params) -> Self {
+        let subs = (0..params.width())
+            .map(|_| CachePadded::new(SubQueue::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Queue2D {
+            subs,
+            put_global: CachePadded::new(AtomicUsize::new(params.initial_global())),
+            get_global: CachePadded::new(AtomicUsize::new(params.initial_global())),
+            params,
+        }
+    }
+
+    /// The window parameters.
+    #[inline]
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// The k-out-of-order style bound carried over from Theorem 1
+    /// (modulo in-flight counter slack; see the module docs).
+    #[inline]
+    pub fn k_bound(&self) -> usize {
+        self.params.k_bound()
+    }
+
+    /// Registers a per-thread handle.
+    pub fn handle(&self) -> QueueHandle<'_, T> {
+        let mut rng = HopRng::from_thread();
+        let last = rng.bounded(self.subs.len());
+        QueueHandle { queue: self, last_put: last, last_get: last, rng }
+    }
+
+    /// Registers a handle with a deterministic RNG seed.
+    pub fn handle_seeded(&self, seed: u64) -> QueueHandle<'_, T> {
+        let mut rng = HopRng::seeded(seed);
+        let last = rng.bounded(self.subs.len());
+        QueueHandle { queue: self, last_put: last, last_get: last, rng }
+    }
+
+    /// Approximate number of resident items (enqueues minus dequeues).
+    pub fn len(&self) -> usize {
+        let enq: usize = self.subs.iter().map(|s| s.enq.load(Ordering::Acquire)).sum();
+        let deq: usize = self.subs.iter().map(|s| s.deq.load(Ordering::Acquire)).sum();
+        enq.saturating_sub(deq)
+    }
+
+    /// Whether every sub-queue is empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        let guard = epoch::pin();
+        self.subs.iter().all(|s| s.is_empty(&guard))
+    }
+
+    /// Enqueue through an ephemeral handle.
+    pub fn enqueue(&self, value: T) {
+        self.handle().enqueue(value);
+    }
+
+    /// Dequeue through an ephemeral handle.
+    pub fn dequeue(&self) -> Option<T> {
+        self.handle().dequeue()
+    }
+}
+
+impl<T> fmt::Debug for Queue2D<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Queue2D")
+            .field("params", &self.params)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Per-thread access handle to a [`Queue2D`].
+pub struct QueueHandle<'q, T> {
+    queue: &'q Queue2D<T>,
+    last_put: usize,
+    last_get: usize,
+    rng: HopRng,
+}
+
+impl<T> QueueHandle<'_, T> {
+    /// Enqueues `value` on some window-valid sub-queue.
+    pub fn enqueue(&mut self, value: T) {
+        let q = self.queue;
+        let width = q.subs.len();
+        let shift = q.params.shift();
+        let guard = epoch::pin();
+        let mut node = Some(Owned::new(QNode {
+            value: MaybeUninit::new(value),
+            next: Atomic::null(),
+        }));
+        let mut start = self.last_put;
+        loop {
+            let global = q.put_global.load(Ordering::SeqCst);
+            let mut hopped = false;
+            // Two-phase probe: one random hop then a covering sweep,
+            // mirroring the stack's search.
+            for step in 0..=width {
+                let i = if step == 0 {
+                    start
+                } else {
+                    (start + step) % width
+                };
+                if q.put_global.load(Ordering::SeqCst) != global {
+                    hopped = true;
+                    start = i;
+                    break;
+                }
+                if q.subs[i].enq.load(Ordering::Acquire) < global {
+                    let n = node.take().expect("enqueue node present");
+                    match q.subs[i].try_enqueue(n, &guard) {
+                        Ok(()) => {
+                            self.last_put = i;
+                            return;
+                        }
+                        Err(n) => {
+                            node = Some(n);
+                            start = self.rng.bounded(width);
+                            hopped = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !hopped {
+                let _ = q.put_global.compare_exchange(
+                    global,
+                    global + shift,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                start = self.last_put;
+            }
+        }
+    }
+
+    /// Dequeues an item; `None` when a covering sweep saw every sub-queue
+    /// empty.
+    pub fn dequeue(&mut self) -> Option<T> {
+        let q = self.queue;
+        let width = q.subs.len();
+        let shift = q.params.shift();
+        let guard = epoch::pin();
+        let mut start = self.last_get;
+        loop {
+            let global = q.get_global.load(Ordering::SeqCst);
+            let mut verdict: Option<bool> = Some(true); // all_empty over the sweep
+            for step in 0..=width {
+                let i = if step == 0 { start } else { (start + step) % width };
+                if q.get_global.load(Ordering::SeqCst) != global {
+                    verdict = None;
+                    start = i;
+                    break;
+                }
+                let empty = q.subs[i].is_empty(&guard);
+                if step > 0 {
+                    if let Some(ae) = verdict.as_mut() {
+                        *ae &= empty;
+                    }
+                }
+                if !empty && q.subs[i].deq.load(Ordering::Acquire) < global {
+                    match q.subs[i].try_dequeue(&guard) {
+                        Ok(Some(v)) => {
+                            self.last_get = i;
+                            return Some(v);
+                        }
+                        Ok(None) => {} // drained between checks; keep probing
+                        Err(()) => {
+                            start = self.rng.bounded(width);
+                            verdict = None;
+                            break;
+                        }
+                    }
+                }
+            }
+            match verdict {
+                Some(true) => return None,
+                Some(false) => {
+                    // Items exist but every non-empty sub-queue exhausted its
+                    // get budget: advance the get window.
+                    let _ = q.get_global.compare_exchange(
+                        global,
+                        global + shift,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    start = self.last_get;
+                }
+                None => {} // restart after hop / global change
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for QueueHandle<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueueHandle")
+            .field("last_put", &self.last_put)
+            .field("last_get", &self.last_get)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    fn params(w: usize, d: usize, s: usize) -> Params {
+        Params::new(w, d, s).unwrap()
+    }
+
+    #[test]
+    fn empty_dequeue_returns_none() {
+        let q: Queue2D<u32> = Queue2D::new(params(4, 2, 1));
+        assert_eq!(q.dequeue(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn single_item_round_trip() {
+        let q = Queue2D::new(params(4, 2, 1));
+        q.enqueue(7);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.dequeue(), Some(7));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn width_one_is_strict_fifo() {
+        let q = Queue2D::new(params(1, 1, 1));
+        let mut h = q.handle_seeded(1);
+        for i in 0..500 {
+            h.enqueue(i);
+        }
+        for i in 0..500 {
+            assert_eq!(h.dequeue(), Some(i), "width=1 must be strict FIFO");
+        }
+    }
+
+    #[test]
+    fn all_items_recovered() {
+        let q = Queue2D::new(params(4, 3, 2));
+        let mut h = q.handle_seeded(5);
+        for i in 0..2_000 {
+            h.enqueue(i);
+        }
+        let mut seen = HashSet::new();
+        while let Some(v) = h.dequeue() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), 2_000);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_no_loss_no_duplication() {
+        const THREADS: usize = 4;
+        const PER: usize = 3_000;
+        let q = Arc::new(Queue2D::new(params(4, 2, 1)));
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let q = Arc::clone(&q);
+            joins.push(std::thread::spawn(move || {
+                let mut h = q.handle_seeded(t as u64 + 1);
+                let mut got = Vec::new();
+                for i in 0..PER {
+                    h.enqueue((t * PER + i) as u64);
+                    if i % 3 == 0 {
+                        if let Some(v) = h.dequeue() {
+                            got.push(v);
+                        }
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u64> = Vec::new();
+        for j in joins {
+            all.extend(j.join().unwrap());
+        }
+        let mut h = q.handle_seeded(0);
+        while let Some(v) = h.dequeue() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..(THREADS * PER) as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fifo_order_is_k_relaxed_single_thread() {
+        // Single-threaded, so counter slack is zero and the window bound
+        // applies directly: an item dequeued at global order g was enqueued
+        // within k of g.
+        let p = params(4, 2, 2);
+        let q = Queue2D::new(p);
+        let mut h = q.handle_seeded(3);
+        let n = 1_000usize;
+        for i in 0..n {
+            h.enqueue(i);
+        }
+        let k = p.k_bound();
+        for pos in 0..n {
+            let v = h.dequeue().unwrap();
+            let lateness = pos.abs_diff(v);
+            assert!(
+                lateness <= k,
+                "dequeue #{pos} returned {v}: out-of-order distance {lateness} > k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_releases_resident_items() {
+        use std::sync::atomic::AtomicUsize as AU;
+        struct Canary(Arc<AU>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AU::new(0));
+        {
+            let q = Queue2D::new(params(3, 2, 1));
+            let mut h = q.handle_seeded(1);
+            for _ in 0..40 {
+                h.enqueue(Canary(drops.clone()));
+            }
+            for _ in 0..15 {
+                drop(h.dequeue());
+            }
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let q: Queue2D<u8> = Queue2D::new(params(2, 1, 1));
+        assert!(format!("{q:?}").contains("Queue2D"));
+        assert!(format!("{:?}", q.handle()).contains("QueueHandle"));
+    }
+}

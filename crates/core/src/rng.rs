@@ -1,0 +1,145 @@
+//! Minimal xorshift64* generator for hop decisions on the hot path.
+//!
+//! Operation-critical paths of a lock-free stack cannot afford a heavyweight
+//! RNG; the paper's random hops only need cheap, decorrelated indices. This
+//! generator is the classic xorshift64* (Vigna 2016 variant): three shifts,
+//! one multiply, period 2^64 - 1. It is deliberately *not* cryptographic.
+
+/// A tiny, allocation-free PRNG used for random sub-stack hops.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d::rng::HopRng;
+///
+/// let mut rng = HopRng::seeded(42);
+/// let i = rng.bounded(8);
+/// assert!(i < 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HopRng {
+    state: u64,
+}
+
+impl HopRng {
+    /// Creates a generator from an explicit non-zero seed; a zero seed is
+    /// remapped to a fixed odd constant (xorshift has a zero fixpoint).
+    pub fn seeded(seed: u64) -> Self {
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        HopRng { state }
+    }
+
+    /// Creates a generator seeded from the address of a stack local and the
+    /// thread, adequate for decorrelating hop sequences across handles.
+    pub fn from_thread() -> Self {
+        let local = 0u8;
+        let addr = &local as *const u8 as u64;
+        // Mix the address with a counter-like timestamp-free constant; the
+        // splitmix64 finalizer spreads the few varying address bits.
+        let mut z = addr.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self::seeded(z ^ (z >> 31))
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish index in `[0, bound)` via the multiply-shift trick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn bounded(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bounded() requires a positive bound");
+        // Lemire's multiply-shift: maps the 64-bit output to [0, bound) with
+        // negligible bias for the small bounds used here (sub-stack counts).
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as usize
+    }
+}
+
+impl Default for HopRng {
+    fn default() -> Self {
+        Self::from_thread()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut a = HopRng::seeded(0);
+        let mut b = HopRng::seeded(0x9E37_79B9_7F4A_7C15);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bounded_stays_in_range() {
+        let mut rng = HopRng::seeded(123);
+        for bound in 1..64 {
+            for _ in 0..200 {
+                assert!(rng.bounded(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn bounded_zero_panics() {
+        HopRng::seeded(1).bounded(0);
+    }
+
+    #[test]
+    fn outputs_are_not_constant() {
+        let mut rng = HopRng::seeded(7);
+        let first = rng.next_u64();
+        assert!((0..100).any(|_| rng.next_u64() != first));
+    }
+
+    #[test]
+    fn bounded_covers_all_buckets_eventually() {
+        let mut rng = HopRng::seeded(99);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[rng.bounded(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 buckets should be hit: {seen:?}");
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut rng = HopRng::seeded(2024);
+        const BUCKETS: usize = 16;
+        const DRAWS: usize = 160_000;
+        let mut counts = [0usize; BUCKETS];
+        for _ in 0..DRAWS {
+            counts[rng.bounded(BUCKETS)] += 1;
+        }
+        let expect = DRAWS / BUCKETS;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect * 8 / 10 && c < expect * 12 / 10,
+                "bucket {i} count {c} deviates >20% from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = HopRng::seeded(1);
+        let mut b = HopRng::seeded(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+}

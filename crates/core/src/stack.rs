@@ -1,0 +1,970 @@
+//! The 2D-Stack: `width` sub-stacks under a shared window.
+//!
+//! This module implements the algorithm of §3 of the paper:
+//!
+//! * an array of descriptor-based sub-stacks (the *stack-array*);
+//! * a shared `Global` counter giving the upper edge of the current
+//!   **window**: a push is valid on a sub-stack iff `count < Global`, a pop
+//!   iff `count > Global - depth` (and the sub-stack is non-empty);
+//! * a two-phase search (random hops, then a covering round-robin sweep)
+//!   that starts from the thread's last successful sub-stack;
+//! * window **shifts**: when a covering sweep finds no valid sub-stack, the
+//!   thread CASes `Global` up by `shift` (push side) or down by `shift`
+//!   (pop side, floored at `depth`);
+//! * restart on observed `Global` change, and a random hop after a failed
+//!   CAS (contention avoidance).
+//!
+//! Relaxation is bounded by Theorem 1: `k = (2*shift + depth)*(width-1)`.
+
+use core::fmt;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam_epoch::{self as epoch};
+use crossbeam_utils::CachePadded;
+
+use crate::metrics::{MetricsSnapshot, OpCounters};
+use crate::params::Params;
+use crate::rng::HopRng;
+use crate::search::{Probes, StackConfig};
+use crate::substack::{Contended, PreparedNode, SubStack};
+use crate::traits::{ConcurrentStack, StackHandle};
+
+/// A scalable lock-free stack with tunable k-out-of-order relaxation.
+///
+/// `Stack2D` trades strict LIFO order for throughput: a `pop` may return any
+/// of the topmost `k+1` items, where `k` is the deterministic bound
+/// [`Params::k_bound`] (`(2*shift + depth)*(width-1)`, Theorem 1 of the
+/// paper). Setting `width = 1` recovers a strict lock-free stack.
+///
+/// Threads should operate through a registered [`Handle2D`] (see
+/// [`Stack2D::handle`]), which carries the paper's per-thread state: the
+/// last successful sub-stack (locality) and the hop RNG. The plain
+/// [`push`](Stack2D::push) / [`pop`](Stack2D::pop) methods construct an
+/// ephemeral handle per call and are provided for convenience.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d::{Params, Stack2D};
+///
+/// # fn main() -> Result<(), stack2d::ParamsError> {
+/// let stack = Stack2D::new(Params::new(4, 2, 1)?);
+/// let mut h = stack.handle();
+/// h.push(1);
+/// h.push(2);
+/// // Relaxed semantics: we get *some* recent item, and nothing is lost.
+/// let a = h.pop().unwrap();
+/// let b = h.pop().unwrap();
+/// assert_eq!({ let mut v = vec![a, b]; v.sort(); v }, vec![1, 2]);
+/// assert_eq!(h.pop(), None);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Stack2D<T> {
+    subs: Box<[CachePadded<SubStack<T>>]>,
+    /// The paper's `Global`: upper edge of the window, in items per
+    /// sub-stack.
+    global: CachePadded<AtomicUsize>,
+    config: StackConfig,
+    counters: OpCounters,
+}
+
+/// Outcome of one search round.
+enum Round {
+    /// The operation succeeded on sub-stack `.0`.
+    Done(usize),
+    /// `Global` changed mid-search; restart from index `.0`.
+    GlobalChanged(usize),
+    /// A CAS was lost on a valid sub-stack; restart (randomly re-seeded when
+    /// hop-on-contention is enabled).
+    Contention,
+    /// Every probe failed validation under the round's `Global` value.
+    /// `all_empty` is true iff a covering sweep observed only empty
+    /// sub-stacks.
+    Exhausted {
+        all_empty: bool,
+    },
+}
+
+impl<T> Stack2D<T> {
+    /// Creates a 2D-Stack with the paper-default search behaviour.
+    pub fn new(params: Params) -> Self {
+        Self::with_config(StackConfig::new(params))
+    }
+
+    /// Creates a 2D-Stack with explicit search-policy configuration
+    /// (used by the ablation experiments).
+    pub fn with_config(config: StackConfig) -> Self {
+        let width = config.params().width();
+        let subs = (0..width)
+            .map(|_| CachePadded::new(SubStack::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Stack2D {
+            subs,
+            global: CachePadded::new(AtomicUsize::new(config.params().initial_global())),
+            config,
+            counters: OpCounters::default(),
+        }
+    }
+
+    /// A snapshot of the stack's operation counters (contention, probes,
+    /// window shifts — see [`MetricsSnapshot`]).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Resets the operation counters to zero (e.g. after a warm-up phase).
+    pub fn reset_metrics(&self) {
+        self.counters.reset();
+    }
+
+    /// The active configuration.
+    #[inline]
+    pub fn config(&self) -> StackConfig {
+        self.config
+    }
+
+    /// The window parameters.
+    #[inline]
+    pub fn params(&self) -> Params {
+        self.config.params()
+    }
+
+    /// The deterministic relaxation bound `k` this stack guarantees:
+    /// the paper's Theorem 1 formula, corrected upward where the
+    /// implementation's provable bound exceeds it (see
+    /// [`Params::k_bound`] and the reproduction finding documented
+    /// there; the two coincide for every preset configuration).
+    #[inline]
+    pub fn k_bound(&self) -> usize {
+        self.params().k_bound()
+    }
+
+    /// Registers a per-thread handle carrying locality state and the hop
+    /// RNG. Handles are cheap; create one per worker thread.
+    pub fn handle(&self) -> Handle2D<'_, T> {
+        let mut rng = HopRng::from_thread();
+        let width = self.subs.len();
+        let last = rng.bounded(width);
+        Handle2D { stack: self, last, rng }
+    }
+
+    /// Registers a handle with a deterministic RNG seed — useful in tests
+    /// and reproducible experiments.
+    pub fn handle_seeded(&self, seed: u64) -> Handle2D<'_, T> {
+        let mut rng = HopRng::seeded(seed);
+        let width = self.subs.len();
+        let last = rng.bounded(width);
+        Handle2D { stack: self, last, rng }
+    }
+
+    /// Current value of the `Global` window counter (diagnostic).
+    #[inline]
+    pub fn global(&self) -> usize {
+        self.global.load(Ordering::SeqCst)
+    }
+
+    /// Sum of the sub-stack item counts.
+    ///
+    /// Inherently approximate under concurrency (counts are read one
+    /// sub-stack at a time), exact when quiescent.
+    pub fn len(&self) -> usize {
+        let guard = epoch::pin();
+        self.subs.iter().map(|s| s.view(&guard).count()).sum()
+    }
+
+    /// Whether every sub-stack is empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        let guard = epoch::pin();
+        self.subs.iter().all(|s| s.view(&guard).is_empty())
+    }
+
+    /// Item counts per sub-stack — the *load profile* used by the quality
+    /// experiments to show how the window keeps sub-stacks balanced.
+    pub fn load_profile(&self) -> Vec<usize> {
+        let guard = epoch::pin();
+        self.subs.iter().map(|s| s.view(&guard).count()).collect()
+    }
+
+    /// Pushes through an ephemeral handle (no locality). Prefer
+    /// [`Stack2D::handle`] on hot paths.
+    pub fn push(&self, value: T) {
+        self.handle().push(value);
+    }
+
+    /// Pops through an ephemeral handle (no locality). Prefer
+    /// [`Stack2D::handle`] on hot paths.
+    pub fn pop(&self) -> Option<T> {
+        self.handle().pop()
+    }
+
+    /// One push search round under the `Global` value `global`.
+    fn push_round(
+        &self,
+        global: usize,
+        start: usize,
+        rng: &mut HopRng,
+        node: &mut Option<PreparedNode<T>>,
+        probe_count: &mut u64,
+        guard: &epoch::Guard,
+    ) -> Round {
+        let width = self.subs.len();
+        let mut probes = Probes::new(self.config.policy(), width, start, rng);
+        // `probes` is consumed manually (not a `for` loop) because the pop
+        // twin of this loop needs `in_coverage` queries mid-iteration.
+        #[allow(clippy::while_let_on_iterator)]
+        while let Some(i) = probes.next() {
+            *probe_count += 1;
+            // Restart on any observed Global change (§3 optimization).
+            if self.global.load(Ordering::SeqCst) != global {
+                return Round::GlobalChanged(i);
+            }
+            let view = self.subs[i].view(guard);
+            if view.count() < global {
+                let n = node.take().expect("push node present until consumed");
+                match self.subs[i].try_push_at(&view, n, guard) {
+                    Ok(()) => return Round::Done(i),
+                    Err(Contended(n)) => {
+                        *node = Some(n);
+                        return Round::Contention;
+                    }
+                }
+            }
+        }
+        Round::Exhausted { all_empty: false }
+    }
+
+    /// One pop search round; on success returns the value through `out`.
+    fn pop_round(
+        &self,
+        global: usize,
+        start: usize,
+        rng: &mut HopRng,
+        out: &mut Option<T>,
+        probe_count: &mut u64,
+        guard: &epoch::Guard,
+    ) -> Round {
+        let width = self.subs.len();
+        let depth = self.config.params().depth();
+        let floor = global.saturating_sub(depth);
+        let mut probes = Probes::new(self.config.policy(), width, start, rng);
+        // A sub-stack is pop-valid iff count > Global - depth; emptiness is
+        // concluded only from the covering sweep every policy ends with.
+        let mut all_empty = true;
+        let mut probe_no = 0;
+        while let Some(i) = probes.next() {
+            *probe_count += 1;
+            let in_cov = probes.in_coverage(probe_no);
+            probe_no += 1;
+            if self.global.load(Ordering::SeqCst) != global {
+                return Round::GlobalChanged(i);
+            }
+            let view = self.subs[i].view(guard);
+            if in_cov {
+                all_empty &= view.is_empty();
+            }
+            if !view.is_empty() && view.count() > floor {
+                match self.subs[i].try_pop_at(&view, guard) {
+                    Ok(Some(v)) => {
+                        *out = Some(v);
+                        return Round::Done(i);
+                    }
+                    // `Ok(None)` cannot happen: the view was non-empty.
+                    Ok(None) => unreachable!("non-empty view popped empty"),
+                    Err(Contended(())) => return Round::Contention,
+                }
+            }
+        }
+        Round::Exhausted { all_empty }
+    }
+}
+
+impl<T> fmt::Debug for Stack2D<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stack2D")
+            .field("params", &self.params())
+            .field("global", &self.global())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Per-thread access handle to a [`Stack2D`].
+///
+/// Carries the paper's thread-local state: the index of the sub-stack the
+/// thread last succeeded on (exploited for locality) and the RNG driving
+/// random hops. Not `Sync`; create one handle per thread.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d::{Params, Stack2D};
+///
+/// let stack: Stack2D<u32> = Stack2D::new(Params::default());
+/// std::thread::scope(|s| {
+///     for _ in 0..2 {
+///         s.spawn(|| {
+///             let mut h = stack.handle();
+///             for i in 0..100 {
+///                 h.push(i);
+///             }
+///             for _ in 0..100 {
+///                 h.pop();
+///             }
+///         });
+///     }
+/// });
+/// ```
+pub struct Handle2D<'s, T> {
+    stack: &'s Stack2D<T>,
+    last: usize,
+    rng: HopRng,
+}
+
+impl<'s, T> Handle2D<'s, T> {
+    /// The stack this handle operates on.
+    #[inline]
+    pub fn stack(&self) -> &'s Stack2D<T> {
+        self.stack
+    }
+
+    /// Index of the sub-stack of the last successful operation.
+    #[inline]
+    pub fn last_substack(&self) -> usize {
+        self.last
+    }
+
+    fn search_start(&mut self) -> usize {
+        if self.stack.config.uses_locality() {
+            self.last
+        } else {
+            self.rng.bounded(self.stack.subs.len())
+        }
+    }
+
+    /// Pushes `value` onto the stack. Lock-free: a thread only retries when
+    /// another thread made progress (won a CAS or shifted the window).
+    pub fn push(&mut self, value: T) {
+        let stack = self.stack;
+        let shift = stack.config.params().shift();
+        let guard = epoch::pin();
+        let mut node = Some(PreparedNode::new(value));
+        let mut start = self.search_start();
+        let mut probes = 0u64;
+        let mut cas_failures = 0u64;
+        let mut restarts = 0u64;
+        let mut shifts_up = 0u64;
+        loop {
+            let global = stack.global.load(Ordering::SeqCst);
+            match stack.push_round(global, start, &mut self.rng, &mut node, &mut probes, &guard)
+            {
+                Round::Done(i) => {
+                    self.last = i;
+                    let c = &stack.counters;
+                    c.add(|c| &c.probes, probes);
+                    c.add(|c| &c.cas_failures, cas_failures);
+                    c.add(|c| &c.global_restarts, restarts);
+                    c.add(|c| &c.shifts_up, shifts_up);
+                    c.add(|c| &c.ops, 1);
+                    return;
+                }
+                Round::GlobalChanged(at) => {
+                    restarts += 1;
+                    start = at;
+                }
+                Round::Contention => {
+                    cas_failures += 1;
+                    start = if stack.config.hops_on_contention() {
+                        self.rng.bounded(stack.subs.len())
+                    } else {
+                        start
+                    };
+                }
+                Round::Exhausted { .. } => {
+                    // Every sub-stack is at or above the window: raise it.
+                    // A failed CAS means another thread moved Global — either
+                    // way the window changed and the search restarts fresh.
+                    if stack
+                        .global
+                        .compare_exchange(
+                            global,
+                            global + shift,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        shifts_up += 1;
+                    }
+                    start = self.search_start();
+                }
+            }
+        }
+    }
+
+    /// Pops an item; `None` when a covering sweep observed every sub-stack
+    /// empty. The returned item is within `k` positions of the top of the
+    /// corresponding strict stack ([`Params::k_bound`]).
+    pub fn pop(&mut self) -> Option<T> {
+        let stack = self.stack;
+        let params = stack.config.params();
+        let (depth, shift) = (params.depth(), params.shift());
+        let guard = epoch::pin();
+        let mut out = None;
+        let mut start = self.search_start();
+        let mut probes = 0u64;
+        let mut cas_failures = 0u64;
+        let mut restarts = 0u64;
+        let mut shifts_down = 0u64;
+        let finish = |probes, cas_failures, restarts, shifts_down, empty: bool| {
+            let c = &stack.counters;
+            c.add(|c| &c.probes, probes);
+            c.add(|c| &c.cas_failures, cas_failures);
+            c.add(|c| &c.global_restarts, restarts);
+            c.add(|c| &c.shifts_down, shifts_down);
+            c.add(|c| &c.empty_pops, u64::from(empty));
+            c.add(|c| &c.ops, 1);
+        };
+        loop {
+            let global = stack.global.load(Ordering::SeqCst);
+            match stack.pop_round(global, start, &mut self.rng, &mut out, &mut probes, &guard) {
+                Round::Done(i) => {
+                    self.last = i;
+                    finish(probes, cas_failures, restarts, shifts_down, false);
+                    return out;
+                }
+                Round::GlobalChanged(at) => {
+                    restarts += 1;
+                    start = at;
+                }
+                Round::Contention => {
+                    cas_failures += 1;
+                    start = if stack.config.hops_on_contention() {
+                        self.rng.bounded(stack.subs.len())
+                    } else {
+                        start
+                    };
+                }
+                Round::Exhausted { all_empty } => {
+                    if all_empty {
+                        // A covering sweep under one Global saw only empty
+                        // sub-stacks: report empty.
+                        finish(probes, cas_failures, restarts, shifts_down, true);
+                        return None;
+                    }
+                    // Items exist but sit below the window: lower it,
+                    // flooring at `depth` so the window never dips below
+                    // `[0, depth]`.
+                    let lowered = global.saturating_sub(shift).max(depth);
+                    if lowered != global
+                        && stack
+                            .global
+                            .compare_exchange(global, lowered, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                    {
+                        shifts_down += 1;
+                    }
+                    start = self.search_start();
+                }
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for Handle2D<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Handle2D").field("last", &self.last).finish()
+    }
+}
+
+/// Draining iterator returned by [`Stack2D::drain`]; pops until the stack
+/// is observed empty.
+///
+/// Items arrive in the stack's relaxed LIFO order. Dropping the iterator
+/// early leaves the remaining items in place.
+pub struct Drain<'s, T> {
+    handle: Handle2D<'s, T>,
+}
+
+impl<T> Iterator for Drain<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.handle.pop()
+    }
+}
+
+impl<T> fmt::Debug for Drain<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Drain").finish_non_exhaustive()
+    }
+}
+
+impl<T> Stack2D<T> {
+    /// Returns an iterator that pops items until the stack is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Params, Stack2D};
+    ///
+    /// let stack = Stack2D::new(Params::default());
+    /// stack.push(1);
+    /// stack.push(2);
+    /// let mut items: Vec<i32> = stack.drain().collect();
+    /// items.sort();
+    /// assert_eq!(items, vec![1, 2]);
+    /// assert!(stack.is_empty());
+    /// ```
+    pub fn drain(&self) -> Drain<'_, T> {
+        Drain { handle: self.handle() }
+    }
+}
+
+impl<T: Send> Extend<T> for Stack2D<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        let mut h = self.handle();
+        for item in iter {
+            h.push(item);
+        }
+    }
+}
+
+impl<T: Send> FromIterator<T> for Stack2D<T> {
+    /// Collects into a stack with [`Params::default`]; use
+    /// [`Stack2D::new`] + [`Extend`] to control parameters.
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut stack = Stack2D::new(Params::default());
+        stack.extend(iter);
+        stack
+    }
+}
+
+impl<T: Send> ConcurrentStack<T> for Stack2D<T> {
+    type Handle<'a>
+        = Handle2D<'a, T>
+    where
+        T: 'a;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        Stack2D::handle(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "2D-stack"
+    }
+
+    fn relaxation_bound(&self) -> Option<usize> {
+        Some(self.k_bound())
+    }
+}
+
+impl<T: Send> StackHandle<T> for Handle2D<'_, T> {
+    fn push(&mut self, value: T) {
+        Handle2D::push(self, value);
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        Handle2D::pop(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::SearchPolicy;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn params(w: usize, d: usize, s: usize) -> Params {
+        Params::new(w, d, s).unwrap()
+    }
+
+    #[test]
+    fn empty_pop_returns_none() {
+        let stack: Stack2D<u32> = Stack2D::new(params(4, 2, 1));
+        assert_eq!(stack.pop(), None);
+        assert!(stack.is_empty());
+        assert_eq!(stack.len(), 0);
+    }
+
+    #[test]
+    fn push_then_pop_single_item() {
+        let stack = Stack2D::new(params(4, 2, 1));
+        stack.push(99);
+        assert_eq!(stack.len(), 1);
+        assert_eq!(stack.pop(), Some(99));
+        assert_eq!(stack.pop(), None);
+    }
+
+    #[test]
+    fn width_one_is_a_strict_stack() {
+        let stack = Stack2D::new(params(1, 1, 1));
+        assert_eq!(stack.k_bound(), 0);
+        let mut h = stack.handle_seeded(7);
+        for i in 0..1000 {
+            h.push(i);
+        }
+        for i in (0..1000).rev() {
+            assert_eq!(h.pop(), Some(i), "width=1 must be strictly LIFO");
+        }
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn all_items_recovered_sequentially() {
+        let stack = Stack2D::new(params(8, 4, 2));
+        let mut h = stack.handle_seeded(3);
+        let n = 10_000;
+        for i in 0..n {
+            h.push(i);
+        }
+        assert_eq!(stack.len(), n);
+        let mut seen = HashSet::new();
+        while let Some(v) = h.pop() {
+            assert!(seen.insert(v), "duplicate item {v}");
+        }
+        assert_eq!(seen.len(), n, "all items must come back exactly once");
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn global_rises_under_push_pressure() {
+        let p = params(2, 1, 1);
+        let stack = Stack2D::new(p);
+        let before = stack.global();
+        let mut h = stack.handle_seeded(1);
+        // 2 sub-stacks, depth 1: pushing 10 items forces repeated window
+        // raises.
+        for i in 0..10 {
+            h.push(i);
+        }
+        assert!(
+            stack.global() > before,
+            "global must rise: before={before} after={}",
+            stack.global()
+        );
+        // Counts never exceed Global (the window's defining invariant holds
+        // quiescently).
+        for c in stack.load_profile() {
+            assert!(c <= stack.global());
+        }
+    }
+
+    #[test]
+    fn global_falls_back_under_pop_pressure() {
+        let stack = Stack2D::new(params(2, 1, 1));
+        let mut h = stack.handle_seeded(1);
+        for i in 0..64 {
+            h.push(i);
+        }
+        let high = stack.global();
+        while h.pop().is_some() {}
+        let low = stack.global();
+        assert!(low < high, "global must fall while draining: {high} -> {low}");
+        assert_eq!(low, stack.params().depth(), "drained stack window rests at depth");
+    }
+
+    #[test]
+    fn load_profile_is_window_balanced_after_bulk_push() {
+        let p = params(8, 4, 4);
+        let stack = Stack2D::new(p);
+        let mut h = stack.handle_seeded(5);
+        for i in 0..8 * 100 {
+            h.push(i);
+        }
+        let profile = stack.load_profile();
+        let max = *profile.iter().max().unwrap();
+        let min = *profile.iter().min().unwrap();
+        // The window bounds the spread between sub-stacks by depth + shift.
+        assert!(
+            max - min <= p.depth() + p.shift(),
+            "window failed to balance: {profile:?}"
+        );
+    }
+
+    #[test]
+    fn ephemeral_push_pop_work() {
+        let stack = Stack2D::new(params(4, 1, 1));
+        for i in 0..32 {
+            stack.push(i);
+        }
+        let mut got = Vec::new();
+        while let Some(v) = stack.pop() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_no_loss_no_duplication() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 5_000;
+        let stack = Arc::new(Stack2D::new(params(8, 2, 1)));
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let stack = Arc::clone(&stack);
+            joins.push(std::thread::spawn(move || {
+                let mut h = stack.handle_seeded(t as u64 + 1);
+                let mut popped = Vec::new();
+                for i in 0..PER_THREAD {
+                    h.push((t * PER_THREAD + i) as u64);
+                    if i % 2 == 1 {
+                        if let Some(v) = h.pop() {
+                            popped.push(v);
+                        }
+                    }
+                }
+                popped
+            }));
+        }
+        let mut all: Vec<u64> = Vec::new();
+        for j in joins {
+            all.extend(j.join().unwrap());
+        }
+        // Drain the rest.
+        let mut h = stack.handle_seeded(999);
+        while let Some(v) = h.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..(THREADS * PER_THREAD) as u64).collect();
+        assert_eq!(all, expect, "no item may be lost or duplicated");
+    }
+
+    #[test]
+    fn concurrent_mixed_handles_and_policies() {
+        let cfg = StackConfig::new(params(4, 3, 2))
+            .search_policy(SearchPolicy::TwoPhase { random_hops: 2 });
+        let stack = Arc::new(Stack2D::with_config(cfg));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut joins = Vec::new();
+        for t in 0..3 {
+            let stack = Arc::clone(&stack);
+            let stop = Arc::clone(&stop);
+            joins.push(std::thread::spawn(move || {
+                let mut h = stack.handle_seeded(t + 10);
+                let mut balance = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    h.push(1u8);
+                    balance += 1;
+                    if h.pop().is_some() {
+                        balance -= 1;
+                    }
+                }
+                balance
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        let pushed_minus_popped: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        let mut h = stack.handle_seeded(0);
+        let mut remaining = 0i64;
+        while h.pop().is_some() {
+            remaining += 1;
+        }
+        assert_eq!(remaining, pushed_minus_popped);
+    }
+
+    #[test]
+    fn round_robin_only_policy_is_functional() {
+        let cfg = StackConfig::new(params(4, 1, 1)).search_policy(SearchPolicy::RoundRobinOnly);
+        let stack = Stack2D::with_config(cfg);
+        let mut h = stack.handle_seeded(2);
+        for i in 0..100 {
+            h.push(i);
+        }
+        let mut n = 0;
+        while h.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn random_only_policy_is_functional() {
+        let cfg = StackConfig::new(params(4, 2, 1)).search_policy(SearchPolicy::RandomOnly);
+        let stack = Stack2D::with_config(cfg);
+        let mut h = stack.handle_seeded(2);
+        for i in 0..100 {
+            h.push(i);
+        }
+        let mut n = 0;
+        while h.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn no_locality_config_is_functional() {
+        let cfg = StackConfig::new(params(4, 2, 1)).locality(false).hop_on_contention(false);
+        let stack = Stack2D::with_config(cfg);
+        let mut h = stack.handle_seeded(4);
+        for i in 0..200 {
+            h.push(i);
+        }
+        let mut seen = HashSet::new();
+        while let Some(v) = h.pop() {
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 200);
+    }
+
+    #[test]
+    fn handle_tracks_last_successful_substack() {
+        let stack = Stack2D::new(params(4, 8, 1));
+        let mut h = stack.handle_seeded(11);
+        h.push(1);
+        let after_push = h.last_substack();
+        assert!(after_push < 4);
+        // Depth 8 leaves room on the same sub-stack; locality keeps us there.
+        h.push(2);
+        assert_eq!(h.last_substack(), after_push, "locality should reuse the sub-stack");
+    }
+
+    #[test]
+    fn drop_releases_resident_items() {
+        use std::sync::atomic::AtomicUsize;
+        struct Canary(Arc<AtomicUsize>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let stack = Stack2D::new(params(4, 2, 1));
+            let mut h = stack.handle_seeded(1);
+            for _ in 0..50 {
+                h.push(Canary(drops.clone()));
+            }
+            for _ in 0..20 {
+                drop(h.pop());
+            }
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn drain_empties_the_stack() {
+        let stack = Stack2D::new(params(4, 2, 1));
+        for i in 0..100 {
+            stack.push(i);
+        }
+        let mut got: Vec<i32> = stack.drain().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn drain_can_be_abandoned() {
+        let stack = Stack2D::new(params(4, 2, 1));
+        for i in 0..10 {
+            stack.push(i);
+        }
+        {
+            let mut d = stack.drain();
+            let _ = d.next();
+            let _ = d.next();
+        }
+        assert_eq!(stack.len(), 8, "abandoned drain leaves the rest resident");
+    }
+
+    #[test]
+    fn extend_and_from_iterator() {
+        let mut stack: Stack2D<u32> = (0..50).collect();
+        assert_eq!(stack.len(), 50);
+        stack.extend(50..60);
+        assert_eq!(stack.len(), 60);
+        let mut got: Vec<u32> = stack.drain().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn metrics_track_window_shifts() {
+        let stack = Stack2D::new(params(2, 1, 1));
+        let mut h = stack.handle_seeded(1);
+        for i in 0..20 {
+            h.push(i);
+        }
+        let m = stack.metrics();
+        assert_eq!(m.ops, 20);
+        // 2 sub-stacks × depth 1 = 2 items per window level; 20 pushes
+        // require at least 9 raises.
+        assert!(m.shifts_up >= 9, "expected many raises, got {m}");
+        assert!(m.probes >= 20, "every op probes at least once");
+        while h.pop().is_some() {}
+        let m = stack.metrics();
+        assert!(m.shifts_down > 0, "draining must lower the window: {m}");
+        assert!(m.empty_pops >= 1, "the final pop observed empty");
+    }
+
+    #[test]
+    fn metrics_reset_clears_counters() {
+        let stack = Stack2D::new(params(2, 1, 1));
+        stack.push(1);
+        assert!(stack.metrics().ops > 0);
+        stack.reset_metrics();
+        assert_eq!(stack.metrics().ops, 0);
+        assert_eq!(stack.metrics().probes, 0);
+    }
+
+    #[test]
+    fn metrics_accumulate_under_concurrency() {
+        let stack = Arc::new(Stack2D::new(params(4, 2, 1)));
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let stack = Arc::clone(&stack);
+            joins.push(std::thread::spawn(move || {
+                let mut h = stack.handle_seeded(t);
+                for i in 0..1_000 {
+                    h.push(i);
+                    h.pop();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let m = stack.metrics();
+        assert_eq!(m.ops, 4 * 2 * 1_000);
+        assert!(m.probes >= m.ops, "at least one probe per op: {m}");
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        let stack: Stack2D<u8> = Stack2D::new(params(2, 1, 1));
+        assert!(!format!("{stack:?}").is_empty());
+        let h = stack.handle();
+        assert!(!format!("{h:?}").is_empty());
+    }
+
+    #[test]
+    fn trait_object_style_generic_use() {
+        fn run<S: ConcurrentStack<u64>>(s: &S) -> usize {
+            let mut h = s.handle();
+            for i in 0..64 {
+                StackHandle::push(&mut h, i);
+            }
+            let mut n = 0;
+            while StackHandle::pop(&mut h).is_some() {
+                n += 1;
+            }
+            n
+        }
+        let stack = Stack2D::new(params(4, 2, 2));
+        assert_eq!(run(&stack), 64);
+        assert_eq!(ConcurrentStack::<u64>::name(&stack), "2D-stack");
+        assert_eq!(
+            ConcurrentStack::<u64>::relaxation_bound(&stack),
+            Some(stack.k_bound())
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Common interface implemented by the 2D-Stack and every baseline.
+//!
+//! The workload runner, the quality oracle and the experiment harness are all
+//! generic over [`ConcurrentStack`], so each figure of the paper runs the
+//! exact same driver code against every algorithm — only the stack type
+//! changes, as in the paper's evaluation.
+
+/// A concurrent stack (possibly with relaxed pop semantics) that threads
+/// access through per-thread handles.
+///
+/// Handles carry whatever thread-local state the algorithm needs: the
+/// 2D-Stack's locality index and hop RNG, the elimination stack's collision
+/// slot, `k-robin`'s round-robin cursor, and so on. Creating a handle is
+/// cheap and should be done once per worker thread.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d::{ConcurrentStack, StackHandle, Params, Stack2D};
+///
+/// fn drain<S: ConcurrentStack<u32>>(stack: &S) -> usize {
+///     let mut h = stack.handle();
+///     let mut n = 0;
+///     while h.pop().is_some() {
+///         n += 1;
+///     }
+///     n
+/// }
+///
+/// let s = Stack2D::new(Params::default());
+/// s.push(1);
+/// s.push(2);
+/// assert_eq!(drain(&s), 2);
+/// ```
+pub trait ConcurrentStack<T: Send>: Send + Sync {
+    /// The per-thread access handle.
+    type Handle<'a>: StackHandle<T>
+    where
+        Self: 'a,
+        T: 'a;
+
+    /// Registers a handle for the calling thread.
+    fn handle(&self) -> Self::Handle<'_>;
+
+    /// Short algorithm name as used in the paper's legends
+    /// (`"2D-stack"`, `"treiber"`, `"elimination"`, `"k-segment"`,
+    /// `"random"`, `"random-c2"`, `"k-robin"`).
+    fn name(&self) -> &'static str;
+
+    /// The deterministic k-out-of-order bound, if the algorithm has one.
+    ///
+    /// `Some(0)` means strict stack semantics; `None` means the algorithm
+    /// provides no deterministic bound (e.g. `random`).
+    fn relaxation_bound(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Per-thread operations on a [`ConcurrentStack`].
+pub trait StackHandle<T> {
+    /// Pushes `value`.
+    fn push(&mut self, value: T);
+
+    /// Pops an item; `None` when the stack was observed empty.
+    fn pop(&mut self) -> Option<T>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Params, Stack2D};
+
+    // Compile-time checks that the trait is usable generically with scoped
+    // threads, which is how the workload runner consumes it.
+    fn parallel_sum<S: ConcurrentStack<u64>>(stack: &S, threads: usize, per: usize) -> u64 {
+        std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for t in 0..threads {
+                joins.push(scope.spawn(move || {
+                    let mut h = stack.handle();
+                    for i in 0..per {
+                        h.push((t * per + i) as u64);
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+        });
+        let mut h = stack.handle();
+        let mut sum = 0;
+        while let Some(v) = h.pop() {
+            sum += v;
+        }
+        sum
+    }
+
+    #[test]
+    fn generic_driver_works_over_the_trait() {
+        let stack = Stack2D::new(Params::new(4, 2, 1).unwrap());
+        let n = 4 * 500u64;
+        let expect = n * (n - 1) / 2;
+        assert_eq!(parallel_sum(&stack, 4, 500), expect);
+    }
+
+    #[test]
+    fn default_relaxation_bound_is_none() {
+        struct Dummy;
+        struct DummyHandle;
+        impl StackHandle<u8> for DummyHandle {
+            fn push(&mut self, _: u8) {}
+            fn pop(&mut self) -> Option<u8> {
+                None
+            }
+        }
+        impl ConcurrentStack<u8> for Dummy {
+            type Handle<'a> = DummyHandle;
+            fn handle(&self) -> DummyHandle {
+                DummyHandle
+            }
+            fn name(&self) -> &'static str {
+                "dummy"
+            }
+        }
+        assert_eq!(Dummy.relaxation_bound(), None);
+    }
+}

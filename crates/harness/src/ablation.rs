@@ -1,0 +1,192 @@
+//! Ablation experiment — which 2D-Stack mechanism buys what.
+//!
+//! The paper motivates three mechanisms (§3–4): contention-avoiding random
+//! hops on a failed CAS, the two-phase (random + round-robin) search, and
+//! locality (start at the last successful sub-stack; increasingly valuable
+//! as `depth` grows). This experiment measures the full design against
+//! variants with one mechanism removed — the evidence behind DESIGN.md's
+//! design-choice claims — plus the horizontal-vs-vertical split of a fixed
+//! relaxation budget.
+
+use serde::{Deserialize, Serialize};
+
+use stack2d::{Params, Stack2D};
+use stack2d_workload::OpMix;
+
+use crate::algorithms::{AblationVariant, AnyStack};
+use crate::experiment::{measure_stack, DataPoint, Settings};
+use crate::report::{fmt_ops, Table};
+
+/// Parameters of the ablation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AblationSpec {
+    /// Thread count.
+    pub threads: usize,
+    /// Window parameters used for the mechanism ablations.
+    pub width: usize,
+    /// Window depth.
+    pub depth: usize,
+    /// Window shift.
+    pub shift: usize,
+}
+
+impl AblationSpec {
+    /// Default: the high-throughput configuration for `threads`, with a
+    /// deeper window so locality matters.
+    pub fn new(threads: usize) -> Self {
+        AblationSpec { threads, width: 4 * threads.max(1), depth: 4, shift: 2 }
+    }
+
+    fn params(&self) -> Params {
+        Params::new(self.width, self.depth, self.shift).expect("valid ablation params")
+    }
+}
+
+/// Measures every [`AblationVariant`] under `spec`.
+pub fn run_mechanisms(spec: &AblationSpec, settings: &Settings) -> Vec<DataPoint> {
+    let params = spec.params();
+    AblationVariant::ALL
+        .iter()
+        .map(|v| {
+            measure_stack(
+                v.name(),
+                || match AnyStack::two_d_with_config(v.config(params)) {
+                    s @ AnyStack::TwoD(_) => s,
+                    _ => unreachable!(),
+                },
+                spec.threads,
+                settings,
+                OpMix::symmetric(),
+            )
+        })
+        .collect()
+}
+
+/// Splits a fixed relaxation budget `k` between the horizontal and vertical
+/// dimensions: from all-width (`depth=1`) to all-depth (`width` small), the
+/// trade-off behind Figure 1's "switches from horizontal to vertical"
+/// observation.
+pub fn run_dimension_split(
+    k: usize,
+    threads: usize,
+    settings: &Settings,
+) -> Vec<DataPoint> {
+    // Candidate (width, depth, shift=depth) combos with k_bound <= k.
+    let mut combos: Vec<Params> = Vec::new();
+    let mut width = 2usize;
+    while width <= 8 * threads.max(1) {
+        // k = 3 d (w - 1)  =>  d = k / (3 (w - 1))
+        let d = (k / (3 * (width - 1))).max(1);
+        if let Ok(p) = Params::new(width, d, d) {
+            if p.k_bound() <= k {
+                combos.push(p);
+            }
+        }
+        width *= 2;
+    }
+    combos
+        .into_iter()
+        .map(|p| {
+            measure_stack(
+                &format!("w{}d{}", p.width(), p.depth()),
+                move || Stack2D::new(p),
+                threads,
+                settings,
+                OpMix::symmetric(),
+            )
+        })
+        .collect()
+}
+
+/// Explains the mechanism ablation with the core's operation counters:
+/// runs a fixed workload per variant and reports probes/op, contention and
+/// window-shift rates (the event frequencies the paper's §3 reasons
+/// about).
+pub fn run_mechanism_metrics(spec: &AblationSpec, ops_per_thread: usize) -> Table {
+    use stack2d_workload::{prefill, run_fixed_ops, OpMix};
+    let params = spec.params();
+    let mut t = Table::new([
+        "variant",
+        "probes/op",
+        "cas-fail/op",
+        "shifts/op",
+        "restarts",
+        "empty-pops",
+    ]);
+    for v in AblationVariant::ALL {
+        let stack = Stack2D::with_config(v.config(params));
+        prefill(&stack, 1_024);
+        stack.reset_metrics();
+        run_fixed_ops(&stack, spec.threads, ops_per_thread, OpMix::symmetric(), 3);
+        let m = stack.metrics();
+        t.push_row([
+            v.name().to_string(),
+            format!("{:.2}", m.probes_per_op()),
+            format!("{:.4}", m.contention_rate()),
+            format!("{:.4}", m.shift_rate()),
+            m.global_restarts.to_string(),
+            m.empty_pops.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders ablation points.
+pub fn to_table(points: &[DataPoint]) -> Table {
+    let mut t = Table::new(["variant", "bound", "throughput", "ops/s", "mean-err", "max-err"]);
+    for p in points {
+        t.push_row([
+            p.algo.clone(),
+            p.k_bound.map(|k| k.to_string()).unwrap_or_else(|| "-".into()),
+            fmt_ops(p.throughput),
+            format!("{:.0}", p.throughput),
+            format!("{:.2}", p.quality.mean),
+            p.quality.max.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mechanism_ablation_covers_all_variants() {
+        let spec = AblationSpec { threads: 2, width: 4, depth: 2, shift: 1 };
+        let points = run_mechanisms(&spec, &Settings::smoke());
+        assert_eq!(points.len(), AblationVariant::ALL.len());
+        let names: Vec<&str> = points.iter().map(|p| p.algo.as_str()).collect();
+        assert!(names.contains(&"full"));
+        assert!(names.contains(&"no-locality"));
+        for p in &points {
+            assert!(p.throughput > 0.0, "{}: zero throughput", p.algo);
+        }
+    }
+
+    #[test]
+    fn dimension_split_respects_budget() {
+        let points = run_dimension_split(300, 2, &Settings::smoke());
+        assert!(!points.is_empty());
+        for p in &points {
+            assert!(p.k_bound.unwrap() <= 300, "{}: bound exceeds budget", p.algo);
+            assert!(p.algo.starts_with('w'));
+        }
+    }
+
+    #[test]
+    fn mechanism_metrics_table_has_all_variants() {
+        let spec = AblationSpec { threads: 2, width: 4, depth: 2, shift: 1 };
+        let t = run_mechanism_metrics(&spec, 2_000);
+        assert_eq!(t.len(), super::AblationVariant::ALL.len());
+        assert!(t.to_text().contains("probes/op"));
+    }
+
+    #[test]
+    fn table_renders() {
+        let spec = AblationSpec { threads: 1, width: 2, depth: 1, shift: 1 };
+        let points = run_mechanisms(&spec, &Settings::smoke());
+        let text = to_table(&points).to_text();
+        assert!(text.contains("full"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Asymmetric-workload experiment — §2's claim that elimination back-off
+//! "mostly benefits symmetric workloads ... its performance deteriorates
+//! when workloads are asymmetric".
+//!
+//! Sweeps the push fraction from 10% to 90% with the elimination stack, the
+//! Treiber stack and the 2D-Stack. Elimination pairs a pop with a
+//! concurrent push; under an asymmetric mix the minority operation runs
+//! out of partners, collisions fail, and throughput falls back to the
+//! central stack. The 2D-Stack has no pairing requirement so it should be
+//! insensitive to the mix (until the all-pop mix empties the stack).
+
+use serde::{Deserialize, Serialize};
+
+use stack2d_workload::OpMix;
+
+use crate::algorithms::{Algorithm, BuildSpec};
+use crate::experiment::{measure, DataPoint, Settings};
+use crate::report::{fmt_ops, Table};
+
+/// Parameters of the asymmetry sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsymmetrySpec {
+    /// Thread count.
+    pub threads: usize,
+    /// Push percentages to sweep.
+    pub push_percents: Vec<u16>,
+    /// Algorithms to compare.
+    pub algorithms: Vec<String>,
+}
+
+impl AsymmetrySpec {
+    /// Default: 10%..90% pushes, elimination vs treiber vs 2D-stack.
+    pub fn new(threads: usize) -> Self {
+        AsymmetrySpec {
+            threads,
+            push_percents: vec![10, 30, 50, 70, 90],
+            algorithms: vec![
+                Algorithm::Elimination.name().into(),
+                Algorithm::Treiber.name().into(),
+                Algorithm::TwoD.name().into(),
+            ],
+        }
+    }
+}
+
+/// Runs the sweep; each point also records the mix in `k_budget`-free form
+/// via the returned pairing.
+pub fn run(spec: &AsymmetrySpec, settings: &Settings) -> Vec<(u16, DataPoint)> {
+    let mut out = Vec::new();
+    for &pct in &spec.push_percents {
+        for name in &spec.algorithms {
+            let algo = Algorithm::from_name(name).expect("unknown algorithm in spec");
+            let point = measure(
+                algo,
+                BuildSpec::high_throughput(spec.threads),
+                settings,
+                OpMix::push_percent(pct),
+            );
+            out.push((pct, point));
+        }
+    }
+    out
+}
+
+/// Renders the sweep.
+pub fn to_table(points: &[(u16, DataPoint)]) -> Table {
+    let mut t = Table::new(["push%", "algo", "throughput", "ops/s", "mean-err"]);
+    for (pct, p) in points {
+        t.push_row([
+            pct.to_string(),
+            p.algo.clone(),
+            fmt_ops(p.throughput),
+            format!("{:.0}", p.throughput),
+            format!("{:.2}", p.quality.mean),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_sweeps_both_directions() {
+        let spec = AsymmetrySpec::new(4);
+        assert!(spec.push_percents.contains(&10));
+        assert!(spec.push_percents.contains(&90));
+        assert!(spec.push_percents.contains(&50));
+    }
+
+    #[test]
+    fn smoke_run_produces_all_points() {
+        let spec = AsymmetrySpec {
+            threads: 2,
+            push_percents: vec![30, 70],
+            algorithms: vec!["treiber".into(), "2D-stack".into()],
+        };
+        let points = run(&spec, &Settings::smoke());
+        assert_eq!(points.len(), 4);
+        for (_, p) in &points {
+            assert!(p.throughput > 0.0);
+        }
+        assert!(to_table(&points).to_text().contains("push%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown algorithm")]
+    fn bad_algorithm_name_panics() {
+        let spec = AsymmetrySpec {
+            threads: 1,
+            push_percents: vec![50],
+            algorithms: vec!["bogus".into()],
+        };
+        run(&spec, &Settings::smoke());
+    }
+}

@@ -1,0 +1,36 @@
+//! Ablation experiments: what each 2D-Stack mechanism contributes
+//! (hop-on-contention, two-phase search, locality), and how a fixed
+//! relaxation budget splits between width and depth.
+//!
+//! ```text
+//! STACK2D_THREADS=8 cargo run --release -p stack2d-harness --bin ablation
+//! ```
+
+use stack2d_harness::ablation::{run_dimension_split, run_mechanisms, to_table, AblationSpec};
+use stack2d_harness::{write_csv, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let threads: usize = std::env::var("STACK2D_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    let spec = AblationSpec::new(threads);
+    eprintln!("ablation (mechanisms): P={threads}, params w={} d={} s={}", spec.width, spec.depth, spec.shift);
+    let mech = run_mechanisms(&spec, &settings);
+    let mech_table = to_table(&mech);
+    println!("mechanism ablation\n{}", mech_table.to_text());
+    let _ = write_csv("ablation_mechanisms.csv", &mech_table);
+
+    let metrics_table = stack2d_harness::ablation::run_mechanism_metrics(&spec, 20_000);
+    println!("mechanism event rates (fixed 20k ops/thread)\n{}", metrics_table.to_text());
+    let _ = write_csv("ablation_metrics.csv", &metrics_table);
+
+    let k = 3 * (4 * threads - 1); // the budget Params::for_threads implies
+    eprintln!("ablation (dimension split): k={k}");
+    let dims = run_dimension_split(k * 4, threads, &settings);
+    let dims_table = to_table(&dims);
+    println!("dimension split (fixed k budget)\n{}", dims_table.to_text());
+    let _ = write_csv("ablation_dimensions.csv", &dims_table);
+}

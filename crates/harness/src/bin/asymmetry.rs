@@ -1,0 +1,29 @@
+//! Asymmetric-mix experiment backing §2's claim that elimination back-off
+//! deteriorates on asymmetric workloads while the 2D-Stack does not care.
+//!
+//! ```text
+//! STACK2D_THREADS=8 cargo run --release -p stack2d-harness --bin asymmetry
+//! ```
+
+use stack2d_harness::asymmetry::{run, to_table, AsymmetrySpec};
+use stack2d_harness::{write_csv, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let threads: usize = std::env::var("STACK2D_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let spec = AsymmetrySpec::new(threads);
+    eprintln!(
+        "asymmetry sweep: P={threads}, push% {:?}",
+        spec.push_percents
+    );
+    let points = run(&spec, &settings);
+    let table = to_table(&points);
+    println!("{}", table.to_text());
+    match write_csv("asymmetry.csv", &table) {
+        Ok(path) => eprintln!("csv written to {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Figure 1** of the paper: throughput and observed accuracy
+//! as the relaxation bound k increases, for the k-bounded algorithms
+//! (`2D-stack`, `k-robin`, `k-segment`).
+//!
+//! ```text
+//! STACK2D_THREADS=8 STACK2D_DURATION_MS=5000 STACK2D_REPEATS=5 \
+//!   cargo run --release -p stack2d-harness --bin fig1
+//! ```
+
+use stack2d_harness::fig1::{run, to_table, Fig1Spec};
+use stack2d_harness::{write_csv, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let threads: usize = std::env::var("STACK2D_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let spec = Fig1Spec::new(threads);
+    eprintln!(
+        "figure 1: relaxation sweep, P={threads}, k in {:?}, {} ms x {} repeats",
+        spec.k_grid, settings.duration_ms, settings.repeats
+    );
+    let points = run(&spec, &settings);
+    let table = to_table(&points);
+    println!("{}", table.to_text());
+    match write_csv(&format!("fig1_p{threads}.csv"), &table) {
+        Ok(path) => eprintln!("csv written to {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates **Figure 2** of the paper: throughput and observed accuracy
+//! as concurrency increases, for all seven algorithms in their
+//! high-throughput configurations.
+//!
+//! ```text
+//! STACK2D_MAX_THREADS=16 STACK2D_DURATION_MS=5000 STACK2D_REPEATS=5 \
+//!   cargo run --release -p stack2d-harness --bin fig2
+//! ```
+
+use stack2d_harness::fig2::{run, to_table, Fig2Spec};
+use stack2d_harness::{write_csv, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let full = std::env::var("STACK2D_FULL_GRID").is_ok();
+    let spec = if full { Fig2Spec::paper() } else { Fig2Spec::new(settings.max_threads) };
+    eprintln!(
+        "figure 2: scalability sweep, threads {:?}, {} ms x {} repeats",
+        spec.thread_grid, settings.duration_ms, settings.repeats
+    );
+    let points = run(&spec, &settings);
+    let table = to_table(&points);
+    println!("{}", table.to_text());
+    match write_csv("fig2.csv", &table) {
+        Ok(path) => eprintln!("csv written to {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates the configuration-selection evidence: the width sweep
+//! behind the paper's "4P is optimal" choice and the shift trade-off.
+//!
+//! ```text
+//! STACK2D_THREADS=8 cargo run --release -p stack2d-harness --bin tuning
+//! ```
+
+use stack2d_harness::tuning::{
+    run_shift_sweep, run_width_sweep, shift_table, width_table, WidthSweepSpec,
+};
+use stack2d_harness::{write_csv, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let threads: usize = std::env::var("STACK2D_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    eprintln!("width sweep: P={threads}, width = m*P");
+    let points = run_width_sweep(&WidthSweepSpec::new(threads), &settings);
+    let t = width_table(&points);
+    println!("width selection (paper: 4P optimal)\n{}", t.to_text());
+    let _ = write_csv("tuning_width.csv", &t);
+
+    let (width, depth) = (4 * threads, 8);
+    eprintln!("shift sweep: width={width} depth={depth}");
+    let points = run_shift_sweep(threads, width, depth, &settings);
+    let t = shift_table(&points);
+    println!("shift trade-off (fixed width/depth)\n{}", t.to_text());
+    let _ = write_csv("tuning_shift.csv", &t);
+}

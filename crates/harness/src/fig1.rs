@@ -1,0 +1,115 @@
+//! Figure 1 — *"Throughput and observed accuracy as the k bound for
+//! relaxation increases (k-bounded algorithms)"*.
+//!
+//! Sweeps the relaxation budget `k` on a log grid and measures throughput
+//! and mean error distance for the three k-bounded algorithms (`2D-stack`,
+//! `k-robin`, `k-segment`) at a fixed thread count. The paper runs this at
+//! P = 8 and P = 16; the thread count here comes from [`Fig1Spec`].
+//!
+//! What the shape should show (paper §4):
+//! * 2D-stack dominates throughput at every k;
+//! * at low k it wins through contention-avoiding hops (k-robin retries the
+//!   same sub-stack);
+//! * quality (error distance) degrades roughly linearly in k for k-robin /
+//!   k-segment, while the 2D-stack degrades more slowly once it switches
+//!   from widening to deepening (`width` saturates at 4P).
+
+use serde::{Deserialize, Serialize};
+
+use stack2d_workload::OpMix;
+
+use crate::algorithms::{Algorithm, BuildSpec};
+use crate::experiment::{measure, DataPoint, Settings};
+use crate::report::{fmt_ops, Table};
+
+/// Parameters of the Figure 1 sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fig1Spec {
+    /// Thread count (the paper uses 8 and 16).
+    pub threads: usize,
+    /// The k grid (log-spaced in the paper's plots).
+    pub k_grid: Vec<usize>,
+}
+
+impl Fig1Spec {
+    /// The default log grid over `k ∈ [1, 10^4]` at the given thread count.
+    pub fn new(threads: usize) -> Self {
+        Fig1Spec {
+            threads,
+            k_grid: vec![1, 3, 9, 27, 81, 243, 729, 2_187, 6_561],
+        }
+    }
+}
+
+/// Runs the Figure 1 sweep.
+pub fn run(spec: &Fig1Spec, settings: &Settings) -> Vec<DataPoint> {
+    let mut points = Vec::new();
+    for &k in &spec.k_grid {
+        for algo in Algorithm::K_BOUNDED {
+            points.push(measure(
+                algo,
+                BuildSpec::with_k(spec.threads, k),
+                settings,
+                OpMix::symmetric(),
+            ));
+        }
+    }
+    points
+}
+
+/// Renders the sweep as the paper's two series (throughput solid, error
+/// distance dotted) in table form.
+pub fn to_table(points: &[DataPoint]) -> Table {
+    let mut t = Table::new([
+        "k",
+        "algo",
+        "bound",
+        "throughput",
+        "ops/s",
+        "mean-err",
+        "p99-err",
+        "max-err",
+    ]);
+    for p in points {
+        t.push_row([
+            p.k_budget.map(|k| k.to_string()).unwrap_or_default(),
+            p.algo.clone(),
+            p.k_bound.map(|k| k.to_string()).unwrap_or_else(|| "-".into()),
+            fmt_ops(p.throughput),
+            format!("{:.0}", p.throughput),
+            format!("{:.2}", p.quality.mean),
+            p.quality.p99.to_string(),
+            p.quality.max.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_is_log_spaced_and_sorted() {
+        let spec = Fig1Spec::new(8);
+        assert!(spec.k_grid.windows(2).all(|w| w[0] < w[1]));
+        assert!(*spec.k_grid.first().unwrap() >= 1);
+        assert!(*spec.k_grid.last().unwrap() >= 1_000);
+    }
+
+    #[test]
+    fn smoke_sweep_covers_all_bounded_algorithms() {
+        let spec = Fig1Spec { threads: 2, k_grid: vec![9, 81] };
+        let points = run(&spec, &Settings::smoke());
+        assert_eq!(points.len(), 2 * 3);
+        for algo in Algorithm::K_BOUNDED {
+            assert!(points.iter().any(|p| p.algo == algo.name()));
+        }
+        for p in &points {
+            assert!(p.throughput > 0.0, "{}: zero throughput", p.algo);
+        }
+        let table = to_table(&points);
+        assert_eq!(table.len(), points.len());
+        assert!(table.to_text().contains("2D-stack"));
+    }
+}

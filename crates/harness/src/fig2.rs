@@ -1,0 +1,128 @@
+//! Figure 2 — *"Throughput and observed accuracy as concurrency
+//! increases"*.
+//!
+//! Sweeps the thread count with every algorithm in its high-throughput
+//! configuration, including the two strict baselines (`elimination`,
+//! `treiber`) the paper adds "to compare the power of relaxation ... to
+//! other strict semantics efficiency improvement techniques".
+//!
+//! The paper's shape: the 2D-stack keeps gaining throughput with threads
+//! (including across the NUMA boundary); treiber/elimination flatten early;
+//! `random`/`random-c2`/`k-segment` hold roughly constant quality (fixed
+//! sub-stack count) while `k-robin` trades throughput for quality as it
+//! sheds sub-stacks. Each row is labelled with the NUMA regime the paper's
+//! testbed would put that thread count in.
+
+use serde::{Deserialize, Serialize};
+
+use stack2d_workload::affinity::{regime, NumaRegime, Topology};
+use stack2d_workload::OpMix;
+
+use crate::algorithms::{Algorithm, BuildSpec};
+use crate::experiment::{measure, DataPoint, Settings};
+use crate::report::{fmt_ops, Table};
+
+/// Parameters of the Figure 2 sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fig2Spec {
+    /// Thread counts to sweep (paper: 1..=16, one per core).
+    pub thread_grid: Vec<usize>,
+}
+
+impl Fig2Spec {
+    /// Thread grid 1, 2, 4, … up to `max_threads` (powers of two keep the
+    /// sweep tractable; pass the paper's 1..=16 for the full grid).
+    pub fn new(max_threads: usize) -> Self {
+        let mut grid = Vec::new();
+        let mut p = 1;
+        while p <= max_threads.max(1) {
+            grid.push(p);
+            p *= 2;
+        }
+        Fig2Spec { thread_grid: grid }
+    }
+
+    /// The paper's full 1..=16 grid.
+    pub fn paper() -> Self {
+        Fig2Spec { thread_grid: (1..=16).collect() }
+    }
+}
+
+/// Runs the Figure 2 sweep.
+pub fn run(spec: &Fig2Spec, settings: &Settings) -> Vec<DataPoint> {
+    let mut points = Vec::new();
+    for &threads in &spec.thread_grid {
+        for algo in Algorithm::ALL {
+            points.push(measure(
+                algo,
+                BuildSpec::high_throughput(threads),
+                settings,
+                OpMix::symmetric(),
+            ));
+        }
+    }
+    points
+}
+
+fn regime_name(r: NumaRegime) -> &'static str {
+    match r {
+        NumaRegime::IntraSocket => "intra-socket",
+        NumaRegime::InterSocket => "inter-socket",
+        NumaRegime::HyperThreaded => "hyperthread",
+    }
+}
+
+/// Renders the sweep with the paper's NUMA-regime annotation.
+pub fn to_table(points: &[DataPoint]) -> Table {
+    let topo = Topology::paper_xeon();
+    let mut t = Table::new([
+        "threads",
+        "numa",
+        "algo",
+        "throughput",
+        "ops/s",
+        "mean-err",
+        "p99-err",
+        "max-err",
+    ]);
+    for p in points {
+        t.push_row([
+            p.threads.to_string(),
+            regime_name(regime(p.threads, topo)).to_string(),
+            p.algo.clone(),
+            fmt_ops(p.throughput),
+            format!("{:.0}", p.throughput),
+            format!("{:.2}", p.quality.mean),
+            p.quality.p99.to_string(),
+            p.quality.max.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_powers_of_two_capped() {
+        assert_eq!(Fig2Spec::new(8).thread_grid, vec![1, 2, 4, 8]);
+        assert_eq!(Fig2Spec::new(1).thread_grid, vec![1]);
+        assert_eq!(Fig2Spec::paper().thread_grid.len(), 16);
+    }
+
+    #[test]
+    fn smoke_sweep_covers_all_algorithms() {
+        let spec = Fig2Spec { thread_grid: vec![1, 2] };
+        let points = run(&spec, &Settings::smoke());
+        assert_eq!(points.len(), 2 * Algorithm::ALL.len());
+        for p in &points {
+            assert!(p.throughput > 0.0, "{} @ {}: zero throughput", p.algo, p.threads);
+        }
+        let table = to_table(&points);
+        let text = table.to_text();
+        assert!(text.contains("intra-socket"));
+        assert!(text.contains("treiber"));
+        assert!(text.contains("elimination"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Plain-text and CSV rendering of experiment results.
+//!
+//! The paper plots figures; this harness prints the same series as aligned
+//! text tables (one row per point, throughput and error distance side by
+//! side, log-scale-friendly values) and machine-readable CSV for external
+//! plotting.
+
+use std::fmt::Write as _;
+
+/// A rectangular table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        render(&mut out, &self.headers);
+        let total = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (cells containing commas/quotes are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let mut emit = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&self.headers);
+        for row in &self.rows {
+            emit(row);
+        }
+        out
+    }
+}
+
+/// Formats a throughput in ops/s with engineering units (`12.3M`, `456k`),
+/// matching the magnitudes the paper's log axes show.
+pub fn fmt_ops(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1e9 {
+        format!("{:.2}G", ops_per_sec / 1e9)
+    } else if ops_per_sec >= 1e6 {
+        format!("{:.2}M", ops_per_sec / 1e6)
+    } else if ops_per_sec >= 1e3 {
+        format!("{:.1}k", ops_per_sec / 1e3)
+    } else {
+        format!("{ops_per_sec:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_is_aligned() {
+        let mut t = Table::new(["algo", "ops/s"]);
+        t.push_row(["2D-stack", "12.3M"]);
+        t.push_row(["treiber", "900k"]);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows share the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[2].contains("2D-stack"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(["x"]);
+        t.push_row(["a,b"]);
+        t.push_row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_has_header_plus_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fmt_ops_units() {
+        assert_eq!(fmt_ops(1_234.0), "1.2k");
+        assert_eq!(fmt_ops(12_300_000.0), "12.30M");
+        assert_eq!(fmt_ops(2.5e9), "2.50G");
+        assert_eq!(fmt_ops(999.0), "999");
+    }
+}

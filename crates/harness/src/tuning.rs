@@ -1,0 +1,186 @@
+//! Parameter-tuning experiments behind the paper's configuration choices.
+//!
+//! Two claims of §4 are configuration decisions the brief announcement
+//! inherits from the full technical report (reference \[8\] of the paper):
+//!
+//! * *"we select 4P ... as the optimal performance configuration for
+//!   2D-stack width"* — [`run_width_sweep`] regenerates the width-vs-
+//!   throughput/quality curve (width = m·P for m ∈ 1..=8) that selection
+//!   rests on;
+//! * `shift <= depth` trades `Global` update frequency against relaxation —
+//!   [`run_shift_sweep`] measures throughput, quality and the window-shift
+//!   rate for `shift ∈ {1, …, depth}` at fixed width/depth.
+
+use serde::{Deserialize, Serialize};
+
+use stack2d::{Params, Stack2D};
+use stack2d_workload::{prefill, run_fixed_ops, OpMix};
+
+use crate::experiment::{measure_stack, DataPoint, Settings};
+use crate::report::{fmt_ops, Table};
+
+/// Parameters of the width sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WidthSweepSpec {
+    /// Thread count `P`.
+    pub threads: usize,
+    /// Width multipliers to test (width = multiplier × P).
+    pub multipliers: Vec<usize>,
+}
+
+impl WidthSweepSpec {
+    /// Multipliers 1..=8, bracketing the paper's chosen 4.
+    pub fn new(threads: usize) -> Self {
+        WidthSweepSpec { threads, multipliers: vec![1, 2, 4, 6, 8] }
+    }
+}
+
+/// Runs the width sweep (depth = shift = 1, the Figure 2 window shape).
+pub fn run_width_sweep(spec: &WidthSweepSpec, settings: &Settings) -> Vec<DataPoint> {
+    spec.multipliers
+        .iter()
+        .map(|&m| {
+            let width = (m * spec.threads).max(1);
+            let params = Params::new(width, 1, 1).expect("valid width-sweep params");
+            measure_stack(
+                &format!("{m}P"),
+                move || Stack2D::new(params),
+                spec.threads,
+                settings,
+                OpMix::symmetric(),
+            )
+        })
+        .collect()
+}
+
+/// One row of the shift sweep: measured point plus window event rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShiftPoint {
+    /// The measured throughput/quality point.
+    pub point: DataPoint,
+    /// Window shifts (up + down) per operation.
+    pub shift_rate: f64,
+    /// Sub-stack probes per operation.
+    pub probes_per_op: f64,
+}
+
+/// Runs the shift sweep at fixed `width` and `depth` for `shift ∈ 1..=depth`.
+pub fn run_shift_sweep(
+    threads: usize,
+    width: usize,
+    depth: usize,
+    settings: &Settings,
+) -> Vec<ShiftPoint> {
+    (1..=depth)
+        .map(|shift| {
+            let params = Params::new(width, depth, shift).expect("valid shift-sweep params");
+            let point = measure_stack(
+                &format!("shift={shift}"),
+                move || Stack2D::new(params),
+                threads,
+                settings,
+                OpMix::symmetric(),
+            );
+            // Separate fixed-ops pass for the event rates.
+            let stack = Stack2D::new(params);
+            prefill(&stack, settings.prefill);
+            stack.reset_metrics();
+            run_fixed_ops(&stack, threads, 10_000, OpMix::symmetric(), 5);
+            let m = stack.metrics();
+            ShiftPoint { point, shift_rate: m.shift_rate(), probes_per_op: m.probes_per_op() }
+        })
+        .collect()
+}
+
+/// Renders the width sweep.
+pub fn width_table(points: &[DataPoint]) -> Table {
+    let mut t = Table::new(["width", "bound", "throughput", "ops/s", "mean-err", "max-err"]);
+    for p in points {
+        t.push_row([
+            p.algo.clone(),
+            p.k_bound.map(|k| k.to_string()).unwrap_or_default(),
+            fmt_ops(p.throughput),
+            format!("{:.0}", p.throughput),
+            format!("{:.2}", p.quality.mean),
+            p.quality.max.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the shift sweep.
+pub fn shift_table(points: &[ShiftPoint]) -> Table {
+    let mut t = Table::new([
+        "shift",
+        "bound",
+        "throughput",
+        "mean-err",
+        "shifts/op",
+        "probes/op",
+    ]);
+    for sp in points {
+        t.push_row([
+            sp.point.algo.clone(),
+            sp.point.k_bound.map(|k| k.to_string()).unwrap_or_default(),
+            fmt_ops(sp.point.throughput),
+            format!("{:.2}", sp.point.quality.mean),
+            format!("{:.4}", sp.shift_rate),
+            format!("{:.2}", sp.probes_per_op),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_sweep_scales_bound_with_multiplier() {
+        let spec = WidthSweepSpec { threads: 2, multipliers: vec![1, 4] };
+        let points = run_width_sweep(&spec, &Settings::smoke());
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].algo, "1P");
+        assert_eq!(points[1].algo, "4P");
+        // k = 3(width - 1): multiplier 4 has the larger bound.
+        assert!(points[1].k_bound.unwrap() > points[0].k_bound.unwrap());
+        assert!(width_table(&points).to_text().contains("4P"));
+    }
+
+    #[test]
+    fn shift_sweep_covers_one_to_depth() {
+        let points = run_shift_sweep(2, 8, 3, &Settings::smoke());
+        assert_eq!(points.len(), 3);
+        for (i, sp) in points.iter().enumerate() {
+            assert_eq!(sp.point.algo, format!("shift={}", i + 1));
+            assert!(sp.probes_per_op >= 1.0, "at least one probe per op");
+        }
+        // Larger shift ⇒ larger k bound at fixed width/depth.
+        assert!(points[2].point.k_bound.unwrap() > points[0].point.k_bound.unwrap());
+        assert!(shift_table(&points).to_text().contains("shifts/op"));
+    }
+
+    #[test]
+    fn larger_shift_reduces_window_shift_frequency_under_fill() {
+        // The point of shift > 1: fewer Global updates under sustained
+        // directional pressure. (Under symmetric churn a large shift can
+        // overshoot and oscillate, which is exactly the trade-off the
+        // sweep exists to expose.)
+        let shift_rate = |shift: usize| {
+            let stack = Stack2D::new(Params::new(2, 6, shift).unwrap());
+            let mut h = stack.handle_seeded(7);
+            for i in 0..6_000u64 {
+                h.push(i);
+            }
+            let m = stack.metrics();
+            m.shifts_up as f64 / m.ops as f64
+        };
+        let small = shift_rate(1);
+        let large = shift_rate(6);
+        assert!(
+            large < small / 2.0,
+            "shift=6 must raise Global far less often than shift=1 \
+             ({small:.4} vs {large:.4})"
+        );
+    }
+}

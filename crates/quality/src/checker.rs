@@ -1,0 +1,361 @@
+//! Offline semantic checkers.
+//!
+//! Two kinds of verification back the repo's claims:
+//!
+//! * [`check_k_out_of_order`] replays a *single-threaded* operation trace
+//!   and verifies every pop returned an item within `k` positions of the
+//!   strict stack's top — this is how the property tests validate
+//!   Theorem 1's bound `k = (2*shift + depth)*(width-1)` for arbitrary
+//!   parameters.
+//! * [`Conservation`] performs item accounting for *concurrent* runs: no
+//!   item is lost, duplicated, or invented. (Out-of-order distance is not
+//!   deterministically checkable under concurrency without a linearization,
+//!   which is exactly why the paper — and this repo — measures concurrent
+//!   quality with the [oracle](crate::oracle) instead.)
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::oracle::{Label, Oracle};
+
+/// One event of a recorded single-threaded trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A push of the given label.
+    Push(Label),
+    /// A pop that returned the given label.
+    Pop(Label),
+    /// A pop that reported the stack empty.
+    PopEmpty,
+}
+
+/// A violation of k-out-of-order stack semantics found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A pop returned an item `distance` positions from the top, with
+    /// `distance > k`.
+    OutOfOrder {
+        /// Index of the offending op in the trace.
+        op_index: usize,
+        /// The popped label.
+        label: Label,
+        /// Its distance from the strict top.
+        distance: u32,
+        /// The bound that was exceeded.
+        k: usize,
+    },
+    /// A pop returned a label that was never pushed or already popped.
+    UnknownLabel {
+        /// Index of the offending op in the trace.
+        op_index: usize,
+        /// The offending label.
+        label: Label,
+    },
+    /// A pop reported empty while items were resident.
+    FalseEmpty {
+        /// Index of the offending op in the trace.
+        op_index: usize,
+        /// Number of items actually resident.
+        resident: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OutOfOrder { op_index, label, distance, k } => write!(
+                f,
+                "op {op_index}: pop({label}) was {distance} out of order (bound k={k})"
+            ),
+            Violation::UnknownLabel { op_index, label } => {
+                write!(f, "op {op_index}: pop returned unknown label {label}")
+            }
+            Violation::FalseEmpty { op_index, resident } => {
+                write!(f, "op {op_index}: pop reported empty with {resident} items resident")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Quality numbers extracted from a verified trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceReport {
+    /// Number of pops that returned an item.
+    pub pops: usize,
+    /// Largest observed out-of-order distance.
+    pub max_distance: u32,
+    /// Mean out-of-order distance.
+    pub mean_distance: f64,
+}
+
+/// Replays a single-threaded `trace` and checks k-out-of-order stack
+/// semantics with bound `k`.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_quality::checker::{check_k_out_of_order, TraceOp};
+///
+/// // push 1, push 2, pop 1 — distance 1, so k=0 rejects and k=1 accepts.
+/// let trace = [TraceOp::Push(1), TraceOp::Push(2), TraceOp::Pop(1)];
+/// assert!(check_k_out_of_order(&trace, 0).is_err());
+/// let report = check_k_out_of_order(&trace, 1).unwrap();
+/// assert_eq!(report.max_distance, 1);
+/// ```
+pub fn check_k_out_of_order(trace: &[TraceOp], k: usize) -> Result<TraceReport, Violation> {
+    let mut oracle = Oracle::new();
+    let mut pops = 0usize;
+    let mut max_distance = 0u32;
+    let mut sum_distance = 0f64;
+    for (op_index, op) in trace.iter().enumerate() {
+        match *op {
+            TraceOp::Push(label) => oracle.insert(label),
+            TraceOp::Pop(label) => {
+                let distance = oracle
+                    .delete(label)
+                    .ok_or(Violation::UnknownLabel { op_index, label })?;
+                if distance as usize > k {
+                    return Err(Violation::OutOfOrder { op_index, label, distance, k });
+                }
+                pops += 1;
+                max_distance = max_distance.max(distance);
+                sum_distance += distance as f64;
+            }
+            TraceOp::PopEmpty => {
+                if !oracle.is_empty() {
+                    return Err(Violation::FalseEmpty { op_index, resident: oracle.len() });
+                }
+            }
+        }
+    }
+    Ok(TraceReport {
+        pops,
+        max_distance,
+        mean_distance: if pops == 0 { 0.0 } else { sum_distance / pops as f64 },
+    })
+}
+
+/// Item-conservation accounting for concurrent runs.
+///
+/// Feed every pushed label and every popped label (from all threads, in any
+/// order); [`Conservation::verify`] then checks that pops ⊆ pushes with no
+/// duplicates, and that `remaining` matches what is left in the structure.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_quality::checker::Conservation;
+///
+/// let mut c = Conservation::new();
+/// c.pushed(1);
+/// c.pushed(2);
+/// c.popped(2);
+/// c.verify(&[1]).unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct Conservation {
+    pushed: HashSet<Label>,
+    popped: HashSet<Label>,
+    errors: Vec<String>,
+}
+
+impl Conservation {
+    /// Creates an empty accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a pushed label.
+    pub fn pushed(&mut self, label: Label) {
+        if !self.pushed.insert(label) {
+            self.errors.push(format!("label {label} pushed twice"));
+        }
+    }
+
+    /// Records a popped label. Push/pop cross-checks are deferred to
+    /// [`Conservation::verify`], so pushes and pops may be fed in any order
+    /// (e.g. per-thread logs).
+    pub fn popped(&mut self, label: Label) {
+        if !self.popped.insert(label) {
+            self.errors.push(format!("label {label} popped twice"));
+        }
+    }
+
+    /// Verifies the accounting against the labels still resident in the
+    /// structure after the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns every accounting discrepancy as a list of messages.
+    pub fn verify(mut self, remaining: &[Label]) -> Result<(), Vec<String>> {
+        for &l in &self.popped {
+            if !self.pushed.contains(&l) {
+                self.errors.push(format!("label {l} popped but never pushed"));
+            }
+        }
+        let mut rem_set = HashSet::new();
+        for &l in remaining {
+            if !rem_set.insert(l) {
+                self.errors.push(format!("label {l} resident twice"));
+            }
+            if self.popped.contains(&l) {
+                self.errors.push(format!("label {l} both popped and resident"));
+            }
+            if !self.pushed.contains(&l) {
+                self.errors.push(format!("label {l} resident but never pushed"));
+            }
+        }
+        let expected_remaining = self.pushed.len() as i64 - self.popped.len() as i64;
+        if rem_set.len() as i64 != expected_remaining {
+            self.errors.push(format!(
+                "residency mismatch: pushed {} - popped {} = {expected_remaining}, found {}",
+                self.pushed.len(),
+                self.popped.len(),
+                rem_set.len()
+            ));
+        }
+        if self.errors.is_empty() {
+            Ok(())
+        } else {
+            Err(self.errors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_trace_passes_k_zero() {
+        let trace = [
+            TraceOp::Push(1),
+            TraceOp::Push(2),
+            TraceOp::Pop(2),
+            TraceOp::Pop(1),
+            TraceOp::PopEmpty,
+        ];
+        let r = check_k_out_of_order(&trace, 0).unwrap();
+        assert_eq!(r.pops, 2);
+        assert_eq!(r.max_distance, 0);
+        assert_eq!(r.mean_distance, 0.0);
+    }
+
+    #[test]
+    fn out_of_order_beyond_k_is_flagged() {
+        let trace = [TraceOp::Push(1), TraceOp::Push(2), TraceOp::Push(3), TraceOp::Pop(1)];
+        let err = check_k_out_of_order(&trace, 1).unwrap_err();
+        assert_eq!(
+            err,
+            Violation::OutOfOrder { op_index: 3, label: 1, distance: 2, k: 1 }
+        );
+        assert!(check_k_out_of_order(&trace, 2).is_ok());
+    }
+
+    #[test]
+    fn unknown_label_is_flagged() {
+        let trace = [TraceOp::Push(1), TraceOp::Pop(9)];
+        assert_eq!(
+            check_k_out_of_order(&trace, 10).unwrap_err(),
+            Violation::UnknownLabel { op_index: 1, label: 9 }
+        );
+    }
+
+    #[test]
+    fn double_pop_is_flagged_as_unknown() {
+        let trace = [TraceOp::Push(1), TraceOp::Pop(1), TraceOp::Pop(1)];
+        assert!(matches!(
+            check_k_out_of_order(&trace, 10),
+            Err(Violation::UnknownLabel { op_index: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn false_empty_is_flagged() {
+        let trace = [TraceOp::Push(1), TraceOp::PopEmpty];
+        assert_eq!(
+            check_k_out_of_order(&trace, 0).unwrap_err(),
+            Violation::FalseEmpty { op_index: 1, resident: 1 }
+        );
+    }
+
+    #[test]
+    fn report_means_are_correct() {
+        let trace = [
+            TraceOp::Push(1),
+            TraceOp::Push(2),
+            TraceOp::Push(3),
+            TraceOp::Pop(2), // distance 1
+            TraceOp::Pop(3), // distance 0
+        ];
+        let r = check_k_out_of_order(&trace, 5).unwrap();
+        assert_eq!(r.pops, 2);
+        assert_eq!(r.max_distance, 1);
+        assert_eq!(r.mean_distance, 0.5);
+    }
+
+    #[test]
+    fn violations_display_helpfully() {
+        let v = Violation::OutOfOrder { op_index: 3, label: 7, distance: 9, k: 4 };
+        let s = v.to_string();
+        assert!(s.contains("pop(7)"));
+        assert!(s.contains("k=4"));
+    }
+
+    #[test]
+    fn conservation_accepts_clean_run() {
+        let mut c = Conservation::new();
+        for l in 0..100 {
+            c.pushed(l);
+        }
+        for l in 0..60 {
+            c.popped(l);
+        }
+        let remaining: Vec<Label> = (60..100).collect();
+        c.verify(&remaining).unwrap();
+    }
+
+    #[test]
+    fn conservation_catches_duplicate_pop() {
+        let mut c = Conservation::new();
+        c.pushed(1);
+        c.popped(1);
+        c.popped(1);
+        let errs = c.verify(&[]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("popped twice")));
+    }
+
+    #[test]
+    fn conservation_catches_invented_item() {
+        let mut c = Conservation::new();
+        c.pushed(1);
+        c.popped(2);
+        assert!(c.verify(&[1]).is_err());
+    }
+
+    #[test]
+    fn conservation_catches_lost_item() {
+        let mut c = Conservation::new();
+        c.pushed(1);
+        c.pushed(2);
+        c.popped(1);
+        // Item 2 vanished: remaining is empty.
+        let errs = c.verify(&[]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("residency mismatch")));
+    }
+
+    #[test]
+    fn conservation_catches_popped_and_resident() {
+        let mut c = Conservation::new();
+        c.pushed(1);
+        c.popped(1);
+        let errs = c.verify(&[1]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("both popped and resident")));
+    }
+}

@@ -1,0 +1,35 @@
+//! # stack2d-quality — relaxation-quality measurement substrate
+//!
+//! The 2D-Stack paper plots two quantities per experiment: throughput and
+//! **accuracy** ("quality"), the latter *"measured in terms of error
+//! distance from the LIFO semantics"* using a sequential list run alongside
+//! the stack (§4). This crate is that measurement apparatus plus offline
+//! semantic checkers:
+//!
+//! * [`oracle`] — the side list: [`oracle::Oracle`] (Fenwick-backed order
+//!   statistics, O(log n) per delete), [`oracle::NaiveOracle`] (literal list
+//!   cross-check) and [`oracle::MeasuredStack`] (couples any
+//!   [`ConcurrentStack`](stack2d::ConcurrentStack) with the oracle under one
+//!   mutex, the paper's "simultaneous insert/delete");
+//! * [`stats`] — error-distance aggregation (mean = the paper's expected
+//!   error distance, plus percentiles/max);
+//! * [`checker`] — [`checker::check_k_out_of_order`] verifies Theorem 1's
+//!   bound on single-threaded traces, and [`checker::Conservation`] does
+//!   no-loss/no-duplication item accounting for concurrent runs;
+//! * [`fenwick`] — the order-statistics tree underneath the oracle.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod checker;
+pub mod fenwick;
+pub mod linearize;
+pub mod oracle;
+pub mod stats;
+pub mod trace;
+
+pub use checker::{check_k_out_of_order, Conservation, TraceOp, TraceReport, Violation};
+pub use linearize::{merge_histories, History, HistoryRecorder, SharedClock};
+pub use oracle::{Label, MeasuredStack, NaiveOracle, Oracle};
+pub use stats::{ErrorStats, ErrorSummary};
+pub use trace::{replay, ReplayOutcome, Trace, TraceRecorder};

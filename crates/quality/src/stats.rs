@@ -1,0 +1,209 @@
+//! Aggregation of per-pop error distances into the quantities the paper
+//! plots: the *expected* (mean) error distance, plus max and percentiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulator of error-distance samples.
+///
+/// Stores the raw samples (one per pop) so that mean, max and percentiles
+/// can all be reported; a five-second run produces at most a few tens of
+/// millions of `u32`s, well within memory on any eval machine.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_quality::stats::ErrorStats;
+///
+/// let mut s = ErrorStats::new();
+/// for d in [0, 1, 2, 3] {
+///     s.record(d);
+/// }
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.mean(), 1.5);
+/// assert_eq!(s.max(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ErrorStats {
+    samples: Vec<u32>,
+}
+
+impl ErrorStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        ErrorStats { samples: Vec::new() }
+    }
+
+    /// Records one pop's error distance.
+    pub fn record(&mut self, distance: u32) {
+        self.samples.push(distance);
+    }
+
+    /// Merges another accumulator's samples (used to combine per-thread
+    /// recorders and per-repeat runs).
+    pub fn merge(&mut self, other: &ErrorStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean error distance — the paper's headline quality metric
+    /// ("we then calculate the expected error distance"). Zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&d| d as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Largest observed error distance. Zero when empty.
+    pub fn max(&self) -> u32 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) by nearest-rank. Zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> u32 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[rank]
+    }
+
+    /// Fraction of pops that were perfectly in order (distance 0).
+    pub fn exact_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|&&d| d == 0).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Collapses into a compact summary for reports.
+    pub fn summary(&self) -> ErrorSummary {
+        ErrorSummary {
+            pops: self.len() as u64,
+            mean: self.mean(),
+            p50: self.quantile(0.5),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// Compact error-distance summary carried in experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSummary {
+    /// Number of value-returning pops measured.
+    pub pops: u64,
+    /// Mean error distance.
+    pub mean: f64,
+    /// Median error distance.
+    pub p50: u32,
+    /// 99th percentile error distance.
+    pub p99: u32,
+    /// Maximum error distance.
+    pub max: u32,
+}
+
+impl core::fmt::Display for ErrorSummary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "mean={:.2} p50={} p99={} max={} (n={})",
+            self.mean, self.p50, self.p99, self.max, self.pops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = ErrorStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.exact_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let mut s = ErrorStats::new();
+        for d in [5, 0, 10, 1] {
+            s.record(d);
+        }
+        assert_eq!(s.mean(), 4.0);
+        assert_eq!(s.max(), 10);
+        assert_eq!(s.exact_fraction(), 0.25);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = ErrorStats::new();
+        for d in 0..100 {
+            s.record(d);
+        }
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 99);
+        assert_eq!(s.quantile(0.5), 50);
+        assert_eq!(s.quantile(0.99), 98);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_out_of_range_panics() {
+        let mut s = ErrorStats::new();
+        s.record(1);
+        s.quantile(1.5);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = ErrorStats::new();
+        a.record(1);
+        let mut b = ErrorStats::new();
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.mean(), 2.0);
+    }
+
+    #[test]
+    fn summary_aggregates_correctly() {
+        let mut s = ErrorStats::new();
+        for d in [0, 2, 4, 6, 8] {
+            s.record(d);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.pops, 5);
+        assert_eq!(sum.mean, 4.0);
+        assert_eq!(sum.p50, 4);
+        assert_eq!(sum.max, 8);
+    }
+
+    #[test]
+    fn summary_display_mentions_fields() {
+        let mut s = ErrorStats::new();
+        s.record(7);
+        let text = s.summary().to_string();
+        assert!(text.contains("mean=7.00"));
+        assert!(text.contains("n=1"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Thread-placement model of the paper's testbed, with a no-op apply shim.
+//!
+//! The paper pins one thread per core on a 2×8-core Xeon: *"filling one
+//! processor at a time up-to 16 threads before we switch to hyper-
+//! threading"*, giving an intra-socket regime (1–8 threads) and an
+//! inter-socket regime (9–16). This module reproduces that *placement
+//! policy* as pure logic — which core each thread would occupy, and which
+//! NUMA regime a thread count lands in — so the harness can label its
+//! results the way the paper's figures do.
+//!
+//! Actually applying the pinning requires OS affinity syscalls that are out
+//! of scope for this repo's dependency budget (and meaningless on the
+//! single-core container the reproduction runs on — see DESIGN.md §3);
+//! [`pin_current_thread`] is therefore an explicit no-op that reports
+//! [`PinOutcome::Unsupported`].
+
+use serde::{Deserialize, Serialize};
+
+/// A machine topology: sockets × cores-per-socket × SMT ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of processor sockets.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Hardware threads per core.
+    pub smt: usize,
+}
+
+impl Topology {
+    /// The paper's Intel Xeon E5-2687W v2 testbed: 2 sockets × 8 cores × 2
+    /// hyperthreads.
+    pub fn paper_xeon() -> Self {
+        Topology { sockets: 2, cores_per_socket: 8, smt: 2 }
+    }
+
+    /// Total hardware threads.
+    pub fn hw_threads(&self) -> usize {
+        self.sockets * self.cores_per_socket * self.smt
+    }
+
+    /// Total physical cores.
+    pub fn cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+}
+
+/// NUMA regime a thread count falls into under the paper's fill order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NumaRegime {
+    /// All threads on one socket (paper: 1–8 threads).
+    IntraSocket,
+    /// Threads span sockets (paper: 9–16 threads).
+    InterSocket,
+    /// More threads than physical cores: hyperthread sharing.
+    HyperThreaded,
+}
+
+/// The core a given thread index occupies under the paper's fill order:
+/// fill socket 0's physical cores, then socket 1's, then revisit for
+/// hyperthreads.
+///
+/// Returns `(socket, core_within_socket, smt_way)`.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_workload::affinity::{placement, Topology};
+///
+/// let topo = Topology::paper_xeon();
+/// assert_eq!(placement(0, topo), (0, 0, 0));
+/// assert_eq!(placement(7, topo), (0, 7, 0));   // socket 0 full
+/// assert_eq!(placement(8, topo), (1, 0, 0));   // spill to socket 1
+/// assert_eq!(placement(16, topo), (0, 0, 1));  // hyperthreads start
+/// ```
+pub fn placement(thread: usize, topo: Topology) -> (usize, usize, usize) {
+    let per_round = topo.cores();
+    let smt_way = (thread / per_round) % topo.smt;
+    let within = thread % per_round;
+    let socket = within / topo.cores_per_socket;
+    let core = within % topo.cores_per_socket;
+    (socket, core, smt_way)
+}
+
+/// NUMA regime for running `threads` threads under the paper's fill order.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_workload::affinity::{regime, NumaRegime, Topology};
+///
+/// let topo = Topology::paper_xeon();
+/// assert_eq!(regime(8, topo), NumaRegime::IntraSocket);
+/// assert_eq!(regime(9, topo), NumaRegime::InterSocket);
+/// assert_eq!(regime(17, topo), NumaRegime::HyperThreaded);
+/// ```
+pub fn regime(threads: usize, topo: Topology) -> NumaRegime {
+    if threads <= topo.cores_per_socket {
+        NumaRegime::IntraSocket
+    } else if threads <= topo.cores() {
+        NumaRegime::InterSocket
+    } else {
+        NumaRegime::HyperThreaded
+    }
+}
+
+/// Result of a pinning request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinOutcome {
+    /// Pinning is not performed in this build (see module docs).
+    Unsupported,
+}
+
+/// Requests that the current thread be pinned to `core`.
+///
+/// This build performs no OS-level pinning (see the module docs for the
+/// substitution rationale) and always returns
+/// [`PinOutcome::Unsupported`]; callers treat that as advisory.
+pub fn pin_current_thread(_core: usize) -> PinOutcome {
+    PinOutcome::Unsupported
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_counts() {
+        let t = Topology::paper_xeon();
+        assert_eq!(t.cores(), 16);
+        assert_eq!(t.hw_threads(), 32);
+    }
+
+    #[test]
+    fn fill_order_matches_paper() {
+        let t = Topology::paper_xeon();
+        // First 8 threads on socket 0, one per core.
+        for i in 0..8 {
+            assert_eq!(placement(i, t), (0, i, 0));
+        }
+        // Next 8 on socket 1.
+        for i in 8..16 {
+            assert_eq!(placement(i, t), (1, i - 8, 0));
+        }
+        // Then hyperthreads, socket 0 again.
+        assert_eq!(placement(16, t), (0, 0, 1));
+        assert_eq!(placement(24, t), (1, 0, 1));
+    }
+
+    #[test]
+    fn regimes_match_paper_thread_ranges() {
+        let t = Topology::paper_xeon();
+        for p in 1..=8 {
+            assert_eq!(regime(p, t), NumaRegime::IntraSocket, "P={p}");
+        }
+        for p in 9..=16 {
+            assert_eq!(regime(p, t), NumaRegime::InterSocket, "P={p}");
+        }
+        assert_eq!(regime(17, t), NumaRegime::HyperThreaded);
+    }
+
+    #[test]
+    fn placement_never_exceeds_topology() {
+        let t = Topology::paper_xeon();
+        for thread in 0..64 {
+            let (s, c, w) = placement(thread, t);
+            assert!(s < t.sockets);
+            assert!(c < t.cores_per_socket);
+            assert!(w < t.smt);
+        }
+    }
+
+    #[test]
+    fn pinning_is_an_explicit_noop() {
+        assert_eq!(pin_current_thread(3), PinOutcome::Unsupported);
+    }
+}

@@ -1,0 +1,244 @@
+//! Log-scale latency histogram for per-operation timing.
+//!
+//! Power-of-two buckets with 16 linear sub-buckets each give ~6% relative
+//! resolution over the full `u64` nanosecond range with a fixed 1 KiB-ish
+//! footprint — the usual HDR-histogram shape, built from scratch (no
+//! external dependency).
+
+use serde::{Deserialize, Serialize};
+
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS; // 16 linear sub-buckets per octave
+
+/// A fixed-size log-linear histogram of `u64` samples (nanoseconds).
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_workload::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ns in [100, 200, 300, 400] {
+///     h.record(ns);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.quantile(0.5) >= 190 && h.quantile(0.5) <= 320);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; (64 - SUB_BITS as usize) * SUB],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB as u64 {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros(); // >= SUB_BITS
+        let sub = (value >> (octave - SUB_BITS)) as usize & (SUB - 1);
+        ((octave - SUB_BITS + 1) as usize) * SUB + sub
+    }
+
+    /// Lower edge of the bucket with the given index (inverse of `index`).
+    fn bucket_low(idx: usize) -> u64 {
+        let octave = idx / SUB;
+        let sub = (idx % SUB) as u64;
+        if octave == 0 {
+            sub
+        } else {
+            let shift = octave as u32 - 1 + SUB_BITS;
+            (1u64 << shift) + (sub << (shift - SUB_BITS))
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let i = Self::index(value).min(self.buckets.len() - 1);
+        self.buckets[i] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample; zero when empty.
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest sample; zero when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate `q`-quantile (lower bucket edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_low(i);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn index_is_monotone() {
+        let mut values: Vec<u64> =
+            (0..20u32).map(|e| 1u64 << e).flat_map(|b| [b, b + 1, b + b / 3]).collect();
+        values.sort_unstable();
+        let mut last = 0;
+        for v in values {
+            let i = LatencyHistogram::index(v);
+            assert!(i >= last, "index must not decrease: v={v} i={i} last={last}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn bucket_low_inverts_index() {
+        for v in [0u64, 1, 5, 15, 16, 17, 100, 1_000, 123_456, 1 << 40] {
+            let i = LatencyHistogram::index(v);
+            let low = LatencyHistogram::bucket_low(i);
+            assert!(low <= v, "bucket_low({i})={low} must be <= {v}");
+            // Relative resolution: the bucket edge is within ~1/16 of v.
+            if v >= 16 {
+                assert!(v - low <= v / 8, "resolution too coarse at {v}: low={low}");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_min_max_track_samples() {
+        let mut h = LatencyHistogram::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..10_000u64 {
+            h.record(v);
+        }
+        let q50 = h.quantile(0.5);
+        let q90 = h.quantile(0.9);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q90 && q90 <= q99, "{q50} {q90} {q99}");
+        // Within bucket resolution of the true values.
+        assert!((4_000..=5_500).contains(&q50), "q50={q50}");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(100);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 300);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.mean(), 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn bad_quantile_panics() {
+        LatencyHistogram::new().quantile(-0.1);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+    }
+}

@@ -1,0 +1,28 @@
+//! # stack2d-workload — workload substrate for the 2D-Stack experiments
+//!
+//! Everything the paper's evaluation loop needs, algorithm-independent:
+//!
+//! * [`mix`] — push/pop ratios ([`OpMix`]; the paper's default draws each
+//!   with probability 1/2);
+//! * [`runner`] — the timed multi-thread measurement loop
+//!   ([`run_throughput`]) and a deterministic fixed-op variant for tests
+//!   ([`run_fixed_ops`]), both generic over
+//!   [`ConcurrentStack`](stack2d::ConcurrentStack);
+//! * [`histogram`] — log-linear latency histogram ([`LatencyHistogram`]);
+//! * [`affinity`] — the paper's thread-placement policy (fill socket 0,
+//!   then socket 1, then hyperthreads) as pure logic, with an explicit
+//!   no-op pinning shim (see DESIGN.md §3 for the substitution).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod affinity;
+pub mod histogram;
+pub mod mix;
+pub mod phases;
+pub mod runner;
+
+pub use histogram::LatencyHistogram;
+pub use mix::OpMix;
+pub use phases::{run_phased, run_roles, Phase, Workload};
+pub use runner::{prefill, run_fixed_ops, run_throughput, RunConfig, RunResult};

@@ -1,0 +1,150 @@
+//! Operation mixes: what fraction of operations are pushes.
+//!
+//! The paper's main experiments draw push/pop uniformly at random with
+//! probability 1/2 each ([`OpMix::symmetric`]); the asymmetry experiment
+//! (motivated by §2's observation that elimination "deteriorates when
+//! workloads are asymmetric") sweeps the ratio.
+
+use serde::{Deserialize, Serialize};
+
+use stack2d::rng::HopRng;
+
+/// A push/pop ratio, in permille (so exact sweeps like 10%…90% are
+/// representable without floating point).
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_workload::OpMix;
+///
+/// let mix = OpMix::symmetric();
+/// assert_eq!(mix.push_permille(), 500);
+/// assert!((mix.push_fraction() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpMix {
+    push_permille: u16,
+}
+
+impl OpMix {
+    /// A mix pushing `permille`/1000 of the time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permille > 1000`.
+    pub fn new(permille: u16) -> Self {
+        assert!(permille <= 1000, "permille must be at most 1000");
+        OpMix { push_permille: permille }
+    }
+
+    /// The paper's default: push and pop with probability 1/2 each.
+    pub fn symmetric() -> Self {
+        OpMix { push_permille: 500 }
+    }
+
+    /// A push-heavy mix (`percent`% pushes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent > 100`.
+    pub fn push_percent(percent: u16) -> Self {
+        assert!(percent <= 100, "percent must be at most 100");
+        OpMix { push_permille: percent * 10 }
+    }
+
+    /// Push probability in permille.
+    #[inline]
+    pub fn push_permille(&self) -> u16 {
+        self.push_permille
+    }
+
+    /// Push probability as a fraction.
+    #[inline]
+    pub fn push_fraction(&self) -> f64 {
+        self.push_permille as f64 / 1000.0
+    }
+
+    /// Draws the next operation: `true` = push.
+    #[inline]
+    pub fn next_is_push(&self, rng: &mut HopRng) -> bool {
+        rng.bounded(1000) < self.push_permille as usize
+    }
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        Self::symmetric()
+    }
+}
+
+impl core::fmt::Display for OpMix {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}/{} push/pop",
+            self.push_permille / 10,
+            (1000 - self.push_permille) / 10
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_is_half() {
+        assert_eq!(OpMix::symmetric().push_fraction(), 0.5);
+    }
+
+    #[test]
+    fn push_percent_conversion() {
+        assert_eq!(OpMix::push_percent(90).push_permille(), 900);
+        assert_eq!(OpMix::push_percent(0).push_permille(), 0);
+        assert_eq!(OpMix::push_percent(100).push_permille(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "permille must be at most 1000")]
+    fn overflow_permille_panics() {
+        OpMix::new(1001);
+    }
+
+    #[test]
+    #[should_panic(expected = "percent must be at most 100")]
+    fn overflow_percent_panics() {
+        OpMix::push_percent(101);
+    }
+
+    #[test]
+    fn extreme_mixes_are_deterministic() {
+        let mut rng = HopRng::seeded(1);
+        let all_push = OpMix::new(1000);
+        let all_pop = OpMix::new(0);
+        for _ in 0..100 {
+            assert!(all_push.next_is_push(&mut rng));
+            assert!(!all_pop.next_is_push(&mut rng));
+        }
+    }
+
+    #[test]
+    fn symmetric_draw_is_roughly_balanced() {
+        let mut rng = HopRng::seeded(42);
+        let mix = OpMix::symmetric();
+        let pushes = (0..100_000).filter(|_| mix.next_is_push(&mut rng)).count();
+        assert!((45_000..55_000).contains(&pushes), "pushes={pushes}");
+    }
+
+    #[test]
+    fn skewed_draw_tracks_ratio() {
+        let mut rng = HopRng::seeded(42);
+        let mix = OpMix::push_percent(90);
+        let pushes = (0..100_000).filter(|_| mix.next_is_push(&mut rng)).count();
+        assert!((88_000..92_000).contains(&pushes), "pushes={pushes}");
+    }
+
+    #[test]
+    fn display_shows_percentages() {
+        assert_eq!(OpMix::push_percent(30).to_string(), "30/70 push/pop");
+    }
+}

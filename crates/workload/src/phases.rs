@@ -1,0 +1,252 @@
+//! Phased and role-based workloads.
+//!
+//! The paper's evaluation uses a stationary symmetric mix; real stack
+//! clients are often *phasic* (fill then drain, bursts) or *asymmetric by
+//! role* (dedicated producers and consumers). This module extends the
+//! runner with both shapes, used by the producer/consumer example and the
+//! burst-behaviour tests.
+
+use std::sync::Barrier;
+
+use serde::{Deserialize, Serialize};
+
+use stack2d::rng::HopRng;
+use stack2d::{ConcurrentStack, StackHandle};
+
+use crate::mix::OpMix;
+use crate::runner::RunResult;
+
+/// One phase of a phased workload: `ops` operations drawn from `mix`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Operations per thread in this phase.
+    pub ops: usize,
+    /// Push/pop ratio during this phase.
+    pub mix: OpMix,
+}
+
+impl Phase {
+    /// Creates a phase.
+    pub fn new(ops: usize, mix: OpMix) -> Self {
+        Phase { ops, mix }
+    }
+}
+
+/// A per-thread sequence of phases.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_workload::phases::Workload;
+/// use stack2d_workload::OpMix;
+///
+/// // Fill (1000 pushes), churn (2000 mixed), drain (2000 pops).
+/// let w = Workload::fill_churn_drain(1_000, 2_000);
+/// assert_eq!(w.total_ops_per_thread(), 5_000);
+/// assert_eq!(w.phases()[0].mix, OpMix::new(1000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    phases: Vec<Phase>,
+}
+
+impl Workload {
+    /// A workload from explicit phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "a workload needs at least one phase");
+        Workload { phases }
+    }
+
+    /// Classic pool lifecycle: all-push fill, symmetric churn, all-pop
+    /// drain (drain sized as fill + half the churn so it reaches empty).
+    pub fn fill_churn_drain(fill: usize, churn: usize) -> Self {
+        Workload::new(vec![
+            Phase::new(fill, OpMix::new(1000)),
+            Phase::new(churn, OpMix::symmetric()),
+            Phase::new(fill + churn / 2, OpMix::new(0)),
+        ])
+    }
+
+    /// Alternating push-heavy/pop-heavy bursts.
+    pub fn bursty(bursts: usize, burst_ops: usize) -> Self {
+        let mut phases = Vec::with_capacity(bursts);
+        for i in 0..bursts.max(1) {
+            let mix = if i % 2 == 0 { OpMix::push_percent(90) } else { OpMix::push_percent(10) };
+            phases.push(Phase::new(burst_ops, mix));
+        }
+        Workload::new(phases)
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Operations each thread performs over all phases.
+    pub fn total_ops_per_thread(&self) -> usize {
+        self.phases.iter().map(|p| p.ops).sum()
+    }
+}
+
+/// Runs `workload` on every one of `threads` threads (synchronized at
+/// phase boundaries so bursts actually overlap).
+pub fn run_phased<S: ConcurrentStack<u64>>(
+    stack: &S,
+    threads: usize,
+    workload: &Workload,
+    seed: u64,
+) -> RunResult {
+    assert!(threads > 0, "at least one thread required");
+    let barrier = Barrier::new(threads);
+    let t0 = std::time::Instant::now();
+    let per_thread: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let barrier = &barrier;
+            joins.push(scope.spawn(move || {
+                let mut h = stack.handle();
+                let mut rng = HopRng::seeded(seed.wrapping_add(t as u64 + 1));
+                let mut pushes = 0u64;
+                let mut pops = 0u64;
+                let mut empty = 0u64;
+                let mut value = (t as u64) << 48;
+                for phase in workload.phases() {
+                    // Phase boundaries are synchronization points: bursts
+                    // overlap across threads instead of drifting apart.
+                    barrier.wait();
+                    for _ in 0..phase.ops {
+                        if phase.mix.next_is_push(&mut rng) {
+                            h.push(value);
+                            value += 1;
+                            pushes += 1;
+                        } else if h.pop().is_some() {
+                            pops += 1;
+                        } else {
+                            empty += 1;
+                        }
+                    }
+                }
+                (pushes, pops, empty)
+            }));
+        }
+        joins.into_iter().map(|j| j.join().expect("phased worker panicked")).collect()
+    });
+    RunResult {
+        pushes: per_thread.iter().map(|p| p.0).sum(),
+        pops: per_thread.iter().map(|p| p.1).sum(),
+        empty_pops: per_thread.iter().map(|p| p.2).sum(),
+        elapsed: t0.elapsed(),
+        per_thread_ops: per_thread.iter().map(|p| p.0 + p.1 + p.2).collect(),
+    }
+}
+
+/// Runs a role-based workload: thread `t` draws from `roles[t]` for
+/// `ops_per_thread` operations (e.g. dedicated producers `OpMix::new(1000)`
+/// and consumers `OpMix::new(0)`).
+pub fn run_roles<S: ConcurrentStack<u64>>(
+    stack: &S,
+    roles: &[OpMix],
+    ops_per_thread: usize,
+    seed: u64,
+) -> RunResult {
+    assert!(!roles.is_empty(), "at least one role required");
+    let barrier = Barrier::new(roles.len());
+    let t0 = std::time::Instant::now();
+    let per_thread: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for (t, &mix) in roles.iter().enumerate() {
+            let barrier = &barrier;
+            joins.push(scope.spawn(move || {
+                let mut h = stack.handle();
+                let mut rng = HopRng::seeded(seed.wrapping_add(t as u64 + 1));
+                let mut pushes = 0u64;
+                let mut pops = 0u64;
+                let mut empty = 0u64;
+                let mut value = (t as u64) << 48;
+                barrier.wait();
+                for _ in 0..ops_per_thread {
+                    if mix.next_is_push(&mut rng) {
+                        h.push(value);
+                        value += 1;
+                        pushes += 1;
+                    } else if h.pop().is_some() {
+                        pops += 1;
+                    } else {
+                        empty += 1;
+                    }
+                }
+                (pushes, pops, empty)
+            }));
+        }
+        joins.into_iter().map(|j| j.join().expect("role worker panicked")).collect()
+    });
+    RunResult {
+        pushes: per_thread.iter().map(|p| p.0).sum(),
+        pops: per_thread.iter().map(|p| p.1).sum(),
+        empty_pops: per_thread.iter().map(|p| p.2).sum(),
+        elapsed: t0.elapsed(),
+        per_thread_ops: per_thread.iter().map(|p| p.0 + p.1 + p.2).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stack2d::{Params, Stack2D};
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_workload_panics() {
+        Workload::new(vec![]);
+    }
+
+    #[test]
+    fn fill_churn_drain_reaches_empty() {
+        let stack = Stack2D::new(Params::for_threads(2));
+        let w = Workload::fill_churn_drain(500, 1_000);
+        let r = run_phased(&stack, 2, &w, 7);
+        assert_eq!(r.total_ops() as usize, 2 * w.total_ops_per_thread());
+        // The drain phase is sized to exhaust the stack.
+        assert!(stack.is_empty(), "drain phase should empty the stack");
+        assert!(r.empty_pops > 0, "over-sized drain must observe empty");
+    }
+
+    #[test]
+    fn bursty_alternates_mixes() {
+        let w = Workload::bursty(4, 100);
+        assert_eq!(w.phases().len(), 4);
+        assert_eq!(w.phases()[0].mix, OpMix::push_percent(90));
+        assert_eq!(w.phases()[1].mix, OpMix::push_percent(10));
+        let stack = Stack2D::new(Params::for_threads(2));
+        let r = run_phased(&stack, 2, &w, 3);
+        assert_eq!(r.total_ops(), 800);
+    }
+
+    #[test]
+    fn roles_split_producers_and_consumers() {
+        let stack = Stack2D::new(Params::for_threads(4));
+        let roles = vec![
+            OpMix::new(1000),
+            OpMix::new(1000),
+            OpMix::new(0),
+            OpMix::new(0),
+        ];
+        let r = run_roles(&stack, &roles, 5_000, 9);
+        assert_eq!(r.pushes, 10_000, "producers only push");
+        assert_eq!(r.pops + r.empty_pops, 10_000, "consumers only pop");
+        // Consumers can never pop more than producers pushed.
+        assert!(r.pops <= r.pushes);
+        assert_eq!(stack.len() as u64, r.pushes - r.pops);
+    }
+
+    #[test]
+    fn single_thread_roles_work() {
+        let stack = Stack2D::new(Params::for_threads(1));
+        let r = run_roles(&stack, &[OpMix::symmetric()], 1_000, 1);
+        assert_eq!(r.total_ops(), 1_000);
+    }
+}

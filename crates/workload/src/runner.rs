@@ -1,0 +1,316 @@
+//! The timed multi-thread workload runner.
+//!
+//! Reproduces the paper's measurement loop (§4): `P` threads, each drawing
+//! push/pop uniformly from the configured mix with **no computational load
+//! between operations** (maximum contention), running against a stack
+//! pre-filled with 32,768 items for a fixed wall-clock duration; throughput
+//! is reported in operations per second and runs are repeated and averaged
+//! by the harness.
+//!
+//! The runner is generic over [`ConcurrentStack`], so the identical loop
+//! drives the 2D-Stack and every baseline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use stack2d::rng::HopRng;
+use stack2d::{ConcurrentStack, StackHandle};
+
+use crate::mix::OpMix;
+
+/// Configuration of one timed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Number of worker threads (`P` in the paper).
+    pub threads: usize,
+    /// Wall-clock measurement window (paper: 5 s; defaults here are shorter
+    /// so the full figure suite stays tractable — see EXPERIMENTS.md).
+    pub duration: Duration,
+    /// Push/pop ratio (paper: symmetric).
+    pub mix: OpMix,
+    /// Items pushed before measurement starts (paper: 32,768, "to avoid
+    /// NULL returns that might arise from empty sub-stacks").
+    pub prefill: usize,
+    /// Base RNG seed; thread `t` uses `seed + t`.
+    pub seed: u64,
+    /// Busy-work iterations between operations (paper: 0, i.e. high
+    /// contention).
+    pub think_work: u32,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: 2,
+            duration: Duration::from_millis(100),
+            mix: OpMix::symmetric(),
+            prefill: 32_768,
+            seed: 0xD15EA5E,
+            think_work: 0,
+        }
+    }
+}
+
+/// Aggregate results of one timed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Completed push operations.
+    pub pushes: u64,
+    /// Pop operations that returned an item.
+    pub pops: u64,
+    /// Pop operations that found the stack empty.
+    pub empty_pops: u64,
+    /// Measured wall-clock time.
+    pub elapsed: Duration,
+    /// Operations completed by each thread (fairness diagnostics).
+    pub per_thread_ops: Vec<u64>,
+}
+
+impl RunResult {
+    /// All operations (pushes + pops + empty pops).
+    pub fn total_ops(&self) -> u64 {
+        self.pushes + self.pops + self.empty_pops
+    }
+
+    /// Operations per second — the paper's throughput metric.
+    pub fn throughput(&self) -> f64 {
+        self.total_ops() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Ratio of the busiest to the laziest thread (1.0 = perfectly fair);
+    /// returns `None` for runs with no completed ops on some thread.
+    pub fn fairness(&self) -> Option<f64> {
+        let max = *self.per_thread_ops.iter().max()?;
+        let min = *self.per_thread_ops.iter().min()?;
+        if min == 0 {
+            None
+        } else {
+            Some(max as f64 / min as f64)
+        }
+    }
+}
+
+/// Pre-fills `stack` with `n` items carrying distinguishable values.
+pub fn prefill<S: ConcurrentStack<u64>>(stack: &S, n: usize) {
+    let mut h = stack.handle();
+    for i in 0..n {
+        // High bit marks prefill items, helpful when debugging traces.
+        h.push((1 << 63) | i as u64);
+    }
+}
+
+/// Runs the paper's timed throughput loop against `stack`.
+///
+/// The stack is pre-filled, then `cfg.threads` workers start behind a
+/// barrier and hammer the stack until the deadline; per-thread op counts
+/// are aggregated into a [`RunResult`].
+pub fn run_throughput<S: ConcurrentStack<u64>>(stack: &S, cfg: &RunConfig) -> RunResult {
+    assert!(cfg.threads > 0, "at least one thread required");
+    prefill(stack, cfg.prefill);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(cfg.threads + 1);
+    let mut per_thread = vec![(0u64, 0u64, 0u64); cfg.threads];
+    let started = Instant::now(); // overwritten after the barrier below
+    let mut elapsed = Duration::ZERO;
+
+    std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(cfg.threads);
+        for t in 0..cfg.threads {
+            let stop = &stop;
+            let barrier = &barrier;
+            joins.push(scope.spawn(move || {
+                let mut h = stack.handle();
+                let mut rng = HopRng::seeded(cfg.seed.wrapping_add(t as u64 + 1));
+                let mut pushes = 0u64;
+                let mut pops = 0u64;
+                let mut empty = 0u64;
+                let mut next_value = (t as u64) << 48;
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    if cfg.mix.next_is_push(&mut rng) {
+                        h.push(next_value);
+                        next_value += 1;
+                        pushes += 1;
+                    } else if h.pop().is_some() {
+                        pops += 1;
+                    } else {
+                        empty += 1;
+                    }
+                    for _ in 0..cfg.think_work {
+                        core::hint::spin_loop();
+                    }
+                }
+                (pushes, pops, empty)
+            }));
+        }
+        barrier.wait();
+        let t0 = Instant::now();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        for (t, j) in joins.into_iter().enumerate() {
+            per_thread[t] = j.join().expect("worker panicked");
+        }
+        elapsed = t0.elapsed();
+    });
+    let _ = started;
+
+    RunResult {
+        pushes: per_thread.iter().map(|p| p.0).sum(),
+        pops: per_thread.iter().map(|p| p.1).sum(),
+        empty_pops: per_thread.iter().map(|p| p.2).sum(),
+        elapsed,
+        per_thread_ops: per_thread.iter().map(|p| p.0 + p.1 + p.2).collect(),
+    }
+}
+
+/// Runs a deterministic fixed-op-count workload (each thread performs
+/// exactly `ops_per_thread` operations); used by tests where wall-clock
+/// runs would be flaky.
+pub fn run_fixed_ops<S: ConcurrentStack<u64>>(
+    stack: &S,
+    threads: usize,
+    ops_per_thread: usize,
+    mix: OpMix,
+    seed: u64,
+) -> RunResult {
+    assert!(threads > 0, "at least one thread required");
+    let barrier = Barrier::new(threads);
+    let mut per_thread = vec![(0u64, 0u64, 0u64); threads];
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let barrier = &barrier;
+            joins.push(scope.spawn(move || {
+                let mut h = stack.handle();
+                let mut rng = HopRng::seeded(seed.wrapping_add(t as u64 + 1));
+                let mut pushes = 0u64;
+                let mut pops = 0u64;
+                let mut empty = 0u64;
+                let mut next_value = (t as u64) << 48;
+                barrier.wait();
+                for _ in 0..ops_per_thread {
+                    if mix.next_is_push(&mut rng) {
+                        h.push(next_value);
+                        next_value += 1;
+                        pushes += 1;
+                    } else if h.pop().is_some() {
+                        pops += 1;
+                    } else {
+                        empty += 1;
+                    }
+                }
+                (pushes, pops, empty)
+            }));
+        }
+        for (t, j) in joins.into_iter().enumerate() {
+            per_thread[t] = j.join().expect("worker panicked");
+        }
+    });
+
+    RunResult {
+        pushes: per_thread.iter().map(|p| p.0).sum(),
+        pops: per_thread.iter().map(|p| p.1).sum(),
+        empty_pops: per_thread.iter().map(|p| p.2).sum(),
+        elapsed: t0.elapsed(),
+        per_thread_ops: per_thread.iter().map(|p| p.0 + p.1 + p.2).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stack2d::{Params, Stack2D};
+    use stack2d_baselines::TreiberStack;
+
+    #[test]
+    fn fixed_ops_accounts_every_operation() {
+        let stack = Stack2D::new(Params::for_threads(2));
+        let r = run_fixed_ops(&stack, 2, 1_000, OpMix::symmetric(), 7);
+        assert_eq!(r.total_ops(), 2_000);
+        assert_eq!(r.per_thread_ops, vec![1_000, 1_000]);
+        // Residual items = pushes - pops.
+        assert_eq!(stack.len() as u64, r.pushes - r.pops);
+    }
+
+    #[test]
+    fn fixed_ops_all_push_leaves_everything_resident() {
+        let stack = TreiberStack::new();
+        let r = run_fixed_ops(&stack, 2, 500, OpMix::new(1000), 1);
+        assert_eq!(r.pushes, 1_000);
+        assert_eq!(r.pops, 0);
+        assert_eq!(r.empty_pops, 0);
+    }
+
+    #[test]
+    fn fixed_ops_all_pop_on_empty_counts_empty() {
+        let stack = TreiberStack::new();
+        let r = run_fixed_ops(&stack, 2, 500, OpMix::new(0), 1);
+        assert_eq!(r.pushes, 0);
+        assert_eq!(r.pops, 0);
+        assert_eq!(r.empty_pops, 1_000);
+    }
+
+    #[test]
+    fn timed_run_produces_positive_throughput() {
+        let stack = Stack2D::new(Params::for_threads(2));
+        let cfg = RunConfig {
+            threads: 2,
+            duration: Duration::from_millis(50),
+            prefill: 1_000,
+            ..RunConfig::default()
+        };
+        let r = run_throughput(&stack, &cfg);
+        assert!(r.total_ops() > 0, "no ops completed");
+        assert!(r.throughput() > 0.0);
+        assert!(r.elapsed >= Duration::from_millis(50));
+        assert_eq!(r.per_thread_ops.len(), 2);
+    }
+
+    #[test]
+    fn prefill_marks_values() {
+        let stack = TreiberStack::new();
+        prefill(&stack, 10);
+        let v = stack.pop().unwrap();
+        assert!(v & (1 << 63) != 0, "prefill marker missing: {v:#x}");
+    }
+
+    #[test]
+    fn fairness_is_computed() {
+        let r = RunResult {
+            pushes: 0,
+            pops: 0,
+            empty_pops: 0,
+            elapsed: Duration::from_secs(1),
+            per_thread_ops: vec![100, 50],
+        };
+        assert_eq!(r.fairness(), Some(2.0));
+        let zero = RunResult { per_thread_ops: vec![100, 0], ..r };
+        assert_eq!(zero.fairness(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let stack: TreiberStack<u64> = TreiberStack::new();
+        run_fixed_ops(&stack, 0, 1, OpMix::symmetric(), 0);
+    }
+
+    #[test]
+    fn results_are_deterministic_single_thread() {
+        let a = {
+            let stack = Stack2D::new(Params::new(4, 2, 1).unwrap());
+            run_fixed_ops(&stack, 1, 5_000, OpMix::symmetric(), 42)
+        };
+        let b = {
+            let stack = Stack2D::new(Params::new(4, 2, 1).unwrap());
+            run_fixed_ops(&stack, 1, 5_000, OpMix::symmetric(), 42)
+        };
+        assert_eq!(a.pushes, b.pushes);
+        assert_eq!(a.pops, b.pops);
+        assert_eq!(a.empty_pops, b.empty_pops);
+    }
+}

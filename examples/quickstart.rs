@@ -1,0 +1,62 @@
+//! Quickstart: create a 2D-Stack, pick parameters, push and pop from many
+//! threads, and inspect the relaxation bound.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use stack2d::{ConcurrentStack, Params, Stack2D};
+
+fn main() {
+    // --- 1. Choose parameters -------------------------------------------
+    // The paper's high-throughput preset: width = 4P sub-stacks and the
+    // tightest window. Theorem 1 bounds how far out of LIFO order a pop can
+    // be: k = (2*shift + depth) * (width - 1).
+    let threads = 4;
+    let params = Params::for_threads(threads);
+    println!(
+        "params: {params}  ->  pops are at most {} positions out of order",
+        params.k_bound()
+    );
+
+    // Alternatively, start from a relaxation budget:
+    let budget = Params::for_k(200, threads);
+    println!("a k<=200 configuration: {budget}");
+
+    // --- 2. Build the stack and run it from several threads -------------
+    let stack: Stack2D<u64> = Stack2D::new(params);
+    let per_thread = 100_000u64;
+
+    std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            let stack = &stack;
+            s.spawn(move || {
+                // A handle carries per-thread state (locality + hop RNG):
+                // create one per thread, not per operation.
+                let mut h = stack.handle();
+                for i in 0..per_thread {
+                    h.push(t * per_thread + i);
+                }
+                let mut popped = 0;
+                while popped < per_thread && h.pop().is_some() {
+                    popped += 1;
+                }
+            });
+        }
+    });
+
+    // --- 3. Inspect ------------------------------------------------------
+    println!("after the storm: {} items resident", stack.len());
+    println!("per-sub-stack load profile: {:?}", stack.load_profile());
+    println!("window Global counter: {}", stack.global());
+    println!("algorithm name (paper legend): {}", ConcurrentStack::<u64>::name(&stack));
+
+    // Drain and verify nothing is lost.
+    let mut drained = 0u64;
+    let mut h = stack.handle();
+    while h.pop().is_some() {
+        drained += 1;
+    }
+    println!("drained the remaining {drained} items; stack empty = {}", stack.is_empty());
+    assert!(stack.is_empty());
+}

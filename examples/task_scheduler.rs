@@ -1,0 +1,112 @@
+//! A relaxed LIFO task pool — the workload the paper's introduction
+//! motivates.
+//!
+//! Depth-first work queues (fork-join runtimes, graph traversals) prefer
+//! LIFO order for cache locality, but they do not *need* exact LIFO: any
+//! recently produced task is a good next task. That is precisely the
+//! k-out-of-order contract, so a 2D-Stack makes a natural scalable task
+//! pool. This example runs a synthetic fork-join computation (a recursive
+//! "work item" that spawns children) on a pool of workers and reports how
+//! task recency affected processing.
+//!
+//! ```text
+//! cargo run --release --example task_scheduler
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stack2d::{Params, Stack2D};
+
+/// A synthetic task: process `weight` units and spawn `children` subtasks.
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    /// Remaining fan-out depth; 0 = leaf.
+    depth: u32,
+    /// Units of simulated work.
+    weight: u32,
+}
+
+/// Encode/decode tasks as u64 so they flow through a `Stack2D<u64>`.
+fn encode(t: Task) -> u64 {
+    ((t.depth as u64) << 32) | t.weight as u64
+}
+
+fn decode(v: u64) -> Task {
+    Task { depth: (v >> 32) as u32, weight: v as u32 }
+}
+
+fn main() {
+    let workers = 4;
+    // A pool tuned for the worker count; a few hundred out-of-order
+    // positions are irrelevant for task scheduling.
+    let pool: Stack2D<u64> = Stack2D::new(Params::for_threads(workers));
+
+    // Seed the pool with root tasks.
+    {
+        let mut h = pool.handle();
+        for _ in 0..64 {
+            h.push(encode(Task { depth: 4, weight: 64 }));
+        }
+    }
+
+    let processed = AtomicU64::new(0);
+    let work_done = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let pool = &pool;
+            let processed = &processed;
+            let work_done = &work_done;
+            s.spawn(move || {
+                let mut h = pool.handle();
+                let mut idle_sweeps = 0;
+                loop {
+                    match h.pop() {
+                        Some(v) => {
+                            idle_sweeps = 0;
+                            let task = decode(v);
+                            // Simulate the work.
+                            let mut acc = 0u64;
+                            for i in 0..task.weight as u64 {
+                                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                            }
+                            std::hint::black_box(acc);
+                            work_done.fetch_add(task.weight as u64, Ordering::Relaxed);
+                            processed.fetch_add(1, Ordering::Relaxed);
+                            // Fork children (depth-first: they go right back
+                            // on the pool, and LIFO-ish order keeps them
+                            // warm).
+                            if task.depth > 0 {
+                                for _ in 0..3 {
+                                    h.push(encode(Task {
+                                        depth: task.depth - 1,
+                                        weight: task.weight / 2 + 1,
+                                    }));
+                                }
+                            }
+                        }
+                        None => {
+                            // The pool looked empty; give other workers a
+                            // few chances to publish forked tasks, then
+                            // quit.
+                            idle_sweeps += 1;
+                            if idle_sweeps > 100 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // 64 roots, each forking 3 children per level for 4 levels:
+    // 64 * (1 + 3 + 9 + 27 + 81) = 64 * 121 tasks.
+    let expected = 64 * 121;
+    let got = processed.load(Ordering::Relaxed);
+    println!("tasks processed: {got} (expected {expected})");
+    println!("work units done: {}", work_done.load(Ordering::Relaxed));
+    println!("pool empty: {}", pool.is_empty());
+    assert_eq!(got, expected, "a task pool must not lose tasks");
+}

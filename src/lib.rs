@@ -1,0 +1,20 @@
+//! # stack2d-repro — umbrella crate for the 2D-Stack reproduction
+//!
+//! Re-exports the workspace crates so the runnable examples under
+//! `examples/` and the cross-crate integration tests under `tests/` can use
+//! one import root. Library users should depend on the individual crates
+//! (`stack2d`, `stack2d-baselines`, …) directly.
+//!
+//! ```
+//! use stack2d_repro::stack2d::{Params, Stack2D};
+//!
+//! let stack = Stack2D::new(Params::for_threads(2));
+//! stack.push(1);
+//! assert_eq!(stack.pop(), Some(1));
+//! ```
+
+pub use stack2d;
+pub use stack2d_baselines;
+pub use stack2d_harness;
+pub use stack2d_quality;
+pub use stack2d_workload;

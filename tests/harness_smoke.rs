@@ -1,0 +1,91 @@
+//! End-to-end smoke runs of every experiment the harness regenerates —
+//! Figure 1, Figure 2, the ablations and the asymmetry sweep — at
+//! miniature scale, checking structure and basic physics of the results.
+
+use stack2d_harness::ablation::{self, AblationSpec};
+use stack2d_harness::asymmetry::{self, AsymmetrySpec};
+use stack2d_harness::fig1::{self, Fig1Spec};
+use stack2d_harness::fig2::{self, Fig2Spec};
+use stack2d_harness::{Algorithm, Settings};
+
+#[test]
+fn fig1_pipeline_end_to_end() {
+    let spec = Fig1Spec { threads: 2, k_grid: vec![3, 81] };
+    let points = fig1::run(&spec, &Settings::smoke());
+    assert_eq!(points.len(), 6);
+    for p in &points {
+        assert!(p.throughput > 0.0);
+        assert_eq!(p.threads, 2);
+        assert!(p.k_budget.is_some());
+        // Every k-bounded algorithm's built bound respects the budget
+        // (k-robin's estimate documented slack aside, at 2 threads it is
+        // exact for these grids).
+        if p.algo != Algorithm::KRobin.name() {
+            assert!(p.k_bound.unwrap() <= p.k_budget.unwrap());
+        }
+    }
+    let table = fig1::to_table(&points);
+    let text = table.to_text();
+    assert!(text.contains("2D-stack") && text.contains("k-segment") && text.contains("k-robin"));
+    let csv = table.to_csv();
+    assert_eq!(csv.lines().count(), 7, "header + six points");
+}
+
+#[test]
+fn fig2_pipeline_end_to_end() {
+    let spec = Fig2Spec { thread_grid: vec![1, 2] };
+    let points = fig2::run(&spec, &Settings::smoke());
+    assert_eq!(points.len(), 2 * Algorithm::ALL.len());
+    // Strict algorithms must measure (near-)zero mean error even
+    // concurrently at P=1.
+    for p in points.iter().filter(|p| p.threads == 1) {
+        if p.algo == "treiber" || p.algo == "elimination" {
+            assert_eq!(p.quality.max, 0, "{}: strict stack had error at P=1", p.algo);
+        }
+    }
+    let text = fig2::to_table(&points).to_text();
+    assert!(text.contains("intra-socket"));
+}
+
+#[test]
+fn ablation_pipeline_end_to_end() {
+    let spec = AblationSpec { threads: 2, width: 8, depth: 4, shift: 2 };
+    let points = ablation::run_mechanisms(&spec, &Settings::smoke());
+    assert_eq!(points.len(), 5);
+    // All variants share the same window parameters, hence the same bound.
+    let bounds: Vec<_> = points.iter().map(|p| p.k_bound).collect();
+    assert!(bounds.windows(2).all(|w| w[0] == w[1]), "bounds differ: {bounds:?}");
+
+    let dims = ablation::run_dimension_split(120, 2, &Settings::smoke());
+    assert!(dims.len() >= 2, "dimension split needs at least two combos");
+    for p in &dims {
+        assert!(p.k_bound.unwrap() <= 120);
+    }
+}
+
+#[test]
+fn asymmetry_pipeline_end_to_end() {
+    let spec = AsymmetrySpec {
+        threads: 2,
+        push_percents: vec![20, 80],
+        algorithms: vec!["elimination".into(), "2D-stack".into()],
+    };
+    let points = asymmetry::run(&spec, &Settings::smoke());
+    assert_eq!(points.len(), 4);
+    for (pct, p) in &points {
+        assert!(*pct == 20 || *pct == 80);
+        assert!(p.throughput > 0.0, "{}: no throughput at {pct}% pushes", p.algo);
+    }
+}
+
+#[test]
+fn settings_env_round_trip() {
+    // from_env with our overrides set must pick them up.
+    std::env::set_var("STACK2D_DURATION_MS", "123");
+    std::env::set_var("STACK2D_REPEATS", "2");
+    let s = Settings::from_env();
+    assert_eq!(s.duration_ms, 123);
+    assert_eq!(s.repeats, 2);
+    std::env::remove_var("STACK2D_DURATION_MS");
+    std::env::remove_var("STACK2D_REPEATS");
+}

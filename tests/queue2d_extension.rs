@@ -1,0 +1,120 @@
+//! Integration tests for the 2D-Queue extension (the paper's §5 future
+//! work): conservation under concurrency, strictness at width 1, and the
+//! carried-over window bound on single-threaded runs.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use stack2d::{Params, Queue2D};
+
+#[test]
+fn concurrent_storm_conserves_items() {
+    const THREADS: usize = 4;
+    const PER: usize = 4_000;
+    let q = Queue2D::new(Params::new(4, 2, 1).unwrap());
+    let results: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let q = &q;
+            joins.push(s.spawn(move || {
+                let mut h = q.handle_seeded(t as u64 + 1);
+                let mut got = Vec::new();
+                for i in 0..PER {
+                    h.enqueue((t * PER + i) as u64);
+                    if i % 2 == 0 {
+                        if let Some(v) = h.dequeue() {
+                            got.push(v);
+                        }
+                    }
+                }
+                got
+            }));
+        }
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let mut all: Vec<u64> = results.into_iter().flatten().collect();
+    let mut h = q.handle_seeded(0);
+    while let Some(v) = h.dequeue() {
+        all.push(v);
+    }
+    all.sort_unstable();
+    assert_eq!(all, (0..(THREADS * PER) as u64).collect::<Vec<_>>());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn multiset_correct_single_thread(
+        width in 1usize..6,
+        depth in 1usize..5,
+        plan in proptest::collection::vec(any::<bool>(), 1..400),
+        seed in any::<u64>(),
+    ) {
+        let q = Queue2D::new(Params::new(width, depth, depth).unwrap());
+        let mut h = q.handle_seeded(seed);
+        let mut resident: HashSet<u64> = HashSet::new();
+        let mut next = 0u64;
+        for &is_enq in &plan {
+            if is_enq {
+                h.enqueue(next);
+                resident.insert(next);
+                next += 1;
+            } else {
+                match h.dequeue() {
+                    Some(v) => prop_assert!(resident.remove(&v), "unknown {v}"),
+                    None => prop_assert!(resident.is_empty(), "false empty"),
+                }
+            }
+        }
+        while let Some(v) = h.dequeue() {
+            prop_assert!(resident.remove(&v));
+        }
+        prop_assert!(resident.is_empty());
+    }
+
+    #[test]
+    fn width_one_is_strict_fifo(
+        plan in proptest::collection::vec(any::<bool>(), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let q = Queue2D::new(Params::new(1, 3, 2).unwrap());
+        let mut h = q.handle_seeded(seed);
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        let mut next = 0u64;
+        for &is_enq in &plan {
+            if is_enq {
+                h.enqueue(next);
+                model.push_back(next);
+                next += 1;
+            } else {
+                prop_assert_eq!(h.dequeue(), model.pop_front());
+            }
+        }
+    }
+
+    #[test]
+    fn dequeue_lateness_is_window_bounded_single_thread(
+        width in 1usize..5,
+        depth in 1usize..4,
+        n in 50usize..500,
+        seed in any::<u64>(),
+    ) {
+        let params = Params::new(width, depth, depth).unwrap();
+        let k = params.k_bound();
+        let q = Queue2D::new(params);
+        let mut h = q.handle_seeded(seed);
+        for i in 0..n {
+            h.enqueue(i as u64);
+        }
+        for pos in 0..n {
+            let v = h.dequeue().unwrap() as usize;
+            prop_assert!(
+                pos.abs_diff(v) <= k,
+                "dequeue #{pos} returned {v}: distance {} > k={k}",
+                pos.abs_diff(v)
+            );
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the search machinery and parameter derivation —
+//! the pieces whose invariants the window algorithm's correctness rests on.
+
+use proptest::prelude::*;
+
+use stack2d::rng::HopRng;
+use stack2d::search::{Probes, SearchPolicy, StackConfig};
+use stack2d::Params;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every policy's probe stream stays within bounds and matches its
+    /// declared budget.
+    #[test]
+    fn probes_stay_in_range_and_match_budget(
+        width in 1usize..64,
+        start in 0usize..128,
+        hops in 0usize..8,
+        seed in any::<u64>(),
+        policy_pick in 0u8..3,
+    ) {
+        let policy = match policy_pick {
+            0 => SearchPolicy::TwoPhase { random_hops: hops },
+            1 => SearchPolicy::RoundRobinOnly,
+            _ => SearchPolicy::RandomOnly,
+        };
+        let mut rng = HopRng::seeded(seed);
+        let probes = Probes::new(policy, width, start, &mut rng);
+        let budget = probes.budget();
+        let idxs: Vec<usize> = probes.collect();
+        prop_assert_eq!(idxs.len(), budget);
+        prop_assert!(idxs.iter().all(|&i| i < width));
+    }
+
+    /// Every policy ends with a sweep that visits every sub-stack —
+    /// the precondition for the "no valid sub-stack ⇒ shift Global"
+    /// decision.
+    #[test]
+    fn covering_policies_cover(
+        width in 1usize..64,
+        start in 0usize..64,
+        hops in 0usize..8,
+        seed in any::<u64>(),
+        policy_pick in 0u8..3,
+    ) {
+        let policy = match policy_pick {
+            0 => SearchPolicy::RoundRobinOnly,
+            1 => SearchPolicy::RandomOnly,
+            _ => SearchPolicy::TwoPhase { random_hops: hops },
+        };
+        let mut rng = HopRng::seeded(seed);
+        let probes = Probes::new(policy, width, start, &mut rng);
+        let cov = probes.coverage_len();
+        prop_assert_eq!(cov, width);
+        let idxs: Vec<usize> = probes.collect();
+        let sweep = &idxs[idxs.len() - cov..];
+        let mut seen = vec![false; width];
+        for &i in sweep {
+            seen[i] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "sweep missed a sub-stack: {:?}", sweep);
+    }
+
+    /// `in_coverage` classifies exactly the trailing `coverage_len` probes.
+    #[test]
+    fn coverage_classification_is_consistent(
+        width in 1usize..32,
+        hops in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = HopRng::seeded(seed);
+        let p = Probes::new(SearchPolicy::TwoPhase { random_hops: hops }, width, 0, &mut rng);
+        let budget = p.budget();
+        let cov = p.coverage_len();
+        for i in 0..budget {
+            prop_assert_eq!(p.in_coverage(i), i >= budget - cov);
+        }
+    }
+
+    /// Parameter derivation: `for_k` always returns valid parameters whose
+    /// bound respects the budget, for any inputs.
+    #[test]
+    fn for_k_is_valid_and_within_budget(k in 0usize..1_000_000, threads in 0usize..64) {
+        let p = Params::for_k(k, threads);
+        // Re-validates all constraints.
+        prop_assert!(Params::new(p.width(), p.depth(), p.shift()).is_ok());
+        prop_assert!(p.k_bound() <= k || k == 0 && p.k_bound() == 0);
+    }
+
+    /// `for_threads` always yields width 4P with the tight window.
+    #[test]
+    fn for_threads_shape(threads in 0usize..256) {
+        let p = Params::for_threads(threads);
+        prop_assert_eq!(p.width(), 4 * threads.max(1));
+        prop_assert_eq!(p.depth(), 1);
+        prop_assert_eq!(p.shift(), 1);
+    }
+
+    /// The hop RNG's bounded() never leaves its range and is total.
+    #[test]
+    fn rng_bounded_is_total(seed in any::<u64>(), bound in 1usize..10_000) {
+        let mut rng = HopRng::seeded(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.bounded(bound) < bound);
+        }
+    }
+
+    /// StackConfig builder round-trips every combination.
+    #[test]
+    fn config_builder_round_trips(
+        width in 1usize..16,
+        depth in 1usize..8,
+        hop in any::<bool>(),
+        locality in any::<bool>(),
+        hops in 0usize..4,
+    ) {
+        let params = Params::new(width, depth, 1).unwrap();
+        let cfg = StackConfig::new(params)
+            .search_policy(SearchPolicy::TwoPhase { random_hops: hops })
+            .hop_on_contention(hop)
+            .locality(locality);
+        prop_assert_eq!(cfg.params(), params);
+        prop_assert_eq!(cfg.hops_on_contention(), hop);
+        prop_assert_eq!(cfg.uses_locality(), locality);
+        prop_assert_eq!(cfg.policy(), SearchPolicy::TwoPhase { random_hops: hops });
+    }
+}
+
+#[test]
+fn probes_are_deterministic_for_a_seed() {
+    let collect = |seed| {
+        let mut rng = HopRng::seeded(seed);
+        Probes::new(SearchPolicy::TwoPhase { random_hops: 3 }, 16, 5, &mut rng)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(collect(42), collect(42));
+    assert_ne!(collect(42), collect(43), "distinct seeds should usually differ");
+}

@@ -1,0 +1,149 @@
+//! Property tests for the measurement substrates themselves: the latency
+//! histogram, the error statistics and the placement model. Instruments
+//! that lie make every experiment above them worthless, so they get the
+//! same verification rigor as the data structures.
+
+use proptest::prelude::*;
+
+use stack2d_quality::ErrorStats;
+use stack2d_workload::affinity::{placement, regime, NumaRegime, Topology};
+use stack2d_workload::LatencyHistogram;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Histogram count/mean/min/max always agree with the fed samples.
+    #[test]
+    fn histogram_moments_match_samples(samples in proptest::collection::vec(any::<u32>(), 1..300)) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s as u64);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap() as u64);
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap() as u64);
+        let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / samples.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6 * mean.max(1.0));
+    }
+
+    /// Histogram quantiles are within one bucket (~12.5% relative) of the
+    /// exact quantile and monotone in q.
+    #[test]
+    fn histogram_quantiles_are_bucket_accurate(
+        samples in proptest::collection::vec(1u64..1_000_000, 8..300),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = (((sorted.len() as f64) * q).ceil().max(1.0) as usize - 1).min(sorted.len() - 1);
+        let exact = sorted[rank];
+        let approx = h.quantile(q);
+        // Lower bucket edge: approx <= exact, within one bucket width.
+        prop_assert!(approx <= exact, "quantile overshoot: {approx} > {exact}");
+        prop_assert!(
+            approx as f64 >= exact as f64 * 0.85,
+            "quantile more than a bucket low: {approx} vs {exact}"
+        );
+    }
+
+    /// Merging histograms equals feeding the union.
+    #[test]
+    fn histogram_merge_is_union(
+        a in proptest::collection::vec(1u64..1_000_000, 1..100),
+        b in proptest::collection::vec(1u64..1_000_000, 1..100),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hu = LatencyHistogram::new();
+        for &s in &a {
+            ha.record(s);
+            hu.record(s);
+        }
+        for &s in &b {
+            hb.record(s);
+            hu.record(s);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.max(), hu.max());
+        prop_assert_eq!(ha.min(), hu.min());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.quantile(q), hu.quantile(q));
+        }
+    }
+
+    /// ErrorStats mean/max/quantiles against naive computation.
+    #[test]
+    fn error_stats_match_naive(samples in proptest::collection::vec(any::<u16>(), 1..300)) {
+        let mut s = ErrorStats::new();
+        for &d in &samples {
+            s.record(d as u32);
+        }
+        let mut sorted: Vec<u32> = samples.iter().map(|&d| d as u32).collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(s.len(), samples.len());
+        prop_assert_eq!(s.max(), *sorted.last().unwrap());
+        prop_assert_eq!(s.quantile(0.0), sorted[0]);
+        prop_assert_eq!(s.quantile(1.0), *sorted.last().unwrap());
+        let mean = sorted.iter().map(|&d| d as f64).sum::<f64>() / sorted.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-9 * mean.max(1.0));
+        let zero = sorted.iter().filter(|&&d| d == 0).count() as f64 / sorted.len() as f64;
+        prop_assert!((s.exact_fraction() - zero).abs() < 1e-12);
+    }
+
+    /// Merging ErrorStats equals feeding the union.
+    #[test]
+    fn error_stats_merge_is_union(
+        a in proptest::collection::vec(any::<u16>(), 0..100),
+        b in proptest::collection::vec(any::<u16>(), 0..100),
+    ) {
+        let mut sa = ErrorStats::new();
+        let mut su = ErrorStats::new();
+        for &d in &a {
+            sa.record(d as u32);
+            su.record(d as u32);
+        }
+        let mut sb = ErrorStats::new();
+        for &d in &b {
+            sb.record(d as u32);
+            su.record(d as u32);
+        }
+        sa.merge(&sb);
+        prop_assert_eq!(sa.len(), su.len());
+        prop_assert_eq!(sa.max(), su.max());
+        prop_assert!((sa.mean() - su.mean()).abs() < 1e-9);
+    }
+
+    /// The placement model is a bijection from thread index to
+    /// (socket, core, smt) within the topology, and the regime labels are
+    /// consistent with it.
+    #[test]
+    fn placement_is_injective_within_capacity(
+        sockets in 1usize..4,
+        cores in 1usize..8,
+        smt in 1usize..3,
+    ) {
+        let topo = Topology { sockets, cores_per_socket: cores, smt };
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..topo.hw_threads() {
+            let slot = placement(t, topo);
+            prop_assert!(seen.insert(slot), "thread {t} reuses slot {slot:?}");
+        }
+        // Regime labels partition the thread-count axis in order.
+        let mut last = NumaRegime::IntraSocket;
+        for p in 1..=topo.hw_threads() {
+            let r = regime(p, topo);
+            let rank = |r: NumaRegime| match r {
+                NumaRegime::IntraSocket => 0,
+                NumaRegime::InterSocket => 1,
+                NumaRegime::HyperThreaded => 2,
+            };
+            prop_assert!(rank(r) >= rank(last), "regime went backwards at P={p}");
+            last = r;
+        }
+    }
+}

@@ -35,9 +35,7 @@ struct SubArray<T> {
 impl<T> SubArray<T> {
     fn new(width: usize) -> Self {
         assert!(width > 0, "width must be positive");
-        SubArray {
-            subs: (0..width).map(|_| CachePadded::new(SubStack::new())).collect(),
-        }
+        SubArray { subs: (0..width).map(|_| CachePadded::new(SubStack::new())).collect() }
     }
 
     #[inline]
@@ -366,10 +364,7 @@ impl<T> KRobinStack<T> {
     ///
     /// Panics if `width` is zero.
     pub fn new(width: usize, threads: usize) -> Self {
-        KRobinStack {
-            arr: SubArray::new(width),
-            bound: 2 * threads.max(1) * (width - 1),
-        }
+        KRobinStack { arr: SubArray::new(width), bound: 2 * threads.max(1) * (width - 1) }
     }
 
     /// Inverts the bound calibration: the widest `width` whose estimated
@@ -600,10 +595,7 @@ mod tests {
     #[test]
     fn random_has_no_deterministic_bound() {
         assert_eq!(ConcurrentStack::<u8>::relaxation_bound(&RandomStack::<u8>::new(4)), None);
-        assert_eq!(
-            ConcurrentStack::<u8>::relaxation_bound(&RandomC2Stack::<u8>::new(4)),
-            None
-        );
+        assert_eq!(ConcurrentStack::<u8>::relaxation_bound(&RandomC2Stack::<u8>::new(4)), None);
     }
 
     #[test]

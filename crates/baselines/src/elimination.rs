@@ -432,10 +432,8 @@ impl<T: Send> StackHandle<T> for EliminationHandle<'_, T> {
     fn push(&mut self, value: T) {
         let stack = self.stack;
         let guard = epoch::pin();
-        let node = Box::into_raw(Box::new(Node {
-            value: ManuallyDrop::new(value),
-            next: ptr::null(),
-        }));
+        let node =
+            Box::into_raw(Box::new(Node { value: ManuallyDrop::new(value), next: ptr::null() }));
         loop {
             if stack.try_central_push(node, &guard) {
                 stack.central_ops.fetch_add(1, Ordering::Relaxed);
@@ -474,11 +472,7 @@ impl<T: Send> ConcurrentStack<T> for EliminationStack<T> {
     ///
     /// Panics if more handles are live than the stack's capacity.
     fn handle(&self) -> Self::Handle<'_> {
-        let id = self
-            .free_slots
-            .lock()
-            .pop()
-            .expect("elimination stack handle capacity exhausted");
+        let id = self.free_slots.lock().pop().expect("elimination stack handle capacity exhausted");
         EliminationHandle { stack: self, id, rng: HopRng::from_thread() }
     }
 

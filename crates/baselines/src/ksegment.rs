@@ -136,12 +136,7 @@ impl<T> KSegmentStack<T> {
     /// Slot operations are `SeqCst`: the push-commit/flag-check and
     /// flag-set/rescan pairs form a store-buffering pattern, and at least
     /// one side must observe the other for segment removal to be safe.
-    fn try_pop_from(
-        &self,
-        seg: &Segment<T>,
-        start: usize,
-        guard: &Guard,
-    ) -> Result<Option<T>, ()> {
+    fn try_pop_from(&self, seg: &Segment<T>, start: usize, guard: &Guard) -> Result<Option<T>, ()> {
         let k = self.k;
         let mut saw_item = false;
         for off in 0..k {
@@ -152,13 +147,7 @@ impl<T> KSegmentStack<T> {
             }
             saw_item = true;
             if seg.slots[i]
-                .compare_exchange(
-                    item,
-                    Shared::null(),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                    guard,
-                )
+                .compare_exchange(item, Shared::null(), Ordering::SeqCst, Ordering::SeqCst, guard)
                 .is_ok()
             {
                 let value = unsafe { ptr::read(&*item.deref().value) };
@@ -296,13 +285,8 @@ impl<T: Send> StackHandle<T> for KSegmentHandle<'_, T> {
             }
             // Top segment full: append a fresh one.
             let fresh = Segment::new(k, top);
-            let _ = stack.top.compare_exchange(
-                top,
-                fresh,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-                &guard,
-            );
+            let _ =
+                stack.top.compare_exchange(top, fresh, Ordering::AcqRel, Ordering::Acquire, &guard);
             // Whether we or a racer installed it, retry on the new top.
         }
     }

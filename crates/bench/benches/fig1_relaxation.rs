@@ -24,9 +24,7 @@ fn bench_fig1(c: &mut Criterion) {
             group.bench_function(format!("{algo}/k={k}", algo = algo.name()), |b| {
                 b.iter_batched(
                     || fresh_stack(algo, BuildSpec::with_k(scale.threads, k), scale.prefill),
-                    |stack| {
-                        run_fixed_ops(&stack, scale.threads, scale.ops, OpMix::symmetric(), 7)
-                    },
+                    |stack| run_fixed_ops(&stack, scale.threads, scale.ops, OpMix::symmetric(), 7),
                     BatchSize::LargeInput,
                 );
             });

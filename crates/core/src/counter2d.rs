@@ -48,9 +48,7 @@ impl Counter2D {
     /// Creates a counter with the given window parameters.
     pub fn new(params: Params) -> Self {
         Counter2D {
-            subs: (0..params.width())
-                .map(|_| CachePadded::new(AtomicUsize::new(0)))
-                .collect(),
+            subs: (0..params.width()).map(|_| CachePadded::new(AtomicUsize::new(0))).collect(),
             global: CachePadded::new(AtomicUsize::new(params.initial_global())),
             params,
         }

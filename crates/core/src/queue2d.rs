@@ -55,10 +55,7 @@ unsafe impl<T: Send> Sync for SubQueue<T> {}
 
 impl<T> SubQueue<T> {
     fn new() -> Self {
-        let dummy = Owned::new(QNode {
-            value: MaybeUninit::uninit(),
-            next: Atomic::null(),
-        });
+        let dummy = Owned::new(QNode { value: MaybeUninit::uninit(), next: Atomic::null() });
         let guard = unsafe { epoch::unprotected() };
         let dummy = dummy.into_shared(guard);
         SubQueue {
@@ -251,10 +248,7 @@ impl<T> Queue2D<T> {
 
 impl<T> fmt::Debug for Queue2D<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Queue2D")
-            .field("params", &self.params)
-            .field("len", &self.len())
-            .finish()
+        f.debug_struct("Queue2D").field("params", &self.params).field("len", &self.len()).finish()
     }
 }
 
@@ -273,10 +267,8 @@ impl<T> QueueHandle<'_, T> {
         let width = q.subs.len();
         let shift = q.params.shift();
         let guard = epoch::pin();
-        let mut node = Some(Owned::new(QNode {
-            value: MaybeUninit::new(value),
-            next: Atomic::null(),
-        }));
+        let mut node =
+            Some(Owned::new(QNode { value: MaybeUninit::new(value), next: Atomic::null() }));
         let mut start = self.last_put;
         loop {
             let global = q.put_global.load(Ordering::SeqCst);
@@ -284,11 +276,7 @@ impl<T> QueueHandle<'_, T> {
             // Two-phase probe: one random hop then a covering sweep,
             // mirroring the stack's search.
             for step in 0..=width {
-                let i = if step == 0 {
-                    start
-                } else {
-                    (start + step) % width
-                };
+                let i = if step == 0 { start } else { (start + step) % width };
                 if q.put_global.load(Ordering::SeqCst) != global {
                     hopped = true;
                     start = i;

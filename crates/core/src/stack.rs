@@ -81,9 +81,7 @@ enum Round {
     /// Every probe failed validation under the round's `Global` value.
     /// `all_empty` is true iff a covering sweep observed only empty
     /// sub-stacks.
-    Exhausted {
-        all_empty: bool,
-    },
+    Exhausted { all_empty: bool },
 }
 
 impl<T> Stack2D<T> {
@@ -357,8 +355,7 @@ impl<'s, T> Handle2D<'s, T> {
         let mut shifts_up = 0u64;
         loop {
             let global = stack.global.load(Ordering::SeqCst);
-            match stack.push_round(global, start, &mut self.rng, &mut node, &mut probes, &guard)
-            {
+            match stack.push_round(global, start, &mut self.rng, &mut node, &mut probes, &guard) {
                 Round::Done(i) => {
                     self.last = i;
                     let c = &stack.counters;
@@ -679,10 +676,7 @@ mod tests {
         let max = *profile.iter().max().unwrap();
         let min = *profile.iter().min().unwrap();
         // The window bounds the spread between sub-stacks by depth + shift.
-        assert!(
-            max - min <= p.depth() + p.shift(),
-            "window failed to balance: {profile:?}"
-        );
+        assert!(max - min <= p.depth() + p.shift(), "window failed to balance: {profile:?}");
     }
 
     #[test]
@@ -962,9 +956,6 @@ mod tests {
         let stack = Stack2D::new(params(4, 2, 2));
         assert_eq!(run(&stack), 64);
         assert_eq!(ConcurrentStack::<u64>::name(&stack), "2D-stack");
-        assert_eq!(
-            ConcurrentStack::<u64>::relaxation_bound(&stack),
-            Some(stack.k_bound())
-        );
+        assert_eq!(ConcurrentStack::<u64>::relaxation_bound(&stack), Some(stack.k_bound()));
     }
 }

@@ -74,10 +74,8 @@ unsafe impl<T: Send> Send for PreparedNode<T> {}
 impl<T> PreparedNode<T> {
     /// Boxes `value` into a node ready for [`SubStack::try_push_at`].
     pub fn new(value: T) -> Self {
-        let raw = Box::into_raw(Box::new(Node {
-            value: ManuallyDrop::new(value),
-            next: ptr::null(),
-        }));
+        let raw =
+            Box::into_raw(Box::new(Node { value: ManuallyDrop::new(value), next: ptr::null() }));
         PreparedNode { raw }
     }
 
@@ -134,10 +132,7 @@ impl<'g, T> DescView<'g, T> {
 
 impl<T> fmt::Debug for DescView<'_, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DescView")
-            .field("count", &self.count)
-            .field("empty", &self.empty)
-            .finish()
+        f.debug_struct("DescView").field("count", &self.count).field("empty", &self.empty).finish()
     }
 }
 
@@ -180,9 +175,7 @@ unsafe impl<T: Send> Sync for SubStack<T> {}
 impl<T> SubStack<T> {
     /// Creates an empty sub-stack (descriptor `{top: null, count: 0}`).
     pub fn new() -> Self {
-        SubStack {
-            desc: Atomic::new(Descriptor { top: ptr::null(), count: 0 }),
-        }
+        SubStack { desc: Atomic::new(Descriptor { top: ptr::null(), count: 0 }) }
     }
 
     /// Takes a consistent `(top, count)` snapshot.
@@ -228,13 +221,8 @@ impl<T> SubStack<T> {
         // until the CAS below succeeds, so the plain write is safe.
         unsafe { (*node.raw).next = old.top };
         let new = Owned::new(Descriptor { top: node.raw as *const _, count: old.count + 1 });
-        match self.desc.compare_exchange(
-            view.desc,
-            new,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-            guard,
-        ) {
+        match self.desc.compare_exchange(view.desc, new, Ordering::AcqRel, Ordering::Acquire, guard)
+        {
             Ok(_) => {
                 // The node is now owned by the list; forget the handle.
                 core::mem::forget(node);
@@ -269,13 +257,8 @@ impl<T> SubStack<T> {
         // was reachable at snapshot time alive.
         let top = unsafe { &*old.top };
         let new = Owned::new(Descriptor { top: top.next, count: old.count - 1 });
-        match self.desc.compare_exchange(
-            view.desc,
-            new,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-            guard,
-        ) {
+        match self.desc.compare_exchange(view.desc, new, Ordering::AcqRel, Ordering::Acquire, guard)
+        {
             Ok(_) => {
                 // We won the pop: move the value out and retire node +
                 // descriptor. `Node` has no Drop for `value`, so the deferred

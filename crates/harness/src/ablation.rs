@@ -66,11 +66,7 @@ pub fn run_mechanisms(spec: &AblationSpec, settings: &Settings) -> Vec<DataPoint
 /// dimensions: from all-width (`depth=1`) to all-depth (`width` small), the
 /// trade-off behind Figure 1's "switches from horizontal to vertical"
 /// observation.
-pub fn run_dimension_split(
-    k: usize,
-    threads: usize,
-    settings: &Settings,
-) -> Vec<DataPoint> {
+pub fn run_dimension_split(k: usize, threads: usize, settings: &Settings) -> Vec<DataPoint> {
     // Candidate (width, depth, shift=depth) combos with k_bound <= k.
     let mut combos: Vec<Params> = Vec::new();
     let mut width = 2usize;
@@ -105,14 +101,8 @@ pub fn run_dimension_split(
 pub fn run_mechanism_metrics(spec: &AblationSpec, ops_per_thread: usize) -> Table {
     use stack2d_workload::{prefill, run_fixed_ops, OpMix};
     let params = spec.params();
-    let mut t = Table::new([
-        "variant",
-        "probes/op",
-        "cas-fail/op",
-        "shifts/op",
-        "restarts",
-        "empty-pops",
-    ]);
+    let mut t =
+        Table::new(["variant", "probes/op", "cas-fail/op", "shifts/op", "restarts", "empty-pops"]);
     for v in AblationVariant::ALL {
         let stack = Stack2D::with_config(v.config(params));
         prefill(&stack, 1_024);

@@ -46,8 +46,7 @@ impl Algorithm {
     ];
 
     /// The k-bounded algorithms compared in Figure 1.
-    pub const K_BOUNDED: [Algorithm; 3] =
-        [Algorithm::TwoD, Algorithm::KRobin, Algorithm::KSegment];
+    pub const K_BOUNDED: [Algorithm; 3] = [Algorithm::TwoD, Algorithm::KRobin, Algorithm::KSegment];
 
     /// Legend name as used in the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -325,9 +324,7 @@ impl AblationVariant {
         let base = StackConfig::new(params);
         match self {
             AblationVariant::Full => base,
-            AblationVariant::RoundRobinSearch => {
-                base.search_policy(SearchPolicy::RoundRobinOnly)
-            }
+            AblationVariant::RoundRobinSearch => base.search_policy(SearchPolicy::RoundRobinOnly),
             AblationVariant::RandomSearch => base.search_policy(SearchPolicy::RandomOnly),
             AblationVariant::NoHopOnContention => base.hop_on_contention(false),
             AblationVariant::NoLocality => base.locality(false),
@@ -371,10 +368,7 @@ mod tests {
                     // k-robin's bound is an estimate; allow its documented
                     // slack of one round per thread.
                     let slack = if algo == Algorithm::KRobin { 8 } else { 0 };
-                    assert!(
-                        bound <= k + slack,
-                        "{algo}: bound {bound} exceeds budget {k}"
-                    );
+                    assert!(bound <= k + slack, "{algo}: bound {bound} exceeds budget {k}");
                 }
             }
         }

@@ -107,11 +107,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown algorithm")]
     fn bad_algorithm_name_panics() {
-        let spec = AsymmetrySpec {
-            threads: 1,
-            push_percents: vec![50],
-            algorithms: vec!["bogus".into()],
-        };
+        let spec =
+            AsymmetrySpec { threads: 1, push_percents: vec![50], algorithms: vec!["bogus".into()] };
         run(&spec, &Settings::smoke());
     }
 }

@@ -11,13 +11,14 @@ use stack2d_harness::{write_csv, Settings};
 
 fn main() {
     let settings = Settings::from_env();
-    let threads: usize = std::env::var("STACK2D_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
+    let threads: usize =
+        std::env::var("STACK2D_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
 
     let spec = AblationSpec::new(threads);
-    eprintln!("ablation (mechanisms): P={threads}, params w={} d={} s={}", spec.width, spec.depth, spec.shift);
+    eprintln!(
+        "ablation (mechanisms): P={threads}, params w={} d={} s={}",
+        spec.width, spec.depth, spec.shift
+    );
     let mech = run_mechanisms(&spec, &settings);
     let mech_table = to_table(&mech);
     println!("mechanism ablation\n{}", mech_table.to_text());

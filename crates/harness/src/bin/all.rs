@@ -17,10 +17,8 @@ use stack2d_harness::{
 
 fn main() {
     let settings = Settings::from_env();
-    let threads: usize = std::env::var("STACK2D_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
+    let threads: usize =
+        std::env::var("STACK2D_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
 
     eprintln!("== figure 1 (relaxation sweep, P={threads}) ==");
     let f1 = fig1::run(&fig1::Fig1Spec::new(threads), &settings);

@@ -10,15 +10,10 @@ use stack2d_harness::{write_csv, Settings};
 
 fn main() {
     let settings = Settings::from_env();
-    let threads: usize = std::env::var("STACK2D_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
+    let threads: usize =
+        std::env::var("STACK2D_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
     let spec = AsymmetrySpec::new(threads);
-    eprintln!(
-        "asymmetry sweep: P={threads}, push% {:?}",
-        spec.push_percents
-    );
+    eprintln!("asymmetry sweep: P={threads}, push% {:?}", spec.push_percents);
     let points = run(&spec, &settings);
     let table = to_table(&points);
     println!("{}", table.to_text());

@@ -12,10 +12,8 @@ use stack2d_harness::{write_csv, Settings};
 
 fn main() {
     let settings = Settings::from_env();
-    let threads: usize = std::env::var("STACK2D_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
+    let threads: usize =
+        std::env::var("STACK2D_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
     let spec = Fig1Spec::new(threads);
     eprintln!(
         "figure 1: relaxation sweep, P={threads}, k in {:?}, {} ms x {} repeats",

@@ -9,14 +9,10 @@ use stack2d_harness::latency::{run_latency, to_table, LatencySpec};
 use stack2d_harness::{write_csv, Algorithm, AnyStack, BuildSpec};
 
 fn main() {
-    let threads: usize = std::env::var("STACK2D_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
-    let ops: usize = std::env::var("STACK2D_QUALITY_OPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(50_000);
+    let threads: usize =
+        std::env::var("STACK2D_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let ops: usize =
+        std::env::var("STACK2D_QUALITY_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(50_000);
     let spec = LatencySpec { threads, ops_per_thread: ops / threads.max(1), ..Default::default() };
     eprintln!("latency: P={threads}, {} timed ops/thread", spec.ops_per_thread);
     let mut rows = Vec::new();

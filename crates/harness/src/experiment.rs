@@ -69,13 +69,7 @@ impl Settings {
 
     /// A minimal smoke-test scale used by integration tests.
     pub fn smoke() -> Self {
-        Settings {
-            duration_ms: 30,
-            repeats: 1,
-            prefill: 512,
-            max_threads: 2,
-            quality_ops: 2_000,
-        }
+        Settings { duration_ms: 30, repeats: 1, prefill: 512, max_threads: 2, quality_ops: 2_000 }
     }
 }
 
@@ -177,14 +171,7 @@ pub fn measure_stack<S: ConcurrentStack<u64>>(
         },
     )
     .summary();
-    DataPoint {
-        algo: label.to_string(),
-        threads,
-        k_budget: None,
-        k_bound,
-        throughput,
-        quality,
-    }
+    DataPoint { algo: label.to_string(), threads, k_budget: None, k_bound, throughput, quality }
 }
 
 #[cfg(test)]

@@ -34,10 +34,7 @@ pub struct Fig1Spec {
 impl Fig1Spec {
     /// The default log grid over `k ∈ [1, 10^4]` at the given thread count.
     pub fn new(threads: usize) -> Self {
-        Fig1Spec {
-            threads,
-            k_grid: vec![1, 3, 9, 27, 81, 243, 729, 2_187, 6_561],
-        }
+        Fig1Spec { threads, k_grid: vec![1, 3, 9, 27, 81, 243, 729, 2_187, 6_561] }
     }
 }
 
@@ -60,16 +57,8 @@ pub fn run(spec: &Fig1Spec, settings: &Settings) -> Vec<DataPoint> {
 /// Renders the sweep as the paper's two series (throughput solid, error
 /// distance dotted) in table form.
 pub fn to_table(points: &[DataPoint]) -> Table {
-    let mut t = Table::new([
-        "k",
-        "algo",
-        "bound",
-        "throughput",
-        "ops/s",
-        "mean-err",
-        "p99-err",
-        "max-err",
-    ]);
+    let mut t =
+        Table::new(["k", "algo", "bound", "throughput", "ops/s", "mean-err", "p99-err", "max-err"]);
     for p in points {
         t.push_row([
             p.k_budget.map(|k| k.to_string()).unwrap_or_default(),

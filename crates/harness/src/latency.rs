@@ -91,15 +91,7 @@ pub fn run_latency<S: ConcurrentStack<u64>>(stack: &S, spec: &LatencySpec) -> La
 
 /// Renders latency results for several algorithms into one table.
 pub fn to_table(rows: &[(String, LatencyResult)]) -> Table {
-    let mut t = Table::new([
-        "algo",
-        "op",
-        "count",
-        "mean-ns",
-        "p50-ns",
-        "p99-ns",
-        "max-ns",
-    ]);
+    let mut t = Table::new(["algo", "op", "count", "mean-ns", "p50-ns", "p99-ns", "max-ns"]);
     for (name, r) in rows {
         for (op, h) in [("push", &r.push), ("pop", &r.pop)] {
             t.push_row([
@@ -124,7 +116,8 @@ mod tests {
     #[test]
     fn latency_run_counts_every_operation() {
         let stack = AnyStack::build(Algorithm::TwoD, BuildSpec::high_throughput(2));
-        let spec = LatencySpec { threads: 2, ops_per_thread: 2_000, prefill: 256, ..Default::default() };
+        let spec =
+            LatencySpec { threads: 2, ops_per_thread: 2_000, prefill: 256, ..Default::default() };
         let r = run_latency(&stack, &spec);
         assert_eq!(r.push.count() + r.pop.count(), 4_000);
         assert!(r.push.mean() > 0.0);
@@ -134,7 +127,8 @@ mod tests {
     #[test]
     fn table_has_two_rows_per_algorithm() {
         let stack = AnyStack::build(Algorithm::Treiber, BuildSpec::high_throughput(1));
-        let spec = LatencySpec { threads: 1, ops_per_thread: 500, prefill: 64, ..Default::default() };
+        let spec =
+            LatencySpec { threads: 1, ops_per_thread: 500, prefill: 64, ..Default::default() };
         let r = run_latency(&stack, &spec);
         let t = to_table(&[("treiber".into(), r)]);
         assert_eq!(t.len(), 2);

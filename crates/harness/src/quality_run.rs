@@ -76,7 +76,12 @@ mod tests {
         let stack = TreiberStack::new();
         let stats = run_quality(
             &stack,
-            &QualityConfig { threads: 1, ops_per_thread: 2_000, prefill: 100, ..Default::default() },
+            &QualityConfig {
+                threads: 1,
+                ops_per_thread: 2_000,
+                prefill: 100,
+                ..Default::default()
+            },
         );
         assert!(!stats.is_empty());
         assert_eq!(stats.max(), 0, "single-threaded Treiber must be perfectly strict");
@@ -88,7 +93,12 @@ mod tests {
         let bound = stack.relaxation_bound().unwrap();
         let stats = run_quality(
             &stack,
-            &QualityConfig { threads: 1, ops_per_thread: 5_000, prefill: 1_000, ..Default::default() },
+            &QualityConfig {
+                threads: 1,
+                ops_per_thread: 5_000,
+                prefill: 1_000,
+                ..Default::default()
+            },
         );
         assert!(
             (stats.max() as usize) <= bound,
@@ -115,11 +125,7 @@ mod tests {
 
         let narrow = AnyStack::build(Algorithm::TwoD, BuildSpec::with_k(1, 3));
         let narrow_stats = run_quality(&narrow, &cfg);
-        assert!(
-            narrow_stats.max() <= 3,
-            "k=3 configuration measured {} > 3",
-            narrow_stats.max()
-        );
+        assert!(narrow_stats.max() <= 3, "k=3 configuration measured {} > 3", narrow_stats.max());
 
         let wide = AnyStack::build(Algorithm::TwoD, BuildSpec::with_k(1, 3_000));
         let bound = wide.relaxation_bound().unwrap();

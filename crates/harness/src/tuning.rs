@@ -110,14 +110,7 @@ pub fn width_table(points: &[DataPoint]) -> Table {
 
 /// Renders the shift sweep.
 pub fn shift_table(points: &[ShiftPoint]) -> Table {
-    let mut t = Table::new([
-        "shift",
-        "bound",
-        "throughput",
-        "mean-err",
-        "shifts/op",
-        "probes/op",
-    ]);
+    let mut t = Table::new(["shift", "bound", "throughput", "mean-err", "shifts/op", "probes/op"]);
     for sp in points {
         t.push_row([
             sp.point.algo.clone(),

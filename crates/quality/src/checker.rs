@@ -63,10 +63,9 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::OutOfOrder { op_index, label, distance, k } => write!(
-                f,
-                "op {op_index}: pop({label}) was {distance} out of order (bound k={k})"
-            ),
+            Violation::OutOfOrder { op_index, label, distance, k } => {
+                write!(f, "op {op_index}: pop({label}) was {distance} out of order (bound k={k})")
+            }
             Violation::UnknownLabel { op_index, label } => {
                 write!(f, "op {op_index}: pop returned unknown label {label}")
             }
@@ -117,9 +116,8 @@ pub fn check_k_out_of_order(trace: &[TraceOp], k: usize) -> Result<TraceReport, 
         match *op {
             TraceOp::Push(label) => oracle.insert(label),
             TraceOp::Pop(label) => {
-                let distance = oracle
-                    .delete(label)
-                    .ok_or(Violation::UnknownLabel { op_index, label })?;
+                let distance =
+                    oracle.delete(label).ok_or(Violation::UnknownLabel { op_index, label })?;
                 if distance as usize > k {
                     return Err(Violation::OutOfOrder { op_index, label, distance, k });
                 }
@@ -251,10 +249,7 @@ mod tests {
     fn out_of_order_beyond_k_is_flagged() {
         let trace = [TraceOp::Push(1), TraceOp::Push(2), TraceOp::Push(3), TraceOp::Pop(1)];
         let err = check_k_out_of_order(&trace, 1).unwrap_err();
-        assert_eq!(
-            err,
-            Violation::OutOfOrder { op_index: 3, label: 1, distance: 2, k: 1 }
-        );
+        assert_eq!(err, Violation::OutOfOrder { op_index: 3, label: 1, distance: 2, k: 1 });
         assert!(check_k_out_of_order(&trace, 2).is_ok());
     }
 

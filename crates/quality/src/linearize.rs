@@ -303,10 +303,7 @@ mod tests {
     #[test]
     fn pop_before_push_is_never_linearizable() {
         // The pop responds before the push is invoked: no k helps.
-        let h = History::new(vec![
-            op(0, 1, HistOp::PopSome(1)),
-            op(2, 3, HistOp::Push(1)),
-        ]);
+        let h = History::new(vec![op(0, 1, HistOp::PopSome(1)), op(2, 3, HistOp::Push(1))]);
         assert!(!h.is_k_linearizable(0));
         assert!(!h.is_k_linearizable(10));
         assert_eq!(h.tightest_k(), None);

@@ -240,10 +240,7 @@ impl<S: ConcurrentStack<Label>> MeasuredHandle<'_, '_, S> {
         let mut g = self.measured.inner.lock();
         match self.inner.pop() {
             Some(label) => {
-                let dist = g
-                    .oracle
-                    .delete(label)
-                    .expect("popped label must be live in the oracle");
+                let dist = g.oracle.delete(label).expect("popped label must be live in the oracle");
                 g.stats.record(dist);
                 true
             }

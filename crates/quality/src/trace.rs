@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::checker::{check_k_out_of_order, TraceReport, TraceOp, Violation};
+use crate::checker::{check_k_out_of_order, TraceOp, TraceReport, Violation};
 use crate::oracle::Label;
 use stack2d::StackHandle;
 

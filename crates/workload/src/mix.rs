@@ -79,12 +79,7 @@ impl Default for OpMix {
 
 impl core::fmt::Display for OpMix {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "{}/{} push/pop",
-            self.push_permille / 10,
-            (1000 - self.push_permille) / 10
-        )
+        write!(f, "{}/{} push/pop", self.push_permille / 10, (1000 - self.push_permille) / 10)
     }
 }
 

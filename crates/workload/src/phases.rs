@@ -229,12 +229,7 @@ mod tests {
     #[test]
     fn roles_split_producers_and_consumers() {
         let stack = Stack2D::new(Params::for_threads(4));
-        let roles = vec![
-            OpMix::new(1000),
-            OpMix::new(1000),
-            OpMix::new(0),
-            OpMix::new(0),
-        ];
+        let roles = vec![OpMix::new(1000), OpMix::new(1000), OpMix::new(0), OpMix::new(0)];
         let r = run_roles(&stack, &roles, 5_000, 9);
         assert_eq!(r.pushes, 10_000, "producers only push");
         assert_eq!(r.pops + r.empty_pops, 10_000, "consumers only pop");

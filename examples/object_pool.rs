@@ -32,10 +32,7 @@ impl BufferPool {
         for id in 0..buffers as u64 {
             free.push(id);
         }
-        BufferPool {
-            free,
-            checked_out: (0..buffers).map(|_| AtomicU64::new(0)).collect(),
-        }
+        BufferPool { free, checked_out: (0..buffers).map(|_| AtomicU64::new(0)).collect() }
     }
 
     /// Checks a buffer out; `None` when the pool is exhausted.

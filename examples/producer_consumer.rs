@@ -12,9 +12,9 @@
 //! ```
 
 use stack2d::ConcurrentStack;
+use stack2d::{Params, Stack2D};
 use stack2d_baselines::{EliminationStack, TreiberStack};
 use stack2d_workload::{prefill, run_roles, OpMix, RunResult};
-use stack2d::{Params, Stack2D};
 
 fn report(name: &str, r: &RunResult) {
     println!(
@@ -43,7 +43,10 @@ fn main() {
     let m = two_d.metrics();
     println!(
         "{:>12}  window: {} raises, {} lowers, {:.2} probes/op\n",
-        "", m.shifts_up, m.shifts_down, m.probes_per_op()
+        "",
+        m.shifts_up,
+        m.shifts_down,
+        m.probes_per_op()
     );
 
     let treiber: TreiberStack<u64> = TreiberStack::new();

@@ -14,10 +14,7 @@ fn main() {
     // be: k = (2*shift + depth) * (width - 1).
     let threads = 4;
     let params = Params::for_threads(threads);
-    println!(
-        "params: {params}  ->  pops are at most {} positions out of order",
-        params.k_bound()
-    );
+    println!("params: {params}  ->  pops are at most {} positions out of order", params.k_bound());
 
     // Alternatively, start from a relaxation budget:
     let budget = Params::for_k(200, threads);

@@ -52,11 +52,8 @@ fn record_concurrent<S: ConcurrentStack<u64>>(
 
 #[test]
 fn treiber_is_strictly_linearizable_under_concurrency() {
-    let plans: [&[bool]; 3] = [
-        &[true, false, true, false],
-        &[true, true, false, false, false],
-        &[false, true, false],
-    ];
+    let plans: [&[bool]; 3] =
+        [&[true, false, true, false], &[true, true, false, false, false], &[false, true, false]];
     for round in 0..30u64 {
         let plan = plans[(round % 3) as usize];
         let stack = AnyStack::build(Algorithm::Treiber, BuildSpec::high_throughput(3));
@@ -124,10 +121,7 @@ fn k_segment_is_k_linearizable_under_concurrency() {
         // Concurrent pops racing segment boundaries make the effective
         // window one segment wider than the sequential bound.
         let k = 2 * k_slots;
-        assert!(
-            h.is_k_linearizable(k),
-            "k-segment(k={k_slots}) violated k={k} in round {round}"
-        );
+        assert!(h.is_k_linearizable(k), "k-segment(k={k_slots}) violated k={k} in round {round}");
     }
 }
 

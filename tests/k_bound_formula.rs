@@ -1,0 +1,79 @@
+//! Regression pins for the reproduction finding documented in
+//! `crates/core/src/lib.rs` and `Params::k_bound_paper`:
+//!
+//! * in the regime `shift < (depth - 1) / 2` the paper's Theorem 1 formula
+//!   `(2*shift + depth)*(width - 1)` under-counts, and the bound this
+//!   implementation guarantees is `(2*depth - 1)*(width - 1)`;
+//! * every preset configuration ([`Params::for_threads`] and
+//!   [`Params::for_k`]) stays out of that regime, so for presets the crate's
+//!   guaranteed bound *is* the paper's Theorem 1 formula.
+//!
+//! These are exhaustive sweeps over the small-parameter space rather than
+//! property tests: the claim is about the formulas themselves, so checking
+//! every case in range is both cheaper and stronger.
+
+use stack2d::Params;
+
+#[test]
+fn below_half_depth_shift_uses_the_corrected_bound() {
+    let mut regime_hit = false;
+    for width in 1usize..=32 {
+        for depth in 1usize..=32 {
+            for shift in 1..=depth {
+                let p = Params::new(width, depth, shift).unwrap();
+                let paper = (2 * shift + depth) * (width - 1);
+                let corrected = (2 * depth - 1) * (width - 1);
+                assert_eq!(p.k_bound_paper(), paper);
+                assert_eq!(p.k_bound_sequential(), corrected);
+                if shift < (depth - 1) / 2 {
+                    regime_hit = true;
+                    // The finding: here the paper formula is exceedable and
+                    // the implemented guarantee is the corrected bound.
+                    assert!(
+                        corrected > paper || width == 1,
+                        "corrected bound must dominate for w={width} d={depth} s={shift}"
+                    );
+                    assert_eq!(
+                        p.k_bound(),
+                        corrected,
+                        "k_bound must be the corrected formula for w={width} d={depth} s={shift}"
+                    );
+                }
+                // In every regime the guarantee covers both formulas.
+                assert!(p.k_bound() >= paper && p.k_bound() >= corrected);
+            }
+        }
+    }
+    assert!(regime_hit, "sweep never reached the affected regime");
+}
+
+#[test]
+fn presets_satisfy_theorem_1_exactly() {
+    // for_threads: width = 4P, depth = shift = 1 — depth 1 can never be in
+    // the affected regime, and the guaranteed bound equals Theorem 1.
+    for threads in 0usize..=128 {
+        let p = Params::for_threads(threads);
+        assert!(p.shift() >= (p.depth() - 1) / 2, "preset fell into the regime");
+        assert_eq!(p.k_bound(), p.k_bound_paper());
+    }
+    // for_k: both the horizontal-growth and the vertical-growth regimes
+    // keep shift = depth, which also never enters the affected regime.
+    for threads in [0usize, 1, 2, 4, 8, 64] {
+        for k in (0usize..=4096).chain([10_000, 1_000_000]) {
+            let p = Params::for_k(k, threads);
+            assert!(
+                p.shift() >= (p.depth() - 1) / 2,
+                "for_k({k}, {threads}) fell into the regime: {p}"
+            );
+            assert_eq!(
+                p.k_bound(),
+                p.k_bound_paper(),
+                "for_k({k}, {threads}): preset bound must match Theorem 1"
+            );
+            assert!(p.k_bound() <= k || k == 0 && p.k_bound() == 0);
+        }
+    }
+    // The default config is a preset too.
+    let p = Params::default();
+    assert_eq!(p.k_bound(), p.k_bound_paper());
+}

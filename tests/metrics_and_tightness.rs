@@ -18,10 +18,7 @@ fn probes_per_op_grows_with_width() {
     };
     let narrow = probes_for(2);
     let wide = probes_for(64);
-    assert!(
-        (1.0..100.0).contains(&narrow),
-        "narrow probes/op out of range: {narrow}"
-    );
+    assert!((1.0..100.0).contains(&narrow), "narrow probes/op out of range: {narrow}");
     assert!(wide >= narrow, "wider array should probe at least as much: {narrow} vs {wide}");
 }
 
@@ -48,8 +45,8 @@ fn window_shift_totals_bound_resident_change() {
     }
     let m = stack.metrics();
     // The window starts at `depth` (see Params docs).
-    let expected_global = p.depth() as i64
-        + (m.shifts_up as i64 - m.shifts_down as i64) * p.shift() as i64;
+    let expected_global =
+        p.depth() as i64 + (m.shifts_up as i64 - m.shifts_down as i64) * p.shift() as i64;
     assert_eq!(
         stack.global() as i64,
         expected_global,

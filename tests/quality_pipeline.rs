@@ -71,11 +71,7 @@ fn two_d_error_stays_under_bound_single_thread() {
                 seed: 5,
             },
         );
-        assert!(
-            (stats.max() as usize) <= bound,
-            "k={k}: measured {} > bound {bound}",
-            stats.max()
-        );
+        assert!((stats.max() as usize) <= bound, "k={k}: measured {} > bound {bound}", stats.max());
     }
 }
 

@@ -131,8 +131,7 @@ proptest! {
 fn probes_are_deterministic_for_a_seed() {
     let collect = |seed| {
         let mut rng = HopRng::seeded(seed);
-        Probes::new(SearchPolicy::TwoPhase { random_hops: 3 }, 16, 5, &mut rng)
-            .collect::<Vec<_>>()
+        Probes::new(SearchPolicy::TwoPhase { random_hops: 3 }, 16, 5, &mut rng).collect::<Vec<_>>()
     };
     assert_eq!(collect(42), collect(42));
     assert_ne!(collect(42), collect(43), "distinct seeds should usually differ");

@@ -25,10 +25,7 @@ fn check_multiset(algo: Algorithm, plan: &[bool]) -> Result<(), TestCaseError> {
         } else {
             match h.pop() {
                 Some(v) => {
-                    prop_assert!(
-                        resident.remove(&v),
-                        "{algo}: popped {v} which is not resident"
-                    );
+                    prop_assert!(resident.remove(&v), "{algo}: popped {v} which is not resident");
                 }
                 None => {
                     prop_assert!(

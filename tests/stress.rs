@@ -55,11 +55,7 @@ fn reclamation_churn_with_heap_payloads() {
         }
         // Remaining payloads are dropped by Stack2D::drop here.
     }
-    assert_eq!(
-        drops.load(Ordering::SeqCst),
-        THREADS * PER,
-        "every payload must drop exactly once"
-    );
+    assert_eq!(drops.load(Ordering::SeqCst), THREADS * PER, "every payload must drop exactly once");
 }
 
 #[test]
@@ -146,8 +142,8 @@ fn random_only_policy_survives_empty_storms() {
     // The RandomOnly ablation keeps a covering sweep for emptiness; hammer
     // the empty transition to make sure it neither livelocks, loses items,
     // nor reports false empties.
-    let cfg = StackConfig::new(Params::new(4, 1, 1).unwrap())
-        .search_policy(SearchPolicy::RandomOnly);
+    let cfg =
+        StackConfig::new(Params::new(4, 1, 1).unwrap()).search_policy(SearchPolicy::RandomOnly);
     let stack = Arc::new(Stack2D::with_config(cfg));
     let mut joins = Vec::new();
     for t in 0..4 {

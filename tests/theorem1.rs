@@ -132,8 +132,5 @@ fn theorem1_worst_case_is_reachable_in_principle() {
     let plan: Vec<bool> = (0..2_000).map(|i| i < 1_000).collect(); // 1000 pushes then pops
     let trace = record_trace(StackConfig::new(params), &plan, 42);
     let report = check_k_out_of_order(&trace, params.k_bound()).unwrap();
-    assert!(
-        report.max_distance > 0,
-        "a width-4 relaxed stack should show some out-of-order pops"
-    );
+    assert!(report.max_distance > 0, "a width-4 relaxed stack should show some out-of-order pops");
 }

@@ -1,0 +1,296 @@
+//! Vendored API-compatible subset of `criterion`.
+//!
+//! Implements the surface the `stack2d-bench` targets use — benchmark
+//! groups, [`Bencher::iter`] / [`Bencher::iter_batched`], element
+//! throughput, and the [`criterion_group!`] / [`criterion_main!`] macros —
+//! as a straightforward timing loop: warm-up, then timed samples, reporting
+//! mean time per iteration and derived throughput. There is no statistical
+//! analysis, HTML report, or baseline comparison; swap in the crates.io
+//! criterion for those.
+
+#![warn(rust_2018_idioms)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver: holds the timing budget applied to every
+/// group it spawns.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the time budget for the measured phase of each benchmark.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Sets the warm-up time preceding each measurement.
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: None }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let mt = self.measurement_time;
+        let wt = self.warm_up_time;
+        let n = self.sample_size;
+        run_benchmark(&id.into(), None, mt, wt, n, f);
+    }
+}
+
+/// Ops-or-bytes-per-iteration metadata used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing policy for [`Bencher::iter_batched`]. The vendored runner
+/// treats every variant as one-setup-per-iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// A named collection of benchmarks sharing throughput metadata.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Times `f` under the group's configuration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(
+            &full,
+            self.throughput,
+            self.criterion.measurement_time,
+            self.criterion.warm_up_time,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            f,
+        );
+    }
+
+    /// Ends the group (drop would do the same; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing handle passed to the closure.
+pub struct Bencher {
+    mode: Mode,
+    /// Accumulated (iterations, elapsed) of the measured phase.
+    result: Option<(u64, Duration)>,
+}
+
+enum Mode {
+    WarmUp(Duration),
+    Measure(Duration),
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let budget = self.budget();
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            // Check the clock every few iterations to keep overhead low.
+            if iters.is_multiple_of(16) && start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.record(iters, start.elapsed());
+    }
+
+    /// Times `routine` on inputs built by `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let budget = self.budget();
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        while measured < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.record(iters, measured);
+    }
+
+    fn budget(&self) -> Duration {
+        match self.mode {
+            Mode::WarmUp(d) | Mode::Measure(d) => d,
+        }
+    }
+
+    fn record(&mut self, iters: u64, elapsed: Duration) {
+        if let Mode::Measure(_) = self.mode {
+            self.result = Some((iters, elapsed));
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut warm = Bencher { mode: Mode::WarmUp(warm_up_time), result: None };
+    f(&mut warm);
+    // The measurement budget is split across `sample_size` samples, each an
+    // independent invocation of the bench closure; results are pooled.
+    let samples = sample_size.max(1) as u32;
+    let per_sample = measurement_time / samples;
+    let mut iters = 0u64;
+    let mut elapsed = Duration::ZERO;
+    let mut measured = false;
+    for _ in 0..samples {
+        let mut bench = Bencher { mode: Mode::Measure(per_sample), result: None };
+        f(&mut bench);
+        if let Some((i, e)) = bench.result {
+            iters += i;
+            elapsed += e;
+            measured = true;
+        }
+    }
+    if !measured {
+        println!("{id:<50} (no measurement: bencher closure never iterated)");
+        return;
+    }
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / ns_per_iter)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 * 1e9 / ns_per_iter)
+        }
+        None => String::new(),
+    };
+    println!("{id:<50} {ns_per_iter:>14.1} ns/iter{rate}   ({iters} iters)");
+}
+
+/// Declares a group-runner function over benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (`--bench`, filters) that this
+            // vendored runner ignores; running everything is always valid.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn iter_measures_and_reports() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("test");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = quick();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&b| b as u64).sum::<u64>(),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+}

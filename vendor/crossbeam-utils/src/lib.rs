@@ -1,0 +1,128 @@
+//! Vendored API-compatible subset of `crossbeam-utils`: [`Backoff`] and
+//! [`CachePadded`], the two items this workspace uses. See vendor/README.md
+//! for why the workspace vendors its dependencies.
+
+#![warn(rust_2018_idioms)]
+
+use std::cell::Cell;
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for contended CAS loops.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+impl Backoff {
+    /// A fresh backoff at the shortest delay.
+    pub fn new() -> Self {
+        Backoff { step: Cell::new(0) }
+    }
+
+    /// Resets to the shortest delay.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Spins `2^step` times (capped), doubling the delay each call.
+    pub fn spin(&self) {
+        let step = self.step.get().min(SPIN_LIMIT);
+        for _ in 0..1u32 << step {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Like [`spin`](Backoff::spin), but yields the thread once spinning has
+    /// saturated — appropriate when waiting on another thread's progress.
+    pub fn snooze(&self) {
+        if self.step.get() <= SPIN_LIMIT {
+            self.spin();
+        } else {
+            std::thread::yield_now();
+            if self.step.get() <= YIELD_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+    }
+
+    /// Whether backoff has saturated and blocking would be better.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+/// Pads and aligns a value to 128 bytes so neighbouring values never share a
+/// cache line (two lines, covering adjacent-line prefetchers).
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache lines.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachePadded").field("value", &self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_transparent_and_aligned() {
+        let x = CachePadded::new(7u64);
+        assert_eq!(*x, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+    }
+
+    #[test]
+    fn backoff_progresses_to_completion() {
+        let b = Backoff::new();
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

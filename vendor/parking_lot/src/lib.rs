@@ -1,0 +1,113 @@
+//! Vendored API-compatible subset of `parking_lot`, backed by `std::sync`.
+//! Only [`Mutex`] (the one primitive this workspace uses) is provided; the
+//! parking_lot signatures are kept — `lock()` returns the guard directly and
+//! poisoning is transparent, matching parking_lot's no-poisoning semantics.
+
+#![warn(rust_2018_idioms)]
+
+use std::sync;
+
+/// A mutual-exclusion lock with parking_lot's panic-transparent API.
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    /// Unwraps the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Unlike `std`, a panic in
+    /// a previous critical section does not poison the data.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => MutexGuard { inner: g },
+            Err(poisoned) => MutexGuard { inner: poisoned.into_inner() },
+        }
+    }
+
+    /// Tries to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(sync::TryLockError::Poisoned(poisoned)) => {
+                Some(MutexGuard { inner: poisoned.into_inner() })
+            }
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_round_trips() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn panicked_section_does_not_poison() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0, "lock must remain usable");
+    }
+}

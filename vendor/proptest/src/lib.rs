@@ -1,0 +1,554 @@
+//! Vendored API-compatible subset of `proptest`.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), integer/float
+//! range strategies, [`any`](arbitrary::any), [`Just`](strategy::Just),
+//! `prop_map` / `prop_flat_map`, [`collection::vec`] and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, chosen for a dependency-free build:
+//!
+//! * **no shrinking** — a failing case reports its inputs verbatim;
+//! * **deterministic seeding** — each test derives its RNG seed from the
+//!   test name (override with `PROPTEST_SEED=<u64>`), so CI failures
+//!   reproduce exactly;
+//! * `PROPTEST_CASES=<n>` scales the per-test case count like the real
+//!   crate's env override.
+
+#![warn(rust_2018_idioms)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of [`Strategy::Value`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, map: f }
+        }
+
+        /// Generates an intermediate value, then generates from the strategy
+        /// `f` builds out of it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, flat_map: f }
+        }
+
+        /// Keeps only generated values satisfying `f` (retry on reject).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { base: self, filter: f, whence }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug)]
+    pub struct Map<S, F> {
+        base: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug)]
+    pub struct FlatMap<S, F> {
+        base: S,
+        flat_map: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.flat_map)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug)]
+    pub struct Filter<S, F> {
+        base: S,
+        filter: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.base.generate(rng);
+                if (self.filter)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates: {}", self.whence)
+        }
+    }
+
+    /// A strategy producing exactly one value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // i128 arithmetic: signed ranges must not overflow.
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.next_f64() * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+))+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point and the [`Arbitrary`] trait behind it.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            rng.next_f64() as f32
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (full value range).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Per-test configuration, RNG and error plumbing.
+
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        fn env_cases() -> Option<u32> {
+            std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+        }
+
+        /// Cases to run after applying the `PROPTEST_CASES` env override.
+        pub fn effective_cases(&self) -> u32 {
+            Self::env_cases().unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A property-test failure (assertion or explicit rejection).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+
+        /// Alias of [`fail`](TestCaseError::fail) kept for API parity.
+        pub fn reject(message: impl Into<String>) -> Self {
+            Self::fail(message)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Result type of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic splitmix64 RNG: seeded from the test name (or
+    /// `PROPTEST_SEED`) so failures replay bit-identically.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test name, mixed with `PROPTEST_SEED` if set.
+        pub fn for_test(name: &str) -> Self {
+            let base: u64 = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0x9e37_79b9_7f4a_7c15);
+            let mut h = base;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the surrounding property if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the surrounding property if the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?}` == `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            lhs,
+            rhs,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the surrounding property if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{:?}` != `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            lhs,
+            rhs,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.effective_cases() {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                let inputs = format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                    $(&$arg,)+
+                );
+                let outcome: $crate::test_runner::TestCaseResult =
+                    (move || { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}: {}\ninputs:{}",
+                        stringify!($name), case, e, inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 1u64..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=5).contains(&y));
+        }
+
+        #[test]
+        fn signed_ranges_cross_zero_without_overflow(
+            a in -2i32..3,
+            b in -5i64..=5,
+            c in i8::MIN..=i8::MAX,
+        ) {
+            prop_assert!((-2..3).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            let _ = c; // full-domain inclusive range must not overflow
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in crate::collection::vec(any::<u16>(), 1..50),
+            k in (1usize..4).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            prop_assert!(k % 2 == 0 && k < 8);
+        }
+
+        #[test]
+        fn flat_map_respects_dependency(
+            pair in (0usize..5).prop_flat_map(|lo| (Just(lo), lo..lo + 10)),
+        ) {
+            let (lo, hi) = pair;
+            prop_assert!(hi >= lo && hi < lo + 10);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let gen = || {
+            let mut rng = crate::test_runner::TestRng::for_test("seeding");
+            (0..8).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(), gen());
+    }
+}

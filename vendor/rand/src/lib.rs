@@ -1,0 +1,108 @@
+//! Vendored API-compatible subset of `rand` 0.9: `rngs::StdRng` seeded via
+//! [`SeedableRng::seed_from_u64`], plus the [`Rng`] range/bool helpers the
+//! workspace's unit tests use. Backed by splitmix64 — statistical quality is
+//! ample for randomized tests. See vendor/README.md.
+
+#![warn(rust_2018_idioms)]
+
+/// Construction of reproducible generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A distribution range usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value in the range from 64 random bits.
+    fn sample(self, bits: u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, bits: u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (bits as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, bits: u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (bits as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Random value generation helpers.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from an integer range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// Deterministic splitmix64 generator standing in for rand's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_bools_stay_in_bounds() {
+        use crate::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let x = rng.random_range(0..512);
+            assert!((0..512).contains(&x));
+            let d: i32 = rng.random_range(-2..=2);
+            assert!((-2..=2).contains(&d));
+            let _ = rng.random_bool(0.5);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = rngs::StdRng::seed_from_u64(3);
+        let mut b = rngs::StdRng::seed_from_u64(3);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Vendored API-compatible subset of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and result
+//! structs but never moves them through serde's data model (no serde_json,
+//! no `T: Serialize` bounds), so the traits here are markers and the derives
+//! (re-exported from the vendored `serde_derive`) expand to nothing. The
+//! `derive` feature is accepted for manifest compatibility and is a no-op.
+
+#![warn(rust_2018_idioms)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

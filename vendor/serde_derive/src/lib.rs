@@ -1,0 +1,21 @@
+//! Vendored no-op `Serialize` / `Deserialize` derive macros.
+//!
+//! Nothing in this workspace serializes through serde's data model (the
+//! derives are carried on config/result structs for downstream consumers and
+//! no bound like `T: Serialize` exists anywhere), so the derives expand to
+//! nothing. If real serialization lands, replace this vendored pair with the
+//! crates.io `serde`/`serde_derive` in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

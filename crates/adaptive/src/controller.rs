@@ -1,0 +1,278 @@
+//! Feedback controllers: from metrics deltas to new window parameters.
+//!
+//! A controller is a pure decision function — it never touches the stack —
+//! so policies are unit-testable from fabricated [`Observation`]s and the
+//! driver ([`crate::runtime`]) owns all the sampling and retuning
+//! machinery.
+
+use std::time::Duration;
+
+use stack2d::{MetricsSnapshot, Params, WindowInfo};
+
+/// What a controller sees at each tick: the counter increments since the
+/// previous tick plus the live window.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Wall-clock time covered by this sample.
+    pub interval: Duration,
+    /// Counter increments over the interval
+    /// ([`MetricsSnapshot::delta_since`]).
+    pub delta: MetricsSnapshot,
+    /// The window in force at sampling time.
+    pub window: WindowInfo,
+    /// The stack's sub-stack capacity (hard width ceiling).
+    pub capacity: usize,
+    /// The user's relaxation budget: emitted parameters must keep
+    /// `k_bound <= max_k`.
+    pub max_k: usize,
+}
+
+impl Observation {
+    /// Completed operations per second over the interval.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.interval.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.delta.ops as f64 / secs
+        }
+    }
+
+    /// The *window pressure*: coordination events (lost descriptor CASes,
+    /// `Global` shifts in either direction, mid-search restarts) per
+    /// completed operation.
+    ///
+    /// This is the paper-native congestion signal: a window too small for
+    /// the traffic shifts `Global` roughly once per `width * shift`
+    /// pushes and loses CASes to neighbours, while a comfortably wide
+    /// window absorbs the same traffic with none of either. Unlike a pure
+    /// CAS-failure rate it also responds on machines where threads rarely
+    /// overlap mid-instruction (e.g. single-core CI runners).
+    pub fn window_pressure(&self) -> f64 {
+        if self.delta.ops == 0 {
+            return 0.0;
+        }
+        let events = self.delta.cas_failures
+            + self.delta.global_restarts
+            + self.delta.shifts_up
+            + self.delta.shifts_down;
+        events as f64 / self.delta.ops as f64
+    }
+}
+
+/// A window-retuning policy: maps an [`Observation`] to the parameters to
+/// install next, or `None` to leave the window alone.
+pub trait Controller {
+    /// Decides the next window parameters.
+    ///
+    /// Implementations must uphold the **k-budget invariant**: any returned
+    /// parameter set satisfies `params.k_bound() <= obs.max_k` and
+    /// `params.width() <= obs.capacity`.
+    fn decide(&mut self, obs: &Observation) -> Option<Params>;
+}
+
+/// The widest `width` whose relaxation bound stays within `max_k` for the
+/// given vertical dimensions: inverts
+/// `k = max(2*shift + depth, 2*depth - 1) * (width - 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_adaptive::max_width_for_budget;
+///
+/// assert_eq!(max_width_for_budget(1, 1, 0), 1); // strict: one sub-stack
+/// assert_eq!(max_width_for_budget(1, 1, 30), 11); // 3 * (11 - 1) = 30
+/// assert_eq!(max_width_for_budget(2, 1, 30), 8); // 4 * (8 - 1) = 28
+/// ```
+pub fn max_width_for_budget(depth: usize, shift: usize, max_k: usize) -> usize {
+    let per_sibling = (2 * shift + depth).max(2 * depth - 1);
+    1 + max_k / per_sibling
+}
+
+/// The default policy: **multiplicative increase** of `width` while the
+/// [window pressure](Observation::window_pressure) is above `grow_above`,
+/// **additive decrease** once it falls below `shrink_below`.
+///
+/// Classic AIMD is inverted deliberately: the scarce resource here is the
+/// relaxation budget `max_k`, so the controller spends it fast when
+/// contention demands (doubling reacts to a burst within a couple of
+/// ticks) and returns it gradually when the burst passes (stepwise
+/// tightening avoids oscillating straight back into contention). Width
+/// never exceeds `min(capacity, max_width_for_budget(..))`, so the
+/// k-budget invariant holds by construction; depth and shift are left as
+/// tuned at construction (the paper's horizontal-first strategy — width is
+/// the cheap dimension for quality).
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_adaptive::AimdController;
+///
+/// let c = AimdController::new(450); // k budget of Figure 1's mid range
+/// assert_eq!(c.max_k(), 450);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AimdController {
+    max_k: usize,
+    /// Window pressure above which the window widens (default 0.05, i.e.
+    /// a coordination event every ~20 operations).
+    pub grow_above: f64,
+    /// Window pressure below which the window tightens (default 0.01).
+    pub shrink_below: f64,
+    /// Minimum operations in a sample before acting (default 64 — avoids
+    /// deciding on noise right after a phase change).
+    pub min_ops: u64,
+    /// Ticks to hold after a width change before deciding again (default
+    /// 4). A width grow hands pushes a large one-off capacity cushion —
+    /// the fresh sub-stacks sit far below `Global` — which suppresses the
+    /// pressure signal until they catch up; deciding during that transient
+    /// oscillates grow/shrink. The dwell lets the signal re-stabilize.
+    pub dwell: u32,
+    /// Remaining dwell ticks.
+    cooldown: u32,
+}
+
+impl AimdController {
+    /// A controller targeting throughput subject to `k_bound <= max_k`.
+    pub fn new(max_k: usize) -> Self {
+        AimdController {
+            max_k,
+            grow_above: 0.05,
+            shrink_below: 0.01,
+            min_ops: 64,
+            dwell: 4,
+            cooldown: 0,
+        }
+    }
+
+    /// The relaxation budget this controller enforces.
+    pub fn max_k(&self) -> usize {
+        self.max_k
+    }
+}
+
+impl Controller for AimdController {
+    fn decide(&mut self, obs: &Observation) -> Option<Params> {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return None;
+        }
+        if obs.delta.ops < self.min_ops {
+            return None;
+        }
+        let params = obs.window.params();
+        let (width, depth, shift) = (params.width(), params.depth(), params.shift());
+        let budget = self.max_k.min(obs.max_k);
+        let ceiling = max_width_for_budget(depth, shift, budget).min(obs.capacity);
+        let rate = obs.window_pressure();
+        let target = if rate > self.grow_above && width < ceiling {
+            (width * 2).min(ceiling)
+        } else if rate < self.shrink_below && width > 1 {
+            width - (width / 4).max(1)
+        } else {
+            return None;
+        };
+        debug_assert!(target >= 1);
+        self.cooldown = self.dwell;
+        Some(
+            Params::new(target, depth, shift)
+                .expect("AIMD only changes width, depth/shift stay validated"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(width: usize, ops: u64, cas_failures: u64, max_k: usize) -> Observation {
+        let stack: stack2d::Stack2D<u8> =
+            stack2d::Stack2D::elastic(Params::new(width, 1, 1).unwrap(), 64);
+        Observation {
+            interval: Duration::from_millis(10),
+            delta: MetricsSnapshot { ops, cas_failures, ..Default::default() },
+            window: stack.window(),
+            capacity: 64,
+            max_k,
+        }
+    }
+
+    #[test]
+    fn budget_inversion_matches_k_bound() {
+        for depth in 1..6 {
+            for shift in 1..=depth {
+                for k in [0usize, 1, 9, 30, 450, 10_000] {
+                    let w = max_width_for_budget(depth, shift, k);
+                    assert!(w >= 1);
+                    let p = Params::new(w, depth, shift).unwrap();
+                    assert!(p.k_bound() <= k || w == 1, "w={w} d={depth} s={shift} k={k}");
+                    // One wider would bust the budget.
+                    let wider = Params::new(w + 1, depth, shift).unwrap();
+                    assert!(wider.k_bound() > k, "inversion not tight at w={w} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grows_multiplicatively_under_contention() {
+        let mut c = AimdController::new(10_000);
+        let p = c.decide(&obs(4, 1_000, 100, 10_000)).expect("high contention must grow");
+        assert_eq!(p.width(), 8);
+    }
+
+    #[test]
+    fn shrinks_additively_when_calm() {
+        let mut c = AimdController::new(10_000);
+        c.dwell = 0;
+        let p = c.decide(&obs(16, 1_000, 0, 10_000)).expect("calm must shrink");
+        assert_eq!(p.width(), 12);
+        // Shrinking bottoms out at one sub-stack (a strict stack).
+        let p = c.decide(&obs(2, 1_000, 0, 10_000)).expect("still calm");
+        assert_eq!(p.width(), 1);
+        assert!(c.decide(&obs(1, 1_000, 0, 10_000)).is_none());
+    }
+
+    #[test]
+    fn dwell_holds_after_a_width_change() {
+        let mut c = AimdController::new(10_000);
+        assert!(c.decide(&obs(4, 1_000, 500, 10_000)).is_some(), "first decision acts");
+        for _ in 0..c.dwell {
+            assert!(
+                c.decide(&obs(4, 1_000, 500, 10_000)).is_none(),
+                "cooldown must swallow decisions"
+            );
+        }
+        assert!(c.decide(&obs(4, 1_000, 500, 10_000)).is_some(), "cooldown expires");
+    }
+
+    #[test]
+    fn holds_in_the_dead_band() {
+        let mut c = AimdController::new(10_000);
+        // rate = 0.01: between shrink_below and grow_above.
+        assert!(c.decide(&obs(8, 1_000, 10, 10_000)).is_none());
+    }
+
+    #[test]
+    fn respects_the_k_budget() {
+        let mut c = AimdController::new(9); // width ceiling: 1 + 9/3 = 4
+        c.dwell = 0;
+        let p = c.decide(&obs(2, 1_000, 500, 9)).unwrap();
+        assert!(p.k_bound() <= 9, "{p}");
+        assert_eq!(p.width(), 4);
+        // At the ceiling, contention no longer grows the window.
+        assert!(c.decide(&obs(4, 1_000, 500, 9)).is_none());
+    }
+
+    #[test]
+    fn ignores_undersized_samples() {
+        let mut c = AimdController::new(10_000);
+        assert!(c.decide(&obs(4, 3, 3, 10_000)).is_none(), "3 ops is noise");
+    }
+
+    #[test]
+    fn observation_throughput_divides_by_interval() {
+        let o = obs(4, 500, 0, 100);
+        assert!((o.throughput() - 50_000.0).abs() < 1.0);
+    }
+}

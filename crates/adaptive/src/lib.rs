@@ -1,0 +1,57 @@
+//! # stack2d-adaptive — the elastic relaxation runtime
+//!
+//! The 2D-Stack paper's pitch is a stack that *continuously relaxes
+//! semantics for better performance* — yet its parameters are chosen
+//! offline, per workload. This crate closes the loop at runtime: a
+//! [`Controller`] samples a stack's [`MetricsSnapshot`] deltas on a
+//! cadence and decides new window [`Params`], which the driver installs
+//! through [`Stack2D::retune`] — widening the window when contention
+//! (lost descriptor CASes) eats throughput, tightening it back when load
+//! drops, always subject to a user-supplied relaxation budget `max_k`.
+//!
+//! Three pieces:
+//!
+//! * [`controller`] — the [`Controller`] trait and [`AimdController`], the
+//!   default policy: multiplicative width increase under contention,
+//!   additive decrease in calm periods (the inverse of classic AIMD,
+//!   because here the scarce resource is the *k budget*, which should be
+//!   spent only while contention demands it);
+//! * [`runtime`] — [`Elastic`], the deterministic inline driver
+//!   (`tick()` when *you* decide), and [`ElasticRunner`], a background
+//!   thread ticking on a fixed cadence; both record a [`RetuneEvent`] log;
+//! * the **k-budget invariant**: every parameter set a controller emits
+//!   satisfies `k_bound <= max_k`, and because a width shrink keeps the
+//!   published bound at the wide value until the retired tail is provably
+//!   drained ([`Stack2D::try_commit_shrink`]), the *instantaneous* bound
+//!   observed by the quality checker never exceeds `max_k` either.
+//!
+//! ```
+//! use stack2d::{Params, Stack2D};
+//! use stack2d_adaptive::{AimdController, Elastic};
+//!
+//! let stack: Stack2D<u64> = Stack2D::elastic(Params::new(1, 1, 1).unwrap(), 64);
+//! // Budget k <= 200, sampled manually after each batch of work.
+//! let mut elastic = Elastic::new(&stack, AimdController::new(200));
+//! for round in 0..4 {
+//!     let mut h = stack.handle();
+//!     for i in 0..1_000 {
+//!         h.push(round * 1_000 + i);
+//!     }
+//!     elastic.tick();
+//! }
+//! assert!(stack.k_bound() <= 200, "the k budget is a hard ceiling");
+//! ```
+//!
+//! [`MetricsSnapshot`]: stack2d::MetricsSnapshot
+//! [`Params`]: stack2d::Params
+//! [`Stack2D::retune`]: stack2d::Stack2D::retune
+//! [`Stack2D::try_commit_shrink`]: stack2d::Stack2D::try_commit_shrink
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod controller;
+pub mod runtime;
+
+pub use controller::{max_width_for_budget, AimdController, Controller, Observation};
+pub use runtime::{Elastic, ElasticRunner, RetuneEvent, RetuneKind, ScriptedController};

@@ -1,0 +1,432 @@
+//! The elastic drivers: sampling, retuning and the per-retune event log.
+//!
+//! [`Elastic`] is the deterministic inline driver — the caller decides when
+//! to [`tick`](Elastic::tick) (tests, phase boundaries, harness loops).
+//! [`ElasticRunner`] wraps it in a background thread ticking on a fixed
+//! cadence, the deployment shape: workers never see the controller, they
+//! just observe the window descriptor changing under them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use stack2d::{MetricsSnapshot, Params, Stack2D, WindowInfo};
+
+use crate::controller::{Controller, Observation};
+
+/// Why a descriptor swing happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetuneKind {
+    /// The controller widened the window.
+    Grow,
+    /// The controller tightened the window (width shrink installed; pops
+    /// keep covering the old span until the matching [`RetuneKind::Commit`]).
+    Shrink,
+    /// The controller changed depth/shift at constant width.
+    Vertical,
+    /// A pending width shrink committed: the retired tail was proven
+    /// drained and the relaxation bound tightened.
+    Commit,
+}
+
+/// One entry of the retune log: the window that took effect, when, and why.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetuneEvent {
+    /// Time since the driver started.
+    pub at: Duration,
+    /// Cumulative completed stack operations at decision time.
+    pub ops: u64,
+    /// Generation of the descriptor that took effect.
+    pub generation: u64,
+    /// New push-side width.
+    pub width: usize,
+    /// Sub-stacks pops cover (exceeds `width` while a shrink is pending).
+    pub pop_width: usize,
+    /// New depth.
+    pub depth: usize,
+    /// New shift.
+    pub shift: usize,
+    /// The instantaneous relaxation bound of the new descriptor.
+    pub k_bound: usize,
+    /// What kind of swing this was.
+    pub kind: RetuneKind,
+}
+
+impl RetuneEvent {
+    fn from_info(info: WindowInfo, kind: RetuneKind, at: Duration, ops: u64) -> Self {
+        RetuneEvent {
+            at,
+            ops,
+            generation: info.generation(),
+            width: info.width(),
+            pop_width: info.pop_width(),
+            depth: info.depth(),
+            shift: info.shift(),
+            k_bound: info.k_bound(),
+            kind,
+        }
+    }
+}
+
+/// The inline elastic driver: owns a [`Controller`], samples metrics
+/// deltas on every [`tick`](Elastic::tick), applies its decisions through
+/// [`Stack2D::retune`] / [`Stack2D::try_commit_shrink`], and logs every
+/// swing as a [`RetuneEvent`].
+#[derive(Debug)]
+pub struct Elastic<'s, T, C> {
+    stack: &'s Stack2D<T>,
+    controller: C,
+    max_k: usize,
+    started: Instant,
+    last_metrics: MetricsSnapshot,
+    last_tick: Instant,
+    events: Vec<RetuneEvent>,
+}
+
+impl<'s, T, C: Controller> Elastic<'s, T, C> {
+    /// A driver for `stack` with no budget of its own (the controller's
+    /// budget governs); see [`Elastic::budget`].
+    pub fn new(stack: &'s Stack2D<T>, controller: C) -> Self {
+        let now = Instant::now();
+        Elastic {
+            stack,
+            controller,
+            max_k: usize::MAX,
+            started: now,
+            last_metrics: stack.metrics(),
+            last_tick: now,
+            events: Vec::new(),
+        }
+    }
+
+    /// Caps the relaxation budget advertised to the controller (the
+    /// effective budget is the minimum of this and whatever the policy
+    /// enforces itself).
+    #[must_use]
+    pub fn budget(mut self, max_k: usize) -> Self {
+        self.max_k = max_k;
+        self
+    }
+
+    /// The driven stack.
+    pub fn stack(&self) -> &'s Stack2D<T> {
+        self.stack
+    }
+
+    /// The controller (e.g. to inspect or adjust thresholds).
+    pub fn controller_mut(&mut self) -> &mut C {
+        &mut self.controller
+    }
+
+    /// Every descriptor swing this driver performed, in order.
+    pub fn events(&self) -> &[RetuneEvent] {
+        &self.events
+    }
+
+    /// Consumes the driver, returning the event log.
+    pub fn into_events(self) -> Vec<RetuneEvent> {
+        self.events
+    }
+
+    /// One control step: commit any matured shrink, sample the metrics
+    /// delta since the previous tick, ask the controller, and apply its
+    /// decision. Returns the last event this tick produced, if any.
+    pub fn tick(&mut self) -> Option<RetuneEvent> {
+        let mut produced = None;
+        let snapshot = self.stack.metrics();
+        let at = self.started.elapsed();
+        // A matured shrink commits before the next decision so the
+        // controller sees the tightened bound.
+        if let Some(info) = self.stack.try_commit_shrink() {
+            let ev = RetuneEvent::from_info(info, RetuneKind::Commit, at, snapshot.ops);
+            self.events.push(ev);
+            produced = Some(ev);
+        }
+        let now = Instant::now();
+        let obs = Observation {
+            interval: now.duration_since(self.last_tick),
+            delta: snapshot.delta_since(&self.last_metrics),
+            window: self.stack.window(),
+            capacity: self.stack.capacity(),
+            max_k: self.max_k,
+        };
+        if let Some(params) = self.controller.decide(&obs) {
+            debug_assert!(
+                params.k_bound() <= self.max_k,
+                "controller violated the k budget: {params} > {}",
+                self.max_k
+            );
+            match self.stack.retune(params) {
+                // A no-op retune (controller re-emitted the standing
+                // parameters) swings nothing and bumps no generation:
+                // logging it would inject a phantom event.
+                Ok(info) if info.generation() == obs.window.generation() => {}
+                Ok(info) => {
+                    let kind = match info.width().cmp(&obs.window.width()) {
+                        core::cmp::Ordering::Greater => RetuneKind::Grow,
+                        core::cmp::Ordering::Less => RetuneKind::Shrink,
+                        core::cmp::Ordering::Equal => RetuneKind::Vertical,
+                    };
+                    let ev = RetuneEvent::from_info(info, kind, at, snapshot.ops);
+                    self.events.push(ev);
+                    produced = Some(ev);
+                }
+                Err(e) => {
+                    debug_assert!(false, "controller exceeded stack capacity: {e}");
+                }
+            }
+        }
+        self.last_metrics = snapshot;
+        self.last_tick = now;
+        produced
+    }
+}
+
+/// A background elastic driver: ticks an [`Elastic`] every `cadence` until
+/// stopped, then hands back the event log.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use stack2d::{Params, Stack2D};
+/// use stack2d_adaptive::{AimdController, ElasticRunner};
+///
+/// let stack = Arc::new(Stack2D::elastic(Params::new(1, 1, 1).unwrap(), 32));
+/// let runner = ElasticRunner::spawn(
+///     Arc::clone(&stack),
+///     AimdController::new(1_000),
+///     Duration::from_millis(1),
+/// );
+/// let mut h = stack.handle();
+/// for i in 0..10_000u64 {
+///     h.push(i);
+///     h.pop();
+/// }
+/// let events = runner.stop();
+/// // Single-threaded load has no contention: the controller never grew.
+/// assert!(events.iter().all(|e| e.k_bound <= 1_000));
+/// ```
+#[derive(Debug)]
+pub struct ElasticRunner {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<Vec<RetuneEvent>>>,
+}
+
+impl ElasticRunner {
+    /// Starts a controller thread driving `stack` every `cadence`.
+    pub fn spawn<T, C>(stack: Arc<Stack2D<T>>, controller: C, cadence: Duration) -> Self
+    where
+        T: Send + 'static,
+        C: Controller + Send + 'static,
+    {
+        Self::spawn_with_budget(stack, controller, cadence, usize::MAX)
+    }
+
+    /// Like [`ElasticRunner::spawn`] with an explicit driver-level k
+    /// budget.
+    pub fn spawn_with_budget<T, C>(
+        stack: Arc<Stack2D<T>>,
+        controller: C,
+        cadence: Duration,
+        max_k: usize,
+    ) -> Self
+    where
+        T: Send + 'static,
+        C: Controller + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            let mut elastic = Elastic::new(&stack, controller).budget(max_k);
+            while !stop_flag.load(Ordering::Relaxed) {
+                std::thread::sleep(cadence);
+                elastic.tick();
+            }
+            // Final tick so work done right before `stop` is still seen.
+            elastic.tick();
+            elastic.into_events()
+        });
+        ElasticRunner { stop, join: Some(join) }
+    }
+
+    /// Stops the controller thread and returns its event log.
+    pub fn stop(mut self) -> Vec<RetuneEvent> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.join.take().map(|j| j.join().expect("elastic controller panicked")).unwrap_or_default()
+    }
+}
+
+impl Drop for ElasticRunner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Replays a fixed decision script — handy for deterministic driver tests
+/// and schedule-based experiments (each tick pops the next entry; `None`
+/// entries and an exhausted script leave the window alone).
+#[derive(Debug, Clone)]
+pub struct ScriptedController {
+    script: std::collections::VecDeque<Option<Params>>,
+}
+
+impl ScriptedController {
+    /// A controller that applies `steps` in order, one per tick.
+    pub fn new(steps: impl IntoIterator<Item = Option<Params>>) -> Self {
+        ScriptedController { script: steps.into_iter().collect() }
+    }
+}
+
+impl Controller for ScriptedController {
+    fn decide(&mut self, _obs: &Observation) -> Option<Params> {
+        self.script.pop_front().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(w: usize, d: usize, s: usize) -> Params {
+        Params::new(w, d, s).unwrap()
+    }
+
+    #[test]
+    fn tick_applies_script_and_logs_kinds() {
+        let stack: Stack2D<u32> = Stack2D::elastic(p(2, 1, 1), 16);
+        let script = ScriptedController::new([
+            Some(p(8, 1, 1)), // grow
+            None,             // hold
+            Some(p(8, 2, 2)), // vertical
+            Some(p(4, 2, 2)), // shrink (tail empty, commits on later ticks)
+        ]);
+        let mut elastic = Elastic::new(&stack, script);
+        let ev = elastic.tick().expect("grow event");
+        assert_eq!(ev.kind, RetuneKind::Grow);
+        assert_eq!(ev.width, 8);
+        assert_eq!(ev.generation, 1);
+        assert!(elastic.tick().is_none(), "holds produce no event");
+        let ev = elastic.tick().expect("vertical event");
+        assert_eq!(ev.kind, RetuneKind::Vertical);
+        assert_eq!(ev.depth, 2);
+        let ev = elastic.tick().expect("shrink event");
+        assert_eq!(ev.kind, RetuneKind::Shrink);
+        assert_eq!(ev.width, 4);
+        // The shrink on an empty tail commits after a few more ticks.
+        let mut committed = None;
+        for _ in 0..64 {
+            if let Some(ev) = elastic.tick() {
+                committed = Some(ev);
+                break;
+            }
+        }
+        let ev = committed.expect("shrink must commit on an empty tail");
+        assert_eq!(ev.kind, RetuneKind::Commit);
+        assert_eq!(ev.pop_width, 4);
+        assert_eq!(elastic.events().len(), 4);
+        assert_eq!(stack.window().width(), 4);
+        assert!(!stack.window().pending_shrink());
+    }
+
+    #[test]
+    fn commit_waits_for_tail_to_drain() {
+        let stack: Stack2D<u32> = Stack2D::elastic(p(8, 1, 1), 8);
+        let mut h = stack.handle_seeded(1);
+        for i in 0..80 {
+            h.push(i);
+        }
+        let mut elastic = Elastic::new(&stack, ScriptedController::new([Some(p(2, 1, 1))]));
+        elastic.tick();
+        for _ in 0..32 {
+            assert!(elastic.tick().is_none(), "commit must wait for the tail");
+        }
+        while h.pop().is_some() {}
+        let mut committed = false;
+        for _ in 0..64 {
+            if let Some(ev) = elastic.tick() {
+                assert_eq!(ev.kind, RetuneKind::Commit);
+                committed = true;
+                break;
+            }
+        }
+        assert!(committed, "drained tail must let the shrink commit");
+        assert_eq!(stack.k_bound(), p(2, 1, 1).k_bound());
+    }
+
+    #[test]
+    fn background_runner_applies_and_returns_events() {
+        let stack = Arc::new(Stack2D::<u32>::elastic(p(1, 1, 1), 8));
+        let runner = ElasticRunner::spawn(
+            Arc::clone(&stack),
+            ScriptedController::new([Some(p(8, 1, 1))]),
+            Duration::from_millis(1),
+        );
+        // Give the runner a few cadences to fire.
+        for _ in 0..100 {
+            if stack.window().width() == 8 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let events = runner.stop();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, RetuneKind::Grow);
+        assert_eq!(stack.window().width(), 8);
+    }
+
+    #[test]
+    fn aimd_end_to_end_grows_under_real_contention_and_keeps_budget() {
+        use crate::controller::AimdController;
+        const BUDGET: usize = 93; // width ceiling 1 + 93/3 = 32
+        let stack = Arc::new(Stack2D::elastic(p(1, 1, 1), 32));
+        let runner = ElasticRunner::spawn(
+            Arc::clone(&stack),
+            AimdController::new(BUDGET),
+            Duration::from_millis(1),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let stack = Arc::clone(&stack);
+            let stop = Arc::clone(&stop);
+            joins.push(std::thread::spawn(move || {
+                let mut h = stack.handle_seeded(t + 1);
+                // Bursty producer/consumer: runs of pushes slam the narrow
+                // window (Global shifts nearly every op), generating the
+                // pressure signal even on a single-core runner.
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..64 {
+                        h.push(1u8);
+                    }
+                    for _ in 0..64 {
+                        h.pop();
+                    }
+                }
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+        for j in joins {
+            j.join().unwrap();
+        }
+        let events = runner.stop();
+        // 4 threads hammering a single sub-stack is the paper's bottleneck
+        // scenario: the controller must have widened at least once.
+        assert!(
+            events.iter().any(|e| e.kind == RetuneKind::Grow),
+            "no grow under 4-thread contention: {events:?}"
+        );
+        for e in &events {
+            assert!(e.k_bound <= BUDGET, "budget violated: {e:?}");
+        }
+        assert!(stack.k_bound() <= BUDGET);
+    }
+}

@@ -5,7 +5,9 @@
 //! * `fig1_relaxation` — Figure 1's relaxation sweep (k-bounded algorithms);
 //! * `fig2_scalability` — Figure 2's thread sweep (all seven algorithms);
 //! * `ablation_search` — search-policy/locality/hop ablations;
-//! * `micro_ops` — per-operation costs of the building blocks.
+//! * `micro_ops` — per-operation costs of the building blocks;
+//! * `elastic_adapt` — static presets vs the elastic (online-retuned)
+//!   stack on a bursty workload, plus the raw descriptor-swing cost.
 //!
 //! Benchmarks measure *time per fixed batch of operations* with
 //! `Throughput::Elements`, so Criterion reports ops/s directly — the

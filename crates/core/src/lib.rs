@@ -68,7 +68,11 @@
 //! * [`params`] — window parameters and the Theorem 1 bound;
 //! * [`traits`] — the [`ConcurrentStack`] interface shared with every
 //!   baseline;
-//! * [`metrics`] — contention / probe / window-shift counters
+//! * [`window`] — the hot-swappable window descriptor behind
+//!   [`Stack2D::retune`](stack::Stack2D::retune): online ("elastic")
+//!   width/depth/shift changes with per-generation relaxation bounds,
+//!   driven by the feedback controllers in the `stack2d-adaptive` crate;
+//! * [`metrics`] — contention / probe / window-shift / retune counters
 //!   ([`Stack2D::metrics`](stack::Stack2D::metrics));
 //! * [`queue2d`] and [`counter2d`] — the paper's stated future work (§5):
 //!   the same window design generalized to a FIFO queue and a sharded
@@ -95,6 +99,7 @@ pub mod search;
 pub mod stack;
 pub mod substack;
 pub mod traits;
+pub mod window;
 
 pub use counter2d::{Counter2D, CounterHandle};
 pub use metrics::MetricsSnapshot;
@@ -103,3 +108,4 @@ pub use queue2d::{Queue2D, QueueHandle};
 pub use search::{SearchPolicy, StackConfig};
 pub use stack::{Handle2D, Stack2D};
 pub use traits::{ConcurrentStack, StackHandle};
+pub use window::{RetuneError, WindowInfo};

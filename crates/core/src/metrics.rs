@@ -34,6 +34,8 @@ pub(crate) struct OpCounters {
     pub empty_pops: CachePadded<AtomicU64>,
     /// Completed operations (pushes + pops, including empty pops).
     pub ops: CachePadded<AtomicU64>,
+    /// Window-descriptor swings (retunes and shrink commits).
+    pub retunes: CachePadded<AtomicU64>,
 }
 
 impl OpCounters {
@@ -53,6 +55,7 @@ impl OpCounters {
             global_restarts: self.global_restarts.load(Ordering::Relaxed),
             empty_pops: self.empty_pops.load(Ordering::Relaxed),
             ops: self.ops.load(Ordering::Relaxed),
+            retunes: self.retunes.load(Ordering::Relaxed),
         }
     }
 
@@ -64,6 +67,7 @@ impl OpCounters {
         self.global_restarts.store(0, Ordering::Relaxed);
         self.empty_pops.store(0, Ordering::Relaxed);
         self.ops.store(0, Ordering::Relaxed);
+        self.retunes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -100,9 +104,39 @@ pub struct MetricsSnapshot {
     pub empty_pops: u64,
     /// Completed operations.
     pub ops: u64,
+    /// Window-descriptor swings (retunes and shrink commits).
+    pub retunes: u64,
 }
 
 impl MetricsSnapshot {
+    /// The counter increments since an `earlier` snapshot of the same
+    /// stack (saturating, so a reset in between yields zeros instead of
+    /// wrapping). This is what feedback controllers sample on a cadence.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Params, Stack2D};
+    ///
+    /// let stack = Stack2D::new(Params::default());
+    /// stack.push(1);
+    /// let before = stack.metrics();
+    /// stack.push(2);
+    /// stack.push(3);
+    /// assert_eq!(stack.metrics().delta_since(&before).ops, 2);
+    /// ```
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cas_failures: self.cas_failures.saturating_sub(earlier.cas_failures),
+            probes: self.probes.saturating_sub(earlier.probes),
+            shifts_up: self.shifts_up.saturating_sub(earlier.shifts_up),
+            shifts_down: self.shifts_down.saturating_sub(earlier.shifts_down),
+            global_restarts: self.global_restarts.saturating_sub(earlier.global_restarts),
+            empty_pops: self.empty_pops.saturating_sub(earlier.empty_pops),
+            ops: self.ops.saturating_sub(earlier.ops),
+            retunes: self.retunes.saturating_sub(earlier.retunes),
+        }
+    }
     /// Average sub-stack validations per completed operation — the paper's
     /// step-complexity proxy. Zero when no ops completed.
     pub fn probes_per_op(&self) -> f64 {
@@ -137,7 +171,7 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ops={} probes/op={:.2} cas-fail={} shifts(up/down)={}/{} restarts={} empty={}",
+            "ops={} probes/op={:.2} cas-fail={} shifts(up/down)={}/{} restarts={} empty={} retunes={}",
             self.ops,
             self.probes_per_op(),
             self.cas_failures,
@@ -145,6 +179,7 @@ impl fmt::Display for MetricsSnapshot {
             self.shifts_down,
             self.global_restarts,
             self.empty_pops,
+            self.retunes,
         )
     }
 }
@@ -171,10 +206,23 @@ mod tests {
             global_restarts: 0,
             empty_pops: 0,
             ops: 10,
+            retunes: 0,
         };
         assert_eq!(m.probes_per_op(), 3.0);
         assert_eq!(m.contention_rate(), 0.5);
         assert!((m.shift_rate() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_since_subtracts_fieldwise_and_saturates() {
+        let a = MetricsSnapshot { ops: 10, probes: 20, cas_failures: 3, ..Default::default() };
+        let b = MetricsSnapshot { ops: 25, probes: 21, cas_failures: 3, ..Default::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.ops, 15);
+        assert_eq!(d.probes, 1);
+        assert_eq!(d.cas_failures, 0);
+        // A reset between snapshots saturates to zero instead of wrapping.
+        assert_eq!(a.delta_since(&b).ops, 0);
     }
 
     #[test]

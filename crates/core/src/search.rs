@@ -72,6 +72,7 @@ pub struct StackConfig {
     policy: SearchPolicy,
     hop_on_contention: bool,
     locality: bool,
+    max_width: Option<usize>,
 }
 
 impl StackConfig {
@@ -83,6 +84,7 @@ impl StackConfig {
             policy: SearchPolicy::default(),
             hop_on_contention: true,
             locality: true,
+            max_width: None,
         }
     }
 
@@ -109,6 +111,16 @@ impl StackConfig {
         self
     }
 
+    /// Pre-sizes the sub-stack array to `max_width`, the ceiling for
+    /// online [`Stack2D::retune`](crate::Stack2D::retune)s (default: the
+    /// initial `width`, i.e. a fixed-width stack). Values below the initial
+    /// width are clamped up to it.
+    #[must_use]
+    pub fn max_width(mut self, max_width: usize) -> Self {
+        self.max_width = Some(max_width);
+        self
+    }
+
     /// The window parameters.
     #[inline]
     pub fn params(&self) -> Params {
@@ -131,6 +143,13 @@ impl StackConfig {
     #[inline]
     pub fn uses_locality(&self) -> bool {
         self.locality
+    }
+
+    /// Number of sub-stacks the stack allocates: the configured
+    /// [`StackConfig::max_width`], floored at the initial width.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.max_width.unwrap_or(0).max(self.params.width())
     }
 }
 
@@ -368,6 +387,15 @@ mod tests {
         assert_eq!(cfg.policy(), SearchPolicy::RandomOnly);
         assert!(!cfg.hops_on_contention());
         assert!(!cfg.uses_locality());
+    }
+
+    #[test]
+    fn capacity_defaults_to_width_and_clamps_up() {
+        let params = Params::new(4, 2, 1).unwrap();
+        assert_eq!(StackConfig::new(params).capacity(), 4);
+        assert_eq!(StackConfig::new(params).max_width(16).capacity(), 16);
+        // Below the initial width the clamp wins.
+        assert_eq!(StackConfig::new(params).max_width(2).capacity(), 4);
     }
 
     #[test]

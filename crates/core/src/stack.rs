@@ -17,9 +17,10 @@
 //! Relaxation is bounded by Theorem 1: `k = (2*shift + depth)*(width-1)`.
 
 use core::fmt;
-use core::sync::atomic::{AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use crossbeam_epoch::{self as epoch};
+use crossbeam_epoch::{self as epoch, Atomic, Owned};
 use crossbeam_utils::CachePadded;
 
 use crate::metrics::{MetricsSnapshot, OpCounters};
@@ -28,6 +29,7 @@ use crate::rng::HopRng;
 use crate::search::{Probes, StackConfig};
 use crate::substack::{Contended, PreparedNode, SubStack};
 use crate::traits::{ConcurrentStack, StackHandle};
+use crate::window::{RetuneError, ShrinkFence, WindowDesc, WindowInfo};
 
 /// A scalable lock-free stack with tunable k-out-of-order relaxation.
 ///
@@ -61,10 +63,15 @@ use crate::traits::{ConcurrentStack, StackHandle};
 /// # }
 /// ```
 pub struct Stack2D<T> {
+    /// Sub-stacks, allocated once at `config.capacity()`; only the first
+    /// `window.push_width` (pushes) / `window.pop_width` (pops) are active.
     subs: Box<[CachePadded<SubStack<T>>]>,
     /// The paper's `Global`: upper edge of the window, in items per
     /// sub-stack.
     global: CachePadded<AtomicUsize>,
+    /// The live window descriptor (width/depth/shift + generation),
+    /// epoch-protected and hot-swapped by [`Stack2D::retune`].
+    window: CachePadded<Atomic<WindowDesc>>,
     config: StackConfig,
     counters: OpCounters,
 }
@@ -93,17 +100,36 @@ impl<T> Stack2D<T> {
     /// Creates a 2D-Stack with explicit search-policy configuration
     /// (used by the ablation experiments).
     pub fn with_config(config: StackConfig) -> Self {
-        let width = config.params().width();
-        let subs = (0..width)
+        let capacity = config.capacity();
+        let subs = (0..capacity)
             .map(|_| CachePadded::new(SubStack::new()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         Stack2D {
             subs,
             global: CachePadded::new(AtomicUsize::new(config.params().initial_global())),
+            window: CachePadded::new(Atomic::new(WindowDesc::initial(config.params()))),
             config,
             counters: OpCounters::default(),
         }
+    }
+
+    /// Creates a 2D-Stack that can later be [`retune`](Stack2D::retune)d up
+    /// to `max_width` sub-stacks: the array is pre-sized so growing the
+    /// window is a pure descriptor swing and never blocks an operation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Params, Stack2D};
+    ///
+    /// let stack: Stack2D<u32> = Stack2D::elastic(Params::new(1, 1, 1).unwrap(), 16);
+    /// assert_eq!(stack.capacity(), 16);
+    /// stack.retune(Params::new(16, 1, 1).unwrap()).unwrap();
+    /// assert_eq!(stack.window().width(), 16);
+    /// ```
+    pub fn elastic(params: Params, max_width: usize) -> Self {
+        Self::with_config(StackConfig::new(params).max_width(max_width))
     }
 
     /// A snapshot of the stack's operation counters (contention, probes,
@@ -117,26 +143,221 @@ impl<T> Stack2D<T> {
         self.counters.reset();
     }
 
-    /// The active configuration.
+    /// The construction-time configuration (search policy knobs and the
+    /// *initial* window parameters; for the live parameters after retunes
+    /// see [`Stack2D::window`]).
     #[inline]
     pub fn config(&self) -> StackConfig {
         self.config
     }
 
-    /// The window parameters.
+    /// The window parameters currently in force (push side).
     #[inline]
     pub fn params(&self) -> Params {
-        self.config.params()
+        self.window().params()
     }
 
-    /// The deterministic relaxation bound `k` this stack guarantees:
-    /// the paper's Theorem 1 formula, corrected upward where the
-    /// implementation's provable bound exceeds it (see
-    /// [`Params::k_bound`] and the reproduction finding documented
-    /// there; the two coincide for every preset configuration).
+    /// Number of sub-stacks allocated at construction — the ceiling for
+    /// [`Stack2D::retune`]d widths.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// A consistent snapshot of the live window descriptor: parameters,
+    /// pop span, generation and the instantaneous relaxation bound.
+    pub fn window(&self) -> WindowInfo {
+        let guard = epoch::pin();
+        let w = self.window.load(Ordering::Acquire, &guard);
+        // Never null: construction installs a descriptor and every retune
+        // replaces it with another.
+        unsafe { w.deref() }.info()
+    }
+
+    /// The deterministic relaxation bound `k` this stack guarantees *right
+    /// now*: the paper's Theorem 1 formula over the live window (corrected
+    /// upward where the implementation's provable bound exceeds it, see
+    /// [`Params::k_bound`]), computed over the pop span so it stays honest
+    /// while a width shrink is pending.
     #[inline]
     pub fn k_bound(&self) -> usize {
-        self.params().k_bound()
+        self.window().k_bound()
+    }
+
+    /// The *live* relaxation bound, sound even across retune transients:
+    /// `(pop_width - 1) * (max sub-stack count + depth)`.
+    ///
+    /// [`Stack2D::k_bound`] is the *configured* bound — the window's
+    /// steady-state Theorem 1 guarantee, and what a controller's k budget
+    /// governs. Right after a width **grow**, however, the freshly
+    /// activated sub-stacks sit far below `Global` while the old ones are
+    /// full: items resident at the swing can later pop with error
+    /// distances beyond the static formula, because their siblings refill
+    /// entirely with newer items (the same mechanism as the Theorem 1
+    /// reproduction finding in [`Params::k_bound`], triggered here by
+    /// elasticity instead of a small `shift`). The bound returned here is
+    /// instead derived by residency counting — a pop's distance cannot
+    /// exceed the items resident in the other covered sub-stacks — so it
+    /// holds at every instant, degrades gracefully through transients,
+    /// and converges back towards the configured bound as the stack
+    /// drains. The quality checker verifies measured distances per
+    /// generation segment against `max(configured, instantaneous)`; see
+    /// DESIGN.md §6.
+    ///
+    /// Counts are read one sub-stack at a time, so under unquiesced
+    /// concurrency the value is advisory (quality runs serialize
+    /// operations and read it exactly).
+    pub fn k_bound_instantaneous(&self) -> usize {
+        let guard = epoch::pin();
+        let w = unsafe { self.window.load(Ordering::Acquire, &guard).deref() };
+        if w.pop_width <= 1 {
+            return 0;
+        }
+        let max_count =
+            self.subs[..w.pop_width].iter().map(|s| s.view(&guard).count()).max().unwrap_or(0);
+        (w.pop_width - 1) * (max_count + w.depth)
+    }
+
+    /// Installs new window parameters, returning the snapshot of the
+    /// descriptor that took effect. Lock-free and non-blocking for
+    /// concurrent pushes/pops: they re-read the descriptor at every search
+    /// round and never wait on a retune.
+    ///
+    /// Growing `width` takes full effect immediately. Shrinking `width`
+    /// takes effect immediately for pushes, while pops keep covering the
+    /// old span until [`Stack2D::try_commit_shrink`] proves the retired
+    /// tail empty; the returned/observable [`WindowInfo::k_bound`] reflects
+    /// that by using the pop span.
+    ///
+    /// # Errors
+    ///
+    /// [`RetuneError::ExceedsCapacity`] if `params.width()` exceeds
+    /// [`Stack2D::capacity`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Params, Stack2D};
+    ///
+    /// let stack: Stack2D<u32> = Stack2D::elastic(Params::new(2, 1, 1).unwrap(), 8);
+    /// let info = stack.retune(Params::new(8, 2, 1).unwrap()).unwrap();
+    /// assert_eq!(info.width(), 8);
+    /// assert!(stack.retune(Params::new(9, 1, 1).unwrap()).is_err());
+    /// ```
+    pub fn retune(&self, params: Params) -> Result<WindowInfo, RetuneError> {
+        if params.width() > self.subs.len() {
+            return Err(RetuneError::ExceedsCapacity {
+                requested: params.width(),
+                capacity: self.subs.len(),
+            });
+        }
+        let guard = epoch::pin();
+        loop {
+            let cur_shared = self.window.load(Ordering::Acquire, &guard);
+            let cur = unsafe { cur_shared.deref() };
+            let push_width = params.width();
+            // High-water rule: pops must keep covering every sub-stack that
+            // may still hold items.
+            let pop_width = push_width.max(cur.pop_width);
+            if push_width == cur.push_width
+                && pop_width == cur.pop_width
+                && params.depth() == cur.depth
+                && params.shift() == cur.shift
+            {
+                // No-op retune: report the standing window, no generation
+                // bump (keeps the per-generation quality segments dense).
+                return Ok(cur.info());
+            }
+            let fence = if pop_width > push_width {
+                // A (possibly further) shrink is pending: arm a fresh fence
+                // covering every operation that predates *this* swing.
+                Some(Arc::new(AtomicBool::new(false)))
+            } else {
+                None
+            };
+            let next = Owned::new(WindowDesc {
+                push_width,
+                pop_width,
+                depth: params.depth(),
+                shift: params.shift(),
+                generation: cur.generation + 1,
+                fence: fence.clone(),
+            });
+            match self.window.compare_exchange(
+                cur_shared,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(installed) => {
+                    unsafe { guard.defer_destroy(cur_shared) };
+                    if let Some(flag) = fence {
+                        // The sentinel's Drop runs only after every thread
+                        // pinned right now — i.e. every operation that may
+                        // still push under the pre-shrink descriptor — has
+                        // unpinned. That is the commit precondition.
+                        let sentinel = Owned::new(ShrinkFence(flag)).into_shared(&guard);
+                        unsafe { guard.defer_destroy(sentinel) };
+                    }
+                    self.counters.add(|c| &c.retunes, 1);
+                    return Ok(unsafe { installed.deref() }.info());
+                }
+                // Lost to a concurrent retune; re-read and retry. The
+                // rejected descriptor rides back in the error and is freed.
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Attempts to commit a pending width shrink: once the epoch fence
+    /// proves every pre-shrink operation finished *and* a sweep observes
+    /// the retired tail `[width, pop_width)` empty, pops stop covering the
+    /// tail and the relaxation bound tightens to the shrunk width.
+    ///
+    /// Returns the new window snapshot when the commit lands, `None` when
+    /// there is nothing to commit or the preconditions do not hold yet
+    /// (call again later — e.g. on the next controller tick; each call
+    /// also nudges epoch reclamation along).
+    pub fn try_commit_shrink(&self) -> Option<WindowInfo> {
+        let guard = epoch::pin();
+        let cur_shared = self.window.load(Ordering::Acquire, &guard);
+        let cur = unsafe { cur_shared.deref() };
+        let flag = cur.fence.as_ref()?;
+        if !flag.load(Ordering::Acquire) {
+            // Pre-shrink operations may still be in flight; help the epoch
+            // along so the fence can trip.
+            guard.flush();
+            return None;
+        }
+        // No thread can push into the tail any more; emptiness is stable.
+        if self.subs[cur.push_width..cur.pop_width].iter().any(|s| !s.view(&guard).is_empty()) {
+            return None;
+        }
+        let next = Owned::new(WindowDesc {
+            push_width: cur.push_width,
+            pop_width: cur.push_width,
+            depth: cur.depth,
+            shift: cur.shift,
+            generation: cur.generation + 1,
+            fence: None,
+        });
+        match self.window.compare_exchange(
+            cur_shared,
+            next,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            &guard,
+        ) {
+            Ok(installed) => {
+                unsafe { guard.defer_destroy(cur_shared) };
+                self.counters.add(|c| &c.retunes, 1);
+                Some(unsafe { installed.deref() }.info())
+            }
+            // A concurrent retune replaced the descriptor; its own fence
+            // (if any) governs the next commit attempt.
+            Err(_) => None,
+        }
     }
 
     /// Registers a per-thread handle carrying locality state and the hop
@@ -197,9 +418,20 @@ impl<T> Stack2D<T> {
         self.handle().pop()
     }
 
-    /// One push search round under the `Global` value `global`.
+    /// One push search round under the `Global` value `global` and the
+    /// window descriptor `w`.
+    ///
+    /// The descriptor is deliberately *not* re-checked inside the probe
+    /// loop (only `Global` is, as in the paper): push/pop reload it at
+    /// the top of every round, which already bounds a retune's
+    /// propagation delay to one search round, and the shrink fence (§6 of
+    /// DESIGN.md) tolerates whole in-flight operations on a stale
+    /// descriptor. A per-probe descriptor load would double the atomic
+    /// traffic of the hottest loop for nothing.
+    #[allow(clippy::too_many_arguments)]
     fn push_round(
         &self,
+        w: &WindowDesc,
         global: usize,
         start: usize,
         rng: &mut HopRng,
@@ -207,7 +439,7 @@ impl<T> Stack2D<T> {
         probe_count: &mut u64,
         guard: &epoch::Guard,
     ) -> Round {
-        let width = self.subs.len();
+        let width = w.push_width;
         let mut probes = Probes::new(self.config.policy(), width, start, rng);
         // `probes` is consumed manually (not a `for` loop) because the pop
         // twin of this loop needs `in_coverage` queries mid-iteration.
@@ -234,8 +466,12 @@ impl<T> Stack2D<T> {
     }
 
     /// One pop search round; on success returns the value through `out`.
+    /// See [`Stack2D::push_round`] for why only `Global` is re-checked
+    /// per probe.
+    #[allow(clippy::too_many_arguments)]
     fn pop_round(
         &self,
+        w: &WindowDesc,
         global: usize,
         start: usize,
         rng: &mut HopRng,
@@ -243,9 +479,8 @@ impl<T> Stack2D<T> {
         probe_count: &mut u64,
         guard: &epoch::Guard,
     ) -> Round {
-        let width = self.subs.len();
-        let depth = self.config.params().depth();
-        let floor = global.saturating_sub(depth);
+        let width = w.pop_width;
+        let floor = global.saturating_sub(w.depth);
         let mut probes = Probes::new(self.config.policy(), width, start, rng);
         // A sub-stack is pop-valid iff count > Global - depth; emptiness is
         // concluded only from the covering sweep every policy ends with.
@@ -281,10 +516,22 @@ impl<T> Stack2D<T> {
 impl<T> fmt::Debug for Stack2D<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Stack2D")
-            .field("params", &self.params())
+            .field("window", &self.window())
             .field("global", &self.global())
             .field("len", &self.len())
             .finish()
+    }
+}
+
+impl<T> Drop for Stack2D<T> {
+    fn drop(&mut self) {
+        // `&mut self` guarantees exclusive access; the live descriptor is
+        // freed directly (retired ones are handled by epoch reclamation).
+        unsafe {
+            let guard = epoch::unprotected();
+            let w = self.window.load(Ordering::Relaxed, guard);
+            drop(w.into_owned());
+        }
     }
 }
 
@@ -333,29 +580,38 @@ impl<'s, T> Handle2D<'s, T> {
         self.last
     }
 
-    fn search_start(&mut self) -> usize {
+    fn search_start(&mut self, width: usize) -> usize {
         if self.stack.config.uses_locality() {
-            self.last
+            // A retune may have shrunk the active span below the last
+            // successful index; wrap to stay inside it.
+            self.last % width
         } else {
-            self.rng.bounded(self.stack.subs.len())
+            self.rng.bounded(width)
         }
     }
 
     /// Pushes `value` onto the stack. Lock-free: a thread only retries when
-    /// another thread made progress (won a CAS or shifted the window).
+    /// another thread made progress (won a CAS, shifted the window, or
+    /// retuned it).
     pub fn push(&mut self, value: T) {
         let stack = self.stack;
-        let shift = stack.config.params().shift();
         let guard = epoch::pin();
         let mut node = Some(PreparedNode::new(value));
-        let mut start = self.search_start();
+        let mut start: Option<usize> = None;
         let mut probes = 0u64;
         let mut cas_failures = 0u64;
         let mut restarts = 0u64;
         let mut shifts_up = 0u64;
         loop {
+            // Re-read the window descriptor every round: retunes take
+            // effect without blocking in-flight operations.
+            let w = unsafe { stack.window.load(Ordering::Acquire, &guard).deref() };
             let global = stack.global.load(Ordering::SeqCst);
-            match stack.push_round(global, start, &mut self.rng, &mut node, &mut probes, &guard) {
+            let at = match start.take() {
+                Some(s) => s % w.push_width,
+                None => self.search_start(w.push_width),
+            };
+            match stack.push_round(w, global, at, &mut self.rng, &mut node, &mut probes, &guard) {
                 Round::Done(i) => {
                     self.last = i;
                     let c = &stack.counters;
@@ -368,15 +624,15 @@ impl<'s, T> Handle2D<'s, T> {
                 }
                 Round::GlobalChanged(at) => {
                     restarts += 1;
-                    start = at;
+                    start = Some(at);
                 }
                 Round::Contention => {
                     cas_failures += 1;
-                    start = if stack.config.hops_on_contention() {
-                        self.rng.bounded(stack.subs.len())
+                    if stack.config.hops_on_contention() {
+                        start = Some(self.rng.bounded(w.push_width));
                     } else {
-                        start
-                    };
+                        start = Some(at);
+                    }
                 }
                 Round::Exhausted { .. } => {
                     // Every sub-stack is at or above the window: raise it.
@@ -386,7 +642,7 @@ impl<'s, T> Handle2D<'s, T> {
                         .global
                         .compare_exchange(
                             global,
-                            global + shift,
+                            global + w.shift,
                             Ordering::SeqCst,
                             Ordering::SeqCst,
                         )
@@ -394,7 +650,6 @@ impl<'s, T> Handle2D<'s, T> {
                     {
                         shifts_up += 1;
                     }
-                    start = self.search_start();
                 }
             }
         }
@@ -405,11 +660,9 @@ impl<'s, T> Handle2D<'s, T> {
     /// corresponding strict stack ([`Params::k_bound`]).
     pub fn pop(&mut self) -> Option<T> {
         let stack = self.stack;
-        let params = stack.config.params();
-        let (depth, shift) = (params.depth(), params.shift());
         let guard = epoch::pin();
         let mut out = None;
-        let mut start = self.search_start();
+        let mut start: Option<usize> = None;
         let mut probes = 0u64;
         let mut cas_failures = 0u64;
         let mut restarts = 0u64;
@@ -424,8 +677,13 @@ impl<'s, T> Handle2D<'s, T> {
             c.add(|c| &c.ops, 1);
         };
         loop {
+            let w = unsafe { stack.window.load(Ordering::Acquire, &guard).deref() };
             let global = stack.global.load(Ordering::SeqCst);
-            match stack.pop_round(global, start, &mut self.rng, &mut out, &mut probes, &guard) {
+            let at = match start.take() {
+                Some(s) => s % w.pop_width,
+                None => self.search_start(w.pop_width),
+            };
+            match stack.pop_round(w, global, at, &mut self.rng, &mut out, &mut probes, &guard) {
                 Round::Done(i) => {
                     self.last = i;
                     finish(probes, cas_failures, restarts, shifts_down, false);
@@ -433,15 +691,15 @@ impl<'s, T> Handle2D<'s, T> {
                 }
                 Round::GlobalChanged(at) => {
                     restarts += 1;
-                    start = at;
+                    start = Some(at);
                 }
                 Round::Contention => {
                     cas_failures += 1;
-                    start = if stack.config.hops_on_contention() {
-                        self.rng.bounded(stack.subs.len())
+                    if stack.config.hops_on_contention() {
+                        start = Some(self.rng.bounded(w.pop_width));
                     } else {
-                        start
-                    };
+                        start = Some(at);
+                    }
                 }
                 Round::Exhausted { all_empty } => {
                     if all_empty {
@@ -452,9 +710,11 @@ impl<'s, T> Handle2D<'s, T> {
                     }
                     // Items exist but sit below the window: lower it,
                     // flooring at `depth` so the window never dips below
-                    // `[0, depth]`.
-                    let lowered = global.saturating_sub(shift).max(depth);
-                    if lowered != global
+                    // `[0, depth]`. (After a depth-growing retune, `Global`
+                    // may transiently sit below the new depth; never raise
+                    // it from the pop side.)
+                    let lowered = global.saturating_sub(w.shift).max(w.depth);
+                    if lowered < global
                         && stack
                             .global
                             .compare_exchange(global, lowered, Ordering::SeqCst, Ordering::SeqCst)
@@ -462,7 +722,6 @@ impl<'s, T> Handle2D<'s, T> {
                     {
                         shifts_down += 1;
                     }
-                    start = self.search_start();
                 }
             }
         }
@@ -938,6 +1197,198 @@ mod tests {
         assert!(!format!("{stack:?}").is_empty());
         let h = stack.handle();
         assert!(!format!("{h:?}").is_empty());
+    }
+
+    /// Drives `try_commit_shrink` until it lands (each quiescent call
+    /// advances the epoch at most one step, so a few rounds are needed).
+    fn commit_shrink_eventually<T>(stack: &Stack2D<T>) -> crate::window::WindowInfo {
+        for _ in 0..64 {
+            if let Some(info) = stack.try_commit_shrink() {
+                return info;
+            }
+        }
+        panic!("shrink failed to commit on a quiescent stack");
+    }
+
+    #[test]
+    fn elastic_grow_takes_effect_immediately() {
+        let stack: Stack2D<u64> = Stack2D::elastic(params(1, 1, 1), 8);
+        assert_eq!(stack.capacity(), 8);
+        assert_eq!(stack.window().width(), 1);
+        assert_eq!(stack.k_bound(), 0);
+        let info = stack.retune(params(8, 1, 1)).unwrap();
+        assert_eq!(info.width(), 8);
+        assert_eq!(info.generation(), 1);
+        assert!(!info.pending_shrink());
+        let mut h = stack.handle_seeded(3);
+        for i in 0..800 {
+            h.push(i);
+        }
+        // The widened span is actually used: more than one sub-stack holds
+        // items.
+        let occupied = stack.load_profile().iter().filter(|&&c| c > 0).count();
+        assert!(occupied > 1, "grow did not spread load: {:?}", stack.load_profile());
+    }
+
+    #[test]
+    fn shrink_is_pending_until_tail_drains_then_commits() {
+        let stack: Stack2D<u64> = Stack2D::elastic(params(8, 1, 1), 8);
+        let mut h = stack.handle_seeded(9);
+        for i in 0..200 {
+            h.push(i);
+        }
+        let info = stack.retune(params(2, 1, 1)).unwrap();
+        assert!(info.pending_shrink(), "items in the tail: shrink must be pending");
+        assert_eq!(info.width(), 2);
+        assert_eq!(info.pop_width(), 8);
+        // The bound stays at the wide value while pops still cover 8
+        // sub-stacks.
+        assert_eq!(info.k_bound(), params(8, 1, 1).k_bound());
+        // Every item is still reachable.
+        let mut seen = HashSet::new();
+        while let Some(v) = h.pop() {
+            assert!(seen.insert(v), "duplicate {v}");
+        }
+        assert_eq!(seen.len(), 200, "no item may be stranded by a shrink");
+        let committed = commit_shrink_eventually(&stack);
+        assert_eq!(committed.pop_width(), 2);
+        assert!(!committed.pending_shrink());
+        assert_eq!(stack.k_bound(), params(2, 1, 1).k_bound());
+    }
+
+    #[test]
+    fn commit_shrink_refuses_while_tail_nonempty() {
+        let stack: Stack2D<u64> = Stack2D::elastic(params(4, 1, 1), 4);
+        let mut h = stack.handle_seeded(5);
+        for i in 0..40 {
+            h.push(i);
+        }
+        stack.retune(params(1, 1, 1)).unwrap();
+        // Items are resident beyond the shrunk width; the commit must not
+        // land no matter how often it is attempted.
+        for _ in 0..64 {
+            assert!(stack.try_commit_shrink().is_none());
+        }
+        assert!(stack.window().pending_shrink());
+    }
+
+    #[test]
+    fn instantaneous_bound_counts_residency() {
+        let stack: Stack2D<u64> = Stack2D::elastic(params(1, 1, 1), 8);
+        assert_eq!(stack.k_bound_instantaneous(), 0, "width 1 is strict");
+        let mut h = stack.handle_seeded(7);
+        for i in 0..100 {
+            h.push(i);
+        }
+        // Grow: the configured bound jumps to the wide formula, and the
+        // instantaneous bound covers the 100 resident items that now face
+        // 7 fresh siblings.
+        stack.retune(params(8, 1, 1)).unwrap();
+        let inst = stack.k_bound_instantaneous();
+        assert!(inst >= 7 * 100, "transient must cover resident items, got {inst}");
+        // Draining tightens the live bound back toward the configured one:
+        // empty stack => (pop_width - 1) * (0 + depth) = 7.
+        while h.pop().is_some() {}
+        assert_eq!(stack.k_bound_instantaneous(), 7);
+    }
+
+    #[test]
+    fn retune_noop_does_not_bump_generation() {
+        let stack: Stack2D<u8> = Stack2D::new(params(4, 2, 1));
+        let g0 = stack.window().generation();
+        let info = stack.retune(params(4, 2, 1)).unwrap();
+        assert_eq!(info.generation(), g0);
+        // Depth-only changes do bump.
+        let info = stack.retune(params(4, 3, 1)).unwrap();
+        assert_eq!(info.generation(), g0 + 1);
+        assert_eq!(info.depth(), 3);
+    }
+
+    #[test]
+    fn retune_counts_in_metrics() {
+        let stack: Stack2D<u8> = Stack2D::elastic(params(2, 1, 1), 4);
+        assert_eq!(stack.metrics().retunes, 0);
+        stack.retune(params(4, 1, 1)).unwrap();
+        stack.retune(params(4, 2, 2)).unwrap();
+        assert_eq!(stack.metrics().retunes, 2);
+    }
+
+    #[test]
+    fn fixed_width_stack_rejects_wider_retune() {
+        let stack: Stack2D<u8> = Stack2D::new(params(4, 1, 1));
+        assert_eq!(
+            stack.retune(params(5, 1, 1)).unwrap_err(),
+            crate::window::RetuneError::ExceedsCapacity { requested: 5, capacity: 4 }
+        );
+        // Depth retunes within capacity are fine on a fixed-width stack.
+        assert!(stack.retune(params(4, 4, 2)).is_ok());
+    }
+
+    #[test]
+    fn depth_grow_with_low_global_stays_live() {
+        // After a depth-growing retune Global may sit below the new depth;
+        // pushes and pops must keep making progress.
+        let stack: Stack2D<u64> = Stack2D::new(params(4, 1, 1));
+        let mut h = stack.handle_seeded(2);
+        for i in 0..16 {
+            h.push(i);
+        }
+        while h.pop().is_some() {}
+        assert_eq!(stack.global(), 1);
+        stack.retune(params(4, 8, 4)).unwrap();
+        for i in 0..100 {
+            h.push(i);
+        }
+        let mut n = 0;
+        while h.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn concurrent_churn_across_retunes_conserves_items() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 3_000;
+        let stack = Arc::new(Stack2D::elastic(params(2, 1, 1), 16));
+        let schedule =
+            [params(16, 1, 1), params(4, 2, 2), params(1, 1, 1), params(8, 4, 1), params(2, 1, 1)];
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let stack = Arc::clone(&stack);
+            joins.push(std::thread::spawn(move || {
+                let mut h = stack.handle_seeded(t as u64 + 1);
+                let mut popped = Vec::new();
+                for i in 0..PER_THREAD {
+                    h.push((t * PER_THREAD + i) as u64);
+                    if i % 2 == 1 {
+                        if let Some(v) = h.pop() {
+                            popped.push(v);
+                        }
+                    }
+                }
+                popped
+            }));
+        }
+        // Retune aggressively while the workers churn.
+        for _ in 0..40 {
+            for p in schedule {
+                stack.retune(p).unwrap();
+                stack.try_commit_shrink();
+                std::thread::yield_now();
+            }
+        }
+        let mut all: Vec<u64> = Vec::new();
+        for j in joins {
+            all.extend(j.join().unwrap());
+        }
+        let mut h = stack.handle_seeded(999);
+        while let Some(v) = h.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..(THREADS * PER_THREAD) as u64).collect();
+        assert_eq!(all, expect, "retunes must not lose or duplicate items");
     }
 
     #[test]

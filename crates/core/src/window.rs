@@ -1,0 +1,294 @@
+//! The hot-swappable window descriptor behind online ("elastic") retuning.
+//!
+//! The paper freezes `width`, `depth` and `shift` at construction; this
+//! module makes them *runtime-tunable* so a controller (see the
+//! `stack2d-adaptive` crate) can widen the window under contention and
+//! tighten it when load drops. The live configuration is a heap-allocated
+//! [`WindowDesc`] behind an epoch-protected atomic pointer, exactly like a
+//! sub-stack's `(top, count)` descriptor: [`Stack2D::retune`] installs a
+//! fresh descriptor with a single-word CAS, operations re-read the pointer
+//! at every search round, and displaced descriptors are reclaimed through
+//! `crossbeam-epoch`. Pushes and pops therefore never block on a retune.
+//!
+//! # Width growth and shrink
+//!
+//! The sub-stack array is allocated once at the stack's **capacity**
+//! ([`StackConfig::max_width`](crate::StackConfig::max_width)), so growing
+//! `width` is purely a descriptor swing: the new sub-stacks are already
+//! there, empty, below the window.
+//!
+//! Shrinking is two-phase, because items may be resident in the retired
+//! tail `[new_width, old_width)`:
+//!
+//! 1. the shrink descriptor takes effect immediately for **pushes**
+//!    (`push_width = new_width`) while **pops** keep draining the old span
+//!    (`pop_width = old_width`);
+//! 2. the shrink *commits* (`pop_width = push_width`, via
+//!    [`Stack2D::try_commit_shrink`]) only once (a) every operation that
+//!    predates the shrink has finished — established by retiring a
+//!    [`ShrinkFence`] sentinel through epoch reclamation, whose `Drop`
+//!    can only run once all pre-shrink pins are gone — and (b) a sweep
+//!    observes the tail empty. After (a) no thread can push into the tail
+//!    any more, so (b) is a stable property and no item is ever stranded.
+//!
+//! # The instantaneous relaxation bound
+//!
+//! [`WindowInfo::k_bound`] is computed with `pop_width` — the number of
+//! sub-stacks a pop may actually draw from — so the bound published for a
+//! generation is honest while a shrink is pending: it stays at the wide
+//! value until the tail is provably drained, and only then tightens. Every
+//! descriptor swing increments [`WindowInfo::generation`]; the quality
+//! crate checks measured error distances *per generation segment* against
+//! the bound in force when the pop happened.
+//!
+//! [`Stack2D::retune`]: crate::Stack2D::retune
+//! [`Stack2D::try_commit_shrink`]: crate::Stack2D::try_commit_shrink
+
+use core::fmt;
+use core::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::params::Params;
+
+/// The live window configuration of a [`Stack2D`](crate::Stack2D):
+/// heap-allocated, swung atomically by `retune`, reclaimed by epochs.
+pub(crate) struct WindowDesc {
+    /// Sub-stacks pushes may target: `[0, push_width)`.
+    pub(crate) push_width: usize,
+    /// Sub-stacks pops may draw from: `[0, pop_width)`; equals
+    /// `push_width` except while a width shrink is pending.
+    pub(crate) pop_width: usize,
+    /// Vertical window dimension (max per-sub-stack slack).
+    pub(crate) depth: usize,
+    /// `Global` movement per window shift.
+    pub(crate) shift: usize,
+    /// Monotone counter bumped by every descriptor swing.
+    pub(crate) generation: u64,
+    /// Present while a shrink is pending: flips to `true` once every
+    /// operation that predates the shrink has finished (see
+    /// [`ShrinkFence`]).
+    pub(crate) fence: Option<Arc<AtomicBool>>,
+}
+
+impl WindowDesc {
+    /// The initial (generation 0) descriptor for `params`.
+    pub(crate) fn initial(params: Params) -> Self {
+        WindowDesc {
+            push_width: params.width(),
+            pop_width: params.width(),
+            depth: params.depth(),
+            shift: params.shift(),
+            generation: 0,
+            fence: None,
+        }
+    }
+
+    /// Public snapshot of this descriptor.
+    pub(crate) fn info(&self) -> WindowInfo {
+        WindowInfo {
+            params: Params::new(self.push_width, self.depth, self.shift)
+                .expect("window descriptor always holds validated parameters"),
+            pop_width: self.pop_width,
+            generation: self.generation,
+        }
+    }
+}
+
+/// Sentinel retired through epoch-based reclamation when a shrink
+/// descriptor is installed.
+///
+/// Epoch reclamation frees an object only after every thread pinned at
+/// retirement time has unpinned, i.e. after every operation that could
+/// still be using the *pre-shrink* descriptor (and therefore pushing into
+/// the retired tail) has finished. Running this sentinel's `Drop` is that
+/// proof; it flips the flag the shrink commit waits on.
+pub(crate) struct ShrinkFence(pub(crate) Arc<AtomicBool>);
+
+impl Drop for ShrinkFence {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+/// A consistent snapshot of the live window of a
+/// [`Stack2D`](crate::Stack2D) — parameters, pop span and generation.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d::{Params, Stack2D};
+///
+/// let stack: Stack2D<u32> = Stack2D::elastic(Params::new(2, 1, 1).unwrap(), 8);
+/// let w = stack.window();
+/// assert_eq!(w.width(), 2);
+/// assert_eq!(w.generation(), 0);
+///
+/// stack.retune(Params::new(8, 1, 1).unwrap()).unwrap();
+/// let w = stack.window();
+/// assert_eq!(w.width(), 8);
+/// assert_eq!(w.generation(), 1);
+/// assert_eq!(w.k_bound(), (2 + 1) * 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowInfo {
+    params: Params,
+    pop_width: usize,
+    generation: u64,
+}
+
+impl WindowInfo {
+    /// The push-side window parameters currently in force.
+    #[inline]
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// Sub-stacks pushes target (the tuned `width`).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.params.width()
+    }
+
+    /// Sub-stacks pops draw from; exceeds [`WindowInfo::width`] while a
+    /// width shrink is pending commit.
+    #[inline]
+    pub fn pop_width(&self) -> usize {
+        self.pop_width
+    }
+
+    /// Window depth currently in force.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.params.depth()
+    }
+
+    /// Window shift currently in force.
+    #[inline]
+    pub fn shift(&self) -> usize {
+        self.params.shift()
+    }
+
+    /// Descriptor generation: bumped by every retune and shrink commit.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether a width shrink is pending (pops still cover the old span).
+    #[inline]
+    pub fn pending_shrink(&self) -> bool {
+        self.pop_width > self.params.width()
+    }
+
+    /// The instantaneous k-out-of-order bound, computed over
+    /// [`WindowInfo::pop_width`] — the span pops may actually draw from —
+    /// so it stays honest while a shrink is pending.
+    pub fn k_bound(&self) -> usize {
+        Params::new(self.pop_width, self.params.depth(), self.params.shift())
+            .expect("pop_width >= 1 and depth/shift come from validated parameters")
+            .k_bound()
+    }
+}
+
+impl fmt::Display for WindowInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gen={} width={} depth={} shift={} pop-width={} (k={})",
+            self.generation,
+            self.params.width(),
+            self.params.depth(),
+            self.params.shift(),
+            self.pop_width,
+            self.k_bound()
+        )
+    }
+}
+
+/// Error returned by [`Stack2D::retune`](crate::Stack2D::retune).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetuneError {
+    /// The requested width exceeds the sub-stack array allocated at
+    /// construction ([`StackConfig::max_width`](crate::StackConfig::max_width)).
+    ExceedsCapacity {
+        /// The requested width.
+        requested: usize,
+        /// The stack's fixed capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for RetuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RetuneError::ExceedsCapacity { requested, capacity } => {
+                write!(f, "requested width {requested} exceeds stack capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RetuneError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_descriptor_mirrors_params() {
+        let p = Params::new(4, 2, 1).unwrap();
+        let d = WindowDesc::initial(p);
+        assert_eq!(d.push_width, 4);
+        assert_eq!(d.pop_width, 4);
+        assert_eq!(d.generation, 0);
+        assert!(d.fence.is_none());
+        let info = d.info();
+        assert_eq!(info.params(), p);
+        assert!(!info.pending_shrink());
+        assert_eq!(info.k_bound(), p.k_bound());
+    }
+
+    #[test]
+    fn pending_shrink_bound_uses_pop_width() {
+        let d = WindowDesc {
+            push_width: 2,
+            pop_width: 8,
+            depth: 1,
+            shift: 1,
+            generation: 3,
+            fence: Some(Arc::new(AtomicBool::new(false))),
+        };
+        let info = d.info();
+        assert!(info.pending_shrink());
+        assert_eq!(info.width(), 2);
+        assert_eq!(info.pop_width(), 8);
+        // Bound is computed over the 8 sub-stacks pops still cover.
+        assert_eq!(info.k_bound(), Params::new(8, 1, 1).unwrap().k_bound());
+    }
+
+    #[test]
+    fn shrink_fence_flips_flag_on_drop() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let fence = ShrinkFence(Arc::clone(&flag));
+        assert!(!flag.load(Ordering::Acquire));
+        drop(fence);
+        assert!(flag.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn retune_error_display_is_informative() {
+        let e = RetuneError::ExceedsCapacity { requested: 9, capacity: 4 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn window_info_display_mentions_generation_and_k() {
+        let info = WindowDesc::initial(Params::new(4, 2, 1).unwrap()).info();
+        let s = info.to_string();
+        assert!(s.contains("gen=0"));
+        assert!(s.contains("width=4"));
+        assert!(s.contains("k="));
+    }
+}

@@ -1,0 +1,57 @@
+//! Runs the elastic-adaptation experiment: static window presets vs the
+//! `stack2d-adaptive` controller on a bursty phased workload, with
+//! per-phase throughput, the retune (width-over-time) log, and
+//! per-generation-segment quality.
+//!
+//! ```text
+//! STACK2D_MAX_THREADS=8 STACK2D_QUALITY_OPS=200000 \
+//!   cargo run --release -p stack2d-harness --bin elastic
+//! ```
+//!
+//! Exits nonzero if the quality checker finds a distance beyond the
+//! instantaneous bound of its generation segment.
+
+use stack2d_harness::elastic::{events_table, phases_table, quality_table, run, ElasticSpec};
+use stack2d_harness::{write_csv, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let spec = ElasticSpec::from_settings(&settings);
+    eprintln!(
+        "elastic: {} threads, {} bursts x {} ops/thread, capacity {}, k budget {}",
+        spec.threads, spec.bursts, spec.burst_ops, spec.capacity, spec.max_k
+    );
+    // `run` panics (nonzero exit) on a segment-quality violation.
+    let report = run(&spec);
+
+    let phases = phases_table(&report.points);
+    println!("{}", phases.to_text());
+    let events = events_table(&report.events);
+    println!("retune events (width over time):\n{}", events.to_text());
+    let quality = quality_table(&report.quality);
+    println!(
+        "per-generation quality ({} pops checked):\n{}",
+        report.quality.pops,
+        quality.to_text()
+    );
+
+    println!(
+        "width adapted across phases: {}",
+        if report.width_adapted { "yes" } else { "NO (rerun with longer phases)" }
+    );
+    println!(
+        "elastic >= worst static preset on every phase: {}",
+        if report.elastic_beats_worst { "yes" } else { "NO (timing noise or misadaptation)" }
+    );
+
+    for (name, table) in [
+        ("elastic.csv", &phases),
+        ("elastic_width.csv", &events),
+        ("elastic_quality.csv", &quality),
+    ] {
+        match write_csv(name, table) {
+            Ok(path) => eprintln!("csv written to {}", path.display()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! | scalability sweep | [`fig2`] | `… --bin fig2` | Figure 2 |
 //! | mechanism & dimension ablations | [`ablation`] | `… --bin ablation` | §3–4 design claims |
 //! | asymmetric mixes | [`asymmetry`] | `… --bin asymmetry` | §2 elimination claim |
+//! | static vs elastic retuning | [`elastic`] | `… --bin elastic` | the title's "continuously relaxes" |
 //!
 //! Scale is controlled by `STACK2D_*` environment variables (see
 //! [`experiment::Settings`]); defaults are CI-sized, paper-scale values are
@@ -24,6 +25,7 @@
 pub mod ablation;
 pub mod algorithms;
 pub mod asymmetry;
+pub mod elastic;
 pub mod experiment;
 pub mod fig1;
 pub mod fig2;

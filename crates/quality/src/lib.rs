@@ -16,6 +16,11 @@
 //! * [`checker`] — [`checker::check_k_out_of_order`] verifies Theorem 1's
 //!   bound on single-threaded traces, and [`checker::Conservation`] does
 //!   no-loss/no-duplication item accounting for concurrent runs;
+//! * [`segmented`] — the elastic extension: [`segmented::MeasuredElastic`]
+//!   brackets every pop with the window generation in force, and
+//!   [`segmented::check_segments`] verifies the measured error distance
+//!   against the *instantaneous* `k_bound()` per generation segment, so
+//!   online retuning (`stack2d-adaptive`) stays verifiable;
 //! * [`fenwick`] — the order-statistics tree underneath the oracle.
 
 #![warn(missing_docs)]
@@ -25,11 +30,15 @@ pub mod checker;
 pub mod fenwick;
 pub mod linearize;
 pub mod oracle;
+pub mod segmented;
 pub mod stats;
 pub mod trace;
 
 pub use checker::{check_k_out_of_order, Conservation, TraceOp, TraceReport, Violation};
 pub use linearize::{merge_histories, History, HistoryRecorder, SharedClock};
 pub use oracle::{Label, MeasuredStack, NaiveOracle, Oracle};
+pub use segmented::{
+    bounds_map, check_segments, MeasuredElastic, SegRecord, SegmentReport, SegmentViolation,
+};
 pub use stats::{ErrorStats, ErrorSummary};
 pub use trace::{replay, ReplayOutcome, Trace, TraceRecorder};

@@ -14,6 +14,7 @@
 //! ```
 
 pub use stack2d;
+pub use stack2d_adaptive;
 pub use stack2d_baselines;
 pub use stack2d_harness;
 pub use stack2d_quality;

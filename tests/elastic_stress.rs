@@ -1,0 +1,175 @@
+//! Concurrent stress for the elastic runtime: threads churn while the
+//! window is retuned mid-flight, asserting item conservation and
+//! per-generation-segment quality.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use stack2d::{Params, Stack2D};
+use stack2d_adaptive::{AimdController, ElasticRunner, RetuneKind};
+use stack2d_quality::segmented::{bounds_map, check_segments, MeasuredElastic};
+
+fn p(w: usize, d: usize, s: usize) -> Params {
+    Params::new(w, d, s).unwrap()
+}
+
+/// Eight threads churn distinct labels while the main thread sweeps the
+/// window through a width/depth/shift grid; afterwards every label must be
+/// recovered exactly once.
+#[test]
+fn eight_thread_churn_with_midflight_retunes_conserves_items() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 8_000;
+    let stack = Arc::new(Stack2D::elastic(p(1, 1, 1), 32));
+    let schedule =
+        [p(32, 1, 1), p(8, 4, 2), p(2, 2, 1), p(16, 2, 2), p(1, 1, 1), p(32, 8, 8), p(4, 1, 1)];
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let stack = Arc::clone(&stack);
+        joins.push(std::thread::spawn(move || {
+            let mut h = stack.handle_seeded(t as u64 + 1);
+            let mut popped = Vec::new();
+            for i in 0..PER_THREAD {
+                h.push((t * PER_THREAD + i) as u64);
+                if i % 3 != 0 {
+                    if let Some(v) = h.pop() {
+                        popped.push(v);
+                    }
+                }
+            }
+            popped
+        }));
+    }
+    // Retune continuously while the workers churn; commits interleave.
+    let mut commits = 0;
+    for round in 0..60 {
+        let params = schedule[round % schedule.len()];
+        stack.retune(params).unwrap();
+        if stack.try_commit_shrink().is_some() {
+            commits += 1;
+        }
+        std::thread::yield_now();
+    }
+    let mut all: Vec<u64> = Vec::new();
+    for j in joins {
+        all.extend(j.join().unwrap());
+    }
+    // Settle any pending shrink, then drain.
+    for _ in 0..64 {
+        if stack.try_commit_shrink().is_some() {
+            commits += 1;
+        }
+    }
+    let mut h = stack.handle_seeded(0xD1E);
+    while let Some(v) = h.pop() {
+        all.push(v);
+    }
+    assert!(stack.is_empty(), "drain must reach empty even across retunes");
+    let mut seen = HashSet::with_capacity(all.len());
+    for v in &all {
+        assert!(seen.insert(*v), "label {v} popped twice");
+    }
+    assert_eq!(seen.len(), THREADS * PER_THREAD, "labels lost across retunes");
+    let metrics = stack.metrics();
+    assert!(metrics.retunes >= 60, "every retune must be counted: {metrics}");
+    // Not asserted (timing-dependent), but log for the curious.
+    eprintln!("stress: {commits} shrink commits, final window {}", stack.window());
+}
+
+/// Eight measured threads churn under a live AIMD controller; every pop's
+/// error distance must stay within the instantaneous bound of its
+/// generation segment.
+#[test]
+fn measured_churn_under_live_controller_respects_segment_bounds() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 3_000;
+    let stack = Arc::new(Stack2D::elastic(p(1, 1, 1), 16));
+    let initial = stack.window();
+    let measured = MeasuredElastic::new(&stack);
+    let runner = ElasticRunner::spawn_with_budget(
+        Arc::clone(&stack),
+        AimdController::new(45),
+        Duration::from_micros(300),
+        45,
+    );
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let measured = &measured;
+            scope.spawn(move || {
+                let mut h = measured.handle();
+                // Bursty: runs of pushes then runs of pops, so the
+                // controller sees real pressure swings.
+                for i in 0..PER_THREAD {
+                    if (i / 64) % 2 == (t % 2) {
+                        h.push();
+                    } else {
+                        h.pop();
+                    }
+                }
+            });
+        }
+    });
+    let mut h = measured.handle();
+    while h.pop() {}
+    let events = runner.stop();
+    let bounds = bounds_map(initial, events.iter().map(|e| (e.generation, e.k_bound)));
+    let report = check_segments(&measured.take_records(), &bounds)
+        .unwrap_or_else(|v| panic!("segment bound violated under live controller: {v}"));
+    assert!(report.pops > 1_000, "too few measured pops: {}", report.pops);
+    assert_eq!(measured.oracle_len(), 0);
+    for e in &events {
+        assert!(e.k_bound <= 45, "configured bound must respect the budget: {e:?}");
+        if e.kind == RetuneKind::Commit {
+            assert!(!matches!(e.pop_width, w if w > e.width), "commit closes the pop span");
+        }
+    }
+}
+
+/// A stopped runner leaves the stack fully usable and its final window
+/// within budget.
+#[test]
+fn runner_shutdown_leaves_stack_consistent() {
+    let stack = Arc::new(Stack2D::elastic(p(2, 1, 1), 8));
+    let runner = ElasticRunner::spawn(
+        Arc::clone(&stack),
+        AimdController::new(21),
+        Duration::from_micros(200),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let worker = {
+        let stack = Arc::clone(&stack);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut h = stack.handle_seeded(3);
+            let mut balance = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..32 {
+                    h.push(7);
+                    balance += 1;
+                }
+                for _ in 0..32 {
+                    if h.pop().is_some() {
+                        balance -= 1;
+                    }
+                }
+            }
+            balance
+        })
+    };
+    std::thread::sleep(Duration::from_millis(60));
+    stop.store(true, Ordering::Relaxed);
+    let balance = worker.join().unwrap();
+    let events = runner.stop();
+    let mut h = stack.handle_seeded(9);
+    let mut remaining = 0i64;
+    while h.pop().is_some() {
+        remaining += 1;
+    }
+    assert_eq!(remaining, balance, "residency must match the worker's balance");
+    assert!(stack.k_bound() <= 21, "budget holds after shutdown: {}", stack.window());
+    for pair in events.windows(2) {
+        assert!(pair[0].generation < pair[1].generation, "events are ordered");
+    }
+}

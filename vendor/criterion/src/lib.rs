@@ -3,10 +3,13 @@
 //! Implements the surface the `stack2d-bench` targets use — benchmark
 //! groups, [`Bencher::iter`] / [`Bencher::iter_batched`], element
 //! throughput, and the [`criterion_group!`] / [`criterion_main!`] macros —
-//! as a straightforward timing loop: warm-up, then timed samples, reporting
-//! mean time per iteration and derived throughput. There is no statistical
-//! analysis, HTML report, or baseline comparison; swap in the crates.io
-//! criterion for those.
+//! as a timing loop with warm-up iterations followed by independent timed
+//! samples. Each sample yields its own ns/iter figure; the report shows
+//! the **median** (the headline number — robust to scheduler outliers),
+//! the **p95** and the **MAD** (median absolute deviation, the spread
+//! estimate), plus the pooled mean, with throughput derived from the
+//! median. There is no HTML report or baseline comparison; swap in the
+//! crates.io criterion for those.
 
 #![warn(rust_2018_idioms)]
 
@@ -184,6 +187,44 @@ impl Bencher {
     }
 }
 
+/// Robust summary of per-sample ns/iter figures: median (headline), p95,
+/// MAD (median absolute deviation) and the plain mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Median ns/iter across samples.
+    pub median: f64,
+    /// 95th-percentile ns/iter (nearest-rank).
+    pub p95: f64,
+    /// Median absolute deviation from the median.
+    pub mad: f64,
+    /// Mean ns/iter across samples.
+    pub mean: f64,
+    /// Number of samples summarized.
+    pub samples: usize,
+}
+
+/// Summarizes per-sample measurements (ns/iter each). Returns `None` for
+/// an empty slice.
+pub fn summarize(samples: &[f64]) -> Option<SampleStats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let nearest_rank = |q: f64| -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    };
+    let median = nearest_rank(0.5);
+    let p95 = nearest_rank(0.95);
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let mut deviations: Vec<f64> = sorted.iter().map(|s| (s - median).abs()).collect();
+    deviations.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((0.5 * deviations.len() as f64).ceil() as usize).clamp(1, deviations.len());
+    let mad = deviations[rank - 1];
+    Some(SampleStats { median, p95, mad, mean, samples: sorted.len() })
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(
     id: &str,
     throughput: Option<Throughput>,
@@ -192,39 +233,48 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     sample_size: usize,
     mut f: F,
 ) {
+    // Warm-up iterations: same closure, result discarded.
     let mut warm = Bencher { mode: Mode::WarmUp(warm_up_time), result: None };
     f(&mut warm);
     // The measurement budget is split across `sample_size` samples, each an
-    // independent invocation of the bench closure; results are pooled.
+    // independent invocation of the bench closure with its own ns/iter
+    // figure; statistics are computed across samples.
     let samples = sample_size.max(1) as u32;
     let per_sample = measurement_time / samples;
     let mut iters = 0u64;
-    let mut elapsed = Duration::ZERO;
-    let mut measured = false;
+    let mut rates = Vec::with_capacity(samples as usize);
     for _ in 0..samples {
         let mut bench = Bencher { mode: Mode::Measure(per_sample), result: None };
         f(&mut bench);
         if let Some((i, e)) = bench.result {
-            iters += i;
-            elapsed += e;
-            measured = true;
+            if i > 0 {
+                iters += i;
+                rates.push(e.as_nanos() as f64 / i as f64);
+            }
         }
     }
-    if !measured {
+    let Some(stats) = summarize(&rates) else {
         println!("{id:<50} (no measurement: bencher closure never iterated)");
         return;
-    }
-    let ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    };
     let rate = match throughput {
         Some(Throughput::Elements(n)) => {
-            format!("  {:>12.0} elem/s", n as f64 * 1e9 / ns_per_iter)
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / stats.median)
         }
         Some(Throughput::Bytes(n)) => {
-            format!("  {:>12.0} B/s", n as f64 * 1e9 / ns_per_iter)
+            format!("  {:>12.0} B/s", n as f64 * 1e9 / stats.median)
         }
         None => String::new(),
     };
-    println!("{id:<50} {ns_per_iter:>14.1} ns/iter{rate}   ({iters} iters)");
+    println!(
+        "{id:<50} {median:>14.1} ns/iter (p95 {p95:.1}, MAD {mad:.1}, mean {mean:.1}){rate}   \
+         ({iters} iters, {n} samples)",
+        median = stats.median,
+        p95 = stats.p95,
+        mad = stats.mad,
+        mean = stats.mean,
+        n = stats.samples,
+    );
 }
 
 /// Declares a group-runner function over benchmark target functions.
@@ -280,6 +330,26 @@ mod tests {
             });
         });
         group.finish();
+    }
+
+    #[test]
+    fn summarize_computes_robust_statistics() {
+        // 1..=20 with one wild outlier; median/p95/MAD stay calm.
+        let mut samples: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        samples.push(10_000.0);
+        let s = summarize(&samples).unwrap();
+        assert_eq!(s.samples, 21);
+        assert_eq!(s.median, 11.0);
+        assert_eq!(s.p95, 20.0, "nearest-rank p95 of 21 samples is the 20th");
+        assert_eq!(s.mad, 5.0);
+        assert!(s.mean > 400.0, "the mean is outlier-dominated: {}", s.mean);
+    }
+
+    #[test]
+    fn summarize_single_sample_and_empty() {
+        let s = summarize(&[42.0]).unwrap();
+        assert_eq!((s.median, s.p95, s.mad, s.mean), (42.0, 42.0, 0.0, 42.0));
+        assert!(summarize(&[]).is_none());
     }
 
     #[test]

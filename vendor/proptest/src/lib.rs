@@ -8,7 +8,12 @@
 //!
 //! Differences from the real crate, chosen for a dependency-free build:
 //!
-//! * **no shrinking** — a failing case reports its inputs verbatim;
+//! * **halving-based shrinking** — when a case fails, integer inputs are
+//!   shrunk toward their range minimum (binary-search ladder) and `Vec`
+//!   inputs by halving their length and shrinking elements, greedily and
+//!   within a fixed candidate budget; the failure report shows both the
+//!   original and the shrunk inputs. Mapped/flat-mapped strategies do not
+//!   shrink (the mapping cannot be inverted);
 //! * **deterministic seeding** — each test derives its RNG seed from the
 //!   test name (override with `PROPTEST_SEED=<u64>`), so CI failures
 //!   reproduce exactly;
@@ -29,6 +34,15 @@ pub mod strategy {
 
         /// Generates one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Candidate simplifications of `value`, ordered from the most
+        /// aggressive jump to the smallest step. An empty vector means
+        /// the value is minimal (or the strategy cannot shrink — e.g.
+        /// mapped strategies, whose mapping cannot be inverted).
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -107,6 +121,9 @@ pub mod strategy {
             }
             panic!("prop_filter rejected 1000 candidates: {}", self.whence)
         }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            self.base.shrink(value).into_iter().filter(|v| (self.filter)(v)).collect()
+        }
     }
 
     /// A strategy producing exactly one value.
@@ -125,6 +142,53 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> S::Value {
             (**self).generate(rng)
         }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            (**self).shrink(value)
+        }
+    }
+
+    /// Greedily shrinks a failing input: repeatedly adopts the first
+    /// candidate from [`Strategy::shrink`] that still fails `run`, until
+    /// no candidate fails or the evaluation budget (1024 candidate runs)
+    /// is spent. With the integer halving ladder this performs a binary
+    /// search for the minimal counterexample.
+    pub fn shrink_failing<S: Strategy>(
+        strategy: &S,
+        mut best: S::Value,
+        run: impl Fn(&S::Value) -> crate::test_runner::TestCaseResult,
+    ) -> S::Value {
+        let mut budget = 1024usize;
+        loop {
+            let mut improved = false;
+            for candidate in strategy.shrink(&best) {
+                if budget == 0 {
+                    return best;
+                }
+                budget -= 1;
+                if run(&candidate).is_err() {
+                    best = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                return best;
+            }
+        }
+    }
+
+    /// The halving ladder from `v` toward `lo` (`lo <= v`): candidates
+    /// `v - d, v - d/2, ..., v - 1` for `d = v - lo`, i.e. the biggest
+    /// jump first. Greedy re-shrinking from the first failing candidate
+    /// performs a binary search for the minimal counterexample.
+    pub(crate) fn halving_ladder(lo: i128, v: i128) -> Vec<i128> {
+        let mut out = Vec::new();
+        let mut d = v - lo;
+        while d > 0 {
+            out.push(v - d);
+            d /= 2;
+        }
+        out
     }
 
     macro_rules! int_range_strategies {
@@ -137,6 +201,12 @@ pub mod strategy {
                     let span = (self.end as i128 - self.start as i128) as u128;
                     (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    halving_ladder(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
                 type Value = $t;
@@ -145,6 +215,12 @@ pub mod strategy {
                     assert!(lo <= hi, "empty range strategy");
                     let span = (hi as i128 - lo as i128 + 1) as u128;
                     (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    halving_ladder(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
                 }
             }
         )*};
@@ -165,25 +241,203 @@ pub mod strategy {
         }
     }
 
-    macro_rules! tuple_strategies {
-        ($(($($name:ident),+))+) => {$(
-            #[allow(non_snake_case)]
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
-                type Value = ($($name::Value,)+);
-                fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                    let ($($name,)+) = self;
-                    ($($name.generate(rng),)+)
-                }
-            }
-        )+};
+    // Tuple strategies are written out per arity (not via a macro):
+    // component-wise `shrink` needs to rebuild the tuple with one field
+    // replaced, which macro-by-example repetition cannot express.
+
+    impl<A: Strategy> Strategy for (A,)
+    where
+        A::Value: Clone,
+    {
+        type Value = (A::Value,);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng),)
+        }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            self.0.shrink(&v.0).into_iter().map(|a| (a,)).collect()
+        }
     }
-    tuple_strategies! {
-        (A)
-        (A, B)
-        (A, B, C)
-        (A, B, C, D)
-        (A, B, C, D, E)
-        (A, B, C, D, E, F)
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B)
+    where
+        A::Value: Clone,
+        B::Value: Clone,
+    {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            out.extend(self.0.shrink(&v.0).into_iter().map(|a| (a, v.1.clone())));
+            out.extend(self.1.shrink(&v.1).into_iter().map(|b| (v.0.clone(), b)));
+            out
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C)
+    where
+        A::Value: Clone,
+        B::Value: Clone,
+        C::Value: Clone,
+    {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            out.extend(self.0.shrink(&v.0).into_iter().map(|a| (a, v.1.clone(), v.2.clone())));
+            out.extend(self.1.shrink(&v.1).into_iter().map(|b| (v.0.clone(), b, v.2.clone())));
+            out.extend(self.2.shrink(&v.2).into_iter().map(|c| (v.0.clone(), v.1.clone(), c)));
+            out
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D)
+    where
+        A::Value: Clone,
+        B::Value: Clone,
+        C::Value: Clone,
+        D::Value: Clone,
+    {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng), self.3.generate(rng))
+        }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            out.extend(
+                self.0.shrink(&v.0).into_iter().map(|a| (a, v.1.clone(), v.2.clone(), v.3.clone())),
+            );
+            out.extend(
+                self.1.shrink(&v.1).into_iter().map(|b| (v.0.clone(), b, v.2.clone(), v.3.clone())),
+            );
+            out.extend(
+                self.2.shrink(&v.2).into_iter().map(|c| (v.0.clone(), v.1.clone(), c, v.3.clone())),
+            );
+            out.extend(
+                self.3.shrink(&v.3).into_iter().map(|d| (v.0.clone(), v.1.clone(), v.2.clone(), d)),
+            );
+            out
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E)
+    where
+        A::Value: Clone,
+        B::Value: Clone,
+        C::Value: Clone,
+        D::Value: Clone,
+        E::Value: Clone,
+    {
+        type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+                self.4.generate(rng),
+            )
+        }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            out.extend(
+                self.0
+                    .shrink(&v.0)
+                    .into_iter()
+                    .map(|a| (a, v.1.clone(), v.2.clone(), v.3.clone(), v.4.clone())),
+            );
+            out.extend(
+                self.1
+                    .shrink(&v.1)
+                    .into_iter()
+                    .map(|b| (v.0.clone(), b, v.2.clone(), v.3.clone(), v.4.clone())),
+            );
+            out.extend(
+                self.2
+                    .shrink(&v.2)
+                    .into_iter()
+                    .map(|c| (v.0.clone(), v.1.clone(), c, v.3.clone(), v.4.clone())),
+            );
+            out.extend(
+                self.3
+                    .shrink(&v.3)
+                    .into_iter()
+                    .map(|d| (v.0.clone(), v.1.clone(), v.2.clone(), d, v.4.clone())),
+            );
+            out.extend(
+                self.4
+                    .shrink(&v.4)
+                    .into_iter()
+                    .map(|e| (v.0.clone(), v.1.clone(), v.2.clone(), v.3.clone(), e)),
+            );
+            out
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy, F: Strategy> Strategy
+        for (A, B, C, D, E, F)
+    where
+        A::Value: Clone,
+        B::Value: Clone,
+        C::Value: Clone,
+        D::Value: Clone,
+        E::Value: Clone,
+        F::Value: Clone,
+    {
+        type Value = (A::Value, B::Value, C::Value, D::Value, E::Value, F::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+                self.4.generate(rng),
+                self.5.generate(rng),
+            )
+        }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            out.extend(
+                self.0
+                    .shrink(&v.0)
+                    .into_iter()
+                    .map(|a| (a, v.1.clone(), v.2.clone(), v.3.clone(), v.4.clone(), v.5.clone())),
+            );
+            out.extend(
+                self.1
+                    .shrink(&v.1)
+                    .into_iter()
+                    .map(|b| (v.0.clone(), b, v.2.clone(), v.3.clone(), v.4.clone(), v.5.clone())),
+            );
+            out.extend(
+                self.2
+                    .shrink(&v.2)
+                    .into_iter()
+                    .map(|c| (v.0.clone(), v.1.clone(), c, v.3.clone(), v.4.clone(), v.5.clone())),
+            );
+            out.extend(
+                self.3
+                    .shrink(&v.3)
+                    .into_iter()
+                    .map(|d| (v.0.clone(), v.1.clone(), v.2.clone(), d, v.4.clone(), v.5.clone())),
+            );
+            out.extend(
+                self.4
+                    .shrink(&v.4)
+                    .into_iter()
+                    .map(|e| (v.0.clone(), v.1.clone(), v.2.clone(), v.3.clone(), e, v.5.clone())),
+            );
+            out.extend(
+                self.5
+                    .shrink(&v.5)
+                    .into_iter()
+                    .map(|f| (v.0.clone(), v.1.clone(), v.2.clone(), v.3.clone(), v.4.clone(), f)),
+            );
+            out
+        }
     }
 }
 
@@ -198,6 +452,15 @@ pub mod arbitrary {
     pub trait Arbitrary {
         /// Generates an unconstrained value.
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Candidate simplifications of `self` (used by [`any`]'s
+        /// shrinker); empty when minimal or unshrinkable.
+        fn shrink(&self) -> Vec<Self>
+        where
+            Self: Sized,
+        {
+            Vec::new()
+        }
     }
 
     macro_rules! arbitrary_ints {
@@ -205,6 +468,17 @@ pub mod arbitrary {
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> $t {
                     rng.next_u64() as $t
+                }
+                fn shrink(&self) -> Vec<$t> {
+                    // Halve toward zero (mirrored for negatives).
+                    let v = *self as i128;
+                    let mut out = Vec::new();
+                    let mut d = v.abs();
+                    while d > 0 {
+                        out.push((v - v.signum() * d) as $t);
+                        d /= 2;
+                    }
+                    out
                 }
             }
         )*};
@@ -214,6 +488,13 @@ pub mod arbitrary {
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink(&self) -> Vec<bool> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -244,6 +525,9 @@ pub mod arbitrary {
         fn generate(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            value.shrink()
+        }
     }
 
     /// The canonical strategy for `T` (full value range).
@@ -273,12 +557,37 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.end - self.size.start) as u64;
             let len = self.size.start + (rng.next_u64() % span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.size.start;
+            // Length halving first: front half, back half, drop-last.
+            if value.len() / 2 >= min && value.len() / 2 < value.len() {
+                out.push(value[..value.len() / 2].to_vec());
+                out.push(value[value.len() - value.len() / 2..].to_vec());
+            }
+            if value.len() > min {
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            // Then element-wise: each position replaced by its most
+            // aggressive candidate (capped to keep the fan-out small).
+            for (i, item) in value.iter().enumerate().take(16) {
+                if let Some(simpler) = self.element.shrink(item).into_iter().next() {
+                    let mut next = value.clone();
+                    next[i] = simpler;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -479,20 +788,44 @@ macro_rules! __proptest_impl {
         fn $name() {
             let config: $crate::test_runner::Config = $cfg;
             let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            // All argument strategies combine into one tuple strategy so
+            // failing cases can be shrunk jointly (component-wise).
+            let strategies = ($(($strat),)+);
+            // Pins the case closure's parameter to the tuple strategy's
+            // value type, so the closure body type-checks on its own.
+            fn __pin_case<S, F>(_: &S, f: F) -> F
+            where
+                S: $crate::strategy::Strategy,
+                F: Fn(&S::Value) -> $crate::test_runner::TestCaseResult,
+            {
+                f
+            }
+            let run_case = __pin_case(&strategies, |values| {
+                let ($($arg,)+) = ::core::clone::Clone::clone(values);
+                (move || { $body ::core::result::Result::Ok(()) })()
+            });
             for case in 0..config.effective_cases() {
-                $(
-                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
-                )+
-                let inputs = format!(
-                    concat!($("\n  ", stringify!($arg), " = {:?}",)+),
-                    $(&$arg,)+
-                );
-                let outcome: $crate::test_runner::TestCaseResult =
-                    (move || { $body ::core::result::Result::Ok(()) })();
-                if let ::core::result::Result::Err(e) = outcome {
+                let values = $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                if let ::core::result::Result::Err(e) = run_case(&values) {
+                    let inputs = {
+                        let ($(ref $arg,)+) = values;
+                        format!(
+                            concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                            $($arg,)+
+                        )
+                    };
+                    let shrunk =
+                        $crate::strategy::shrink_failing(&strategies, values, &run_case);
+                    let shrunk_inputs = {
+                        let ($(ref $arg,)+) = shrunk;
+                        format!(
+                            concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                            $($arg,)+
+                        )
+                    };
                     panic!(
-                        "proptest `{}` failed at case {}: {}\ninputs:{}",
-                        stringify!($name), case, e, inputs
+                        "proptest `{}` failed at case {}: {}\ninputs:{}\nshrunk inputs:{}",
+                        stringify!($name), case, e, inputs, shrunk_inputs
                     );
                 }
             }
@@ -541,6 +874,78 @@ mod tests {
             let (lo, hi) = pair;
             prop_assert!(hi >= lo && hi < lo + 10);
         }
+    }
+
+    #[test]
+    fn int_range_shrink_is_a_halving_ladder() {
+        use crate::strategy::Strategy;
+        let s = 0u32..1000;
+        let c = s.shrink(&700);
+        assert_eq!(c.first(), Some(&0), "biggest jump (the range minimum) first");
+        assert_eq!(c.last(), Some(&699), "smallest step last");
+        assert!(c.windows(2).all(|w| w[0] < w[1]), "ladder ascends: {c:?}");
+        assert!(s.shrink(&0).is_empty(), "the minimum is unshrinkable");
+        // Inclusive and offset ranges shrink toward their own minimum.
+        assert_eq!((5u8..=9).shrink(&9).first(), Some(&5));
+        assert!((-10i32..10).shrink(&-10).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_halves_length_and_shrinks_elements() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u32..100, 1..50);
+        let v = vec![60u32, 61, 62, 63];
+        let c = s.shrink(&v);
+        assert!(c.contains(&vec![60, 61]), "front half");
+        assert!(c.contains(&vec![62, 63]), "back half");
+        assert!(c.contains(&vec![60, 61, 62]), "drop-last");
+        assert!(c.contains(&vec![0, 61, 62, 63]), "element shrunk toward minimum");
+        // Minimum length is respected.
+        let tight = crate::collection::vec(0u32..100, 4..6);
+        assert!(tight.shrink(&v).iter().all(|w| w.len() >= 4));
+    }
+
+    #[test]
+    fn shrink_failing_minimizes_to_the_boundary() {
+        use crate::strategy::{shrink_failing, Strategy};
+        let s = (0u32..1000,);
+        // Property "x < 500" — every failing start must shrink to exactly
+        // 500, the minimal counterexample.
+        for start in [500u32, 501, 640, 999] {
+            let run = |v: &(u32,)| {
+                crate::prop_assert!(v.0 < 500);
+                Ok(())
+            };
+            let initial = s.generate(&mut crate::test_runner::TestRng::for_test("x"));
+            let _ = initial; // strategies are pure; shrink from `start` directly
+            let minimal = shrink_failing(&s, (start,), run);
+            assert_eq!(minimal, (500,), "start={start}");
+        }
+    }
+
+    // A deliberately failing property (no #[test] attribute: invoked via
+    // catch_unwind below to inspect the shrunk counterexample report).
+    crate::proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        fn failing_property_for_shrink_test(x in 0u32..1000) {
+            prop_assert!(x < 500);
+        }
+    }
+
+    #[test]
+    fn failure_report_contains_shrunk_counterexample() {
+        let err = std::panic::catch_unwind(failing_property_for_shrink_test)
+            .expect_err("the property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload must be a string");
+        assert!(msg.contains("shrunk inputs"), "missing shrink section: {msg}");
+        assert!(
+            msg.contains("x = 500"),
+            "shrinking must reach the minimal counterexample 500: {msg}"
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub struct Observation {
     pub delta: MetricsSnapshot,
     /// The window in force at sampling time.
     pub window: WindowInfo,
-    /// The stack's sub-stack capacity (hard width ceiling).
+    /// The target's sub-structure capacity (hard width ceiling).
     pub capacity: usize,
     /// The user's relaxation budget: emitted parameters must keep
     /// `k_bound <= max_k`.
@@ -89,9 +89,33 @@ pub fn max_width_for_budget(depth: usize, shift: usize, max_k: usize) -> usize {
     1 + max_k / per_sibling
 }
 
+/// The deepest `depth` (in the vertical `shift = depth` shape of
+/// [`Params::for_k`](stack2d::Params::for_k)) whose relaxation bound stays
+/// within `max_k` at the given width: inverts `k = 3 * depth * (width - 1)`.
+///
+/// A single sub-structure (`width <= 1`) is strict at any depth (`k = 0`),
+/// so the budget never binds there and `usize::MAX` is returned.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_adaptive::max_depth_for_budget;
+///
+/// assert_eq!(max_depth_for_budget(8, 84), 4); // 3 * 4 * 7 = 84
+/// assert_eq!(max_depth_for_budget(8, 20), 1); // even depth 1 costs 21 > 20
+/// assert_eq!(max_depth_for_budget(1, 0), usize::MAX);
+/// ```
+pub fn max_depth_for_budget(width: usize, max_k: usize) -> usize {
+    if width <= 1 {
+        return usize::MAX;
+    }
+    (max_k / (3 * (width - 1))).max(1)
+}
+
 /// The default policy: **multiplicative increase** of `width` while the
 /// [window pressure](Observation::window_pressure) is above `grow_above`,
-/// **additive decrease** once it falls below `shrink_below`.
+/// **additive decrease** once it falls below `shrink_below` — and, since
+/// PR 3, a walk of the **vertical** dimension once width saturates.
 ///
 /// Classic AIMD is inverted deliberately: the scarce resource here is the
 /// relaxation budget `max_k`, so the controller spends it fast when
@@ -99,9 +123,17 @@ pub fn max_width_for_budget(depth: usize, shift: usize, max_k: usize) -> usize {
 /// ticks) and returns it gradually when the burst passes (stepwise
 /// tightening avoids oscillating straight back into contention). Width
 /// never exceeds `min(capacity, max_width_for_budget(..))`, so the
-/// k-budget invariant holds by construction; depth and shift are left as
-/// tuned at construction (the paper's horizontal-first strategy — width is
-/// the cheap dimension for quality).
+/// k-budget invariant holds by construction.
+///
+/// The walk follows the paper's two-dimensional tuning strategy (§4, the
+/// same order as [`Params::for_k`](stack2d::Params::for_k)): width is the
+/// cheap dimension for quality, so it is spent first. Once width has
+/// saturated against the capacity *with budget headroom left*, sustained
+/// pressure doubles `depth` instead (in the `shift = depth` shape), up to
+/// [`max_depth_for_budget`] — a deeper window shifts `Global` less often,
+/// trading locality for the remaining budget. In calm periods the walk
+/// retraces itself: depth halves back toward 1 first (the vertical budget
+/// was borrowed last), and only then width steps down.
 ///
 /// # Examples
 ///
@@ -165,19 +197,49 @@ impl Controller for AimdController {
         let budget = self.max_k.min(obs.max_k);
         let ceiling = max_width_for_budget(depth, shift, budget).min(obs.capacity);
         let rate = obs.window_pressure();
-        let target = if rate > self.grow_above && width < ceiling {
-            (width * 2).min(ceiling)
-        } else if rate < self.shrink_below && width > 1 {
-            width - (width / 4).max(1)
+        let next = if rate > self.grow_above {
+            if width < ceiling {
+                // Horizontal first: width is the cheap dimension for
+                // quality (§4).
+                let target = (width * 2).min(ceiling);
+                Some(Params::new(target, depth, shift).expect("width grow keeps depth/shift"))
+            } else if width >= obs.capacity {
+                // Width saturated at capacity with budget headroom left:
+                // walk the vertical dimension in the shift = depth shape.
+                // MAX_DEPTH backstops the doubling where the budget never
+                // binds (width 1 is strict at any depth; pressure falls as
+                // 1/depth, so the signal stops the walk long before this).
+                const MAX_DEPTH: usize = 1 << 16;
+                let d = (depth * 2).min(max_depth_for_budget(width, budget)).min(MAX_DEPTH);
+                (d > depth)
+                    .then(|| Params::new(width, d, d).expect("shift = depth is always valid"))
+            } else {
+                // Width saturated against the budget itself: growing depth
+                // would only force width back down. Nothing left to spend.
+                None
+            }
+        } else if rate < self.shrink_below {
+            if depth > 1 {
+                // Retrace the walk: the vertical budget was borrowed last,
+                // return it first. Clamp against the budget too — on a
+                // hand-built shape with shift << depth, the halved
+                // shift = depth shape could otherwise cost *more* than the
+                // current window (k grows with shift at fixed depth).
+                let d = (depth / 2).min(max_depth_for_budget(width, budget));
+                Some(Params::new(width, d, d).expect("halved depth stays >= 1"))
+            } else if width > 1 {
+                let target = width - (width / 4).max(1);
+                Some(Params::new(target, depth, shift).expect("width shrink floors at 1"))
+            } else {
+                None
+            }
         } else {
-            return None;
+            None
         };
-        debug_assert!(target >= 1);
-        self.cooldown = self.dwell;
-        Some(
-            Params::new(target, depth, shift)
-                .expect("AIMD only changes width, depth/shift stay validated"),
-        )
+        if next.is_some() {
+            self.cooldown = self.dwell;
+        }
+        next
     }
 }
 
@@ -186,13 +248,22 @@ mod tests {
     use super::*;
 
     fn obs(width: usize, ops: u64, cas_failures: u64, max_k: usize) -> Observation {
-        let stack: stack2d::Stack2D<u8> =
-            stack2d::Stack2D::elastic(Params::new(width, 1, 1).unwrap(), 64);
+        obs_at(Params::new(width, 1, 1).unwrap(), 64, ops, cas_failures, max_k)
+    }
+
+    fn obs_at(
+        params: Params,
+        capacity: usize,
+        ops: u64,
+        cas_failures: u64,
+        max_k: usize,
+    ) -> Observation {
+        let stack: stack2d::Stack2D<u8> = stack2d::Stack2D::elastic(params, capacity);
         Observation {
             interval: Duration::from_millis(10),
             delta: MetricsSnapshot { ops, cas_failures, ..Default::default() },
             window: stack.window(),
-            capacity: 64,
+            capacity,
             max_k,
         }
     }
@@ -274,5 +345,103 @@ mod tests {
     fn observation_throughput_divides_by_interval() {
         let o = obs(4, 500, 0, 100);
         assert!((o.throughput() - 50_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn depth_budget_inversion_is_tight() {
+        for width in 2..10 {
+            for k in [0usize, 3, 21, 84, 450] {
+                let d = max_depth_for_budget(width, k);
+                let p = Params::new(width, d, d).unwrap();
+                assert!(p.k_bound() <= k || d == 1, "w={width} d={d} k={k}");
+                let deeper = Params::new(width, d + 1, d + 1).unwrap();
+                assert!(deeper.k_bound() > k, "inversion not tight at w={width} d={d} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn walks_vertical_once_width_saturates_at_capacity() {
+        // Capacity 8, generous budget: width fills to 8 first, then
+        // sustained pressure walks depth with shift = depth.
+        const BUDGET: usize = 84; // max depth at width 8: 84 / 21 = 4
+        let mut c = AimdController::new(BUDGET);
+        c.dwell = 0;
+        let p = c.decide(&obs_at(Params::new(4, 1, 1).unwrap(), 8, 1_000, 500, BUDGET)).unwrap();
+        assert_eq!((p.width(), p.depth()), (8, 1), "width grows to capacity first");
+        let p = c.decide(&obs_at(p, 8, 1_000, 500, BUDGET)).unwrap();
+        assert_eq!((p.width(), p.depth(), p.shift()), (8, 2, 2), "then depth doubles");
+        let p = c.decide(&obs_at(p, 8, 1_000, 500, BUDGET)).unwrap();
+        assert_eq!((p.width(), p.depth(), p.shift()), (8, 4, 4));
+        assert!(p.k_bound() <= BUDGET);
+        // Depth 4 is the budget ceiling: pressure can no longer move it.
+        assert!(c.decide(&obs_at(p, 8, 1_000, 500, BUDGET)).is_none());
+    }
+
+    #[test]
+    fn budget_saturated_width_does_not_walk_vertical() {
+        // Budget 9 caps width at 4 < capacity 64: growing depth would
+        // shrink the affordable width, so the controller holds instead.
+        let mut c = AimdController::new(9);
+        c.dwell = 0;
+        assert!(c.decide(&obs(4, 1_000, 500, 9)).is_none());
+    }
+
+    #[test]
+    fn calm_retraces_depth_before_width() {
+        let mut c = AimdController::new(10_000);
+        c.dwell = 0;
+        let deep = Params::new(8, 4, 4).unwrap();
+        let p = c.decide(&obs_at(deep, 8, 1_000, 0, 10_000)).unwrap();
+        assert_eq!((p.width(), p.depth(), p.shift()), (8, 2, 2), "depth returns first");
+        let p = c.decide(&obs_at(p, 8, 1_000, 0, 10_000)).unwrap();
+        assert_eq!((p.width(), p.depth(), p.shift()), (8, 1, 1));
+        let p = c.decide(&obs_at(p, 8, 1_000, 0, 10_000)).unwrap();
+        assert_eq!(p.width(), 6, "only then width steps down");
+    }
+
+    #[test]
+    fn calm_retrace_clamps_against_the_budget() {
+        // Hand-built shape with shift << depth: (8, 8, 1) has k = 105,
+        // over a budget of 70. A naive halve to (8, 4, 4) would emit
+        // k = 84 — still over budget — where the clamped retrace lands
+        // within budget in one step: (8, 3, 3), k = 63.
+        let mut c = AimdController::new(70);
+        c.dwell = 0;
+        let start = Params::new(8, 8, 1).unwrap();
+        assert!(start.k_bound() > 70);
+        let p = c.decide(&obs_at(start, 8, 1_000, 0, 70)).unwrap();
+        assert!(p.k_bound() <= 70, "retrace must land within budget: {p}");
+        assert!(p.depth() < 8, "retrace must still shrink depth: {p}");
+    }
+
+    #[test]
+    fn vertical_walk_has_a_hard_depth_ceiling() {
+        // Width 1 with an unbounded budget: the signal normally stops the
+        // walk (pressure ~ 1/depth), but a pathological configuration
+        // (grow_above = 0) must hit the backstop instead of overflowing.
+        let mut c = AimdController::new(usize::MAX);
+        c.dwell = 0;
+        c.grow_above = 0.0;
+        let mut params = Params::new(1, 1, 1).unwrap();
+        for _ in 0..64 {
+            match c.decide(&obs_at(params, 1, 1_000, 500, usize::MAX)) {
+                Some(p) => params = p,
+                None => break,
+            }
+        }
+        assert_eq!(params.depth(), 1 << 16, "walk must stop at the ceiling");
+        assert!(c.decide(&obs_at(params, 1, 1_000, 500, usize::MAX)).is_none());
+    }
+
+    #[test]
+    fn vertical_walk_self_limits_at_width_one() {
+        // Width 1 is strict (k = 0) at any depth; a deeper window still
+        // reduces shift pressure, and the budget never binds.
+        let mut c = AimdController::new(0);
+        c.dwell = 0;
+        let p = c.decide(&obs_at(Params::new(1, 1, 1).unwrap(), 1, 1_000, 500, 0)).unwrap();
+        assert_eq!((p.width(), p.depth(), p.shift()), (1, 2, 2));
+        assert_eq!(p.k_bound(), 0);
     }
 }

@@ -3,27 +3,33 @@
 //! The 2D-Stack paper's pitch is a stack that *continuously relaxes
 //! semantics for better performance* — yet its parameters are chosen
 //! offline, per workload. This crate closes the loop at runtime: a
-//! [`Controller`] samples a stack's [`MetricsSnapshot`] deltas on a
-//! cadence and decides new window [`Params`], which the driver installs
-//! through [`Stack2D::retune`] — widening the window when contention
-//! (lost descriptor CASes) eats throughput, tightening it back when load
-//! drops, always subject to a user-supplied relaxation budget `max_k`.
+//! [`Controller`] samples an elastic structure's [`MetricsSnapshot`]
+//! deltas on a cadence and decides new window [`Params`], which the
+//! driver installs through [`ElasticTarget::retune`] — widening the
+//! window when contention (lost descriptor CASes) eats throughput,
+//! tightening it back when load drops, always subject to a user-supplied
+//! relaxation budget `max_k`.
 //!
-//! Three pieces:
+//! Everything is generic over [`ElasticTarget`], the contract implemented
+//! by all three windowed structures ([`Stack2D`], [`Queue2D`],
+//! [`Counter2D`]) — the paper's §5 generalization applied to the elastic
+//! runtime itself. Three pieces:
 //!
 //! * [`controller`] — the [`Controller`] trait and [`AimdController`], the
 //!   default policy: multiplicative width increase under contention,
 //!   additive decrease in calm periods (the inverse of classic AIMD,
 //!   because here the scarce resource is the *k budget*, which should be
-//!   spent only while contention demands it);
+//!   spent only while contention demands it), plus a walk of the vertical
+//!   dimension (`depth`/`shift`) once width saturates at capacity with
+//!   budget headroom left;
 //! * [`runtime`] — [`Elastic`], the deterministic inline driver
 //!   (`tick()` when *you* decide), and [`ElasticRunner`], a background
 //!   thread ticking on a fixed cadence; both record a [`RetuneEvent`] log;
 //! * the **k-budget invariant**: every parameter set a controller emits
 //!   satisfies `k_bound <= max_k`, and because a width shrink keeps the
 //!   published bound at the wide value until the retired tail is provably
-//!   drained ([`Stack2D::try_commit_shrink`]), the *instantaneous* bound
-//!   observed by the quality checker never exceeds `max_k` either.
+//!   drained ([`ElasticTarget::try_commit_shrink`]), the *instantaneous*
+//!   bound observed by the quality checker never exceeds `max_k` either.
 //!
 //! ```
 //! use stack2d::{Params, Stack2D};
@@ -44,8 +50,12 @@
 //!
 //! [`MetricsSnapshot`]: stack2d::MetricsSnapshot
 //! [`Params`]: stack2d::Params
-//! [`Stack2D::retune`]: stack2d::Stack2D::retune
-//! [`Stack2D::try_commit_shrink`]: stack2d::Stack2D::try_commit_shrink
+//! [`ElasticTarget`]: stack2d::ElasticTarget
+//! [`ElasticTarget::retune`]: stack2d::ElasticTarget::retune
+//! [`ElasticTarget::try_commit_shrink`]: stack2d::ElasticTarget::try_commit_shrink
+//! [`Stack2D`]: stack2d::Stack2D
+//! [`Queue2D`]: stack2d::Queue2D
+//! [`Counter2D`]: stack2d::Counter2D
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -53,5 +63,7 @@
 pub mod controller;
 pub mod runtime;
 
-pub use controller::{max_width_for_budget, AimdController, Controller, Observation};
+pub use controller::{
+    max_depth_for_budget, max_width_for_budget, AimdController, Controller, Observation,
+};
 pub use runtime::{Elastic, ElasticRunner, RetuneEvent, RetuneKind, ScriptedController};

@@ -5,6 +5,11 @@
 //! [`ElasticRunner`] wraps it in a background thread ticking on a fixed
 //! cadence, the deployment shape: workers never see the controller, they
 //! just observe the window descriptor changing under them.
+//!
+//! Both drivers are generic over [`ElasticTarget`], so the same machinery
+//! retunes a [`Stack2D`](stack2d::Stack2D), a
+//! [`Queue2D`](stack2d::Queue2D) (whose put and get windows move
+//! together) or a [`Counter2D`](stack2d::Counter2D).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -13,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use stack2d::{MetricsSnapshot, Params, Stack2D, WindowInfo};
+use stack2d::{ElasticTarget, MetricsSnapshot, Params, WindowInfo};
 
 use crate::controller::{Controller, Observation};
 
@@ -73,11 +78,11 @@ impl RetuneEvent {
 
 /// The inline elastic driver: owns a [`Controller`], samples metrics
 /// deltas on every [`tick`](Elastic::tick), applies its decisions through
-/// [`Stack2D::retune`] / [`Stack2D::try_commit_shrink`], and logs every
-/// swing as a [`RetuneEvent`].
+/// [`ElasticTarget::retune`] / [`ElasticTarget::try_commit_shrink`], and
+/// logs every swing as a [`RetuneEvent`].
 #[derive(Debug)]
-pub struct Elastic<'s, T, C> {
-    stack: &'s Stack2D<T>,
+pub struct Elastic<'s, S, C> {
+    target: &'s S,
     controller: C,
     max_k: usize,
     started: Instant,
@@ -86,17 +91,17 @@ pub struct Elastic<'s, T, C> {
     events: Vec<RetuneEvent>,
 }
 
-impl<'s, T, C: Controller> Elastic<'s, T, C> {
-    /// A driver for `stack` with no budget of its own (the controller's
+impl<'s, S: ElasticTarget, C: Controller> Elastic<'s, S, C> {
+    /// A driver for `target` with no budget of its own (the controller's
     /// budget governs); see [`Elastic::budget`].
-    pub fn new(stack: &'s Stack2D<T>, controller: C) -> Self {
+    pub fn new(target: &'s S, controller: C) -> Self {
         let now = Instant::now();
         Elastic {
-            stack,
+            target,
             controller,
             max_k: usize::MAX,
             started: now,
-            last_metrics: stack.metrics(),
+            last_metrics: target.metrics(),
             last_tick: now,
             events: Vec::new(),
         }
@@ -111,9 +116,9 @@ impl<'s, T, C: Controller> Elastic<'s, T, C> {
         self
     }
 
-    /// The driven stack.
-    pub fn stack(&self) -> &'s Stack2D<T> {
-        self.stack
+    /// The driven structure.
+    pub fn target(&self) -> &'s S {
+        self.target
     }
 
     /// The controller (e.g. to inspect or adjust thresholds).
@@ -136,11 +141,11 @@ impl<'s, T, C: Controller> Elastic<'s, T, C> {
     /// decision. Returns the last event this tick produced, if any.
     pub fn tick(&mut self) -> Option<RetuneEvent> {
         let mut produced = None;
-        let snapshot = self.stack.metrics();
+        let snapshot = self.target.metrics();
         let at = self.started.elapsed();
         // A matured shrink commits before the next decision so the
         // controller sees the tightened bound.
-        if let Some(info) = self.stack.try_commit_shrink() {
+        if let Some(info) = self.target.try_commit_shrink() {
             let ev = RetuneEvent::from_info(info, RetuneKind::Commit, at, snapshot.ops);
             self.events.push(ev);
             produced = Some(ev);
@@ -149,8 +154,8 @@ impl<'s, T, C: Controller> Elastic<'s, T, C> {
         let obs = Observation {
             interval: now.duration_since(self.last_tick),
             delta: snapshot.delta_since(&self.last_metrics),
-            window: self.stack.window(),
-            capacity: self.stack.capacity(),
+            window: self.target.window(),
+            capacity: self.target.capacity(),
             max_k: self.max_k,
         };
         if let Some(params) = self.controller.decide(&obs) {
@@ -159,7 +164,7 @@ impl<'s, T, C: Controller> Elastic<'s, T, C> {
                 "controller violated the k budget: {params} > {}",
                 self.max_k
             );
-            match self.stack.retune(params) {
+            match self.target.retune(params) {
                 // A no-op retune (controller re-emitted the standing
                 // parameters) swings nothing and bumps no generation:
                 // logging it would inject a phantom event.
@@ -175,7 +180,7 @@ impl<'s, T, C: Controller> Elastic<'s, T, C> {
                     produced = Some(ev);
                 }
                 Err(e) => {
-                    debug_assert!(false, "controller exceeded stack capacity: {e}");
+                    debug_assert!(false, "controller exceeded target capacity: {e}");
                 }
             }
         }
@@ -218,31 +223,31 @@ pub struct ElasticRunner {
 }
 
 impl ElasticRunner {
-    /// Starts a controller thread driving `stack` every `cadence`.
-    pub fn spawn<T, C>(stack: Arc<Stack2D<T>>, controller: C, cadence: Duration) -> Self
+    /// Starts a controller thread driving `target` every `cadence`.
+    pub fn spawn<S, C>(target: Arc<S>, controller: C, cadence: Duration) -> Self
     where
-        T: Send + 'static,
+        S: ElasticTarget + 'static,
         C: Controller + Send + 'static,
     {
-        Self::spawn_with_budget(stack, controller, cadence, usize::MAX)
+        Self::spawn_with_budget(target, controller, cadence, usize::MAX)
     }
 
     /// Like [`ElasticRunner::spawn`] with an explicit driver-level k
     /// budget.
-    pub fn spawn_with_budget<T, C>(
-        stack: Arc<Stack2D<T>>,
+    pub fn spawn_with_budget<S, C>(
+        target: Arc<S>,
         controller: C,
         cadence: Duration,
         max_k: usize,
     ) -> Self
     where
-        T: Send + 'static,
+        S: ElasticTarget + 'static,
         C: Controller + Send + 'static,
     {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let join = std::thread::spawn(move || {
-            let mut elastic = Elastic::new(&stack, controller).budget(max_k);
+            let mut elastic = Elastic::new(&*target, controller).budget(max_k);
             while !stop_flag.load(Ordering::Relaxed) {
                 std::thread::sleep(cadence);
                 elastic.tick();
@@ -294,6 +299,8 @@ impl Controller for ScriptedController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::controller::AimdController;
+    use stack2d::{Counter2D, Queue2D, Stack2D};
 
     fn p(w: usize, d: usize, s: usize) -> Params {
         Params::new(w, d, s).unwrap()
@@ -428,5 +435,74 @@ mod tests {
             assert!(e.k_bound <= BUDGET, "budget violated: {e:?}");
         }
         assert!(stack.k_bound() <= BUDGET);
+    }
+
+    #[test]
+    fn scripted_driver_retunes_a_queue() {
+        let queue: Queue2D<u32> = Queue2D::elastic(p(2, 1, 1), 16);
+        let script = ScriptedController::new([
+            Some(p(8, 1, 1)), // grow
+            Some(p(8, 2, 2)), // vertical
+            Some(p(4, 2, 2)), // shrink (tail empty, commits on later ticks)
+        ]);
+        let mut elastic = Elastic::new(&queue, script);
+        let ev = elastic.tick().expect("grow event");
+        assert_eq!(ev.kind, RetuneKind::Grow);
+        assert_eq!(ev.width, 8);
+        assert_eq!(queue.put_window().width(), 8, "both queue windows must move");
+        let ev = elastic.tick().expect("vertical event");
+        assert_eq!(ev.kind, RetuneKind::Vertical);
+        let ev = elastic.tick().expect("shrink event");
+        assert_eq!(ev.kind, RetuneKind::Shrink);
+        assert_eq!(ev.pop_width, 8, "dequeues keep covering the retired tail");
+        let committed = (0..64)
+            .find_map(|_| elastic.tick())
+            .expect("empty tail must let the queue shrink commit");
+        assert_eq!(committed.kind, RetuneKind::Commit);
+        assert_eq!(committed.pop_width, 4);
+        // The queue stays fully usable after the schedule.
+        let mut h = queue.handle_seeded(1);
+        for i in 0..100 {
+            h.enqueue(i);
+        }
+        let mut n = 0;
+        while h.dequeue().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn background_runner_drives_a_counter_under_budget() {
+        const BUDGET: usize = 21; // width ceiling 1 + 21/3 = 8
+        let counter = Arc::new(Counter2D::elastic(p(1, 1, 1), 8));
+        let runner = ElasticRunner::spawn_with_budget(
+            Arc::clone(&counter),
+            AimdController::new(BUDGET),
+            Duration::from_micros(500),
+            BUDGET,
+        );
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let counter = Arc::clone(&counter);
+            joins.push(std::thread::spawn(move || {
+                let mut h = counter.handle_seeded(t + 1);
+                for _ in 0..20_000 {
+                    h.increment();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let events = runner.stop();
+        for e in &events {
+            assert!(e.k_bound <= BUDGET, "budget violated: {e:?}");
+        }
+        for _ in 0..64 {
+            counter.try_commit_shrink();
+        }
+        assert_eq!(counter.value(), 4 * 20_000, "retunes must not lose increments");
+        assert!(counter.window().k_bound() <= BUDGET);
     }
 }

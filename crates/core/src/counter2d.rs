@@ -8,21 +8,39 @@
 //! path; the aggregate value is the sum of the sub-counters.
 //!
 //! The window gives the counter its quality guarantee: at any quiescent
-//! point, `max_i(sub_i) - min_i(sub_i) <= depth + shift`, so a scanning
-//! read (which sums sub-counters one at a time) is at most
-//! `(depth + shift) * (width - 1)` away from a linearized count plus the
-//! increments concurrent with the scan. A `width = 1` counter is exact.
+//! point, `max_i(sub_i) - min_i(sub_i) <= depth + shift` over the active
+//! sub-counters, so a scanning read (which sums sub-counters one at a
+//! time) is at most `(depth + shift) * (width - 1)` away from a linearized
+//! count plus the increments concurrent with the scan. A `width = 1`
+//! counter is exact.
 //!
 //! Increments-only by design (like `fetch_add` statistics counters);
 //! [`Counter2D::value`] never decreases between quiescent reads.
+//!
+//! # Elasticity
+//!
+//! Since PR 3 the counter shares the stack's elastic machinery
+//! ([`ElasticWindow`]): the sub-counter array is pre-sized at a capacity
+//! ([`Counter2D::elastic`]) and [`Counter2D::retune`] hot-swaps the
+//! descriptor. A width shrink stops increments into the retired tail
+//! immediately and *commits* ([`Counter2D::try_commit_shrink`]) once the
+//! epoch fence proves every pre-shrink increment finished; the commit
+//! **drains** the retired sub-counters — their frozen values move into a
+//! side accumulator folded into [`Counter2D::value`] — so a later width
+//! grow re-activates them at zero instead of at stale counts, and the
+//! active-span spread claim is never polluted by retirement residue.
 
 use core::fmt;
 use core::sync::atomic::{AtomicUsize, Ordering};
 
+use crossbeam_epoch as epoch;
 use crossbeam_utils::CachePadded;
 
+use crate::metrics::{MetricsSnapshot, OpCounters};
 use crate::params::Params;
 use crate::rng::HopRng;
+use crate::traits::ElasticTarget;
+use crate::window::{ElasticWindow, RetuneError, WindowInfo};
 
 /// A relaxed, window-bounded sharded counter.
 ///
@@ -39,25 +57,119 @@ use crate::rng::HopRng;
 /// assert_eq!(c.value(), 1000);
 /// ```
 pub struct Counter2D {
+    /// Sub-counters, allocated once at capacity; increments target the
+    /// window's push span.
     subs: Box<[CachePadded<AtomicUsize>]>,
     global: CachePadded<AtomicUsize>,
-    params: Params,
+    /// The live window descriptor, hot-swapped by [`Counter2D::retune`].
+    window: ElasticWindow,
+    /// Counts folded out of retired sub-counters at shrink commits.
+    drained: CachePadded<AtomicUsize>,
+    counters: OpCounters,
 }
 
 impl Counter2D {
-    /// Creates a counter with the given window parameters.
+    /// Creates a counter with the given window parameters and no elastic
+    /// headroom (capacity = width).
     pub fn new(params: Params) -> Self {
+        Self::elastic(params, params.width())
+    }
+
+    /// Creates a counter that can later be [`retune`](Counter2D::retune)d
+    /// up to `max_width` sub-counters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Counter2D, Params};
+    ///
+    /// let c = Counter2D::elastic(Params::new(1, 1, 1).unwrap(), 8);
+    /// assert_eq!(c.capacity(), 8);
+    /// c.retune(Params::new(8, 1, 1).unwrap()).unwrap();
+    /// assert_eq!(c.window().width(), 8);
+    /// ```
+    pub fn elastic(params: Params, max_width: usize) -> Self {
+        let capacity = max_width.max(params.width());
         Counter2D {
-            subs: (0..params.width()).map(|_| CachePadded::new(AtomicUsize::new(0))).collect(),
+            subs: (0..capacity).map(|_| CachePadded::new(AtomicUsize::new(0))).collect(),
             global: CachePadded::new(AtomicUsize::new(params.initial_global())),
-            params,
+            window: ElasticWindow::new(params),
+            drained: CachePadded::new(AtomicUsize::new(0)),
+            counters: OpCounters::default(),
         }
     }
 
-    /// The window parameters.
+    /// The window parameters currently in force.
     #[inline]
     pub fn params(&self) -> Params {
-        self.params
+        self.window.info().params()
+    }
+
+    /// Number of sub-counters allocated at construction — the ceiling for
+    /// [`Counter2D::retune`]d widths.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// A consistent snapshot of the live window descriptor.
+    pub fn window(&self) -> WindowInfo {
+        self.window.info()
+    }
+
+    /// A snapshot of the counter's operation counters (probes, lost
+    /// CASes, window shifts — see [`MetricsSnapshot`]).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Resets the operation counters to zero (e.g. after a warm-up phase).
+    pub fn reset_metrics(&self) {
+        self.counters.reset();
+    }
+
+    /// Installs new window parameters, returning the snapshot that took
+    /// effect. Lock-free and non-blocking for concurrent increments.
+    ///
+    /// A width shrink stops increments into the retired tail immediately;
+    /// the window reports `pending_shrink` until
+    /// [`Counter2D::try_commit_shrink`] folds the retired values away.
+    ///
+    /// # Errors
+    ///
+    /// [`RetuneError::ExceedsCapacity`] if `params.width()` exceeds
+    /// [`Counter2D::capacity`].
+    pub fn retune(&self, params: Params) -> Result<WindowInfo, RetuneError> {
+        let (info, swung) = self.window.retune(params, self.subs.len())?;
+        if swung {
+            self.counters.add(|c| &c.retunes, 1);
+        }
+        Ok(info)
+    }
+
+    /// Attempts to commit a pending width shrink: once the epoch fence
+    /// proves every pre-shrink increment finished, the retired
+    /// sub-counters `[width, pop_width)` are **drained** — their values
+    /// move into the side accumulator — and the window closes.
+    ///
+    /// Returns the new window snapshot when the commit lands, `None` when
+    /// there is nothing to commit or the fence has not tripped yet.
+    pub fn try_commit_shrink(&self) -> Option<WindowInfo> {
+        let info = self.window.try_commit_shrink(|tail, _| {
+            for sub in &self.subs[tail] {
+                // Take-then-add: a concurrent scanning read may briefly
+                // miss the moved count (value() is advisory mid-flight),
+                // but nothing is ever lost — the fence guarantees no
+                // in-flight increment still targets the tail.
+                let v = sub.swap(0, Ordering::AcqRel);
+                if v > 0 {
+                    self.drained.fetch_add(v, Ordering::AcqRel);
+                }
+            }
+            true
+        })?;
+        self.counters.add(|c| &c.retunes, 1);
+        Some(info)
     }
 
     /// Registers a per-thread handle.
@@ -74,24 +186,32 @@ impl Counter2D {
         CounterHandle { counter: self, last, rng }
     }
 
-    /// The aggregate count: the sum of all sub-counters.
+    /// The aggregate count: the sum of all sub-counters plus the values
+    /// drained out of retired sub-counters at shrink commits.
     ///
     /// Exact when quiescent; under concurrency the scan may miss or
     /// double-count in-flight increments up to the window bound (see the
     /// module docs).
     pub fn value(&self) -> usize {
-        self.subs.iter().map(|s| s.load(Ordering::Acquire)).sum()
+        self.drained.load(Ordering::Acquire)
+            + self.subs.iter().map(|s| s.load(Ordering::Acquire)).sum::<usize>()
     }
 
-    /// Per-sub-counter values (the load profile).
+    /// Per-sub-counter values over the active (push) span — the load
+    /// profile the window's spread claim speaks about.
     pub fn profile(&self) -> Vec<usize> {
-        self.subs.iter().map(|s| s.load(Ordering::Acquire)).collect()
+        let guard = epoch::pin();
+        let w = self.window.load(&guard);
+        self.subs[..w.push_width].iter().map(|s| s.load(Ordering::Acquire)).collect()
     }
 
-    /// The quiescent spread bound: `max - min` over sub-counters never
-    /// exceeds this after all increments complete.
+    /// The quiescent spread bound: `max - min` over active sub-counters
+    /// never exceeds this after all increments complete (modulo retune
+    /// transients — a freshly re-activated sub-counter starts at zero and
+    /// needs increments to catch up).
     pub fn spread_bound(&self) -> usize {
-        self.params.depth() + self.params.shift()
+        let p = self.params();
+        p.depth() + p.shift()
     }
 
     /// Convenience increment through an ephemeral handle.
@@ -103,9 +223,35 @@ impl Counter2D {
 impl fmt::Debug for Counter2D {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Counter2D")
-            .field("params", &self.params)
+            .field("window", &self.window())
             .field("value", &self.value())
             .finish()
+    }
+}
+
+impl ElasticTarget for Counter2D {
+    fn window(&self) -> WindowInfo {
+        Counter2D::window(self)
+    }
+
+    fn capacity(&self) -> usize {
+        Counter2D::capacity(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        Counter2D::metrics(self)
+    }
+
+    fn retune(&self, params: Params) -> Result<WindowInfo, RetuneError> {
+        Counter2D::retune(self, params)
+    }
+
+    fn try_commit_shrink(&self) -> Option<WindowInfo> {
+        Counter2D::try_commit_shrink(self)
+    }
+
+    fn target_name(&self) -> &'static str {
+        "2d-counter"
     }
 }
 
@@ -120,18 +266,35 @@ impl CounterHandle<'_> {
     /// Adds one to the counter on some window-valid sub-counter.
     pub fn increment(&mut self) {
         let c = self.counter;
-        let width = c.subs.len();
-        let shift = c.params.shift();
+        // Pin so the shrink fence covers this increment: a retired
+        // sub-counter is only drained after every pinned pre-shrink
+        // operation finished.
+        let guard = epoch::pin();
         let mut start = self.last;
+        let mut probes = 0u64;
+        let mut cas_failures = 0u64;
+        let mut restarts = 0u64;
+        let mut shifts = 0u64;
         loop {
+            // Re-read the descriptor every round: retunes take effect
+            // without blocking in-flight increments.
+            let w = c.window.load(&guard);
+            let width = w.push_width;
+            start %= width;
             let global = c.global.load(Ordering::SeqCst);
             let mut advanced = false;
-            // One random hop then a covering sweep, as in the stack.
-            for step in 0..=width {
-                let i = if step == 0 { start } else { (start + step) % width };
+            // A covering sweep of `width` probes from the locality index;
+            // the `!advanced` conclusion below is sound exactly because
+            // every active sub-counter was observed once under `global`
+            // (probing `start` twice, as the old `0..=width` range did,
+            // added nothing to coverage).
+            for step in 0..width {
+                let i = (start + step) % width;
+                probes += 1;
                 if c.global.load(Ordering::SeqCst) != global {
                     start = i;
                     advanced = true;
+                    restarts += 1;
                     break;
                 }
                 let v = c.subs[i].load(Ordering::Acquire);
@@ -143,22 +306,32 @@ impl CounterHandle<'_> {
                         .is_ok()
                     {
                         self.last = i;
+                        let m = &c.counters;
+                        m.add(|c| &c.probes, probes);
+                        m.add(|c| &c.cas_failures, cas_failures);
+                        m.add(|c| &c.global_restarts, restarts);
+                        m.add(|c| &c.shifts_up, shifts);
+                        m.add(|c| &c.ops, 1);
                         return;
                     }
                     // Lost a race: random hop (contention avoidance).
+                    cas_failures += 1;
                     start = self.rng.bounded(width);
                     advanced = true;
                     break;
                 }
             }
             if !advanced {
-                // Every sub-counter is at the window's edge: raise it.
-                let _ = c.global.compare_exchange(
-                    global,
-                    global + shift,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                );
+                // Every active sub-counter is at the window's edge: raise
+                // it. Re-read the descriptor first — a concurrent retune
+                // may have changed `shift` since this round began.
+                let shift = c.window.load(&guard).shift;
+                if c.global
+                    .compare_exchange(global, global + shift, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    shifts += 1;
+                }
                 start = self.last;
             }
         }
@@ -254,5 +427,109 @@ mod tests {
         let c = Counter2D::new(params(2, 1, 1));
         assert!(format!("{c:?}").contains("Counter2D"));
         assert!(format!("{:?}", c.handle()).contains("CounterHandle"));
+    }
+
+    /// Regression for the covering-sweep off-by-one: the second increment
+    /// on a width-1, depth-1 counter needs exactly one exhausted sweep
+    /// (1 probe) plus one successful probe — the old `0..=width` range
+    /// spent an extra probe on the duplicated start index.
+    #[test]
+    fn covering_sweep_probes_each_subcounter_once() {
+        let c = Counter2D::new(params(1, 1, 1));
+        c.increment();
+        assert_eq!(c.metrics().probes, 1, "first increment: one valid probe");
+        c.increment();
+        let m = c.metrics();
+        assert_eq!(
+            m.probes, 3,
+            "second increment: one exhausted sweep (1 probe) + a shift + one valid probe"
+        );
+        assert_eq!(m.shifts_up, 1);
+        assert_eq!(m.ops, 2);
+    }
+
+    #[test]
+    fn elastic_grow_spreads_increments() {
+        let c = Counter2D::elastic(params(1, 1, 1), 8);
+        assert_eq!(c.capacity(), 8);
+        let info = c.retune(params(8, 2, 1)).unwrap();
+        assert_eq!(info.width(), 8);
+        let mut h = c.handle_seeded(5);
+        for _ in 0..500 {
+            h.increment();
+        }
+        assert_eq!(c.value(), 500);
+        let occupied = c.profile().iter().filter(|&&v| v > 0).count();
+        assert!(occupied > 1, "grow did not spread increments: {:?}", c.profile());
+    }
+
+    #[test]
+    fn shrink_drains_retired_subcounters_and_conserves_value() {
+        let c = Counter2D::elastic(params(8, 2, 1), 8);
+        let mut h = c.handle_seeded(2);
+        for _ in 0..1_000 {
+            h.increment();
+        }
+        let info = c.retune(params(2, 2, 1)).unwrap();
+        assert!(info.pending_shrink());
+        assert_eq!(c.value(), 1_000, "pending shrink must not lose counts");
+        let committed = (0..64)
+            .find_map(|_| c.try_commit_shrink())
+            .expect("quiescent counter shrink must commit");
+        assert!(!committed.pending_shrink());
+        assert_eq!(c.value(), 1_000, "drain must conserve the value");
+        // Retired sub-counters are zeroed: the active profile carries no
+        // retirement residue and re-growing starts them from scratch.
+        assert_eq!(c.profile().len(), 2);
+        for (i, sub) in c.subs.iter().enumerate().skip(2) {
+            assert_eq!(sub.load(Ordering::Acquire), 0, "sub {i} not drained");
+        }
+        for _ in 0..100 {
+            h.increment();
+        }
+        assert_eq!(c.value(), 1_100);
+    }
+
+    #[test]
+    fn retunes_count_in_metrics() {
+        let c = Counter2D::elastic(params(2, 1, 1), 4);
+        assert_eq!(c.metrics().retunes, 0);
+        c.retune(params(4, 1, 1)).unwrap();
+        c.retune(params(4, 1, 1)).unwrap(); // no-op
+        assert_eq!(c.metrics().retunes, 1);
+    }
+
+    #[test]
+    fn concurrent_churn_across_retunes_conserves_value() {
+        const THREADS: usize = 4;
+        const PER: usize = 10_000;
+        let c = Arc::new(Counter2D::elastic(params(2, 1, 1), 16));
+        let schedule =
+            [params(16, 1, 1), params(4, 2, 2), params(1, 1, 1), params(8, 4, 1), params(2, 1, 1)];
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let c = Arc::clone(&c);
+            joins.push(std::thread::spawn(move || {
+                let mut h = c.handle_seeded(t as u64 + 1);
+                for _ in 0..PER {
+                    h.increment();
+                }
+            }));
+        }
+        for _ in 0..40 {
+            for p in schedule {
+                c.retune(p).unwrap();
+                c.try_commit_shrink();
+                std::thread::yield_now();
+            }
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        // Settle any pending shrink so drains complete, then count.
+        for _ in 0..64 {
+            c.try_commit_shrink();
+        }
+        assert_eq!(c.value(), THREADS * PER, "retunes must not lose or duplicate increments");
     }
 }

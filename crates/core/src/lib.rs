@@ -68,15 +68,17 @@
 //! * [`params`] — window parameters and the Theorem 1 bound;
 //! * [`traits`] — the [`ConcurrentStack`] interface shared with every
 //!   baseline;
-//! * [`window`] — the hot-swappable window descriptor behind
-//!   [`Stack2D::retune`](stack::Stack2D::retune): online ("elastic")
-//!   width/depth/shift changes with per-generation relaxation bounds,
-//!   driven by the feedback controllers in the `stack2d-adaptive` crate;
+//! * [`window`] — the structure-agnostic hot-swappable window descriptor
+//!   behind `retune`: online ("elastic") width/depth/shift changes with
+//!   per-generation relaxation bounds, shared by the stack, the queue and
+//!   the counter and driven through the [`ElasticTarget`] trait by the
+//!   feedback controllers in the `stack2d-adaptive` crate;
 //! * [`metrics`] — contention / probe / window-shift / retune counters
-//!   ([`Stack2D::metrics`](stack::Stack2D::metrics));
+//!   ([`Stack2D::metrics`](stack::Stack2D::metrics), and the same block on
+//!   [`Queue2D`] and [`Counter2D`]);
 //! * [`queue2d`] and [`counter2d`] — the paper's stated future work (§5):
 //!   the same window design generalized to a FIFO queue and a sharded
-//!   counter;
+//!   counter, both elastic since PR 3;
 //! * [`rng`] — the xorshift hop RNG.
 //!
 //! ## Memory reclamation
@@ -107,5 +109,5 @@ pub use params::{Params, ParamsError};
 pub use queue2d::{Queue2D, QueueHandle};
 pub use search::{SearchPolicy, StackConfig};
 pub use stack::{Handle2D, Stack2D};
-pub use traits::{ConcurrentStack, StackHandle};
+pub use traits::{ConcurrentStack, ElasticTarget, StackHandle};
 pub use window::{RetuneError, WindowInfo};

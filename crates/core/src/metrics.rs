@@ -9,15 +9,26 @@
 //! just reporting them.
 //!
 //! Counters are relaxed atomics bumped once per *event batch* (probes are
-//! accumulated locally and added once per search round), keeping overhead
+//! accumulated locally and added once per operation), keeping overhead
 //! in the low single-digit percent range; they are always on.
+//!
+//! All three windowed structures carry the same counter block, so the
+//! elastic runtime's window-pressure signal
+//! (`stack2d-adaptive::Observation::window_pressure`) reads identically
+//! off a [`Stack2D`](crate::Stack2D), a [`Queue2D`](crate::Queue2D) or a
+//! [`Counter2D`](crate::Counter2D). For the queue, `shifts_up` counts put
+//! window shifts and `shifts_down` get window shifts (both globals only
+//! move forward); for the counter only the push-side counters are
+//! populated.
 
 use core::fmt;
 use core::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 
-/// Internal counter block owned by a [`Stack2D`](crate::Stack2D).
+/// Internal counter block owned by each windowed structure
+/// ([`Stack2D`](crate::Stack2D), [`Queue2D`](crate::Queue2D),
+/// [`Counter2D`](crate::Counter2D)).
 #[derive(Debug, Default)]
 pub(crate) struct OpCounters {
     /// Descriptor CASes lost to another thread.

@@ -23,6 +23,19 @@
 //! window bound then holds up to one in-flight operation per thread, the
 //! same slack the full 2D-framework analysis accounts for. This module is an
 //! extension prototype and is not part of the paper's evaluation.
+//!
+//! # Elasticity
+//!
+//! Since PR 3 the queue shares the stack's elastic machinery
+//! ([`ElasticWindow`]): the sub-queue array is pre-sized at a capacity
+//! ([`Queue2D::elastic`]) and [`Queue2D::retune`] hot-swaps **two**
+//! descriptors, one per window. Two are required because the put and get
+//! windows retire sub-queues at different times: a width shrink stops
+//! *enqueues* into the tail immediately (put descriptor, swung
+//! symmetrically), while *dequeues* must keep covering the tail until the
+//! epoch fence proves every pre-shrink enqueue finished and a sweep finds
+//! the tail drained (get descriptor, high-water rule +
+//! [`Queue2D::try_commit_shrink`]). See DESIGN.md §7.
 
 use core::fmt;
 use core::mem::MaybeUninit;
@@ -32,8 +45,11 @@ use core::sync::atomic::{AtomicUsize, Ordering};
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use crossbeam_utils::CachePadded;
 
+use crate::metrics::{MetricsSnapshot, OpCounters};
 use crate::params::Params;
 use crate::rng::HopRng;
+use crate::traits::ElasticTarget;
+use crate::window::{ElasticWindow, RetuneError, WindowInfo};
 
 struct QNode<T> {
     value: MaybeUninit<T>,
@@ -125,6 +141,11 @@ impl<T> SubQueue<T> {
         let head = self.head.load(Ordering::Acquire, guard);
         unsafe { head.deref() }.next.load(Ordering::Acquire, guard).is_null()
     }
+
+    /// Resident items by the counters (enqueues minus dequeues).
+    fn residency(&self) -> usize {
+        self.enq.load(Ordering::Acquire).saturating_sub(self.deq.load(Ordering::Acquire))
+    }
 }
 
 impl<T> Drop for SubQueue<T> {
@@ -174,16 +195,49 @@ impl<T> Drop for SubQueue<T> {
 /// # }
 /// ```
 pub struct Queue2D<T> {
+    /// Sub-queues, allocated once at capacity; enqueues target the put
+    /// window's push span, dequeues cover the get window's pop span.
     subs: Box<[CachePadded<SubQueue<T>>]>,
     put_global: CachePadded<AtomicUsize>,
     get_global: CachePadded<AtomicUsize>,
-    params: Params,
+    /// The put window: governs which sub-queues enqueues may target.
+    put: ElasticWindow,
+    /// The get window: governs which sub-queues dequeues cover, carries
+    /// the pending-shrink state and the quality-governing generation.
+    get: ElasticWindow,
+    /// Serializes [`Queue2D::retune`]'s two descriptor swings: without
+    /// it, two concurrent retunes could interleave and leave the put and
+    /// get windows describing different widths for good — stranding
+    /// enqueues outside the dequeue span once a shrink commits. Cold
+    /// path only; enqueues/dequeues never take it.
+    retune_lock: std::sync::Mutex<()>,
+    counters: OpCounters,
 }
 
 impl<T> Queue2D<T> {
-    /// Creates a 2D-Queue with the given window parameters.
+    /// Creates a 2D-Queue with the given window parameters and no elastic
+    /// headroom (capacity = width).
     pub fn new(params: Params) -> Self {
-        let subs = (0..params.width())
+        Self::elastic(params, params.width())
+    }
+
+    /// Creates a 2D-Queue that can later be [`retune`](Queue2D::retune)d up
+    /// to `max_width` sub-queues: the array is pre-sized so growing either
+    /// window is a pure descriptor swing and never blocks an operation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Params, Queue2D};
+    ///
+    /// let q: Queue2D<u32> = Queue2D::elastic(Params::new(1, 1, 1).unwrap(), 16);
+    /// assert_eq!(q.capacity(), 16);
+    /// q.retune(Params::new(16, 1, 1).unwrap()).unwrap();
+    /// assert_eq!(q.window().width(), 16);
+    /// ```
+    pub fn elastic(params: Params, max_width: usize) -> Self {
+        let capacity = max_width.max(params.width());
+        let subs = (0..capacity)
             .map(|_| CachePadded::new(SubQueue::new()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
@@ -191,21 +245,136 @@ impl<T> Queue2D<T> {
             subs,
             put_global: CachePadded::new(AtomicUsize::new(params.initial_global())),
             get_global: CachePadded::new(AtomicUsize::new(params.initial_global())),
-            params,
+            put: ElasticWindow::new(params),
+            get: ElasticWindow::new(params),
+            retune_lock: std::sync::Mutex::new(()),
+            counters: OpCounters::default(),
         }
     }
 
-    /// The window parameters.
+    /// The put-side window parameters currently in force.
     #[inline]
     pub fn params(&self) -> Params {
-        self.params
+        self.put.info().params()
     }
 
-    /// The k-out-of-order style bound carried over from Theorem 1
-    /// (modulo in-flight counter slack; see the module docs).
+    /// Number of sub-queues allocated at construction — the ceiling for
+    /// [`Queue2D::retune`]d widths.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// A consistent snapshot of the **get** window — the one that governs
+    /// dequeue quality (its pop span and generation are what the
+    /// per-generation checker segments by).
+    pub fn window(&self) -> WindowInfo {
+        self.get.info()
+    }
+
+    /// A consistent snapshot of the **put** window.
+    pub fn put_window(&self) -> WindowInfo {
+        self.put.info()
+    }
+
+    /// The k-out-of-order style bound carried over from Theorem 1, over
+    /// the get window's pop span so it stays honest while a width shrink
+    /// is pending (modulo in-flight counter slack; see the module docs).
     #[inline]
     pub fn k_bound(&self) -> usize {
-        self.params.k_bound()
+        self.get.info().k_bound()
+    }
+
+    /// The *live* out-of-order bound, sound even across retune transients:
+    /// `(pop_width - 1) * (max sub-queue residency + depth)`.
+    ///
+    /// A dequeue takes the oldest item of its sub-queue, so every resident
+    /// item it overtakes sits in one of the *other* covered sub-queues —
+    /// at most their residency, plus a `depth` margin for counter slack.
+    /// Like [`Stack2D::k_bound_instantaneous`](crate::Stack2D::k_bound_instantaneous)
+    /// this covers width-grow transients (freshly activated sub-queues
+    /// soak up new items and let dequeues overtake the entire backlog)
+    /// and converges back toward the configured bound as the queue drains.
+    /// Counts are read one sub-queue at a time, so under unquiesced
+    /// concurrency the value is advisory.
+    pub fn k_bound_instantaneous(&self) -> usize {
+        let guard = epoch::pin();
+        let w = self.get.load(&guard);
+        if w.pop_width <= 1 {
+            return 0;
+        }
+        let max_residency =
+            self.subs[..w.pop_width].iter().map(|s| s.residency()).max().unwrap_or(0);
+        (w.pop_width - 1) * (max_residency + w.depth)
+    }
+
+    /// A snapshot of the queue's operation counters (probes, lost CASes,
+    /// window shifts — see [`MetricsSnapshot`]). `shifts_up` counts put
+    /// window shifts, `shifts_down` get window shifts (both globals only
+    /// move forward; the up/down split keeps the per-side signal).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Resets the operation counters to zero (e.g. after a warm-up phase).
+    pub fn reset_metrics(&self) {
+        self.counters.reset();
+    }
+
+    /// Installs new window parameters on **both** windows, returning the
+    /// get-window snapshot that took effect. Lock-free and non-blocking
+    /// for concurrent enqueues/dequeues: they re-read the descriptors at
+    /// every search round and never wait on a retune.
+    ///
+    /// The put window swings symmetrically (a width shrink stops enqueues
+    /// into the retired tail immediately); the get window applies the
+    /// high-water rule, keeping dequeues covering the tail until
+    /// [`Queue2D::try_commit_shrink`] proves it drained. Concurrent
+    /// retunes serialize on an internal mutex so the pair of swings is
+    /// atomic with respect to other retunes (the operation hot paths
+    /// stay lock-free).
+    ///
+    /// # Errors
+    ///
+    /// [`RetuneError::ExceedsCapacity`] if `params.width()` exceeds
+    /// [`Queue2D::capacity`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Params, Queue2D};
+    ///
+    /// let q: Queue2D<u32> = Queue2D::elastic(Params::new(2, 1, 1).unwrap(), 8);
+    /// let info = q.retune(Params::new(8, 2, 1).unwrap()).unwrap();
+    /// assert_eq!(info.width(), 8);
+    /// assert!(q.retune(Params::new(9, 1, 1).unwrap()).is_err());
+    /// ```
+    pub fn retune(&self, params: Params) -> Result<WindowInfo, RetuneError> {
+        let capacity = self.subs.len();
+        let _serialize = self.retune_lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (_, put_swung) = self.put.retune_symmetric(params, capacity)?;
+        let (info, get_swung) = self.get.retune(params, capacity)?;
+        if put_swung || get_swung {
+            // One logical retune, however many descriptors swung.
+            self.counters.add(|c| &c.retunes, 1);
+        }
+        Ok(info)
+    }
+
+    /// Attempts to commit a pending width shrink of the get window: once
+    /// the epoch fence proves every pre-shrink operation finished *and* a
+    /// sweep observes the retired tail `[width, pop_width)` empty,
+    /// dequeues stop covering the tail and the relaxation bound tightens.
+    ///
+    /// Returns the new get-window snapshot when the commit lands, `None`
+    /// when there is nothing to commit or the preconditions do not hold
+    /// yet (call again later — e.g. on the next controller tick).
+    pub fn try_commit_shrink(&self) -> Option<WindowInfo> {
+        let info = self
+            .get
+            .try_commit_shrink(|tail, guard| self.subs[tail].iter().all(|s| s.is_empty(guard)))?;
+        self.counters.add(|c| &c.retunes, 1);
+        Some(info)
     }
 
     /// Registers a per-thread handle.
@@ -222,7 +391,20 @@ impl<T> Queue2D<T> {
         QueueHandle { queue: self, last_put: last, last_get: last, rng }
     }
 
-    /// Approximate number of resident items (enqueues minus dequeues).
+    /// Current value of the put window's `Global` counter (diagnostic).
+    #[inline]
+    pub fn put_global(&self) -> usize {
+        self.put_global.load(Ordering::SeqCst)
+    }
+
+    /// Current value of the get window's `Global` counter (diagnostic).
+    #[inline]
+    pub fn get_global(&self) -> usize {
+        self.get_global.load(Ordering::SeqCst)
+    }
+
+    /// Approximate number of resident items (enqueues minus dequeues,
+    /// summed over the whole capacity so pending-shrink tails count).
     pub fn len(&self) -> usize {
         let enq: usize = self.subs.iter().map(|s| s.enq.load(Ordering::Acquire)).sum();
         let deq: usize = self.subs.iter().map(|s| s.deq.load(Ordering::Acquire)).sum();
@@ -248,7 +430,37 @@ impl<T> Queue2D<T> {
 
 impl<T> fmt::Debug for Queue2D<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Queue2D").field("params", &self.params).field("len", &self.len()).finish()
+        f.debug_struct("Queue2D")
+            .field("put", &self.put_window())
+            .field("get", &self.window())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T: Send> ElasticTarget for Queue2D<T> {
+    fn window(&self) -> WindowInfo {
+        Queue2D::window(self)
+    }
+
+    fn capacity(&self) -> usize {
+        Queue2D::capacity(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        Queue2D::metrics(self)
+    }
+
+    fn retune(&self, params: Params) -> Result<WindowInfo, RetuneError> {
+        Queue2D::retune(self, params)
+    }
+
+    fn try_commit_shrink(&self) -> Option<WindowInfo> {
+        Queue2D::try_commit_shrink(self)
+    }
+
+    fn target_name(&self) -> &'static str {
+        "2d-queue"
     }
 }
 
@@ -264,21 +476,31 @@ impl<T> QueueHandle<'_, T> {
     /// Enqueues `value` on some window-valid sub-queue.
     pub fn enqueue(&mut self, value: T) {
         let q = self.queue;
-        let width = q.subs.len();
-        let shift = q.params.shift();
         let guard = epoch::pin();
         let mut node =
             Some(Owned::new(QNode { value: MaybeUninit::new(value), next: Atomic::null() }));
         let mut start = self.last_put;
+        let mut probes = 0u64;
+        let mut cas_failures = 0u64;
+        let mut restarts = 0u64;
+        let mut shifts = 0u64;
         loop {
+            // Re-read the put descriptor every round: retunes take effect
+            // without blocking in-flight operations.
+            let w = q.put.load(&guard);
+            let width = w.push_width;
+            start %= width;
             let global = q.put_global.load(Ordering::SeqCst);
             let mut hopped = false;
-            // Two-phase probe: one random hop then a covering sweep,
-            // mirroring the stack's search.
-            for step in 0..=width {
-                let i = if step == 0 { start } else { (start + step) % width };
+            // A covering sweep of `width` probes starting from the locality
+            // (or hopped-to) index; probing `start` again at step == width
+            // would be redundant — it was the step-0 probe.
+            for step in 0..width {
+                let i = (start + step) % width;
+                probes += 1;
                 if q.put_global.load(Ordering::SeqCst) != global {
                     hopped = true;
+                    restarts += 1;
                     start = i;
                     break;
                 }
@@ -287,10 +509,17 @@ impl<T> QueueHandle<'_, T> {
                     match q.subs[i].try_enqueue(n, &guard) {
                         Ok(()) => {
                             self.last_put = i;
+                            let c = &q.counters;
+                            c.add(|c| &c.probes, probes);
+                            c.add(|c| &c.cas_failures, cas_failures);
+                            c.add(|c| &c.global_restarts, restarts);
+                            c.add(|c| &c.shifts_up, shifts);
+                            c.add(|c| &c.ops, 1);
                             return;
                         }
                         Err(n) => {
                             node = Some(n);
+                            cas_failures += 1;
                             start = self.rng.bounded(width);
                             hopped = true;
                             break;
@@ -299,12 +528,16 @@ impl<T> QueueHandle<'_, T> {
                 }
             }
             if !hopped {
-                let _ = q.put_global.compare_exchange(
-                    global,
-                    global + shift,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                );
+                // Every covered sub-queue is at the window's edge: raise
+                // it. Re-read the descriptor first — a concurrent retune
+                // may have changed `shift` since this round began.
+                let shift = q.put.load(&guard).shift;
+                if q.put_global
+                    .compare_exchange(global, global + shift, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    shifts += 1;
+                }
                 start = self.last_put;
             }
         }
@@ -314,34 +547,55 @@ impl<T> QueueHandle<'_, T> {
     /// empty.
     pub fn dequeue(&mut self) -> Option<T> {
         let q = self.queue;
-        let width = q.subs.len();
-        let shift = q.params.shift();
         let guard = epoch::pin();
         let mut start = self.last_get;
+        let mut probes = 0u64;
+        let mut cas_failures = 0u64;
+        let mut restarts = 0u64;
+        let mut shifts = 0u64;
+        let finish = |probes, cas_failures, restarts, shifts, empty: bool| {
+            let c = &q.counters;
+            c.add(|c| &c.probes, probes);
+            c.add(|c| &c.cas_failures, cas_failures);
+            c.add(|c| &c.global_restarts, restarts);
+            c.add(|c| &c.shifts_down, shifts);
+            c.add(|c| &c.empty_pops, u64::from(empty));
+            c.add(|c| &c.ops, 1);
+        };
         loop {
+            // Dequeues cover the get window's pop span, which exceeds the
+            // put span while a width shrink is pending.
+            let w = q.get.load(&guard);
+            let width = w.pop_width;
+            start %= width;
             let global = q.get_global.load(Ordering::SeqCst);
             let mut verdict: Option<bool> = Some(true); // all_empty over the sweep
-            for step in 0..=width {
-                let i = if step == 0 { start } else { (start + step) % width };
+            for step in 0..width {
+                let i = (start + step) % width;
+                probes += 1;
                 if q.get_global.load(Ordering::SeqCst) != global {
                     verdict = None;
+                    restarts += 1;
                     start = i;
                     break;
                 }
+                // Every probe of the covering sweep — including step 0 —
+                // feeds the all-empty verdict: skipping the first probe
+                // would let `None` rest on a non-covering sweep.
                 let empty = q.subs[i].is_empty(&guard);
-                if step > 0 {
-                    if let Some(ae) = verdict.as_mut() {
-                        *ae &= empty;
-                    }
+                if let Some(ae) = verdict.as_mut() {
+                    *ae &= empty;
                 }
                 if !empty && q.subs[i].deq.load(Ordering::Acquire) < global {
                     match q.subs[i].try_dequeue(&guard) {
                         Ok(Some(v)) => {
                             self.last_get = i;
+                            finish(probes, cas_failures, restarts, shifts, false);
                             return Some(v);
                         }
                         Ok(None) => {} // drained between checks; keep probing
                         Err(()) => {
+                            cas_failures += 1;
                             start = self.rng.bounded(width);
                             verdict = None;
                             break;
@@ -350,16 +604,29 @@ impl<T> QueueHandle<'_, T> {
                 }
             }
             match verdict {
-                Some(true) => return None,
+                Some(true) => {
+                    finish(probes, cas_failures, restarts, shifts, true);
+                    return None;
+                }
                 Some(false) => {
-                    // Items exist but every non-empty sub-queue exhausted its
-                    // get budget: advance the get window.
-                    let _ = q.get_global.compare_exchange(
-                        global,
-                        global + shift,
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    );
+                    // Items exist but every non-empty sub-queue exhausted
+                    // its get budget: advance the get window. Re-read the
+                    // descriptor first — a concurrent retune may have
+                    // changed `shift` since this round began, and advancing
+                    // by a stale (larger) shift would overshoot the bound
+                    // of the generation in force.
+                    let shift = q.get.load(&guard).shift;
+                    if q.get_global
+                        .compare_exchange(
+                            global,
+                            global + shift,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        shifts += 1;
+                    }
                     start = self.last_get;
                 }
                 None => {} // restart after hop / global change
@@ -515,5 +782,221 @@ mod tests {
         let q: Queue2D<u8> = Queue2D::new(params(2, 1, 1));
         assert!(format!("{q:?}").contains("Queue2D"));
         assert!(format!("{:?}", q.handle()).contains("QueueHandle"));
+    }
+
+    /// Regression for the covering-sweep off-by-one: the sweep used to run
+    /// `0..=width`, probing the start index at both ends of every round.
+    #[test]
+    fn covering_sweep_probes_each_subqueue_once() {
+        for width in [1usize, 2, 4, 7] {
+            let q: Queue2D<u32> = Queue2D::new(params(width, 2, 1));
+            // An empty-queue dequeue is exactly one covering sweep under
+            // one Global: `width` probes, no more.
+            assert_eq!(q.handle_seeded(9).dequeue(), None);
+            let m = q.metrics();
+            assert_eq!(
+                m.probes, width as u64,
+                "width {width}: empty dequeue must probe each sub-queue exactly once"
+            );
+            assert_eq!(m.empty_pops, 1);
+        }
+    }
+
+    /// Regression for the `all_empty` verdict: step 0 must participate, so
+    /// a lone item on the start index is found, not reported as empty.
+    #[test]
+    fn first_probe_counts_toward_the_empty_verdict() {
+        let q: Queue2D<u32> = Queue2D::new(params(4, 2, 1));
+        let mut h = q.handle_seeded(2);
+        h.enqueue(77);
+        // Force the sweep to start exactly on the sub-queue holding the
+        // item, whichever it is.
+        let holder = (0..4)
+            .find(|&i| q.subs[i].residency() == 1)
+            .expect("exactly one sub-queue holds the item");
+        h.last_get = holder;
+        assert_eq!(h.dequeue(), Some(77));
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn elastic_grow_spreads_enqueues() {
+        let q: Queue2D<u64> = Queue2D::elastic(params(1, 1, 1), 8);
+        assert_eq!(q.capacity(), 8);
+        let info = q.retune(params(8, 1, 1)).unwrap();
+        assert_eq!(info.width(), 8);
+        assert_eq!(info.generation(), 1);
+        assert_eq!(q.put_window().generation(), 1);
+        let mut h = q.handle_seeded(3);
+        for i in 0..800 {
+            h.enqueue(i);
+        }
+        let occupied = q.subs.iter().filter(|s| s.residency() > 0).count();
+        assert!(occupied > 1, "grow did not spread load");
+    }
+
+    #[test]
+    fn shrink_is_pending_until_tail_drains_then_commits() {
+        let q: Queue2D<u64> = Queue2D::elastic(params(8, 1, 1), 8);
+        let mut h = q.handle_seeded(9);
+        for i in 0..200 {
+            h.enqueue(i);
+        }
+        let info = q.retune(params(2, 1, 1)).unwrap();
+        assert!(info.pending_shrink(), "items in the tail: shrink must be pending");
+        assert_eq!(info.width(), 2);
+        assert_eq!(info.pop_width(), 8);
+        // Enqueues stop entering the tail immediately.
+        assert_eq!(q.put_window().pop_width(), 2);
+        // The bound stays at the wide value while dequeues cover 8
+        // sub-queues.
+        assert_eq!(info.k_bound(), params(8, 1, 1).k_bound());
+        // Every item is still reachable.
+        let mut seen = HashSet::new();
+        while let Some(v) = h.dequeue() {
+            assert!(seen.insert(v), "duplicate {v}");
+        }
+        assert_eq!(seen.len(), 200, "no item may be stranded by a shrink");
+        let committed = (0..64)
+            .find_map(|_| q.try_commit_shrink())
+            .expect("drained tail must let the shrink commit");
+        assert_eq!(committed.pop_width(), 2);
+        assert!(!committed.pending_shrink());
+        assert_eq!(q.k_bound(), params(2, 1, 1).k_bound());
+    }
+
+    #[test]
+    fn commit_shrink_refuses_while_tail_nonempty() {
+        let q: Queue2D<u64> = Queue2D::elastic(params(4, 1, 1), 4);
+        let mut h = q.handle_seeded(5);
+        for i in 0..40 {
+            h.enqueue(i);
+        }
+        q.retune(params(1, 1, 1)).unwrap();
+        for _ in 0..64 {
+            assert!(q.try_commit_shrink().is_none());
+        }
+        assert!(q.window().pending_shrink());
+    }
+
+    /// Regression for the stale-shift window advance: the get window must
+    /// move by the shift of the descriptor in force at the CAS, not the
+    /// one read when the search round began.
+    #[test]
+    fn get_window_advances_by_the_live_shift() {
+        let q: Queue2D<u64> = Queue2D::elastic(params(2, 4, 4), 2);
+        let mut h = q.handle_seeded(1);
+        for i in 0..64 {
+            h.enqueue(i);
+        }
+        // Tighten the shift after the enqueues.
+        q.retune(params(2, 4, 1)).unwrap();
+        let before = q.get_global();
+        // Drain far enough that at least one get shift must happen.
+        for _ in 0..64 {
+            h.dequeue();
+        }
+        let advanced = q.get_global() - before;
+        let shifts = q.metrics().shifts_down;
+        assert!(shifts > 0, "draining 64 items through depth 4 must shift the get window");
+        assert_eq!(
+            advanced, shifts as usize,
+            "every get-window advance must use the retuned shift of 1"
+        );
+    }
+
+    #[test]
+    fn metrics_track_shifts_and_ops() {
+        let p = params(2, 1, 1);
+        let q = Queue2D::new(p);
+        let mut h = q.handle_seeded(1);
+        for i in 0..20 {
+            h.enqueue(i);
+        }
+        let m = q.metrics();
+        assert_eq!(m.ops, 20);
+        // 2 sub-queues × depth 1 = 2 items per window level; 20 enqueues
+        // require at least 9 put shifts.
+        assert!(m.shifts_up >= 9, "expected many put shifts, got {m}");
+        assert!(m.probes >= 20, "every op probes at least once");
+        while h.dequeue().is_some() {}
+        let m = q.metrics();
+        assert!(m.shifts_down > 0, "draining must advance the get window: {m}");
+        assert!(m.empty_pops >= 1, "the final dequeue observed empty");
+        q.reset_metrics();
+        assert_eq!(q.metrics().ops, 0);
+    }
+
+    #[test]
+    fn retunes_count_in_metrics() {
+        let q: Queue2D<u8> = Queue2D::elastic(params(2, 1, 1), 4);
+        assert_eq!(q.metrics().retunes, 0);
+        q.retune(params(4, 1, 1)).unwrap();
+        q.retune(params(4, 2, 2)).unwrap();
+        // A no-op retune counts nothing.
+        q.retune(params(4, 2, 2)).unwrap();
+        assert_eq!(q.metrics().retunes, 2);
+    }
+
+    #[test]
+    fn instantaneous_bound_counts_residency() {
+        let q: Queue2D<u64> = Queue2D::elastic(params(1, 1, 1), 8);
+        assert_eq!(q.k_bound_instantaneous(), 0, "width 1 is strict");
+        let mut h = q.handle_seeded(7);
+        for i in 0..100 {
+            h.enqueue(i);
+        }
+        q.retune(params(8, 1, 1)).unwrap();
+        let inst = q.k_bound_instantaneous();
+        assert!(inst >= 7 * 100, "transient must cover resident items, got {inst}");
+        while h.dequeue().is_some() {}
+        assert_eq!(q.k_bound_instantaneous(), 7, "drained: (pop_width-1) * depth");
+    }
+
+    #[test]
+    fn concurrent_churn_across_retunes_conserves_items() {
+        const THREADS: usize = 4;
+        const PER: usize = 3_000;
+        let q = Arc::new(Queue2D::elastic(params(2, 1, 1), 16));
+        let schedule =
+            [params(16, 1, 1), params(4, 2, 2), params(1, 1, 1), params(8, 4, 1), params(2, 1, 1)];
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let q = Arc::clone(&q);
+            joins.push(std::thread::spawn(move || {
+                let mut h = q.handle_seeded(t as u64 + 1);
+                let mut got = Vec::new();
+                for i in 0..PER {
+                    h.enqueue((t * PER + i) as u64);
+                    if i % 2 == 1 {
+                        if let Some(v) = h.dequeue() {
+                            got.push(v);
+                        }
+                    }
+                }
+                got
+            }));
+        }
+        for _ in 0..40 {
+            for p in schedule {
+                q.retune(p).unwrap();
+                q.try_commit_shrink();
+                std::thread::yield_now();
+            }
+        }
+        let mut all: Vec<u64> = Vec::new();
+        for j in joins {
+            all.extend(j.join().unwrap());
+        }
+        let mut h = q.handle_seeded(999);
+        while let Some(v) = h.dequeue() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..(THREADS * PER) as u64).collect::<Vec<_>>(),
+            "retunes must not lose or duplicate items"
+        );
     }
 }

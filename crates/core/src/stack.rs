@@ -17,10 +17,9 @@
 //! Relaxation is bounded by Theorem 1: `k = (2*shift + depth)*(width-1)`.
 
 use core::fmt;
-use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use core::sync::atomic::{AtomicUsize, Ordering};
 
-use crossbeam_epoch::{self as epoch, Atomic, Owned};
+use crossbeam_epoch::{self as epoch};
 use crossbeam_utils::CachePadded;
 
 use crate::metrics::{MetricsSnapshot, OpCounters};
@@ -28,8 +27,8 @@ use crate::params::Params;
 use crate::rng::HopRng;
 use crate::search::{Probes, StackConfig};
 use crate::substack::{Contended, PreparedNode, SubStack};
-use crate::traits::{ConcurrentStack, StackHandle};
-use crate::window::{RetuneError, ShrinkFence, WindowDesc, WindowInfo};
+use crate::traits::{ConcurrentStack, ElasticTarget, StackHandle};
+use crate::window::{ElasticWindow, RetuneError, WindowDesc, WindowInfo};
 
 /// A scalable lock-free stack with tunable k-out-of-order relaxation.
 ///
@@ -71,7 +70,7 @@ pub struct Stack2D<T> {
     global: CachePadded<AtomicUsize>,
     /// The live window descriptor (width/depth/shift + generation),
     /// epoch-protected and hot-swapped by [`Stack2D::retune`].
-    window: CachePadded<Atomic<WindowDesc>>,
+    window: ElasticWindow,
     config: StackConfig,
     counters: OpCounters,
 }
@@ -108,7 +107,7 @@ impl<T> Stack2D<T> {
         Stack2D {
             subs,
             global: CachePadded::new(AtomicUsize::new(config.params().initial_global())),
-            window: CachePadded::new(Atomic::new(WindowDesc::initial(config.params()))),
+            window: ElasticWindow::new(config.params()),
             config,
             counters: OpCounters::default(),
         }
@@ -167,11 +166,7 @@ impl<T> Stack2D<T> {
     /// A consistent snapshot of the live window descriptor: parameters,
     /// pop span, generation and the instantaneous relaxation bound.
     pub fn window(&self) -> WindowInfo {
-        let guard = epoch::pin();
-        let w = self.window.load(Ordering::Acquire, &guard);
-        // Never null: construction installs a descriptor and every retune
-        // replaces it with another.
-        unsafe { w.deref() }.info()
+        self.window.info()
     }
 
     /// The deterministic relaxation bound `k` this stack guarantees *right
@@ -209,7 +204,7 @@ impl<T> Stack2D<T> {
     /// operations and read it exactly).
     pub fn k_bound_instantaneous(&self) -> usize {
         let guard = epoch::pin();
-        let w = unsafe { self.window.load(Ordering::Acquire, &guard).deref() };
+        let w = self.window.load(&guard);
         if w.pop_width <= 1 {
             return 0;
         }
@@ -245,69 +240,11 @@ impl<T> Stack2D<T> {
     /// assert!(stack.retune(Params::new(9, 1, 1).unwrap()).is_err());
     /// ```
     pub fn retune(&self, params: Params) -> Result<WindowInfo, RetuneError> {
-        if params.width() > self.subs.len() {
-            return Err(RetuneError::ExceedsCapacity {
-                requested: params.width(),
-                capacity: self.subs.len(),
-            });
+        let (info, swung) = self.window.retune(params, self.subs.len())?;
+        if swung {
+            self.counters.add(|c| &c.retunes, 1);
         }
-        let guard = epoch::pin();
-        loop {
-            let cur_shared = self.window.load(Ordering::Acquire, &guard);
-            let cur = unsafe { cur_shared.deref() };
-            let push_width = params.width();
-            // High-water rule: pops must keep covering every sub-stack that
-            // may still hold items.
-            let pop_width = push_width.max(cur.pop_width);
-            if push_width == cur.push_width
-                && pop_width == cur.pop_width
-                && params.depth() == cur.depth
-                && params.shift() == cur.shift
-            {
-                // No-op retune: report the standing window, no generation
-                // bump (keeps the per-generation quality segments dense).
-                return Ok(cur.info());
-            }
-            let fence = if pop_width > push_width {
-                // A (possibly further) shrink is pending: arm a fresh fence
-                // covering every operation that predates *this* swing.
-                Some(Arc::new(AtomicBool::new(false)))
-            } else {
-                None
-            };
-            let next = Owned::new(WindowDesc {
-                push_width,
-                pop_width,
-                depth: params.depth(),
-                shift: params.shift(),
-                generation: cur.generation + 1,
-                fence: fence.clone(),
-            });
-            match self.window.compare_exchange(
-                cur_shared,
-                next,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-                &guard,
-            ) {
-                Ok(installed) => {
-                    unsafe { guard.defer_destroy(cur_shared) };
-                    if let Some(flag) = fence {
-                        // The sentinel's Drop runs only after every thread
-                        // pinned right now — i.e. every operation that may
-                        // still push under the pre-shrink descriptor — has
-                        // unpinned. That is the commit precondition.
-                        let sentinel = Owned::new(ShrinkFence(flag)).into_shared(&guard);
-                        unsafe { guard.defer_destroy(sentinel) };
-                    }
-                    self.counters.add(|c| &c.retunes, 1);
-                    return Ok(unsafe { installed.deref() }.info());
-                }
-                // Lost to a concurrent retune; re-read and retry. The
-                // rejected descriptor rides back in the error and is freed.
-                Err(_) => continue,
-            }
-        }
+        Ok(info)
     }
 
     /// Attempts to commit a pending width shrink: once the epoch fence
@@ -320,44 +257,11 @@ impl<T> Stack2D<T> {
     /// (call again later — e.g. on the next controller tick; each call
     /// also nudges epoch reclamation along).
     pub fn try_commit_shrink(&self) -> Option<WindowInfo> {
-        let guard = epoch::pin();
-        let cur_shared = self.window.load(Ordering::Acquire, &guard);
-        let cur = unsafe { cur_shared.deref() };
-        let flag = cur.fence.as_ref()?;
-        if !flag.load(Ordering::Acquire) {
-            // Pre-shrink operations may still be in flight; help the epoch
-            // along so the fence can trip.
-            guard.flush();
-            return None;
-        }
-        // No thread can push into the tail any more; emptiness is stable.
-        if self.subs[cur.push_width..cur.pop_width].iter().any(|s| !s.view(&guard).is_empty()) {
-            return None;
-        }
-        let next = Owned::new(WindowDesc {
-            push_width: cur.push_width,
-            pop_width: cur.push_width,
-            depth: cur.depth,
-            shift: cur.shift,
-            generation: cur.generation + 1,
-            fence: None,
-        });
-        match self.window.compare_exchange(
-            cur_shared,
-            next,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-            &guard,
-        ) {
-            Ok(installed) => {
-                unsafe { guard.defer_destroy(cur_shared) };
-                self.counters.add(|c| &c.retunes, 1);
-                Some(unsafe { installed.deref() }.info())
-            }
-            // A concurrent retune replaced the descriptor; its own fence
-            // (if any) governs the next commit attempt.
-            Err(_) => None,
-        }
+        let info = self.window.try_commit_shrink(|tail, guard| {
+            self.subs[tail].iter().all(|s| s.view(guard).is_empty())
+        })?;
+        self.counters.add(|c| &c.retunes, 1);
+        Some(info)
     }
 
     /// Registers a per-thread handle carrying locality state and the hop
@@ -523,18 +427,6 @@ impl<T> fmt::Debug for Stack2D<T> {
     }
 }
 
-impl<T> Drop for Stack2D<T> {
-    fn drop(&mut self) {
-        // `&mut self` guarantees exclusive access; the live descriptor is
-        // freed directly (retired ones are handled by epoch reclamation).
-        unsafe {
-            let guard = epoch::unprotected();
-            let w = self.window.load(Ordering::Relaxed, guard);
-            drop(w.into_owned());
-        }
-    }
-}
-
 /// Per-thread access handle to a [`Stack2D`].
 ///
 /// Carries the paper's thread-local state: the index of the sub-stack the
@@ -605,7 +497,7 @@ impl<'s, T> Handle2D<'s, T> {
         loop {
             // Re-read the window descriptor every round: retunes take
             // effect without blocking in-flight operations.
-            let w = unsafe { stack.window.load(Ordering::Acquire, &guard).deref() };
+            let w = stack.window.load(&guard);
             let global = stack.global.load(Ordering::SeqCst);
             let at = match start.take() {
                 Some(s) => s % w.push_width,
@@ -677,7 +569,7 @@ impl<'s, T> Handle2D<'s, T> {
             c.add(|c| &c.ops, 1);
         };
         loop {
-            let w = unsafe { stack.window.load(Ordering::Acquire, &guard).deref() };
+            let w = stack.window.load(&guard);
             let global = stack.global.load(Ordering::SeqCst);
             let at = match start.take() {
                 Some(s) => s % w.pop_width,
@@ -823,6 +715,32 @@ impl<T: Send> StackHandle<T> for Handle2D<'_, T> {
 
     fn pop(&mut self) -> Option<T> {
         Handle2D::pop(self)
+    }
+}
+
+impl<T: Send> ElasticTarget for Stack2D<T> {
+    fn window(&self) -> WindowInfo {
+        Stack2D::window(self)
+    }
+
+    fn capacity(&self) -> usize {
+        Stack2D::capacity(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        Stack2D::metrics(self)
+    }
+
+    fn retune(&self, params: Params) -> Result<WindowInfo, RetuneError> {
+        Stack2D::retune(self, params)
+    }
+
+    fn try_commit_shrink(&self) -> Option<WindowInfo> {
+        Stack2D::try_commit_shrink(self)
+    }
+
+    fn target_name(&self) -> &'static str {
+        "2d-stack"
     }
 }
 

@@ -1,9 +1,17 @@
-//! Common interface implemented by the 2D-Stack and every baseline.
+//! Common interfaces: the stack contract shared with every baseline, and
+//! the elastic contract shared by every windowed structure.
 //!
 //! The workload runner, the quality oracle and the experiment harness are all
 //! generic over [`ConcurrentStack`], so each figure of the paper runs the
 //! exact same driver code against every algorithm — only the stack type
-//! changes, as in the paper's evaluation.
+//! changes, as in the paper's evaluation. [`ElasticTarget`] plays the same
+//! role for the elastic runtime: the `stack2d-adaptive` controllers and
+//! drivers are generic over it, so one AIMD policy retunes the stack, the
+//! queue and the counter alike.
+
+use crate::metrics::MetricsSnapshot;
+use crate::params::Params;
+use crate::window::{RetuneError, WindowInfo};
 
 /// A concurrent stack (possibly with relaxed pop semantics) that threads
 /// access through per-thread handles.
@@ -63,6 +71,68 @@ pub trait StackHandle<T> {
 
     /// Pops an item; `None` when the stack was observed empty.
     fn pop(&mut self) -> Option<T>;
+}
+
+/// A structure whose 2D window can be retuned online — what a feedback
+/// controller (the `stack2d-adaptive` crate) drives.
+///
+/// Implemented by all three windowed structures:
+/// [`Stack2D`](crate::Stack2D), [`Queue2D`](crate::Queue2D) (whose put
+/// *and* get windows are retuned together; the reported window is the
+/// get window, the one that governs dequeue quality) and
+/// [`Counter2D`](crate::Counter2D). The contract mirrors what PR 2's
+/// elastic runtime used directly on `Stack2D`: a metrics delta to derive
+/// the window-pressure signal from, a live window snapshot, a hard width
+/// ceiling, and the retune / shrink-commit entry points.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d::{Counter2D, ElasticTarget, Params, Queue2D, Stack2D};
+///
+/// fn widen<E: ElasticTarget>(target: &E) -> stack2d::WindowInfo {
+///     let w = target.window();
+///     let p = Params::new(target.capacity(), w.depth(), w.shift()).unwrap();
+///     target.retune(p).unwrap()
+/// }
+///
+/// let stack: Stack2D<u8> = Stack2D::elastic(Params::new(1, 1, 1).unwrap(), 4);
+/// let queue: Queue2D<u8> = Queue2D::elastic(Params::new(1, 1, 1).unwrap(), 4);
+/// let counter = Counter2D::elastic(Params::new(1, 1, 1).unwrap(), 4);
+/// assert_eq!(widen(&stack).width(), 4);
+/// assert_eq!(widen(&queue).width(), 4);
+/// assert_eq!(widen(&counter).width(), 4);
+/// ```
+pub trait ElasticTarget: Send + Sync {
+    /// A consistent snapshot of the live window (for the queue: the get
+    /// window, which governs dequeue quality).
+    fn window(&self) -> WindowInfo;
+
+    /// Number of sub-structures allocated at construction — the hard
+    /// ceiling for retuned widths.
+    fn capacity(&self) -> usize;
+
+    /// A snapshot of the operation counters; controllers diff successive
+    /// snapshots to derive per-interval pressure.
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Installs new window parameters (non-blocking for concurrent
+    /// operations), returning the snapshot that took effect.
+    ///
+    /// # Errors
+    ///
+    /// [`RetuneError::ExceedsCapacity`] if `params.width()` exceeds
+    /// [`ElasticTarget::capacity`].
+    fn retune(&self, params: Params) -> Result<WindowInfo, RetuneError>;
+
+    /// Attempts to commit a pending width shrink; `None` when there is
+    /// nothing to commit or its preconditions do not hold yet.
+    fn try_commit_shrink(&self) -> Option<WindowInfo>;
+
+    /// Short structure name for logs and experiment CSVs.
+    fn target_name(&self) -> &'static str {
+        "elastic"
+    }
 }
 
 #[cfg(test)]

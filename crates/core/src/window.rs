@@ -1,62 +1,72 @@
-//! The hot-swappable window descriptor behind online ("elastic") retuning.
+//! The hot-swappable window descriptor behind online ("elastic") retuning —
+//! structure-agnostic since PR 3.
 //!
 //! The paper freezes `width`, `depth` and `shift` at construction; this
 //! module makes them *runtime-tunable* so a controller (see the
 //! `stack2d-adaptive` crate) can widen the window under contention and
 //! tighten it when load drops. The live configuration is a heap-allocated
 //! [`WindowDesc`] behind an epoch-protected atomic pointer, exactly like a
-//! sub-stack's `(top, count)` descriptor: [`Stack2D::retune`] installs a
-//! fresh descriptor with a single-word CAS, operations re-read the pointer
-//! at every search round, and displaced descriptors are reclaimed through
-//! `crossbeam-epoch`. Pushes and pops therefore never block on a retune.
+//! sub-stack's `(top, count)` descriptor: a retune installs a fresh
+//! descriptor with a single-word CAS, operations re-read the pointer at
+//! every search round, and displaced descriptors are reclaimed through
+//! `crossbeam-epoch`. Operations therefore never block on a retune.
+//!
+//! Nothing in the descriptor machinery is stack-specific, so it lives in
+//! [`ElasticWindow`], shared by all three windowed structures:
+//! [`Stack2D`](crate::Stack2D) holds one, [`Queue2D`](crate::Queue2D)
+//! holds two (one per window — put and get; see DESIGN.md §7), and
+//! [`Counter2D`](crate::Counter2D) holds one.
 //!
 //! # Width growth and shrink
 //!
-//! The sub-stack array is allocated once at the stack's **capacity**
-//! ([`StackConfig::max_width`](crate::StackConfig::max_width)), so growing
-//! `width` is purely a descriptor swing: the new sub-stacks are already
-//! there, empty, below the window.
+//! The sub-structure array is allocated once at the structure's
+//! **capacity** (e.g. [`StackConfig::max_width`](crate::StackConfig::max_width)),
+//! so growing `width` is purely a descriptor swing: the new sub-structures
+//! are already there, empty, below the window.
 //!
 //! Shrinking is two-phase, because items may be resident in the retired
 //! tail `[new_width, old_width)`:
 //!
-//! 1. the shrink descriptor takes effect immediately for **pushes**
-//!    (`push_width = new_width`) while **pops** keep draining the old span
-//!    (`pop_width = old_width`);
+//! 1. the shrink descriptor takes effect immediately for the **producing**
+//!    side (`push_width = new_width`) while the **consuming** side keeps
+//!    draining the old span (`pop_width = old_width`);
 //! 2. the shrink *commits* (`pop_width = push_width`, via
-//!    [`Stack2D::try_commit_shrink`]) only once (a) every operation that
-//!    predates the shrink has finished — established by retiring a
+//!    [`ElasticWindow::try_commit_shrink`]) only once (a) every operation
+//!    that predates the shrink has finished — established by retiring a
 //!    [`ShrinkFence`] sentinel through epoch reclamation, whose `Drop`
-//!    can only run once all pre-shrink pins are gone — and (b) a sweep
-//!    observes the tail empty. After (a) no thread can push into the tail
-//!    any more, so (b) is a stable property and no item is ever stranded.
+//!    can only run once all pre-shrink pins are gone — and (b) the
+//!    structure's `tail_clear` sweep observes the tail empty (or, for the
+//!    counter, folds the retired values away). After (a) no thread can
+//!    produce into the tail any more, so (b) is a stable property and no
+//!    item is ever stranded.
 //!
 //! # The instantaneous relaxation bound
 //!
-//! [`WindowInfo::k_bound`] is computed with `pop_width` — the number of
-//! sub-stacks a pop may actually draw from — so the bound published for a
+//! [`WindowInfo::k_bound`] is computed with `pop_width` — the span the
+//! consuming side may actually draw from — so the bound published for a
 //! generation is honest while a shrink is pending: it stays at the wide
 //! value until the tail is provably drained, and only then tightens. Every
 //! descriptor swing increments [`WindowInfo::generation`]; the quality
 //! crate checks measured error distances *per generation segment* against
-//! the bound in force when the pop happened.
-//!
-//! [`Stack2D::retune`]: crate::Stack2D::retune
-//! [`Stack2D::try_commit_shrink`]: crate::Stack2D::try_commit_shrink
+//! the bound in force when the operation happened.
 
 use core::fmt;
+use core::ops::Range;
 use core::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned};
+use crossbeam_utils::CachePadded;
+
 use crate::params::Params;
 
-/// The live window configuration of a [`Stack2D`](crate::Stack2D):
+/// The live window configuration of a windowed structure:
 /// heap-allocated, swung atomically by `retune`, reclaimed by epochs.
 pub(crate) struct WindowDesc {
-    /// Sub-stacks pushes may target: `[0, push_width)`.
+    /// Sub-structures the producing side may target: `[0, push_width)`.
     pub(crate) push_width: usize,
-    /// Sub-stacks pops may draw from: `[0, pop_width)`; equals
-    /// `push_width` except while a width shrink is pending.
+    /// Sub-structures the consuming side may draw from: `[0, pop_width)`;
+    /// equals `push_width` except while a width shrink is pending.
     pub(crate) pop_width: usize,
     /// Vertical window dimension (max per-sub-stack slack).
     pub(crate) depth: usize,
@@ -110,8 +120,207 @@ impl Drop for ShrinkFence {
     }
 }
 
-/// A consistent snapshot of the live window of a
-/// [`Stack2D`](crate::Stack2D) — parameters, pop span and generation.
+/// The structure-agnostic elastic machinery: an epoch-protected,
+/// hot-swappable [`WindowDesc`] plus the retune / two-phase-shrink
+/// protocol built in PR 2 for [`Stack2D`](crate::Stack2D) and since
+/// shared with [`Queue2D`](crate::Queue2D) and
+/// [`Counter2D`](crate::Counter2D).
+///
+/// The owning structure supplies only what is structure-specific: its
+/// capacity (the ceiling for widths) and, at shrink commit, the
+/// `tail_clear` sweep proving the retired span holds no items.
+pub(crate) struct ElasticWindow {
+    desc: CachePadded<Atomic<WindowDesc>>,
+}
+
+impl ElasticWindow {
+    /// A window starting at `params` (generation 0).
+    pub(crate) fn new(params: Params) -> Self {
+        ElasticWindow { desc: CachePadded::new(Atomic::new(WindowDesc::initial(params))) }
+    }
+
+    /// The live descriptor, valid for the lifetime of `guard`. Never null:
+    /// construction installs a descriptor and every swing replaces it with
+    /// another.
+    #[inline]
+    pub(crate) fn load<'g>(&self, guard: &'g Guard) -> &'g WindowDesc {
+        unsafe { self.desc.load(Ordering::Acquire, guard).deref() }
+    }
+
+    /// A consistent public snapshot of the live descriptor.
+    pub(crate) fn info(&self) -> WindowInfo {
+        let guard = epoch::pin();
+        self.load(&guard).info()
+    }
+
+    /// Installs new window parameters with a single descriptor CAS,
+    /// applying the high-water rule: the consuming span never narrows
+    /// below sub-structures that may still hold items, and a pending
+    /// shrink arms a fresh [`ShrinkFence`]. Returns the snapshot that took
+    /// effect plus whether the descriptor actually swung (`false` for a
+    /// no-op retune, which bumps no generation).
+    pub(crate) fn retune(
+        &self,
+        params: Params,
+        capacity: usize,
+    ) -> Result<(WindowInfo, bool), RetuneError> {
+        self.retune_inner(params, capacity, true)
+    }
+
+    /// Like [`ElasticWindow::retune`], but the consuming span follows the
+    /// producing span immediately and no fence is armed — for windows with
+    /// no consuming side to cover (a queue's put window, where the
+    /// sub-queues retired from *enqueues* are the get window's problem).
+    pub(crate) fn retune_symmetric(
+        &self,
+        params: Params,
+        capacity: usize,
+    ) -> Result<(WindowInfo, bool), RetuneError> {
+        self.retune_inner(params, capacity, false)
+    }
+
+    fn retune_inner(
+        &self,
+        params: Params,
+        capacity: usize,
+        high_water: bool,
+    ) -> Result<(WindowInfo, bool), RetuneError> {
+        if params.width() > capacity {
+            return Err(RetuneError::ExceedsCapacity { requested: params.width(), capacity });
+        }
+        let guard = epoch::pin();
+        loop {
+            let cur_shared = self.desc.load(Ordering::Acquire, &guard);
+            let cur = unsafe { cur_shared.deref() };
+            let push_width = params.width();
+            // High-water rule: the consuming side must keep covering every
+            // sub-structure that may still hold items.
+            let pop_width = if high_water { push_width.max(cur.pop_width) } else { push_width };
+            if push_width == cur.push_width
+                && pop_width == cur.pop_width
+                && params.depth() == cur.depth
+                && params.shift() == cur.shift
+            {
+                // No-op retune: report the standing window, no generation
+                // bump (keeps the per-generation quality segments dense).
+                return Ok((cur.info(), false));
+            }
+            let fence = if pop_width > push_width {
+                // A (possibly further) shrink is pending: arm a fresh fence
+                // covering every operation that predates *this* swing.
+                Some(Arc::new(AtomicBool::new(false)))
+            } else {
+                None
+            };
+            let next = Owned::new(WindowDesc {
+                push_width,
+                pop_width,
+                depth: params.depth(),
+                shift: params.shift(),
+                generation: cur.generation + 1,
+                fence: fence.clone(),
+            });
+            match self.desc.compare_exchange(
+                cur_shared,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(installed) => {
+                    unsafe { guard.defer_destroy(cur_shared) };
+                    if let Some(flag) = fence {
+                        // The sentinel's Drop runs only after every thread
+                        // pinned right now — i.e. every operation that may
+                        // still produce under the pre-shrink descriptor —
+                        // has unpinned. That is the commit precondition.
+                        let sentinel = Owned::new(ShrinkFence(flag)).into_shared(&guard);
+                        unsafe { guard.defer_destroy(sentinel) };
+                    }
+                    return Ok((unsafe { installed.deref() }.info(), true));
+                }
+                // Lost to a concurrent retune; re-read and retry. The
+                // rejected descriptor rides back in the error and is freed.
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Attempts to commit a pending width shrink: once the epoch fence
+    /// proves every pre-shrink operation finished *and* `tail_clear`
+    /// vouches for the retired span `[push_width, pop_width)` — by
+    /// observing it empty, or by folding its residue away — the consuming
+    /// side stops covering the tail and the relaxation bound tightens.
+    ///
+    /// Returns the new snapshot when the commit lands, `None` when there
+    /// is nothing to commit or the preconditions do not hold yet (call
+    /// again later; each call also nudges epoch reclamation along).
+    pub(crate) fn try_commit_shrink(
+        &self,
+        tail_clear: impl FnOnce(Range<usize>, &Guard) -> bool,
+    ) -> Option<WindowInfo> {
+        let guard = epoch::pin();
+        let cur_shared = self.desc.load(Ordering::Acquire, &guard);
+        let cur = unsafe { cur_shared.deref() };
+        let flag = cur.fence.as_ref()?;
+        if !flag.load(Ordering::Acquire) {
+            // Pre-shrink operations may still be in flight; help the epoch
+            // along so the fence can trip.
+            guard.flush();
+            return None;
+        }
+        // No thread can produce into the tail any more; tail emptiness is
+        // a stable property for the sweep to establish.
+        if !tail_clear(cur.push_width..cur.pop_width, &guard) {
+            return None;
+        }
+        let next = Owned::new(WindowDesc {
+            push_width: cur.push_width,
+            pop_width: cur.push_width,
+            depth: cur.depth,
+            shift: cur.shift,
+            generation: cur.generation + 1,
+            fence: None,
+        });
+        match self.desc.compare_exchange(
+            cur_shared,
+            next,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            &guard,
+        ) {
+            Ok(installed) => {
+                unsafe { guard.defer_destroy(cur_shared) };
+                Some(unsafe { installed.deref() }.info())
+            }
+            // A concurrent retune replaced the descriptor; its own fence
+            // (if any) governs the next commit attempt.
+            Err(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for ElasticWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ElasticWindow").field("info", &self.info()).finish()
+    }
+}
+
+impl Drop for ElasticWindow {
+    fn drop(&mut self) {
+        // `&mut self` guarantees exclusive access; the live descriptor is
+        // freed directly (retired ones are handled by epoch reclamation).
+        unsafe {
+            let guard = epoch::unprotected();
+            let d = self.desc.load(Ordering::Relaxed, guard);
+            drop(d.into_owned());
+        }
+    }
+}
+
+/// A consistent snapshot of a live window — parameters, pop span and
+/// generation — of any windowed structure ([`Stack2D`](crate::Stack2D),
+/// [`Queue2D`](crate::Queue2D), [`Counter2D`](crate::Counter2D)).
 ///
 /// # Examples
 ///
@@ -143,14 +352,14 @@ impl WindowInfo {
         self.params
     }
 
-    /// Sub-stacks pushes target (the tuned `width`).
+    /// Sub-structures the producing side targets (the tuned `width`).
     #[inline]
     pub fn width(&self) -> usize {
         self.params.width()
     }
 
-    /// Sub-stacks pops draw from; exceeds [`WindowInfo::width`] while a
-    /// width shrink is pending commit.
+    /// Sub-structures the consuming side draws from; exceeds
+    /// [`WindowInfo::width`] while a width shrink is pending commit.
     #[inline]
     pub fn pop_width(&self) -> usize {
         self.pop_width
@@ -205,15 +414,18 @@ impl fmt::Display for WindowInfo {
     }
 }
 
-/// Error returned by [`Stack2D::retune`](crate::Stack2D::retune).
+/// Error returned by a `retune` ([`Stack2D::retune`](crate::Stack2D::retune),
+/// [`Queue2D::retune`](crate::Queue2D::retune),
+/// [`Counter2D::retune`](crate::Counter2D::retune)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetuneError {
-    /// The requested width exceeds the sub-stack array allocated at
-    /// construction ([`StackConfig::max_width`](crate::StackConfig::max_width)).
+    /// The requested width exceeds the sub-structure array allocated at
+    /// construction (e.g.
+    /// [`StackConfig::max_width`](crate::StackConfig::max_width)).
     ExceedsCapacity {
         /// The requested width.
         requested: usize,
-        /// The stack's fixed capacity.
+        /// The structure's fixed capacity.
         capacity: usize,
     },
 }
@@ -222,7 +434,7 @@ impl fmt::Display for RetuneError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             RetuneError::ExceedsCapacity { requested, capacity } => {
-                write!(f, "requested width {requested} exceeds stack capacity {capacity}")
+                write!(f, "requested width {requested} exceeds structure capacity {capacity}")
             }
         }
     }
@@ -290,5 +502,67 @@ mod tests {
         assert!(s.contains("gen=0"));
         assert!(s.contains("width=4"));
         assert!(s.contains("k="));
+    }
+
+    #[test]
+    fn elastic_window_retune_applies_high_water_rule() {
+        let w = ElasticWindow::new(Params::new(8, 1, 1).unwrap());
+        let (info, swung) = w.retune(Params::new(2, 1, 1).unwrap(), 8).unwrap();
+        assert!(swung);
+        assert_eq!(info.width(), 2);
+        assert_eq!(info.pop_width(), 8, "consuming span holds the high-water mark");
+        assert!(info.pending_shrink());
+        // A further grow within the pending span keeps the mark.
+        let (info, _) = w.retune(Params::new(4, 1, 1).unwrap(), 8).unwrap();
+        assert_eq!(info.pop_width(), 8);
+    }
+
+    #[test]
+    fn elastic_window_symmetric_retune_closes_immediately() {
+        let w = ElasticWindow::new(Params::new(8, 1, 1).unwrap());
+        let (info, swung) = w.retune_symmetric(Params::new(2, 1, 1).unwrap(), 8).unwrap();
+        assert!(swung);
+        assert_eq!(info.width(), 2);
+        assert_eq!(info.pop_width(), 2, "symmetric retune carries no pending span");
+        assert!(!info.pending_shrink());
+    }
+
+    #[test]
+    fn elastic_window_noop_retune_does_not_swing() {
+        let w = ElasticWindow::new(Params::new(4, 2, 1).unwrap());
+        let (info, swung) = w.retune(Params::new(4, 2, 1).unwrap(), 8).unwrap();
+        assert!(!swung);
+        assert_eq!(info.generation(), 0);
+    }
+
+    #[test]
+    fn elastic_window_rejects_width_beyond_capacity() {
+        let w = ElasticWindow::new(Params::new(2, 1, 1).unwrap());
+        assert_eq!(
+            w.retune(Params::new(5, 1, 1).unwrap(), 4).unwrap_err(),
+            RetuneError::ExceedsCapacity { requested: 5, capacity: 4 }
+        );
+    }
+
+    #[test]
+    fn elastic_window_commit_consults_tail_clear() {
+        let w = ElasticWindow::new(Params::new(4, 1, 1).unwrap());
+        w.retune(Params::new(1, 1, 1).unwrap(), 4).unwrap();
+        // Drive the fence; once it trips, a refusing sweep blocks commit.
+        let mut asked = None;
+        for _ in 0..64 {
+            assert!(w
+                .try_commit_shrink(|range, _| {
+                    asked = Some(range.clone());
+                    false
+                })
+                .is_none());
+        }
+        assert_eq!(asked, Some(1..4), "sweep must cover the retired tail");
+        let info = (0..64)
+            .find_map(|_| w.try_commit_shrink(|_, _| true))
+            .expect("agreeing sweep must let the shrink commit");
+        assert_eq!(info.pop_width(), 1);
+        assert!(!info.pending_shrink());
     }
 }

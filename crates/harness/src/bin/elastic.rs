@@ -1,17 +1,20 @@
-//! Runs the elastic-adaptation experiment: static window presets vs the
-//! `stack2d-adaptive` controller on a bursty phased workload, with
-//! per-phase throughput, the retune (width-over-time) log, and
-//! per-generation-segment quality.
+//! Runs the elastic-adaptation experiments: static window presets vs the
+//! `stack2d-adaptive` controller on a bursty phased workload (stack), and
+//! the elastic **queue** scenario where the controller walks width first
+//! and then depth/shift, with per-phase throughput, the retune
+//! (width-over-time) logs, and per-generation-segment quality for both.
 //!
 //! ```text
 //! STACK2D_MAX_THREADS=8 STACK2D_QUALITY_OPS=200000 \
 //!   cargo run --release -p stack2d-harness --bin elastic
 //! ```
 //!
-//! Exits nonzero if the quality checker finds a distance beyond the
+//! Exits nonzero if either quality checker finds a distance beyond the
 //! instantaneous bound of its generation segment.
 
-use stack2d_harness::elastic::{events_table, phases_table, quality_table, run, ElasticSpec};
+use stack2d_harness::elastic::{
+    events_table, phases_table, quality_table, run, run_queue, ElasticSpec,
+};
 use stack2d_harness::{write_csv, Settings};
 
 fn main() {
@@ -44,10 +47,36 @@ fn main() {
         if report.elastic_beats_worst { "yes" } else { "NO (timing noise or misadaptation)" }
     );
 
+    // The queue scenario: same controller, Queue2D target, a budget with
+    // vertical headroom. `run_queue` panics on a quality violation.
+    eprintln!("elastic queue: capacity {}, k budget {}", spec.capacity, spec.queue_max_k());
+    let queue_report = run_queue(&spec);
+    let queue_phases = phases_table(&queue_report.points);
+    println!("elastic queue phases:\n{}", queue_phases.to_text());
+    let queue_events = events_table(&queue_report.events);
+    println!("queue retune events (width/depth over time):\n{}", queue_events.to_text());
+    let queue_quality = quality_table(&queue_report.quality);
+    println!(
+        "queue per-generation quality ({} dequeues checked):\n{}",
+        queue_report.quality.pops,
+        queue_quality.to_text()
+    );
+    println!(
+        "queue width adapted during the run: {}",
+        if queue_report.width_adapted { "yes" } else { "NO (rerun with longer phases)" }
+    );
+    println!(
+        "queue controller walked depth/shift after width saturated: {}",
+        if queue_report.walked_vertical { "yes" } else { "NO (pressure subsided before)" }
+    );
+
     for (name, table) in [
         ("elastic.csv", &phases),
         ("elastic_width.csv", &events),
         ("elastic_quality.csv", &quality),
+        ("elastic_queue.csv", &queue_phases),
+        ("elastic_queue_width.csv", &queue_events),
+        ("elastic_queue_quality.csv", &queue_quality),
     ] {
         match write_csv(name, table) {
             Ok(path) => eprintln!("csv written to {}", path.display()),

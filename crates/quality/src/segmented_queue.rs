@@ -1,0 +1,356 @@
+//! Per-generation out-of-order-distance verification for the elastic
+//! 2D-Queue — the FIFO mirror of [`segmented`](crate::segmented).
+//!
+//! The stack's quality method measures how far a pop lands *below the
+//! head* of a strict LIFO list. For a queue the relaxed quantity is how
+//! many **older** resident items a dequeue overtakes: a strict FIFO
+//! dequeue always takes the oldest item (distance 0), and the 2D-Queue's
+//! window bounds the distance by `k = (2*shift + depth)*(width-1)` per
+//! generation segment. Under online retuning
+//! ([`Queue2D::retune`](stack2d::Queue2D::retune)) the bound changes
+//! mid-run, so this module reuses the stack's segment machinery verbatim:
+//!
+//! * [`FifoOracle`] — the sequential side list for queues: `insert`
+//!   appends at the tail, `delete` reports how many *older* labels are
+//!   still live (the overtake count);
+//! * [`MeasuredElasticQueue`] — couples an elastic [`Queue2D`] of labels
+//!   with the oracle under one mutex, bracketing every dequeue with the
+//!   get-window generation and the live residency bound
+//!   ([`Queue2D::k_bound_instantaneous`](stack2d::Queue2D::k_bound_instantaneous)),
+//!   producing the same [`SegRecord`]s
+//!   [`check_segments`](crate::segmented::check_segments) consumes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use crate::fenwick::Fenwick;
+use crate::oracle::Label;
+use crate::segmented::SegRecord;
+use stack2d::{Queue2D, QueueHandle};
+
+/// Order-statistics implementation of the sequential FIFO side list.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_quality::segmented_queue::FifoOracle;
+///
+/// let mut o = FifoOracle::new();
+/// o.insert(10);
+/// o.insert(11);
+/// // 10 is the oldest: overtakes nothing. Taking 11 first would overtake
+/// // the still-resident 10.
+/// assert_eq!(o.delete(11), Some(1));
+/// assert_eq!(o.delete(10), Some(0));
+/// assert_eq!(o.delete(12), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct FifoOracle {
+    /// Live labels → insertion sequence number.
+    seq_of: HashMap<Label, usize>,
+    /// 1 at every live sequence number.
+    live: Fenwick,
+    next_seq: usize,
+}
+
+impl FifoOracle {
+    /// Creates an empty oracle list.
+    pub fn new() -> Self {
+        FifoOracle { seq_of: HashMap::new(), live: Fenwick::new(), next_seq: 0 }
+    }
+
+    /// Inserts `label` at the tail of the list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is already live (labels must be unique).
+    pub fn insert(&mut self, label: Label) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let prev = self.seq_of.insert(label, seq);
+        assert!(prev.is_none(), "label {label} inserted twice");
+        self.live.add(seq, 1);
+    }
+
+    /// Deletes `label`, returning its out-of-order distance — the number
+    /// of live labels inserted *earlier* (0 = it *was* the head, i.e. a
+    /// perfectly strict dequeue) — or `None` if the label is not live.
+    pub fn delete(&mut self, label: Label) -> Option<u32> {
+        let seq = self.seq_of.remove(&label)?;
+        // Overtake count = live items inserted before `label`.
+        let older = self.live.prefix_sum(seq);
+        self.live.add(seq, -1);
+        Some(older as u32)
+    }
+
+    /// Number of live items.
+    pub fn len(&self) -> usize {
+        self.seq_of.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seq_of.is_empty()
+    }
+}
+
+/// An elastic [`Queue2D`] of labels coupled with the FIFO oracle under
+/// one mutex — [`MeasuredElastic`](crate::segmented::MeasuredElastic)'s
+/// queue twin, so dynamic relaxation of the queue stays verifiable.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d::{Params, Queue2D};
+/// use stack2d_quality::segmented::{bounds_map, check_segments};
+/// use stack2d_quality::segmented_queue::MeasuredElasticQueue;
+///
+/// let queue = Queue2D::elastic(Params::new(2, 1, 1).unwrap(), 8);
+/// let initial = queue.window();
+/// let measured = MeasuredElasticQueue::new(&queue);
+/// let mut h = measured.handle();
+/// for _ in 0..100 {
+///     h.enqueue();
+/// }
+/// let grown = queue.retune(Params::new(8, 1, 1).unwrap()).unwrap();
+/// for _ in 0..100 {
+///     assert!(h.dequeue());
+/// }
+/// let bounds = bounds_map(initial, [(grown.generation(), grown.k_bound())]);
+/// let report = check_segments(&measured.take_records(), &bounds).unwrap();
+/// assert_eq!(report.pops, 100);
+/// ```
+pub struct MeasuredElasticQueue<'q> {
+    queue: &'q Queue2D<Label>,
+    inner: Mutex<MeasuredInner>,
+}
+
+struct MeasuredInner {
+    oracle: FifoOracle,
+    records: Vec<SegRecord>,
+    next_label: Label,
+}
+
+impl<'q> MeasuredElasticQueue<'q> {
+    /// Wraps `queue` for measured elastic runs.
+    pub fn new(queue: &'q Queue2D<Label>) -> Self {
+        MeasuredElasticQueue {
+            queue,
+            inner: Mutex::new(MeasuredInner {
+                oracle: FifoOracle::new(),
+                records: Vec::new(),
+                next_label: 0,
+            }),
+        }
+    }
+
+    /// The wrapped queue.
+    pub fn queue(&self) -> &'q Queue2D<Label> {
+        self.queue
+    }
+
+    /// Registers a measuring handle for the calling thread.
+    pub fn handle(&self) -> MeasuredElasticQueueHandle<'_, 'q> {
+        MeasuredElasticQueueHandle { measured: self, inner: self.queue.handle() }
+    }
+
+    /// Pre-fills the queue with `n` labelled items.
+    pub fn prefill(&self, n: usize) {
+        let mut h = self.handle();
+        for _ in 0..n {
+            h.enqueue();
+        }
+    }
+
+    /// Extracts the recorded dequeues, resetting the accumulator.
+    pub fn take_records(&self) -> Vec<SegRecord> {
+        core::mem::take(&mut self.inner.lock().records)
+    }
+
+    /// Number of items the oracle currently believes live.
+    pub fn oracle_len(&self) -> usize {
+        self.inner.lock().oracle.len()
+    }
+}
+
+impl fmt::Debug for MeasuredElasticQueue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MeasuredElasticQueue").field("queue", &self.queue).finish()
+    }
+}
+
+/// Per-thread handle performing simultaneous queue + oracle operations
+/// with generation bracketing.
+pub struct MeasuredElasticQueueHandle<'m, 'q> {
+    measured: &'m MeasuredElasticQueue<'q>,
+    inner: QueueHandle<'q, Label>,
+}
+
+impl MeasuredElasticQueueHandle<'_, '_> {
+    /// Enqueues a fresh unique label.
+    pub fn enqueue(&mut self) {
+        let mut g = self.measured.inner.lock();
+        let label = g.next_label;
+        g.next_label += 1;
+        self.inner.enqueue(label);
+        g.oracle.insert(label);
+    }
+
+    /// Dequeues a label, recording its out-of-order distance together
+    /// with the get-window generations and live residency bound observed
+    /// around the dequeue; returns whether an item was obtained.
+    pub fn dequeue(&mut self) -> bool {
+        let mut g = self.measured.inner.lock();
+        let queue = self.measured.queue;
+        let gen_lo = queue.window().generation();
+        let live_before = queue.k_bound_instantaneous();
+        match self.inner.dequeue() {
+            Some(label) => {
+                let gen_hi = queue.window().generation();
+                let live_bound = live_before.max(queue.k_bound_instantaneous());
+                let distance =
+                    g.oracle.delete(label).expect("dequeued label must be live in the oracle");
+                g.records.push(SegRecord { distance, gen_lo, gen_hi, live_bound });
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segmented::{bounds_map, check_segments};
+    use stack2d::Params;
+
+    fn p(w: usize, d: usize, s: usize) -> Params {
+        Params::new(w, d, s).unwrap()
+    }
+
+    #[test]
+    fn fifo_oracle_strict_fifo_has_zero_distance() {
+        let mut o = FifoOracle::new();
+        for l in 0..100 {
+            o.insert(l);
+        }
+        for l in 0..100 {
+            assert_eq!(o.delete(l), Some(0), "strict FIFO dequeues overtake nothing");
+        }
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn fifo_oracle_lifo_removal_has_maximal_distance() {
+        let mut o = FifoOracle::new();
+        for l in 0..10 {
+            o.insert(l);
+        }
+        // LIFO removal: the newest item overtakes all 9 older ones, ...
+        for (i, l) in (0..10).rev().enumerate() {
+            assert_eq!(o.delete(l), Some((9 - i) as u32));
+        }
+    }
+
+    #[test]
+    fn fifo_oracle_matches_a_naive_list() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut fast = FifoOracle::new();
+        // Naive model: live labels in insertion order, head at the front.
+        let mut naive: Vec<Label> = Vec::new();
+        let mut next = 0;
+        for _ in 0..5_000 {
+            if naive.is_empty() || rng.random_bool(0.55) {
+                fast.insert(next);
+                naive.push(next);
+                next += 1;
+            } else {
+                let idx = rng.random_range(0..naive.len());
+                let label = naive.remove(idx);
+                assert_eq!(fast.delete(label), Some(idx as u32), "label {label}");
+            }
+            assert_eq!(fast.len(), naive.len());
+        }
+    }
+
+    #[test]
+    fn fifo_oracle_delete_unknown_is_none() {
+        let mut o = FifoOracle::new();
+        o.insert(1);
+        assert_eq!(o.delete(99), None);
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn fifo_oracle_duplicate_insert_panics() {
+        let mut o = FifoOracle::new();
+        o.insert(1);
+        o.insert(1);
+    }
+
+    #[test]
+    fn measured_strict_queue_is_exact_per_segment() {
+        // width 1 => k = 0 in every generation; distances must all be 0.
+        let queue = Queue2D::elastic(p(1, 1, 1), 4);
+        let initial = queue.window();
+        let measured = MeasuredElasticQueue::new(&queue);
+        let mut h = measured.handle();
+        for _ in 0..50 {
+            h.enqueue();
+        }
+        let e1 = queue.retune(p(1, 3, 2)).unwrap(); // vertical retune, still width 1
+        for _ in 0..50 {
+            assert!(h.dequeue());
+        }
+        let bounds = bounds_map(initial, [(e1.generation(), e1.k_bound())]);
+        let report = check_segments(&measured.take_records(), &bounds).unwrap();
+        assert_eq!(report.pops, 50);
+        assert_eq!(report.max_distance, 0, "width-1 segments must be strict FIFO");
+    }
+
+    #[test]
+    fn measured_queue_single_thread_respects_segment_bounds() {
+        let queue = Queue2D::elastic(p(2, 1, 1), 16);
+        let initial = queue.window();
+        let measured = MeasuredElasticQueue::new(&queue);
+        let mut events = Vec::new();
+        let mut h = measured.handle();
+        for round in 0..4 {
+            for _ in 0..200 {
+                h.enqueue();
+            }
+            for _ in 0..150 {
+                h.dequeue();
+            }
+            let width = [16, 4, 8, 2][round];
+            let info = queue.retune(p(width, 1, 1)).unwrap();
+            events.push((info.generation(), info.k_bound()));
+            if let Some(info) = queue.try_commit_shrink() {
+                events.push((info.generation(), info.k_bound()));
+            }
+        }
+        while h.dequeue() {}
+        let bounds = bounds_map(initial, events);
+        let report = check_segments(&measured.take_records(), &bounds).unwrap();
+        assert_eq!(report.pops, 800);
+        assert_eq!(measured.oracle_len(), 0);
+        assert!(report.segments.len() > 1, "multiple generations must appear");
+    }
+
+    #[test]
+    fn oracle_and_queue_agree_on_residency() {
+        let queue = Queue2D::elastic(p(4, 2, 1), 8);
+        let measured = MeasuredElasticQueue::new(&queue);
+        measured.prefill(100);
+        let mut h = measured.handle();
+        for _ in 0..30 {
+            h.dequeue();
+        }
+        assert_eq!(measured.oracle_len(), 70);
+        assert_eq!(queue.len(), 70);
+    }
+}

@@ -1,15 +1,17 @@
 //! Concurrent stress for the elastic runtime: threads churn while the
-//! window is retuned mid-flight, asserting item conservation and
-//! per-generation-segment quality.
+//! window is retuned mid-flight — on the stack, the queue and the counter
+//! alike — asserting item/value conservation and per-generation-segment
+//! quality.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use stack2d::{Params, Stack2D};
+use stack2d::{Counter2D, Params, Queue2D, Stack2D};
 use stack2d_adaptive::{AimdController, ElasticRunner, RetuneKind};
 use stack2d_quality::segmented::{bounds_map, check_segments, MeasuredElastic};
+use stack2d_quality::segmented_queue::MeasuredElasticQueue;
 
 fn p(w: usize, d: usize, s: usize) -> Params {
     Params::new(w, d, s).unwrap()
@@ -124,6 +126,151 @@ fn measured_churn_under_live_controller_respects_segment_bounds() {
         if e.kind == RetuneKind::Commit {
             assert!(!matches!(e.pop_width, w if w > e.width), "commit closes the pop span");
         }
+    }
+}
+
+/// Eight threads churn a `Queue2D` under a live AIMD controller (with
+/// vertical-walk headroom in the budget); no item may be lost or
+/// duplicated, and every retune event must respect the budget.
+#[test]
+fn eight_thread_queue_churn_under_live_controller_conserves_items() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 6_000;
+    const BUDGET: usize = 84; // width saturates at 8, depth can reach 4
+    let q = Arc::new(Queue2D::elastic(p(1, 1, 1), 8));
+    let runner = ElasticRunner::spawn_with_budget(
+        Arc::clone(&q),
+        AimdController::new(BUDGET),
+        Duration::from_micros(300),
+        BUDGET,
+    );
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let q = Arc::clone(&q);
+        joins.push(std::thread::spawn(move || {
+            let mut h = q.handle_seeded(t as u64 + 1);
+            let mut got = Vec::new();
+            for i in 0..PER_THREAD {
+                h.enqueue((t * PER_THREAD + i) as u64);
+                if i % 3 != 0 {
+                    if let Some(v) = h.dequeue() {
+                        got.push(v);
+                    }
+                }
+            }
+            got
+        }));
+    }
+    let mut all: Vec<u64> = Vec::new();
+    for j in joins {
+        all.extend(j.join().unwrap());
+    }
+    let events = runner.stop();
+    for _ in 0..64 {
+        q.try_commit_shrink();
+    }
+    let mut h = q.handle_seeded(0xFEED);
+    while let Some(v) = h.dequeue() {
+        all.push(v);
+    }
+    all.sort_unstable();
+    assert_eq!(
+        all,
+        (0..(THREADS * PER_THREAD) as u64).collect::<Vec<_>>(),
+        "live retuning must not lose or duplicate queue items"
+    );
+    for e in &events {
+        assert!(e.k_bound <= BUDGET, "budget violated: {e:?}");
+    }
+}
+
+/// Eight threads increment a `Counter2D` while the main thread sweeps the
+/// window (including shrinks that drain retired sub-counters); the final
+/// value must be exact.
+#[test]
+fn eight_thread_counter_churn_with_midflight_retunes_conserves_value() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 20_000;
+    let c = Arc::new(Counter2D::elastic(p(1, 1, 1), 32));
+    let schedule =
+        [p(32, 1, 1), p(8, 4, 2), p(2, 2, 1), p(16, 2, 2), p(1, 1, 1), p(32, 8, 8), p(4, 1, 1)];
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let c = Arc::clone(&c);
+        joins.push(std::thread::spawn(move || {
+            let mut h = c.handle_seeded(t as u64 + 1);
+            for _ in 0..PER_THREAD {
+                h.increment();
+            }
+        }));
+    }
+    let mut commits = 0;
+    for round in 0..60 {
+        c.retune(schedule[round % schedule.len()]).unwrap();
+        if c.try_commit_shrink().is_some() {
+            commits += 1;
+        }
+        std::thread::yield_now();
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    for _ in 0..64 {
+        if c.try_commit_shrink().is_some() {
+            commits += 1;
+        }
+    }
+    assert_eq!(c.value(), THREADS * PER_THREAD, "value lost or duplicated across retunes");
+    let metrics = c.metrics();
+    assert_eq!(metrics.ops, (THREADS * PER_THREAD) as u64);
+    assert!(metrics.retunes >= 60, "every retune must be counted: {metrics}");
+    eprintln!("counter stress: {commits} shrink commits, final window {}", c.window());
+}
+
+/// Four measured threads churn a queue under a live AIMD controller;
+/// every dequeue's out-of-order distance must stay within the
+/// instantaneous bound of its generation segment.
+#[test]
+fn measured_queue_churn_under_live_controller_respects_segment_bounds() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 3_000;
+    const BUDGET: usize = 84;
+    let q = Arc::new(Queue2D::elastic(p(1, 1, 1), 8));
+    let initial = q.window();
+    let measured = MeasuredElasticQueue::new(&q);
+    let runner = ElasticRunner::spawn_with_budget(
+        Arc::clone(&q),
+        AimdController::new(BUDGET),
+        Duration::from_micros(300),
+        BUDGET,
+    );
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let measured = &measured;
+            scope.spawn(move || {
+                let mut h = measured.handle();
+                // Bursty: runs of enqueues then runs of dequeues, so the
+                // controller sees real pressure swings.
+                for i in 0..PER_THREAD {
+                    if (i / 64) % 2 == (t % 2) {
+                        h.enqueue();
+                    } else {
+                        h.dequeue();
+                    }
+                }
+            });
+        }
+    });
+    let mut h = measured.handle();
+    while h.dequeue() {}
+    let events = runner.stop();
+    let bounds = bounds_map(initial, events.iter().map(|e| (e.generation, e.k_bound)));
+    let report = check_segments(&measured.take_records(), &bounds)
+        .unwrap_or_else(|v| panic!("queue segment bound violated under live controller: {v}"));
+    assert!(report.pops > 1_000, "too few measured dequeues: {}", report.pops);
+    assert_eq!(measured.oracle_len(), 0);
+    for e in &events {
+        assert!(e.k_bound <= BUDGET, "configured bound must respect the budget: {e:?}");
     }
 }
 

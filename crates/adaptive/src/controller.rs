@@ -69,6 +69,17 @@ pub trait Controller {
     /// parameter set satisfies `params.k_bound() <= obs.max_k` and
     /// `params.width() <= obs.capacity`.
     fn decide(&mut self, obs: &Observation) -> Option<Params>;
+
+    /// The relaxation budget this policy enforces, if it carries one.
+    ///
+    /// The managed runtime ([`Managed`](crate::Managed)) mirrors it as the
+    /// driver-level budget, so a builder-constructed guard needs no
+    /// separate `max_k` plumbing. The default (`None`) means "no policy
+    /// budget" — the driver then runs uncapped, exactly like
+    /// [`ElasticRunner::spawn`](crate::ElasticRunner::spawn).
+    fn budget(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The widest `width` whose relaxation bound stays within `max_k` for the
@@ -241,6 +252,10 @@ impl Controller for AimdController {
         }
         next
     }
+
+    fn budget(&self) -> Option<usize> {
+        Some(self.max_k)
+    }
 }
 
 #[cfg(test)]
@@ -258,7 +273,8 @@ mod tests {
         cas_failures: u64,
         max_k: usize,
     ) -> Observation {
-        let stack: stack2d::Stack2D<u8> = stack2d::Stack2D::elastic(params, capacity);
+        let stack: stack2d::Stack2D<u8> =
+            stack2d::Stack2D::builder().params(params).elastic_capacity(capacity).build().unwrap();
         Observation {
             interval: Duration::from_millis(10),
             delta: MetricsSnapshot { ops, cas_failures, ..Default::default() },

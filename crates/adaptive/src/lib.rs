@@ -25,6 +25,10 @@
 //! * [`runtime`] — [`Elastic`], the deterministic inline driver
 //!   (`tick()` when *you* decide), and [`ElasticRunner`], a background
 //!   thread ticking on a fixed cadence; both record a [`RetuneEvent`] log;
+//! * [`managed`] — [`Managed`], the RAII guard owning the background
+//!   runner, built in one chain from a structure builder via
+//!   [`AdaptiveBuilder::adaptive`] — the deployment-shape API that
+//!   replaces the manual `Arc` + spawn + stop wiring;
 //! * the **k-budget invariant**: every parameter set a controller emits
 //!   satisfies `k_bound <= max_k`, and because a width shrink keeps the
 //!   published bound at the wide value until the retired tail is provably
@@ -35,7 +39,7 @@
 //! use stack2d::{Params, Stack2D};
 //! use stack2d_adaptive::{AimdController, Elastic};
 //!
-//! let stack: Stack2D<u64> = Stack2D::elastic(Params::new(1, 1, 1).unwrap(), 64);
+//! let stack: Stack2D<u64> = Stack2D::builder().params(Params::new(1, 1, 1).unwrap()).elastic_capacity(64).build().unwrap();
 //! // Budget k <= 200, sampled manually after each batch of work.
 //! let mut elastic = Elastic::new(&stack, AimdController::new(200));
 //! for round in 0..4 {
@@ -61,9 +65,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod controller;
+pub mod managed;
 pub mod runtime;
 
 pub use controller::{
     max_depth_for_budget, max_width_for_budget, AimdController, Controller, Observation,
 };
+pub use managed::{AdaptiveBuilder, Managed};
 pub use runtime::{Elastic, ElasticRunner, RetuneEvent, RetuneKind, ScriptedController};

@@ -1,0 +1,241 @@
+//! Managed adaptive mode: an RAII guard owning the background retuning
+//! runner, and the builder extension that constructs it in one chain.
+//!
+//! Before this module, wiring up the elastic runtime was a manual dance —
+//! wrap the structure in an `Arc`, call [`ElasticRunner::spawn_with_budget`]
+//! with a hand-threaded budget, remember to call `stop()` before the end of
+//! the scope. [`Managed`] owns all of that: build it straight off a
+//! structure [`Builder`] with [`AdaptiveBuilder::adaptive`], use the
+//! structure through `Deref`, and the runner is stopped and its event log
+//! drained when the guard drops.
+//!
+//! ```
+//! use std::time::Duration;
+//! use stack2d::Stack2D;
+//! use stack2d_adaptive::{AdaptiveBuilder, AimdController};
+//!
+//! let stack = Stack2D::<u64>::builder()
+//!     .width(1)
+//!     .elastic_capacity(32)
+//!     .adaptive(AimdController::new(1_000), Duration::from_millis(1))
+//!     .unwrap();
+//! // Deref: the guard is used exactly like the structure it manages.
+//! let mut h = stack.handle();
+//! for i in 0..10_000u64 {
+//!     h.push(i);
+//!     h.pop();
+//! }
+//! let events = stack.stop(); // or just drop the guard
+//! assert!(events.iter().all(|e| e.k_bound <= 1_000));
+//! ```
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+use std::time::Duration;
+
+use stack2d::{Buildable, Builder, ElasticTarget, ParamsError};
+
+use crate::controller::Controller;
+use crate::runtime::{ElasticRunner, RetuneEvent};
+
+/// An elastic structure together with the background controller thread
+/// retuning it — a scope guard for adaptive mode.
+///
+/// Obtained from [`AdaptiveBuilder::adaptive`] (the builder path) or
+/// [`Managed::spawn`] (around an existing shared structure). The managed
+/// structure is reachable through `Deref`, so handles, metrics and window
+/// snapshots read exactly as on the bare type; [`Managed::share`] clones
+/// the inner `Arc` for worker threads that outlive the borrow.
+///
+/// Stopping: [`Managed::stop`] joins the runner and returns its
+/// [`RetuneEvent`] log; merely dropping the guard also stops and joins the
+/// runner, draining the log. Either way, no controller thread survives the
+/// guard — the RAII contract that replaces the manual `Arc` + `spawn` +
+/// `stop` wiring.
+pub struct Managed<S: ElasticTarget + 'static> {
+    target: Arc<S>,
+    runner: Option<ElasticRunner>,
+}
+
+impl<S: ElasticTarget + 'static> Managed<S> {
+    /// Starts managed mode around an existing shared structure: a
+    /// background thread ticks `controller` every `cadence`, with the
+    /// driver budget mirrored from [`Controller::budget`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use std::time::Duration;
+    /// use stack2d::Queue2D;
+    /// use stack2d_adaptive::{AimdController, Managed};
+    ///
+    /// let queue = Arc::new(Queue2D::<u32>::builder().elastic_capacity(8).build().unwrap());
+    /// let managed = Managed::spawn(
+    ///     Arc::clone(&queue),
+    ///     AimdController::new(100),
+    ///     Duration::from_millis(1),
+    /// );
+    /// queue.enqueue(1);
+    /// assert_eq!(managed.dequeue(), Some(1));
+    /// ```
+    pub fn spawn<C>(target: Arc<S>, controller: C, cadence: Duration) -> Self
+    where
+        C: Controller + Send + 'static,
+    {
+        let budget = controller.budget().unwrap_or(usize::MAX);
+        let runner =
+            ElasticRunner::spawn_with_budget(Arc::clone(&target), controller, cadence, budget);
+        Managed { target, runner: Some(runner) }
+    }
+
+    /// A shared handle to the managed structure, for worker threads that
+    /// must outlive a borrow of the guard.
+    pub fn share(&self) -> Arc<S> {
+        Arc::clone(&self.target)
+    }
+
+    /// Stops the controller thread and returns its retune-event log (the
+    /// width/depth-over-time series the harness plots).
+    pub fn stop(mut self) -> Vec<RetuneEvent> {
+        self.runner.take().map(ElasticRunner::stop).unwrap_or_default()
+    }
+}
+
+impl<S: ElasticTarget + 'static> Deref for Managed<S> {
+    type Target = S;
+
+    fn deref(&self) -> &S {
+        &self.target
+    }
+}
+
+impl<S: ElasticTarget + 'static> Drop for Managed<S> {
+    /// Stops and joins the runner, draining its event log — dropping the
+    /// guard is always a clean shutdown.
+    fn drop(&mut self) {
+        // ElasticRunner's own Drop raises the stop flag and joins.
+        let _ = self.runner.take();
+    }
+}
+
+impl<S: ElasticTarget + 'static> fmt::Debug for Managed<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Managed")
+            .field("target", &self.target.target_name())
+            .field("window", &self.target.window())
+            .finish()
+    }
+}
+
+/// Builder-integrated adaptive mode: `.adaptive(controller, cadence)` as
+/// the terminal call of a structure [`Builder`] chain, in place of
+/// `.build()`.
+///
+/// Implemented for the builders of every elastic structure (the blanket
+/// impl covers any [`Buildable`] that is also an [`ElasticTarget`]).
+/// Combine with [`Builder::elastic_capacity`] — the capacity is the
+/// ceiling the controller can grow width to; without it only the vertical
+/// dimension (depth/shift) can move.
+pub trait AdaptiveBuilder<S: ElasticTarget + 'static>: Sized {
+    /// Validates the configuration, constructs the structure and starts
+    /// managed adaptive mode in one step.
+    ///
+    /// # Errors
+    ///
+    /// The [`ParamsError`] that [`Builder::build`] would give.
+    fn adaptive<C>(self, controller: C, cadence: Duration) -> Result<Managed<S>, ParamsError>
+    where
+        C: Controller + Send + 'static;
+}
+
+impl<S> AdaptiveBuilder<S> for Builder<S>
+where
+    S: Buildable + ElasticTarget + 'static,
+{
+    fn adaptive<C>(self, controller: C, cadence: Duration) -> Result<Managed<S>, ParamsError>
+    where
+        C: Controller + Send + 'static,
+    {
+        Ok(Managed::spawn(Arc::new(self.build()?), controller, cadence))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{RetuneKind, ScriptedController};
+    use stack2d::{Counter2D, Params, Queue2D, Stack2D};
+
+    fn p(w: usize, d: usize, s: usize) -> Params {
+        Params::new(w, d, s).unwrap()
+    }
+
+    #[test]
+    fn builder_adaptive_builds_and_retunes() {
+        let stack = Stack2D::<u32>::builder()
+            .width(1)
+            .elastic_capacity(8)
+            .adaptive(ScriptedController::new([Some(p(8, 1, 1))]), Duration::from_millis(1))
+            .unwrap();
+        for _ in 0..200 {
+            if stack.window().width() == 8 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let events = stack.stop();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, RetuneKind::Grow);
+    }
+
+    #[test]
+    fn builder_adaptive_reports_invalid_params() {
+        let err = Stack2D::<u32>::builder()
+            .width(0)
+            .adaptive(ScriptedController::new([]), Duration::from_millis(1))
+            .unwrap_err();
+        assert_eq!(err, stack2d::ParamsError::ZeroWidth);
+    }
+
+    #[test]
+    fn drop_stops_the_runner() {
+        // No explicit stop(): dropping the guard must join the controller
+        // thread; the scripted retune either landed or not, but nothing
+        // may outlive the guard (no panic, no leak under the test runner).
+        let queue = Queue2D::<u32>::builder()
+            .width(1)
+            .elastic_capacity(4)
+            .adaptive(ScriptedController::new([Some(p(4, 1, 1))]), Duration::from_micros(200))
+            .unwrap();
+        let shared = queue.share();
+        shared.enqueue(7);
+        assert_eq!(queue.dequeue(), Some(7));
+        drop(queue);
+        // The shared Arc keeps the structure alive after the guard.
+        shared.enqueue(9);
+        assert_eq!(shared.dequeue(), Some(9));
+    }
+
+    #[test]
+    fn managed_budget_mirrors_the_controller() {
+        use crate::controller::AimdController;
+        const BUDGET: usize = 21;
+        let counter = Counter2D::builder()
+            .width(1)
+            .elastic_capacity(8)
+            .adaptive(AimdController::new(BUDGET), Duration::from_micros(300))
+            .unwrap();
+        let mut h = counter.handle_seeded(1);
+        for _ in 0..50_000 {
+            h.increment();
+        }
+        let value_before_stop = counter.value();
+        let events = counter.stop();
+        for e in &events {
+            assert!(e.k_bound <= BUDGET, "budget violated: {e:?}");
+        }
+        assert_eq!(value_before_stop, 50_000);
+    }
+}

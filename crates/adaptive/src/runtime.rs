@@ -201,7 +201,7 @@ impl<'s, S: ElasticTarget, C: Controller> Elastic<'s, S, C> {
 /// use stack2d::{Params, Stack2D};
 /// use stack2d_adaptive::{AimdController, ElasticRunner};
 ///
-/// let stack = Arc::new(Stack2D::elastic(Params::new(1, 1, 1).unwrap(), 32));
+/// let stack = Arc::new(Stack2D::builder().params(Params::new(1, 1, 1).unwrap()).elastic_capacity(32).build().unwrap());
 /// let runner = ElasticRunner::spawn(
 ///     Arc::clone(&stack),
 ///     AimdController::new(1_000),
@@ -308,7 +308,8 @@ mod tests {
 
     #[test]
     fn tick_applies_script_and_logs_kinds() {
-        let stack: Stack2D<u32> = Stack2D::elastic(p(2, 1, 1), 16);
+        let stack: Stack2D<u32> =
+            Stack2D::builder().params(p(2, 1, 1)).elastic_capacity(16).build().unwrap();
         let script = ScriptedController::new([
             Some(p(8, 1, 1)), // grow
             None,             // hold
@@ -345,7 +346,8 @@ mod tests {
 
     #[test]
     fn commit_waits_for_tail_to_drain() {
-        let stack: Stack2D<u32> = Stack2D::elastic(p(8, 1, 1), 8);
+        let stack: Stack2D<u32> =
+            Stack2D::builder().params(p(8, 1, 1)).elastic_capacity(8).build().unwrap();
         let mut h = stack.handle_seeded(1);
         for i in 0..80 {
             h.push(i);
@@ -370,7 +372,9 @@ mod tests {
 
     #[test]
     fn background_runner_applies_and_returns_events() {
-        let stack = Arc::new(Stack2D::<u32>::elastic(p(1, 1, 1), 8));
+        let stack = Arc::new(
+            Stack2D::<u32>::builder().params(p(1, 1, 1)).elastic_capacity(8).build().unwrap(),
+        );
         let runner = ElasticRunner::spawn(
             Arc::clone(&stack),
             ScriptedController::new([Some(p(8, 1, 1))]),
@@ -393,7 +397,8 @@ mod tests {
     fn aimd_end_to_end_grows_under_real_contention_and_keeps_budget() {
         use crate::controller::AimdController;
         const BUDGET: usize = 93; // width ceiling 1 + 93/3 = 32
-        let stack = Arc::new(Stack2D::elastic(p(1, 1, 1), 32));
+        let stack =
+            Arc::new(Stack2D::builder().params(p(1, 1, 1)).elastic_capacity(32).build().unwrap());
         let runner = ElasticRunner::spawn(
             Arc::clone(&stack),
             AimdController::new(BUDGET),
@@ -439,7 +444,8 @@ mod tests {
 
     #[test]
     fn scripted_driver_retunes_a_queue() {
-        let queue: Queue2D<u32> = Queue2D::elastic(p(2, 1, 1), 16);
+        let queue: Queue2D<u32> =
+            Queue2D::builder().params(p(2, 1, 1)).elastic_capacity(16).build().unwrap();
         let script = ScriptedController::new([
             Some(p(8, 1, 1)), // grow
             Some(p(8, 2, 2)), // vertical
@@ -475,7 +481,8 @@ mod tests {
     #[test]
     fn background_runner_drives_a_counter_under_budget() {
         const BUDGET: usize = 21; // width ceiling 1 + 21/3 = 8
-        let counter = Arc::new(Counter2D::elastic(p(1, 1, 1), 8));
+        let counter =
+            Arc::new(Counter2D::builder().params(p(1, 1, 1)).elastic_capacity(8).build().unwrap());
         let runner = ElasticRunner::spawn_with_budget(
             Arc::clone(&counter),
             AimdController::new(BUDGET),

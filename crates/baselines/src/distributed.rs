@@ -195,10 +195,16 @@ impl<T: Send> ConcurrentStack<T> for RandomStack<T> {
         RandomHandle { stack: self, rng: HopRng::from_thread() }
     }
 
+    fn handle_seeded(&self, seed: u64) -> Self::Handle<'_> {
+        RandomHandle { stack: self, rng: HopRng::seeded(seed) }
+    }
+
     fn name(&self) -> &'static str {
         "random"
     }
 }
+
+stack2d::impl_relaxed_ops_for_stack!(RandomStack);
 
 // ---------------------------------------------------------------------------
 // random-c2
@@ -327,10 +333,16 @@ impl<T: Send> ConcurrentStack<T> for RandomC2Stack<T> {
         RandomC2Handle { stack: self, rng: HopRng::from_thread() }
     }
 
+    fn handle_seeded(&self, seed: u64) -> Self::Handle<'_> {
+        RandomC2Handle { stack: self, rng: HopRng::seeded(seed) }
+    }
+
     fn name(&self) -> &'static str {
         "random-c2"
     }
 }
+
+stack2d::impl_relaxed_ops_for_stack!(RandomC2Stack);
 
 // ---------------------------------------------------------------------------
 // k-robin
@@ -483,6 +495,12 @@ impl<T: Send> ConcurrentStack<T> for KRobinStack<T> {
         KRobinHandle { stack: self, cursor: 0 }
     }
 
+    fn handle_seeded(&self, seed: u64) -> Self::Handle<'_> {
+        // Round-robin carries no RNG; seed the starting cursor instead so
+        // seeded runs still decorrelate their handles deterministically.
+        KRobinHandle { stack: self, cursor: seed as usize % self.width().max(1) }
+    }
+
     fn name(&self) -> &'static str {
         "k-robin"
     }
@@ -491,6 +509,8 @@ impl<T: Send> ConcurrentStack<T> for KRobinStack<T> {
         Some(self.bound)
     }
 }
+
+stack2d::impl_relaxed_ops_for_stack!(KRobinStack);
 
 #[cfg(test)]
 mod tests {

@@ -476,6 +476,11 @@ impl<T: Send> ConcurrentStack<T> for EliminationStack<T> {
         EliminationHandle { stack: self, id, rng: HopRng::from_thread() }
     }
 
+    fn handle_seeded(&self, seed: u64) -> Self::Handle<'_> {
+        let id = self.free_slots.lock().pop().expect("elimination stack handle capacity exhausted");
+        EliminationHandle { stack: self, id, rng: HopRng::seeded(seed) }
+    }
+
     fn name(&self) -> &'static str {
         "elimination"
     }
@@ -484,6 +489,8 @@ impl<T: Send> ConcurrentStack<T> for EliminationStack<T> {
         Some(0)
     }
 }
+
+stack2d::impl_relaxed_ops_for_stack!(EliminationStack);
 
 #[cfg(test)]
 mod tests {

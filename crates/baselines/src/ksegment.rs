@@ -341,6 +341,10 @@ impl<T: Send> ConcurrentStack<T> for KSegmentStack<T> {
         KSegmentHandle { stack: self, rng: HopRng::from_thread() }
     }
 
+    fn handle_seeded(&self, seed: u64) -> Self::Handle<'_> {
+        KSegmentHandle { stack: self, rng: HopRng::seeded(seed) }
+    }
+
     fn name(&self) -> &'static str {
         "k-segment"
     }
@@ -351,6 +355,8 @@ impl<T: Send> ConcurrentStack<T> for KSegmentStack<T> {
         Some(self.k - 1)
     }
 }
+
+stack2d::impl_relaxed_ops_for_stack!(KSegmentStack);
 
 #[cfg(test)]
 mod tests {

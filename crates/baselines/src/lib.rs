@@ -14,11 +14,18 @@
 //! | `random-c2`   | [`RandomC2Stack`] | relaxed, choice-of-two scheduling |
 //! | `k-robin`     | [`KRobinStack`] | relaxed, round-robin scheduling |
 //! | (tests only)  | [`LockedStack`] | strict LIFO oracle |
+//! | (queue ref.)  | [`LockedQueue`] | strict FIFO oracle |
 //!
 //! The distribution baselines (`random`, `random-c2`, `k-robin`) are built
 //! from the same counted [`SubStack`](stack2d::substack::SubStack) block as
 //! the 2D-Stack itself, exactly as in the paper — they differ only in
 //! scheduling, which is the point of the comparison.
+//!
+//! Every baseline is also drivable through the structure-generic
+//! [`RelaxedOps`](stack2d::RelaxedOps) contract (the stacks via
+//! [`impl_relaxed_ops_for_stack!`](stack2d::impl_relaxed_ops_for_stack),
+//! the locked queue directly), so the workload runner measures them with
+//! the exact same driver as the 2D structures.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,10 +34,12 @@ pub mod distributed;
 pub mod elimination;
 pub mod ksegment;
 pub mod locked;
+pub mod locked_queue;
 pub mod treiber;
 
 pub use distributed::{KRobinStack, RandomC2Stack, RandomStack};
 pub use elimination::{EliminationStack, EliminationStats};
 pub use ksegment::KSegmentStack;
 pub use locked::LockedStack;
+pub use locked_queue::{LockedQueue, LockedQueueHandle};
 pub use treiber::TreiberStack;

@@ -99,6 +99,8 @@ impl<T: Send> ConcurrentStack<T> for LockedStack<T> {
     }
 }
 
+stack2d::impl_relaxed_ops_for_stack!(LockedStack);
+
 #[cfg(test)]
 mod tests {
     use super::*;

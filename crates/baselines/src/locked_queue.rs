@@ -1,0 +1,152 @@
+//! Coarse-grained locked FIFO queue — the queue-side comparison point.
+//!
+//! The paper's evaluation only compares stacks, but since PR 3 the window
+//! design also drives a [`Queue2D`](stack2d::Queue2D). This baseline gives
+//! the queue scenarios the analogue of [`LockedStack`](crate::LockedStack):
+//! a trivially correct strict-FIFO reference (`Mutex<VecDeque>`) that the
+//! generic [`RelaxedOps`] workload runner can drive side by side with the
+//! relaxed queue.
+
+use core::fmt;
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use stack2d::{OpsHandle, RelaxedOps};
+
+/// A `Mutex<VecDeque<T>>` queue with strict FIFO semantics.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_baselines::LockedQueue;
+///
+/// let q = LockedQueue::new();
+/// q.enqueue(1);
+/// q.enqueue(2);
+/// assert_eq!(q.dequeue(), Some(1));
+/// ```
+pub struct LockedQueue<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> LockedQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        LockedQueue { items: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Appends `value` at the tail.
+    pub fn enqueue(&self, value: T) {
+        self.items.lock().push_back(value);
+    }
+
+    /// Removes the item at the head.
+    pub fn dequeue(&self) -> Option<T> {
+        self.items.lock().pop_front()
+    }
+
+    /// Exact number of resident items.
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.lock().is_empty()
+    }
+}
+
+impl<T> Default for LockedQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for LockedQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockedQueue").field("len", &self.len()).finish()
+    }
+}
+
+/// Stateless handle to a [`LockedQueue`].
+#[derive(Debug)]
+pub struct LockedQueueHandle<'q, T> {
+    queue: &'q LockedQueue<T>,
+}
+
+impl<T: Send> OpsHandle<T> for LockedQueueHandle<'_, T> {
+    fn produce(&mut self, value: T) {
+        self.queue.enqueue(value);
+    }
+
+    fn consume(&mut self) -> Option<T> {
+        self.queue.dequeue()
+    }
+}
+
+impl<T: Send> RelaxedOps<T> for LockedQueue<T> {
+    type Handle<'a>
+        = LockedQueueHandle<'a, T>
+    where
+        T: 'a;
+
+    fn ops_handle(&self) -> Self::Handle<'_> {
+        LockedQueueHandle { queue: self }
+    }
+
+    fn name(&self) -> &'static str {
+        "locked-queue"
+    }
+
+    fn relaxation_bound(&self) -> Option<usize> {
+        Some(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = LockedQueue::new();
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn len_tracks() {
+        let q = LockedQueue::new();
+        assert!(q.is_empty());
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.len(), 2);
+        q.dequeue();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn trait_metadata_and_generic_drive() {
+        fn churn<S: RelaxedOps<u64>>(s: &S) -> usize {
+            let mut h = s.ops_handle_seeded(3);
+            for i in 0..64 {
+                h.produce(i);
+            }
+            let mut n = 0;
+            while h.consume().is_some() {
+                n += 1;
+            }
+            n
+        }
+        let q: LockedQueue<u64> = LockedQueue::new();
+        assert_eq!(churn(&q), 64);
+        assert_eq!(RelaxedOps::<u64>::name(&q), "locked-queue");
+        assert_eq!(RelaxedOps::<u64>::relaxation_bound(&q), Some(0));
+    }
+}

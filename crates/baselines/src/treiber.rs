@@ -164,6 +164,8 @@ impl<T: Send> ConcurrentStack<T> for TreiberStack<T> {
     }
 }
 
+stack2d::impl_relaxed_ops_for_stack!(TreiberStack);
+
 #[cfg(test)]
 mod tests {
     use super::*;

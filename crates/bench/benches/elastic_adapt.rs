@@ -52,8 +52,13 @@ fn bench_elastic(c: &mut Criterion, scale: &BenchScale) {
     group.bench_function("elastic-aimd", |b| {
         b.iter_batched(
             || {
-                let stack =
-                    Arc::new(Stack2D::<u64>::elastic(Params::new(1, 1, 1).unwrap(), wide.width()));
+                let stack = Arc::new(
+                    Stack2D::<u64>::builder()
+                        .params(Params::new(1, 1, 1).unwrap())
+                        .elastic_capacity(wide.width())
+                        .build()
+                        .unwrap(),
+                );
                 let runner = ElasticRunner::spawn_with_budget(
                     Arc::clone(&stack),
                     AimdController::new(wide.k_bound()),
@@ -76,7 +81,11 @@ fn bench_elastic(c: &mut Criterion, scale: &BenchScale) {
 fn bench_retune_op(c: &mut Criterion, scale: &BenchScale) {
     // The raw cost of a descriptor swing on an otherwise idle stack —
     // the price a controller tick pays.
-    let stack: Stack2D<u64> = Stack2D::elastic(Params::new(1, 1, 1).unwrap(), 64);
+    let stack: Stack2D<u64> = Stack2D::builder()
+        .params(Params::new(1, 1, 1).unwrap())
+        .elastic_capacity(64)
+        .build()
+        .unwrap();
     let grid = [
         Params::new(64, 1, 1).unwrap(),
         Params::new(32, 2, 1).unwrap(),

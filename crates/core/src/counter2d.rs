@@ -20,7 +20,7 @@
 //! # Elasticity
 //!
 //! Since PR 3 the counter shares the stack's elastic machinery
-//! ([`ElasticWindow`]): the sub-counter array is pre-sized at a capacity
+//! (`ElasticWindow`): the sub-counter array is pre-sized at a capacity
 //! ([`Counter2D::elastic`]) and [`Counter2D::retune`] hot-swaps the
 //! descriptor. A width shrink stops increments into the retired tail
 //! immediately and *commits* ([`Counter2D::try_commit_shrink`]) once the
@@ -36,10 +36,11 @@ use core::sync::atomic::{AtomicUsize, Ordering};
 use crossbeam_epoch as epoch;
 use crossbeam_utils::CachePadded;
 
+use crate::builder::Builder;
 use crate::metrics::{MetricsSnapshot, OpCounters};
 use crate::params::Params;
-use crate::rng::HopRng;
-use crate::traits::ElasticTarget;
+use crate::rng::{HandleSeeder, HopRng};
+use crate::traits::{ElasticTarget, OpsHandle, RelaxedOps};
 use crate::window::{ElasticWindow, RetuneError, WindowInfo};
 
 /// A relaxed, window-bounded sharded counter.
@@ -66,13 +67,45 @@ pub struct Counter2D {
     /// Counts folded out of retired sub-counters at shrink commits.
     drained: CachePadded<AtomicUsize>,
     counters: OpCounters,
+    seeder: HandleSeeder,
+    /// Whether the counter was built with elastic headroom (capacity
+    /// beyond the initial width).
+    elastic: bool,
 }
 
 impl Counter2D {
+    /// Starts a validated [`Builder`] — the preferred construction path.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::Counter2D;
+    ///
+    /// let c = Counter2D::builder().width(4).depth(8).shift(4).build().unwrap();
+    /// c.increment();
+    /// assert_eq!(c.value(), 1);
+    /// ```
+    pub fn builder() -> Builder<Self> {
+        Builder::new()
+    }
+
     /// Creates a counter with the given window parameters and no elastic
     /// headroom (capacity = width).
     pub fn new(params: Params) -> Self {
-        Self::elastic(params, params.width())
+        Self::from_builder_parts(params, params.width(), None)
+    }
+
+    pub(crate) fn from_builder_parts(params: Params, capacity: usize, seed: Option<u64>) -> Self {
+        let capacity = capacity.max(params.width());
+        Counter2D {
+            subs: (0..capacity).map(|_| CachePadded::new(AtomicUsize::new(0))).collect(),
+            global: CachePadded::new(AtomicUsize::new(params.initial_global())),
+            window: ElasticWindow::new(params),
+            drained: CachePadded::new(AtomicUsize::new(0)),
+            counters: OpCounters::default(),
+            seeder: HandleSeeder::new(seed),
+            elastic: capacity > params.width(),
+        }
     }
 
     /// Creates a counter that can later be [`retune`](Counter2D::retune)d
@@ -83,20 +116,24 @@ impl Counter2D {
     /// ```
     /// use stack2d::{Counter2D, Params};
     ///
-    /// let c = Counter2D::elastic(Params::new(1, 1, 1).unwrap(), 8);
+    /// let c = Counter2D::builder().width(1).elastic_capacity(8).build().unwrap();
     /// assert_eq!(c.capacity(), 8);
     /// c.retune(Params::new(8, 1, 1).unwrap()).unwrap();
     /// assert_eq!(c.window().width(), 8);
     /// ```
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Counter2D::builder().params(..).elastic_capacity(max_width).build()"
+    )]
     pub fn elastic(params: Params, max_width: usize) -> Self {
-        let capacity = max_width.max(params.width());
-        Counter2D {
-            subs: (0..capacity).map(|_| CachePadded::new(AtomicUsize::new(0))).collect(),
-            global: CachePadded::new(AtomicUsize::new(params.initial_global())),
-            window: ElasticWindow::new(params),
-            drained: CachePadded::new(AtomicUsize::new(0)),
-            counters: OpCounters::default(),
-        }
+        Self::from_builder_parts(params, max_width, None)
+    }
+
+    /// Whether this counter was built with elastic headroom (capacity
+    /// beyond the initial width), i.e. is meant to be retuned online.
+    #[inline]
+    pub fn is_elastic(&self) -> bool {
+        self.elastic
     }
 
     /// The window parameters currently in force.
@@ -172,9 +209,50 @@ impl Counter2D {
         Some(info)
     }
 
+    /// The counter's analogue of the Theorem-1 bound: how far a quiescent
+    /// scanning read ([`Counter2D::value`]) can sit from a linearized
+    /// count, `(depth + shift) * (pop_width - 1)` — each of the other
+    /// active sub-counters is within the window spread of the one being
+    /// read (see the module docs). Computed over the pop span so it stays
+    /// honest while a width shrink is pending. A `width = 1` counter is
+    /// exact (`0`).
+    pub fn k_bound(&self) -> usize {
+        let guard = epoch::pin();
+        let w = self.window.load(&guard);
+        (w.depth + w.shift) * (w.pop_width - 1)
+    }
+
+    /// The *live* read-error bound, sound even across retune transients:
+    /// `(pop_width - 1) * max(observed spread, depth + shift)` over the
+    /// active span.
+    ///
+    /// Right after a width **grow**, freshly activated sub-counters sit at
+    /// zero while the veterans carry the backlog — the observed spread,
+    /// not the configured window, is what bounds a scan's error until the
+    /// newcomers catch up. Like the stack and queue variants the value is
+    /// advisory under unquiesced concurrency.
+    pub fn k_bound_instantaneous(&self) -> usize {
+        let guard = epoch::pin();
+        let w = self.window.load(&guard);
+        if w.pop_width <= 1 {
+            return 0;
+        }
+        let counts = self.subs[..w.pop_width].iter().map(|s| s.load(Ordering::Acquire));
+        let (mut min, mut max) = (usize::MAX, 0usize);
+        for c in counts {
+            min = min.min(c);
+            max = max.max(c);
+        }
+        (w.pop_width - 1) * (max - min).max(w.depth + w.shift)
+    }
+
     /// Registers a per-thread handle.
+    ///
+    /// On a counter built with [`Builder::seed`](crate::Builder::seed) the
+    /// handle RNG is drawn from the deterministic per-structure sequence;
+    /// otherwise from thread entropy.
     pub fn handle(&self) -> CounterHandle<'_> {
-        let mut rng = HopRng::from_thread();
+        let mut rng = self.seeder.rng();
         let last = rng.bounded(self.subs.len());
         CounterHandle { counter: self, last, rng }
     }
@@ -250,8 +328,56 @@ impl ElasticTarget for Counter2D {
         Counter2D::try_commit_shrink(self)
     }
 
+    fn is_elastic(&self) -> bool {
+        Counter2D::is_elastic(self)
+    }
+
+    // The counter's configured bound is its own spread-based formula,
+    // not the stack-shaped WindowInfo::k_bound the default would read.
+    fn k_bound(&self) -> usize {
+        Counter2D::k_bound(self)
+    }
+
+    fn k_bound_instantaneous(&self) -> usize {
+        Counter2D::k_bound_instantaneous(self)
+    }
+
     fn target_name(&self) -> &'static str {
         "2d-counter"
+    }
+}
+
+impl OpsHandle<u64> for CounterHandle<'_> {
+    /// A produce is one increment; the produced value is irrelevant to a
+    /// statistics counter and is dropped.
+    fn produce(&mut self, _value: u64) {
+        self.increment();
+    }
+
+    /// Counters are increment-only: a consume always reports empty, which
+    /// generic drivers tally as an empty pop.
+    fn consume(&mut self) -> Option<u64> {
+        None
+    }
+}
+
+impl RelaxedOps<u64> for Counter2D {
+    type Handle<'a> = CounterHandle<'a>;
+
+    fn ops_handle(&self) -> Self::Handle<'_> {
+        self.handle()
+    }
+
+    fn ops_handle_seeded(&self, seed: u64) -> Self::Handle<'_> {
+        self.handle_seeded(seed)
+    }
+
+    fn name(&self) -> &'static str {
+        "2d-counter"
+    }
+
+    fn relaxation_bound(&self) -> Option<usize> {
+        Some(ElasticTarget::reported_bound(self))
     }
 }
 
@@ -450,7 +576,7 @@ mod tests {
 
     #[test]
     fn elastic_grow_spreads_increments() {
-        let c = Counter2D::elastic(params(1, 1, 1), 8);
+        let c = Counter2D::builder().params(params(1, 1, 1)).elastic_capacity(8).build().unwrap();
         assert_eq!(c.capacity(), 8);
         let info = c.retune(params(8, 2, 1)).unwrap();
         assert_eq!(info.width(), 8);
@@ -465,7 +591,7 @@ mod tests {
 
     #[test]
     fn shrink_drains_retired_subcounters_and_conserves_value() {
-        let c = Counter2D::elastic(params(8, 2, 1), 8);
+        let c = Counter2D::builder().params(params(8, 2, 1)).elastic_capacity(8).build().unwrap();
         let mut h = c.handle_seeded(2);
         for _ in 0..1_000 {
             h.increment();
@@ -492,7 +618,7 @@ mod tests {
 
     #[test]
     fn retunes_count_in_metrics() {
-        let c = Counter2D::elastic(params(2, 1, 1), 4);
+        let c = Counter2D::builder().params(params(2, 1, 1)).elastic_capacity(4).build().unwrap();
         assert_eq!(c.metrics().retunes, 0);
         c.retune(params(4, 1, 1)).unwrap();
         c.retune(params(4, 1, 1)).unwrap(); // no-op
@@ -503,7 +629,9 @@ mod tests {
     fn concurrent_churn_across_retunes_conserves_value() {
         const THREADS: usize = 4;
         const PER: usize = 10_000;
-        let c = Arc::new(Counter2D::elastic(params(2, 1, 1), 16));
+        let c = Arc::new(
+            Counter2D::builder().params(params(2, 1, 1)).elastic_capacity(16).build().unwrap(),
+        );
         let schedule =
             [params(16, 1, 1), params(4, 2, 2), params(1, 1, 1), params(8, 4, 1), params(2, 1, 1)];
         let mut joins = Vec::new();

@@ -24,11 +24,13 @@
 //! ## Quick start
 //!
 //! ```
-//! use stack2d::{Params, Stack2D};
+//! use stack2d::Stack2D;
 //!
 //! # fn main() -> Result<(), stack2d::ParamsError> {
-//! // A stack tuned for 4 worker threads (width = 4P, paper §4).
-//! let stack = Stack2D::new(Params::for_threads(4));
+//! // A stack tuned for 4 worker threads (width = 4P, paper §4), through
+//! // the validated builder — the unified construction surface shared by
+//! // Stack2D, Queue2D and Counter2D.
+//! let stack = Stack2D::builder().for_threads(4).build()?;
 //!
 //! std::thread::scope(|s| {
 //!     for t in 0..4 {
@@ -51,23 +53,30 @@
 //!
 //! ## Choosing parameters
 //!
-//! * [`Params::for_threads`] — the paper's high-throughput preset
+//! * [`Builder::for_threads`] — the paper's high-throughput preset
 //!   (`width = 4P`, tightest window).
-//! * [`Params::for_k`] — invert a relaxation budget `k` into parameters,
-//!   growing horizontally first and vertically after `width` saturates at
-//!   `4P`, exactly the continuous trade-off of Figure 1.
-//! * [`Params::new`] — full manual control.
+//! * [`Builder::for_bound`] — invert a relaxation budget `k` into the
+//!   maximal-width window staying within it; [`Params::for_k`] is the
+//!   thread-capped variant behind `AnyStack`'s Figure 1 configurations.
+//! * [`Builder::width`] / [`Builder::depth`] / [`Builder::shift`] — full
+//!   manual control, validated once at [`Builder::build`].
 //!
 //! ## Crate layout
 //!
+//! * [`builder`] / [`Builder`] — the typed, validated construction surface
+//!   shared by all three windowed structures (with [`Builder::seed`] for
+//!   deterministic handle sequences and [`Builder::elastic_capacity`] for
+//!   retunable headroom);
+//! * [`traits`] — [`RelaxedOps`]/[`OpsHandle`], the structure-generic
+//!   produce/consume contract the workload runner drives, plus the
+//!   LIFO-specific [`ConcurrentStack`] refinement shared with every
+//!   baseline;
 //! * [`stack`] / [`Stack2D`] — the 2D window algorithm;
 //! * [`substack`] — the descriptor-based lock-free sub-stack (public because
 //!   the paper's `random` / `random-c2` / `k-robin` baselines in
 //!   `stack2d-baselines` are built from the same block);
 //! * [`search`] — the two-phase search policy and its ablation variants;
 //! * [`params`] — window parameters and the Theorem 1 bound;
-//! * [`traits`] — the [`ConcurrentStack`] interface shared with every
-//!   baseline;
 //! * [`window`] — the structure-agnostic hot-swappable window descriptor
 //!   behind `retune`: online ("elastic") width/depth/shift changes with
 //!   per-generation relaxation bounds, shared by the stack, the queue and
@@ -92,6 +101,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod builder;
 pub mod counter2d;
 pub mod metrics;
 pub mod params;
@@ -103,11 +113,12 @@ pub mod substack;
 pub mod traits;
 pub mod window;
 
+pub use builder::{Buildable, Builder};
 pub use counter2d::{Counter2D, CounterHandle};
 pub use metrics::MetricsSnapshot;
 pub use params::{Params, ParamsError};
 pub use queue2d::{Queue2D, QueueHandle};
 pub use search::{SearchPolicy, StackConfig};
 pub use stack::{Handle2D, Stack2D};
-pub use traits::{ConcurrentStack, ElasticTarget, StackHandle};
+pub use traits::{ConcurrentStack, ElasticTarget, OpsHandle, RelaxedOps, StackHandle, StackOps};
 pub use window::{RetuneError, WindowInfo};

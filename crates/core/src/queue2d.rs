@@ -27,7 +27,7 @@
 //! # Elasticity
 //!
 //! Since PR 3 the queue shares the stack's elastic machinery
-//! ([`ElasticWindow`]): the sub-queue array is pre-sized at a capacity
+//! (`ElasticWindow`): the sub-queue array is pre-sized at a capacity
 //! ([`Queue2D::elastic`]) and [`Queue2D::retune`] hot-swaps **two**
 //! descriptors, one per window. Two are required because the put and get
 //! windows retire sub-queues at different times: a width shrink stops
@@ -45,10 +45,11 @@ use core::sync::atomic::{AtomicUsize, Ordering};
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use crossbeam_utils::CachePadded;
 
+use crate::builder::Builder;
 use crate::metrics::{MetricsSnapshot, OpCounters};
 use crate::params::Params;
-use crate::rng::HopRng;
-use crate::traits::ElasticTarget;
+use crate::rng::{HandleSeeder, HopRng};
+use crate::traits::{ElasticTarget, OpsHandle, RelaxedOps};
 use crate::window::{ElasticWindow, RetuneError, WindowInfo};
 
 struct QNode<T> {
@@ -212,31 +213,35 @@ pub struct Queue2D<T> {
     /// path only; enqueues/dequeues never take it.
     retune_lock: std::sync::Mutex<()>,
     counters: OpCounters,
+    seeder: HandleSeeder,
+    /// Whether the queue was built with elastic headroom (capacity beyond
+    /// the initial width).
+    elastic: bool,
 }
 
 impl<T> Queue2D<T> {
-    /// Creates a 2D-Queue with the given window parameters and no elastic
-    /// headroom (capacity = width).
-    pub fn new(params: Params) -> Self {
-        Self::elastic(params, params.width())
-    }
-
-    /// Creates a 2D-Queue that can later be [`retune`](Queue2D::retune)d up
-    /// to `max_width` sub-queues: the array is pre-sized so growing either
-    /// window is a pure descriptor swing and never blocks an operation.
+    /// Starts a validated [`Builder`] — the preferred construction path.
     ///
     /// # Examples
     ///
     /// ```
-    /// use stack2d::{Params, Queue2D};
+    /// use stack2d::Queue2D;
     ///
-    /// let q: Queue2D<u32> = Queue2D::elastic(Params::new(1, 1, 1).unwrap(), 16);
-    /// assert_eq!(q.capacity(), 16);
-    /// q.retune(Params::new(16, 1, 1).unwrap()).unwrap();
-    /// assert_eq!(q.window().width(), 16);
+    /// let q: Queue2D<u64> = Queue2D::builder().for_bound(30).build().unwrap();
+    /// assert!(q.k_bound() <= 30);
     /// ```
-    pub fn elastic(params: Params, max_width: usize) -> Self {
-        let capacity = max_width.max(params.width());
+    pub fn builder() -> Builder<Self> {
+        Builder::new()
+    }
+
+    /// Creates a 2D-Queue with the given window parameters and no elastic
+    /// headroom (capacity = width).
+    pub fn new(params: Params) -> Self {
+        Self::from_builder_parts(params, params.width(), None)
+    }
+
+    pub(crate) fn from_builder_parts(params: Params, capacity: usize, seed: Option<u64>) -> Self {
+        let capacity = capacity.max(params.width());
         let subs = (0..capacity)
             .map(|_| CachePadded::new(SubQueue::new()))
             .collect::<Vec<_>>()
@@ -249,7 +254,38 @@ impl<T> Queue2D<T> {
             get: ElasticWindow::new(params),
             retune_lock: std::sync::Mutex::new(()),
             counters: OpCounters::default(),
+            seeder: HandleSeeder::new(seed),
+            elastic: capacity > params.width(),
         }
+    }
+
+    /// Creates a 2D-Queue that can later be [`retune`](Queue2D::retune)d up
+    /// to `max_width` sub-queues: the array is pre-sized so growing either
+    /// window is a pure descriptor swing and never blocks an operation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Params, Queue2D};
+    ///
+    /// let q: Queue2D<u32> = Queue2D::builder().width(1).elastic_capacity(16).build().unwrap();
+    /// assert_eq!(q.capacity(), 16);
+    /// q.retune(Params::new(16, 1, 1).unwrap()).unwrap();
+    /// assert_eq!(q.window().width(), 16);
+    /// ```
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Queue2D::builder().params(..).elastic_capacity(max_width).build()"
+    )]
+    pub fn elastic(params: Params, max_width: usize) -> Self {
+        Self::from_builder_parts(params, max_width, None)
+    }
+
+    /// Whether this queue was built with elastic headroom (capacity beyond
+    /// the initial width), i.e. is meant to be retuned online.
+    #[inline]
+    pub fn is_elastic(&self) -> bool {
+        self.elastic
     }
 
     /// The put-side window parameters currently in force.
@@ -344,7 +380,7 @@ impl<T> Queue2D<T> {
     /// ```
     /// use stack2d::{Params, Queue2D};
     ///
-    /// let q: Queue2D<u32> = Queue2D::elastic(Params::new(2, 1, 1).unwrap(), 8);
+    /// let q: Queue2D<u32> = Queue2D::builder().params(Params::new(2, 1, 1).unwrap()).elastic_capacity(8).build().unwrap();
     /// let info = q.retune(Params::new(8, 2, 1).unwrap()).unwrap();
     /// assert_eq!(info.width(), 8);
     /// assert!(q.retune(Params::new(9, 1, 1).unwrap()).is_err());
@@ -378,8 +414,12 @@ impl<T> Queue2D<T> {
     }
 
     /// Registers a per-thread handle.
+    ///
+    /// On a queue built with [`Builder::seed`](crate::Builder::seed) the
+    /// handle RNG is drawn from the deterministic per-structure sequence;
+    /// otherwise from thread entropy.
     pub fn handle(&self) -> QueueHandle<'_, T> {
-        let mut rng = HopRng::from_thread();
+        let mut rng = self.seeder.rng();
         let last = rng.bounded(self.subs.len());
         QueueHandle { queue: self, last_put: last, last_get: last, rng }
     }
@@ -459,8 +499,49 @@ impl<T: Send> ElasticTarget for Queue2D<T> {
         Queue2D::try_commit_shrink(self)
     }
 
+    fn is_elastic(&self) -> bool {
+        Queue2D::is_elastic(self)
+    }
+
+    fn k_bound_instantaneous(&self) -> usize {
+        Queue2D::k_bound_instantaneous(self)
+    }
+
     fn target_name(&self) -> &'static str {
         "2d-queue"
+    }
+}
+
+impl<T: Send> OpsHandle<T> for QueueHandle<'_, T> {
+    fn produce(&mut self, value: T) {
+        self.enqueue(value);
+    }
+
+    fn consume(&mut self) -> Option<T> {
+        self.dequeue()
+    }
+}
+
+impl<T: Send> RelaxedOps<T> for Queue2D<T> {
+    type Handle<'a>
+        = QueueHandle<'a, T>
+    where
+        T: 'a;
+
+    fn ops_handle(&self) -> Self::Handle<'_> {
+        self.handle()
+    }
+
+    fn ops_handle_seeded(&self, seed: u64) -> Self::Handle<'_> {
+        self.handle_seeded(seed)
+    }
+
+    fn name(&self) -> &'static str {
+        "2d-queue"
+    }
+
+    fn relaxation_bound(&self) -> Option<usize> {
+        Some(ElasticTarget::reported_bound(self))
     }
 }
 
@@ -821,7 +902,8 @@ mod tests {
 
     #[test]
     fn elastic_grow_spreads_enqueues() {
-        let q: Queue2D<u64> = Queue2D::elastic(params(1, 1, 1), 8);
+        let q: Queue2D<u64> =
+            Queue2D::builder().params(params(1, 1, 1)).elastic_capacity(8).build().unwrap();
         assert_eq!(q.capacity(), 8);
         let info = q.retune(params(8, 1, 1)).unwrap();
         assert_eq!(info.width(), 8);
@@ -837,7 +919,8 @@ mod tests {
 
     #[test]
     fn shrink_is_pending_until_tail_drains_then_commits() {
-        let q: Queue2D<u64> = Queue2D::elastic(params(8, 1, 1), 8);
+        let q: Queue2D<u64> =
+            Queue2D::builder().params(params(8, 1, 1)).elastic_capacity(8).build().unwrap();
         let mut h = q.handle_seeded(9);
         for i in 0..200 {
             h.enqueue(i);
@@ -867,7 +950,8 @@ mod tests {
 
     #[test]
     fn commit_shrink_refuses_while_tail_nonempty() {
-        let q: Queue2D<u64> = Queue2D::elastic(params(4, 1, 1), 4);
+        let q: Queue2D<u64> =
+            Queue2D::builder().params(params(4, 1, 1)).elastic_capacity(4).build().unwrap();
         let mut h = q.handle_seeded(5);
         for i in 0..40 {
             h.enqueue(i);
@@ -884,7 +968,8 @@ mod tests {
     /// one read when the search round began.
     #[test]
     fn get_window_advances_by_the_live_shift() {
-        let q: Queue2D<u64> = Queue2D::elastic(params(2, 4, 4), 2);
+        let q: Queue2D<u64> =
+            Queue2D::builder().params(params(2, 4, 4)).elastic_capacity(2).build().unwrap();
         let mut h = q.handle_seeded(1);
         for i in 0..64 {
             h.enqueue(i);
@@ -929,7 +1014,8 @@ mod tests {
 
     #[test]
     fn retunes_count_in_metrics() {
-        let q: Queue2D<u8> = Queue2D::elastic(params(2, 1, 1), 4);
+        let q: Queue2D<u8> =
+            Queue2D::builder().params(params(2, 1, 1)).elastic_capacity(4).build().unwrap();
         assert_eq!(q.metrics().retunes, 0);
         q.retune(params(4, 1, 1)).unwrap();
         q.retune(params(4, 2, 2)).unwrap();
@@ -940,7 +1026,8 @@ mod tests {
 
     #[test]
     fn instantaneous_bound_counts_residency() {
-        let q: Queue2D<u64> = Queue2D::elastic(params(1, 1, 1), 8);
+        let q: Queue2D<u64> =
+            Queue2D::builder().params(params(1, 1, 1)).elastic_capacity(8).build().unwrap();
         assert_eq!(q.k_bound_instantaneous(), 0, "width 1 is strict");
         let mut h = q.handle_seeded(7);
         for i in 0..100 {
@@ -957,7 +1044,9 @@ mod tests {
     fn concurrent_churn_across_retunes_conserves_items() {
         const THREADS: usize = 4;
         const PER: usize = 3_000;
-        let q = Arc::new(Queue2D::elastic(params(2, 1, 1), 16));
+        let q = Arc::new(
+            Queue2D::builder().params(params(2, 1, 1)).elastic_capacity(16).build().unwrap(),
+        );
         let schedule =
             [params(16, 1, 1), params(4, 2, 2), params(1, 1, 1), params(8, 4, 1), params(2, 1, 1)];
         let mut joins = Vec::new();

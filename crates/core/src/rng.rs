@@ -73,6 +73,38 @@ impl Default for HopRng {
     }
 }
 
+/// Per-structure handle-RNG source: thread-entropy by default, or a
+/// deterministic per-handle sequence when the structure was built with
+/// [`Builder::seed`](crate::Builder::seed).
+///
+/// Each handle registration draws the next seed in the sequence, so two
+/// identically built and identically driven structures hand out identical
+/// hop sequences — the property the deterministic tests and the quality
+/// pipeline rely on — without threading seeds through every call site.
+#[derive(Debug)]
+pub(crate) struct HandleSeeder {
+    base: Option<u64>,
+    next: core::sync::atomic::AtomicU64,
+}
+
+impl HandleSeeder {
+    pub(crate) fn new(base: Option<u64>) -> Self {
+        HandleSeeder { base, next: core::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// The RNG for the next registered handle.
+    pub(crate) fn rng(&self) -> HopRng {
+        match self.base {
+            Some(base) => {
+                let n = self.next.fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+                // Golden-ratio stride decorrelates consecutive handle seeds.
+                HopRng::seeded(base.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            }
+            None => HopRng::from_thread(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,9 +22,10 @@ use core::sync::atomic::{AtomicUsize, Ordering};
 use crossbeam_epoch::{self as epoch};
 use crossbeam_utils::CachePadded;
 
+use crate::builder::Builder;
 use crate::metrics::{MetricsSnapshot, OpCounters};
 use crate::params::Params;
-use crate::rng::HopRng;
+use crate::rng::{HandleSeeder, HopRng};
 use crate::search::{Probes, StackConfig};
 use crate::substack::{Contended, PreparedNode, SubStack};
 use crate::traits::{ConcurrentStack, ElasticTarget, StackHandle};
@@ -73,6 +74,7 @@ pub struct Stack2D<T> {
     window: ElasticWindow,
     config: StackConfig,
     counters: OpCounters,
+    seeder: HandleSeeder,
 }
 
 /// Outcome of one search round.
@@ -91,6 +93,20 @@ enum Round {
 }
 
 impl<T> Stack2D<T> {
+    /// Starts a validated [`Builder`] — the preferred construction path.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::Stack2D;
+    ///
+    /// let stack: Stack2D<u64> = Stack2D::builder().for_threads(4).build().unwrap();
+    /// assert_eq!(stack.params().width(), 16);
+    /// ```
+    pub fn builder() -> Builder<Self> {
+        Builder::new()
+    }
+
     /// Creates a 2D-Stack with the paper-default search behaviour.
     pub fn new(params: Params) -> Self {
         Self::with_config(StackConfig::new(params))
@@ -99,6 +115,10 @@ impl<T> Stack2D<T> {
     /// Creates a 2D-Stack with explicit search-policy configuration
     /// (used by the ablation experiments).
     pub fn with_config(config: StackConfig) -> Self {
+        Self::with_config_seeded(config, None)
+    }
+
+    fn with_config_seeded(config: StackConfig, seed: Option<u64>) -> Self {
         let capacity = config.capacity();
         let subs = (0..capacity)
             .map(|_| CachePadded::new(SubStack::new()))
@@ -110,7 +130,12 @@ impl<T> Stack2D<T> {
             window: ElasticWindow::new(config.params()),
             config,
             counters: OpCounters::default(),
+            seeder: HandleSeeder::new(seed),
         }
+    }
+
+    pub(crate) fn from_builder_parts(params: Params, capacity: usize, seed: Option<u64>) -> Self {
+        Self::with_config_seeded(StackConfig::new(params).max_width(capacity), seed)
     }
 
     /// Creates a 2D-Stack that can later be [`retune`](Stack2D::retune)d up
@@ -122,11 +147,16 @@ impl<T> Stack2D<T> {
     /// ```
     /// use stack2d::{Params, Stack2D};
     ///
-    /// let stack: Stack2D<u32> = Stack2D::elastic(Params::new(1, 1, 1).unwrap(), 16);
+    /// let stack: Stack2D<u32> =
+    ///     Stack2D::builder().width(1).elastic_capacity(16).build().unwrap();
     /// assert_eq!(stack.capacity(), 16);
     /// stack.retune(Params::new(16, 1, 1).unwrap()).unwrap();
     /// assert_eq!(stack.window().width(), 16);
     /// ```
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Stack2D::builder().params(..).elastic_capacity(max_width).build()"
+    )]
     pub fn elastic(params: Params, max_width: usize) -> Self {
         Self::with_config(StackConfig::new(params).max_width(max_width))
     }
@@ -234,7 +264,7 @@ impl<T> Stack2D<T> {
     /// ```
     /// use stack2d::{Params, Stack2D};
     ///
-    /// let stack: Stack2D<u32> = Stack2D::elastic(Params::new(2, 1, 1).unwrap(), 8);
+    /// let stack: Stack2D<u32> = Stack2D::builder().params(Params::new(2, 1, 1).unwrap()).elastic_capacity(8).build().unwrap();
     /// let info = stack.retune(Params::new(8, 2, 1).unwrap()).unwrap();
     /// assert_eq!(info.width(), 8);
     /// assert!(stack.retune(Params::new(9, 1, 1).unwrap()).is_err());
@@ -264,10 +294,21 @@ impl<T> Stack2D<T> {
         Some(info)
     }
 
+    /// Whether this stack was built with elastic headroom (capacity beyond
+    /// the initial width), i.e. is meant to be retuned online.
+    #[inline]
+    pub fn is_elastic(&self) -> bool {
+        self.capacity() > self.config.params().width()
+    }
+
     /// Registers a per-thread handle carrying locality state and the hop
     /// RNG. Handles are cheap; create one per worker thread.
+    ///
+    /// On a stack built with [`Builder::seed`](crate::Builder::seed) the
+    /// handle RNG is drawn from the deterministic per-structure sequence;
+    /// otherwise from thread entropy.
     pub fn handle(&self) -> Handle2D<'_, T> {
-        let mut rng = HopRng::from_thread();
+        let mut rng = self.seeder.rng();
         let width = self.subs.len();
         let last = rng.bounded(width);
         Handle2D { stack: self, last, rng }
@@ -699,12 +740,16 @@ impl<T: Send> ConcurrentStack<T> for Stack2D<T> {
         Stack2D::handle(self)
     }
 
+    fn handle_seeded(&self, seed: u64) -> Self::Handle<'_> {
+        Stack2D::handle_seeded(self, seed)
+    }
+
     fn name(&self) -> &'static str {
         "2D-stack"
     }
 
     fn relaxation_bound(&self) -> Option<usize> {
-        Some(self.k_bound())
+        Some(ElasticTarget::reported_bound(self))
     }
 }
 
@@ -717,6 +762,8 @@ impl<T: Send> StackHandle<T> for Handle2D<'_, T> {
         Handle2D::pop(self)
     }
 }
+
+crate::impl_relaxed_ops_for_stack!(Stack2D);
 
 impl<T: Send> ElasticTarget for Stack2D<T> {
     fn window(&self) -> WindowInfo {
@@ -737,6 +784,14 @@ impl<T: Send> ElasticTarget for Stack2D<T> {
 
     fn try_commit_shrink(&self) -> Option<WindowInfo> {
         Stack2D::try_commit_shrink(self)
+    }
+
+    fn is_elastic(&self) -> bool {
+        Stack2D::is_elastic(self)
+    }
+
+    fn k_bound_instantaneous(&self) -> usize {
+        Stack2D::k_bound_instantaneous(self)
     }
 
     fn target_name(&self) -> &'static str {
@@ -1130,7 +1185,8 @@ mod tests {
 
     #[test]
     fn elastic_grow_takes_effect_immediately() {
-        let stack: Stack2D<u64> = Stack2D::elastic(params(1, 1, 1), 8);
+        let stack: Stack2D<u64> =
+            Stack2D::builder().params(params(1, 1, 1)).elastic_capacity(8).build().unwrap();
         assert_eq!(stack.capacity(), 8);
         assert_eq!(stack.window().width(), 1);
         assert_eq!(stack.k_bound(), 0);
@@ -1150,7 +1206,8 @@ mod tests {
 
     #[test]
     fn shrink_is_pending_until_tail_drains_then_commits() {
-        let stack: Stack2D<u64> = Stack2D::elastic(params(8, 1, 1), 8);
+        let stack: Stack2D<u64> =
+            Stack2D::builder().params(params(8, 1, 1)).elastic_capacity(8).build().unwrap();
         let mut h = stack.handle_seeded(9);
         for i in 0..200 {
             h.push(i);
@@ -1176,7 +1233,8 @@ mod tests {
 
     #[test]
     fn commit_shrink_refuses_while_tail_nonempty() {
-        let stack: Stack2D<u64> = Stack2D::elastic(params(4, 1, 1), 4);
+        let stack: Stack2D<u64> =
+            Stack2D::builder().params(params(4, 1, 1)).elastic_capacity(4).build().unwrap();
         let mut h = stack.handle_seeded(5);
         for i in 0..40 {
             h.push(i);
@@ -1192,7 +1250,8 @@ mod tests {
 
     #[test]
     fn instantaneous_bound_counts_residency() {
-        let stack: Stack2D<u64> = Stack2D::elastic(params(1, 1, 1), 8);
+        let stack: Stack2D<u64> =
+            Stack2D::builder().params(params(1, 1, 1)).elastic_capacity(8).build().unwrap();
         assert_eq!(stack.k_bound_instantaneous(), 0, "width 1 is strict");
         let mut h = stack.handle_seeded(7);
         for i in 0..100 {
@@ -1224,7 +1283,8 @@ mod tests {
 
     #[test]
     fn retune_counts_in_metrics() {
-        let stack: Stack2D<u8> = Stack2D::elastic(params(2, 1, 1), 4);
+        let stack: Stack2D<u8> =
+            Stack2D::builder().params(params(2, 1, 1)).elastic_capacity(4).build().unwrap();
         assert_eq!(stack.metrics().retunes, 0);
         stack.retune(params(4, 1, 1)).unwrap();
         stack.retune(params(4, 2, 2)).unwrap();
@@ -1268,7 +1328,9 @@ mod tests {
     fn concurrent_churn_across_retunes_conserves_items() {
         const THREADS: usize = 4;
         const PER_THREAD: usize = 3_000;
-        let stack = Arc::new(Stack2D::elastic(params(2, 1, 1), 16));
+        let stack = Arc::new(
+            Stack2D::builder().params(params(2, 1, 1)).elastic_capacity(16).build().unwrap(),
+        );
         let schedule =
             [params(16, 1, 1), params(4, 2, 2), params(1, 1, 1), params(8, 4, 1), params(2, 1, 1)];
         let mut joins = Vec::new();

@@ -1,17 +1,175 @@
-//! Common interfaces: the stack contract shared with every baseline, and
-//! the elastic contract shared by every windowed structure.
+//! Common interfaces: the structure-generic produce/consume contract
+//! ([`RelaxedOps`]), the stack contract shared with every baseline
+//! ([`ConcurrentStack`]), and the elastic contract shared by every
+//! windowed structure ([`ElasticTarget`]).
 //!
-//! The workload runner, the quality oracle and the experiment harness are all
-//! generic over [`ConcurrentStack`], so each figure of the paper runs the
-//! exact same driver code against every algorithm — only the stack type
-//! changes, as in the paper's evaluation. [`ElasticTarget`] plays the same
-//! role for the elastic runtime: the `stack2d-adaptive` controllers and
-//! drivers are generic over it, so one AIMD policy retunes the stack, the
-//! queue and the counter alike.
+//! The workload runner and the experiment harness are generic over
+//! [`RelaxedOps`], so the exact same driver code runs the 2D-Stack, the
+//! 2D-Queue, the 2D-Counter and every baseline — only the structure type
+//! changes, as in the paper's evaluation. [`ConcurrentStack`] is the
+//! LIFO-specific refinement the stack baselines and the quality oracle
+//! speak (every `ConcurrentStack` is adapted into a `RelaxedOps` by
+//! [`impl_relaxed_ops_for_stack!`](crate::impl_relaxed_ops_for_stack)).
+//! [`ElasticTarget`] plays the same role for the elastic runtime: the
+//! `stack2d-adaptive` controllers and drivers are generic over it, so one
+//! AIMD policy retunes the stack, the queue and the counter alike.
 
 use crate::metrics::MetricsSnapshot;
 use crate::params::Params;
 use crate::window::{RetuneError, WindowInfo};
+
+/// Per-thread produce/consume operations on a [`RelaxedOps`] structure.
+///
+/// The names are deliberately structure-neutral: `produce` is a stack push,
+/// a queue enqueue or a counter increment; `consume` is a pop, a dequeue —
+/// or, for a structure with nothing to consume (the counter), always
+/// `None`.
+pub trait OpsHandle<T> {
+    /// Inserts `value` (push / enqueue / increment).
+    fn produce(&mut self, value: T);
+
+    /// Removes an item; `None` when the structure was observed empty (or
+    /// does not support consumption).
+    fn consume(&mut self) -> Option<T>;
+}
+
+/// Adapts any [`StackHandle`] into an [`OpsHandle`] (produce = push,
+/// consume = pop). This wrapper — rather than a blanket impl — keeps
+/// coherence open for non-stack handles like the queue's.
+#[derive(Debug)]
+pub struct StackOps<H>(pub H);
+
+impl<T, H: StackHandle<T>> OpsHandle<T> for StackOps<H> {
+    fn produce(&mut self, value: T) {
+        self.0.push(value);
+    }
+
+    fn consume(&mut self) -> Option<T> {
+        self.0.pop()
+    }
+}
+
+/// A concurrent structure with (possibly relaxed) produce/consume
+/// semantics, accessed through per-thread handles — the contract the
+/// generic workload runner and the harness registry drive.
+///
+/// Implemented by all three 2D structures ([`Stack2D`](crate::Stack2D),
+/// [`Queue2D`](crate::Queue2D), [`Counter2D`](crate::Counter2D)) and by
+/// every baseline (stacks via
+/// [`impl_relaxed_ops_for_stack!`](crate::impl_relaxed_ops_for_stack), the
+/// locked queue directly), so one driver measures the whole family.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d::{OpsHandle, Queue2D, RelaxedOps, Stack2D};
+///
+/// fn churn<S: RelaxedOps<u32>>(s: &S) -> usize {
+///     let mut h = s.ops_handle_seeded(7);
+///     for i in 0..100 {
+///         h.produce(i);
+///     }
+///     let mut n = 0;
+///     while h.consume().is_some() {
+///         n += 1;
+///     }
+///     n
+/// }
+///
+/// let stack: Stack2D<u32> = Stack2D::builder().width(4).build().unwrap();
+/// let queue: Queue2D<u32> = Queue2D::builder().width(4).build().unwrap();
+/// assert_eq!(churn(&stack), 100);
+/// assert_eq!(churn(&queue), 100);
+/// ```
+pub trait RelaxedOps<T: Send>: Send + Sync {
+    /// The per-thread access handle.
+    type Handle<'a>: OpsHandle<T>
+    where
+        Self: 'a,
+        T: 'a;
+
+    /// Registers a handle for the calling thread.
+    fn ops_handle(&self) -> Self::Handle<'_>;
+
+    /// Registers a handle with a deterministic RNG seed where the
+    /// structure supports it; the default ignores the seed and returns
+    /// [`ops_handle`](RelaxedOps::ops_handle).
+    fn ops_handle_seeded(&self, seed: u64) -> Self::Handle<'_> {
+        let _ = seed;
+        self.ops_handle()
+    }
+
+    /// Short structure name for legends, logs and experiment CSVs.
+    fn name(&self) -> &'static str;
+
+    /// The deterministic out-of-order bound, if the structure has one.
+    ///
+    /// `Some(0)` means strict semantics; `None` means no deterministic
+    /// bound exists (e.g. the `random` baseline). Elastic structures
+    /// report their residency-aware instantaneous bound, which stays
+    /// sound through retune transients.
+    fn relaxation_bound(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Implements [`RelaxedOps`] for a [`ConcurrentStack`] type by delegation
+/// (produce = push, consume = pop, same name/bound/seeding), wrapping the
+/// stack handle in [`StackOps`].
+///
+/// Two forms: `impl_relaxed_ops_for_stack!(MyStack)` for a type generic
+/// over its item (`MyStack<T>`), and
+/// `impl_relaxed_ops_for_stack!(MyStack => u64)` for a concrete type
+/// serving one item type.
+#[macro_export]
+macro_rules! impl_relaxed_ops_for_stack {
+    ($stack:ident) => {
+        impl<T: Send> $crate::RelaxedOps<T> for $stack<T> {
+            type Handle<'a>
+                = $crate::StackOps<<$stack<T> as $crate::ConcurrentStack<T>>::Handle<'a>>
+            where
+                T: 'a;
+
+            fn ops_handle(&self) -> Self::Handle<'_> {
+                $crate::StackOps($crate::ConcurrentStack::handle(self))
+            }
+
+            fn ops_handle_seeded(&self, seed: u64) -> Self::Handle<'_> {
+                $crate::StackOps($crate::ConcurrentStack::handle_seeded(self, seed))
+            }
+
+            fn name(&self) -> &'static str {
+                $crate::ConcurrentStack::<T>::name(self)
+            }
+
+            fn relaxation_bound(&self) -> Option<usize> {
+                $crate::ConcurrentStack::<T>::relaxation_bound(self)
+            }
+        }
+    };
+    ($stack:ty => $item:ty) => {
+        impl $crate::RelaxedOps<$item> for $stack {
+            type Handle<'a> =
+                $crate::StackOps<<$stack as $crate::ConcurrentStack<$item>>::Handle<'a>>;
+
+            fn ops_handle(&self) -> Self::Handle<'_> {
+                $crate::StackOps($crate::ConcurrentStack::handle(self))
+            }
+
+            fn ops_handle_seeded(&self, seed: u64) -> Self::Handle<'_> {
+                $crate::StackOps($crate::ConcurrentStack::handle_seeded(self, seed))
+            }
+
+            fn name(&self) -> &'static str {
+                $crate::ConcurrentStack::<$item>::name(self)
+            }
+
+            fn relaxation_bound(&self) -> Option<usize> {
+                $crate::ConcurrentStack::<$item>::relaxation_bound(self)
+            }
+        }
+    };
+}
 
 /// A concurrent stack (possibly with relaxed pop semantics) that threads
 /// access through per-thread handles.
@@ -49,6 +207,35 @@ pub trait ConcurrentStack<T: Send>: Send + Sync {
 
     /// Registers a handle for the calling thread.
     fn handle(&self) -> Self::Handle<'_>;
+
+    /// Registers a handle with a deterministic RNG seed where the
+    /// algorithm supports it; the default ignores the seed and returns
+    /// [`handle`](ConcurrentStack::handle). Deterministic tests and the
+    /// quality pipeline use this instead of special-casing concrete
+    /// types.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{ConcurrentStack, Params, Stack2D, StackHandle};
+    ///
+    /// fn deterministic_drain<S: ConcurrentStack<u32>>(s: &S) -> usize {
+    ///     let mut h = s.handle_seeded(42);
+    ///     let mut n = 0;
+    ///     while h.pop().is_some() {
+    ///         n += 1;
+    ///     }
+    ///     n
+    /// }
+    ///
+    /// let s = Stack2D::new(Params::default());
+    /// s.push(7);
+    /// assert_eq!(deterministic_drain(&s), 1);
+    /// ```
+    fn handle_seeded(&self, seed: u64) -> Self::Handle<'_> {
+        let _ = seed;
+        self.handle()
+    }
 
     /// Short algorithm name as used in the paper's legends
     /// (`"2D-stack"`, `"treiber"`, `"elimination"`, `"k-segment"`,
@@ -96,9 +283,9 @@ pub trait StackHandle<T> {
 ///     target.retune(p).unwrap()
 /// }
 ///
-/// let stack: Stack2D<u8> = Stack2D::elastic(Params::new(1, 1, 1).unwrap(), 4);
-/// let queue: Queue2D<u8> = Queue2D::elastic(Params::new(1, 1, 1).unwrap(), 4);
-/// let counter = Counter2D::elastic(Params::new(1, 1, 1).unwrap(), 4);
+/// let stack: Stack2D<u8> = Stack2D::builder().width(1).elastic_capacity(4).build().unwrap();
+/// let queue: Queue2D<u8> = Queue2D::builder().width(1).elastic_capacity(4).build().unwrap();
+/// let counter = Counter2D::builder().width(1).elastic_capacity(4).build().unwrap();
 /// assert_eq!(widen(&stack).width(), 4);
 /// assert_eq!(widen(&queue).width(), 4);
 /// assert_eq!(widen(&counter).width(), 4);
@@ -128,6 +315,37 @@ pub trait ElasticTarget: Send + Sync {
     /// Attempts to commit a pending width shrink; `None` when there is
     /// nothing to commit or its preconditions do not hold yet.
     fn try_commit_shrink(&self) -> Option<WindowInfo>;
+
+    /// Whether the structure was built with elastic headroom (capacity
+    /// beyond its initial width), i.e. is meant to be retuned online.
+    fn is_elastic(&self) -> bool;
+
+    /// The *configured* relaxation bound of the live window. The default
+    /// reads [`WindowInfo::k_bound`]; the counter overrides it with its
+    /// own spread-based formula.
+    fn k_bound(&self) -> usize {
+        self.window().k_bound()
+    }
+
+    /// The residency-derived *live* relaxation bound, sound at every
+    /// instant including retune transients (see
+    /// [`Stack2D::k_bound_instantaneous`](crate::Stack2D::k_bound_instantaneous)
+    /// and its queue/counter analogues). Advisory under unquiesced
+    /// concurrency.
+    fn k_bound_instantaneous(&self) -> usize;
+
+    /// The bound the ops trait family reports for this structure: the
+    /// configured bound on the fixed path, widened by the live residency
+    /// bound on the elastic path (where a width-grow transient can
+    /// legitimately exceed the static formula until resident items
+    /// drain). One rule for all three structures, by construction.
+    fn reported_bound(&self) -> usize {
+        if self.is_elastic() {
+            self.k_bound().max(self.k_bound_instantaneous())
+        } else {
+            self.k_bound()
+        }
+    }
 
     /// Short structure name for logs and experiment CSVs.
     fn target_name(&self) -> &'static str {

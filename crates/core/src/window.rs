@@ -5,14 +5,14 @@
 //! module makes them *runtime-tunable* so a controller (see the
 //! `stack2d-adaptive` crate) can widen the window under contention and
 //! tighten it when load drops. The live configuration is a heap-allocated
-//! [`WindowDesc`] behind an epoch-protected atomic pointer, exactly like a
+//! `WindowDesc` behind an epoch-protected atomic pointer, exactly like a
 //! sub-stack's `(top, count)` descriptor: a retune installs a fresh
 //! descriptor with a single-word CAS, operations re-read the pointer at
 //! every search round, and displaced descriptors are reclaimed through
 //! `crossbeam-epoch`. Operations therefore never block on a retune.
 //!
 //! Nothing in the descriptor machinery is stack-specific, so it lives in
-//! [`ElasticWindow`], shared by all three windowed structures:
+//! `ElasticWindow`, shared by all three windowed structures:
 //! [`Stack2D`](crate::Stack2D) holds one, [`Queue2D`](crate::Queue2D)
 //! holds two (one per window — put and get; see DESIGN.md §7), and
 //! [`Counter2D`](crate::Counter2D) holds one.
@@ -31,9 +31,9 @@
 //!    side (`push_width = new_width`) while the **consuming** side keeps
 //!    draining the old span (`pop_width = old_width`);
 //! 2. the shrink *commits* (`pop_width = push_width`, via
-//!    [`ElasticWindow::try_commit_shrink`]) only once (a) every operation
+//!    `ElasticWindow::try_commit_shrink`) only once (a) every operation
 //!    that predates the shrink has finished — established by retiring a
-//!    [`ShrinkFence`] sentinel through epoch reclamation, whose `Drop`
+//!    `ShrinkFence` sentinel through epoch reclamation, whose `Drop`
 //!    can only run once all pre-shrink pins are gone — and (b) the
 //!    structure's `tail_clear` sweep observes the tail empty (or, for the
 //!    counter, folds the retired values away). After (a) no thread can
@@ -327,7 +327,7 @@ impl Drop for ElasticWindow {
 /// ```
 /// use stack2d::{Params, Stack2D};
 ///
-/// let stack: Stack2D<u32> = Stack2D::elastic(Params::new(2, 1, 1).unwrap(), 8);
+/// let stack: Stack2D<u32> = Stack2D::builder().params(Params::new(2, 1, 1).unwrap()).elastic_capacity(8).build().unwrap();
 /// let w = stack.window();
 /// assert_eq!(w.width(), 2);
 /// assert_eq!(w.generation(), 0);

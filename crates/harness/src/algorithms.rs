@@ -9,9 +9,13 @@
 
 use std::fmt;
 
-use stack2d::{ConcurrentStack, Params, SearchPolicy, Stack2D, StackConfig, StackHandle};
+use stack2d::{
+    ConcurrentStack, Counter2D, CounterHandle, OpsHandle, Params, Queue2D, QueueHandle, RelaxedOps,
+    SearchPolicy, Stack2D, StackConfig, StackHandle, StackOps,
+};
 use stack2d_baselines::{
-    EliminationStack, KRobinStack, KSegmentStack, RandomC2Stack, RandomStack, TreiberStack,
+    EliminationStack, KRobinStack, KSegmentStack, LockedQueue, LockedQueueHandle, RandomC2Stack,
+    RandomStack, TreiberStack,
 };
 
 /// The seven algorithms of the paper's evaluation.
@@ -263,6 +267,20 @@ impl ConcurrentStack<u64> for AnyStack {
         }
     }
 
+    fn handle_seeded(&self, seed: u64) -> AnyHandle<'_> {
+        match self {
+            AnyStack::TwoD(s) => AnyHandle::TwoD(s.handle_seeded(seed)),
+            AnyStack::KRobin(s) => AnyHandle::KRobin(ConcurrentStack::handle_seeded(s, seed)),
+            AnyStack::KSegment(s) => AnyHandle::KSegment(ConcurrentStack::handle_seeded(s, seed)),
+            AnyStack::Random(s) => AnyHandle::Random(ConcurrentStack::handle_seeded(s, seed)),
+            AnyStack::RandomC2(s) => AnyHandle::RandomC2(ConcurrentStack::handle_seeded(s, seed)),
+            AnyStack::Elimination(s) => {
+                AnyHandle::Elimination(ConcurrentStack::handle_seeded(s, seed))
+            }
+            AnyStack::Treiber(s) => AnyHandle::Treiber(ConcurrentStack::handle_seeded(s, seed)),
+        }
+    }
+
     fn name(&self) -> &'static str {
         self.algorithm().name()
     }
@@ -276,6 +294,178 @@ impl ConcurrentStack<u64> for AnyStack {
             AnyStack::RandomC2(s) => ConcurrentStack::<u64>::relaxation_bound(s),
             AnyStack::Elimination(s) => ConcurrentStack::<u64>::relaxation_bound(s),
             AnyStack::Treiber(s) => ConcurrentStack::<u64>::relaxation_bound(s),
+        }
+    }
+}
+
+stack2d::impl_relaxed_ops_for_stack!(AnyStack => u64);
+
+/// Every structure the harness can drive through the structure-generic
+/// [`RelaxedOps`] contract: the seven stacks of the paper's evaluation
+/// (as [`StructureKind::Stack`]) plus the windowed queue and counter
+/// extensions and the locked-queue baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructureKind {
+    /// One of the seven evaluated stacks.
+    Stack(Algorithm),
+    /// The windowed FIFO queue extension.
+    Queue2D,
+    /// The strict locked-queue baseline (the queue's comparison point).
+    LockedQueue,
+    /// The windowed sharded counter extension (produce = increment,
+    /// consume always observes empty).
+    Counter2D,
+}
+
+impl StructureKind {
+    /// Every structure, stacks in the paper's legend order first.
+    pub const ALL: [StructureKind; 10] = [
+        StructureKind::Stack(Algorithm::TwoD),
+        StructureKind::Stack(Algorithm::KRobin),
+        StructureKind::Stack(Algorithm::KSegment),
+        StructureKind::Stack(Algorithm::Random),
+        StructureKind::Stack(Algorithm::RandomC2),
+        StructureKind::Stack(Algorithm::Elimination),
+        StructureKind::Stack(Algorithm::Treiber),
+        StructureKind::Queue2D,
+        StructureKind::LockedQueue,
+        StructureKind::Counter2D,
+    ];
+
+    /// Legend name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StructureKind::Stack(algo) => algo.name(),
+            StructureKind::Queue2D => "2d-queue",
+            StructureKind::LockedQueue => "locked-queue",
+            StructureKind::Counter2D => "2d-counter",
+        }
+    }
+}
+
+impl fmt::Display for StructureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Any harness-drivable structure behind one concrete [`RelaxedOps`] type
+/// — the registry the structure-generic sweeps iterate over, exactly as
+/// [`AnyStack`] serves the stack-only figures.
+#[allow(clippy::large_enum_variant)] // same trade-off as AnyStack
+pub enum AnyRelaxed {
+    /// One of the seven evaluated stacks.
+    Stack(AnyStack),
+    /// The windowed FIFO queue.
+    Queue2D(Queue2D<u64>),
+    /// The strict locked queue.
+    LockedQueue(LockedQueue<u64>),
+    /// The windowed sharded counter.
+    Counter2D(Counter2D),
+}
+
+impl AnyRelaxed {
+    /// Builds `kind` configured per `spec` (the 2D structures use the same
+    /// `Params::for_k` / `Params::for_threads` mapping as the 2D-Stack;
+    /// the locked queue has nothing to tune).
+    pub fn build(kind: StructureKind, spec: BuildSpec) -> AnyRelaxed {
+        let threads = spec.threads.max(1);
+        let params = match spec.k {
+            Some(k) => Params::for_k(k, threads),
+            None => Params::for_threads(threads),
+        };
+        match kind {
+            StructureKind::Stack(algo) => AnyRelaxed::Stack(AnyStack::build(algo, spec)),
+            StructureKind::Queue2D => {
+                AnyRelaxed::Queue2D(Queue2D::builder().params(params).build().expect("valid"))
+            }
+            StructureKind::LockedQueue => AnyRelaxed::LockedQueue(LockedQueue::new()),
+            StructureKind::Counter2D => {
+                AnyRelaxed::Counter2D(Counter2D::builder().params(params).build().expect("valid"))
+            }
+        }
+    }
+
+    /// Which structure this instance is.
+    pub fn kind(&self) -> StructureKind {
+        match self {
+            AnyRelaxed::Stack(s) => StructureKind::Stack(s.algorithm()),
+            AnyRelaxed::Queue2D(_) => StructureKind::Queue2D,
+            AnyRelaxed::LockedQueue(_) => StructureKind::LockedQueue,
+            AnyRelaxed::Counter2D(_) => StructureKind::Counter2D,
+        }
+    }
+}
+
+impl fmt::Debug for AnyRelaxed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AnyRelaxed({})", self.kind())
+    }
+}
+
+/// Handle to an [`AnyRelaxed`]; dispatches per operation.
+pub enum AnyRelaxedHandle<'a> {
+    /// Handle to one of the seven stacks.
+    Stack(StackOps<AnyHandle<'a>>),
+    /// Handle to the windowed queue.
+    Queue2D(QueueHandle<'a, u64>),
+    /// Handle to the locked queue.
+    LockedQueue(LockedQueueHandle<'a, u64>),
+    /// Handle to the windowed counter.
+    Counter2D(CounterHandle<'a>),
+}
+
+impl OpsHandle<u64> for AnyRelaxedHandle<'_> {
+    fn produce(&mut self, value: u64) {
+        match self {
+            AnyRelaxedHandle::Stack(h) => h.produce(value),
+            AnyRelaxedHandle::Queue2D(h) => h.produce(value),
+            AnyRelaxedHandle::LockedQueue(h) => h.produce(value),
+            AnyRelaxedHandle::Counter2D(h) => h.produce(value),
+        }
+    }
+
+    fn consume(&mut self) -> Option<u64> {
+        match self {
+            AnyRelaxedHandle::Stack(h) => h.consume(),
+            AnyRelaxedHandle::Queue2D(h) => h.consume(),
+            AnyRelaxedHandle::LockedQueue(h) => h.consume(),
+            AnyRelaxedHandle::Counter2D(h) => h.consume(),
+        }
+    }
+}
+
+impl RelaxedOps<u64> for AnyRelaxed {
+    type Handle<'a> = AnyRelaxedHandle<'a>;
+
+    fn ops_handle(&self) -> AnyRelaxedHandle<'_> {
+        match self {
+            AnyRelaxed::Stack(s) => AnyRelaxedHandle::Stack(s.ops_handle()),
+            AnyRelaxed::Queue2D(q) => AnyRelaxedHandle::Queue2D(q.ops_handle()),
+            AnyRelaxed::LockedQueue(q) => AnyRelaxedHandle::LockedQueue(q.ops_handle()),
+            AnyRelaxed::Counter2D(c) => AnyRelaxedHandle::Counter2D(c.ops_handle()),
+        }
+    }
+
+    fn ops_handle_seeded(&self, seed: u64) -> AnyRelaxedHandle<'_> {
+        match self {
+            AnyRelaxed::Stack(s) => AnyRelaxedHandle::Stack(s.ops_handle_seeded(seed)),
+            AnyRelaxed::Queue2D(q) => AnyRelaxedHandle::Queue2D(q.ops_handle_seeded(seed)),
+            AnyRelaxed::LockedQueue(q) => AnyRelaxedHandle::LockedQueue(q.ops_handle_seeded(seed)),
+            AnyRelaxed::Counter2D(c) => AnyRelaxedHandle::Counter2D(c.ops_handle_seeded(seed)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    fn relaxation_bound(&self) -> Option<usize> {
+        match self {
+            AnyRelaxed::Stack(s) => RelaxedOps::relaxation_bound(s),
+            AnyRelaxed::Queue2D(q) => RelaxedOps::relaxation_bound(q),
+            AnyRelaxed::LockedQueue(q) => RelaxedOps::relaxation_bound(q),
+            AnyRelaxed::Counter2D(c) => RelaxedOps::relaxation_bound(c),
         }
     }
 }
@@ -364,7 +554,7 @@ mod tests {
         for algo in Algorithm::K_BOUNDED {
             for k in [0, 3, 30, 300, 3_000] {
                 let stack = AnyStack::build(algo, BuildSpec::with_k(4, k));
-                if let Some(bound) = stack.relaxation_bound() {
+                if let Some(bound) = ConcurrentStack::relaxation_bound(&stack) {
                     // k-robin's bound is an estimate; allow its documented
                     // slack of one round per thread.
                     let slack = if algo == Algorithm::KRobin { 8 } else { 0 };
@@ -386,7 +576,7 @@ mod tests {
     fn strict_algos_report_zero_bound() {
         for algo in [Algorithm::Treiber, Algorithm::Elimination] {
             let stack = AnyStack::build(algo, BuildSpec::high_throughput(2));
-            assert_eq!(stack.relaxation_bound(), Some(0), "{algo}");
+            assert_eq!(ConcurrentStack::relaxation_bound(&stack), Some(0), "{algo}");
         }
     }
 
@@ -394,7 +584,7 @@ mod tests {
     fn unbounded_algos_report_none() {
         for algo in [Algorithm::Random, Algorithm::RandomC2] {
             let stack = AnyStack::build(algo, BuildSpec::high_throughput(2));
-            assert_eq!(stack.relaxation_bound(), None, "{algo}");
+            assert_eq!(ConcurrentStack::relaxation_bound(&stack), None, "{algo}");
         }
     }
 

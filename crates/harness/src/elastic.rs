@@ -24,14 +24,14 @@
 //! width-then-vertical trajectory plus per-generation dequeue
 //! out-of-order quality.
 
-use std::sync::{Arc, Barrier};
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
 use stack2d::rng::HopRng;
-use stack2d::{ConcurrentStack, Params, Queue2D, QueueHandle, Stack2D, StackHandle};
-use stack2d_adaptive::{AimdController, ElasticRunner, RetuneEvent, RetuneKind};
+use stack2d::{OpsHandle, Params, Queue2D, RelaxedOps, Stack2D};
+use stack2d_adaptive::{AdaptiveBuilder, AimdController, RetuneEvent, RetuneKind};
 use stack2d_quality::segmented::{bounds_map, check_segments, MeasuredElastic, SegmentReport};
 use stack2d_quality::segmented_queue::MeasuredElasticQueue;
 use stack2d_workload::phases::Workload;
@@ -179,7 +179,7 @@ pub struct ElasticReport {
 /// phase from the main thread; `at_boundary(phase, elapsed)` runs between
 /// the end of each phase and the start of the next, while the workers
 /// wait.
-fn run_phased_timed<S: ConcurrentStack<u64>>(
+fn run_phased_timed<S: RelaxedOps<u64>>(
     stack: &S,
     threads: usize,
     workload: &Workload,
@@ -193,17 +193,20 @@ fn run_phased_timed<S: ConcurrentStack<u64>>(
         for t in 0..threads {
             let barrier = &barrier;
             scope.spawn(move || {
-                let mut h = stack.handle();
-                let mut rng = HopRng::seeded(seed.wrapping_add(t as u64 + 1));
+                let mut h = stack.ops_handle_seeded(seed.wrapping_add(t as u64 + 1));
+                // XOR decorrelates the mix stream from the handle RNG,
+                // which is seeded with the same per-thread value.
+                let mut rng =
+                    HopRng::seeded(seed.wrapping_add(t as u64 + 1) ^ 0x5851_F42D_4C95_7F2D);
                 let mut value = (t as u64) << 48;
                 for phase in workload.phases() {
                     barrier.wait();
                     for _ in 0..phase.ops {
                         if phase.mix.next_is_push(&mut rng) {
-                            h.push(value);
+                            h.produce(value);
                             value += 1;
                         } else {
-                            h.pop();
+                            h.consume();
                         }
                     }
                     barrier.wait();
@@ -226,17 +229,17 @@ fn run_phased_timed<S: ConcurrentStack<u64>>(
 /// the allocator for every configuration, gives the elastic controller its
 /// learning period, and puts the stack back to empty so every measured
 /// phase sequence starts from the same state.
-fn warmup<S: ConcurrentStack<u64>>(stack: &S, spec: &ElasticSpec) {
+fn warmup<S: RelaxedOps<u64>>(stack: &S, spec: &ElasticSpec) {
     let w = Workload::new(vec![stack2d_workload::phases::Phase::new(
         spec.burst_ops,
         OpMix::push_percent(90),
     )]);
     run_phased_timed(stack, spec.threads, &w, 0x3A97, |_, _| {});
-    let mut h = stack.handle();
-    while h.pop().is_some() {}
+    let mut h = stack.ops_handle();
+    while h.consume().is_some() {}
 }
 
-fn phase_points<S: ConcurrentStack<u64>>(
+fn phase_points<S: RelaxedOps<u64>>(
     config: &str,
     stack: &S,
     spec: &ElasticSpec,
@@ -276,15 +279,15 @@ fn phase_points<S: ConcurrentStack<u64>>(
 /// Panics if the segment checker finds a violation — that is a correctness
 /// bug, not a measurement artefact.
 pub fn run_quality(spec: &ElasticSpec) -> (SegmentReport, Vec<RetuneEvent>) {
-    let stack = Arc::new(Stack2D::elastic(spec.elastic_start(), spec.capacity));
+    // Builder-constructed managed mode: the guard owns the controller
+    // thread; no Arc/spawn/stop wiring at the call site.
+    let stack = Stack2D::<stack2d_quality::Label>::builder()
+        .params(spec.elastic_start())
+        .elastic_capacity(spec.capacity)
+        .adaptive(AimdController::new(spec.max_k), Duration::from_micros(spec.cadence_us))
+        .expect("elastic_start params are valid");
     let initial = stack.window();
     let measured = MeasuredElastic::new(&stack);
-    let runner = ElasticRunner::spawn_with_budget(
-        Arc::clone(&stack),
-        AimdController::new(spec.max_k),
-        Duration::from_micros(spec.cadence_us),
-        spec.max_k,
-    );
     let threads = spec.threads.clamp(1, 4);
     let workload = spec.workload();
     std::thread::scope(|scope| {
@@ -292,8 +295,9 @@ pub fn run_quality(spec: &ElasticSpec) -> (SegmentReport, Vec<RetuneEvent>) {
             let measured = &measured;
             let workload = &workload;
             scope.spawn(move || {
-                let mut h = measured.handle();
-                let mut rng = HopRng::seeded(0xCAFE + t as u64);
+                let mut h = measured.handle_seeded(0xCAFE + t as u64);
+                // Decorrelated from the handle RNG (same seed otherwise).
+                let mut rng = HopRng::seeded((0xCAFE + t as u64) ^ 0x5851_F42D_4C95_7F2D);
                 for phase in workload.phases() {
                     let ops_per_phase = (phase.ops / 4).max(250);
                     for _ in 0..ops_per_phase {
@@ -310,13 +314,16 @@ pub fn run_quality(spec: &ElasticSpec) -> (SegmentReport, Vec<RetuneEvent>) {
     // Drain through the measurement so every label's distance is checked.
     let mut h = measured.handle();
     while h.pop() {}
-    let events = runner.stop();
+    let records = measured.take_records();
+    let oracle_len = measured.oracle_len();
+    drop(measured);
+    let events = stack.stop();
     let bounds = bounds_map(initial, events.iter().map(|e| (e.generation, e.k_bound)));
-    let report = match check_segments(&measured.take_records(), &bounds) {
+    let report = match check_segments(&records, &bounds) {
         Ok(r) => r,
         Err(v) => panic!("elastic quality violation: {v}"),
     };
-    assert_eq!(measured.oracle_len(), 0, "drained run must empty the oracle");
+    assert_eq!(oracle_len, 0, "drained run must empty the oracle");
     (report, events)
 }
 
@@ -355,19 +362,17 @@ pub fn run(spec: &ElasticSpec) -> ElasticReport {
     let mut events = Vec::new();
     let per_repeat: Vec<Vec<PhasePoint>> = (0..spec.repeats.max(1))
         .map(|_| {
-            let stack = Arc::new(Stack2D::<u64>::elastic(spec.elastic_start(), spec.capacity));
-            let runner = ElasticRunner::spawn_with_budget(
-                Arc::clone(&stack),
-                AimdController::new(spec.max_k),
-                Duration::from_micros(spec.cadence_us),
-                spec.max_k,
-            );
-            let repeat_points = phase_points("elastic", stack.as_ref(), spec, || {
+            let stack = Stack2D::<u64>::builder()
+                .params(spec.elastic_start())
+                .elastic_capacity(spec.capacity)
+                .adaptive(AimdController::new(spec.max_k), Duration::from_micros(spec.cadence_us))
+                .expect("elastic_start params are valid");
+            let repeat_points = phase_points("elastic", &*stack, spec, || {
                 let w = stack.window();
                 (w.width(), w.pop_width(), w.k_bound(), w.generation())
             });
             // The width-over-time series comes from the last repeat.
-            events = runner.stop();
+            events = stack.stop();
             repeat_points
         })
         .collect();
@@ -394,39 +399,6 @@ pub fn run(spec: &ElasticSpec) -> ElasticReport {
 
     let (quality, _) = run_quality(spec);
     ElasticReport { points, events, quality, width_adapted, elastic_beats_worst }
-}
-
-/// Adapter driving a [`Queue2D`] through the phased stack driver
-/// (push = enqueue, pop = dequeue): the workload machinery only needs the
-/// two operations, so the queue scenario reuses it unchanged.
-struct QueueDriver(Arc<Queue2D<u64>>);
-
-struct QueueDriverHandle<'q>(QueueHandle<'q, u64>);
-
-impl ConcurrentStack<u64> for QueueDriver {
-    type Handle<'a> = QueueDriverHandle<'a>;
-
-    fn handle(&self) -> QueueDriverHandle<'_> {
-        QueueDriverHandle(self.0.handle())
-    }
-
-    fn name(&self) -> &'static str {
-        "2d-queue"
-    }
-
-    fn relaxation_bound(&self) -> Option<usize> {
-        Some(self.0.k_bound())
-    }
-}
-
-impl StackHandle<u64> for QueueDriverHandle<'_> {
-    fn push(&mut self, value: u64) {
-        self.0.enqueue(value);
-    }
-
-    fn pop(&mut self) -> Option<u64> {
-        self.0.dequeue()
-    }
 }
 
 /// The queue scenario's controller: standard AIMD with a one-tick dwell.
@@ -469,15 +441,15 @@ pub struct ElasticQueueReport {
 /// correctness bug, not a measurement artefact.
 pub fn run_queue_quality(spec: &ElasticSpec) -> (SegmentReport, Vec<RetuneEvent>) {
     let budget = spec.queue_max_k();
-    let queue = Arc::new(Queue2D::elastic(spec.elastic_start(), spec.queue_capacity()));
+    // The acceptance shape of the managed API: the guard comes straight
+    // off the queue builder and owns the controller thread.
+    let queue = Queue2D::<stack2d_quality::Label>::builder()
+        .params(spec.elastic_start())
+        .elastic_capacity(spec.queue_capacity())
+        .adaptive(queue_controller(budget), Duration::from_micros(spec.queue_cadence_us()))
+        .expect("elastic_start params are valid");
     let initial = queue.window();
     let measured = MeasuredElasticQueue::new(&queue);
-    let runner = ElasticRunner::spawn_with_budget(
-        Arc::clone(&queue),
-        queue_controller(budget),
-        Duration::from_micros(spec.queue_cadence_us()),
-        budget,
-    );
     let threads = spec.threads.clamp(1, 4);
     let workload = spec.workload();
     std::thread::scope(|scope| {
@@ -485,8 +457,9 @@ pub fn run_queue_quality(spec: &ElasticSpec) -> (SegmentReport, Vec<RetuneEvent>
             let measured = &measured;
             let workload = &workload;
             scope.spawn(move || {
-                let mut h = measured.handle();
-                let mut rng = HopRng::seeded(0xBEEF + t as u64);
+                let mut h = measured.handle_seeded(0xBEEF + t as u64);
+                // Decorrelated from the handle RNG (same seed otherwise).
+                let mut rng = HopRng::seeded((0xBEEF + t as u64) ^ 0x5851_F42D_4C95_7F2D);
                 for phase in workload.phases() {
                     let ops_per_phase = (phase.ops / 4).max(250);
                     for _ in 0..ops_per_phase {
@@ -503,13 +476,16 @@ pub fn run_queue_quality(spec: &ElasticSpec) -> (SegmentReport, Vec<RetuneEvent>
     // Drain through the measurement so every label's distance is checked.
     let mut h = measured.handle();
     while h.dequeue() {}
-    let events = runner.stop();
+    let records = measured.take_records();
+    let oracle_len = measured.oracle_len();
+    drop(measured);
+    let events = queue.stop();
     let bounds = bounds_map(initial, events.iter().map(|e| (e.generation, e.k_bound)));
-    let report = match check_segments(&measured.take_records(), &bounds) {
+    let report = match check_segments(&records, &bounds) {
         Ok(r) => r,
         Err(v) => panic!("elastic queue quality violation: {v}"),
     };
-    assert_eq!(measured.oracle_len(), 0, "drained run must empty the oracle");
+    assert_eq!(oracle_len, 0, "drained run must empty the oracle");
     (report, events)
 }
 
@@ -523,16 +499,14 @@ pub fn run_queue(spec: &ElasticSpec) -> ElasticQueueReport {
     let mut events = Vec::new();
     let per_repeat: Vec<Vec<PhasePoint>> = (0..spec.repeats.max(1))
         .map(|_| {
-            let queue =
-                Arc::new(Queue2D::<u64>::elastic(spec.elastic_start(), spec.queue_capacity()));
-            let runner = ElasticRunner::spawn_with_budget(
-                Arc::clone(&queue),
-                queue_controller(budget),
-                Duration::from_micros(spec.queue_cadence_us()),
-                budget,
-            );
-            let driver = QueueDriver(Arc::clone(&queue));
-            let repeat_points = phase_points("elastic-queue", &driver, spec, || {
+            // Queue2D implements RelaxedOps directly, so the phased driver
+            // runs it unchanged — no stack-shaped adapter needed.
+            let queue = Queue2D::<u64>::builder()
+                .params(spec.elastic_start())
+                .elastic_capacity(spec.queue_capacity())
+                .adaptive(queue_controller(budget), Duration::from_micros(spec.queue_cadence_us()))
+                .expect("elastic_start params are valid");
+            let repeat_points = phase_points("elastic-queue", &*queue, spec, || {
                 let w = queue.window();
                 (w.width(), w.pop_width(), w.k_bound(), w.generation())
             });
@@ -540,7 +514,7 @@ pub fn run_queue(spec: &ElasticSpec) -> ElasticQueueReport {
             // except that a log showing the vertical walk — the event the
             // scenario exists to record, and a wall-clock-dependent one —
             // is never displaced by a repeat without one.
-            let repeat_events = runner.stop();
+            let repeat_events = queue.stop();
             let walked = |evs: &[RetuneEvent]| evs.iter().any(|e| e.kind == RetuneKind::Vertical);
             if walked(&repeat_events) || !walked(&events) {
                 events = repeat_events;

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use stack2d::ConcurrentStack;
+use stack2d::{ConcurrentStack, RelaxedOps};
 use stack2d_quality::ErrorSummary;
 use stack2d_workload::{run_throughput, OpMix, RunConfig};
 
@@ -98,7 +98,7 @@ pub fn measure(algo: Algorithm, spec: BuildSpec, settings: &Settings, mix: OpMix
     let mut k_bound = None;
     for rep in 0..settings.repeats.max(1) {
         let stack = AnyStack::build(algo, spec);
-        k_bound = stack.relaxation_bound();
+        k_bound = RelaxedOps::relaxation_bound(&stack);
         let cfg = RunConfig {
             threads: spec.threads,
             duration: Duration::from_millis(settings.duration_ms as u64),
@@ -136,7 +136,7 @@ pub fn measure(algo: Algorithm, spec: BuildSpec, settings: &Settings, mix: OpMix
 
 /// Measures a 2D-Stack built from an explicit config (ablations), same
 /// protocol as [`measure`].
-pub fn measure_stack<S: ConcurrentStack<u64>>(
+pub fn measure_stack<S: ConcurrentStack<u64> + RelaxedOps<u64>>(
     label: &str,
     build: impl Fn() -> S,
     threads: usize,
@@ -147,7 +147,7 @@ pub fn measure_stack<S: ConcurrentStack<u64>>(
     let mut k_bound = None;
     for rep in 0..settings.repeats.max(1) {
         let stack = build();
-        k_bound = stack.relaxation_bound();
+        k_bound = RelaxedOps::relaxation_bound(&stack);
         let cfg = RunConfig {
             threads,
             duration: Duration::from_millis(settings.duration_ms as u64),

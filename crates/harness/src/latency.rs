@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use stack2d::rng::HopRng;
-use stack2d::{ConcurrentStack, StackHandle};
+use stack2d::{OpsHandle, RelaxedOps};
 use stack2d_workload::{prefill, LatencyHistogram, OpMix};
 
 use crate::report::Table;
@@ -51,27 +51,30 @@ pub struct LatencyResult {
 }
 
 /// Runs the latency workload against `stack`.
-pub fn run_latency<S: ConcurrentStack<u64>>(stack: &S, spec: &LatencySpec) -> LatencyResult {
+pub fn run_latency<S: RelaxedOps<u64>>(stack: &S, spec: &LatencySpec) -> LatencyResult {
     assert!(spec.threads > 0, "at least one thread required");
     prefill(stack, spec.prefill);
     let per_thread: Vec<(LatencyHistogram, LatencyHistogram)> = std::thread::scope(|scope| {
         let mut joins = Vec::new();
         for t in 0..spec.threads {
             joins.push(scope.spawn(move || {
-                let mut h = stack.handle();
-                let mut rng = HopRng::seeded(spec.seed.wrapping_add(t as u64 + 1));
+                let mut h = stack.ops_handle_seeded(spec.seed.wrapping_add(t as u64 + 1));
+                // XOR decorrelates the mix stream from the handle RNG,
+                // which is seeded with the same per-thread value.
+                let mut rng =
+                    HopRng::seeded(spec.seed.wrapping_add(t as u64 + 1) ^ 0x5851_F42D_4C95_7F2D);
                 let mut push_h = LatencyHistogram::new();
                 let mut pop_h = LatencyHistogram::new();
                 let mut value = (t as u64) << 48;
                 for _ in 0..spec.ops_per_thread {
                     if spec.mix.next_is_push(&mut rng) {
                         let t0 = Instant::now();
-                        h.push(value);
+                        h.produce(value);
                         push_h.record(t0.elapsed().as_nanos() as u64);
                         value += 1;
                     } else {
                         let t0 = Instant::now();
-                        let _ = h.pop();
+                        let _ = h.consume();
                         pop_h.record(t0.elapsed().as_nanos() as u64);
                     }
                 }

@@ -34,7 +34,10 @@ pub mod quality_run;
 pub mod report;
 pub mod tuning;
 
-pub use algorithms::{AblationVariant, Algorithm, AnyHandle, AnyStack, BuildSpec};
+pub use algorithms::{
+    AblationVariant, Algorithm, AnyHandle, AnyRelaxed, AnyRelaxedHandle, AnyStack, BuildSpec,
+    StructureKind,
+};
 pub use experiment::{measure, measure_stack, DataPoint, Settings};
 pub use quality_run::{run_quality, QualityConfig};
 pub use report::{fmt_ops, Table};

@@ -50,8 +50,12 @@ pub fn run_quality<S: ConcurrentStack<Label>>(stack: &S, cfg: &QualityConfig) ->
         for t in 0..cfg.threads {
             let measured = &measured;
             scope.spawn(move || {
-                let mut h = measured.handle();
-                let mut rng = HopRng::seeded(cfg.seed.wrapping_add(t as u64 + 1));
+                // Seeded through the trait: deterministic for every
+                // algorithm that supports it, no concrete-type plumbing.
+                let mut h = measured.handle_seeded(cfg.seed.wrapping_add(t as u64 + 1));
+                // Decorrelated from the handle RNG (same seed otherwise).
+                let mut rng =
+                    HopRng::seeded(cfg.seed.wrapping_add(t as u64 + 1) ^ 0x5851_F42D_4C95_7F2D);
                 for _ in 0..cfg.ops_per_thread {
                     if cfg.mix.next_is_push(&mut rng) {
                         h.push();

@@ -191,6 +191,13 @@ impl<'s, S: ConcurrentStack<Label>> MeasuredStack<'s, S> {
         MeasuredHandle { measured: self, inner: self.stack.handle() }
     }
 
+    /// Registers a measuring handle with a deterministic RNG seed —
+    /// the trait-level [`ConcurrentStack::handle_seeded`] makes this work
+    /// for every algorithm without special-casing concrete types.
+    pub fn handle_seeded(&self, seed: u64) -> MeasuredHandle<'_, 's, S> {
+        MeasuredHandle { measured: self, inner: self.stack.handle_seeded(seed) }
+    }
+
     /// Pre-fills the stack with `n` labelled items (the paper initializes
     /// every experiment with 32,768 items).
     pub fn prefill(&self, n: usize) {

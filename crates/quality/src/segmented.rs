@@ -220,7 +220,7 @@ pub fn bounds_map(
 /// use stack2d::{Params, Stack2D};
 /// use stack2d_quality::segmented::{bounds_map, check_segments, MeasuredElastic};
 ///
-/// let stack = Stack2D::elastic(Params::new(2, 1, 1).unwrap(), 8);
+/// let stack = Stack2D::builder().params(Params::new(2, 1, 1).unwrap()).elastic_capacity(8).build().unwrap();
 /// let initial = stack.window();
 /// let measured = MeasuredElastic::new(&stack);
 /// let mut h = measured.handle();
@@ -267,6 +267,11 @@ impl<'s> MeasuredElastic<'s> {
     /// Registers a measuring handle for the calling thread.
     pub fn handle(&self) -> MeasuredElasticHandle<'_, 's> {
         MeasuredElasticHandle { measured: self, inner: self.stack.handle() }
+    }
+
+    /// Registers a measuring handle with a deterministic RNG seed.
+    pub fn handle_seeded(&self, seed: u64) -> MeasuredElasticHandle<'_, 's> {
+        MeasuredElasticHandle { measured: self, inner: self.stack.handle_seeded(seed) }
     }
 
     /// Pre-fills the stack with `n` labelled items.
@@ -402,7 +407,7 @@ mod tests {
     #[test]
     fn measured_elastic_strict_stack_is_exact_per_segment() {
         // width 1 => k = 0 in every generation; distances must all be 0.
-        let stack = Stack2D::elastic(p(1, 1, 1), 4);
+        let stack = Stack2D::builder().params(p(1, 1, 1)).elastic_capacity(4).build().unwrap();
         let initial = stack.window();
         let measured = MeasuredElastic::new(&stack);
         let mut h = measured.handle();
@@ -421,7 +426,7 @@ mod tests {
 
     #[test]
     fn measured_elastic_single_thread_respects_segment_bounds() {
-        let stack = Stack2D::elastic(p(2, 1, 1), 16);
+        let stack = Stack2D::builder().params(p(2, 1, 1)).elastic_capacity(16).build().unwrap();
         let initial = stack.window();
         let measured = MeasuredElastic::new(&stack);
         let mut events = Vec::new();
@@ -450,7 +455,7 @@ mod tests {
 
     #[test]
     fn oracle_and_stack_agree_on_residency() {
-        let stack = Stack2D::elastic(p(4, 2, 1), 8);
+        let stack = Stack2D::builder().params(p(4, 2, 1)).elastic_capacity(8).build().unwrap();
         let measured = MeasuredElastic::new(&stack);
         measured.prefill(100);
         let mut h = measured.handle();

@@ -107,7 +107,7 @@ impl FifoOracle {
 /// use stack2d_quality::segmented::{bounds_map, check_segments};
 /// use stack2d_quality::segmented_queue::MeasuredElasticQueue;
 ///
-/// let queue = Queue2D::elastic(Params::new(2, 1, 1).unwrap(), 8);
+/// let queue = Queue2D::builder().params(Params::new(2, 1, 1).unwrap()).elastic_capacity(8).build().unwrap();
 /// let initial = queue.window();
 /// let measured = MeasuredElasticQueue::new(&queue);
 /// let mut h = measured.handle();
@@ -154,6 +154,11 @@ impl<'q> MeasuredElasticQueue<'q> {
     /// Registers a measuring handle for the calling thread.
     pub fn handle(&self) -> MeasuredElasticQueueHandle<'_, 'q> {
         MeasuredElasticQueueHandle { measured: self, inner: self.queue.handle() }
+    }
+
+    /// Registers a measuring handle with a deterministic RNG seed.
+    pub fn handle_seeded(&self, seed: u64) -> MeasuredElasticQueueHandle<'_, 'q> {
+        MeasuredElasticQueueHandle { measured: self, inner: self.queue.handle_seeded(seed) }
     }
 
     /// Pre-fills the queue with `n` labelled items.
@@ -295,7 +300,7 @@ mod tests {
     #[test]
     fn measured_strict_queue_is_exact_per_segment() {
         // width 1 => k = 0 in every generation; distances must all be 0.
-        let queue = Queue2D::elastic(p(1, 1, 1), 4);
+        let queue = Queue2D::builder().params(p(1, 1, 1)).elastic_capacity(4).build().unwrap();
         let initial = queue.window();
         let measured = MeasuredElasticQueue::new(&queue);
         let mut h = measured.handle();
@@ -314,7 +319,7 @@ mod tests {
 
     #[test]
     fn measured_queue_single_thread_respects_segment_bounds() {
-        let queue = Queue2D::elastic(p(2, 1, 1), 16);
+        let queue = Queue2D::builder().params(p(2, 1, 1)).elastic_capacity(16).build().unwrap();
         let initial = queue.window();
         let measured = MeasuredElasticQueue::new(&queue);
         let mut events = Vec::new();
@@ -343,7 +348,7 @@ mod tests {
 
     #[test]
     fn oracle_and_queue_agree_on_residency() {
-        let queue = Queue2D::elastic(p(4, 2, 1), 8);
+        let queue = Queue2D::builder().params(p(4, 2, 1)).elastic_capacity(8).build().unwrap();
         let measured = MeasuredElasticQueue::new(&queue);
         measured.prefill(100);
         let mut h = measured.handle();

@@ -11,7 +11,7 @@ use std::sync::Barrier;
 use serde::{Deserialize, Serialize};
 
 use stack2d::rng::HopRng;
-use stack2d::{ConcurrentStack, StackHandle};
+use stack2d::{OpsHandle, RelaxedOps};
 
 use crate::mix::OpMix;
 use crate::runner::RunResult;
@@ -94,7 +94,7 @@ impl Workload {
 
 /// Runs `workload` on every one of `threads` threads (synchronized at
 /// phase boundaries so bursts actually overlap).
-pub fn run_phased<S: ConcurrentStack<u64>>(
+pub fn run_phased<S: RelaxedOps<u64>>(
     stack: &S,
     threads: usize,
     workload: &Workload,
@@ -108,8 +108,11 @@ pub fn run_phased<S: ConcurrentStack<u64>>(
         for t in 0..threads {
             let barrier = &barrier;
             joins.push(scope.spawn(move || {
-                let mut h = stack.handle();
-                let mut rng = HopRng::seeded(seed.wrapping_add(t as u64 + 1));
+                let mut h = stack.ops_handle_seeded(seed.wrapping_add(t as u64 + 1));
+                // XOR decorrelates the mix stream from the handle RNG,
+                // which is seeded with the same per-thread value.
+                let mut rng =
+                    HopRng::seeded(seed.wrapping_add(t as u64 + 1) ^ 0x5851_F42D_4C95_7F2D);
                 let mut pushes = 0u64;
                 let mut pops = 0u64;
                 let mut empty = 0u64;
@@ -120,10 +123,10 @@ pub fn run_phased<S: ConcurrentStack<u64>>(
                     barrier.wait();
                     for _ in 0..phase.ops {
                         if phase.mix.next_is_push(&mut rng) {
-                            h.push(value);
+                            h.produce(value);
                             value += 1;
                             pushes += 1;
-                        } else if h.pop().is_some() {
+                        } else if h.consume().is_some() {
                             pops += 1;
                         } else {
                             empty += 1;
@@ -147,7 +150,7 @@ pub fn run_phased<S: ConcurrentStack<u64>>(
 /// Runs a role-based workload: thread `t` draws from `roles[t]` for
 /// `ops_per_thread` operations (e.g. dedicated producers `OpMix::new(1000)`
 /// and consumers `OpMix::new(0)`).
-pub fn run_roles<S: ConcurrentStack<u64>>(
+pub fn run_roles<S: RelaxedOps<u64>>(
     stack: &S,
     roles: &[OpMix],
     ops_per_thread: usize,
@@ -161,8 +164,11 @@ pub fn run_roles<S: ConcurrentStack<u64>>(
         for (t, &mix) in roles.iter().enumerate() {
             let barrier = &barrier;
             joins.push(scope.spawn(move || {
-                let mut h = stack.handle();
-                let mut rng = HopRng::seeded(seed.wrapping_add(t as u64 + 1));
+                let mut h = stack.ops_handle_seeded(seed.wrapping_add(t as u64 + 1));
+                // XOR decorrelates the mix stream from the handle RNG,
+                // which is seeded with the same per-thread value.
+                let mut rng =
+                    HopRng::seeded(seed.wrapping_add(t as u64 + 1) ^ 0x5851_F42D_4C95_7F2D);
                 let mut pushes = 0u64;
                 let mut pops = 0u64;
                 let mut empty = 0u64;
@@ -170,10 +176,10 @@ pub fn run_roles<S: ConcurrentStack<u64>>(
                 barrier.wait();
                 for _ in 0..ops_per_thread {
                     if mix.next_is_push(&mut rng) {
-                        h.push(value);
+                        h.produce(value);
                         value += 1;
                         pushes += 1;
-                    } else if h.pop().is_some() {
+                    } else if h.consume().is_some() {
                         pops += 1;
                     } else {
                         empty += 1;

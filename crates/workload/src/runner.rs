@@ -7,7 +7,7 @@
 //! is reported in operations per second and runs are repeated and averaged
 //! by the harness.
 //!
-//! The runner is generic over [`ConcurrentStack`], so the identical loop
+//! The runner is generic over [`RelaxedOps`], so the identical loop
 //! drives the 2D-Stack and every baseline.
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use stack2d::rng::HopRng;
-use stack2d::{ConcurrentStack, StackHandle};
+use stack2d::{OpsHandle, RelaxedOps};
 
 use crate::mix::OpMix;
 
@@ -94,11 +94,11 @@ impl RunResult {
 }
 
 /// Pre-fills `stack` with `n` items carrying distinguishable values.
-pub fn prefill<S: ConcurrentStack<u64>>(stack: &S, n: usize) {
-    let mut h = stack.handle();
+pub fn prefill<S: RelaxedOps<u64>>(stack: &S, n: usize) {
+    let mut h = stack.ops_handle();
     for i in 0..n {
         // High bit marks prefill items, helpful when debugging traces.
-        h.push((1 << 63) | i as u64);
+        h.produce((1 << 63) | i as u64);
     }
 }
 
@@ -107,7 +107,7 @@ pub fn prefill<S: ConcurrentStack<u64>>(stack: &S, n: usize) {
 /// The stack is pre-filled, then `cfg.threads` workers start behind a
 /// barrier and hammer the stack until the deadline; per-thread op counts
 /// are aggregated into a [`RunResult`].
-pub fn run_throughput<S: ConcurrentStack<u64>>(stack: &S, cfg: &RunConfig) -> RunResult {
+pub fn run_throughput<S: RelaxedOps<u64>>(stack: &S, cfg: &RunConfig) -> RunResult {
     assert!(cfg.threads > 0, "at least one thread required");
     prefill(stack, cfg.prefill);
     let stop = AtomicBool::new(false);
@@ -122,8 +122,11 @@ pub fn run_throughput<S: ConcurrentStack<u64>>(stack: &S, cfg: &RunConfig) -> Ru
             let stop = &stop;
             let barrier = &barrier;
             joins.push(scope.spawn(move || {
-                let mut h = stack.handle();
-                let mut rng = HopRng::seeded(cfg.seed.wrapping_add(t as u64 + 1));
+                let mut h = stack.ops_handle_seeded(cfg.seed.wrapping_add(t as u64 + 1));
+                // XOR decorrelates the mix stream from the handle RNG,
+                // which is seeded with the same per-thread value.
+                let mut rng =
+                    HopRng::seeded(cfg.seed.wrapping_add(t as u64 + 1) ^ 0x5851_F42D_4C95_7F2D);
                 let mut pushes = 0u64;
                 let mut pops = 0u64;
                 let mut empty = 0u64;
@@ -131,10 +134,10 @@ pub fn run_throughput<S: ConcurrentStack<u64>>(stack: &S, cfg: &RunConfig) -> Ru
                 barrier.wait();
                 while !stop.load(Ordering::Relaxed) {
                     if cfg.mix.next_is_push(&mut rng) {
-                        h.push(next_value);
+                        h.produce(next_value);
                         next_value += 1;
                         pushes += 1;
-                    } else if h.pop().is_some() {
+                    } else if h.consume().is_some() {
                         pops += 1;
                     } else {
                         empty += 1;
@@ -169,7 +172,7 @@ pub fn run_throughput<S: ConcurrentStack<u64>>(stack: &S, cfg: &RunConfig) -> Ru
 /// Runs a deterministic fixed-op-count workload (each thread performs
 /// exactly `ops_per_thread` operations); used by tests where wall-clock
 /// runs would be flaky.
-pub fn run_fixed_ops<S: ConcurrentStack<u64>>(
+pub fn run_fixed_ops<S: RelaxedOps<u64>>(
     stack: &S,
     threads: usize,
     ops_per_thread: usize,
@@ -185,8 +188,10 @@ pub fn run_fixed_ops<S: ConcurrentStack<u64>>(
         for t in 0..threads {
             let barrier = &barrier;
             joins.push(scope.spawn(move || {
-                let mut h = stack.handle();
-                let mut rng = HopRng::seeded(seed.wrapping_add(t as u64 + 1));
+                let mut h = stack.ops_handle_seeded(seed.wrapping_add(t as u64 + 1));
+                // Same decorrelation as run_throughput.
+                let mut rng =
+                    HopRng::seeded(seed.wrapping_add(t as u64 + 1) ^ 0x5851_F42D_4C95_7F2D);
                 let mut pushes = 0u64;
                 let mut pops = 0u64;
                 let mut empty = 0u64;
@@ -194,10 +199,10 @@ pub fn run_fixed_ops<S: ConcurrentStack<u64>>(
                 barrier.wait();
                 for _ in 0..ops_per_thread {
                     if mix.next_is_push(&mut rng) {
-                        h.push(next_value);
+                        h.produce(next_value);
                         next_value += 1;
                         pushes += 1;
-                    } else if h.pop().is_some() {
+                    } else if h.consume().is_some() {
                         pops += 1;
                     } else {
                         empty += 1;

@@ -1,0 +1,69 @@
+//! Managed adaptive mode, end to end: a builder-constructed `Managed`
+//! guard owns the AIMD controller thread that retunes a 2D-Stack under a
+//! bursty workload — no `Arc`, no spawn, no stop() bookkeeping at the
+//! call sites that use the stack.
+//!
+//! ```text
+//! cargo run --release --example managed_elastic
+//! ```
+
+use std::time::Duration;
+
+use stack2d::Stack2D;
+use stack2d_adaptive::{AdaptiveBuilder, AimdController, RetuneKind};
+
+fn main() {
+    let workers = 4;
+    let budget = 450; // hard k ceiling the controller must respect
+
+    // One chain: window parameters, elastic headroom, adaptive mode.
+    // The guard derefs to the stack; dropping it stops the controller.
+    let stack = Stack2D::<u64>::builder()
+        .width(1) // start strict: the controller earns every sub-stack
+        .elastic_capacity(4 * workers)
+        .adaptive(AimdController::new(budget), Duration::from_micros(500))
+        .expect("builder parameters are valid");
+
+    println!("start: {} (k budget {budget})", stack.window());
+
+    // Bursty phases: produce-heavy slams, then drains. The controller
+    // sees the window-pressure signal move and walks the window.
+    std::thread::scope(|s| {
+        for t in 0..workers as u64 {
+            let stack = &*stack; // Deref: plain &Stack2D<u64> for workers
+            s.spawn(move || {
+                let mut h = stack.handle_seeded(t + 1);
+                for _burst in 0..60 {
+                    for i in 0..2_000u64 {
+                        h.push(t << 48 | i);
+                    }
+                    for _ in 0..2_000 {
+                        h.pop();
+                    }
+                }
+            });
+        }
+    });
+
+    println!("end:   {}", stack.window());
+
+    // stop() hands back the retune log (dropping the guard would instead
+    // drain it silently — still a clean shutdown).
+    let events = stack.stop();
+    let grows = events.iter().filter(|e| e.kind == RetuneKind::Grow).count();
+    let shrinks = events.iter().filter(|e| e.kind == RetuneKind::Shrink).count();
+    println!("retunes: {} total ({grows} grows, {shrinks} shrinks)", events.len());
+    for e in events.iter().take(8) {
+        println!(
+            "  +{:>7}us gen {:>2} {:<8} width {:>2} depth {} (k={})",
+            e.at.as_micros(),
+            e.generation,
+            format!("{:?}", e.kind).to_lowercase(),
+            e.width,
+            e.depth,
+            e.k_bound
+        );
+    }
+    assert!(events.iter().all(|e| e.k_bound <= budget), "budget is a hard ceiling");
+    println!("every retuned window stayed within the k budget: yes");
+}

@@ -14,7 +14,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use stack2d::{Params, Stack2D};
+use stack2d::Stack2D;
 
 /// A pooled buffer: an index into the backing storage.
 type BufferId = u64;
@@ -28,7 +28,7 @@ struct BufferPool {
 
 impl BufferPool {
     fn new(buffers: usize, workers: usize) -> Self {
-        let free = Stack2D::new(Params::for_threads(workers));
+        let free = Stack2D::builder().for_threads(workers).build().expect("preset is valid");
         for id in 0..buffers as u64 {
             free.push(id);
         }

@@ -11,8 +11,7 @@
 //! cargo run --release --example producer_consumer
 //! ```
 
-use stack2d::ConcurrentStack;
-use stack2d::{Params, Stack2D};
+use stack2d::{ConcurrentStack, Stack2D};
 use stack2d_baselines::{EliminationStack, TreiberStack};
 use stack2d_workload::{prefill, run_roles, OpMix, RunResult};
 
@@ -36,7 +35,8 @@ fn main() {
 
     println!("producer/consumer: 2 producers + 2 consumers, {ops} ops each\n");
 
-    let two_d: Stack2D<u64> = Stack2D::new(Params::for_threads(roles.len()));
+    let two_d: Stack2D<u64> =
+        Stack2D::builder().for_threads(roles.len()).build().expect("preset is valid");
     prefill(&two_d, fill);
     let r = run_roles(&two_d, &roles, ops, 1);
     report(ConcurrentStack::<u64>::name(&two_d), &r);

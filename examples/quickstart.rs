@@ -1,27 +1,34 @@
-//! Quickstart: create a 2D-Stack, pick parameters, push and pop from many
-//! threads, and inspect the relaxation bound.
+//! Quickstart: build a 2D-Stack through the unified builder, push and pop
+//! from many threads, and inspect the relaxation bound.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use stack2d::{ConcurrentStack, Params, Stack2D};
+use stack2d::{ConcurrentStack, Stack2D};
 
 fn main() {
     // --- 1. Choose parameters -------------------------------------------
-    // The paper's high-throughput preset: width = 4P sub-stacks and the
-    // tightest window. Theorem 1 bounds how far out of LIFO order a pop can
-    // be: k = (2*shift + depth) * (width - 1).
+    // One validated builder serves every windowed structure (Stack2D,
+    // Queue2D, Counter2D). for_threads is the paper's high-throughput
+    // preset: width = 4P sub-stacks and the tightest window. Theorem 1
+    // bounds how far out of LIFO order a pop can be:
+    // k = (2*shift + depth) * (width - 1).
     let threads = 4;
-    let params = Params::for_threads(threads);
-    println!("params: {params}  ->  pops are at most {} positions out of order", params.k_bound());
+    let stack: Stack2D<u64> =
+        Stack2D::builder().for_threads(threads).build().expect("preset is valid");
+    println!(
+        "params: {}  ->  pops are at most {} positions out of order",
+        stack.params(),
+        stack.k_bound()
+    );
 
-    // Alternatively, start from a relaxation budget:
-    let budget = Params::for_k(200, threads);
-    println!("a k<=200 configuration: {budget}");
+    // Alternatively, start from a relaxation budget: for_bound(k) inverts
+    // the formula into the maximal width whose bound stays within k.
+    let budgeted: Stack2D<u64> = Stack2D::builder().for_bound(200).build().expect("valid");
+    println!("a k<=200 configuration: {}", budgeted.params());
 
-    // --- 2. Build the stack and run it from several threads -------------
-    let stack: Stack2D<u64> = Stack2D::new(params);
+    // --- 2. Run it from several threads ---------------------------------
     let per_thread = 100_000u64;
 
     std::thread::scope(|s| {

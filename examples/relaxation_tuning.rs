@@ -8,7 +8,8 @@
 
 use std::time::Duration;
 
-use stack2d_harness::{fmt_ops, Algorithm, AnyStack, BuildSpec, Table};
+use stack2d::{Params, Stack2D};
+use stack2d_harness::{fmt_ops, Table};
 use stack2d_harness::{run_quality, QualityConfig};
 use stack2d_workload::{run_throughput, OpMix, RunConfig};
 
@@ -19,11 +20,11 @@ fn main() {
     let mut table = Table::new(["k budget", "params", "throughput", "mean err", "max err"]);
 
     for &k in &budgets {
-        let stack = AnyStack::build(Algorithm::TwoD, BuildSpec::with_k(threads, k));
-        let params = match &stack {
-            AnyStack::TwoD(s) => s.params().to_string(),
-            _ => unreachable!(),
-        };
+        // The thread-capped budget preset (Figure 1's configuration
+        // mapping), fed through the unified builder.
+        let stack: Stack2D<u64> =
+            Stack2D::builder().params(Params::for_k(k, threads)).build().expect("preset is valid");
+        let params = stack.params().to_string();
         let run = run_throughput(
             &stack,
             &RunConfig {
@@ -35,8 +36,13 @@ fn main() {
                 think_work: 0,
             },
         );
-        // Fresh instance for the quality pass (the oracle serializes ops).
-        let stack = AnyStack::build(Algorithm::TwoD, BuildSpec::with_k(threads, k));
+        // Fresh instance for the quality pass (the oracle serializes ops);
+        // seeded so the measured run is reproducible.
+        let stack = Stack2D::builder()
+            .params(Params::for_k(k, threads))
+            .seed(11)
+            .build()
+            .expect("preset is valid");
         let quality = run_quality(
             &stack,
             &QualityConfig {

@@ -15,7 +15,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use stack2d::{Params, Stack2D};
+use stack2d::Stack2D;
 
 /// A synthetic task: process `weight` units and spawn `children` subtasks.
 #[derive(Debug, Clone, Copy)]
@@ -39,7 +39,8 @@ fn main() {
     let workers = 4;
     // A pool tuned for the worker count; a few hundred out-of-order
     // positions are irrelevant for task scheduling.
-    let pool: Stack2D<u64> = Stack2D::new(Params::for_threads(workers));
+    let pool: Stack2D<u64> =
+        Stack2D::builder().for_threads(workers).build().expect("preset is valid");
 
     // Seed the pool with root tasks.
     {

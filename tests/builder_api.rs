@@ -1,0 +1,113 @@
+//! The unified builder surface: validation parity with `Params::new`,
+//! preset round trips, deterministic seeding, and the deprecated shims.
+
+use proptest::prelude::*;
+
+use stack2d_repro::stack2d::{Counter2D, Params, ParamsError, Queue2D, Stack2D};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `build()` accepts exactly the `(width, depth, shift)` combinations
+    /// `Params::new` accepts — and reports the identical error otherwise.
+    #[test]
+    fn build_matches_params_new(
+        width in 0usize..12,
+        depth in 0usize..12,
+        shift in 0usize..16,
+    ) {
+        let reference = Params::new(width, depth, shift);
+        let stack = Stack2D::<u64>::builder().width(width).depth(depth).shift(shift).build();
+        let queue = Queue2D::<u64>::builder().width(width).depth(depth).shift(shift).build();
+        let counter = Counter2D::builder().width(width).depth(depth).shift(shift).build();
+        match reference {
+            Ok(p) => {
+                prop_assert_eq!(stack.expect("stack must accept what Params accepts").params(), p);
+                prop_assert_eq!(queue.expect("queue must accept what Params accepts").params(), p);
+                prop_assert_eq!(
+                    counter.expect("counter must accept what Params accepts").params(),
+                    p
+                );
+            }
+            Err(e) => {
+                prop_assert_eq!(stack.map(|_| ()).unwrap_err(), e);
+                prop_assert_eq!(queue.map(|_| ()).unwrap_err(), e);
+                prop_assert_eq!(counter.map(|_| ()).unwrap_err(), e);
+            }
+        }
+    }
+
+    /// `for_bound(k)` round trip: the built structure's bound never
+    /// exceeds `k`, and the chosen width is maximal under that constraint.
+    #[test]
+    fn for_bound_round_trips(k in 0usize..100_000) {
+        let stack = Stack2D::<u64>::builder().for_bound(k).build().unwrap();
+        prop_assert!(stack.k_bound() <= k, "k_bound {} > budget {k}", stack.k_bound());
+        // Maximality: one more sub-stack would exceed the budget.
+        let wider = Params::new(stack.params().width() + 1, 1, 1).unwrap();
+        prop_assert!(wider.k_bound() > k, "width {} not maximal for k={k}", stack.params().width());
+        // The same preset drives the queue and the counter identically.
+        let queue = Queue2D::<u64>::builder().for_bound(k).build().unwrap();
+        prop_assert_eq!(queue.params(), stack.params());
+    }
+
+    /// `for_threads(n)` is the paper's `4P` preset on every structure.
+    #[test]
+    fn for_threads_round_trips(threads in 0usize..64) {
+        let stack = Stack2D::<u64>::builder().for_threads(threads).build().unwrap();
+        prop_assert_eq!(stack.params(), Params::for_threads(threads));
+        let counter = Counter2D::builder().for_threads(threads).build().unwrap();
+        prop_assert_eq!(counter.params(), Params::for_threads(threads));
+    }
+}
+
+#[test]
+fn elastic_capacity_presizes_all_three() {
+    let s = Stack2D::<u64>::builder().width(2).elastic_capacity(16).build().unwrap();
+    let q = Queue2D::<u64>::builder().width(2).elastic_capacity(16).build().unwrap();
+    let c = Counter2D::builder().width(2).elastic_capacity(16).build().unwrap();
+    assert_eq!((s.capacity(), q.capacity(), c.capacity()), (16, 16, 16));
+    assert!(s.is_elastic() && q.is_elastic() && c.is_elastic());
+    let fixed = Stack2D::<u64>::builder().width(2).build().unwrap();
+    assert!(!fixed.is_elastic());
+}
+
+/// Two identically seeded structures driven identically behave
+/// identically — the property the quality pipeline relies on.
+#[test]
+fn seeded_builds_are_reproducible() {
+    let mk = || Stack2D::<u64>::builder().width(8).depth(2).shift(1).seed(0xD5).build().unwrap();
+    let (a, b) = (mk(), mk());
+    // Two handles each, interleaved, to exercise the per-handle sequence.
+    let (mut a1, mut a2) = (a.handle(), a.handle());
+    let (mut b1, mut b2) = (b.handle(), b.handle());
+    for i in 0..1_000 {
+        a1.push(i);
+        b1.push(i);
+        if i % 3 == 0 {
+            assert_eq!(a2.pop(), b2.pop(), "divergence at op {i}");
+        }
+    }
+    let (va, vb): (Vec<_>, Vec<_>) = (a.drain().collect(), b.drain().collect());
+    assert_eq!(va, vb, "seeded stacks must drain identically");
+}
+
+/// The deprecated constructors remain thin, working shims for one PR.
+#[test]
+#[allow(deprecated)]
+fn deprecated_elastic_shims_still_work() {
+    let p = Params::new(1, 1, 1).unwrap();
+    let s: Stack2D<u64> = Stack2D::elastic(p, 8);
+    let q: Queue2D<u64> = Queue2D::elastic(p, 8);
+    let c = Counter2D::elastic(p, 8);
+    assert_eq!((s.capacity(), q.capacity(), c.capacity()), (8, 8, 8));
+    s.retune(Params::new(8, 1, 1).unwrap()).unwrap();
+    assert_eq!(s.window().width(), 8);
+}
+
+#[test]
+fn build_errors_display_like_params_errors() {
+    let err = Queue2D::<u8>::builder().width(0).build().unwrap_err();
+    assert_eq!(err, ParamsError::ZeroWidth);
+    assert_eq!(err.to_string(), ParamsError::ZeroWidth.to_string());
+}

@@ -39,7 +39,7 @@ proptest! {
     fn arbitrary_retune_schedules_preserve_segment_quality(
         schedule in proptest::collection::vec(step_strategy(), 1..60),
     ) {
-        let stack = Stack2D::elastic(Params::new(1, 1, 1).unwrap(), CAPACITY);
+        let stack = Stack2D::builder().params(Params::new(1, 1, 1).unwrap()).elastic_capacity(CAPACITY).build().unwrap();
         let initial = stack.window();
         let measured = MeasuredElastic::new(&stack);
         let mut events = Vec::new();
@@ -83,7 +83,7 @@ proptest! {
         schedule in proptest::collection::vec(step_strategy(), 1..80),
         seed in any::<u64>(),
     ) {
-        let stack: Stack2D<u64> = Stack2D::elastic(Params::new(2, 1, 1).unwrap(), CAPACITY);
+        let stack: Stack2D<u64> = Stack2D::builder().params(Params::new(2, 1, 1).unwrap()).elastic_capacity(CAPACITY).build().unwrap();
         let mut h = stack.handle_seeded(seed);
         let mut next = 0u64;
         let mut popped = HashSet::new();

@@ -24,7 +24,8 @@ fn p(w: usize, d: usize, s: usize) -> Params {
 fn eight_thread_churn_with_midflight_retunes_conserves_items() {
     const THREADS: usize = 8;
     const PER_THREAD: usize = 8_000;
-    let stack = Arc::new(Stack2D::elastic(p(1, 1, 1), 32));
+    let stack =
+        Arc::new(Stack2D::builder().params(p(1, 1, 1)).elastic_capacity(32).build().unwrap());
     let schedule =
         [p(32, 1, 1), p(8, 4, 2), p(2, 2, 1), p(16, 2, 2), p(1, 1, 1), p(32, 8, 8), p(4, 1, 1)];
     let mut joins = Vec::new();
@@ -87,7 +88,8 @@ fn eight_thread_churn_with_midflight_retunes_conserves_items() {
 fn measured_churn_under_live_controller_respects_segment_bounds() {
     const THREADS: usize = 8;
     const PER_THREAD: usize = 3_000;
-    let stack = Arc::new(Stack2D::elastic(p(1, 1, 1), 16));
+    let stack =
+        Arc::new(Stack2D::builder().params(p(1, 1, 1)).elastic_capacity(16).build().unwrap());
     let initial = stack.window();
     let measured = MeasuredElastic::new(&stack);
     let runner = ElasticRunner::spawn_with_budget(
@@ -137,7 +139,7 @@ fn eight_thread_queue_churn_under_live_controller_conserves_items() {
     const THREADS: usize = 8;
     const PER_THREAD: usize = 6_000;
     const BUDGET: usize = 84; // width saturates at 8, depth can reach 4
-    let q = Arc::new(Queue2D::elastic(p(1, 1, 1), 8));
+    let q = Arc::new(Queue2D::builder().params(p(1, 1, 1)).elastic_capacity(8).build().unwrap());
     let runner = ElasticRunner::spawn_with_budget(
         Arc::clone(&q),
         AimdController::new(BUDGET),
@@ -191,7 +193,7 @@ fn eight_thread_queue_churn_under_live_controller_conserves_items() {
 fn eight_thread_counter_churn_with_midflight_retunes_conserves_value() {
     const THREADS: usize = 8;
     const PER_THREAD: usize = 20_000;
-    let c = Arc::new(Counter2D::elastic(p(1, 1, 1), 32));
+    let c = Arc::new(Counter2D::builder().params(p(1, 1, 1)).elastic_capacity(32).build().unwrap());
     let schedule =
         [p(32, 1, 1), p(8, 4, 2), p(2, 2, 1), p(16, 2, 2), p(1, 1, 1), p(32, 8, 8), p(4, 1, 1)];
     let mut joins = Vec::new();
@@ -235,7 +237,7 @@ fn measured_queue_churn_under_live_controller_respects_segment_bounds() {
     const THREADS: usize = 4;
     const PER_THREAD: usize = 3_000;
     const BUDGET: usize = 84;
-    let q = Arc::new(Queue2D::elastic(p(1, 1, 1), 8));
+    let q = Arc::new(Queue2D::builder().params(p(1, 1, 1)).elastic_capacity(8).build().unwrap());
     let initial = q.window();
     let measured = MeasuredElasticQueue::new(&q);
     let runner = ElasticRunner::spawn_with_budget(
@@ -278,7 +280,8 @@ fn measured_queue_churn_under_live_controller_respects_segment_bounds() {
 /// within budget.
 #[test]
 fn runner_shutdown_leaves_stack_consistent() {
-    let stack = Arc::new(Stack2D::elastic(p(2, 1, 1), 8));
+    let stack =
+        Arc::new(Stack2D::builder().params(p(2, 1, 1)).elastic_capacity(8).build().unwrap());
     let runner = ElasticRunner::spawn(
         Arc::clone(&stack),
         AimdController::new(21),

@@ -54,7 +54,13 @@ fn concurrent_storm_conserves_items() {
 fn eight_thread_churn_with_midflight_retunes_conserves_items() {
     const THREADS: usize = 8;
     const PER_THREAD: usize = 6_000;
-    let q = Arc::new(Queue2D::elastic(Params::new(1, 1, 1).unwrap(), 32));
+    let q = Arc::new(
+        Queue2D::builder()
+            .params(Params::new(1, 1, 1).unwrap())
+            .elastic_capacity(32)
+            .build()
+            .unwrap(),
+    );
     let schedule: Vec<Params> =
         [(32, 1, 1), (8, 4, 2), (2, 2, 1), (16, 2, 2), (1, 1, 1), (4, 1, 1)]
             .into_iter()
@@ -110,7 +116,13 @@ fn eight_thread_churn_with_midflight_retunes_conserves_items() {
 fn concurrent_retunes_leave_windows_consistent() {
     const RETUNERS: usize = 4;
     const ROUNDS: usize = 400;
-    let q = Arc::new(Queue2D::<u64>::elastic(Params::new(1, 1, 1).unwrap(), 16));
+    let q = Arc::new(
+        Queue2D::<u64>::builder()
+            .params(Params::new(1, 1, 1).unwrap())
+            .elastic_capacity(16)
+            .build()
+            .unwrap(),
+    );
     let mut joins = Vec::new();
     for t in 0..RETUNERS {
         let q = Arc::clone(&q);
@@ -238,7 +250,7 @@ proptest! {
         schedule in proptest::collection::vec((1usize..=8, 1usize..=3), 1..5),
         plan in proptest::collection::vec(any::<bool>(), 40..240),
     ) {
-        let q = Queue2D::elastic(Params::new(1, 1, 1).unwrap(), 8);
+        let q = Queue2D::builder().params(Params::new(1, 1, 1).unwrap()).elastic_capacity(8).build().unwrap();
         let initial = q.window();
         let measured = MeasuredElasticQueue::new(&q);
         let mut events = Vec::new();

@@ -543,7 +543,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use core::ops::Range;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](fn@vec).
     #[derive(Debug)]
     pub struct VecStrategy<S> {
         element: S,

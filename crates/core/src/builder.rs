@@ -29,6 +29,7 @@
 use core::marker::PhantomData;
 
 use crate::params::{Params, ParamsError};
+use crate::search::{SearchConfig, SearchPolicy};
 use crate::{Counter2D, Queue2D, Stack2D};
 
 mod sealed {
@@ -40,30 +41,47 @@ mod sealed {
 
 /// A structure [`Builder`] can construct: the three windowed structures.
 ///
-/// Sealed — the builder's vocabulary (window parameters, elastic capacity,
-/// handle seed) is specific to the 2D-window design, so outside
-/// implementations would have nothing to construct from it.
+/// Sealed — the builder's vocabulary (window parameters, search policy,
+/// elastic capacity, handle seed) is specific to the 2D-window design, so
+/// outside implementations would have nothing to construct from it.
 pub trait Buildable: sealed::Sealed + Sized {
     /// Constructs the structure from validated builder output.
     #[doc(hidden)]
-    fn from_builder(params: Params, capacity: usize, seed: Option<u64>) -> Self;
+    fn from_builder(config: SearchConfig, seed: Option<u64>) -> Self;
+
+    /// The search policy a builder applies when none is set explicitly:
+    /// the paper's two-phase default for the stack; the historical plain
+    /// covering sweep ([`SearchPolicy::RoundRobinOnly`]) for the queue and
+    /// counter, whose default probe counts are pinned by regression tests.
+    #[doc(hidden)]
+    fn default_policy() -> SearchPolicy {
+        SearchPolicy::default()
+    }
 }
 
 impl<T> Buildable for Stack2D<T> {
-    fn from_builder(params: Params, capacity: usize, seed: Option<u64>) -> Self {
-        Stack2D::from_builder_parts(params, capacity, seed)
+    fn from_builder(config: SearchConfig, seed: Option<u64>) -> Self {
+        Stack2D::from_builder_parts(config, seed)
     }
 }
 
 impl<T> Buildable for Queue2D<T> {
-    fn from_builder(params: Params, capacity: usize, seed: Option<u64>) -> Self {
-        Queue2D::from_builder_parts(params, capacity, seed)
+    fn from_builder(config: SearchConfig, seed: Option<u64>) -> Self {
+        Queue2D::from_builder_parts(config, seed)
+    }
+
+    fn default_policy() -> SearchPolicy {
+        SearchPolicy::RoundRobinOnly
     }
 }
 
 impl Buildable for Counter2D {
-    fn from_builder(params: Params, capacity: usize, seed: Option<u64>) -> Self {
-        Counter2D::from_builder_parts(params, capacity, seed)
+    fn from_builder(config: SearchConfig, seed: Option<u64>) -> Self {
+        Counter2D::from_builder_parts(config, seed)
+    }
+
+    fn default_policy() -> SearchPolicy {
+        SearchPolicy::RoundRobinOnly
     }
 }
 
@@ -93,6 +111,9 @@ pub struct Builder<S: Buildable> {
     width: usize,
     depth: usize,
     shift: usize,
+    policy: Option<SearchPolicy>,
+    hop_on_contention: bool,
+    locality: bool,
     capacity: Option<usize>,
     seed: Option<u64>,
     _structure: PhantomData<fn() -> S>,
@@ -100,13 +121,17 @@ pub struct Builder<S: Buildable> {
 
 impl<S: Buildable> Builder<S> {
     /// Starts from the conservative default window ([`Params::default`]:
-    /// `width = 4`, `depth = shift = 1`).
+    /// `width = 4`, `depth = shift = 1`) and the structure's default
+    /// search behaviour.
     pub(crate) fn new() -> Self {
         let p = Params::default();
         Builder {
             width: p.width(),
             depth: p.depth(),
             shift: p.shift(),
+            policy: None,
+            hop_on_contention: true,
+            locality: true,
             capacity: None,
             seed: None,
             _structure: PhantomData,
@@ -234,6 +259,68 @@ impl<S: Buildable> Builder<S> {
         self
     }
 
+    /// Replaces the window-search policy (how a thread walks the
+    /// sub-structure array looking for a valid cell). Defaults to the
+    /// structure's historical behaviour: the paper's two-phase search on
+    /// [`Stack2D`], the plain covering sweep
+    /// ([`SearchPolicy::RoundRobinOnly`]) on [`Queue2D`] and
+    /// [`Counter2D`]. All three policies run on all three structures —
+    /// the unified search engine is what the ablation experiments toggle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Queue2D, SearchPolicy};
+    ///
+    /// // The paper's two-phase search on the queue extension.
+    /// let q: Queue2D<u8> = Queue2D::builder()
+    ///     .width(4)
+    ///     .search_policy(SearchPolicy::TwoPhase { random_hops: 1 })
+    ///     .build()
+    ///     .unwrap();
+    /// q.enqueue(7);
+    /// assert_eq!(q.dequeue(), Some(7));
+    /// ```
+    #[must_use]
+    pub fn search_policy(mut self, policy: SearchPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Enables/disables the random hop after a failed CAS (contention
+    /// avoidance; default: enabled, on all three structures).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::Counter2D;
+    ///
+    /// let c = Counter2D::builder().width(4).hop_on_contention(false).build().unwrap();
+    /// assert!(!c.config().hops_on_contention());
+    /// ```
+    #[must_use]
+    pub fn hop_on_contention(mut self, enabled: bool) -> Self {
+        self.hop_on_contention = enabled;
+        self
+    }
+
+    /// Enables/disables starting each search at the cell of the last
+    /// successful operation (default: enabled, on all three structures).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::Stack2D;
+    ///
+    /// let s: Stack2D<u8> = Stack2D::builder().width(4).locality(false).build().unwrap();
+    /// assert!(!s.config().uses_locality());
+    /// ```
+    #[must_use]
+    pub fn locality(mut self, enabled: bool) -> Self {
+        self.locality = enabled;
+        self
+    }
+
     /// Pre-sizes the sub-structure array to `capacity`, the hard ceiling
     /// for online retunes (the elastic runtime's
     /// [`retune`](crate::ElasticTarget::retune)). Values below the window
@@ -305,8 +392,14 @@ impl<S: Buildable> Builder<S> {
     /// ```
     pub fn build(self) -> Result<S, ParamsError> {
         let params = Params::new(self.width, self.depth, self.shift)?;
-        let capacity = self.capacity.unwrap_or(0).max(params.width());
-        Ok(S::from_builder(params, capacity, self.seed))
+        let mut config = SearchConfig::new(params)
+            .search_policy(self.policy.unwrap_or_else(S::default_policy))
+            .hop_on_contention(self.hop_on_contention)
+            .locality(self.locality);
+        if let Some(capacity) = self.capacity {
+            config = config.max_width(capacity);
+        }
+        Ok(S::from_builder(config, self.seed))
     }
 }
 

@@ -21,14 +21,24 @@
 //!
 //! Since PR 3 the counter shares the stack's elastic machinery
 //! (`ElasticWindow`): the sub-counter array is pre-sized at a capacity
-//! ([`Counter2D::elastic`]) and [`Counter2D::retune`] hot-swaps the
-//! descriptor. A width shrink stops increments into the retired tail
-//! immediately and *commits* ([`Counter2D::try_commit_shrink`]) once the
-//! epoch fence proves every pre-shrink increment finished; the commit
-//! **drains** the retired sub-counters — their frozen values move into a
-//! side accumulator folded into [`Counter2D::value`] — so a later width
-//! grow re-activates them at zero instead of at stale counts, and the
-//! active-span spread claim is never polluted by retirement residue.
+//! ([`Builder::elastic_capacity`](crate::Builder::elastic_capacity)) and
+//! [`Counter2D::retune`] hot-swaps the descriptor. A width shrink stops
+//! increments into the retired tail immediately and *commits*
+//! ([`Counter2D::try_commit_shrink`]) once the epoch fence proves every
+//! pre-shrink increment finished; the commit **drains** the retired
+//! sub-counters — their frozen values move into a side accumulator folded
+//! into [`Counter2D::value`] — so a later width grow re-activates them at
+//! zero instead of at stale counts, and the active-span spread claim is
+//! never polluted by retirement residue.
+//!
+//! # Search policy
+//!
+//! Increments search through the unified engine (`engine.rs`), so the full
+//! [`SearchConfig`] surface — [`SearchPolicy`], locality,
+//! hop-on-contention — applies to the counter exactly as to the stack. The
+//! *default* remains the counter's historical plain covering sweep
+//! ([`SearchPolicy::RoundRobinOnly`], probe counts pinned by regression
+//! tests).
 
 use core::fmt;
 use core::sync::atomic::{AtomicUsize, Ordering};
@@ -37,11 +47,13 @@ use crossbeam_epoch as epoch;
 use crossbeam_utils::CachePadded;
 
 use crate::builder::Builder;
+use crate::engine::{Probe, ProbeTarget, Search};
 use crate::metrics::{MetricsSnapshot, OpCounters};
 use crate::params::Params;
 use crate::rng::{HandleSeeder, HopRng};
+use crate::search::{SearchConfig, SearchPolicy};
 use crate::traits::{ElasticTarget, OpsHandle, RelaxedOps};
-use crate::window::{ElasticWindow, RetuneError, WindowInfo};
+use crate::window::{ElasticWindow, RetuneError, WindowDesc, WindowInfo};
 
 /// A relaxed, window-bounded sharded counter.
 ///
@@ -66,11 +78,9 @@ pub struct Counter2D {
     window: ElasticWindow,
     /// Counts folded out of retired sub-counters at shrink commits.
     drained: CachePadded<AtomicUsize>,
+    config: SearchConfig,
     counters: OpCounters,
     seeder: HandleSeeder,
-    /// Whether the counter was built with elastic headroom (capacity
-    /// beyond the initial width).
-    elastic: bool,
 }
 
 impl Counter2D {
@@ -89,51 +99,49 @@ impl Counter2D {
         Builder::new()
     }
 
-    /// Creates a counter with the given window parameters and no elastic
-    /// headroom (capacity = width).
+    /// Creates a counter with the given window parameters, the default
+    /// search behaviour (plain covering sweep) and no elastic headroom
+    /// (capacity = width).
     pub fn new(params: Params) -> Self {
-        Self::from_builder_parts(params, params.width(), None)
+        Self::with_config(SearchConfig::new(params).search_policy(SearchPolicy::RoundRobinOnly))
     }
 
-    pub(crate) fn from_builder_parts(params: Params, capacity: usize, seed: Option<u64>) -> Self {
-        let capacity = capacity.max(params.width());
+    /// Creates a counter with explicit search-policy configuration (used
+    /// by the ablation experiments; note that [`SearchConfig::new`]'s
+    /// policy default is the *paper's* two-phase search, while
+    /// [`Counter2D::new`] and the builder default to the counter's
+    /// historical [`SearchPolicy::RoundRobinOnly`] sweep).
+    pub fn with_config(config: SearchConfig) -> Self {
+        Self::from_builder_parts(config, None)
+    }
+
+    pub(crate) fn from_builder_parts(config: SearchConfig, seed: Option<u64>) -> Self {
+        let params = config.params();
+        let capacity = config.capacity();
         Counter2D {
             subs: (0..capacity).map(|_| CachePadded::new(AtomicUsize::new(0))).collect(),
             global: CachePadded::new(AtomicUsize::new(params.initial_global())),
             window: ElasticWindow::new(params),
             drained: CachePadded::new(AtomicUsize::new(0)),
+            config,
             counters: OpCounters::default(),
             seeder: HandleSeeder::new(seed),
-            elastic: capacity > params.width(),
         }
-    }
-
-    /// Creates a counter that can later be [`retune`](Counter2D::retune)d
-    /// up to `max_width` sub-counters.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use stack2d::{Counter2D, Params};
-    ///
-    /// let c = Counter2D::builder().width(1).elastic_capacity(8).build().unwrap();
-    /// assert_eq!(c.capacity(), 8);
-    /// c.retune(Params::new(8, 1, 1).unwrap()).unwrap();
-    /// assert_eq!(c.window().width(), 8);
-    /// ```
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Counter2D::builder().params(..).elastic_capacity(max_width).build()"
-    )]
-    pub fn elastic(params: Params, max_width: usize) -> Self {
-        Self::from_builder_parts(params, max_width, None)
     }
 
     /// Whether this counter was built with elastic headroom (capacity
     /// beyond the initial width), i.e. is meant to be retuned online.
     #[inline]
     pub fn is_elastic(&self) -> bool {
-        self.elastic
+        self.capacity() > self.config.params().width()
+    }
+
+    /// The construction-time configuration (search policy knobs and the
+    /// *initial* window parameters; for the live parameters after retunes
+    /// see [`Counter2D::window`]).
+    #[inline]
+    pub fn config(&self) -> SearchConfig {
+        self.config
     }
 
     /// The window parameters currently in force.
@@ -388,6 +396,47 @@ pub struct CounterHandle<'c> {
     rng: HopRng,
 }
 
+/// The increment side, as driven by the search engine: a sub-counter is
+/// valid iff its value is below `Global`; one unit is claimed via CAS so
+/// the window check and the increment apply to the same observed value.
+struct IncrementSide<'c> {
+    subs: &'c [CachePadded<AtomicUsize>],
+}
+
+impl ProbeTarget for IncrementSide<'_> {
+    type Output = ();
+    const CONSUMES: bool = false;
+
+    fn span(&self, w: &WindowDesc) -> usize {
+        w.push_width
+    }
+
+    fn probe(
+        &mut self,
+        i: usize,
+        _w: &WindowDesc,
+        global: usize,
+        _guard: &epoch::Guard,
+    ) -> Probe<()> {
+        let v = self.subs[i].load(Ordering::Acquire);
+        if v < global {
+            if self.subs[i].compare_exchange(v, v + 1, Ordering::AcqRel, Ordering::Acquire).is_ok()
+            {
+                Probe::Done(())
+            } else {
+                Probe::Contended
+            }
+        } else {
+            Probe::Invalid
+        }
+    }
+
+    fn shift_target(&self, global: usize, live: &WindowDesc) -> Option<usize> {
+        // Every active sub-counter is at the window's edge: raise it.
+        Some(global + live.shift)
+    }
+}
+
 impl CounterHandle<'_> {
     /// Adds one to the counter on some window-valid sub-counter.
     pub fn increment(&mut self) {
@@ -396,71 +445,20 @@ impl CounterHandle<'_> {
         // sub-counter is only drained after every pinned pre-shrink
         // operation finished.
         let guard = epoch::pin();
-        let mut start = self.last;
-        let mut probes = 0u64;
-        let mut cas_failures = 0u64;
-        let mut restarts = 0u64;
-        let mut shifts = 0u64;
-        loop {
-            // Re-read the descriptor every round: retunes take effect
-            // without blocking in-flight increments.
-            let w = c.window.load(&guard);
-            let width = w.push_width;
-            start %= width;
-            let global = c.global.load(Ordering::SeqCst);
-            let mut advanced = false;
-            // A covering sweep of `width` probes from the locality index;
-            // the `!advanced` conclusion below is sound exactly because
-            // every active sub-counter was observed once under `global`
-            // (probing `start` twice, as the old `0..=width` range did,
-            // added nothing to coverage).
-            for step in 0..width {
-                let i = (start + step) % width;
-                probes += 1;
-                if c.global.load(Ordering::SeqCst) != global {
-                    start = i;
-                    advanced = true;
-                    restarts += 1;
-                    break;
-                }
-                let v = c.subs[i].load(Ordering::Acquire);
-                if v < global {
-                    // Claim one unit via CAS so the window check and the
-                    // increment apply to the same observed value.
-                    if c.subs[i]
-                        .compare_exchange(v, v + 1, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        self.last = i;
-                        let m = &c.counters;
-                        m.add(|c| &c.probes, probes);
-                        m.add(|c| &c.cas_failures, cas_failures);
-                        m.add(|c| &c.global_restarts, restarts);
-                        m.add(|c| &c.shifts_up, shifts);
-                        m.add(|c| &c.ops, 1);
-                        return;
-                    }
-                    // Lost a race: random hop (contention avoidance).
-                    cas_failures += 1;
-                    start = self.rng.bounded(width);
-                    advanced = true;
-                    break;
-                }
-            }
-            if !advanced {
-                // Every active sub-counter is at the window's edge: raise
-                // it. Re-read the descriptor first — a concurrent retune
-                // may have changed `shift` since this round began.
-                let shift = c.window.load(&guard).shift;
-                if c.global
-                    .compare_exchange(global, global + shift, Ordering::SeqCst, Ordering::SeqCst)
-                    .is_ok()
-                {
-                    shifts += 1;
-                }
-                start = self.last;
-            }
-        }
+        let mut side = IncrementSide { subs: &c.subs };
+        let (done, st) = Search::new(&c.window, &c.global, &c.config).run(
+            &mut side,
+            &mut self.last,
+            &mut self.rng,
+            &guard,
+        );
+        debug_assert!(done.is_some(), "an increment always completes");
+        let m = &c.counters;
+        m.add(|c| &c.probes, st.probes);
+        m.add(|c| &c.cas_failures, st.cas_failures);
+        m.add(|c| &c.global_restarts, st.restarts);
+        m.add(|c| &c.shifts_up, st.shifts);
+        m.add(|c| &c.ops, 1);
     }
 }
 

@@ -75,7 +75,11 @@
 //! * [`substack`] — the descriptor-based lock-free sub-stack (public because
 //!   the paper's `random` / `random-c2` / `k-robin` baselines in
 //!   `stack2d-baselines` are built from the same block);
-//! * [`search`] — the two-phase search policy and its ablation variants;
+//! * [`search`] — the two-phase search policy, its ablation variants and
+//!   the structure-shared [`SearchConfig`]; the policies execute in one
+//!   crate-internal window-search *engine* (`engine.rs`, DESIGN.md §9)
+//!   that drives the stack's push/pop, the queue's put/get ends and the
+//!   counter's increments through a per-cell probe trait;
 //! * [`params`] — window parameters and the Theorem 1 bound;
 //! * [`window`] — the structure-agnostic hot-swappable window descriptor
 //!   behind `retune`: online ("elastic") width/depth/shift changes with
@@ -103,6 +107,7 @@
 
 pub mod builder;
 pub mod counter2d;
+mod engine;
 pub mod metrics;
 pub mod params;
 pub mod queue2d;
@@ -118,7 +123,9 @@ pub use counter2d::{Counter2D, CounterHandle};
 pub use metrics::MetricsSnapshot;
 pub use params::{Params, ParamsError};
 pub use queue2d::{Queue2D, QueueHandle};
-pub use search::{SearchPolicy, StackConfig};
+#[allow(deprecated)]
+pub use search::StackConfig;
+pub use search::{SearchConfig, SearchPolicy};
 pub use stack::{Handle2D, Stack2D};
 pub use traits::{ConcurrentStack, ElasticTarget, OpsHandle, RelaxedOps, StackHandle, StackOps};
 pub use window::{RetuneError, WindowInfo};

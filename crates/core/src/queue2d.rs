@@ -28,14 +28,25 @@
 //!
 //! Since PR 3 the queue shares the stack's elastic machinery
 //! (`ElasticWindow`): the sub-queue array is pre-sized at a capacity
-//! ([`Queue2D::elastic`]) and [`Queue2D::retune`] hot-swaps **two**
-//! descriptors, one per window. Two are required because the put and get
-//! windows retire sub-queues at different times: a width shrink stops
-//! *enqueues* into the tail immediately (put descriptor, swung
-//! symmetrically), while *dequeues* must keep covering the tail until the
-//! epoch fence proves every pre-shrink enqueue finished and a sweep finds
-//! the tail drained (get descriptor, high-water rule +
-//! [`Queue2D::try_commit_shrink`]). See DESIGN.md §7.
+//! ([`Builder::elastic_capacity`](crate::Builder::elastic_capacity)) and
+//! [`Queue2D::retune`] hot-swaps **two** descriptors, one per window. Two
+//! are required because the put and get windows retire sub-queues at
+//! different times: a width shrink stops *enqueues* into the tail
+//! immediately (put descriptor, swung symmetrically), while *dequeues*
+//! must keep covering the tail until the epoch fence proves every
+//! pre-shrink enqueue finished and a sweep finds the tail drained (get
+//! descriptor, high-water rule + [`Queue2D::try_commit_shrink`]). See
+//! DESIGN.md §7.
+//!
+//! # Search policy
+//!
+//! Both ends search through the unified engine (`engine.rs`), so the full
+//! [`SearchConfig`] surface — [`SearchPolicy`], locality,
+//! hop-on-contention — applies to the queue exactly as to the stack. The
+//! *default* remains the queue's historical plain covering sweep
+//! ([`SearchPolicy::RoundRobinOnly`], probe counts pinned by regression
+//! tests); the paper's two-phase policy is one
+//! [`Builder::search_policy`](crate::Builder::search_policy) call away.
 
 use core::fmt;
 use core::mem::MaybeUninit;
@@ -46,11 +57,13 @@ use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use crossbeam_utils::CachePadded;
 
 use crate::builder::Builder;
+use crate::engine::{Probe, ProbeTarget, Search};
 use crate::metrics::{MetricsSnapshot, OpCounters};
 use crate::params::Params;
 use crate::rng::{HandleSeeder, HopRng};
+use crate::search::{SearchConfig, SearchPolicy};
 use crate::traits::{ElasticTarget, OpsHandle, RelaxedOps};
-use crate::window::{ElasticWindow, RetuneError, WindowInfo};
+use crate::window::{ElasticWindow, RetuneError, WindowDesc, WindowInfo};
 
 struct QNode<T> {
     value: MaybeUninit<T>,
@@ -212,11 +225,9 @@ pub struct Queue2D<T> {
     /// enqueues outside the dequeue span once a shrink commits. Cold
     /// path only; enqueues/dequeues never take it.
     retune_lock: std::sync::Mutex<()>,
+    config: SearchConfig,
     counters: OpCounters,
     seeder: HandleSeeder,
-    /// Whether the queue was built with elastic headroom (capacity beyond
-    /// the initial width).
-    elastic: bool,
 }
 
 impl<T> Queue2D<T> {
@@ -234,14 +245,25 @@ impl<T> Queue2D<T> {
         Builder::new()
     }
 
-    /// Creates a 2D-Queue with the given window parameters and no elastic
-    /// headroom (capacity = width).
+    /// Creates a 2D-Queue with the given window parameters, the default
+    /// search behaviour (plain covering sweep) and no elastic headroom
+    /// (capacity = width).
     pub fn new(params: Params) -> Self {
-        Self::from_builder_parts(params, params.width(), None)
+        Self::with_config(SearchConfig::new(params).search_policy(SearchPolicy::RoundRobinOnly))
     }
 
-    pub(crate) fn from_builder_parts(params: Params, capacity: usize, seed: Option<u64>) -> Self {
-        let capacity = capacity.max(params.width());
+    /// Creates a 2D-Queue with explicit search-policy configuration (used
+    /// by the ablation experiments; note that [`SearchConfig::new`]'s
+    /// policy default is the *paper's* two-phase search, while
+    /// [`Queue2D::new`] and the builder default to the queue's historical
+    /// [`SearchPolicy::RoundRobinOnly`] sweep).
+    pub fn with_config(config: SearchConfig) -> Self {
+        Self::from_builder_parts(config, None)
+    }
+
+    pub(crate) fn from_builder_parts(config: SearchConfig, seed: Option<u64>) -> Self {
+        let params = config.params();
+        let capacity = config.capacity();
         let subs = (0..capacity)
             .map(|_| CachePadded::new(SubQueue::new()))
             .collect::<Vec<_>>()
@@ -253,39 +275,25 @@ impl<T> Queue2D<T> {
             put: ElasticWindow::new(params),
             get: ElasticWindow::new(params),
             retune_lock: std::sync::Mutex::new(()),
+            config,
             counters: OpCounters::default(),
             seeder: HandleSeeder::new(seed),
-            elastic: capacity > params.width(),
         }
-    }
-
-    /// Creates a 2D-Queue that can later be [`retune`](Queue2D::retune)d up
-    /// to `max_width` sub-queues: the array is pre-sized so growing either
-    /// window is a pure descriptor swing and never blocks an operation.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use stack2d::{Params, Queue2D};
-    ///
-    /// let q: Queue2D<u32> = Queue2D::builder().width(1).elastic_capacity(16).build().unwrap();
-    /// assert_eq!(q.capacity(), 16);
-    /// q.retune(Params::new(16, 1, 1).unwrap()).unwrap();
-    /// assert_eq!(q.window().width(), 16);
-    /// ```
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Queue2D::builder().params(..).elastic_capacity(max_width).build()"
-    )]
-    pub fn elastic(params: Params, max_width: usize) -> Self {
-        Self::from_builder_parts(params, max_width, None)
     }
 
     /// Whether this queue was built with elastic headroom (capacity beyond
     /// the initial width), i.e. is meant to be retuned online.
     #[inline]
     pub fn is_elastic(&self) -> bool {
-        self.elastic
+        self.capacity() > self.config.params().width()
+    }
+
+    /// The construction-time configuration (search policy knobs and the
+    /// *initial* window parameters; for the live parameters after retunes
+    /// see [`Queue2D::window`]).
+    #[inline]
+    pub fn config(&self) -> SearchConfig {
+        self.config
     }
 
     /// The put-side window parameters currently in force.
@@ -545,6 +553,86 @@ impl<T: Send> RelaxedOps<T> for Queue2D<T> {
     }
 }
 
+/// The put end, as driven by the search engine: a sub-queue is
+/// enqueue-valid iff its completed-enqueue count is below the put window's
+/// edge.
+struct PutEnd<'q, T> {
+    subs: &'q [CachePadded<SubQueue<T>>],
+    node: Option<Owned<QNode<T>>>,
+}
+
+impl<T> ProbeTarget for PutEnd<'_, T> {
+    type Output = ();
+    const CONSUMES: bool = false;
+
+    fn span(&self, w: &WindowDesc) -> usize {
+        w.push_width
+    }
+
+    fn probe(&mut self, i: usize, _w: &WindowDesc, global: usize, guard: &Guard) -> Probe<()> {
+        if self.subs[i].enq.load(Ordering::Acquire) < global {
+            let n = self.node.take().expect("enqueue node present");
+            match self.subs[i].try_enqueue(n, guard) {
+                Ok(()) => Probe::Done(()),
+                Err(n) => {
+                    self.node = Some(n);
+                    Probe::Contended
+                }
+            }
+        } else {
+            Probe::Invalid
+        }
+    }
+
+    fn shift_target(&self, global: usize, live: &WindowDesc) -> Option<usize> {
+        // Every covered sub-queue is at the window's edge: raise it
+        // (enqueue counts are monotone, so the put window only advances).
+        Some(global + live.shift)
+    }
+}
+
+/// The get end: a sub-queue is dequeue-valid iff it is non-empty and its
+/// completed-dequeue count is below the get window's edge. Dequeues cover
+/// the get window's pop span, which exceeds the put span while a width
+/// shrink is pending.
+struct GetEnd<'q, T> {
+    subs: &'q [CachePadded<SubQueue<T>>],
+}
+
+impl<T> ProbeTarget for GetEnd<'_, T> {
+    type Output = T;
+    const CONSUMES: bool = true;
+
+    fn span(&self, w: &WindowDesc) -> usize {
+        w.pop_width
+    }
+
+    fn probe(&mut self, i: usize, _w: &WindowDesc, global: usize, guard: &Guard) -> Probe<T> {
+        if self.subs[i].is_empty(guard) {
+            return Probe::Empty;
+        }
+        if self.subs[i].deq.load(Ordering::Acquire) < global {
+            match self.subs[i].try_dequeue(guard) {
+                Ok(Some(v)) => Probe::Done(v),
+                // Drained between the emptiness check and the dequeue
+                // attempt; keep probing (and the verdict stays killed —
+                // this probe observed the sub-queue non-empty).
+                Ok(None) => Probe::Invalid,
+                Err(()) => Probe::Contended,
+            }
+        } else {
+            Probe::Invalid
+        }
+    }
+
+    fn shift_target(&self, global: usize, live: &WindowDesc) -> Option<usize> {
+        // Items exist but every non-empty sub-queue exhausted its get
+        // budget: advance the get window (dequeue counts are monotone, so
+        // it too only moves forward).
+        Some(global + live.shift)
+    }
+}
+
 /// Per-thread access handle to a [`Queue2D`].
 pub struct QueueHandle<'q, T> {
     queue: &'q Queue2D<T>,
@@ -558,70 +646,21 @@ impl<T> QueueHandle<'_, T> {
     pub fn enqueue(&mut self, value: T) {
         let q = self.queue;
         let guard = epoch::pin();
-        let mut node =
-            Some(Owned::new(QNode { value: MaybeUninit::new(value), next: Atomic::null() }));
-        let mut start = self.last_put;
-        let mut probes = 0u64;
-        let mut cas_failures = 0u64;
-        let mut restarts = 0u64;
-        let mut shifts = 0u64;
-        loop {
-            // Re-read the put descriptor every round: retunes take effect
-            // without blocking in-flight operations.
-            let w = q.put.load(&guard);
-            let width = w.push_width;
-            start %= width;
-            let global = q.put_global.load(Ordering::SeqCst);
-            let mut hopped = false;
-            // A covering sweep of `width` probes starting from the locality
-            // (or hopped-to) index; probing `start` again at step == width
-            // would be redundant — it was the step-0 probe.
-            for step in 0..width {
-                let i = (start + step) % width;
-                probes += 1;
-                if q.put_global.load(Ordering::SeqCst) != global {
-                    hopped = true;
-                    restarts += 1;
-                    start = i;
-                    break;
-                }
-                if q.subs[i].enq.load(Ordering::Acquire) < global {
-                    let n = node.take().expect("enqueue node present");
-                    match q.subs[i].try_enqueue(n, &guard) {
-                        Ok(()) => {
-                            self.last_put = i;
-                            let c = &q.counters;
-                            c.add(|c| &c.probes, probes);
-                            c.add(|c| &c.cas_failures, cas_failures);
-                            c.add(|c| &c.global_restarts, restarts);
-                            c.add(|c| &c.shifts_up, shifts);
-                            c.add(|c| &c.ops, 1);
-                            return;
-                        }
-                        Err(n) => {
-                            node = Some(n);
-                            cas_failures += 1;
-                            start = self.rng.bounded(width);
-                            hopped = true;
-                            break;
-                        }
-                    }
-                }
-            }
-            if !hopped {
-                // Every covered sub-queue is at the window's edge: raise
-                // it. Re-read the descriptor first — a concurrent retune
-                // may have changed `shift` since this round began.
-                let shift = q.put.load(&guard).shift;
-                if q.put_global
-                    .compare_exchange(global, global + shift, Ordering::SeqCst, Ordering::SeqCst)
-                    .is_ok()
-                {
-                    shifts += 1;
-                }
-                start = self.last_put;
-            }
-        }
+        let node = Owned::new(QNode { value: MaybeUninit::new(value), next: Atomic::null() });
+        let mut end = PutEnd { subs: &q.subs, node: Some(node) };
+        let (done, st) = Search::new(&q.put, &q.put_global, &q.config).run(
+            &mut end,
+            &mut self.last_put,
+            &mut self.rng,
+            &guard,
+        );
+        debug_assert!(done.is_some(), "an enqueue always completes");
+        let c = &q.counters;
+        c.add(|c| &c.probes, st.probes);
+        c.add(|c| &c.cas_failures, st.cas_failures);
+        c.add(|c| &c.global_restarts, st.restarts);
+        c.add(|c| &c.shifts_up, st.shifts);
+        c.add(|c| &c.ops, 1);
     }
 
     /// Dequeues an item; `None` when a covering sweep saw every sub-queue
@@ -629,90 +668,21 @@ impl<T> QueueHandle<'_, T> {
     pub fn dequeue(&mut self) -> Option<T> {
         let q = self.queue;
         let guard = epoch::pin();
-        let mut start = self.last_get;
-        let mut probes = 0u64;
-        let mut cas_failures = 0u64;
-        let mut restarts = 0u64;
-        let mut shifts = 0u64;
-        let finish = |probes, cas_failures, restarts, shifts, empty: bool| {
-            let c = &q.counters;
-            c.add(|c| &c.probes, probes);
-            c.add(|c| &c.cas_failures, cas_failures);
-            c.add(|c| &c.global_restarts, restarts);
-            c.add(|c| &c.shifts_down, shifts);
-            c.add(|c| &c.empty_pops, u64::from(empty));
-            c.add(|c| &c.ops, 1);
-        };
-        loop {
-            // Dequeues cover the get window's pop span, which exceeds the
-            // put span while a width shrink is pending.
-            let w = q.get.load(&guard);
-            let width = w.pop_width;
-            start %= width;
-            let global = q.get_global.load(Ordering::SeqCst);
-            let mut verdict: Option<bool> = Some(true); // all_empty over the sweep
-            for step in 0..width {
-                let i = (start + step) % width;
-                probes += 1;
-                if q.get_global.load(Ordering::SeqCst) != global {
-                    verdict = None;
-                    restarts += 1;
-                    start = i;
-                    break;
-                }
-                // Every probe of the covering sweep — including step 0 —
-                // feeds the all-empty verdict: skipping the first probe
-                // would let `None` rest on a non-covering sweep.
-                let empty = q.subs[i].is_empty(&guard);
-                if let Some(ae) = verdict.as_mut() {
-                    *ae &= empty;
-                }
-                if !empty && q.subs[i].deq.load(Ordering::Acquire) < global {
-                    match q.subs[i].try_dequeue(&guard) {
-                        Ok(Some(v)) => {
-                            self.last_get = i;
-                            finish(probes, cas_failures, restarts, shifts, false);
-                            return Some(v);
-                        }
-                        Ok(None) => {} // drained between checks; keep probing
-                        Err(()) => {
-                            cas_failures += 1;
-                            start = self.rng.bounded(width);
-                            verdict = None;
-                            break;
-                        }
-                    }
-                }
-            }
-            match verdict {
-                Some(true) => {
-                    finish(probes, cas_failures, restarts, shifts, true);
-                    return None;
-                }
-                Some(false) => {
-                    // Items exist but every non-empty sub-queue exhausted
-                    // its get budget: advance the get window. Re-read the
-                    // descriptor first — a concurrent retune may have
-                    // changed `shift` since this round began, and advancing
-                    // by a stale (larger) shift would overshoot the bound
-                    // of the generation in force.
-                    let shift = q.get.load(&guard).shift;
-                    if q.get_global
-                        .compare_exchange(
-                            global,
-                            global + shift,
-                            Ordering::SeqCst,
-                            Ordering::SeqCst,
-                        )
-                        .is_ok()
-                    {
-                        shifts += 1;
-                    }
-                    start = self.last_get;
-                }
-                None => {} // restart after hop / global change
-            }
-        }
+        let mut end = GetEnd { subs: &q.subs };
+        let (out, st) = Search::new(&q.get, &q.get_global, &q.config).run(
+            &mut end,
+            &mut self.last_get,
+            &mut self.rng,
+            &guard,
+        );
+        let c = &q.counters;
+        c.add(|c| &c.probes, st.probes);
+        c.add(|c| &c.cas_failures, st.cas_failures);
+        c.add(|c| &c.global_restarts, st.restarts);
+        c.add(|c| &c.shifts_down, st.shifts);
+        c.add(|c| &c.empty_pops, u64::from(st.empty));
+        c.add(|c| &c.ops, 1);
+        out
     }
 }
 

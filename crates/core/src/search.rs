@@ -1,5 +1,5 @@
-//! Sub-stack search policies: how a thread walks the stack-array looking for
-//! a window-valid sub-stack.
+//! Window-search policies: how a thread walks a sub-structure array looking
+//! for a window-valid cell.
 //!
 //! The paper's policy (§3) is two-phase: *"First the thread tries a given
 //! number of random hops, then switches to round robin until a valid
@@ -8,13 +8,21 @@
 //! what makes the "no valid sub-stack ⇒ shift the window" decision sound.
 //!
 //! Two further behaviours are part of the policy:
-//! * **locality** — each search starts from the sub-stack on which the thread
+//! * **locality** — each search starts from the cell on which the thread
 //!   last succeeded;
 //! * **contention avoidance** — a failed CAS triggers a *random* hop instead
-//!   of a retry on the same sub-stack.
+//!   of a retry on the same cell.
 //!
-//! The ablation benchmarks (`stack2d-harness`, `ablation` binary) switch each
-//! of these off independently via [`SearchPolicy`] and [`StackConfig`].
+//! Nothing here is stack-specific: since the unified search engine
+//! (`engine.rs`) took over the hot loops, the same [`SearchPolicy`] and
+//! [`SearchConfig`] govern [`Stack2D`](crate::Stack2D),
+//! [`Queue2D`](crate::Queue2D) and [`Counter2D`](crate::Counter2D) alike —
+//! which is what lets the ablation results (`stack2d-harness`, `ablation`
+//! binary) transfer across structures. Default policies differ per
+//! structure: the stack keeps the paper's two-phase default, while the
+//! queue and counter default to [`SearchPolicy::RoundRobinOnly`], their
+//! historical covering sweep (probe counts are pinned by regression
+//! tests).
 
 use crate::params::Params;
 use crate::rng::HopRng;
@@ -48,18 +56,23 @@ impl Default for SearchPolicy {
     }
 }
 
-/// Full behavioural configuration of a [`Stack2D`](crate::Stack2D).
+/// Full behavioural configuration of a windowed structure
+/// ([`Stack2D`](crate::Stack2D), [`Queue2D`](crate::Queue2D) or
+/// [`Counter2D`](crate::Counter2D)).
 ///
 /// Bundles the window [`Params`] with the search-policy knobs so ablation
-/// experiments can toggle one mechanism at a time.
+/// experiments can toggle one mechanism at a time — on any of the three
+/// structures, via their `with_config` constructors or the
+/// [`Builder`](crate::Builder)'s `search_policy` / `hop_on_contention` /
+/// `locality` setters.
 ///
 /// # Examples
 ///
 /// ```
-/// use stack2d::{Params, SearchPolicy, StackConfig};
+/// use stack2d::{Params, SearchConfig, SearchPolicy};
 ///
 /// # fn main() -> Result<(), stack2d::ParamsError> {
-/// let cfg = StackConfig::new(Params::new(8, 2, 1)?)
+/// let cfg = SearchConfig::new(Params::new(8, 2, 1)?)
 ///     .search_policy(SearchPolicy::RoundRobinOnly)
 ///     .hop_on_contention(false);
 /// assert!(!cfg.hops_on_contention());
@@ -67,7 +80,7 @@ impl Default for SearchPolicy {
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct StackConfig {
+pub struct SearchConfig {
     params: Params,
     policy: SearchPolicy,
     hop_on_contention: bool,
@@ -75,11 +88,15 @@ pub struct StackConfig {
     max_width: Option<usize>,
 }
 
-impl StackConfig {
+/// The former, stack-specific name of [`SearchConfig`].
+#[deprecated(since = "0.1.0", note = "renamed to SearchConfig — the config is structure-shared")]
+pub type StackConfig = SearchConfig;
+
+impl SearchConfig {
     /// Configuration with the paper's default behaviour for the given window
     /// parameters.
     pub fn new(params: Params) -> Self {
-        StackConfig {
+        SearchConfig {
             params,
             policy: SearchPolicy::default(),
             hop_on_contention: true,
@@ -111,10 +128,11 @@ impl StackConfig {
         self
     }
 
-    /// Pre-sizes the sub-stack array to `max_width`, the ceiling for
-    /// online [`Stack2D::retune`](crate::Stack2D::retune)s (default: the
-    /// initial `width`, i.e. a fixed-width stack). Values below the initial
-    /// width are clamped up to it.
+    /// Pre-sizes the sub-structure array to `max_width`, the ceiling for
+    /// online retunes ([`Stack2D::retune`](crate::Stack2D::retune) and its
+    /// queue/counter twins; default: the initial `width`, i.e. a
+    /// fixed-width structure). Values below the initial width are clamped
+    /// up to it.
     #[must_use]
     pub fn max_width(mut self, max_width: usize) -> Self {
         self.max_width = Some(max_width);
@@ -145,17 +163,17 @@ impl StackConfig {
         self.locality
     }
 
-    /// Number of sub-stacks the stack allocates: the configured
-    /// [`StackConfig::max_width`], floored at the initial width.
+    /// Number of sub-structures the structure allocates: the configured
+    /// [`SearchConfig::max_width`], floored at the initial width.
     #[inline]
     pub fn capacity(&self) -> usize {
         self.max_width.unwrap_or(0).max(self.params.width())
     }
 }
 
-impl From<Params> for StackConfig {
+impl From<Params> for SearchConfig {
     fn from(params: Params) -> Self {
-        StackConfig::new(params)
+        SearchConfig::new(params)
     }
 }
 
@@ -379,7 +397,7 @@ mod tests {
     #[test]
     fn config_builder_round_trips() {
         let params = Params::new(4, 2, 1).unwrap();
-        let cfg = StackConfig::new(params)
+        let cfg = SearchConfig::new(params)
             .search_policy(SearchPolicy::RandomOnly)
             .hop_on_contention(false)
             .locality(false);
@@ -392,15 +410,15 @@ mod tests {
     #[test]
     fn capacity_defaults_to_width_and_clamps_up() {
         let params = Params::new(4, 2, 1).unwrap();
-        assert_eq!(StackConfig::new(params).capacity(), 4);
-        assert_eq!(StackConfig::new(params).max_width(16).capacity(), 16);
+        assert_eq!(SearchConfig::new(params).capacity(), 4);
+        assert_eq!(SearchConfig::new(params).max_width(16).capacity(), 16);
         // Below the initial width the clamp wins.
-        assert_eq!(StackConfig::new(params).max_width(2).capacity(), 4);
+        assert_eq!(SearchConfig::new(params).max_width(2).capacity(), 4);
     }
 
     #[test]
     fn config_from_params_uses_paper_defaults() {
-        let cfg: StackConfig = Params::default().into();
+        let cfg: SearchConfig = Params::default().into();
         assert_eq!(cfg.policy(), SearchPolicy::TwoPhase { random_hops: 1 });
         assert!(cfg.hops_on_contention());
         assert!(cfg.uses_locality());

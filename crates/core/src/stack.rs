@@ -23,10 +23,11 @@ use crossbeam_epoch::{self as epoch};
 use crossbeam_utils::CachePadded;
 
 use crate::builder::Builder;
+use crate::engine::{Probe, ProbeTarget, Search};
 use crate::metrics::{MetricsSnapshot, OpCounters};
 use crate::params::Params;
 use crate::rng::{HandleSeeder, HopRng};
-use crate::search::{Probes, StackConfig};
+use crate::search::SearchConfig;
 use crate::substack::{Contended, PreparedNode, SubStack};
 use crate::traits::{ConcurrentStack, ElasticTarget, StackHandle};
 use crate::window::{ElasticWindow, RetuneError, WindowDesc, WindowInfo};
@@ -72,24 +73,94 @@ pub struct Stack2D<T> {
     /// The live window descriptor (width/depth/shift + generation),
     /// epoch-protected and hot-swapped by [`Stack2D::retune`].
     window: ElasticWindow,
-    config: StackConfig,
+    config: SearchConfig,
     counters: OpCounters,
     seeder: HandleSeeder,
 }
 
-/// Outcome of one search round.
-enum Round {
-    /// The operation succeeded on sub-stack `.0`.
-    Done(usize),
-    /// `Global` changed mid-search; restart from index `.0`.
-    GlobalChanged(usize),
-    /// A CAS was lost on a valid sub-stack; restart (randomly re-seeded when
-    /// hop-on-contention is enabled).
-    Contention,
-    /// Every probe failed validation under the round's `Global` value.
-    /// `all_empty` is true iff a covering sweep observed only empty
-    /// sub-stacks.
-    Exhausted { all_empty: bool },
+/// The push side of the stack-array, as driven by the search engine: a
+/// sub-stack is push-valid iff its count is below `Global`.
+struct PushSide<'s, T> {
+    subs: &'s [CachePadded<SubStack<T>>],
+    node: Option<PreparedNode<T>>,
+}
+
+impl<T> ProbeTarget for PushSide<'_, T> {
+    type Output = ();
+    const CONSUMES: bool = false;
+
+    fn span(&self, w: &WindowDesc) -> usize {
+        w.push_width
+    }
+
+    fn probe(
+        &mut self,
+        i: usize,
+        _w: &WindowDesc,
+        global: usize,
+        guard: &epoch::Guard,
+    ) -> Probe<()> {
+        let view = self.subs[i].view(guard);
+        if view.count() < global {
+            let n = self.node.take().expect("push node present until consumed");
+            match self.subs[i].try_push_at(&view, n, guard) {
+                Ok(()) => Probe::Done(()),
+                Err(Contended(n)) => {
+                    self.node = Some(n);
+                    Probe::Contended
+                }
+            }
+        } else {
+            Probe::Invalid
+        }
+    }
+
+    fn shift_target(&self, global: usize, live: &WindowDesc) -> Option<usize> {
+        // Every sub-stack is at or above the window: raise it.
+        Some(global + live.shift)
+    }
+}
+
+/// The pop side: a sub-stack is pop-valid iff it is non-empty and its count
+/// exceeds `Global - depth`; emptiness is concluded only from the covering
+/// sweep every policy ends with.
+struct PopSide<'s, T> {
+    subs: &'s [CachePadded<SubStack<T>>],
+}
+
+impl<T> ProbeTarget for PopSide<'_, T> {
+    type Output = T;
+    const CONSUMES: bool = true;
+
+    fn span(&self, w: &WindowDesc) -> usize {
+        w.pop_width
+    }
+
+    fn probe(&mut self, i: usize, w: &WindowDesc, global: usize, guard: &epoch::Guard) -> Probe<T> {
+        let view = self.subs[i].view(guard);
+        if view.is_empty() {
+            return Probe::Empty;
+        }
+        if view.count() > global.saturating_sub(w.depth) {
+            match self.subs[i].try_pop_at(&view, guard) {
+                Ok(Some(v)) => Probe::Done(v),
+                // `Ok(None)` cannot happen: the view was non-empty.
+                Ok(None) => unreachable!("non-empty view popped empty"),
+                Err(Contended(())) => Probe::Contended,
+            }
+        } else {
+            Probe::Invalid
+        }
+    }
+
+    fn shift_target(&self, global: usize, live: &WindowDesc) -> Option<usize> {
+        // Items exist but sit below the window: lower it, flooring at
+        // `depth` so the window never dips below `[0, depth]`. (After a
+        // depth-growing retune, `Global` may transiently sit below the new
+        // depth; never raise it from the pop side.)
+        let lowered = global.saturating_sub(live.shift).max(live.depth);
+        (lowered < global).then_some(lowered)
+    }
 }
 
 impl<T> Stack2D<T> {
@@ -109,16 +180,16 @@ impl<T> Stack2D<T> {
 
     /// Creates a 2D-Stack with the paper-default search behaviour.
     pub fn new(params: Params) -> Self {
-        Self::with_config(StackConfig::new(params))
+        Self::with_config(SearchConfig::new(params))
     }
 
     /// Creates a 2D-Stack with explicit search-policy configuration
     /// (used by the ablation experiments).
-    pub fn with_config(config: StackConfig) -> Self {
+    pub fn with_config(config: SearchConfig) -> Self {
         Self::with_config_seeded(config, None)
     }
 
-    fn with_config_seeded(config: StackConfig, seed: Option<u64>) -> Self {
+    fn with_config_seeded(config: SearchConfig, seed: Option<u64>) -> Self {
         let capacity = config.capacity();
         let subs = (0..capacity)
             .map(|_| CachePadded::new(SubStack::new()))
@@ -134,31 +205,8 @@ impl<T> Stack2D<T> {
         }
     }
 
-    pub(crate) fn from_builder_parts(params: Params, capacity: usize, seed: Option<u64>) -> Self {
-        Self::with_config_seeded(StackConfig::new(params).max_width(capacity), seed)
-    }
-
-    /// Creates a 2D-Stack that can later be [`retune`](Stack2D::retune)d up
-    /// to `max_width` sub-stacks: the array is pre-sized so growing the
-    /// window is a pure descriptor swing and never blocks an operation.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use stack2d::{Params, Stack2D};
-    ///
-    /// let stack: Stack2D<u32> =
-    ///     Stack2D::builder().width(1).elastic_capacity(16).build().unwrap();
-    /// assert_eq!(stack.capacity(), 16);
-    /// stack.retune(Params::new(16, 1, 1).unwrap()).unwrap();
-    /// assert_eq!(stack.window().width(), 16);
-    /// ```
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Stack2D::builder().params(..).elastic_capacity(max_width).build()"
-    )]
-    pub fn elastic(params: Params, max_width: usize) -> Self {
-        Self::with_config(StackConfig::new(params).max_width(max_width))
+    pub(crate) fn from_builder_parts(config: SearchConfig, seed: Option<u64>) -> Self {
+        Self::with_config_seeded(config, seed)
     }
 
     /// A snapshot of the stack's operation counters (contention, probes,
@@ -176,7 +224,7 @@ impl<T> Stack2D<T> {
     /// *initial* window parameters; for the live parameters after retunes
     /// see [`Stack2D::window`]).
     #[inline]
-    pub fn config(&self) -> StackConfig {
+    pub fn config(&self) -> SearchConfig {
         self.config
     }
 
@@ -362,100 +410,6 @@ impl<T> Stack2D<T> {
     pub fn pop(&self) -> Option<T> {
         self.handle().pop()
     }
-
-    /// One push search round under the `Global` value `global` and the
-    /// window descriptor `w`.
-    ///
-    /// The descriptor is deliberately *not* re-checked inside the probe
-    /// loop (only `Global` is, as in the paper): push/pop reload it at
-    /// the top of every round, which already bounds a retune's
-    /// propagation delay to one search round, and the shrink fence (§6 of
-    /// DESIGN.md) tolerates whole in-flight operations on a stale
-    /// descriptor. A per-probe descriptor load would double the atomic
-    /// traffic of the hottest loop for nothing.
-    #[allow(clippy::too_many_arguments)]
-    fn push_round(
-        &self,
-        w: &WindowDesc,
-        global: usize,
-        start: usize,
-        rng: &mut HopRng,
-        node: &mut Option<PreparedNode<T>>,
-        probe_count: &mut u64,
-        guard: &epoch::Guard,
-    ) -> Round {
-        let width = w.push_width;
-        let mut probes = Probes::new(self.config.policy(), width, start, rng);
-        // `probes` is consumed manually (not a `for` loop) because the pop
-        // twin of this loop needs `in_coverage` queries mid-iteration.
-        #[allow(clippy::while_let_on_iterator)]
-        while let Some(i) = probes.next() {
-            *probe_count += 1;
-            // Restart on any observed Global change (§3 optimization).
-            if self.global.load(Ordering::SeqCst) != global {
-                return Round::GlobalChanged(i);
-            }
-            let view = self.subs[i].view(guard);
-            if view.count() < global {
-                let n = node.take().expect("push node present until consumed");
-                match self.subs[i].try_push_at(&view, n, guard) {
-                    Ok(()) => return Round::Done(i),
-                    Err(Contended(n)) => {
-                        *node = Some(n);
-                        return Round::Contention;
-                    }
-                }
-            }
-        }
-        Round::Exhausted { all_empty: false }
-    }
-
-    /// One pop search round; on success returns the value through `out`.
-    /// See [`Stack2D::push_round`] for why only `Global` is re-checked
-    /// per probe.
-    #[allow(clippy::too_many_arguments)]
-    fn pop_round(
-        &self,
-        w: &WindowDesc,
-        global: usize,
-        start: usize,
-        rng: &mut HopRng,
-        out: &mut Option<T>,
-        probe_count: &mut u64,
-        guard: &epoch::Guard,
-    ) -> Round {
-        let width = w.pop_width;
-        let floor = global.saturating_sub(w.depth);
-        let mut probes = Probes::new(self.config.policy(), width, start, rng);
-        // A sub-stack is pop-valid iff count > Global - depth; emptiness is
-        // concluded only from the covering sweep every policy ends with.
-        let mut all_empty = true;
-        let mut probe_no = 0;
-        while let Some(i) = probes.next() {
-            *probe_count += 1;
-            let in_cov = probes.in_coverage(probe_no);
-            probe_no += 1;
-            if self.global.load(Ordering::SeqCst) != global {
-                return Round::GlobalChanged(i);
-            }
-            let view = self.subs[i].view(guard);
-            if in_cov {
-                all_empty &= view.is_empty();
-            }
-            if !view.is_empty() && view.count() > floor {
-                match self.subs[i].try_pop_at(&view, guard) {
-                    Ok(Some(v)) => {
-                        *out = Some(v);
-                        return Round::Done(i);
-                    }
-                    // `Ok(None)` cannot happen: the view was non-empty.
-                    Ok(None) => unreachable!("non-empty view popped empty"),
-                    Err(Contended(())) => return Round::Contention,
-                }
-            }
-        }
-        Round::Exhausted { all_empty }
-    }
 }
 
 impl<T> fmt::Debug for Stack2D<T> {
@@ -513,79 +467,26 @@ impl<'s, T> Handle2D<'s, T> {
         self.last
     }
 
-    fn search_start(&mut self, width: usize) -> usize {
-        if self.stack.config.uses_locality() {
-            // A retune may have shrunk the active span below the last
-            // successful index; wrap to stay inside it.
-            self.last % width
-        } else {
-            self.rng.bounded(width)
-        }
-    }
-
     /// Pushes `value` onto the stack. Lock-free: a thread only retries when
     /// another thread made progress (won a CAS, shifted the window, or
     /// retuned it).
     pub fn push(&mut self, value: T) {
         let stack = self.stack;
         let guard = epoch::pin();
-        let mut node = Some(PreparedNode::new(value));
-        let mut start: Option<usize> = None;
-        let mut probes = 0u64;
-        let mut cas_failures = 0u64;
-        let mut restarts = 0u64;
-        let mut shifts_up = 0u64;
-        loop {
-            // Re-read the window descriptor every round: retunes take
-            // effect without blocking in-flight operations.
-            let w = stack.window.load(&guard);
-            let global = stack.global.load(Ordering::SeqCst);
-            let at = match start.take() {
-                Some(s) => s % w.push_width,
-                None => self.search_start(w.push_width),
-            };
-            match stack.push_round(w, global, at, &mut self.rng, &mut node, &mut probes, &guard) {
-                Round::Done(i) => {
-                    self.last = i;
-                    let c = &stack.counters;
-                    c.add(|c| &c.probes, probes);
-                    c.add(|c| &c.cas_failures, cas_failures);
-                    c.add(|c| &c.global_restarts, restarts);
-                    c.add(|c| &c.shifts_up, shifts_up);
-                    c.add(|c| &c.ops, 1);
-                    return;
-                }
-                Round::GlobalChanged(at) => {
-                    restarts += 1;
-                    start = Some(at);
-                }
-                Round::Contention => {
-                    cas_failures += 1;
-                    if stack.config.hops_on_contention() {
-                        start = Some(self.rng.bounded(w.push_width));
-                    } else {
-                        start = Some(at);
-                    }
-                }
-                Round::Exhausted { .. } => {
-                    // Every sub-stack is at or above the window: raise it.
-                    // A failed CAS means another thread moved Global — either
-                    // way the window changed and the search restarts fresh.
-                    if stack
-                        .global
-                        .compare_exchange(
-                            global,
-                            global + w.shift,
-                            Ordering::SeqCst,
-                            Ordering::SeqCst,
-                        )
-                        .is_ok()
-                    {
-                        shifts_up += 1;
-                    }
-                }
-            }
-        }
+        let mut side = PushSide { subs: &stack.subs, node: Some(PreparedNode::new(value)) };
+        let (done, st) = Search::new(&stack.window, &stack.global, &stack.config).run(
+            &mut side,
+            &mut self.last,
+            &mut self.rng,
+            &guard,
+        );
+        debug_assert!(done.is_some(), "a push always completes");
+        let c = &stack.counters;
+        c.add(|c| &c.probes, st.probes);
+        c.add(|c| &c.cas_failures, st.cas_failures);
+        c.add(|c| &c.global_restarts, st.restarts);
+        c.add(|c| &c.shifts_up, st.shifts);
+        c.add(|c| &c.ops, 1);
     }
 
     /// Pops an item; `None` when a covering sweep observed every sub-stack
@@ -594,70 +495,21 @@ impl<'s, T> Handle2D<'s, T> {
     pub fn pop(&mut self) -> Option<T> {
         let stack = self.stack;
         let guard = epoch::pin();
-        let mut out = None;
-        let mut start: Option<usize> = None;
-        let mut probes = 0u64;
-        let mut cas_failures = 0u64;
-        let mut restarts = 0u64;
-        let mut shifts_down = 0u64;
-        let finish = |probes, cas_failures, restarts, shifts_down, empty: bool| {
-            let c = &stack.counters;
-            c.add(|c| &c.probes, probes);
-            c.add(|c| &c.cas_failures, cas_failures);
-            c.add(|c| &c.global_restarts, restarts);
-            c.add(|c| &c.shifts_down, shifts_down);
-            c.add(|c| &c.empty_pops, u64::from(empty));
-            c.add(|c| &c.ops, 1);
-        };
-        loop {
-            let w = stack.window.load(&guard);
-            let global = stack.global.load(Ordering::SeqCst);
-            let at = match start.take() {
-                Some(s) => s % w.pop_width,
-                None => self.search_start(w.pop_width),
-            };
-            match stack.pop_round(w, global, at, &mut self.rng, &mut out, &mut probes, &guard) {
-                Round::Done(i) => {
-                    self.last = i;
-                    finish(probes, cas_failures, restarts, shifts_down, false);
-                    return out;
-                }
-                Round::GlobalChanged(at) => {
-                    restarts += 1;
-                    start = Some(at);
-                }
-                Round::Contention => {
-                    cas_failures += 1;
-                    if stack.config.hops_on_contention() {
-                        start = Some(self.rng.bounded(w.pop_width));
-                    } else {
-                        start = Some(at);
-                    }
-                }
-                Round::Exhausted { all_empty } => {
-                    if all_empty {
-                        // A covering sweep under one Global saw only empty
-                        // sub-stacks: report empty.
-                        finish(probes, cas_failures, restarts, shifts_down, true);
-                        return None;
-                    }
-                    // Items exist but sit below the window: lower it,
-                    // flooring at `depth` so the window never dips below
-                    // `[0, depth]`. (After a depth-growing retune, `Global`
-                    // may transiently sit below the new depth; never raise
-                    // it from the pop side.)
-                    let lowered = global.saturating_sub(w.shift).max(w.depth);
-                    if lowered < global
-                        && stack
-                            .global
-                            .compare_exchange(global, lowered, Ordering::SeqCst, Ordering::SeqCst)
-                            .is_ok()
-                    {
-                        shifts_down += 1;
-                    }
-                }
-            }
-        }
+        let mut side = PopSide { subs: &stack.subs };
+        let (out, st) = Search::new(&stack.window, &stack.global, &stack.config).run(
+            &mut side,
+            &mut self.last,
+            &mut self.rng,
+            &guard,
+        );
+        let c = &stack.counters;
+        c.add(|c| &c.probes, st.probes);
+        c.add(|c| &c.cas_failures, st.cas_failures);
+        c.add(|c| &c.global_restarts, st.restarts);
+        c.add(|c| &c.shifts_down, st.shifts);
+        c.add(|c| &c.empty_pops, u64::from(st.empty));
+        c.add(|c| &c.ops, 1);
+        out
     }
 }
 
@@ -963,7 +815,7 @@ mod tests {
 
     #[test]
     fn concurrent_mixed_handles_and_policies() {
-        let cfg = StackConfig::new(params(4, 3, 2))
+        let cfg = SearchConfig::new(params(4, 3, 2))
             .search_policy(SearchPolicy::TwoPhase { random_hops: 2 });
         let stack = Arc::new(Stack2D::with_config(cfg));
         let stop = Arc::new(AtomicBool::new(false));
@@ -997,7 +849,7 @@ mod tests {
 
     #[test]
     fn round_robin_only_policy_is_functional() {
-        let cfg = StackConfig::new(params(4, 1, 1)).search_policy(SearchPolicy::RoundRobinOnly);
+        let cfg = SearchConfig::new(params(4, 1, 1)).search_policy(SearchPolicy::RoundRobinOnly);
         let stack = Stack2D::with_config(cfg);
         let mut h = stack.handle_seeded(2);
         for i in 0..100 {
@@ -1012,7 +864,7 @@ mod tests {
 
     #[test]
     fn random_only_policy_is_functional() {
-        let cfg = StackConfig::new(params(4, 2, 1)).search_policy(SearchPolicy::RandomOnly);
+        let cfg = SearchConfig::new(params(4, 2, 1)).search_policy(SearchPolicy::RandomOnly);
         let stack = Stack2D::with_config(cfg);
         let mut h = stack.handle_seeded(2);
         for i in 0..100 {
@@ -1028,7 +880,7 @@ mod tests {
 
     #[test]
     fn no_locality_config_is_functional() {
-        let cfg = StackConfig::new(params(4, 2, 1)).locality(false).hop_on_contention(false);
+        let cfg = SearchConfig::new(params(4, 2, 1)).locality(false).hop_on_contention(false);
         let stack = Stack2D::with_config(cfg);
         let mut h = stack.handle_seeded(4);
         for i in 0..200 {

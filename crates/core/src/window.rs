@@ -20,7 +20,7 @@
 //! # Width growth and shrink
 //!
 //! The sub-structure array is allocated once at the structure's
-//! **capacity** (e.g. [`StackConfig::max_width`](crate::StackConfig::max_width)),
+//! **capacity** (e.g. [`SearchConfig::max_width`](crate::SearchConfig::max_width)),
 //! so growing `width` is purely a descriptor swing: the new sub-structures
 //! are already there, empty, below the window.
 //!
@@ -421,7 +421,7 @@ impl fmt::Display for WindowInfo {
 pub enum RetuneError {
     /// The requested width exceeds the sub-structure array allocated at
     /// construction (e.g.
-    /// [`StackConfig::max_width`](crate::StackConfig::max_width)).
+    /// [`SearchConfig::max_width`](crate::SearchConfig::max_width)).
     ExceedsCapacity {
         /// The requested width.
         requested: usize,

@@ -1,4 +1,4 @@
-//! Ablation experiment — which 2D-Stack mechanism buys what.
+//! Ablation experiment — which 2D window-search mechanism buys what.
 //!
 //! The paper motivates three mechanisms (§3–4): contention-avoiding random
 //! hops on a failed CAS, the two-phase (random + round-robin) search, and
@@ -7,14 +7,24 @@
 //! variants with one mechanism removed — the evidence behind DESIGN.md's
 //! design-choice claims — plus the horizontal-vs-vertical split of a fixed
 //! relaxation budget.
+//!
+//! Since the unified search engine, every mechanism exists on all three
+//! structures, so the sweep runs on the **queue** and **counter** too
+//! ([`run_queue_mechanisms`], [`run_counter_mechanisms`]): the same
+//! [`AblationVariant`] grid, driven through the structure-generic
+//! [`RelaxedOps`](stack2d::RelaxedOps) runner, with the queue's quality
+//! measured as FIFO overtake distances. This is what "ablation results
+//! transfer across structures" means operationally — one config grid, one
+//! engine, three data sets.
 
 use serde::{Deserialize, Serialize};
 
-use stack2d::{Params, Stack2D};
+use stack2d::{Counter2D, Params, Queue2D, Stack2D};
 use stack2d_workload::OpMix;
 
 use crate::algorithms::{AblationVariant, AnyStack};
-use crate::experiment::{measure_stack, DataPoint, Settings};
+use crate::experiment::{measure_relaxed, measure_stack, DataPoint, Settings};
+use crate::quality_run::{run_queue_overtakes, QualityConfig};
 use crate::report::{fmt_ops, Table};
 
 /// Parameters of the ablation runs.
@@ -60,6 +70,90 @@ pub fn run_mechanisms(spec: &AblationSpec, settings: &Settings) -> Vec<DataPoint
             )
         })
         .collect()
+}
+
+/// Measures every [`AblationVariant`] on the **2D-Queue** under `spec`:
+/// throughput through the generic runner plus dequeue overtake quality
+/// (mean/max FIFO overtake distance) through the
+/// [`FifoOracle`](stack2d_quality::segmented_queue::FifoOracle).
+pub fn run_queue_mechanisms(spec: &AblationSpec, settings: &Settings) -> Vec<DataPoint> {
+    let params = spec.params();
+    AblationVariant::ALL
+        .iter()
+        .map(|v| {
+            let mut point = measure_relaxed(
+                v.name(),
+                || Queue2D::<u64>::with_config(v.config(params)),
+                spec.threads,
+                settings,
+                OpMix::symmetric(),
+            );
+            let queue = Queue2D::with_config(v.config(params));
+            point.quality = run_queue_overtakes(
+                &queue,
+                &QualityConfig {
+                    threads: spec.threads,
+                    ops_per_thread: settings.quality_ops / spec.threads.max(1),
+                    mix: OpMix::symmetric(),
+                    prefill: settings.prefill,
+                    seed: 0xFACE,
+                },
+            )
+            .summary();
+            point
+        })
+        .collect()
+}
+
+/// Measures every [`AblationVariant`] on the **2D-Counter** under `spec`:
+/// throughput through the generic runner (a counter consume reports
+/// empty, so the symmetric mix degenerates to increments plus accounted
+/// empty-pops — the same for every variant, hence comparable).
+pub fn run_counter_mechanisms(spec: &AblationSpec, settings: &Settings) -> Vec<DataPoint> {
+    let params = spec.params();
+    AblationVariant::ALL
+        .iter()
+        .map(|v| {
+            measure_relaxed(
+                v.name(),
+                || Counter2D::with_config(v.config(params)),
+                spec.threads,
+                settings,
+                OpMix::symmetric(),
+            )
+        })
+        .collect()
+}
+
+/// The queue/counter twin of [`run_mechanism_metrics`]: per-variant event
+/// rates (probes per op, contention, window shifts) explaining *why* each
+/// mechanism matters on the extension structures.
+pub fn run_relaxed_mechanism_metrics<S: stack2d::RelaxedOps<u64>>(
+    build: impl Fn(stack2d::SearchConfig) -> S,
+    metrics_of: impl Fn(&S) -> stack2d::MetricsSnapshot,
+    spec: &AblationSpec,
+    ops_per_thread: usize,
+) -> Table {
+    use stack2d_workload::{prefill, run_fixed_ops};
+    let params = spec.params();
+    let mut t =
+        Table::new(["variant", "probes/op", "cas-fail/op", "shifts/op", "restarts", "empty-pops"]);
+    for v in AblationVariant::ALL {
+        let structure = build(v.config(params));
+        prefill(&structure, 1_024);
+        let before = metrics_of(&structure);
+        run_fixed_ops(&structure, spec.threads, ops_per_thread, OpMix::symmetric(), 3);
+        let m = metrics_of(&structure).delta_since(&before);
+        t.push_row([
+            v.name().to_string(),
+            format!("{:.2}", m.probes_per_op()),
+            format!("{:.4}", m.contention_rate()),
+            format!("{:.4}", m.shift_rate()),
+            m.global_restarts.to_string(),
+            m.empty_pops.to_string(),
+        ]);
+    }
+    t
 }
 
 /// Splits a fixed relaxation budget `k` between the horizontal and vertical
@@ -152,6 +246,44 @@ mod tests {
         for p in &points {
             assert!(p.throughput > 0.0, "{}: zero throughput", p.algo);
         }
+    }
+
+    #[test]
+    fn queue_mechanism_ablation_covers_all_variants() {
+        let spec = AblationSpec { threads: 2, width: 4, depth: 2, shift: 1 };
+        let points = run_queue_mechanisms(&spec, &Settings::smoke());
+        assert_eq!(points.len(), AblationVariant::ALL.len());
+        for p in &points {
+            assert!(p.throughput > 0.0, "{}: zero throughput", p.algo);
+            assert!(p.quality.pops > 0, "{}: no overtake samples", p.algo);
+        }
+    }
+
+    #[test]
+    fn counter_mechanism_ablation_covers_all_variants() {
+        let spec = AblationSpec { threads: 2, width: 4, depth: 2, shift: 1 };
+        let points = run_counter_mechanisms(&spec, &Settings::smoke());
+        assert_eq!(points.len(), AblationVariant::ALL.len());
+        for p in &points {
+            assert!(p.throughput > 0.0, "{}: zero throughput", p.algo);
+        }
+    }
+
+    #[test]
+    fn relaxed_mechanism_metrics_cover_queue_and_counter() {
+        use stack2d::{Counter2D, Queue2D};
+        let spec = AblationSpec { threads: 2, width: 4, depth: 2, shift: 1 };
+        let q = run_relaxed_mechanism_metrics(
+            Queue2D::<u64>::with_config,
+            Queue2D::metrics,
+            &spec,
+            2_000,
+        );
+        assert_eq!(q.len(), AblationVariant::ALL.len());
+        assert!(q.to_text().contains("probes/op"));
+        let c =
+            run_relaxed_mechanism_metrics(Counter2D::with_config, Counter2D::metrics, &spec, 2_000);
+        assert_eq!(c.len(), AblationVariant::ALL.len());
     }
 
     #[test]

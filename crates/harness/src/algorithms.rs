@@ -11,7 +11,7 @@ use std::fmt;
 
 use stack2d::{
     ConcurrentStack, Counter2D, CounterHandle, OpsHandle, Params, Queue2D, QueueHandle, RelaxedOps,
-    SearchPolicy, Stack2D, StackConfig, StackHandle, StackOps,
+    SearchConfig, SearchPolicy, Stack2D, StackHandle, StackOps,
 };
 use stack2d_baselines::{
     EliminationStack, KRobinStack, KSegmentStack, LockedQueue, LockedQueueHandle, RandomC2Stack,
@@ -184,7 +184,7 @@ impl AnyStack {
 
     /// Builds a 2D-Stack with an explicit search-policy configuration
     /// (ablation experiments).
-    pub fn two_d_with_config(config: StackConfig) -> AnyStack {
+    pub fn two_d_with_config(config: SearchConfig) -> AnyStack {
         AnyStack::TwoD(Stack2D::with_config(config))
     }
 
@@ -510,8 +510,8 @@ impl AblationVariant {
     }
 
     /// The 2D-Stack configuration with this variant's mechanism toggled.
-    pub fn config(&self, params: Params) -> StackConfig {
-        let base = StackConfig::new(params);
+    pub fn config(&self, params: Params) -> SearchConfig {
+        let base = SearchConfig::new(params);
         match self {
             AblationVariant::Full => base,
             AblationVariant::RoundRobinSearch => base.search_policy(SearchPolicy::RoundRobinOnly),

@@ -1,12 +1,17 @@
-//! Ablation experiments: what each 2D-Stack mechanism contributes
-//! (hop-on-contention, two-phase search, locality), and how a fixed
-//! relaxation budget splits between width and depth.
+//! Ablation experiments: what each window-search mechanism contributes
+//! (hop-on-contention, two-phase search, locality) — on the 2D-Stack, the
+//! 2D-Queue and the 2D-Counter, through the one unified search engine —
+//! plus how a fixed relaxation budget splits between width and depth.
 //!
 //! ```text
 //! STACK2D_THREADS=8 cargo run --release -p stack2d-harness --bin ablation
 //! ```
 
-use stack2d_harness::ablation::{run_dimension_split, run_mechanisms, to_table, AblationSpec};
+use stack2d::{Counter2D, Queue2D};
+use stack2d_harness::ablation::{
+    run_counter_mechanisms, run_dimension_split, run_mechanisms, run_queue_mechanisms,
+    run_relaxed_mechanism_metrics, to_table, AblationSpec,
+};
 use stack2d_harness::{write_csv, Settings};
 
 fn main() {
@@ -21,12 +26,35 @@ fn main() {
     );
     let mech = run_mechanisms(&spec, &settings);
     let mech_table = to_table(&mech);
-    println!("mechanism ablation\n{}", mech_table.to_text());
+    println!("stack mechanism ablation\n{}", mech_table.to_text());
     let _ = write_csv("ablation_mechanisms.csv", &mech_table);
 
     let metrics_table = stack2d_harness::ablation::run_mechanism_metrics(&spec, 20_000);
-    println!("mechanism event rates (fixed 20k ops/thread)\n{}", metrics_table.to_text());
+    println!("stack mechanism event rates (fixed 20k ops/thread)\n{}", metrics_table.to_text());
     let _ = write_csv("ablation_metrics.csv", &metrics_table);
+
+    // The same variant grid on the extension structures: the unified
+    // engine is what makes these sweeps three lines instead of three
+    // reimplementations.
+    eprintln!("ablation (queue mechanisms): P={threads}");
+    let queue_mech = run_queue_mechanisms(&spec, &settings);
+    let queue_table = to_table(&queue_mech);
+    println!("queue mechanism ablation (err = FIFO overtakes)\n{}", queue_table.to_text());
+    let _ = write_csv("ablation_queue.csv", &queue_table);
+    let queue_metrics =
+        run_relaxed_mechanism_metrics(Queue2D::<u64>::with_config, Queue2D::metrics, &spec, 20_000);
+    println!("queue mechanism event rates\n{}", queue_metrics.to_text());
+    let _ = write_csv("ablation_queue_metrics.csv", &queue_metrics);
+
+    eprintln!("ablation (counter mechanisms): P={threads}");
+    let counter_mech = run_counter_mechanisms(&spec, &settings);
+    let counter_table = to_table(&counter_mech);
+    println!("counter mechanism ablation\n{}", counter_table.to_text());
+    let _ = write_csv("ablation_counter.csv", &counter_table);
+    let counter_metrics =
+        run_relaxed_mechanism_metrics(Counter2D::with_config, Counter2D::metrics, &spec, 20_000);
+    println!("counter mechanism event rates\n{}", counter_metrics.to_text());
+    let _ = write_csv("ablation_counter_metrics.csv", &counter_metrics);
 
     let k = 3 * (4 * threads - 1); // the budget Params::for_threads implies
     eprintln!("ablation (dimension split): k={k}");

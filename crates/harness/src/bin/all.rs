@@ -1,6 +1,7 @@
-//! Runs the complete experiment suite — Figure 1, Figure 2, both
-//! ablations, the asymmetry sweep and the latency table — and writes every
-//! CSV, regenerating all data behind EXPERIMENTS.md in one command.
+//! Runs the complete experiment suite — Figures 1–3, the ablations (on
+//! all three structures), the asymmetry sweep and the latency table — and
+//! writes every CSV, regenerating all data behind EXPERIMENTS.md in one
+//! command.
 //!
 //! ```text
 //! # CI-sized
@@ -12,7 +13,8 @@
 
 use stack2d_harness::latency::{run_latency, LatencySpec};
 use stack2d_harness::{
-    ablation, asymmetry, fig1, fig2, latency, write_csv, Algorithm, AnyStack, BuildSpec, Settings,
+    ablation, asymmetry, fig1, fig2, fig3, latency, write_csv, Algorithm, AnyStack, BuildSpec,
+    Settings,
 };
 
 fn main() {
@@ -32,6 +34,18 @@ fn main() {
     println!("figure 2\n{}", t.to_text());
     let _ = write_csv("fig2.csv", &t);
 
+    eprintln!("== figure 3 (queue/counter extension sweep) ==");
+    let spec3 = fig3::Fig3Spec::new(threads, settings.max_threads);
+    let t = fig3::throughput_table(&fig3::run_throughput(&spec3, &settings));
+    println!("figure 3a (structure scalability)\n{}", t.to_text());
+    let _ = write_csv("fig3_throughput.csv", &t);
+    let t = fig3::queue_quality_table(&fig3::run_queue_quality(&spec3, &settings));
+    println!("figure 3b (queue overtake quality)\n{}", t.to_text());
+    let _ = write_csv("fig3_queue_quality.csv", &t);
+    let t = fig3::counter_quality_table(&fig3::run_counter_quality(&spec3, &settings));
+    println!("figure 3c (counter spread/exactness)\n{}", t.to_text());
+    let _ = write_csv("fig3_counter_quality.csv", &t);
+
     eprintln!("== ablations ==");
     let spec = ablation::AblationSpec::new(threads);
     let mech = ablation::run_mechanisms(&spec, &settings);
@@ -41,6 +55,12 @@ fn main() {
     let t = ablation::run_mechanism_metrics(&spec, 20_000);
     println!("mechanism event rates\n{}", t.to_text());
     let _ = write_csv("ablation_metrics.csv", &t);
+    let t = ablation::to_table(&ablation::run_queue_mechanisms(&spec, &settings));
+    println!("queue mechanism ablation\n{}", t.to_text());
+    let _ = write_csv("ablation_queue.csv", &t);
+    let t = ablation::to_table(&ablation::run_counter_mechanisms(&spec, &settings));
+    println!("counter mechanism ablation\n{}", t.to_text());
+    let _ = write_csv("ablation_counter.csv", &t);
     let dims = ablation::run_dimension_split(12 * (4 * threads - 1), threads, &settings);
     let t = ablation::to_table(&dims);
     println!("dimension split\n{}", t.to_text());

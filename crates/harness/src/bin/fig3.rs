@@ -1,0 +1,44 @@
+//! Regenerates Figure 3 — the structure-generic sweep over the queue and
+//! counter extensions: thread-scalability throughput (2D-Queue vs the
+//! locked-queue baseline vs 2D-Counter, with the 2D-Stack as reference),
+//! the queue's overtake-quality/k trade-off, and the counter's spread and
+//! exactness check.
+//!
+//! ```text
+//! STACK2D_MAX_THREADS=8 cargo run --release -p stack2d-harness --bin fig3
+//! ```
+
+use stack2d_harness::fig3::{
+    counter_quality_table, queue_quality_table, run_counter_quality, run_queue_quality,
+    run_throughput, throughput_table, Fig3Spec,
+};
+use stack2d_harness::{write_csv, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let threads: usize =
+        std::env::var("STACK2D_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let spec = Fig3Spec::new(threads, settings.max_threads);
+
+    eprintln!(
+        "fig3: quality at P={}, throughput over {:?}, k grid {:?}",
+        spec.threads, spec.thread_grid, spec.k_grid
+    );
+
+    let throughput = run_throughput(&spec, &settings);
+    let t = throughput_table(&throughput);
+    println!("figure 3a: structure scalability\n{}", t.to_text());
+    let _ = write_csv("fig3_throughput.csv", &t);
+
+    let queue_quality = run_queue_quality(&spec, &settings);
+    let t = queue_quality_table(&queue_quality);
+    println!("figure 3b: queue overtake quality vs k\n{}", t.to_text());
+    let _ = write_csv("fig3_queue_quality.csv", &t);
+
+    let counter_quality = run_counter_quality(&spec, &settings);
+    let t = counter_quality_table(&counter_quality);
+    println!("figure 3c: counter spread and exactness\n{}", t.to_text());
+    let _ = write_csv("fig3_counter_quality.csv", &t);
+
+    eprintln!("fig3 results written to {}", stack2d_harness::out_dir().display());
+}

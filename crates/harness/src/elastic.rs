@@ -591,9 +591,11 @@ pub fn events_table(events: &[RetuneEvent]) -> Table {
     t
 }
 
-/// The per-generation-segment quality table.
+/// The per-generation-segment quality table. `max-age` is the push-side
+/// staleness analysis: the most window generations any item popped in
+/// that segment survived between its push and its pop.
 pub fn quality_table(report: &SegmentReport) -> Table {
-    let mut t = Table::new(["gen", "pops", "max-err", "k-bound", "transients"]);
+    let mut t = Table::new(["gen", "pops", "max-err", "k-bound", "transients", "max-age"]);
     for (generation, seg) in &report.segments {
         t.push_row([
             generation.to_string(),
@@ -601,6 +603,7 @@ pub fn quality_table(report: &SegmentReport) -> Table {
             seg.max_distance.to_string(),
             seg.bound.to_string(),
             seg.transients.to_string(),
+            seg.max_age.to_string(),
         ]);
     }
     t

@@ -135,7 +135,8 @@ pub fn measure(algo: Algorithm, spec: BuildSpec, settings: &Settings, mix: OpMix
 }
 
 /// Measures a 2D-Stack built from an explicit config (ablations), same
-/// protocol as [`measure`].
+/// protocol as [`measure`]: the generic throughput pass of
+/// [`measure_relaxed`] plus the stack quality oracle.
 pub fn measure_stack<S: ConcurrentStack<u64> + RelaxedOps<u64>>(
     label: &str,
     build: impl Fn() -> S,
@@ -143,24 +144,9 @@ pub fn measure_stack<S: ConcurrentStack<u64> + RelaxedOps<u64>>(
     settings: &Settings,
     mix: OpMix,
 ) -> DataPoint {
-    let mut throughputs = Vec::with_capacity(settings.repeats);
-    let mut k_bound = None;
-    for rep in 0..settings.repeats.max(1) {
-        let stack = build();
-        k_bound = RelaxedOps::relaxation_bound(&stack);
-        let cfg = RunConfig {
-            threads,
-            duration: Duration::from_millis(settings.duration_ms as u64),
-            mix,
-            prefill: settings.prefill,
-            seed: 0xBEEF + rep as u64,
-            think_work: 0,
-        };
-        throughputs.push(run_throughput(&stack, &cfg).throughput());
-    }
-    let throughput = throughputs.iter().sum::<f64>() / throughputs.len() as f64;
+    let mut point = measure_relaxed(label, &build, threads, settings, mix);
     let stack = build();
-    let quality = run_quality(
+    point.quality = run_quality(
         &stack,
         &QualityConfig {
             threads,
@@ -171,7 +157,46 @@ pub fn measure_stack<S: ConcurrentStack<u64> + RelaxedOps<u64>>(
         },
     )
     .summary();
-    DataPoint { algo: label.to_string(), threads, k_budget: None, k_bound, throughput, quality }
+    point
+}
+
+/// Measures any [`RelaxedOps`] structure — the queue/counter twin of
+/// [`measure_stack`]: `repeats` timed throughput runs averaged. Quality is
+/// structure-specific (FIFO overtakes for queues, spread for counters), so
+/// the returned point carries an empty [`ErrorSummary`]; callers with a
+/// quality oracle overwrite it (e.g. via
+/// [`run_queue_overtakes`](crate::quality_run::run_queue_overtakes)).
+pub fn measure_relaxed<S: RelaxedOps<u64>>(
+    label: &str,
+    build: impl Fn() -> S,
+    threads: usize,
+    settings: &Settings,
+    mix: OpMix,
+) -> DataPoint {
+    let mut throughputs = Vec::with_capacity(settings.repeats);
+    let mut k_bound = None;
+    for rep in 0..settings.repeats.max(1) {
+        let structure = build();
+        k_bound = RelaxedOps::relaxation_bound(&structure);
+        let cfg = RunConfig {
+            threads,
+            duration: Duration::from_millis(settings.duration_ms as u64),
+            mix,
+            prefill: settings.prefill,
+            seed: 0xBEEF + rep as u64,
+            think_work: 0,
+        };
+        throughputs.push(run_throughput(&structure, &cfg).throughput());
+    }
+    let throughput = throughputs.iter().sum::<f64>() / throughputs.len() as f64;
+    DataPoint {
+        algo: label.to_string(),
+        threads,
+        k_budget: None,
+        k_bound,
+        throughput,
+        quality: ErrorSummary::default(),
+    }
 }
 
 #[cfg(test)]

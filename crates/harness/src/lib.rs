@@ -9,7 +9,8 @@
 //! |------------|--------|--------|----------------|
 //! | relaxation sweep | [`fig1`] | `cargo run --release -p stack2d-harness --bin fig1` | Figure 1 |
 //! | scalability sweep | [`fig2`] | `… --bin fig2` | Figure 2 |
-//! | mechanism & dimension ablations | [`ablation`] | `… --bin ablation` | §3–4 design claims |
+//! | queue/counter sweep | [`fig3`] | `… --bin fig3` | §5 extensions (registry figures) |
+//! | mechanism & dimension ablations | [`ablation`] | `… --bin ablation` | §3–4 design claims (all three structures) |
 //! | asymmetric mixes | [`asymmetry`] | `… --bin asymmetry` | §2 elimination claim |
 //! | static vs elastic retuning | [`elastic`] | `… --bin elastic` | the title's "continuously relaxes" |
 //!
@@ -29,6 +30,7 @@ pub mod elastic;
 pub mod experiment;
 pub mod fig1;
 pub mod fig2;
+pub mod fig3;
 pub mod latency;
 pub mod quality_run;
 pub mod report;
@@ -38,8 +40,8 @@ pub use algorithms::{
     AblationVariant, Algorithm, AnyHandle, AnyRelaxed, AnyRelaxedHandle, AnyStack, BuildSpec,
     StructureKind,
 };
-pub use experiment::{measure, measure_stack, DataPoint, Settings};
-pub use quality_run::{run_quality, QualityConfig};
+pub use experiment::{measure, measure_relaxed, measure_stack, DataPoint, Settings};
+pub use quality_run::{run_quality, run_queue_overtakes, QualityConfig};
 pub use report::{fmt_ops, Table};
 
 use std::path::PathBuf;

@@ -7,7 +7,8 @@
 //! throughput runs (the oracle's serialization would distort timing).
 
 use stack2d::rng::HopRng;
-use stack2d::ConcurrentStack;
+use stack2d::{ConcurrentStack, Queue2D};
+use stack2d_quality::segmented_queue::MeasuredElasticQueue;
 use stack2d_quality::{ErrorStats, Label, MeasuredStack};
 use stack2d_workload::OpMix;
 
@@ -67,6 +68,42 @@ pub fn run_quality<S: ConcurrentStack<Label>>(stack: &S, cfg: &QualityConfig) ->
         }
     });
     measured.take_stats()
+}
+
+/// The queue analogue of [`run_quality`]: drives the measured workload
+/// against a [`Queue2D`], reporting every dequeue's **overtake distance**
+/// (how many older resident items it jumped; 0 = strict FIFO) through the
+/// [`FifoOracle`](stack2d_quality::segmented_queue::FifoOracle). Used by
+/// the `fig3` sweep and the queue ablations.
+pub fn run_queue_overtakes(queue: &Queue2D<Label>, cfg: &QualityConfig) -> ErrorStats {
+    assert!(cfg.threads > 0, "at least one thread required");
+    let measured = MeasuredElasticQueue::new(queue);
+    measured.prefill(cfg.prefill);
+    // Prefill distances are not part of the measurement.
+    let _ = measured.take_records();
+    std::thread::scope(|scope| {
+        for t in 0..cfg.threads {
+            let measured = &measured;
+            scope.spawn(move || {
+                let mut h = measured.handle_seeded(cfg.seed.wrapping_add(t as u64 + 1));
+                // Decorrelated from the handle RNG (same seed otherwise).
+                let mut rng =
+                    HopRng::seeded(cfg.seed.wrapping_add(t as u64 + 1) ^ 0x5851_F42D_4C95_7F2D);
+                for _ in 0..cfg.ops_per_thread {
+                    if cfg.mix.next_is_push(&mut rng) {
+                        h.enqueue();
+                    } else {
+                        h.dequeue();
+                    }
+                }
+            });
+        }
+    });
+    let mut stats = ErrorStats::new();
+    for record in measured.take_records() {
+        stats.record(record.distance);
+    }
+    stats
 }
 
 #[cfg(test)]
@@ -144,6 +181,42 @@ mod tests {
         // the cross-width ordering is a measured (Figure 1), not
         // guaranteed, property.
         assert!(!wide_stats.is_empty() && !narrow_stats.is_empty());
+    }
+
+    #[test]
+    fn queue_overtakes_strict_width_one_is_exact() {
+        let queue: Queue2D<Label> = Queue2D::builder().width(1).build().unwrap();
+        let stats = run_queue_overtakes(
+            &queue,
+            &QualityConfig {
+                threads: 1,
+                ops_per_thread: 2_000,
+                prefill: 100,
+                ..Default::default()
+            },
+        );
+        assert!(!stats.is_empty());
+        assert_eq!(stats.max(), 0, "width-1 queue must be strict FIFO");
+    }
+
+    #[test]
+    fn queue_overtakes_respect_the_window_bound_single_thread() {
+        let queue: Queue2D<Label> = Queue2D::builder().for_bound(60).build().unwrap();
+        let bound = queue.k_bound();
+        let stats = run_queue_overtakes(
+            &queue,
+            &QualityConfig {
+                threads: 1,
+                ops_per_thread: 5_000,
+                prefill: 1_000,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (stats.max() as usize) <= bound,
+            "max overtake {} exceeds window bound {bound}",
+            stats.max()
+        );
     }
 
     #[test]

@@ -27,7 +27,8 @@ use crate::oracle::{Label, Oracle};
 use stack2d::{Handle2D, Stack2D, WindowInfo};
 
 /// One measured pop under an elastic stack: its error distance, the
-/// window generations bracketing it, and the live residency bound.
+/// window generations bracketing it, the live residency bound, and the
+/// popped item's push-side staleness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SegRecord {
     /// Error distance reported by the oracle.
@@ -41,6 +42,12 @@ pub struct SegRecord {
     /// (a width grow lets items resident at the swing exceed the static
     /// formula until they drain; see DESIGN.md §6).
     pub live_bound: usize,
+    /// Push-side staleness: how many window generations the item survived
+    /// between its push and this pop (`gen_lo` minus the generation
+    /// observed at push time). The pop-side bound says how far *below the
+    /// top* a pop may land; this measures the dual — how long an item can
+    /// linger while siblings turn over across retunes.
+    pub age: u64,
 }
 
 /// A violation found by [`check_segments`].
@@ -98,6 +105,10 @@ pub struct SegmentStats {
     /// Pops whose distance exceeded the configured bound and were covered
     /// by the live residency bound instead (retune transients).
     pub transients: usize,
+    /// Push-side staleness: the largest [`SegRecord::age`] among items
+    /// popped in this generation — the most generations any surviving
+    /// item weathered before surfacing here.
+    pub max_age: u64,
 }
 
 /// Result of a successful segment check: headline numbers plus a
@@ -108,6 +119,8 @@ pub struct SegmentReport {
     pub pops: usize,
     /// Largest distance observed anywhere.
     pub max_distance: u32,
+    /// Largest push-side staleness (in generations) observed anywhere.
+    pub max_age: u64,
     /// Per-generation statistics, keyed by `gen_lo`.
     pub segments: BTreeMap<u64, SegmentStats>,
 }
@@ -141,6 +154,15 @@ fn bound_over(bounds: &BTreeMap<u64, usize>, gen_lo: u64, gen_hi: u64) -> Option
 /// plus one entry per retune/commit event ([`bounds_map`]). Gaps are
 /// filled with the nearest bound at a lower generation.
 ///
+/// Alongside the pop-side bound check, the report aggregates the **push
+/// side**: each record's [`SegRecord::age`] (generations survived between
+/// push and pop) rolls up into per-generation and global `max_age` — the
+/// tightness analysis of how *stale* a surviving item can get while the
+/// window retunes around it. Staleness is reported, not checked: no finite
+/// bound on it exists (an item parked in a sub-structure below every later
+/// window survives arbitrarily many generations), which is exactly why the
+/// number is worth surfacing next to the bounded distances.
+///
 /// # Errors
 ///
 /// The first [`SegmentViolation`] found.
@@ -153,15 +175,17 @@ fn bound_over(bounds: &BTreeMap<u64, usize>, gen_lo: u64, gen_hi: u64) -> Option
 ///
 /// let bounds = BTreeMap::from([(0, 9), (1, 93)]);
 /// let records = [
-///     SegRecord { distance: 9, gen_lo: 0, gen_hi: 0, live_bound: 0 },
+///     SegRecord { distance: 9, gen_lo: 0, gen_hi: 0, live_bound: 0, age: 0 },
 ///     // Linearized across the retune: the wide bound applies.
-///     SegRecord { distance: 40, gen_lo: 0, gen_hi: 1, live_bound: 0 },
-///     SegRecord { distance: 93, gen_lo: 1, gen_hi: 1, live_bound: 0 },
+///     SegRecord { distance: 40, gen_lo: 0, gen_hi: 1, live_bound: 0, age: 0 },
+///     // Pushed at generation 0, popped at 1: one generation stale.
+///     SegRecord { distance: 93, gen_lo: 1, gen_hi: 1, live_bound: 0, age: 1 },
 /// ];
 /// let report = check_segments(&records, &bounds).unwrap();
 /// assert_eq!(report.pops, 3);
 /// assert_eq!(report.max_distance, 93);
-/// let out_of_bound = SegRecord { distance: 10, gen_lo: 0, gen_hi: 0, live_bound: 0 };
+/// assert_eq!(report.max_age, 1);
+/// let out_of_bound = SegRecord { distance: 10, gen_lo: 0, gen_hi: 0, live_bound: 0, age: 0 };
 /// assert!(check_segments(&[out_of_bound], &bounds).is_err());
 /// ```
 pub fn check_segments(
@@ -184,10 +208,12 @@ pub fn check_segments(
         }
         report.pops += 1;
         report.max_distance = report.max_distance.max(r.distance);
+        report.max_age = report.max_age.max(r.age);
         let seg = report.segments.entry(r.gen_lo).or_default();
         seg.pops += 1;
         seg.max_distance = seg.max_distance.max(r.distance);
         seg.bound = seg.bound.max(configured);
+        seg.max_age = seg.max_age.max(r.age);
         if r.distance as usize > configured {
             seg.transients += 1;
         }
@@ -244,6 +270,9 @@ struct MeasuredInner {
     oracle: Oracle,
     records: Vec<SegRecord>,
     next_label: Label,
+    /// Window generation observed when each live label was pushed — the
+    /// push side of the staleness analysis ([`SegRecord::age`]).
+    push_gen: std::collections::HashMap<Label, u64>,
 }
 
 impl<'s> MeasuredElastic<'s> {
@@ -255,6 +284,7 @@ impl<'s> MeasuredElastic<'s> {
                 oracle: Oracle::new(),
                 records: Vec::new(),
                 next_label: 0,
+                push_gen: std::collections::HashMap::new(),
             }),
         }
     }
@@ -307,18 +337,26 @@ pub struct MeasuredElasticHandle<'m, 's> {
 }
 
 impl MeasuredElasticHandle<'_, '_> {
-    /// Pushes a fresh unique label.
+    /// Pushes a fresh unique label, remembering the window generation it
+    /// was pushed under (the push side of the staleness analysis).
     pub fn push(&mut self) {
         let mut g = self.measured.inner.lock();
         let label = g.next_label;
         g.next_label += 1;
+        // Sample the generation *before* the push: a retune racing the
+        // push then over-counts the item's age by one, which is the safe
+        // direction for a reported maximum (sampling after would
+        // under-count it).
+        let generation = self.measured.stack.window().generation();
         self.inner.push(label);
         g.oracle.insert(label);
+        g.push_gen.insert(label, generation);
     }
 
     /// Pops a label, recording its error distance together with the
     /// window generations and live residency bound observed around the
-    /// pop; returns whether an item was obtained.
+    /// pop, plus the item's push-side staleness; returns whether an item
+    /// was obtained.
     pub fn pop(&mut self) -> bool {
         let mut g = self.measured.inner.lock();
         let stack = self.measured.stack;
@@ -330,7 +368,10 @@ impl MeasuredElasticHandle<'_, '_> {
                 let live_bound = live_before.max(stack.k_bound_instantaneous());
                 let distance =
                     g.oracle.delete(label).expect("popped label must be live in the oracle");
-                g.records.push(SegRecord { distance, gen_lo, gen_hi, live_bound });
+                let pushed_at =
+                    g.push_gen.remove(&label).expect("popped label must have a push record");
+                let age = gen_lo.saturating_sub(pushed_at);
+                g.records.push(SegRecord { distance, gen_lo, gen_hi, live_bound, age });
                 true
             }
             None => false,
@@ -360,7 +401,7 @@ mod tests {
     #[test]
     fn missing_floor_is_reported() {
         let bounds = BTreeMap::from([(4u64, 9usize)]);
-        let rec = SegRecord { distance: 0, gen_lo: 2, gen_hi: 2, live_bound: 0 };
+        let rec = SegRecord { distance: 0, gen_lo: 2, gen_hi: 2, live_bound: 0, age: 0 };
         let err = check_segments(&[rec], &bounds).unwrap_err();
         assert_eq!(err, SegmentViolation::MissingBound { index: 0, generation: 2 });
     }
@@ -369,9 +410,9 @@ mod tests {
     fn report_groups_by_generation() {
         let bounds = BTreeMap::from([(0u64, 10usize), (1, 50)]);
         let records = [
-            SegRecord { distance: 4, gen_lo: 0, gen_hi: 0, live_bound: 0 },
-            SegRecord { distance: 7, gen_lo: 0, gen_hi: 1, live_bound: 0 },
-            SegRecord { distance: 33, gen_lo: 1, gen_hi: 1, live_bound: 0 },
+            SegRecord { distance: 4, gen_lo: 0, gen_hi: 0, live_bound: 0, age: 0 },
+            SegRecord { distance: 7, gen_lo: 0, gen_hi: 1, live_bound: 0, age: 0 },
+            SegRecord { distance: 33, gen_lo: 1, gen_hi: 1, live_bound: 0, age: 1 },
         ];
         let report = check_segments(&records, &bounds).unwrap();
         assert_eq!(report.pops, 3);
@@ -387,11 +428,11 @@ mod tests {
         let bounds = BTreeMap::from([(0u64, 10usize)]);
         // Distance beyond the configured bound but within the residency
         // bound observed at the pop: a retune transient, not a violation.
-        let transient = SegRecord { distance: 40, gen_lo: 0, gen_hi: 0, live_bound: 64 };
+        let transient = SegRecord { distance: 40, gen_lo: 0, gen_hi: 0, live_bound: 64, age: 0 };
         let report = check_segments(&[transient], &bounds).unwrap();
         assert_eq!(report.segments[&0].transients, 1);
         // Beyond both bounds: a real violation.
-        let bad = SegRecord { distance: 99, gen_lo: 0, gen_hi: 0, live_bound: 64 };
+        let bad = SegRecord { distance: 99, gen_lo: 0, gen_hi: 0, live_bound: 64, age: 0 };
         let err = check_segments(&[bad], &bounds).unwrap_err();
         assert!(matches!(err, SegmentViolation::OutOfBound { bound: 64, .. }), "{err}");
     }
@@ -451,6 +492,52 @@ mod tests {
         assert_eq!(report.pops, 800);
         assert_eq!(measured.oracle_len(), 0);
         assert!(report.segments.len() > 1, "multiple generations must appear");
+    }
+
+    #[test]
+    fn push_side_staleness_counts_survived_generations() {
+        // Items pushed at generation 0 survive three vertical retunes
+        // before being popped: their age must reflect every swing.
+        let stack = Stack2D::builder().params(p(1, 1, 1)).elastic_capacity(4).build().unwrap();
+        let initial = stack.window();
+        let measured = MeasuredElastic::new(&stack);
+        let mut h = measured.handle();
+        for _ in 0..10 {
+            h.push();
+        }
+        let mut events = Vec::new();
+        for depth in [2, 3, 4] {
+            let info = stack.retune(p(1, depth, 1)).unwrap();
+            events.push((info.generation(), info.k_bound()));
+        }
+        // Fresh pushes at the latest generation have age 0 when popped now.
+        for _ in 0..5 {
+            h.push();
+        }
+        while h.pop() {}
+        let bounds = bounds_map(initial, events);
+        let report = check_segments(&measured.take_records(), &bounds).unwrap();
+        assert_eq!(report.pops, 15);
+        assert_eq!(report.max_age, 3, "gen-0 survivors weathered three retunes");
+        // All pops happened in the final generation; its segment carries
+        // both the stale veterans and the fresh age-0 items.
+        let seg = report.segments[&3];
+        assert_eq!(seg.max_age, 3);
+        assert_eq!(seg.pops, 15);
+    }
+
+    #[test]
+    fn fresh_items_have_zero_age() {
+        let stack = Stack2D::builder().params(p(2, 1, 1)).elastic_capacity(4).build().unwrap();
+        let initial = stack.window();
+        let measured = MeasuredElastic::new(&stack);
+        let mut h = measured.handle();
+        for _ in 0..50 {
+            h.push();
+        }
+        while h.pop() {}
+        let report = check_segments(&measured.take_records(), &bounds_map(initial, [])).unwrap();
+        assert_eq!(report.max_age, 0, "no retune happened: nothing can be stale");
     }
 
     #[test]

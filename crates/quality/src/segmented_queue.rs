@@ -131,6 +131,9 @@ struct MeasuredInner {
     oracle: FifoOracle,
     records: Vec<SegRecord>,
     next_label: Label,
+    /// Get-window generation observed when each live label was enqueued —
+    /// the push side of the staleness analysis ([`SegRecord::age`]).
+    push_gen: HashMap<Label, u64>,
 }
 
 impl<'q> MeasuredElasticQueue<'q> {
@@ -142,6 +145,7 @@ impl<'q> MeasuredElasticQueue<'q> {
                 oracle: FifoOracle::new(),
                 records: Vec::new(),
                 next_label: 0,
+                push_gen: HashMap::new(),
             }),
         }
     }
@@ -194,18 +198,27 @@ pub struct MeasuredElasticQueueHandle<'m, 'q> {
 }
 
 impl MeasuredElasticQueueHandle<'_, '_> {
-    /// Enqueues a fresh unique label.
+    /// Enqueues a fresh unique label, remembering the get-window
+    /// generation it entered under (the push side of the staleness
+    /// analysis).
     pub fn enqueue(&mut self) {
         let mut g = self.measured.inner.lock();
         let label = g.next_label;
         g.next_label += 1;
+        // Sample the generation *before* the enqueue: a retune racing the
+        // enqueue then over-counts the item's age by one, which is the
+        // safe direction for a reported maximum (sampling after would
+        // under-count it).
+        let generation = self.measured.queue.window().generation();
         self.inner.enqueue(label);
         g.oracle.insert(label);
+        g.push_gen.insert(label, generation);
     }
 
     /// Dequeues a label, recording its out-of-order distance together
     /// with the get-window generations and live residency bound observed
-    /// around the dequeue; returns whether an item was obtained.
+    /// around the dequeue, plus the item's push-side staleness; returns
+    /// whether an item was obtained.
     pub fn dequeue(&mut self) -> bool {
         let mut g = self.measured.inner.lock();
         let queue = self.measured.queue;
@@ -217,7 +230,10 @@ impl MeasuredElasticQueueHandle<'_, '_> {
                 let live_bound = live_before.max(queue.k_bound_instantaneous());
                 let distance =
                     g.oracle.delete(label).expect("dequeued label must be live in the oracle");
-                g.records.push(SegRecord { distance, gen_lo, gen_hi, live_bound });
+                let pushed_at =
+                    g.push_gen.remove(&label).expect("dequeued label must have an enqueue record");
+                let age = gen_lo.saturating_sub(pushed_at);
+                g.records.push(SegRecord { distance, gen_lo, gen_hi, live_bound, age });
                 true
             }
             None => false,

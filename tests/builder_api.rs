@@ -92,14 +92,15 @@ fn seeded_builds_are_reproducible() {
     assert_eq!(va, vb, "seeded stacks must drain identically");
 }
 
-/// The deprecated constructors remain thin, working shims for one PR.
+/// The deprecated `*::elastic` shims are gone (their one-PR deprecation
+/// window expired); `builder().elastic_capacity(..)` is the only way to
+/// build a retunable structure, and it covers everything the shims did.
 #[test]
-#[allow(deprecated)]
-fn deprecated_elastic_shims_still_work() {
+fn builder_replaces_the_removed_elastic_shims() {
     let p = Params::new(1, 1, 1).unwrap();
-    let s: Stack2D<u64> = Stack2D::elastic(p, 8);
-    let q: Queue2D<u64> = Queue2D::elastic(p, 8);
-    let c = Counter2D::elastic(p, 8);
+    let s: Stack2D<u64> = Stack2D::builder().params(p).elastic_capacity(8).build().unwrap();
+    let q: Queue2D<u64> = Queue2D::builder().params(p).elastic_capacity(8).build().unwrap();
+    let c = Counter2D::builder().params(p).elastic_capacity(8).build().unwrap();
     assert_eq!((s.capacity(), q.capacity(), c.capacity()), (8, 8, 8));
     s.retune(Params::new(8, 1, 1).unwrap()).unwrap();
     assert_eq!(s.window().width(), 8);

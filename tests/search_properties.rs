@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use stack2d::rng::HopRng;
-use stack2d::search::{Probes, SearchPolicy, StackConfig};
+use stack2d::search::{Probes, SearchConfig, SearchPolicy};
 use stack2d::Params;
 
 proptest! {
@@ -106,7 +106,7 @@ proptest! {
         }
     }
 
-    /// StackConfig builder round-trips every combination.
+    /// SearchConfig builder round-trips every combination.
     #[test]
     fn config_builder_round_trips(
         width in 1usize..16,
@@ -116,7 +116,7 @@ proptest! {
         hops in 0usize..4,
     ) {
         let params = Params::new(width, depth, 1).unwrap();
-        let cfg = StackConfig::new(params)
+        let cfg = SearchConfig::new(params)
             .search_policy(SearchPolicy::TwoPhase { random_hops: hops })
             .hop_on_contention(hop)
             .locality(locality);

@@ -6,7 +6,7 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use stack2d::{ConcurrentStack, Params, SearchPolicy, Stack2D, StackConfig, StackHandle};
+use stack2d::{ConcurrentStack, Params, SearchConfig, SearchPolicy, Stack2D, StackHandle};
 use stack2d_harness::{Algorithm, AnyStack, BuildSpec};
 
 /// Heap-allocating payload whose drops are counted — a double free or leak
@@ -143,7 +143,7 @@ fn random_only_policy_survives_empty_storms() {
     // the empty transition to make sure it neither livelocks, loses items,
     // nor reports false empties.
     let cfg =
-        StackConfig::new(Params::new(4, 1, 1).unwrap()).search_policy(SearchPolicy::RandomOnly);
+        SearchConfig::new(Params::new(4, 1, 1).unwrap()).search_policy(SearchPolicy::RandomOnly);
     let stack = Arc::new(Stack2D::with_config(cfg));
     let mut joins = Vec::new();
     for t in 0..4 {

@@ -10,11 +10,11 @@
 
 use proptest::prelude::*;
 
-use stack2d::{Params, SearchPolicy, Stack2D, StackConfig};
+use stack2d::{Params, SearchConfig, SearchPolicy, Stack2D};
 use stack2d_quality::{check_k_out_of_order, TraceOp};
 
 /// Runs `ops` alternating per `plan` on a fresh stack, returning the trace.
-fn record_trace(config: StackConfig, plan: &[bool], seed: u64) -> Vec<TraceOp> {
+fn record_trace(config: SearchConfig, plan: &[bool], seed: u64) -> Vec<TraceOp> {
     let stack: Stack2D<u64> = Stack2D::with_config(config);
     let mut h = stack.handle_seeded(seed);
     let mut next_label = 0u64;
@@ -51,7 +51,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let k = params.k_bound();
-        let trace = record_trace(StackConfig::new(params), &plan, seed);
+        let trace = record_trace(SearchConfig::new(params), &plan, seed);
         let report = check_k_out_of_order(&trace, k)
             .unwrap_or_else(|v| panic!("Theorem 1 violated for {params}: {v}"));
         prop_assert!(report.max_distance as usize <= k);
@@ -64,7 +64,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let k = params.k_bound();
-        let config = StackConfig::new(params).search_policy(SearchPolicy::RoundRobinOnly);
+        let config = SearchConfig::new(params).search_policy(SearchPolicy::RoundRobinOnly);
         let trace = record_trace(config, &plan, seed);
         check_k_out_of_order(&trace, k)
             .unwrap_or_else(|v| panic!("violated for {params} (rr search): {v}"));
@@ -77,7 +77,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let k = params.k_bound();
-        let config = StackConfig::new(params).locality(false).hop_on_contention(false);
+        let config = SearchConfig::new(params).locality(false).hop_on_contention(false);
         let trace = record_trace(config, &plan, seed);
         check_k_out_of_order(&trace, k)
             .unwrap_or_else(|v| panic!("violated for {params} (no locality): {v}"));
@@ -90,7 +90,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let params = Params::new(1, depth, depth).expect("valid");
-        let trace = record_trace(StackConfig::new(params), &plan, seed);
+        let trace = record_trace(SearchConfig::new(params), &plan, seed);
         // k = 0: every pop must return the strict top.
         check_k_out_of_order(&trace, 0)
             .unwrap_or_else(|v| panic!("width-1 stack not strict: {v}"));
@@ -130,7 +130,7 @@ fn theorem1_worst_case_is_reachable_in_principle() {
     // width 4 and deep windows we should observe *some* non-zero error.
     let params = Params::new(4, 4, 4).unwrap();
     let plan: Vec<bool> = (0..2_000).map(|i| i < 1_000).collect(); // 1000 pushes then pops
-    let trace = record_trace(StackConfig::new(params), &plan, 42);
+    let trace = record_trace(SearchConfig::new(params), &plan, 42);
     let report = check_k_out_of_order(&trace, params.k_bound()).unwrap();
     assert!(report.max_distance > 0, "a width-4 relaxed stack should show some out-of-order pops");
 }

@@ -29,9 +29,9 @@
 //! assert!(events.iter().all(|e| e.k_bound <= 1_000));
 //! ```
 
+use stack2d::sync::Arc;
 use std::fmt;
 use std::ops::Deref;
-use std::sync::Arc;
 use std::time::Duration;
 
 use stack2d::{Buildable, Builder, ElasticTarget, ParamsError};
@@ -183,7 +183,7 @@ mod tests {
             if stack.window().width() == 8 {
                 break;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            stack2d::sync::thread::sleep(Duration::from_millis(1));
         }
         let events = stack.stop();
         assert_eq!(events.len(), 1);

@@ -11,9 +11,9 @@
 //! [`Queue2D`](stack2d::Queue2D) (whose put and get windows move
 //! together) or a [`Counter2D`](stack2d::Counter2D).
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use stack2d::sync::atomic::{AtomicBool, Ordering};
+use stack2d::sync::thread::JoinHandle;
+use stack2d::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -246,10 +246,10 @@ impl ElasticRunner {
     {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
-        let join = std::thread::spawn(move || {
+        let join = stack2d::sync::thread::spawn(move || {
             let mut elastic = Elastic::new(&*target, controller).budget(max_k);
             while !stop_flag.load(Ordering::Relaxed) {
-                std::thread::sleep(cadence);
+                stack2d::sync::thread::sleep(cadence);
                 elastic.tick();
             }
             // Final tick so work done right before `stop` is still seen.
@@ -385,7 +385,7 @@ mod tests {
             if stack.window().width() == 8 {
                 break;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            stack2d::sync::thread::sleep(Duration::from_millis(1));
         }
         let events = runner.stop();
         assert_eq!(events.len(), 1);
@@ -409,7 +409,7 @@ mod tests {
         for t in 0..4u64 {
             let stack = Arc::clone(&stack);
             let stop = Arc::clone(&stop);
-            joins.push(std::thread::spawn(move || {
+            joins.push(stack2d::sync::thread::spawn(move || {
                 let mut h = stack.handle_seeded(t + 1);
                 // Bursty producer/consumer: runs of pushes slam the narrow
                 // window (Global shifts nearly every op), generating the
@@ -424,7 +424,7 @@ mod tests {
                 }
             }));
         }
-        std::thread::sleep(Duration::from_millis(200));
+        stack2d::sync::thread::sleep(Duration::from_millis(200));
         stop.store(true, Ordering::Relaxed);
         for j in joins {
             j.join().unwrap();
@@ -492,7 +492,7 @@ mod tests {
         let mut joins = Vec::new();
         for t in 0..4u64 {
             let counter = Arc::clone(&counter);
-            joins.push(std::thread::spawn(move || {
+            joins.push(stack2d::sync::thread::spawn(move || {
                 let mut h = counter.handle_seeded(t + 1);
                 for _ in 0..20_000 {
                     h.increment();

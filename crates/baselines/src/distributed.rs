@@ -515,8 +515,8 @@ stack2d::impl_relaxed_ops_for_stack!(KRobinStack);
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stack2d::sync::Arc;
     use std::collections::HashSet;
-    use std::sync::Arc;
 
     fn exercise<S: ConcurrentStack<u64>>(stack: &S, n: u64) {
         let mut h = stack.handle();
@@ -640,7 +640,7 @@ mod tests {
             let mut joins = Vec::new();
             for t in 0..THREADS {
                 let stack = Arc::clone(&stack);
-                joins.push(std::thread::spawn(move || {
+                joins.push(stack2d::sync::thread::spawn(move || {
                     let mut h = stack.handle();
                     let mut got = Vec::new();
                     for i in 0..PER {

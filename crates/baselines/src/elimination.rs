@@ -20,7 +20,7 @@
 use core::fmt;
 use core::mem::ManuallyDrop;
 use core::ptr;
-use core::sync::atomic::{AtomicUsize, Ordering};
+use stack2d::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use crossbeam_utils::CachePadded;
@@ -96,7 +96,12 @@ pub struct EliminationStack<T> {
     central_ops: CachePadded<AtomicUsize>,
 }
 
+// SAFETY: nodes and collision records are owned by the stack and values only
+// cross threads by moving out, so `T: Send` is the full requirement (the raw
+// node pointers are what suppress the auto-impl).
 unsafe impl<T: Send> Send for EliminationStack<T> {}
+// SAFETY: as above — shared access is mediated by CASes on head, location
+// slots and collision cells.
 unsafe impl<T: Send> Sync for EliminationStack<T> {}
 
 impl<T> EliminationStack<T> {
@@ -170,6 +175,8 @@ impl<T> EliminationStack<T> {
 
     fn try_central_push(&self, node: *mut Node<T>, guard: &Guard) -> bool {
         let head = self.head.load(Ordering::Acquire, guard);
+        // SAFETY: the node is still private to this thread (not yet
+        // published), so the plain write cannot race.
         unsafe { (*node).next = head.as_raw() };
         self.head
             .compare_exchange(
@@ -185,6 +192,8 @@ impl<T> EliminationStack<T> {
     /// `Ok(Some)` popped, `Ok(None)` observed empty, `Err(())` lost the CAS.
     fn try_central_pop(&self, guard: &Guard) -> Result<Option<T>, ()> {
         let head = self.head.load(Ordering::Acquire, guard);
+        // SAFETY: the epoch guard keeps any node reachable from `head`
+        // alive for this attempt.
         let node = match unsafe { head.as_ref() } {
             Some(n) => n,
             None => return Ok(None),
@@ -197,7 +206,12 @@ impl<T> EliminationStack<T> {
             guard,
         ) {
             Ok(_) => {
+                // SAFETY: winning the pop CAS grants the unique right to
+                // consume this node's value; `value` is `ManuallyDrop`, so
+                // the deferred deallocation won't double-drop it.
                 let value = unsafe { ptr::read(&*node.value) };
+                // SAFETY: our CAS unlinked the node; only the winner retires
+                // it, exactly once.
                 unsafe { guard.defer_destroy(head) };
                 Ok(Some(value))
             }
@@ -226,6 +240,8 @@ impl<T> EliminationStack<T> {
         }
         if him != EMPTY && him != id {
             let q = self.location[him].load(Ordering::Acquire, guard);
+            // SAFETY: records are only reclaimed via `defer_destroy`, so the
+            // epoch guard keeps `q` alive while we inspect it.
             if let Some(qr) = unsafe { q.as_ref() } {
                 if qr.id == him && qr.op == Op::Pop {
                     // Active collision: withdraw our record first.
@@ -244,13 +260,15 @@ impl<T> EliminationStack<T> {
                             .compare_exchange(q, p, Ordering::AcqRel, Ordering::Acquire, guard)
                             .is_ok()
                         {
-                            // We removed q from him's slot: retire it.
+                            // SAFETY: our CAS removed `q` from him's slot —
+                            // we are its only retirer.
                             unsafe { guard.defer_destroy(q) };
                             self.eliminated_pushes.fetch_add(1, Ordering::Relaxed);
                             return true;
                         }
-                        // Partner vanished; our record is withdrawn and
-                        // unreachable (readers may still hold it: defer).
+                        // SAFETY: partner vanished; we withdrew `p`
+                        // ourselves so it is unlinked, and this is its only
+                        // retirement (readers may still hold it: defer).
                         unsafe { guard.defer_destroy(p) };
                         return false;
                     }
@@ -267,6 +285,8 @@ impl<T> EliminationStack<T> {
             .compare_exchange(p, Shared::null(), Ordering::AcqRel, Ordering::Acquire, guard)
             .is_ok()
         {
+            // SAFETY: the successful withdrawal CAS unlinked `p`; this is
+            // its only retirement.
             unsafe { guard.defer_destroy(p) };
             false
         } else {
@@ -296,6 +316,8 @@ impl<T> EliminationStack<T> {
         }
         if him != EMPTY && him != id {
             let q = self.location[him].load(Ordering::Acquire, guard);
+            // SAFETY: records are only reclaimed via `defer_destroy`, so the
+            // epoch guard keeps `q` alive while we inspect it.
             if let Some(qr) = unsafe { q.as_ref() } {
                 if qr.id == him && qr.op == Op::Push {
                     if self.location[id]
@@ -319,11 +341,18 @@ impl<T> EliminationStack<T> {
                             )
                             .is_ok()
                         {
+                            // SAFETY: our CAS took `q` out of him's slot,
+                            // which is exactly the unique consumption right
+                            // `consume_record` requires.
                             let value = unsafe { Self::consume_record(q) };
+                            // SAFETY: `q` is unlinked by the same CAS; we
+                            // are its only retirer.
                             unsafe { guard.defer_destroy(q) };
                             self.eliminated_pops.fetch_add(1, Ordering::Relaxed);
                             return Some(value);
                         }
+                        // SAFETY: we withdrew `p` ourselves, so it is
+                        // unlinked and this is its only retirement.
                         unsafe { guard.defer_destroy(p) };
                         return None;
                     }
@@ -338,6 +367,8 @@ impl<T> EliminationStack<T> {
             .compare_exchange(p, Shared::null(), Ordering::AcqRel, Ordering::Acquire, guard)
             .is_ok()
         {
+            // SAFETY: the successful withdrawal CAS unlinked `p`; this is
+            // its only retirement.
             unsafe { guard.defer_destroy(p) };
             None
         } else {
@@ -351,7 +382,11 @@ impl<T> EliminationStack<T> {
         let r = self.location[id].load(Ordering::Acquire, guard);
         debug_assert!(!r.is_null(), "passive pop must find the pusher's record");
         self.location[id].store(Shared::null(), Ordering::Release);
+        // SAFETY: the pusher handed `r` to our slot and will never touch it
+        // again — finding it there is the unique consumption right.
         let value = unsafe { Self::consume_record(r) };
+        // SAFETY: we just cleared the slot, unlinking `r`; we are its only
+        // retirer.
         unsafe { guard.defer_destroy(r) };
         self.eliminated_pops.fetch_add(1, Ordering::Relaxed);
         value
@@ -365,13 +400,18 @@ impl<T> EliminationStack<T> {
     /// (obtained by CASing it out of a location slot, or by finding it in
     /// the caller's own slot).
     unsafe fn consume_record(record: Shared<'_, Record<T>>) -> T {
-        let r = record.deref();
-        debug_assert_eq!(r.op, Op::Push);
-        let node = r.node;
-        let value = ptr::read(&*(*node).value);
-        // The node was never published on the central stack; free it now.
-        drop(Box::from_raw(node));
-        value
+        // SAFETY: the caller's contract gives us the unique consumption
+        // right, so the record is live and `node` is the Box-allocated node
+        // its pusher stored — unreachable to any other thread from here on.
+        unsafe {
+            let r = record.deref();
+            debug_assert_eq!(r.op, Op::Push);
+            let node = r.node;
+            let value = ptr::read(&*(*node).value);
+            // The node was never published on the central stack; free it now.
+            drop(Box::from_raw(node));
+            value
+        }
     }
 }
 
@@ -392,6 +432,9 @@ impl<T> fmt::Debug for EliminationStack<T> {
 
 impl<T> Drop for EliminationStack<T> {
     fn drop(&mut self) {
+        // SAFETY: `&mut self` guarantees exclusive access (quiescence), so
+        // the unprotected guard is sound; central nodes hold initialized
+        // values exactly once, and no collision records are in flight.
         unsafe {
             let guard = epoch::unprotected();
             let mut cur = self.head.load(Ordering::Relaxed, guard).as_raw();
@@ -495,8 +538,8 @@ stack2d::impl_relaxed_ops_for_stack!(EliminationStack);
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stack2d::sync::Arc;
     use std::collections::HashSet;
-    use std::sync::Arc;
 
     #[test]
     fn sequential_lifo() {
@@ -549,7 +592,7 @@ mod tests {
         let mut joins = Vec::new();
         for t in 0..THREADS {
             let s = Arc::clone(&s);
-            joins.push(std::thread::spawn(move || {
+            joins.push(stack2d::sync::thread::spawn(move || {
                 let mut h = s.handle();
                 let mut got = Vec::new();
                 for i in 0..PER {
@@ -584,7 +627,7 @@ mod tests {
         let mut joins = Vec::new();
         for t in 0..4u64 {
             let s = Arc::clone(&s);
-            joins.push(std::thread::spawn(move || {
+            joins.push(stack2d::sync::thread::spawn(move || {
                 let mut h = s.handle();
                 let mut seen = HashSet::new();
                 for i in 0..20_000u64 {
@@ -609,7 +652,7 @@ mod tests {
         // Heap values: if any double-free/leak path existed in the record
         // handoff, this test (under the default test allocator) or the
         // canary below would catch it.
-        use std::sync::atomic::AtomicUsize as AU;
+        use stack2d::sync::atomic::AtomicUsize as AU;
         struct Canary(Arc<AU>, #[allow(dead_code)] String);
         impl Drop for Canary {
             fn drop(&mut self) {
@@ -624,7 +667,7 @@ mod tests {
             for _ in 0..4 {
                 let s = Arc::clone(&s);
                 let drops = Arc::clone(&drops);
-                joins.push(std::thread::spawn(move || {
+                joins.push(stack2d::sync::thread::spawn(move || {
                     let mut h = s.handle();
                     for i in 0..2_000 {
                         h.push(Canary(drops.clone(), format!("v{i}")));

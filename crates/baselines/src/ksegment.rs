@@ -27,7 +27,7 @@
 use core::fmt;
 use core::mem::ManuallyDrop;
 use core::ptr;
-use core::sync::atomic::{AtomicBool, Ordering};
+use stack2d::sync::atomic::{AtomicBool, Ordering};
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 
@@ -77,7 +77,11 @@ pub struct KSegmentStack<T> {
     k: usize,
 }
 
+// SAFETY: segments and items are owned by the stack and values only cross
+// threads by moving out, so `T: Send` is the full requirement (the raw
+// pointers inside segments are what suppress the auto-impl).
 unsafe impl<T: Send> Send for KSegmentStack<T> {}
+// SAFETY: as above — shared access is mediated by slot/top CASes.
 unsafe impl<T: Send> Sync for KSegmentStack<T> {}
 
 impl<T> KSegmentStack<T> {
@@ -88,6 +92,8 @@ impl<T> KSegmentStack<T> {
     /// Panics if `k` is zero.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "segment size k must be positive");
+        // SAFETY: construction is single-threaded — nothing else can touch
+        // the stack yet, satisfying the unprotected guard's exclusivity.
         let guard = unsafe { epoch::unprotected() };
         let first = Segment::new(k, Shared::null()).into_shared(guard);
         KSegmentStack { top: Atomic::from(first.as_raw()), k }
@@ -104,6 +110,8 @@ impl<T> KSegmentStack<T> {
     pub fn is_empty(&self) -> bool {
         let guard = epoch::pin();
         let mut seg = self.top.load(Ordering::Acquire, &guard);
+        // SAFETY: the epoch guard keeps every reachable segment alive while
+        // we walk the chain.
         while let Some(s) = unsafe { seg.as_ref() } {
             if s.slots.iter().any(|slot| !slot.load(Ordering::Acquire, &guard).is_null()) {
                 return false;
@@ -150,7 +158,13 @@ impl<T> KSegmentStack<T> {
                 .compare_exchange(item, Shared::null(), Ordering::SeqCst, Ordering::SeqCst, guard)
                 .is_ok()
             {
+                // SAFETY: winning the slot CAS grants the unique right to
+                // consume the item (alive under `guard`); `value` is
+                // `ManuallyDrop`, so the deferred deallocation won't
+                // double-drop it.
                 let value = unsafe { ptr::read(&*item.deref().value) };
+                // SAFETY: our CAS emptied the slot; only the winner retires
+                // the item, exactly once.
                 unsafe { guard.defer_destroy(item) };
                 return Ok(Some(value));
             }
@@ -176,6 +190,9 @@ impl<T> fmt::Debug for KSegmentStack<T> {
 
 impl<T> Drop for KSegmentStack<T> {
     fn drop(&mut self) {
+        // SAFETY: `&mut self` guarantees exclusive access, satisfying the
+        // unprotected guard's contract; occupied slots hold initialized
+        // values exactly once, freed here along with their segments.
         unsafe {
             let guard = epoch::unprotected();
             let mut seg = self.top.load(Ordering::Relaxed, guard);
@@ -215,6 +232,8 @@ impl<T: Send> StackHandle<T> for KSegmentHandle<'_, T> {
         let mut item = Owned::new(Item { value: ManuallyDrop::new(value) });
         'retry: loop {
             let top = stack.top.load(Ordering::Acquire, &guard);
+            // SAFETY: top is never null (construction installs a segment and
+            // unlinking requires a non-null successor); alive under `guard`.
             let seg = unsafe { top.deref() };
             if seg.deleted.load(Ordering::Acquire) {
                 // Flagged segments never take new items (the flag is
@@ -227,6 +246,8 @@ impl<T: Send> StackHandle<T> for KSegmentHandle<'_, T> {
                         .compare_exchange(top, next, Ordering::AcqRel, Ordering::Acquire, &guard)
                         .is_ok()
                     {
+                        // SAFETY: our CAS unlinked the drained segment; only
+                        // the winner retires it, exactly once.
                         unsafe { guard.defer_destroy(top) };
                     }
                 } else {
@@ -268,7 +289,9 @@ impl<T: Send> StackHandle<T> for KSegmentHandle<'_, T> {
                                     )
                                     .is_ok()
                             {
-                                // Recovered the item; retry elsewhere.
+                                // SAFETY: the take-back CAS emptied the
+                                // slot, so we own the item exclusively
+                                // again.
                                 item = unsafe { shared.into_owned() };
                                 continue 'retry;
                             }
@@ -277,7 +300,8 @@ impl<T: Send> StackHandle<T> for KSegmentHandle<'_, T> {
                             return;
                         }
                         Err(e) => {
-                            // The item was never published; reclaim it.
+                            // SAFETY: the failed CAS never published the
+                            // item, so we still own it exclusively.
                             item = unsafe { e.new.into_owned() };
                         }
                     }
@@ -296,6 +320,7 @@ impl<T: Send> StackHandle<T> for KSegmentHandle<'_, T> {
         let guard = epoch::pin();
         loop {
             let top = stack.top.load(Ordering::Acquire, &guard);
+            // SAFETY: top is never null (see push); alive under `guard`.
             let seg = unsafe { top.deref() };
             let start = self.rng.bounded(stack.k);
             match stack.try_pop_from(seg, start, &guard) {
@@ -325,6 +350,8 @@ impl<T: Send> StackHandle<T> for KSegmentHandle<'_, T> {
                 .compare_exchange(top, next, Ordering::AcqRel, Ordering::Acquire, &guard)
                 .is_ok()
             {
+                // SAFETY: our CAS unlinked the flagged, drained segment;
+                // only the winner retires it, exactly once.
                 unsafe { guard.defer_destroy(top) };
             }
         }
@@ -361,8 +388,8 @@ stack2d::impl_relaxed_ops_for_stack!(KSegmentStack);
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stack2d::sync::Arc;
     use std::collections::HashSet;
-    use std::sync::Arc;
 
     #[test]
     fn k_one_is_strict_lifo() {
@@ -441,7 +468,7 @@ mod tests {
         let mut joins = Vec::new();
         for t in 0..THREADS {
             let s = Arc::clone(&s);
-            joins.push(std::thread::spawn(move || {
+            joins.push(stack2d::sync::thread::spawn(move || {
                 let mut h = s.handle();
                 let mut got = Vec::new();
                 for i in 0..PER {
@@ -474,7 +501,7 @@ mod tests {
         let mut joins = Vec::new();
         for _ in 0..4 {
             let s = Arc::clone(&s);
-            joins.push(std::thread::spawn(move || {
+            joins.push(stack2d::sync::thread::spawn(move || {
                 let mut h = s.handle();
                 let mut balance: i64 = 0;
                 for i in 0..10_000u64 {
@@ -498,7 +525,7 @@ mod tests {
 
     #[test]
     fn drop_releases_resident_items() {
-        use std::sync::atomic::AtomicUsize as AU;
+        use stack2d::sync::atomic::AtomicUsize as AU;
         struct Canary(Arc<AU>);
         impl Drop for Canary {
             fn drop(&mut self) {

@@ -5,7 +5,7 @@
 
 use core::fmt;
 
-use parking_lot::Mutex;
+use stack2d::sync::Mutex;
 
 use stack2d::{ConcurrentStack, StackHandle};
 

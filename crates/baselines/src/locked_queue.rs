@@ -10,7 +10,7 @@
 use core::fmt;
 use std::collections::VecDeque;
 
-use parking_lot::Mutex;
+use stack2d::sync::Mutex;
 
 use stack2d::{OpsHandle, RelaxedOps};
 

@@ -8,7 +8,7 @@
 use core::fmt;
 use core::mem::ManuallyDrop;
 use core::ptr;
-use core::sync::atomic::Ordering;
+use stack2d::sync::atomic::Ordering;
 
 use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
 use crossbeam_utils::Backoff;
@@ -38,7 +38,11 @@ pub struct TreiberStack<T> {
     head: Atomic<Node<T>>,
 }
 
+// SAFETY: the stack owns its nodes and hands values across threads only by
+// moving them out, so `T: Send` is the full requirement (the raw `next`
+// pointers are what suppress the auto-impl).
 unsafe impl<T: Send> Send for TreiberStack<T> {}
+// SAFETY: as above — shared access is mediated by the head CAS.
 unsafe impl<T: Send> Sync for TreiberStack<T> {}
 
 impl<T> TreiberStack<T> {
@@ -77,6 +81,8 @@ impl<T> TreiberStack<T> {
         let backoff = Backoff::new();
         loop {
             let head = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: the epoch guard keeps any node reachable from `head`
+            // alive for the duration of this attempt.
             let node = unsafe { head.as_ref() }?;
             let next = Shared::from(node.next);
             match self.head.compare_exchange(
@@ -87,7 +93,12 @@ impl<T> TreiberStack<T> {
                 &guard,
             ) {
                 Ok(_) => {
+                    // SAFETY: winning the pop CAS grants the unique right to
+                    // consume this node's value; `value` is `ManuallyDrop`,
+                    // so the deferred deallocation won't double-drop it.
                     let value = unsafe { ptr::read(&*node.value) };
+                    // SAFETY: our CAS unlinked the node; only the winner
+                    // retires it, exactly once.
                     unsafe { guard.defer_destroy(head) };
                     return Some(value);
                 }
@@ -117,6 +128,9 @@ impl<T> fmt::Debug for TreiberStack<T> {
 
 impl<T> Drop for TreiberStack<T> {
     fn drop(&mut self) {
+        // SAFETY: `&mut self` guarantees exclusive access, satisfying the
+        // unprotected guard's contract; every node still in the list holds
+        // an initialized value exactly once, freed here.
         unsafe {
             let guard = epoch::unprotected();
             let mut cur = self.head.load(Ordering::Relaxed, guard).as_raw();
@@ -169,8 +183,8 @@ stack2d::impl_relaxed_ops_for_stack!(TreiberStack);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
-    use std::sync::Arc;
+    use stack2d::sync::atomic::AtomicUsize;
+    use stack2d::sync::Arc;
 
     #[test]
     fn lifo_order() {
@@ -200,7 +214,7 @@ mod tests {
         for t in 0..THREADS {
             let s = Arc::clone(&s);
             let popped = Arc::clone(&popped);
-            joins.push(std::thread::spawn(move || {
+            joins.push(stack2d::sync::thread::spawn(move || {
                 for i in 0..PER {
                     s.push(t * PER + i);
                     if i % 2 == 0 && s.pop().is_some() {

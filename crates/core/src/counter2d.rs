@@ -40,8 +40,8 @@
 //! ([`SearchPolicy::RoundRobinOnly`], probe counts pinned by regression
 //! tests).
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use core::fmt;
-use core::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_epoch as epoch;
 use crossbeam_utils::CachePadded;
@@ -471,7 +471,7 @@ impl fmt::Debug for CounterHandle<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use crate::sync::Arc;
 
     fn params(w: usize, d: usize, s: usize) -> Params {
         Params::new(w, d, s).unwrap()
@@ -529,7 +529,7 @@ mod tests {
         let mut joins = Vec::new();
         for t in 0..THREADS {
             let c = Arc::clone(&c);
-            joins.push(std::thread::spawn(move || {
+            joins.push(crate::sync::thread::spawn(move || {
                 let mut h = c.handle_seeded(t as u64 + 1);
                 for _ in 0..PER {
                     h.increment();
@@ -635,7 +635,7 @@ mod tests {
         let mut joins = Vec::new();
         for t in 0..THREADS {
             let c = Arc::clone(&c);
-            joins.push(std::thread::spawn(move || {
+            joins.push(crate::sync::thread::spawn(move || {
                 let mut h = c.handle_seeded(t as u64 + 1);
                 for _ in 0..PER {
                     h.increment();
@@ -646,7 +646,7 @@ mod tests {
             for p in schedule {
                 c.retune(p).unwrap();
                 c.try_commit_shrink();
-                std::thread::yield_now();
+                crate::sync::thread::yield_now();
             }
         }
         for j in joins {

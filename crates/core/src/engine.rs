@@ -43,7 +43,7 @@
 //! never advances by a stale `shift` (the PR 3 `get_global` fix, now
 //! applied uniformly to all three structures).
 
-use core::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_epoch::Guard;
 

@@ -115,6 +115,7 @@ pub mod rng;
 pub mod search;
 pub mod stack;
 pub mod substack;
+pub mod sync;
 pub mod traits;
 pub mod window;
 
@@ -123,8 +124,6 @@ pub use counter2d::{Counter2D, CounterHandle};
 pub use metrics::MetricsSnapshot;
 pub use params::{Params, ParamsError};
 pub use queue2d::{Queue2D, QueueHandle};
-#[allow(deprecated)]
-pub use search::StackConfig;
 pub use search::{SearchConfig, SearchPolicy};
 pub use stack::{Handle2D, Stack2D};
 pub use traits::{ConcurrentStack, ElasticTarget, OpsHandle, RelaxedOps, StackHandle, StackOps};

@@ -21,8 +21,8 @@
 //! move forward); for the counter only the push-side counters are
 //! populated.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use core::fmt;
-use core::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 

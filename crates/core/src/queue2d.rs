@@ -48,10 +48,10 @@
 //! tests); the paper's two-phase policy is one
 //! [`Builder::search_policy`](crate::Builder::search_policy) call away.
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use core::fmt;
 use core::mem::MaybeUninit;
 use core::ptr;
-use core::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use crossbeam_utils::CachePadded;
@@ -80,12 +80,18 @@ struct SubQueue<T> {
     deq: AtomicUsize,
 }
 
+// SAFETY: the queue owns its nodes and transfers values across threads only
+// by moving them out, so `T: Send` is the full requirement (the raw pointers
+// inside the MS-queue nodes are what suppress the auto-impl).
 unsafe impl<T: Send> Send for SubQueue<T> {}
+// SAFETY: as above — shared access is mediated by the head/tail CASes.
 unsafe impl<T: Send> Sync for SubQueue<T> {}
 
 impl<T> SubQueue<T> {
     fn new() -> Self {
         let dummy = Owned::new(QNode { value: MaybeUninit::uninit(), next: Atomic::null() });
+        // SAFETY: construction is single-threaded — nothing else can touch
+        // the queue yet, satisfying the unprotected guard's exclusivity.
         let guard = unsafe { epoch::unprotected() };
         let dummy = dummy.into_shared(guard);
         SubQueue {
@@ -101,12 +107,16 @@ impl<T> SubQueue<T> {
     fn try_enqueue(&self, node: Owned<QNode<T>>, guard: &Guard) -> Result<(), Owned<QNode<T>>> {
         let node = node.into_shared(guard);
         let tail = self.tail.load(Ordering::Acquire, guard);
+        // SAFETY: tail is never null (a dummy node exists from construction)
+        // and the epoch guard keeps the loaded node alive.
         let t = unsafe { tail.deref() };
         let next = t.next.load(Ordering::Acquire, guard);
         if !next.is_null() {
             // Tail lagging: help swing it, then report contention.
             let _ =
                 self.tail.compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire, guard);
+            // SAFETY: the node was never linked, so we still own it
+            // exclusively.
             return Err(unsafe { node.into_owned() });
         }
         match t.next.compare_exchange(
@@ -127,6 +137,8 @@ impl<T> SubQueue<T> {
                 self.enq.fetch_add(1, Ordering::AcqRel);
                 Ok(())
             }
+            // SAFETY: the failed CAS did not install the node, so we still
+            // own it exclusively.
             Err(_) => Err(unsafe { node.into_owned() }),
         }
     }
@@ -135,6 +147,8 @@ impl<T> SubQueue<T> {
     /// lost a race.
     fn try_dequeue(&self, guard: &Guard) -> Result<Option<T>, ()> {
         let head = self.head.load(Ordering::Acquire, guard);
+        // SAFETY: head is never null (dummy node) and the epoch guard keeps
+        // the loaded node alive.
         let h = unsafe { head.deref() };
         let next = h.next.load(Ordering::Acquire, guard);
         if next.is_null() {
@@ -142,7 +156,14 @@ impl<T> SubQueue<T> {
         }
         match self.head.compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire, guard) {
             Ok(_) => {
+                // SAFETY: winning the head CAS makes `next` the new dummy
+                // and grants us the unique right to move its value out; the
+                // value slot is `MaybeUninit`, so the node's later
+                // deallocation cannot double-drop it. `next` stays alive
+                // under the guard.
                 let value = unsafe { ptr::read(next.deref().value.as_ptr()) };
+                // SAFETY: the old dummy was unlinked by our CAS; only the
+                // winner retires it, exactly once.
                 unsafe { guard.defer_destroy(head) };
                 self.deq.fetch_add(1, Ordering::AcqRel);
                 Ok(Some(value))
@@ -153,6 +174,8 @@ impl<T> SubQueue<T> {
 
     fn is_empty(&self, guard: &Guard) -> bool {
         let head = self.head.load(Ordering::Acquire, guard);
+        // SAFETY: head is never null (dummy node) and the epoch guard keeps
+        // the loaded node alive.
         unsafe { head.deref() }.next.load(Ordering::Acquire, guard).is_null()
     }
 
@@ -164,6 +187,9 @@ impl<T> SubQueue<T> {
 
 impl<T> Drop for SubQueue<T> {
     fn drop(&mut self) {
+        // SAFETY: `&mut self` guarantees exclusive access, so the
+        // unprotected guard is sound; only non-dummy nodes hold initialized
+        // values, and the loop below drops exactly those.
         unsafe {
             let guard = epoch::unprotected();
             let mut head = self.head.load(Ordering::Relaxed, guard);
@@ -224,7 +250,7 @@ pub struct Queue2D<T> {
     /// get windows describing different widths for good — stranding
     /// enqueues outside the dequeue span once a shrink commits. Cold
     /// path only; enqueues/dequeues never take it.
-    retune_lock: std::sync::Mutex<()>,
+    retune_lock: crate::sync::Mutex<()>,
     config: SearchConfig,
     counters: OpCounters,
     seeder: HandleSeeder,
@@ -274,7 +300,7 @@ impl<T> Queue2D<T> {
             get_global: CachePadded::new(AtomicUsize::new(params.initial_global())),
             put: ElasticWindow::new(params),
             get: ElasticWindow::new(params),
-            retune_lock: std::sync::Mutex::new(()),
+            retune_lock: crate::sync::Mutex::new(()),
             config,
             counters: OpCounters::default(),
             seeder: HandleSeeder::new(seed),
@@ -395,7 +421,7 @@ impl<T> Queue2D<T> {
     /// ```
     pub fn retune(&self, params: Params) -> Result<WindowInfo, RetuneError> {
         let capacity = self.subs.len();
-        let _serialize = self.retune_lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _serialize = self.retune_lock.lock();
         let (_, put_swung) = self.put.retune_symmetric(params, capacity)?;
         let (info, get_swung) = self.get.retune(params, capacity)?;
         if put_swung || get_swung {
@@ -698,8 +724,8 @@ impl<T> fmt::Debug for QueueHandle<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::Arc;
     use std::collections::HashSet;
-    use std::sync::Arc;
 
     fn params(w: usize, d: usize, s: usize) -> Params {
         Params::new(w, d, s).unwrap()
@@ -756,7 +782,7 @@ mod tests {
         let mut joins = Vec::new();
         for t in 0..THREADS {
             let q = Arc::clone(&q);
-            joins.push(std::thread::spawn(move || {
+            joins.push(crate::sync::thread::spawn(move || {
                 let mut h = q.handle_seeded(t as u64 + 1);
                 let mut got = Vec::new();
                 for i in 0..PER {
@@ -807,7 +833,7 @@ mod tests {
 
     #[test]
     fn drop_releases_resident_items() {
-        use std::sync::atomic::AtomicUsize as AU;
+        use crate::sync::atomic::AtomicUsize as AU;
         struct Canary(Arc<AU>);
         impl Drop for Canary {
             fn drop(&mut self) {
@@ -1022,7 +1048,7 @@ mod tests {
         let mut joins = Vec::new();
         for t in 0..THREADS {
             let q = Arc::clone(&q);
-            joins.push(std::thread::spawn(move || {
+            joins.push(crate::sync::thread::spawn(move || {
                 let mut h = q.handle_seeded(t as u64 + 1);
                 let mut got = Vec::new();
                 for i in 0..PER {
@@ -1040,7 +1066,7 @@ mod tests {
             for p in schedule {
                 q.retune(p).unwrap();
                 q.try_commit_shrink();
-                std::thread::yield_now();
+                crate::sync::thread::yield_now();
             }
         }
         let mut all: Vec<u64> = Vec::new();

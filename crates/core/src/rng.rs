@@ -84,19 +84,19 @@ impl Default for HopRng {
 #[derive(Debug)]
 pub(crate) struct HandleSeeder {
     base: Option<u64>,
-    next: core::sync::atomic::AtomicU64,
+    next: crate::sync::atomic::AtomicU64,
 }
 
 impl HandleSeeder {
     pub(crate) fn new(base: Option<u64>) -> Self {
-        HandleSeeder { base, next: core::sync::atomic::AtomicU64::new(0) }
+        HandleSeeder { base, next: crate::sync::atomic::AtomicU64::new(0) }
     }
 
     /// The RNG for the next registered handle.
     pub(crate) fn rng(&self) -> HopRng {
         match self.base {
             Some(base) => {
-                let n = self.next.fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+                let n = self.next.fetch_add(1, crate::sync::atomic::Ordering::Relaxed);
                 // Golden-ratio stride decorrelates consecutive handle seeds.
                 HopRng::seeded(base.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
             }

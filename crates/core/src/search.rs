@@ -88,10 +88,6 @@ pub struct SearchConfig {
     max_width: Option<usize>,
 }
 
-/// The former, stack-specific name of [`SearchConfig`].
-#[deprecated(since = "0.1.0", note = "renamed to SearchConfig — the config is structure-shared")]
-pub type StackConfig = SearchConfig;
-
 impl SearchConfig {
     /// Configuration with the paper's default behaviour for the given window
     /// parameters.

@@ -16,8 +16,8 @@
 //!
 //! Relaxation is bounded by Theorem 1: `k = (2*shift + depth)*(width-1)`.
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use core::fmt;
-use core::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_epoch::{self as epoch};
 use crossbeam_utils::CachePadded;
@@ -655,9 +655,9 @@ impl<T: Send> ElasticTarget for Stack2D<T> {
 mod tests {
     use super::*;
     use crate::search::SearchPolicy;
+    use crate::sync::atomic::AtomicBool;
+    use crate::sync::Arc;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicBool;
-    use std::sync::Arc;
 
     fn params(w: usize, d: usize, s: usize) -> Params {
         Params::new(w, d, s).unwrap()
@@ -785,7 +785,7 @@ mod tests {
         let mut joins = Vec::new();
         for t in 0..THREADS {
             let stack = Arc::clone(&stack);
-            joins.push(std::thread::spawn(move || {
+            joins.push(crate::sync::thread::spawn(move || {
                 let mut h = stack.handle_seeded(t as u64 + 1);
                 let mut popped = Vec::new();
                 for i in 0..PER_THREAD {
@@ -823,7 +823,7 @@ mod tests {
         for t in 0..3 {
             let stack = Arc::clone(&stack);
             let stop = Arc::clone(&stop);
-            joins.push(std::thread::spawn(move || {
+            joins.push(crate::sync::thread::spawn(move || {
                 let mut h = stack.handle_seeded(t + 10);
                 let mut balance = 0i64;
                 while !stop.load(Ordering::Relaxed) {
@@ -836,7 +836,7 @@ mod tests {
                 balance
             }));
         }
-        std::thread::sleep(std::time::Duration::from_millis(100));
+        crate::sync::thread::sleep(std::time::Duration::from_millis(100));
         stop.store(true, Ordering::Relaxed);
         let pushed_minus_popped: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
         let mut h = stack.handle_seeded(0);
@@ -907,7 +907,7 @@ mod tests {
 
     #[test]
     fn drop_releases_resident_items() {
-        use std::sync::atomic::AtomicUsize;
+        use crate::sync::atomic::AtomicUsize;
         struct Canary(Arc<AtomicUsize>);
         impl Drop for Canary {
             fn drop(&mut self) {
@@ -1000,7 +1000,7 @@ mod tests {
         let mut joins = Vec::new();
         for t in 0..4 {
             let stack = Arc::clone(&stack);
-            joins.push(std::thread::spawn(move || {
+            joins.push(crate::sync::thread::spawn(move || {
                 let mut h = stack.handle_seeded(t);
                 for i in 0..1_000 {
                     h.push(i);
@@ -1188,7 +1188,7 @@ mod tests {
         let mut joins = Vec::new();
         for t in 0..THREADS {
             let stack = Arc::clone(&stack);
-            joins.push(std::thread::spawn(move || {
+            joins.push(crate::sync::thread::spawn(move || {
                 let mut h = stack.handle_seeded(t as u64 + 1);
                 let mut popped = Vec::new();
                 for i in 0..PER_THREAD {
@@ -1207,7 +1207,7 @@ mod tests {
             for p in schedule {
                 stack.retune(p).unwrap();
                 stack.try_commit_shrink();
-                std::thread::yield_now();
+                crate::sync::thread::yield_now();
             }
         }
         let mut all: Vec<u64> = Vec::new();

@@ -16,10 +16,10 @@
 //! (`random`, `random-c2`, `k-robin` in `stack2d-baselines`) are built from
 //! the same block, as they are in the paper.
 
+use crate::sync::atomic::Ordering;
 use core::fmt;
 use core::mem::ManuallyDrop;
 use core::ptr;
-use core::sync::atomic::Ordering;
 
 use crossbeam_epoch::{Atomic, Guard, Owned, Shared};
 
@@ -40,9 +40,10 @@ pub(crate) struct Descriptor<T> {
     count: usize,
 }
 
-// Raw pointers poison auto-traits; the descriptor only *refers* to nodes that
-// carry `T`, so the usual container bounds apply.
+// SAFETY: raw pointers poison auto-traits; the descriptor only *refers* to
+// nodes that carry `T`, so the usual container bounds apply.
 unsafe impl<T: Send> Send for Descriptor<T> {}
+// SAFETY: as above — the descriptor itself holds no thread-affine state.
 unsafe impl<T: Send> Sync for Descriptor<T> {}
 
 /// A value boxed into a list node *before* knowing which sub-stack will take
@@ -69,6 +70,8 @@ pub struct PreparedNode<T> {
     raw: *mut Node<T>,
 }
 
+// SAFETY: the handle uniquely owns its boxed node (like `Box<Node<T>>`), so
+// it may move between threads whenever the value itself can.
 unsafe impl<T: Send> Send for PreparedNode<T> {}
 
 impl<T> PreparedNode<T> {
@@ -81,7 +84,12 @@ impl<T> PreparedNode<T> {
 
     /// Recovers the value, deallocating the node.
     pub fn into_value(self) -> T {
+        // SAFETY: `raw` is the Box allocation made in `new` and still owned
+        // by this handle (the node was never published to a list).
         let mut boxed = unsafe { Box::from_raw(self.raw) };
+        // SAFETY: the value was initialized in `new` and is taken exactly
+        // once — `forget(self)` below prevents the Drop impl from touching
+        // it again.
         let value = unsafe { ManuallyDrop::take(&mut boxed.value) };
         core::mem::forget(self);
         value
@@ -90,6 +98,9 @@ impl<T> PreparedNode<T> {
 
 impl<T> Drop for PreparedNode<T> {
     fn drop(&mut self) {
+        // SAFETY: an un-pushed node is still uniquely owned by the handle,
+        // so both the allocation and the still-initialized value are ours
+        // to free; the pushed path forgets the handle before this can run.
         unsafe {
             let mut boxed = Box::from_raw(self.raw);
             ManuallyDrop::drop(&mut boxed.value);
@@ -169,7 +180,11 @@ pub struct SubStack<T> {
     desc: Atomic<Descriptor<T>>,
 }
 
+// SAFETY: the stack owns its nodes and hands values across threads only by
+// moving them out, so `T: Send` is the full requirement (same bounds as a
+// `Mutex<Vec<T>>`; the raw pointers are what suppress the auto-impl).
 unsafe impl<T: Send> Send for SubStack<T> {}
+// SAFETY: as above — shared access is mediated by the descriptor CAS.
 unsafe impl<T: Send> Sync for SubStack<T> {}
 
 impl<T> SubStack<T> {
@@ -182,8 +197,9 @@ impl<T> SubStack<T> {
     #[inline]
     pub fn view<'g>(&self, guard: &'g Guard) -> DescView<'g, T> {
         let desc = self.desc.load(Ordering::Acquire, guard);
-        // The descriptor pointer is never null: construction installs one and
-        // every CAS replaces it with another.
+        // SAFETY: the descriptor pointer is never null (construction installs
+        // one and every CAS replaces it with another), and the epoch guard
+        // keeps the loaded descriptor alive.
         let d = unsafe { desc.deref() };
         DescView { desc, count: d.count, empty: d.top.is_null() }
     }
@@ -216,9 +232,12 @@ impl<T> SubStack<T> {
         node: PreparedNode<T>,
         guard: &'g Guard,
     ) -> Result<(), Contended<PreparedNode<T>>> {
+        // SAFETY: `view` was taken under `guard`, which pins the epoch the
+        // descriptor was reachable in.
         let old = unsafe { view.desc.deref() };
-        // Link the node in front of the current top. The node is private
-        // until the CAS below succeeds, so the plain write is safe.
+        // SAFETY: link the node in front of the current top — the node is
+        // private until the CAS below succeeds, so the plain write cannot
+        // race.
         unsafe { (*node.raw).next = old.top };
         let new = Owned::new(Descriptor { top: node.raw as *const _, count: old.count + 1 });
         match self.desc.compare_exchange(view.desc, new, Ordering::AcqRel, Ordering::Acquire, guard)
@@ -226,8 +245,9 @@ impl<T> SubStack<T> {
             Ok(_) => {
                 // The node is now owned by the list; forget the handle.
                 core::mem::forget(node);
-                // The displaced descriptor may still be read by concurrent
-                // snapshot holders; retire it.
+                // SAFETY: our CAS unlinked the displaced descriptor, and only
+                // the CAS winner retires it; concurrent snapshot holders are
+                // protected by their own guards until reclamation.
                 unsafe { guard.defer_destroy(view.desc) };
                 Ok(())
             }
@@ -248,22 +268,26 @@ impl<T> SubStack<T> {
         view: &DescView<'g, T>,
         guard: &'g Guard,
     ) -> Result<Option<T>, Contended<()>> {
+        // SAFETY: `view` was taken under `guard`, which pins the epoch the
+        // descriptor was reachable in.
         let old = unsafe { view.desc.deref() };
         if old.top.is_null() {
             debug_assert_eq!(old.count, 0, "descriptor invariant: null top implies count 0");
             return Ok(None);
         }
-        // Safe to read through `top`: the epoch guard keeps every node that
-        // was reachable at snapshot time alive.
+        // SAFETY: the epoch guard keeps every node that was reachable at
+        // snapshot time alive, and `top` was non-null above.
         let top = unsafe { &*old.top };
         let new = Owned::new(Descriptor { top: top.next, count: old.count - 1 });
         match self.desc.compare_exchange(view.desc, new, Ordering::AcqRel, Ordering::Acquire, guard)
         {
             Ok(_) => {
-                // We won the pop: move the value out and retire node +
-                // descriptor. `Node` has no Drop for `value`, so the deferred
-                // deallocation won't double-drop it.
+                // SAFETY: we won the pop CAS, so we hold the unique right to
+                // consume this node's value; `value` is `ManuallyDrop`, so
+                // the deferred node deallocation won't double-drop it.
                 let value = unsafe { ptr::read(&*top.value) };
+                // SAFETY: the CAS unlinked both the node and the displaced
+                // descriptor; only the winner retires them, exactly once.
                 unsafe {
                     guard.defer_destroy(Shared::from(old.top));
                     guard.defer_destroy(view.desc);
@@ -314,8 +338,10 @@ impl<T> fmt::Debug for SubStack<T> {
 
 impl<T> Drop for SubStack<T> {
     fn drop(&mut self) {
-        // `&mut self` guarantees exclusive access: no guards can be pinned on
-        // this stack any more, so walking and freeing directly is sound.
+        // SAFETY: `&mut self` guarantees exclusive access — no guards can be
+        // pinned on this stack any more, so walking and freeing directly
+        // (including the `ManuallyDrop` values, never consumed for nodes
+        // still in the list) is sound.
         unsafe {
             let guard = crossbeam_epoch::unprotected();
             let desc = self.desc.load(Ordering::Relaxed, guard);
@@ -333,8 +359,8 @@ impl<T> Drop for SubStack<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
-    use std::sync::Arc;
+    use crate::sync::atomic::{AtomicUsize, Ordering as AOrd};
+    use crate::sync::Arc;
 
     #[test]
     fn new_stack_is_empty() {
@@ -454,7 +480,7 @@ mod tests {
         for t in 0..THREADS {
             let s = Arc::clone(&s);
             let popped = Arc::clone(&popped);
-            joins.push(std::thread::spawn(move || {
+            joins.push(crate::sync::thread::spawn(move || {
                 for i in 0..PER_THREAD {
                     s.push(t * PER_THREAD + i);
                     if s.pop().is_some() {
@@ -488,7 +514,7 @@ mod tests {
         for _ in 0..3 {
             let s = Arc::clone(&s);
             let stop = Arc::clone(&stop);
-            joins.push(std::thread::spawn(move || {
+            joins.push(crate::sync::thread::spawn(move || {
                 while stop.load(AOrd::SeqCst) == 0 {
                     s.push(1u8);
                     s.pop();

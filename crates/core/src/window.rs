@@ -50,10 +50,10 @@
 //! crate checks measured error distances *per generation segment* against
 //! the bound in force when the operation happened.
 
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
 use core::fmt;
 use core::ops::Range;
-use core::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned};
 use crossbeam_utils::CachePadded;
@@ -144,6 +144,8 @@ impl ElasticWindow {
     /// another.
     #[inline]
     pub(crate) fn load<'g>(&self, guard: &'g Guard) -> &'g WindowDesc {
+        // SAFETY: the descriptor is never null (see the doc comment) and the
+        // epoch guard keeps the loaded descriptor alive for `'g`.
         unsafe { self.desc.load(Ordering::Acquire, guard).deref() }
     }
 
@@ -191,6 +193,7 @@ impl ElasticWindow {
         let guard = epoch::pin();
         loop {
             let cur_shared = self.desc.load(Ordering::Acquire, &guard);
+            // SAFETY: never null, alive under `guard` (see `load`).
             let cur = unsafe { cur_shared.deref() };
             let push_width = params.width();
             // High-water rule: the consuming side must keep covering every
@@ -228,6 +231,8 @@ impl ElasticWindow {
                 &guard,
             ) {
                 Ok(installed) => {
+                    // SAFETY: our CAS unlinked the old descriptor; only the
+                    // winner retires it, exactly once.
                     unsafe { guard.defer_destroy(cur_shared) };
                     if let Some(flag) = fence {
                         // The sentinel's Drop runs only after every thread
@@ -235,8 +240,13 @@ impl ElasticWindow {
                         // still produce under the pre-shrink descriptor —
                         // has unpinned. That is the commit precondition.
                         let sentinel = Owned::new(ShrinkFence(flag)).into_shared(&guard);
+                        // SAFETY: the sentinel was allocated just above and
+                        // never published anywhere else, so this is its only
+                        // retirement.
                         unsafe { guard.defer_destroy(sentinel) };
                     }
+                    // SAFETY: `installed` is the descriptor we just created;
+                    // it stays alive under `guard`.
                     return Ok((unsafe { installed.deref() }.info(), true));
                 }
                 // Lost to a concurrent retune; re-read and retry. The
@@ -261,6 +271,7 @@ impl ElasticWindow {
     ) -> Option<WindowInfo> {
         let guard = epoch::pin();
         let cur_shared = self.desc.load(Ordering::Acquire, &guard);
+        // SAFETY: never null, alive under `guard` (see `load`).
         let cur = unsafe { cur_shared.deref() };
         let flag = cur.fence.as_ref()?;
         if !flag.load(Ordering::Acquire) {
@@ -290,7 +301,11 @@ impl ElasticWindow {
             &guard,
         ) {
             Ok(installed) => {
+                // SAFETY: our CAS unlinked the old descriptor; only the
+                // winner retires it, exactly once.
                 unsafe { guard.defer_destroy(cur_shared) };
+                // SAFETY: `installed` is the descriptor we just created; it
+                // stays alive under `guard`.
                 Some(unsafe { installed.deref() }.info())
             }
             // A concurrent retune replaced the descriptor; its own fence
@@ -308,8 +323,9 @@ impl fmt::Debug for ElasticWindow {
 
 impl Drop for ElasticWindow {
     fn drop(&mut self) {
-        // `&mut self` guarantees exclusive access; the live descriptor is
-        // freed directly (retired ones are handled by epoch reclamation).
+        // SAFETY: `&mut self` guarantees exclusive access, satisfying the
+        // unprotected guard's contract; the live descriptor is freed
+        // directly (retired ones are handled by epoch reclamation).
         unsafe {
             let guard = epoch::unprotected();
             let d = self.desc.load(Ordering::Relaxed, guard);

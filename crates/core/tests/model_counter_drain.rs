@@ -1,0 +1,61 @@
+//! Bounded model: Counter2D's drain-on-commit conservation (DESIGN.md §10).
+//!
+//! Two incrementers race a retuner that shrinks the counter from width 2
+//! to width 1. Committing the shrink folds (drains) the retired cell's
+//! residue into the surviving span — so no interleaving of increments,
+//! shrink and commit may lose or double-count an increment.
+//!
+//! Run with `RUSTFLAGS="--cfg model" cargo test -p stack2d --test 'model_*'`.
+#![cfg(model)]
+
+use loomlite::{check, Config};
+use stack2d::sync::{thread, Arc};
+use stack2d::{Counter2D, Params};
+
+#[test]
+fn drain_on_commit_conserves_increments() {
+    let report = check(Config { max_schedules: 4_000, ..Config::default() }, || {
+        let counter: Arc<Counter2D> = Arc::new(
+            Counter2D::builder()
+                .width(2)
+                .depth(2)
+                .shift(1)
+                .elastic_capacity(2)
+                .seed(1)
+                .build()
+                .unwrap(),
+        );
+        let incrementers: Vec<_> = (0..2)
+            .map(|t| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || c.handle_seeded(t).increment())
+            })
+            .collect();
+        let retuner = {
+            let c = Arc::clone(&counter);
+            thread::spawn(move || {
+                c.retune(Params::new(1, 2, 1).unwrap()).unwrap();
+                for _ in 0..8 {
+                    if c.try_commit_shrink().is_some() {
+                        break;
+                    }
+                }
+            })
+        };
+        for i in incrementers {
+            i.join().unwrap();
+        }
+        retuner.join().unwrap();
+        assert_eq!(counter.value(), 2, "shrink commit lost or double-counted an increment");
+    })
+    .expect("no schedule may break increment conservation across a shrink");
+    assert!(
+        report.schedules >= 200,
+        "expected a substantive exploration, got {} schedules",
+        report.schedules
+    );
+    eprintln!(
+        "model_counter_drain: {} schedules (max depth {}, truncated: {})",
+        report.schedules, report.max_depth, report.truncated
+    );
+}

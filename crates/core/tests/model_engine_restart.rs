@@ -1,0 +1,66 @@
+//! Bounded model: the window-search engine's restart-on-Global-change
+//! protocol (DESIGN.md §9, §10).
+//!
+//! Two workers each push one item and then pop one while a retuner grows
+//! the window from width 2 to width 4 mid-flight. A pop sweep that misses
+//! the descriptor swing could declare a non-empty stack empty; the engine
+//! restarts its covering sweep whenever the generation moves, so every
+//! pop here must succeed and the multiset of values must be conserved.
+//!
+//! Run with `RUSTFLAGS="--cfg model" cargo test -p stack2d --test 'model_*'`.
+#![cfg(model)]
+
+use loomlite::{check, Config};
+use stack2d::sync::{thread, Arc};
+use stack2d::{Params, Stack2D};
+
+#[test]
+fn pops_survive_a_concurrent_window_swing() {
+    let report = check(Config { max_schedules: 4_000, ..Config::default() }, || {
+        let stack: Arc<Stack2D<usize>> = Arc::new(
+            Stack2D::builder()
+                .width(2)
+                .depth(2)
+                .shift(1)
+                .elastic_capacity(4)
+                .seed(9)
+                .build()
+                .unwrap(),
+        );
+        let workers: Vec<_> = (0..2)
+            .map(|t| {
+                let s = Arc::clone(&stack);
+                thread::spawn(move || {
+                    let mut h = s.handle_seeded(t as u64);
+                    h.push(t);
+                    // The worker's own push precedes its pop, and the
+                    // other worker pops at most once after its own push,
+                    // so the stack is provably non-empty here: a None
+                    // would be a broken emptiness sweep.
+                    h.pop().expect("pop observed empty on a non-empty stack")
+                })
+            })
+            .collect();
+        let retuner = {
+            let s = Arc::clone(&stack);
+            thread::spawn(move || {
+                s.retune(Params::new(4, 2, 1).unwrap()).unwrap();
+            })
+        };
+        let mut got: Vec<usize> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        retuner.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1], "pop multiset diverged from the push multiset");
+        assert!(stack.is_empty(), "two pushes and two pops must leave the stack empty");
+    })
+    .expect("no schedule may lose a pop across the window swing");
+    assert!(
+        report.schedules >= 200,
+        "expected a substantive exploration, got {} schedules",
+        report.schedules
+    );
+    eprintln!(
+        "model_engine_restart: {} schedules (max depth {}, truncated: {})",
+        report.schedules, report.max_depth, report.truncated
+    );
+}

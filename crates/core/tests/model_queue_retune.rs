@@ -1,0 +1,77 @@
+//! Bounded model: Queue2D's dual-descriptor retune (DESIGN.md §8, §10).
+//!
+//! The queue keeps separate put- and get-window descriptors; `retune`
+//! swings both under the retune mutex. Two concurrent retuners (targets
+//! width 3 and width 4) race an enqueuer: the mutex must serialize the
+//! swings so the two descriptors always land on the *same* target, and
+//! the item must survive whatever window the dequeue runs under.
+//!
+//! Run with `RUSTFLAGS="--cfg model" cargo test -p stack2d --test 'model_*'`.
+#![cfg(model)]
+
+use loomlite::{check, Config};
+use stack2d::sync::{thread, Arc};
+use stack2d::{Params, Queue2D};
+
+#[test]
+fn dual_descriptor_swing_is_serialized() {
+    let report = check(Config { max_schedules: 4_000, ..Config::default() }, || {
+        let queue: Arc<Queue2D<u32>> = Arc::new(
+            Queue2D::builder()
+                .width(2)
+                .depth(2)
+                .shift(1)
+                .elastic_capacity(4)
+                .seed(5)
+                .build()
+                .unwrap(),
+        );
+        let enqueuer = {
+            let q = Arc::clone(&queue);
+            thread::spawn(move || q.enqueue(9))
+        };
+        let retuners: Vec<_> = [3usize, 4]
+            .into_iter()
+            .map(|w| {
+                let q = Arc::clone(&queue);
+                thread::spawn(move || {
+                    q.retune(Params::new(w, 2, 1).unwrap()).unwrap();
+                })
+            })
+            .collect();
+        enqueuer.join().unwrap();
+        for r in retuners {
+            r.join().unwrap();
+        }
+        // Both retunes differ from width 2 and from each other, so both
+        // swung; the mutex serialized them, leaving put and get windows
+        // agreeing on whichever target landed second.
+        let put = queue.put_window();
+        let get = queue.window();
+        assert!(
+            put.width() == 3 || put.width() == 4,
+            "final width must be one of the retune targets, got {}",
+            put.width()
+        );
+        assert_eq!(
+            put.width(),
+            get.width(),
+            "put/get descriptors diverged: the retune mutex failed to serialize the swing"
+        );
+        // Get must cover put: the item is reachable regardless of which
+        // windows the enqueue and this dequeue ran under.
+        assert_eq!(queue.dequeue(), Some(9), "enqueued item lost across the retunes");
+        assert_eq!(queue.dequeue(), None, "phantom item after the drain");
+        assert!(queue.is_empty());
+    })
+    .expect("no schedule may desynchronize the dual descriptors or lose the item");
+    assert!(
+        report.schedules >= 200,
+        "expected a substantive exploration, got {} schedules",
+        report.schedules
+    );
+    eprintln!(
+        "model_queue_retune: {} schedules (max depth {}, truncated: {})",
+        report.schedules, report.max_depth, report.truncated
+    );
+}

@@ -1,0 +1,71 @@
+//! Bounded model: the two-phase fenced width shrink (DESIGN.md §7, §10).
+//!
+//! A pusher races a retuner that shrinks the window from width 2 to
+//! width 1. The high-water rule keeps the consuming span covering the
+//! retired sub-stack until the epoch fence proves every pre-shrink push
+//! finished *and* the tail sweep observes the retired span clear — so no
+//! interleaving may strand the pushed item where pops stop looking.
+//!
+//! Run with `RUSTFLAGS="--cfg model" cargo test -p stack2d --test 'model_*'`.
+#![cfg(model)]
+
+use loomlite::{check, Config};
+use stack2d::sync::{thread, Arc};
+use stack2d::{Params, Stack2D};
+
+#[test]
+fn shrink_commit_strands_no_item() {
+    let report = check(Config { max_schedules: 4_000, ..Config::default() }, || {
+        let stack: Arc<Stack2D<u32>> = Arc::new(
+            Stack2D::builder()
+                .width(2)
+                .depth(2)
+                .shift(1)
+                .elastic_capacity(2)
+                .seed(3)
+                .build()
+                .unwrap(),
+        );
+        let pusher = {
+            let s = Arc::clone(&stack);
+            thread::spawn(move || {
+                s.handle_seeded(1).push(11);
+            })
+        };
+        let retuner = {
+            let s = Arc::clone(&stack);
+            thread::spawn(move || {
+                s.retune(Params::new(1, 2, 1).unwrap()).unwrap();
+                // The commit is allowed to stay pending (fence not yet
+                // tripped, or the tail still holds the item); it must
+                // never land while the item is unreachable.
+                for _ in 0..8 {
+                    if s.try_commit_shrink().is_some() {
+                        break;
+                    }
+                }
+            })
+        };
+        pusher.join().unwrap();
+        retuner.join().unwrap();
+        // Whatever the interleaving — commit landed, pending, or
+        // abandoned — the pushed item must be reachable.
+        let mut h = stack.handle_seeded(2);
+        let mut drained = Vec::new();
+        while let Some(v) = h.pop() {
+            drained.push(v);
+        }
+        assert_eq!(drained, vec![11], "shrink stranded or duplicated the item");
+        assert!(stack.is_empty(), "stack must be empty after the drain");
+    })
+    .expect("no schedule may strand an item across a shrink commit");
+    assert!(
+        report.schedules >= 200,
+        "expected a substantive exploration, got {} schedules",
+        report.schedules
+    );
+    eprintln!(
+        "model_shrink_commit: {} schedules (max depth {}, truncated: {})",
+        report.schedules, report.max_depth, report.truncated
+    );
+}

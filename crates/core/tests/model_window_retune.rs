@@ -1,0 +1,77 @@
+//! Bounded model: ElasticWindow retune atomicity (DESIGN.md §10).
+//!
+//! Two readers race a retuner that swings the window from `(2, 2, 1)` to
+//! `(4, 3, 1)`. The descriptor is replaced by a single CAS, so every
+//! snapshot a reader can take must be exactly one of the two legal
+//! `(width, depth, shift)` triples, tagged with the matching generation —
+//! never a torn mix of old and new fields.
+//!
+//! Run with `RUSTFLAGS="--cfg model" cargo test -p stack2d --test 'model_*'`.
+#![cfg(model)]
+
+use loomlite::{check, Config};
+use stack2d::sync::{thread, Arc};
+use stack2d::{Params, Stack2D};
+
+#[test]
+fn window_snapshots_are_never_torn() {
+    let report = check(Config { max_schedules: 4_000, ..Config::default() }, || {
+        let stack: Arc<Stack2D<u32>> = Arc::new(
+            Stack2D::builder()
+                .width(2)
+                .depth(2)
+                .shift(1)
+                .elastic_capacity(4)
+                .seed(7)
+                .build()
+                .unwrap(),
+        );
+        let retuner = {
+            let s = Arc::clone(&stack);
+            thread::spawn(move || {
+                s.retune(Params::new(4, 3, 1).unwrap()).unwrap();
+            })
+        };
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let s = Arc::clone(&stack);
+                thread::spawn(move || {
+                    let w = s.window();
+                    let triple = (w.width(), w.depth(), w.shift());
+                    assert!(
+                        triple == (2, 2, 1) || triple == (4, 3, 1),
+                        "torn window snapshot: {triple:?} at generation {}",
+                        w.generation()
+                    );
+                    // The generation must agree with the parameters: the
+                    // triple and the counter travel in one descriptor.
+                    match w.generation() {
+                        0 => assert_eq!(triple, (2, 2, 1), "generation 0 with new params"),
+                        1 => assert_eq!(triple, (4, 3, 1), "generation 1 with old params"),
+                        g => panic!("impossible generation {g}: only one retune ran"),
+                    }
+                })
+            })
+            .collect();
+        retuner.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        let w = stack.window();
+        assert_eq!(
+            (w.width(), w.depth(), w.shift(), w.generation()),
+            (4, 3, 1, 1),
+            "quiescent state must be the retune target"
+        );
+    })
+    .expect("no schedule may produce a torn window snapshot");
+    assert!(
+        report.schedules >= 200,
+        "expected a substantive exploration, got {} schedules",
+        report.schedules
+    );
+    eprintln!(
+        "model_window_retune: {} schedules (max depth {}, truncated: {})",
+        report.schedules, report.max_depth, report.truncated
+    );
+}

@@ -19,20 +19,50 @@
 //!
 //! Everything is `SeqCst`; this vendored copy favours obvious correctness
 //! over the fenced fast paths of the real crate.
+//!
+//! # Model checking (`--cfg model`)
+//!
+//! Under `RUSTFLAGS="--cfg model"` the crate participates in the workspace's
+//! loomlite schedule exploration (DESIGN.md §10):
+//!
+//! * every atomic, fence and registry lock routes through `loomlite`, so
+//!   pin/advance/defer steps are scheduling points the checker interleaves;
+//! * the global epoch counter and participant registry become
+//!   [`loomlite::state::ExecutionLocal`] state — a fresh instance per
+//!   explored schedule, which the DFS and replay determinism require;
+//! * retirements skip the per-thread buffer and go straight to the shared
+//!   orphan list, because model threads are fresh OS threads per execution
+//!   whose thread-locals cannot carry garbage across executions; whatever
+//!   an execution leaves unreclaimed is freed when its `Global` drops, so
+//!   no model schedule leaks.
 
 #![warn(rust_2018_idioms)]
 
 use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use crate::sync::{fence, AtomicPtr, AtomicUsize, Mutex, Ordering};
+
+/// The primitive shim: real `std`/`parking_lot` primitives ordinarily,
+/// `loomlite`'s instrumented equivalents under `--cfg model`.
+mod sync {
+    #[cfg(not(model))]
+    pub use std::sync::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
+
+    #[cfg(model)]
+    pub use loomlite::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
+
+    #[cfg(not(model))]
+    pub use parking_lot::Mutex;
+
+    #[cfg(model)]
+    pub use loomlite::sync::Mutex;
+}
 
 /// How many retirements a thread buffers before attempting a collection.
-const COLLECT_EVERY: usize = 64;
-
-/// Global epoch counter. Only ever incremented; wrap-around is unreachable
-/// in practice (usize increments at collection frequency).
-static GLOBAL_EPOCH: AtomicUsize = AtomicUsize::new(0);
+/// Models retire a handful of nodes per execution, so the model-mode
+/// threshold is low enough for collection to actually run under the checker.
+const COLLECT_EVERY: usize = if cfg!(model) { 4 } else { 64 };
 
 /// One registered participant. `state == 0` means "not pinned"; otherwise
 /// `state == (epoch << 1) | 1`.
@@ -40,15 +70,56 @@ struct Record {
     state: AtomicUsize,
 }
 
-/// Registry of all live participants plus garbage inherited from threads
-/// that exited before their retirements became free-able.
-struct Registry {
+/// The shared reclamation state: the epoch counter, the registry of live
+/// participants, and garbage inherited from threads that exited before
+/// their retirements became free-able (plus, in model mode, *all* garbage —
+/// see the crate docs).
+struct Global {
+    /// Only ever incremented; wrap-around is unreachable in practice
+    /// (usize increments at collection frequency).
+    epoch: AtomicUsize,
     records: Mutex<Vec<std::sync::Arc<Record>>>,
     orphans: Mutex<Vec<(usize, Deferred)>>,
 }
 
-static REGISTRY: Registry =
-    Registry { records: Mutex::new(Vec::new()), orphans: Mutex::new(Vec::new()) };
+impl Global {
+    fn new() -> Self {
+        Global {
+            epoch: AtomicUsize::new(0),
+            records: Mutex::new(Vec::new()),
+            orphans: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Drop for Global {
+    /// Frees whatever retirements never became eligible. Unreachable for
+    /// the process-wide instance (statics never drop); in model mode this
+    /// runs at the end of every explored execution, after all model threads
+    /// have been joined.
+    fn drop(&mut self) {
+        for (_, d) in self.orphans.get_mut().drain(..) {
+            // SAFETY: every orphan came through `defer_destroy`, whose
+            // contract says the pointee is unlinked and retired once; all
+            // threads that could hold references have exited (model
+            // executions join every thread before dropping their Global).
+            unsafe { (d.destroy)(d.ptr) };
+        }
+    }
+}
+
+#[cfg(not(model))]
+fn with_global<R>(f: impl FnOnce(&Global) -> R) -> R {
+    static GLOBAL: std::sync::OnceLock<Global> = std::sync::OnceLock::new();
+    f(GLOBAL.get_or_init(Global::new))
+}
+
+#[cfg(model)]
+fn with_global<R>(f: impl FnOnce(&Global) -> R) -> R {
+    static GLOBAL: loomlite::state::ExecutionLocal<Global> =
+        loomlite::state::ExecutionLocal::new(Global::new);
+    GLOBAL.with(f)
+}
 
 /// A type-erased deferred deallocation.
 struct Deferred {
@@ -56,8 +127,8 @@ struct Deferred {
     destroy: unsafe fn(*mut ()),
 }
 
-// The pointee is only touched once no thread can reach it any more, so
-// moving the closure-free destructor record between threads is fine.
+// SAFETY: the pointee is only touched once no thread can reach it any more,
+// so moving the closure-free destructor record between threads is fine.
 unsafe impl Send for Deferred {}
 
 struct LocalHandle {
@@ -70,7 +141,7 @@ struct LocalHandle {
 impl LocalHandle {
     fn new() -> Self {
         let record = std::sync::Arc::new(Record { state: AtomicUsize::new(0) });
-        REGISTRY.records.lock().unwrap().push(std::sync::Arc::clone(&record));
+        with_global(|g| g.records.lock().push(std::sync::Arc::clone(&record)));
         LocalHandle {
             record,
             pin_depth: Cell::new(0),
@@ -83,19 +154,21 @@ impl LocalHandle {
         let depth = self.pin_depth.get();
         self.pin_depth.set(depth + 1);
         if depth == 0 {
-            // Publish our epoch, then re-read the global: with everything
-            // SeqCst this guarantees that once we settle on epoch `e`, any
-            // advancement past `e + 1` must first observe our record.
-            let mut e = GLOBAL_EPOCH.load(Ordering::SeqCst);
-            loop {
-                self.record.state.store((e << 1) | 1, Ordering::SeqCst);
-                std::sync::atomic::fence(Ordering::SeqCst);
-                let now = GLOBAL_EPOCH.load(Ordering::SeqCst);
-                if now == e {
-                    break;
+            with_global(|g| {
+                // Publish our epoch, then re-read the global: with everything
+                // SeqCst this guarantees that once we settle on epoch `e`, any
+                // advancement past `e + 1` must first observe our record.
+                let mut e = g.epoch.load(Ordering::SeqCst);
+                loop {
+                    self.record.state.store((e << 1) | 1, Ordering::SeqCst);
+                    fence(Ordering::SeqCst);
+                    let now = g.epoch.load(Ordering::SeqCst);
+                    if now == e {
+                        break;
+                    }
+                    e = now;
                 }
-                e = now;
-            }
+            });
         }
     }
 
@@ -112,9 +185,16 @@ impl LocalHandle {
         // The fence orders the caller's unlinking CAS (AcqRel) before the
         // epoch read, so the tag can never under-approximate the epoch in
         // which the pointee became unreachable.
-        std::sync::atomic::fence(Ordering::SeqCst);
-        let epoch = GLOBAL_EPOCH.load(Ordering::SeqCst);
-        self.garbage.borrow_mut().push((epoch, item));
+        fence(Ordering::SeqCst);
+        let epoch = with_global(|g| g.epoch.load(Ordering::SeqCst));
+        if cfg!(model) {
+            // Model executions tear their threads down after every schedule;
+            // buffering in a thread-local would strand garbage where no
+            // later collection can see it. Share it immediately instead.
+            with_global(|g| g.orphans.lock().push((epoch, item)));
+        } else {
+            self.garbage.borrow_mut().push((epoch, item));
+        }
         let n = self.retired_since_collect.get() + 1;
         self.retired_since_collect.set(n);
         if n >= COLLECT_EVERY {
@@ -140,19 +220,24 @@ impl LocalHandle {
                 }
             });
         }
-        if let Ok(mut orphans) = REGISTRY.orphans.try_lock() {
-            orphans.retain_mut(|(tag, item)| {
-                if eligible(*tag) {
-                    free_now.push(Deferred { ptr: item.ptr, destroy: item.destroy });
-                    false
-                } else {
-                    true
-                }
-            });
-        }
+        with_global(|g| {
+            if let Some(mut orphans) = g.orphans.try_lock() {
+                orphans.retain_mut(|(tag, item)| {
+                    if eligible(*tag) {
+                        free_now.push(Deferred { ptr: item.ptr, destroy: item.destroy });
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        });
         // Destructors run outside every lock and borrow, in case they
         // themselves pin or retire.
         for d in free_now {
+            // SAFETY: `eligible` proved two epoch advancements since the
+            // item was retired, so no pinned thread can still reach it, and
+            // `defer_destroy`'s contract rules out double-retirement.
             unsafe { (d.destroy)(d.ptr) };
         }
     }
@@ -160,16 +245,26 @@ impl LocalHandle {
 
 impl Drop for LocalHandle {
     fn drop(&mut self) {
+        // Model executions spawn fresh OS threads per schedule and clear the
+        // scheduler context before thread-local destructors run, so this
+        // destructor would reach the out-of-execution fallback Global —
+        // skip it: the buffer is empty (defer bypasses it in model mode)
+        // and the per-execution registry drops wholesale with its Global.
+        if cfg!(model) {
+            return;
+        }
         // Hand unfinished garbage to the registry so another thread's
         // collection frees it; drop our record from the scan set.
         let garbage = std::mem::take(&mut *self.garbage.borrow_mut());
-        if !garbage.is_empty() {
-            REGISTRY.orphans.lock().unwrap().extend(garbage);
-        }
-        let mut records = REGISTRY.records.lock().unwrap();
-        if let Some(i) = records.iter().position(|r| std::sync::Arc::ptr_eq(r, &self.record)) {
-            records.swap_remove(i);
-        }
+        with_global(|g| {
+            if !garbage.is_empty() {
+                g.orphans.lock().extend(garbage);
+            }
+            let mut records = g.records.lock();
+            if let Some(i) = records.iter().position(|r| std::sync::Arc::ptr_eq(r, &self.record)) {
+                records.swap_remove(i);
+            }
+        });
     }
 }
 
@@ -180,23 +275,26 @@ thread_local! {
 /// Advances the global epoch if every pinned participant has observed it.
 /// Returns the (possibly new) global epoch.
 fn try_advance() -> usize {
-    std::sync::atomic::fence(Ordering::SeqCst);
-    let global = GLOBAL_EPOCH.load(Ordering::SeqCst);
-    let records = match REGISTRY.records.try_lock() {
-        Ok(r) => r,
-        Err(_) => return global,
-    };
-    for record in records.iter() {
-        let state = record.state.load(Ordering::SeqCst);
-        if state & 1 == 1 && state >> 1 != global {
-            return global;
+    fence(Ordering::SeqCst);
+    with_global(|g| {
+        let global = g.epoch.load(Ordering::SeqCst);
+        {
+            let records = match g.records.try_lock() {
+                Some(r) => r,
+                None => return global,
+            };
+            for record in records.iter() {
+                let state = record.state.load(Ordering::SeqCst);
+                if state & 1 == 1 && state >> 1 != global {
+                    return global;
+                }
+            }
         }
-    }
-    drop(records);
-    match GLOBAL_EPOCH.compare_exchange(global, global + 1, Ordering::SeqCst, Ordering::SeqCst) {
-        Ok(_) => global + 1,
-        Err(now) => now,
-    }
+        match g.epoch.compare_exchange(global, global + 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => global + 1,
+            Err(now) => now,
+        }
+    })
 }
 
 /// A pinned-epoch witness. While any `Guard` from [`pin`] is live on a
@@ -217,6 +315,10 @@ impl Guard {
     /// readers can acquire it) and must not be retired twice.
     pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
         unsafe fn destroy<T>(p: *mut ()) {
+            // SAFETY: `p` is the Box allocation recorded alongside this
+            // monomorphization by `defer_destroy` below, invoked only once
+            // per retirement and only after the epochs guarantee
+            // unreachability (or under the unprotected guard's exclusivity).
             drop(unsafe { Box::from_raw(p.cast::<T>()) });
         }
         let raw = ptr.raw.cast_mut().cast::<()>();
@@ -225,7 +327,8 @@ impl Guard {
             let item = Deferred { ptr: raw, destroy: destroy::<T> };
             LOCAL.with(|l| l.defer(item));
         } else {
-            // The unprotected guard promises exclusive access: free now.
+            // SAFETY: the unprotected guard's contract promises exclusive
+            // access, so the pointee can be freed immediately.
             unsafe { destroy::<T>(raw) };
         }
     }
@@ -289,6 +392,8 @@ pub struct Owned<T> {
     _marker: PhantomData<Box<T>>,
 }
 
+// SAFETY: Owned is a unique-ownership Box in disguise (the raw pointer is
+// never aliased while Owned exists), so it is Send exactly when `T` is.
 unsafe impl<T: Send> Send for Owned<T> {}
 
 impl<T> Owned<T> {
@@ -305,6 +410,9 @@ impl<T> Owned<T> {
     /// Unwraps back into a `Box`.
     pub fn into_box(self) -> Box<T> {
         let raw = self.into_raw_ptr();
+        // SAFETY: `raw` came from Box::into_raw in `Owned::new` (the only
+        // constructor) and ownership is consumed here, so rebuilding the Box
+        // is the inverse operation.
         unsafe { Box::from_raw(raw) }
     }
 }
@@ -322,6 +430,8 @@ impl<T> Pointer<T> for Owned<T> {
 
 impl<T> Drop for Owned<T> {
     fn drop(&mut self) {
+        // SAFETY: `raw` is the uniquely-owned Box allocation from
+        // `Owned::new`; dropping the handle relinquishes that ownership.
         drop(unsafe { Box::from_raw(self.raw) });
     }
 }
@@ -329,12 +439,15 @@ impl<T> Drop for Owned<T> {
 impl<T> std::ops::Deref for Owned<T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // SAFETY: `raw` points at the live Box allocation the handle owns.
         unsafe { &*self.raw }
     }
 }
 
 impl<T> std::ops::DerefMut for Owned<T> {
     fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`, plus the exclusive borrow of the handle
+        // makes the reference unique.
         unsafe { &mut *self.raw }
     }
 }
@@ -387,6 +500,8 @@ impl<'g, T> Shared<'g, T> {
     ///
     /// The pointer must be non-null and the pointee valid for `'g`.
     pub unsafe fn deref(&self) -> &'g T {
+        // SAFETY: forwarded to the caller — non-null and valid for `'g` per
+        // this method's contract.
         unsafe { &*self.raw }
     }
 
@@ -396,6 +511,8 @@ impl<'g, T> Shared<'g, T> {
     ///
     /// If non-null, the pointee must be valid for `'g`.
     pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        // SAFETY: forwarded to the caller — valid for `'g` when non-null
+        // per this method's contract.
         unsafe { self.raw.as_ref() }
     }
 
@@ -406,6 +523,9 @@ impl<'g, T> Shared<'g, T> {
     /// The caller must have exclusive access to the (non-null) pointee.
     pub unsafe fn into_owned(self) -> Owned<T> {
         debug_assert!(!self.raw.is_null(), "into_owned on null");
+        // SAFETY: exclusivity is the caller's obligation; the pointer
+        // originated from an `Owned`/`Box` allocation by construction of
+        // every `Shared` the crate hands out.
         unsafe { Owned::from_raw_ptr(self.raw.cast_mut()) }
     }
 }
@@ -445,7 +565,11 @@ pub struct Atomic<T> {
     ptr: AtomicPtr<T>,
 }
 
+// SAFETY: Atomic is a shared handle to a `T` behind an atomic pointer; all
+// cross-thread access to the pointee goes through &T (or epoch-mediated
+// ownership transfer), so `T: Send + Sync` suffices for both impls.
 unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: as above.
 unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
 
 impl<T> Atomic<T> {
@@ -485,6 +609,9 @@ impl<T> Atomic<T> {
             Ok(_) => Ok(Shared { raw: new_raw, _marker: PhantomData }),
             Err(found) => Err(CompareExchangeError {
                 current: Shared { raw: found, _marker: PhantomData },
+                // SAFETY: `new_raw` came from `new.into_raw_ptr()` two lines
+                // up and was not installed, so rebuilding the same `P` hands
+                // ownership straight back.
                 new: unsafe { P::from_raw_ptr(new_raw) },
             }),
         }
@@ -555,6 +682,8 @@ mod tests {
                 Ordering::Acquire,
                 &guard,
             ) {
+                // SAFETY: the successful CAS unlinked `old`, and this is its
+                // only retirement.
                 Ok(_) => unsafe { guard.defer_destroy(old) },
                 Err(_) => unreachable!(),
             }
@@ -567,6 +696,8 @@ mod tests {
         }
         assert_eq!(drops.load(Ordering::SeqCst), 1, "retired canary must drop");
         // The replacement is still owned by `atomic`; free it for the test.
+        // SAFETY: the test is single-threaded again here, so the unprotected
+        // guard's exclusivity holds and the pointee is live and unaliased.
         unsafe {
             let guard = unprotected();
             let cur = atomic.load(Ordering::Relaxed, guard);
@@ -587,6 +718,8 @@ mod tests {
                     let guard = pin();
                     loop {
                         let old = atomic.load(Ordering::Acquire, &guard);
+                        // SAFETY: `old` was loaded under `guard`, so the
+                        // pointee cannot be freed while we read it.
                         let new = Owned::new(t * PER + i + unsafe { *old.deref() } % 7);
                         match atomic.compare_exchange(
                             old,
@@ -596,6 +729,8 @@ mod tests {
                             &guard,
                         ) {
                             Ok(_) => {
+                                // SAFETY: our CAS unlinked `old`; only the
+                                // winning thread retires it, exactly once.
                                 unsafe { guard.defer_destroy(old) };
                                 break;
                             }
@@ -608,6 +743,8 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
+        // SAFETY: all worker threads are joined, so access is exclusive and
+        // the current pointee is the last published, still-live allocation.
         unsafe {
             let guard = unprotected();
             let cur = atomic.load(Ordering::Relaxed, guard);

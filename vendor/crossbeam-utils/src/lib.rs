@@ -64,7 +64,10 @@ pub struct CachePadded<T> {
     value: T,
 }
 
+// SAFETY: CachePadded only adds alignment padding around `T`; it stores
+// nothing besides the value, so it is Send/Sync exactly when `T` is.
 unsafe impl<T: Send> Send for CachePadded<T> {}
+// SAFETY: as above — padding adds no shared state.
 unsafe impl<T: Sync> Sync for CachePadded<T> {}
 
 impl<T> CachePadded<T> {

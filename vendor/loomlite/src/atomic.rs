@@ -1,0 +1,263 @@
+//! Instrumented atomics: identical API shape to [`std::sync::atomic`], with
+//! every operation a scheduling point inside a model execution.
+//!
+//! Storage is the real `std` atomic, always accessed `SeqCst`: executions are
+//! serialized, so the checker explores interleavings, not weak-memory
+//! reorderings (the crate-level docs discuss this limitation). Outside a
+//! model the requested `Ordering` is honoured as given.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::sched;
+
+/// An atomic fence (a scheduling point inside a model).
+pub fn fence(ord: Ordering) {
+    if sched::in_model() {
+        sched::yield_point();
+    } else {
+        std::sync::atomic::fence(ord);
+    }
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ident, $int:ty) => {
+        /// Instrumented counterpart of the same-named `std` atomic integer.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates the atomic with an initial value.
+            pub const fn new(v: $int) -> Self {
+                $name { inner: std::sync::atomic::$std::new(v) }
+            }
+
+            /// Loads the value (scheduling point).
+            pub fn load(&self, ord: Ordering) -> $int {
+                if sched::in_model() {
+                    sched::yield_point();
+                    self.inner.load(Ordering::SeqCst)
+                } else {
+                    self.inner.load(ord)
+                }
+            }
+
+            /// Stores a value (scheduling point).
+            pub fn store(&self, v: $int, ord: Ordering) {
+                if sched::in_model() {
+                    sched::yield_point();
+                    self.inner.store(v, Ordering::SeqCst)
+                } else {
+                    self.inner.store(v, ord)
+                }
+            }
+
+            /// Swaps in a value, returning the previous one (scheduling
+            /// point).
+            pub fn swap(&self, v: $int, ord: Ordering) -> $int {
+                if sched::in_model() {
+                    sched::yield_point();
+                    self.inner.swap(v, Ordering::SeqCst)
+                } else {
+                    self.inner.swap(v, ord)
+                }
+            }
+
+            /// Compare-and-exchange (one scheduling point for the whole
+            /// atomic step).
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                if sched::in_model() {
+                    sched::yield_point();
+                    self.inner.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                } else {
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            /// Weak compare-and-exchange; never fails spuriously under the
+            /// model (executions are serialized).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Atomic add, returning the previous value (scheduling point).
+            pub fn fetch_add(&self, v: $int, ord: Ordering) -> $int {
+                if sched::in_model() {
+                    sched::yield_point();
+                    self.inner.fetch_add(v, Ordering::SeqCst)
+                } else {
+                    self.inner.fetch_add(v, ord)
+                }
+            }
+
+            /// Atomic subtract, returning the previous value (scheduling
+            /// point).
+            pub fn fetch_sub(&self, v: $int, ord: Ordering) -> $int {
+                if sched::in_model() {
+                    sched::yield_point();
+                    self.inner.fetch_sub(v, Ordering::SeqCst)
+                } else {
+                    self.inner.fetch_sub(v, ord)
+                }
+            }
+
+            /// Atomic maximum, returning the previous value (scheduling
+            /// point).
+            pub fn fetch_max(&self, v: $int, ord: Ordering) -> $int {
+                if sched::in_model() {
+                    sched::yield_point();
+                    self.inner.fetch_max(v, Ordering::SeqCst)
+                } else {
+                    self.inner.fetch_max(v, ord)
+                }
+            }
+
+            /// Mutable access without synchronization (requires exclusive
+            /// borrow; not a scheduling point).
+            pub fn get_mut(&mut self) -> &mut $int {
+                self.inner.get_mut()
+            }
+
+            /// Unwraps the value (not a scheduling point).
+            pub fn into_inner(self) -> $int {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicUsize, AtomicUsize, usize);
+int_atomic!(AtomicU64, AtomicU64, u64);
+int_atomic!(AtomicU32, AtomicU32, u32);
+int_atomic!(AtomicIsize, AtomicIsize, isize);
+
+/// Instrumented counterpart of [`std::sync::atomic::AtomicBool`].
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates the atomic with an initial value.
+    pub const fn new(v: bool) -> Self {
+        AtomicBool { inner: std::sync::atomic::AtomicBool::new(v) }
+    }
+
+    /// Loads the value (scheduling point).
+    pub fn load(&self, ord: Ordering) -> bool {
+        if sched::in_model() {
+            sched::yield_point();
+            self.inner.load(Ordering::SeqCst)
+        } else {
+            self.inner.load(ord)
+        }
+    }
+
+    /// Stores a value (scheduling point).
+    pub fn store(&self, v: bool, ord: Ordering) {
+        if sched::in_model() {
+            sched::yield_point();
+            self.inner.store(v, Ordering::SeqCst)
+        } else {
+            self.inner.store(v, ord)
+        }
+    }
+
+    /// Swaps in a value, returning the previous one (scheduling point).
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        if sched::in_model() {
+            sched::yield_point();
+            self.inner.swap(v, Ordering::SeqCst)
+        } else {
+            self.inner.swap(v, ord)
+        }
+    }
+
+    /// Compare-and-exchange (one scheduling point).
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        if sched::in_model() {
+            sched::yield_point();
+            self.inner.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        } else {
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+}
+
+/// Instrumented counterpart of [`std::sync::atomic::AtomicPtr`].
+#[derive(Debug, Default)]
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> AtomicPtr<T> {
+    /// Creates the atomic with an initial pointer.
+    pub const fn new(p: *mut T) -> Self {
+        AtomicPtr { inner: std::sync::atomic::AtomicPtr::new(p) }
+    }
+
+    /// Loads the pointer (scheduling point).
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        if sched::in_model() {
+            sched::yield_point();
+            self.inner.load(Ordering::SeqCst)
+        } else {
+            self.inner.load(ord)
+        }
+    }
+
+    /// Stores a pointer (scheduling point).
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        if sched::in_model() {
+            sched::yield_point();
+            self.inner.store(p, Ordering::SeqCst)
+        } else {
+            self.inner.store(p, ord)
+        }
+    }
+
+    /// Swaps in a pointer, returning the previous one (scheduling point).
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        if sched::in_model() {
+            sched::yield_point();
+            self.inner.swap(p, Ordering::SeqCst)
+        } else {
+            self.inner.swap(p, ord)
+        }
+    }
+
+    /// Compare-and-exchange (one scheduling point).
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        if sched::in_model() {
+            sched::yield_point();
+            self.inner.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        } else {
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! A minimal, self-contained loom-style model checker.
+//!
+//! The workspace's correctness risk concentrates in a handful of lock-free
+//! protocols (descriptor retuning, the two-phase fenced shrink, drain-on-commit
+//! conservation, restart-on-`Global`-change rounds). Stress tests on a small
+//! container explore almost no interleavings of those protocols, so this crate
+//! provides the vendored equivalent of [`loom`](https://docs.rs/loom): drop-in
+//! instrumented `Atomic*`/`Mutex`/`thread` primitives whose every operation is
+//! a *scheduling point*, driven by a cooperative scheduler that explores
+//! bounded thread interleavings exhaustively.
+//!
+//! # How a model runs
+//!
+//! [`model`] (or [`check`], the non-panicking form) takes a closure and runs it
+//! many times. Each run is one *execution*: the closure becomes model thread 0,
+//! may [`thread::spawn`] more model threads, and every operation on a
+//! [`atomic`]/[`sync`] primitive first asks the scheduler which thread runs
+//! next. Threads are real OS threads, but exactly one is ever unparked, so an
+//! execution is a deterministic serialization decided entirely by the recorded
+//! schedule. After each execution the scheduler backtracks to the deepest
+//! decision with an unexplored alternative and reruns — a depth-first search
+//! over the schedule tree.
+//!
+//! ```
+//! use loomlite::atomic::{AtomicUsize, Ordering};
+//! use loomlite::sync::Arc;
+//!
+//! loomlite::model(|| {
+//!     let a = Arc::new(AtomicUsize::new(0));
+//!     let a2 = Arc::clone(&a);
+//!     let t = loomlite::thread::spawn(move || a2.fetch_add(1, Ordering::SeqCst));
+//!     a.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(a.load(Ordering::SeqCst), 2);
+//! });
+//! ```
+//!
+//! # Preemption bounding
+//!
+//! Exhaustive search over all interleavings explodes; almost all concurrency
+//! bugs are found with very few preemptions (switching away from a thread that
+//! could have kept running). [`Config::preemption_bound`] (default `Some(2)`)
+//! caps preemptions per schedule: between preemptions, threads run until they
+//! block or finish. Unbounded search (`None`) is only safe for loop-free
+//! models — retry loops (CAS loops) make the unbounded schedule tree infinite.
+//!
+//! # Replay
+//!
+//! A failing execution reports its schedule — the sequence of thread ids chosen
+//! at each decision — in the panic message / [`Failure`]. Passing that
+//! schedule back via [`Config::replay`] deterministically re-executes the
+//! failing interleaving, turning any model-checker finding into a repeatable
+//! unit test. Random mode ([`Mode::Random`]) failures also report the
+//! iteration seed that produced the schedule.
+//!
+//! # Limitation: sequential consistency only
+//!
+//! Executions are serialized, so every atomic operation is effectively
+//! `SeqCst` regardless of the `Ordering` argument: the checker explores
+//! *interleavings*, not *weak-memory reorderings*. Bugs that need a relaxed
+//! or acquire/release reordering to manifest (store buffering, load buffering)
+//! are invisible to it — see `tests` for the classic store-buffer litmus test
+//! documenting exactly this. The workspace mitigates the gap by keeping its
+//! protocols' correctness arguments `SeqCst`-shaped (single-CAS descriptor
+//! swings, epoch fences); see DESIGN.md §10.
+//!
+//! Outside a model execution every primitive passes through to its `std`
+//! equivalent, so code instrumented for model checking runs unchanged (and at
+//! full speed) in ordinary builds and tests.
+
+#![warn(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+mod sched;
+
+pub mod atomic;
+pub mod state;
+pub mod sync;
+pub mod thread;
+
+pub use sched::{check, model, parse_schedule, replay, Config, Failure, Mode, Report};
+
+/// Spin-loop hint: inside a model this is a scheduling point, outside it is
+/// [`std::hint::spin_loop`].
+pub mod hint {
+    /// Emits a spin-loop hint (a scheduling point under a model run).
+    pub fn spin_loop() {
+        if crate::sched::in_model() {
+            crate::sched::yield_point();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}

@@ -1,0 +1,715 @@
+//! The cooperative scheduler: one OS thread per model thread, exactly one
+//! unparked at a time, every instrumented operation a decision point.
+//!
+//! Exploration is an iterative depth-first search. Each execution records, at
+//! every decision, the ordered candidate list (current thread first — the
+//! zero-preemption default — then the other runnable threads by id) and which
+//! candidate was taken. After the execution, [`next_prefix`] finds the deepest
+//! decision with an untried, preemption-budget-admissible alternative; the
+//! next execution replays the schedule up to that point and diverges there.
+//! A schedule prefix plus the deterministic default policy fully determines an
+//! execution, which is also what makes failure replay exact.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Hard cap on model threads per execution (including thread 0).
+pub(crate) const MAX_THREADS: usize = 16;
+
+/// Unwind payload used to tear threads down once an execution aborts. Not a
+/// test failure by itself; swallowed by the per-thread `catch_unwind`.
+pub(crate) struct AbortToken;
+
+/// What ended an execution early.
+#[derive(Debug, Clone)]
+enum Abort {
+    /// A model thread panicked (assertion failure): the finding.
+    Failure(String),
+    /// Every unfinished thread was blocked.
+    Deadlock(String),
+    /// The per-execution step budget ran out (livelock or unbounded loop).
+    StepBudget,
+}
+
+/// What a blocked thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitKey {
+    /// A [`crate::sync::Mutex`], identified by address.
+    Mutex(usize),
+    /// Another model thread's termination.
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(WaitKey),
+    Finished,
+}
+
+/// One scheduling decision, recorded for backtracking and replay.
+struct Decision {
+    /// Ordered candidates: the yielding thread first when it could continue,
+    /// then the other runnable threads in ascending id order.
+    candidates: Vec<usize>,
+    /// Index into `candidates` actually taken.
+    chosen: usize,
+    /// Whether the yielding thread was itself runnable (so that taking a
+    /// different candidate costs one preemption).
+    cur_enabled: bool,
+    /// Preemptions spent *before* this decision.
+    preemptions_before: usize,
+}
+
+struct ExecState {
+    threads: Vec<Status>,
+    current: usize,
+    decisions: Vec<Decision>,
+    /// Schedule prefix (thread ids) this execution must follow.
+    prefix: Vec<usize>,
+    preemptions: usize,
+    bound: Option<usize>,
+    steps: usize,
+    max_steps: usize,
+    /// Random-mode RNG state; `None` selects the DFS default policy.
+    rng: Option<u64>,
+    abort: Option<Abort>,
+    unfinished: usize,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    /// Per-execution storage backing [`crate::state::ExecutionLocal`].
+    locals: HashMap<usize, Arc<dyn Any + Send + Sync>>,
+}
+
+pub(crate) struct Execution {
+    st: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> Option<(Arc<Execution>, usize)> {
+    CTX.try_with(|c| c.borrow().clone()).ok().flatten()
+}
+
+/// Whether the calling OS thread is a model thread of a live execution.
+pub(crate) fn in_model() -> bool {
+    current_ctx().is_some()
+}
+
+fn abort_unwind() -> ! {
+    panic::resume_unwind(Box::new(AbortToken))
+}
+
+/// Renders a panic payload for the failure report.
+pub(crate) fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (opaque payload)".to_string()
+    }
+}
+
+/// xorshift64*: small, seedable, good enough to scatter schedule choices.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl Execution {
+    fn new(
+        prefix: Vec<usize>,
+        bound: Option<usize>,
+        max_steps: usize,
+        rng: Option<u64>,
+    ) -> Arc<Self> {
+        Arc::new(Execution {
+            st: Mutex::new(ExecState {
+                threads: Vec::new(),
+                current: 0,
+                decisions: Vec::new(),
+                prefix,
+                preemptions: 0,
+                bound,
+                steps: 0,
+                max_steps,
+                rng,
+                abort: None,
+                unfinished: 0,
+                os_handles: Vec::new(),
+                locals: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+/// Picks the next thread to run. Called with the state lock held by the
+/// yielding/blocking/finishing thread `me`; `me_enabled` says whether `me`
+/// could itself continue. Returns `None` when nothing is runnable.
+fn choose_next(st: &mut ExecState, me: usize, me_enabled: bool) -> Option<usize> {
+    let mut candidates = Vec::new();
+    if me_enabled {
+        candidates.push(me);
+    }
+    for (i, t) in st.threads.iter().enumerate() {
+        if i != me && *t == Status::Runnable {
+            candidates.push(i);
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let at_bound = st.bound.is_some_and(|b| st.preemptions >= b);
+    let di = st.decisions.len();
+    let chosen = if di < st.prefix.len() {
+        let want = st.prefix[di];
+        candidates.iter().position(|&c| c == want).unwrap_or_else(|| {
+            panic!(
+                "schedule replay chose thread {want} which is not runnable at decision {di} \
+                 (candidates {candidates:?}) — the model is nondeterministic"
+            )
+        })
+    } else if let Some(rng) = st.rng.as_mut() {
+        let admissible: Vec<usize> =
+            (0..candidates.len()).filter(|&p| !(me_enabled && p != 0 && at_bound)).collect();
+        admissible[(next_rand(rng) as usize) % admissible.len()]
+    } else {
+        // DFS default: keep running the current thread when allowed; the
+        // alternatives are explored by backtracking.
+        0
+    };
+    let preemptive = me_enabled && candidates[chosen] != me;
+    let preemptions_before = st.preemptions;
+    if preemptive {
+        st.preemptions += 1;
+    }
+    st.decisions.push(Decision {
+        candidates: candidates.clone(),
+        chosen,
+        cur_enabled: me_enabled,
+        preemptions_before,
+    });
+    Some(candidates[chosen])
+}
+
+/// The instrumented-operation hook: consults the scheduler and possibly
+/// parks the calling model thread until it is picked again. Pass-through
+/// (no-op) outside a model execution and during panic unwinding.
+pub(crate) fn yield_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some((exec, me)) = current_ctx() else { return };
+    let mut st = exec.st.lock().unwrap();
+    if st.abort.is_some() {
+        drop(st);
+        abort_unwind();
+    }
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        st.abort = Some(Abort::StepBudget);
+        exec.cv.notify_all();
+        drop(st);
+        abort_unwind();
+    }
+    debug_assert_eq!(st.current, me, "a parked thread executed an operation");
+    let next = choose_next(&mut st, me, true).expect("the yielding thread itself is runnable");
+    if next != me {
+        st.current = next;
+        exec.cv.notify_all();
+        loop {
+            if st.abort.is_some() {
+                drop(st);
+                abort_unwind();
+            }
+            if st.current == me {
+                break;
+            }
+            st = exec.cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// Parks the calling model thread until `key` is signalled ([`wake`]) *and*
+/// the scheduler picks it again. Detects whole-model deadlock.
+pub(crate) fn block_on(key: WaitKey) {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some((exec, me)) = current_ctx() else { return };
+    let mut st = exec.st.lock().unwrap();
+    if st.abort.is_some() {
+        drop(st);
+        abort_unwind();
+    }
+    st.threads[me] = Status::Blocked(key);
+    match choose_next(&mut st, me, false) {
+        Some(next) => st.current = next,
+        None => {
+            let blocked: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t {
+                    Status::Blocked(k) => Some(format!("thread {i} on {k:?}")),
+                    _ => None,
+                })
+                .collect();
+            st.abort = Some(Abort::Deadlock(format!("deadlock: {}", blocked.join(", "))));
+            exec.cv.notify_all();
+            drop(st);
+            abort_unwind();
+        }
+    }
+    exec.cv.notify_all();
+    loop {
+        if st.abort.is_some() {
+            drop(st);
+            abort_unwind();
+        }
+        if st.current == me && st.threads[me] == Status::Runnable {
+            break;
+        }
+        st = exec.cv.wait(st).unwrap();
+    }
+}
+
+/// Marks every thread blocked on `key` runnable again (they still have to be
+/// *scheduled* before they resume — and, for mutexes, they re-contend).
+pub(crate) fn wake(key: WaitKey) {
+    let Some((exec, _)) = current_ctx() else { return };
+    let mut st = exec.st.lock().unwrap();
+    for t in st.threads.iter_mut() {
+        if *t == Status::Blocked(key) {
+            *t = Status::Runnable;
+        }
+    }
+}
+
+/// Whether model thread `tid` has finished (used by `join` to decide between
+/// returning and blocking).
+pub(crate) fn thread_finished(tid: usize) -> bool {
+    let Some((exec, _)) = current_ctx() else { return true };
+    let st = exec.st.lock().unwrap();
+    st.threads[tid] == Status::Finished
+}
+
+/// Registers a new model thread and runs `body` on a fresh OS thread under
+/// the scheduler. Returns the new thread's id. Must be called from a model
+/// thread.
+pub(crate) fn spawn_model_thread(body: impl FnOnce() + Send + 'static) -> usize {
+    let (exec, _me) = current_ctx().expect("spawn_model_thread outside a model execution");
+    let tid = {
+        let mut st = exec.st.lock().unwrap();
+        assert!(st.threads.len() < MAX_THREADS, "model spawned more than {MAX_THREADS} threads");
+        st.threads.push(Status::Runnable);
+        st.unfinished += 1;
+        st.threads.len() - 1
+    };
+    let exec2 = Arc::clone(&exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("loomlite-{tid}"))
+        .spawn(move || run_model_thread(exec2, tid, body))
+        .expect("OS thread spawn failed");
+    exec.st.lock().unwrap().os_handles.push(handle);
+    // The spawn itself is a visible event: decide immediately whether the
+    // child preempts the parent.
+    yield_point();
+    tid
+}
+
+/// Body wrapper for every model thread (including thread 0): waits to be
+/// scheduled, runs, records panics as findings, and hands the schedule to the
+/// next thread on exit.
+fn run_model_thread(exec: Arc<Execution>, tid: usize, body: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    // Wait for the first decision that picks this thread; if the execution
+    // aborted before that ever happens, skip the body entirely.
+    let aborted_before_start = {
+        let mut st = exec.st.lock().unwrap();
+        while st.abort.is_none() && st.current != tid {
+            st = exec.cv.wait(st).unwrap();
+        }
+        st.abort.is_some()
+    };
+    let result =
+        if aborted_before_start { Ok(()) } else { panic::catch_unwind(AssertUnwindSafe(body)) };
+    if let Err(payload) = result {
+        if !payload.is::<AbortToken>() {
+            let mut st = exec.st.lock().unwrap();
+            if st.abort.is_none() {
+                st.abort = Some(Abort::Failure(payload_message(payload.as_ref())));
+            }
+        }
+    }
+    // Finish: wake joiners, hand off the schedule (or complete / deadlock).
+    let mut st = exec.st.lock().unwrap();
+    st.threads[tid] = Status::Finished;
+    st.unfinished -= 1;
+    for t in st.threads.iter_mut() {
+        if *t == Status::Blocked(WaitKey::Join(tid)) {
+            *t = Status::Runnable;
+        }
+    }
+    if st.unfinished > 0 && st.abort.is_none() {
+        match choose_next(&mut st, tid, false) {
+            Some(next) => st.current = next,
+            None => {
+                st.abort =
+                    Some(Abort::Deadlock("all unfinished threads blocked at thread exit".into()));
+            }
+        }
+    }
+    exec.cv.notify_all();
+    drop(st);
+    // Clear the context *before* OS-thread teardown so thread-local
+    // destructors (e.g. epoch participant records) pass through instead of
+    // trying to schedule inside a finished execution.
+    let _ = CTX.try_with(|c| c.borrow_mut().take());
+}
+
+/// Exploration mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Preemption-bounded exhaustive DFS over the schedule tree.
+    Exhaustive,
+    /// Seeded random walks: `iterations` independent schedules derived from
+    /// `seed`. Schedules may repeat; [`Report::distinct`] counts unique ones.
+    Random {
+        /// Number of random schedules to run.
+        iterations: usize,
+        /// Base seed; iteration `i` runs with a seed derived from it.
+        seed: u64,
+    },
+}
+
+/// Model-checking configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Max preemptions per schedule (`None` = unbounded; only safe for
+    /// loop-free models). Default `Some(2)`.
+    pub preemption_bound: Option<usize>,
+    /// Cap on explored schedules; exceeding it sets [`Report::truncated`]
+    /// instead of running forever. Default 100 000.
+    pub max_schedules: usize,
+    /// Per-execution step budget; exceeding it is reported as a livelock
+    /// failure. Default 100 000.
+    pub max_steps: usize,
+    /// Exhaustive DFS or seeded random walks. Default exhaustive.
+    pub mode: Mode,
+    /// When set, run exactly this schedule once (failure replay).
+    pub replay: Option<Vec<usize>>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: Some(2),
+            max_schedules: 100_000,
+            max_steps: 100_000,
+            mode: Mode::Exhaustive,
+            replay: None,
+        }
+    }
+}
+
+impl Config {
+    /// Exhaustive exploration with the given preemption bound.
+    pub fn with_bound(bound: Option<usize>) -> Self {
+        Config { preemption_bound: bound, ..Config::default() }
+    }
+
+    /// Random exploration of `iterations` schedules from `seed`.
+    pub fn random(iterations: usize, seed: u64) -> Self {
+        Config { mode: Mode::Random { iterations, seed }, ..Config::default() }
+    }
+
+    /// Replay of one explicit schedule (as reported by a [`Failure`]).
+    pub fn replaying(schedule: Vec<usize>) -> Self {
+        Config { replay: Some(schedule), ..Config::default() }
+    }
+}
+
+/// Successful exploration summary.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Executions run.
+    pub schedules: usize,
+    /// Distinct schedules among them (equals `schedules` for DFS).
+    pub distinct: usize,
+    /// Deepest decision count seen in any execution.
+    pub max_depth: usize,
+    /// Whether exploration stopped at [`Config::max_schedules`] before the
+    /// schedule tree was exhausted.
+    pub truncated: bool,
+}
+
+/// A model-checking finding: the failure plus everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The panic / deadlock / livelock description.
+    pub message: String,
+    /// Thread id chosen at each decision of the failing execution; feed to
+    /// [`Config::replaying`] (or [`replay`]) to reproduce.
+    pub schedule: Vec<usize>,
+    /// The iteration seed, when the failure came from [`Mode::Random`].
+    pub seed: Option<u64>,
+    /// Schedules fully explored before this one failed.
+    pub schedules_before: usize,
+}
+
+impl Failure {
+    /// The schedule as a comma-separated string (what the panic message
+    /// shows; parse back with [`parse_schedule`]).
+    pub fn schedule_string(&self) -> String {
+        self.schedule.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",")
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "model checking failed after {} schedule(s): {}\n  failing schedule: [{}]",
+            self.schedules_before,
+            self.message,
+            self.schedule_string()
+        )?;
+        if let Some(seed) = self.seed {
+            write!(f, "\n  random-mode seed: {seed:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses a `schedule_string` back into a schedule for [`Config::replaying`].
+pub fn parse_schedule(s: &str) -> Vec<usize> {
+    s.split(',').filter(|t| !t.trim().is_empty()).map(|t| t.trim().parse().unwrap()).collect()
+}
+
+/// Outcome of one execution.
+struct ExecOutcome {
+    decisions: Vec<(Vec<usize>, usize, bool, usize)>,
+    schedule: Vec<usize>,
+    abort: Option<Abort>,
+}
+
+/// Runs one execution of `f` under the given schedule prefix / rng and tears
+/// everything down (all OS threads joined, execution locals dropped).
+fn run_one<F>(f: &Arc<F>, prefix: Vec<usize>, cfg: &Config, rng: Option<u64>) -> ExecOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(!in_model(), "loomlite models cannot be nested");
+    let exec = Execution::new(prefix, cfg.preemption_bound, cfg.max_steps, rng);
+    {
+        let mut st = exec.st.lock().unwrap();
+        st.threads.push(Status::Runnable);
+        st.unfinished = 1;
+        st.current = 0;
+    }
+    let f2 = Arc::clone(f);
+    let exec2 = Arc::clone(&exec);
+    let root = std::thread::Builder::new()
+        .name("loomlite-0".into())
+        .spawn(move || run_model_thread(exec2, 0, move || f2()))
+        .expect("OS thread spawn failed");
+    // Wait for quiescence: every model thread finished (normally or by
+    // abort-unwind).
+    {
+        let mut st = exec.st.lock().unwrap();
+        while st.unfinished > 0 {
+            if st.abort.is_some() {
+                // Release every parked thread so it can abort-unwind.
+                exec.cv.notify_all();
+            }
+            st = exec.cv.wait(st).unwrap();
+        }
+    }
+    root.join().expect("model root thread wrapper never panics");
+    let handles = std::mem::take(&mut exec.st.lock().unwrap().os_handles);
+    for h in handles {
+        h.join().expect("model thread wrapper never panics");
+    }
+    // Drop per-execution state (frees e.g. epoch orphans) outside the lock.
+    let locals = std::mem::take(&mut exec.st.lock().unwrap().locals);
+    drop(locals);
+    let mut st = exec.st.lock().unwrap();
+    let decisions = st
+        .decisions
+        .iter()
+        .map(|d| (d.candidates.clone(), d.chosen, d.cur_enabled, d.preemptions_before))
+        .collect::<Vec<_>>();
+    let schedule = st.decisions.iter().map(|d| d.candidates[d.chosen]).collect();
+    ExecOutcome { decisions, schedule, abort: st.abort.take() }
+}
+
+/// DFS backtracking: the prefix for the next unexplored, bound-admissible
+/// schedule, or `None` when the tree is exhausted.
+fn next_prefix(
+    decisions: &[(Vec<usize>, usize, bool, usize)],
+    bound: Option<usize>,
+) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        let (candidates, chosen, cur_enabled, preemptions_before) = &decisions[i];
+        for (pos, &cand) in candidates.iter().enumerate().skip(chosen + 1) {
+            let preemptive = *cur_enabled && pos != 0;
+            if preemptive && bound.is_some_and(|b| *preemptions_before >= b) {
+                continue;
+            }
+            let mut prefix: Vec<usize> =
+                decisions[..i].iter().map(|(c, ch, _, _)| c[*ch]).collect();
+            prefix.push(cand);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Mixes an iteration index into the random-mode base seed (splitmix64).
+fn iteration_seed(base: u64, i: u64) -> u64 {
+    let mut z = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Explores `f` under `cfg`, returning either a summary of the explored
+/// schedules or the first [`Failure`]. Never panics on a model failure —
+/// the panicking wrapper is [`model`].
+pub fn check<F>(cfg: Config, f: F) -> Result<Report, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    if let Some(schedule) = cfg.replay.clone() {
+        let out = run_one(&f, schedule, &cfg, None);
+        return match out.abort {
+            None => Ok(Report {
+                schedules: 1,
+                distinct: 1,
+                max_depth: out.schedule.len(),
+                truncated: false,
+            }),
+            Some(a) => Err(failure_from(a, out.schedule, None, 0)),
+        };
+    }
+    match cfg.mode {
+        Mode::Exhaustive => {
+            let mut prefix = Vec::new();
+            let mut schedules = 0;
+            let mut max_depth = 0;
+            loop {
+                let out = run_one(&f, prefix, &cfg, None);
+                max_depth = max_depth.max(out.schedule.len());
+                if let Some(a) = out.abort {
+                    return Err(failure_from(a, out.schedule, None, schedules));
+                }
+                schedules += 1;
+                if schedules >= cfg.max_schedules {
+                    return Ok(Report {
+                        schedules,
+                        distinct: schedules,
+                        max_depth,
+                        truncated: true,
+                    });
+                }
+                match next_prefix(&out.decisions, cfg.preemption_bound) {
+                    Some(p) => prefix = p,
+                    None => {
+                        return Ok(Report {
+                            schedules,
+                            distinct: schedules,
+                            max_depth,
+                            truncated: false,
+                        })
+                    }
+                }
+            }
+        }
+        Mode::Random { iterations, seed } => {
+            let mut seen = std::collections::HashSet::new();
+            let mut max_depth = 0;
+            for i in 0..iterations.min(cfg.max_schedules) {
+                let iter_seed = iteration_seed(seed, i as u64);
+                let out = run_one(&f, Vec::new(), &cfg, Some(iter_seed));
+                max_depth = max_depth.max(out.schedule.len());
+                if let Some(a) = out.abort {
+                    return Err(failure_from(a, out.schedule, Some(iter_seed), i));
+                }
+                seen.insert(out.schedule);
+            }
+            let n = iterations.min(cfg.max_schedules);
+            Ok(Report {
+                schedules: n,
+                distinct: seen.len(),
+                max_depth,
+                truncated: iterations > cfg.max_schedules,
+            })
+        }
+    }
+}
+
+fn failure_from(a: Abort, schedule: Vec<usize>, seed: Option<u64>, before: usize) -> Failure {
+    let message = match a {
+        Abort::Failure(m) => m,
+        Abort::Deadlock(m) => m,
+        Abort::StepBudget => "step budget exceeded (livelock or unbounded loop in model)".into(),
+    };
+    Failure { message, schedule, seed, schedules_before: before }
+}
+
+/// Explores `f` exhaustively with the default [`Config`], panicking with the
+/// failing schedule on the first finding.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Err(failure) = check(Config::default(), f) {
+        panic!("{failure}");
+    }
+}
+
+/// Re-runs exactly one schedule (as reported by a [`Failure`]), panicking
+/// with the reproduced failure. The deterministic counterpart of [`model`]
+/// for regression tests.
+pub fn replay<F>(schedule: Vec<usize>, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Err(failure) = check(Config::replaying(schedule), f) {
+        panic!("{failure}");
+    }
+}
+
+/// Access to the per-execution storage map, for [`crate::state`]: the
+/// current execution's instance under `key`, created with `init` on first
+/// access. `None` outside any execution.
+pub(crate) fn execution_local_arc<T>(key: usize, init: impl FnOnce() -> T) -> Option<Arc<T>>
+where
+    T: Send + Sync + 'static,
+{
+    let (exec, _) = current_ctx()?;
+    let mut st = exec.st.lock().unwrap();
+    let arc = match st.locals.get(&key) {
+        Some(a) => Arc::clone(a).downcast::<T>().expect("ExecutionLocal type mismatch"),
+        None => {
+            let a = Arc::new(init());
+            st.locals.insert(key, a.clone());
+            a
+        }
+    };
+    Some(arc)
+}

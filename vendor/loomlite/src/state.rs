@@ -1,0 +1,56 @@
+//! Execution-scoped "statics": state that must reset between model
+//! executions.
+//!
+//! A DFS over schedules re-runs the model closure many times; any `static`
+//! the model touches (a global epoch counter, a participant registry) would
+//! leak state from one execution into the next and destroy the determinism
+//! replay depends on. An [`ExecutionLocal`] is a `static`-shaped cell whose
+//! value lives in the *current execution*: created on first access within an
+//! execution, dropped when the execution ends. Outside any execution it
+//! falls back to one process-global instance, so the same code path works in
+//! ordinary builds.
+//!
+//! ```
+//! use loomlite::state::ExecutionLocal;
+//! use loomlite::sync::Mutex;
+//!
+//! static REGISTRY: ExecutionLocal<Mutex<Vec<u32>>> =
+//!     ExecutionLocal::new(|| Mutex::new(Vec::new()));
+//!
+//! loomlite::model(|| {
+//!     REGISTRY.with(|r| r.lock().push(1));
+//!     // Each execution of the model sees a fresh, empty registry.
+//!     REGISTRY.with(|r| assert_eq!(r.lock().len(), 1));
+//! });
+//! ```
+
+use std::sync::{Arc, OnceLock};
+
+use crate::sched;
+
+/// A lazily-initialized value scoped to the current model execution (with a
+/// process-global fallback outside any execution). See the module docs.
+pub struct ExecutionLocal<T: Send + Sync + 'static> {
+    init: fn() -> T,
+    fallback: OnceLock<Arc<T>>,
+}
+
+impl<T: Send + Sync + 'static> ExecutionLocal<T> {
+    /// Declares the cell; `init` runs on first access per execution (and
+    /// once for the out-of-model fallback). `init` must not itself perform
+    /// scheduling-point operations — it runs under the scheduler's state
+    /// lock.
+    pub const fn new(init: fn() -> T) -> Self {
+        ExecutionLocal { init, fallback: OnceLock::new() }
+    }
+
+    /// Runs `f` with the current execution's instance.
+    pub fn with<R>(&'static self, f: impl FnOnce(&T) -> R) -> R {
+        let key = self as *const Self as usize;
+        let arc = match sched::execution_local_arc(key, self.init) {
+            Some(a) => a,
+            None => Arc::clone(self.fallback.get_or_init(|| Arc::new((self.init)()))),
+        };
+        f(&arc)
+    }
+}

@@ -1,0 +1,140 @@
+//! Instrumented blocking primitives: a parking_lot-shaped [`Mutex`] whose
+//! acquire/release are scheduling points, plus [`Arc`].
+//!
+//! `Arc` is re-exported uninstrumented from `std`: its reference-count
+//! traffic is not a protocol step in any model this workspace checks, and
+//! leaving it raw keeps schedule trees small. (Real loom instruments `Arc`
+//! to catch ordering bugs in the count itself; that is covered by the
+//! documented seq-cst limitation.)
+
+pub use std::sync::Arc;
+
+use crate::sched::{self, WaitKey};
+
+/// A mutual-exclusion lock with the parking_lot API shape (`lock()` returns
+/// the guard directly, no poisoning). Inside a model execution, acquisition
+/// and release are scheduling points and contention parks the model thread;
+/// outside, it is a plain `std` mutex.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`] / [`Mutex::try_lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// `Some(key)` when acquired inside a model execution: release wakes
+    /// the threads parked on this key.
+    wake_key: Option<WaitKey>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Unwraps the protected value (panics in an earlier critical section
+    /// are transparent, as in parking_lot).
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn key(&self) -> WaitKey {
+        WaitKey::Mutex(&self.inner as *const _ as *const () as usize)
+    }
+
+    /// Acquires the lock, blocking (parking the model thread) until
+    /// available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if sched::in_model() {
+            sched::yield_point();
+            loop {
+                match self.inner.try_lock() {
+                    Ok(g) => return MutexGuard { inner: Some(g), wake_key: Some(self.key()) },
+                    Err(std::sync::TryLockError::Poisoned(p)) => {
+                        return MutexGuard {
+                            inner: Some(p.into_inner()),
+                            wake_key: Some(self.key()),
+                        }
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => sched::block_on(self.key()),
+                }
+            }
+        } else {
+            let g = match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            MutexGuard { inner: Some(g), wake_key: None }
+        }
+    }
+
+    /// Tries to acquire the lock without blocking (still a scheduling point
+    /// inside a model).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let in_model = sched::in_model();
+        if in_model {
+            sched::yield_point();
+        }
+        let wake_key = in_model.then(|| self.key());
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g), wake_key }),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard { inner: Some(p.into_inner()), wake_key })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(key) = self.wake_key {
+            if !std::thread::panicking() {
+                // Release is a visible event: decide who runs next before
+                // the lock actually opens, then wake the parked contenders.
+                sched::yield_point();
+            }
+            drop(self.inner.take());
+            sched::wake(key);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Instrumented threads: inside a model execution, [`spawn`] registers a new
+//! model thread under the scheduler; outside, everything passes through to
+//! [`std::thread`].
+
+use std::any::Any;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::sched;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        /// Written by the model thread right before it finishes.
+        slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+/// Handle to a spawned thread; [`JoinHandle::join`] mirrors
+/// [`std::thread::JoinHandle::join`].
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result (`Err` carries
+    /// the panic payload, as in `std`).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { tid, slot } => {
+                // Joining is a visible event, then park until the target is
+                // done.
+                sched::yield_point();
+                while !sched::thread_finished(tid) {
+                    sched::block_on(sched::WaitKey::Join(tid));
+                }
+                slot.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .take()
+                    .expect("joined model thread left no result")
+            }
+        }
+    }
+
+    /// Whether the thread has finished (model threads only report
+    /// termination at scheduling granularity).
+    pub fn is_finished(&self) -> bool {
+        match &self.0 {
+            Inner::Std(h) => h.is_finished(),
+            Inner::Model { tid, .. } => sched::thread_finished(*tid),
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model execution this registers a model thread
+/// (a scheduling point: the child may preempt the parent immediately);
+/// outside it is [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if sched::in_model() {
+        let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let slot2 = Arc::clone(&slot);
+        let tid = sched::spawn_model_thread(move || {
+            // Catch here (in addition to the scheduler's own wrapper) so the
+            // original payload stays available for `join`, mirroring `std`;
+            // a fresh message unwind still reaches the scheduler to be
+            // recorded as the finding.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let real_panic = match &r {
+                Err(p) if !p.is::<sched::AbortToken>() => Some(sched::payload_message(p.as_ref())),
+                _ => None,
+            };
+            *slot2.lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
+            if let Some(msg) = real_panic {
+                std::panic::resume_unwind(Box::new(msg));
+            }
+        });
+        JoinHandle(Inner::Model { tid, slot })
+    } else {
+        JoinHandle(Inner::Std(std::thread::spawn(f)))
+    }
+}
+
+/// Yields execution (a scheduling point inside a model).
+pub fn yield_now() {
+    if sched::in_model() {
+        sched::yield_point();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Sleeps. Inside a model execution time does not exist; sleeping is just a
+/// scheduling point.
+pub fn sleep(dur: Duration) {
+    if sched::in_model() {
+        sched::yield_point();
+    } else {
+        std::thread::sleep(dur);
+    }
+}
+
+/// The panic payload type stored by a failed model thread (mirrors `std`).
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;

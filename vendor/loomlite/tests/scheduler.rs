@@ -1,0 +1,224 @@
+//! Scheduler unit tests: schedule enumeration on toy models, failure
+//! detection, replay determinism, deadlock detection, and the documented
+//! seq-cst-only limitation.
+
+use loomlite::atomic::{AtomicUsize, Ordering};
+use loomlite::sync::{Arc, Mutex};
+use loomlite::{check, Config, Mode};
+
+/// Two workers of `k` instrumented ops each, spawned then joined by the
+/// root. With preemption bound 0 the only free choices are at blocking and
+/// finishing points, where the current thread cannot continue. Enumerating:
+/// the root blocks joining W1 (choice: W1 or W2 runs); if W2 ran first the
+/// rest is forced (one schedule); if W1 ran first, its exit offers one more
+/// free choice (the woken root vs W2) — so exactly **3** schedules, whatever
+/// `k` is.
+fn two_workers(k: usize) -> impl Fn() + Send + Sync + 'static {
+    move |/* model */| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let a = Arc::clone(&a);
+            handles.push(loomlite::thread::spawn(move || {
+                for _ in 0..k {
+                    a.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(Ordering::Relaxed), 2 * k);
+    }
+}
+
+#[test]
+fn bound_zero_enumerates_exactly_run_to_completion_orders() {
+    for k in [1, 3, 7] {
+        let report = check(Config::with_bound(Some(0)), two_workers(k)).unwrap();
+        assert_eq!(
+            report.schedules, 3,
+            "bound 0 with two workers must yield exactly the three run-to-completion orders (k={k})"
+        );
+        assert!(!report.truncated);
+    }
+}
+
+#[test]
+fn schedule_counts_grow_with_bound_and_length() {
+    let s0 = check(Config::with_bound(Some(0)), two_workers(2)).unwrap().schedules;
+    let s1 = check(Config::with_bound(Some(1)), two_workers(2)).unwrap().schedules;
+    let s2 = check(Config::with_bound(Some(2)), two_workers(2)).unwrap().schedules;
+    assert!(s0 < s1 && s1 < s2, "more preemption budget explores more schedules: {s0} {s1} {s2}");
+
+    let short = check(Config::with_bound(Some(2)), two_workers(1)).unwrap().schedules;
+    let long = check(Config::with_bound(Some(2)), two_workers(4)).unwrap().schedules;
+    assert!(short < long, "longer threads offer more preemption placements: {short} {long}");
+}
+
+/// A racy read-modify-write (separate load and store): the checker must find
+/// the lost update, and the reported schedule must replay to the same
+/// failure deterministically.
+fn lost_update_model() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let a = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let a = Arc::clone(&a);
+            handles.push(loomlite::thread::spawn(move || {
+                let v = a.load(Ordering::SeqCst);
+                a.store(v + 1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+    }
+}
+
+#[test]
+fn finds_lost_update_and_replays_it_deterministically() {
+    let failure = check(Config::default(), lost_update_model()).expect_err("must find the race");
+    assert!(failure.message.contains("lost update"), "message: {}", failure.message);
+
+    // Replay: the exact failing schedule must reproduce the exact failure.
+    for _ in 0..2 {
+        let replayed = check(Config::replaying(failure.schedule.clone()), lost_update_model())
+            .expect_err("replay must reproduce the failure");
+        assert_eq!(replayed.schedule, failure.schedule, "replay diverged");
+        assert!(replayed.message.contains("lost update"));
+    }
+
+    // The schedule string round-trips through parse_schedule.
+    assert_eq!(loomlite::parse_schedule(&failure.schedule_string()), failure.schedule);
+}
+
+#[test]
+fn random_mode_finds_the_race_and_seed_replays() {
+    let cfg = Config::random(4096, 0xDEAD_BEEF);
+    let failure = check(cfg, lost_update_model()).expect_err("random walk must find the race");
+    let seed = failure.seed.expect("random-mode failure reports its seed");
+    // Re-running a single iteration with the failing seed reproduces it.
+    let again = check(
+        Config { mode: Mode::Random { iterations: 1, seed }, ..Config::default() },
+        lost_update_model(),
+    );
+    // The first iteration of a fresh run derives its seed from the base, so
+    // reproduce via the schedule instead when the derivation differs; the
+    // schedule is always exact.
+    match again {
+        Err(f) => assert!(f.message.contains("lost update")),
+        Ok(_) => {
+            let replayed = check(Config::replaying(failure.schedule.clone()), lost_update_model());
+            assert!(replayed.is_err(), "failing schedule must reproduce regardless of seed");
+        }
+    }
+}
+
+#[test]
+fn mutex_protects_the_read_modify_write() {
+    let report = check(Config::default(), || {
+        let m = Arc::new(Mutex::new(0usize));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let m = Arc::clone(&m);
+            handles.push(loomlite::thread::spawn(move || {
+                let mut g = m.lock();
+                let v = *g;
+                loomlite::thread::yield_now();
+                *g = v + 1;
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 2);
+    })
+    .expect("mutexed increment has no lost update");
+    assert!(report.schedules >= 2);
+}
+
+#[test]
+fn detects_abba_deadlock() {
+    let failure = check(Config::default(), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = loomlite::thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        let _ = t.join();
+    })
+    .expect_err("AB-BA locking must deadlock in some schedule");
+    assert!(failure.message.contains("deadlock"), "message: {}", failure.message);
+}
+
+/// The store-buffer litmus test: under real weak memory both loads may see
+/// 0, but this checker serializes executions (every operation effectively
+/// `SeqCst`), so the outcome is unreachable. This test *documents* the
+/// limitation — see the crate docs and DESIGN.md §10.
+#[test]
+fn store_buffer_litmus_is_unreachable_under_seqcst_exploration() {
+    let report = check(Config::with_bound(None), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = loomlite::thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        let r2 = x.load(Ordering::Relaxed);
+        let r1 = t.join().unwrap();
+        assert!(
+            !(r1 == 0 && r2 == 0),
+            "both-zero would require a weak-memory reordering this checker cannot produce"
+        );
+    })
+    .expect("seq-cst exploration never reaches the weak-memory outcome");
+    assert!(!report.truncated);
+}
+
+#[test]
+fn execution_local_state_resets_between_executions() {
+    use loomlite::state::ExecutionLocal;
+    static COUNTER: ExecutionLocal<AtomicUsize> = ExecutionLocal::new(|| AtomicUsize::new(0));
+    let report = check(Config::default(), || {
+        // Were the counter a true static, the second execution would see
+        // the first execution's increments.
+        let before = COUNTER.with(|c| c.fetch_add(1, Ordering::SeqCst));
+        assert_eq!(before, 0, "ExecutionLocal leaked across executions");
+        let t = loomlite::thread::spawn(|| COUNTER.with(|c| c.fetch_add(1, Ordering::SeqCst)));
+        let seen = t.join().unwrap();
+        assert_eq!(seen, 1, "ExecutionLocal must be shared within one execution");
+    })
+    .expect("execution-local state is per-execution");
+    assert!(report.schedules >= 2, "the spawn/join creates at least two interleavings");
+}
+
+#[test]
+fn max_schedules_truncates_instead_of_hanging() {
+    let report =
+        check(Config { max_schedules: 3, ..Config::with_bound(Some(2)) }, two_workers(4)).unwrap();
+    assert!(report.truncated);
+    assert_eq!(report.schedules, 3);
+}
+
+#[test]
+fn passthrough_outside_model_behaves_like_std() {
+    // No model context: primitives must work as plain std types.
+    let a = AtomicUsize::new(1);
+    assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+    assert_eq!(a.load(Ordering::SeqCst), 3);
+    let m = Mutex::new(5);
+    *m.lock() += 1;
+    assert_eq!(*m.lock(), 6);
+    let h = loomlite::thread::spawn(|| 7);
+    assert_eq!(h.join().unwrap(), 7);
+}

@@ -24,7 +24,10 @@
 //!   budget headroom left;
 //! * [`runtime`] — [`Elastic`], the deterministic inline driver
 //!   (`tick()` when *you* decide), and [`ElasticRunner`], a background
-//!   thread ticking on a fixed cadence; both record a [`RetuneEvent`] log;
+//!   thread ticking on a fixed cadence; both record [`RetuneEvent`]s into
+//!   a bounded [`RetuneLog`] (oldest evicted, evictions counted) and, when
+//!   the target carries a telemetry recorder, emit every tick's
+//!   observation→decision→outcome span through it;
 //! * [`managed`] — [`Managed`], the RAII guard owning the background
 //!   runner, built in one chain from a structure builder via
 //!   [`AdaptiveBuilder::adaptive`] — the deployment-shape API that
@@ -72,4 +75,7 @@ pub use controller::{
     max_depth_for_budget, max_width_for_budget, AimdController, Controller, Observation,
 };
 pub use managed::{AdaptiveBuilder, Managed};
-pub use runtime::{Elastic, ElasticRunner, RetuneEvent, RetuneKind, ScriptedController};
+pub use runtime::{
+    Elastic, ElasticRunner, RetuneEvent, RetuneKind, RetuneLog, ScriptedController,
+    DEFAULT_LOG_CAPACITY,
+};

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use stack2d::telemetry::ControlOutcome;
 use stack2d::{ElasticTarget, MetricsSnapshot, Params, WindowInfo};
 
 use crate::controller::{Controller, Observation};
@@ -76,6 +77,91 @@ impl RetuneEvent {
     }
 }
 
+/// Default [`RetuneLog`] capacity: a retune is a cold-path event (one per
+/// controller cadence at most), so a thousand entries cover any realistic
+/// run while bounding a runaway controller's memory.
+pub const DEFAULT_LOG_CAPACITY: usize = 1024;
+
+/// A bounded retune log: keeps the most recent `capacity` events and
+/// counts what it had to evict — the same overflow contract as the
+/// telemetry event ring (drops are *counted, never silent*, and never
+/// grow memory without bound).
+#[derive(Debug, Clone)]
+pub struct RetuneLog {
+    buf: std::collections::VecDeque<RetuneEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RetuneLog {
+    /// An empty log evicting beyond `capacity` entries (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RetuneLog {
+            buf: std::collections::VecDeque::with_capacity(capacity.min(64)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: RetuneEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &RetuneEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted after the log filled (oldest-first eviction).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The eviction threshold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained events as a `Vec`, oldest first.
+    pub fn to_vec(&self) -> Vec<RetuneEvent> {
+        self.buf.iter().copied().collect()
+    }
+
+    fn into_vec(self) -> Vec<RetuneEvent> {
+        self.buf.into()
+    }
+}
+
+impl Default for RetuneLog {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_LOG_CAPACITY)
+    }
+}
+
+impl<'a> IntoIterator for &'a RetuneLog {
+    type Item = &'a RetuneEvent;
+    type IntoIter = std::collections::vec_deque::Iter<'a, RetuneEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.iter()
+    }
+}
+
 /// The inline elastic driver: owns a [`Controller`], samples metrics
 /// deltas on every [`tick`](Elastic::tick), applies its decisions through
 /// [`ElasticTarget::retune`] / [`ElasticTarget::try_commit_shrink`], and
@@ -88,7 +174,7 @@ pub struct Elastic<'s, S, C> {
     started: Instant,
     last_metrics: MetricsSnapshot,
     last_tick: Instant,
-    events: Vec<RetuneEvent>,
+    events: RetuneLog,
 }
 
 impl<'s, S: ElasticTarget, C: Controller> Elastic<'s, S, C> {
@@ -103,7 +189,7 @@ impl<'s, S: ElasticTarget, C: Controller> Elastic<'s, S, C> {
             started: now,
             last_metrics: target.metrics(),
             last_tick: now,
-            events: Vec::new(),
+            events: RetuneLog::default(),
         }
     }
 
@@ -113,6 +199,15 @@ impl<'s, S: ElasticTarget, C: Controller> Elastic<'s, S, C> {
     #[must_use]
     pub fn budget(mut self, max_k: usize) -> Self {
         self.max_k = max_k;
+        self
+    }
+
+    /// Caps the retune log at `capacity` events (default
+    /// [`DEFAULT_LOG_CAPACITY`]); beyond it the oldest entries are evicted
+    /// and counted in [`RetuneLog::dropped`].
+    #[must_use]
+    pub fn log_capacity(mut self, capacity: usize) -> Self {
+        self.events = RetuneLog::with_capacity(capacity);
         self
     }
 
@@ -126,29 +221,39 @@ impl<'s, S: ElasticTarget, C: Controller> Elastic<'s, S, C> {
         &mut self.controller
     }
 
-    /// Every descriptor swing this driver performed, in order.
-    pub fn events(&self) -> &[RetuneEvent] {
+    /// The retune log: every descriptor swing this driver performed, in
+    /// order (bounded — see [`Elastic::log_capacity`]).
+    pub fn events(&self) -> &RetuneLog {
         &self.events
     }
 
-    /// Consumes the driver, returning the event log.
+    /// Consumes the driver, returning the retained events oldest-first.
     pub fn into_events(self) -> Vec<RetuneEvent> {
-        self.events
+        self.events.into_vec()
     }
 
     /// One control step: commit any matured shrink, sample the metrics
     /// delta since the previous tick, ask the controller, and apply its
     /// decision. Returns the last event this tick produced, if any.
+    ///
+    /// When the target carries a telemetry sink
+    /// ([`ElasticTarget::recorder`]), every tick emits its full
+    /// observation→decision→outcome triple through it — including pure
+    /// holds, so the event stream shows the controller *looking* even when
+    /// it does nothing.
     pub fn tick(&mut self) -> Option<RetuneEvent> {
         let mut produced = None;
+        let recorder = self.target.recorder();
         let snapshot = self.target.metrics();
         let at = self.started.elapsed();
         // A matured shrink commits before the next decision so the
         // controller sees the tightened bound.
+        let mut outcome = ControlOutcome::Hold;
         if let Some(info) = self.target.try_commit_shrink() {
             let ev = RetuneEvent::from_info(info, RetuneKind::Commit, at, snapshot.ops);
             self.events.push(ev);
             produced = Some(ev);
+            outcome = ControlOutcome::Committed;
         }
         let now = Instant::now();
         let obs = Observation {
@@ -158,7 +263,19 @@ impl<'s, S: ElasticTarget, C: Controller> Elastic<'s, S, C> {
             capacity: self.target.capacity(),
             max_k: self.max_k,
         };
-        if let Some(params) = self.controller.decide(&obs) {
+        if let Some(r) = recorder {
+            r.control_observation(
+                obs.interval.as_nanos().min(u64::MAX as u128) as u64,
+                obs.delta,
+                obs.window,
+                obs.capacity,
+            );
+        }
+        let decided = self.controller.decide(&obs);
+        if let Some(r) = recorder {
+            r.control_decision(decided);
+        }
+        if let Some(params) = decided {
             debug_assert!(
                 params.k_bound() <= self.max_k,
                 "controller violated the k budget: {params} > {}",
@@ -178,11 +295,16 @@ impl<'s, S: ElasticTarget, C: Controller> Elastic<'s, S, C> {
                     let ev = RetuneEvent::from_info(info, kind, at, snapshot.ops);
                     self.events.push(ev);
                     produced = Some(ev);
+                    outcome = ControlOutcome::Applied;
                 }
                 Err(e) => {
+                    outcome = ControlOutcome::Rejected;
                     debug_assert!(false, "controller exceeded target capacity: {e}");
                 }
             }
+        }
+        if let Some(r) = recorder {
+            r.control_outcome(outcome, self.target.window());
         }
         self.last_metrics = snapshot;
         self.last_tick = now;
@@ -342,6 +464,78 @@ mod tests {
         assert_eq!(elastic.events().len(), 4);
         assert_eq!(stack.window().width(), 4);
         assert!(!stack.window().pending_shrink());
+    }
+
+    #[test]
+    fn retune_log_caps_and_counts_evictions() {
+        let stack: Stack2D<u32> =
+            Stack2D::builder().params(p(2, 1, 1)).elastic_capacity(16).build().unwrap();
+        // Strictly growing widths: every tick swings a Grow retune.
+        let script: Vec<Option<Params>> = (0..10).map(|i| Some(p(3 + i, 1, 1))).collect();
+        let mut elastic =
+            Elastic::new(&stack, ScriptedController::new(script.clone())).log_capacity(4);
+        for _ in 0..script.len() {
+            elastic.tick();
+        }
+        let log = elastic.events();
+        assert_eq!(log.len(), 4, "log must stay at its cap");
+        assert_eq!(log.capacity(), 4);
+        assert_eq!(log.dropped(), 6, "evictions must be counted, not silent");
+        // The *newest* events survive: generations are the last four.
+        let generations: Vec<u64> = log.iter().map(|e| e.generation).collect();
+        assert_eq!(generations, vec![7, 8, 9, 10]);
+        assert_eq!(elastic.into_events().len(), 4);
+    }
+
+    #[test]
+    fn ticks_emit_causally_ordered_decision_triples() {
+        use stack2d_telemetry::{Event, Registry};
+        let registry = Registry::new();
+        let stack: Stack2D<u32> = Stack2D::builder()
+            .params(p(2, 1, 1))
+            .elastic_capacity(16)
+            .recorder(registry.scope("stack"))
+            .build()
+            .unwrap();
+        let script = ScriptedController::new([Some(p(8, 1, 1)), None]);
+        let mut elastic = Elastic::new(&stack, script);
+        elastic.tick(); // applied
+        elastic.tick(); // hold
+        let report = registry.report();
+        let events = &report.scopes[0].events;
+        // Two full observation→decision→outcome triples, plus the retune
+        // event the structure itself emitted inside the first apply.
+        let triples: Vec<&str> = events
+            .iter()
+            .map(|e| e.event.kind_name())
+            .filter(|k| k.starts_with("control_"))
+            .collect();
+        assert_eq!(
+            triples,
+            vec![
+                "control_observation",
+                "control_decision",
+                "control_outcome",
+                "control_observation",
+                "control_decision",
+                "control_outcome"
+            ],
+            "every tick must emit its triple in causal order"
+        );
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        let outcomes: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::ControlOutcome { outcome, .. } => Some(outcome),
+                _ => None,
+            })
+            .collect();
+        use stack2d::telemetry::ControlOutcome;
+        assert_eq!(outcomes, vec![ControlOutcome::Applied, ControlOutcome::Hold]);
+        assert!(
+            events.iter().any(|e| matches!(e.event, Event::Retune { .. })),
+            "the structure's own retune event must share the stream"
+        );
     }
 
     #[test]

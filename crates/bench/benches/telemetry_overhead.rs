@@ -1,0 +1,60 @@
+//! Telemetry overhead on the hot path: the disabled hook must cost
+//! nothing, and 1-in-64 sampling into a live registry scope must stay
+//! within a few percent of it.
+//!
+//! Four points on the same single-thread push/pop pair:
+//!
+//! * `disabled` — no recorder attached (the `TelemetryHook::none()`
+//!   fast path every uninstrumented structure takes);
+//! * `noop_recorder` — a recorder attached but discarding everything
+//!   (isolates the hook dispatch + clock cost at the sampling rate);
+//! * `sampled_64` — a real registry scope at the default 1-in-64
+//!   sampling (the deployment configuration; the ≤5% target);
+//! * `sampled_1` — every operation sampled (the worst case, priced so
+//!   the default's discount is visible).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use stack2d::sync::Arc;
+use stack2d::telemetry::Recorder;
+use stack2d::{NoopRecorder, Params, Stack2D};
+use stack2d_telemetry::Registry;
+
+fn pair_bench(c: &mut Criterion, name: &str, recorder: Option<Arc<dyn Recorder>>, every: u32) {
+    let mut group = c.benchmark_group("telemetry");
+    group.throughput(Throughput::Elements(1));
+    let mut builder = Stack2D::<u64>::builder().params(Params::for_threads(1));
+    if let Some(r) = recorder {
+        builder = builder.recorder(r).sample_every(every);
+    }
+    let stack = builder.build().expect("valid params");
+    let mut h = stack.handle();
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            h.push(1);
+            h.pop()
+        });
+    });
+    group.finish();
+}
+
+fn bench_disabled(c: &mut Criterion) {
+    pair_bench(c, "disabled", None, 64);
+}
+
+fn bench_noop_recorder(c: &mut Criterion) {
+    pair_bench(c, "noop_recorder", Some(Arc::new(NoopRecorder)), 64);
+}
+
+fn bench_sampled_64(c: &mut Criterion) {
+    let registry = Registry::new();
+    pair_bench(c, "sampled_64", Some(registry.scope("bench")), 64);
+}
+
+fn bench_sampled_1(c: &mut Criterion) {
+    let registry = Registry::new();
+    pair_bench(c, "sampled_1", Some(registry.scope("bench")), 1);
+}
+
+criterion_group!(benches, bench_disabled, bench_noop_recorder, bench_sampled_64, bench_sampled_1);
+criterion_main!(benches);

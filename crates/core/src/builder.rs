@@ -26,10 +26,13 @@
 //! derived presets [`Builder::for_threads`] and [`Builder::for_bound`]
 //! produce always-valid shapes by construction.
 
+use core::fmt;
 use core::marker::PhantomData;
 
 use crate::params::{Params, ParamsError};
 use crate::search::{SearchConfig, SearchPolicy};
+use crate::sync::Arc;
+use crate::telemetry::{Recorder, DEFAULT_SAMPLE_EVERY};
 use crate::{Counter2D, Queue2D, Stack2D};
 
 mod sealed {
@@ -49,6 +52,12 @@ pub trait Buildable: sealed::Sealed + Sized {
     #[doc(hidden)]
     fn from_builder(config: SearchConfig, seed: Option<u64>) -> Self;
 
+    /// Attaches a telemetry sink to a freshly built structure (the
+    /// builder calls this between construction and hand-off, before any
+    /// handle exists).
+    #[doc(hidden)]
+    fn attach_recorder(&mut self, recorder: Arc<dyn Recorder>, sample_every: u32);
+
     /// The search policy a builder applies when none is set explicitly:
     /// the paper's two-phase default for the stack; the historical plain
     /// covering sweep ([`SearchPolicy::RoundRobinOnly`]) for the queue and
@@ -63,11 +72,19 @@ impl<T> Buildable for Stack2D<T> {
     fn from_builder(config: SearchConfig, seed: Option<u64>) -> Self {
         Stack2D::from_builder_parts(config, seed)
     }
+
+    fn attach_recorder(&mut self, recorder: Arc<dyn Recorder>, sample_every: u32) {
+        Stack2D::attach_recorder_parts(self, recorder, sample_every);
+    }
 }
 
 impl<T> Buildable for Queue2D<T> {
     fn from_builder(config: SearchConfig, seed: Option<u64>) -> Self {
         Queue2D::from_builder_parts(config, seed)
+    }
+
+    fn attach_recorder(&mut self, recorder: Arc<dyn Recorder>, sample_every: u32) {
+        Queue2D::attach_recorder_parts(self, recorder, sample_every);
     }
 
     fn default_policy() -> SearchPolicy {
@@ -78,6 +95,10 @@ impl<T> Buildable for Queue2D<T> {
 impl Buildable for Counter2D {
     fn from_builder(config: SearchConfig, seed: Option<u64>) -> Self {
         Counter2D::from_builder_parts(config, seed)
+    }
+
+    fn attach_recorder(&mut self, recorder: Arc<dyn Recorder>, sample_every: u32) {
+        Counter2D::attach_recorder_parts(self, recorder, sample_every);
     }
 
     fn default_policy() -> SearchPolicy {
@@ -106,7 +127,7 @@ impl Buildable for Counter2D {
 /// let err = Stack2D::<u32>::builder().depth(2).shift(5).build().unwrap_err();
 /// assert_eq!(err, ParamsError::ShiftExceedsDepth { shift: 5, depth: 2 });
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Builder<S: Buildable> {
     width: usize,
     depth: usize,
@@ -116,7 +137,26 @@ pub struct Builder<S: Buildable> {
     locality: bool,
     capacity: Option<usize>,
     seed: Option<u64>,
+    recorder: Option<Arc<dyn Recorder>>,
+    sample_every: u32,
     _structure: PhantomData<fn() -> S>,
+}
+
+impl<S: Buildable> fmt::Debug for Builder<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Builder")
+            .field("width", &self.width)
+            .field("depth", &self.depth)
+            .field("shift", &self.shift)
+            .field("policy", &self.policy)
+            .field("hop_on_contention", &self.hop_on_contention)
+            .field("locality", &self.locality)
+            .field("capacity", &self.capacity)
+            .field("seed", &self.seed)
+            .field("recorder", &self.recorder.is_some())
+            .field("sample_every", &self.sample_every)
+            .finish()
+    }
 }
 
 impl<S: Buildable> Builder<S> {
@@ -134,6 +174,8 @@ impl<S: Buildable> Builder<S> {
             locality: true,
             capacity: None,
             seed: None,
+            recorder: None,
+            sample_every: DEFAULT_SAMPLE_EVERY,
             _structure: PhantomData,
         }
     }
@@ -371,6 +413,49 @@ impl<S: Buildable> Builder<S> {
         self
     }
 
+    /// Attaches a telemetry sink: the structure emits sampled op spans,
+    /// window shifts, retunes and shrink-fence transitions through it (see
+    /// [`crate::telemetry::Recorder`]), and an elastic driver
+    /// managing the structure emits its controller decision spans through
+    /// the same sink. Without this call the structure carries no recorder
+    /// and the hot path pays a single discriminant check per operation.
+    ///
+    /// Op spans are sampled 1-in-N per handle
+    /// ([`sample_every`](Builder::sample_every), default 64); structural
+    /// events are emitted exhaustively.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use stack2d::telemetry::NoopRecorder;
+    /// use stack2d::Stack2D;
+    ///
+    /// let stack: Stack2D<u32> = Stack2D::builder()
+    ///     .width(4)
+    ///     .recorder(Arc::new(NoopRecorder))
+    ///     .sample_every(16)
+    ///     .build()
+    ///     .unwrap();
+    /// stack.push(7);
+    /// assert_eq!(stack.pop(), Some(7));
+    /// ```
+    #[must_use]
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Sets the op-span sampling period: a handle emits one
+    /// [`op_sample`](crate::telemetry::Recorder::op_sample) per `every`
+    /// operations (`0` is clamped to 1 — sample everything). Only
+    /// meaningful together with [`recorder`](Builder::recorder).
+    #[must_use]
+    pub fn sample_every(mut self, every: u32) -> Self {
+        self.sample_every = every;
+        self
+    }
+
     /// Validates the accumulated configuration and constructs the
     /// structure. This is the only place validation happens, and it
     /// accepts exactly the combinations [`Params::new`] accepts.
@@ -399,7 +484,11 @@ impl<S: Buildable> Builder<S> {
         if let Some(capacity) = self.capacity {
             config = config.max_width(capacity);
         }
-        Ok(S::from_builder(config, self.seed))
+        let mut built = S::from_builder(config, self.seed);
+        if let Some(recorder) = self.recorder {
+            built.attach_recorder(recorder, self.sample_every);
+        }
+        Ok(built)
     }
 }
 

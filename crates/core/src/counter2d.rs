@@ -52,6 +52,8 @@ use crate::metrics::{MetricsSnapshot, OpCounters};
 use crate::params::Params;
 use crate::rng::{HandleSeeder, HopRng};
 use crate::search::{SearchConfig, SearchPolicy};
+use crate::sync::Arc;
+use crate::telemetry::{clock, OpKind, Recorder, Sampler, ShiftDir, ShrinkPhase, TelemetryHook};
 use crate::traits::{ElasticTarget, OpsHandle, RelaxedOps};
 use crate::window::{ElasticWindow, RetuneError, WindowDesc, WindowInfo};
 
@@ -81,6 +83,7 @@ pub struct Counter2D {
     config: SearchConfig,
     counters: OpCounters,
     seeder: HandleSeeder,
+    telemetry: TelemetryHook,
 }
 
 impl Counter2D {
@@ -126,7 +129,19 @@ impl Counter2D {
             config,
             counters: OpCounters::default(),
             seeder: HandleSeeder::new(seed),
+            telemetry: TelemetryHook::none(),
         }
+    }
+
+    pub(crate) fn attach_recorder_parts(&mut self, recorder: Arc<dyn Recorder>, sample_every: u32) {
+        self.telemetry.attach(recorder, sample_every);
+    }
+
+    /// The attached telemetry sink, if any (see
+    /// [`Builder::recorder`](crate::Builder::recorder)).
+    #[inline]
+    pub fn recorder(&self) -> Option<&dyn Recorder> {
+        self.telemetry.recorder()
     }
 
     /// Whether this counter was built with elastic headroom (capacity
@@ -188,6 +203,12 @@ impl Counter2D {
         let (info, swung) = self.window.retune(params, self.subs.len())?;
         if swung {
             self.counters.add(|c| &c.retunes, 1);
+            if let Some(r) = self.telemetry.recorder() {
+                r.retune(info);
+                if info.pending_shrink() {
+                    r.shrink_fence(ShrinkPhase::Armed, info);
+                }
+            }
         }
         Ok(info)
     }
@@ -214,6 +235,9 @@ impl Counter2D {
             true
         })?;
         self.counters.add(|c| &c.retunes, 1);
+        if let Some(r) = self.telemetry.recorder() {
+            r.shrink_fence(ShrinkPhase::Committed, info);
+        }
         Some(info)
     }
 
@@ -262,14 +286,14 @@ impl Counter2D {
     pub fn handle(&self) -> CounterHandle<'_> {
         let mut rng = self.seeder.rng();
         let last = rng.bounded(self.subs.len());
-        CounterHandle { counter: self, last, rng }
+        CounterHandle { counter: self, last, rng, sampler: self.telemetry.sampler() }
     }
 
     /// Registers a handle with a deterministic RNG seed.
     pub fn handle_seeded(&self, seed: u64) -> CounterHandle<'_> {
         let mut rng = HopRng::seeded(seed);
         let last = rng.bounded(self.subs.len());
-        CounterHandle { counter: self, last, rng }
+        CounterHandle { counter: self, last, rng, sampler: self.telemetry.sampler() }
     }
 
     /// The aggregate count: the sum of all sub-counters plus the values
@@ -353,6 +377,10 @@ impl ElasticTarget for Counter2D {
     fn target_name(&self) -> &'static str {
         "2d-counter"
     }
+
+    fn recorder(&self) -> Option<&dyn Recorder> {
+        Counter2D::recorder(self)
+    }
 }
 
 impl OpsHandle<u64> for CounterHandle<'_> {
@@ -394,6 +422,7 @@ pub struct CounterHandle<'c> {
     counter: &'c Counter2D,
     last: usize,
     rng: HopRng,
+    sampler: Sampler,
 }
 
 /// The increment side, as driven by the search engine: a sub-counter is
@@ -441,6 +470,7 @@ impl CounterHandle<'_> {
     /// Adds one to the counter on some window-valid sub-counter.
     pub fn increment(&mut self) {
         let c = self.counter;
+        let start = c.telemetry.sample_start(&mut self.sampler);
         // Pin so the shrink fence covers this increment: a retired
         // sub-counter is only drained after every pinned pre-shrink
         // operation finished.
@@ -459,6 +489,14 @@ impl CounterHandle<'_> {
         m.add(|c| &c.global_restarts, st.restarts);
         m.add(|c| &c.shifts_up, st.shifts);
         m.add(|c| &c.ops, 1);
+        if let Some(r) = c.telemetry.recorder() {
+            if st.shifts > 0 {
+                r.window_shift(ShiftDir::Up, st.shifts);
+            }
+            if let Some(t0) = start {
+                r.op_sample(OpKind::Increment, clock::now_ns().saturating_sub(t0));
+            }
+        }
     }
 }
 

@@ -89,6 +89,11 @@
 //! * [`metrics`] — contention / probe / window-shift / retune counters
 //!   ([`Stack2D::metrics`](stack::Stack2D::metrics), and the same block on
 //!   [`Queue2D`] and [`Counter2D`]);
+//! * [`telemetry`] — the [`Recorder`] emission hooks (sampled op spans,
+//!   window-shift/retune/shrink-fence and controller-decision events)
+//!   behind [`Builder::recorder`](builder::Builder::recorder), plus the
+//!   shared telemetry clock; the ring-buffered sink lives in the
+//!   `stack2d-telemetry` crate;
 //! * [`queue2d`] and [`counter2d`] — the paper's stated future work (§5):
 //!   the same window design generalized to a FIFO queue and a sharded
 //!   counter, both elastic since PR 3;
@@ -116,6 +121,7 @@ pub mod search;
 pub mod stack;
 pub mod substack;
 pub mod sync;
+pub mod telemetry;
 pub mod traits;
 pub mod window;
 
@@ -126,5 +132,6 @@ pub use params::{Params, ParamsError};
 pub use queue2d::{Queue2D, QueueHandle};
 pub use search::{SearchConfig, SearchPolicy};
 pub use stack::{Handle2D, Stack2D};
+pub use telemetry::{NoopRecorder, Recorder};
 pub use traits::{ConcurrentStack, ElasticTarget, OpsHandle, RelaxedOps, StackHandle, StackOps};
 pub use window::{RetuneError, WindowInfo};

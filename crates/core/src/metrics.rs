@@ -99,7 +99,7 @@ impl OpCounters {
 /// // items must have raised the window several times.
 /// assert!(m.shifts_up >= 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct MetricsSnapshot {
     /// Descriptor CASes lost to another thread.
     pub cas_failures: u64,

@@ -62,6 +62,8 @@ use crate::metrics::{MetricsSnapshot, OpCounters};
 use crate::params::Params;
 use crate::rng::{HandleSeeder, HopRng};
 use crate::search::{SearchConfig, SearchPolicy};
+use crate::sync::Arc;
+use crate::telemetry::{clock, OpKind, Recorder, Sampler, ShiftDir, ShrinkPhase, TelemetryHook};
 use crate::traits::{ElasticTarget, OpsHandle, RelaxedOps};
 use crate::window::{ElasticWindow, RetuneError, WindowDesc, WindowInfo};
 
@@ -254,6 +256,7 @@ pub struct Queue2D<T> {
     config: SearchConfig,
     counters: OpCounters,
     seeder: HandleSeeder,
+    telemetry: TelemetryHook,
 }
 
 impl<T> Queue2D<T> {
@@ -304,7 +307,19 @@ impl<T> Queue2D<T> {
             config,
             counters: OpCounters::default(),
             seeder: HandleSeeder::new(seed),
+            telemetry: TelemetryHook::none(),
         }
+    }
+
+    pub(crate) fn attach_recorder_parts(&mut self, recorder: Arc<dyn Recorder>, sample_every: u32) {
+        self.telemetry.attach(recorder, sample_every);
+    }
+
+    /// The attached telemetry sink, if any (see
+    /// [`Builder::recorder`](crate::Builder::recorder)).
+    #[inline]
+    pub fn recorder(&self) -> Option<&dyn Recorder> {
+        self.telemetry.recorder()
     }
 
     /// Whether this queue was built with elastic headroom (capacity beyond
@@ -427,6 +442,12 @@ impl<T> Queue2D<T> {
         if put_swung || get_swung {
             // One logical retune, however many descriptors swung.
             self.counters.add(|c| &c.retunes, 1);
+            if let Some(r) = self.telemetry.recorder() {
+                r.retune(info);
+                if info.pending_shrink() {
+                    r.shrink_fence(ShrinkPhase::Armed, info);
+                }
+            }
         }
         Ok(info)
     }
@@ -444,6 +465,9 @@ impl<T> Queue2D<T> {
             .get
             .try_commit_shrink(|tail, guard| self.subs[tail].iter().all(|s| s.is_empty(guard)))?;
         self.counters.add(|c| &c.retunes, 1);
+        if let Some(r) = self.telemetry.recorder() {
+            r.shrink_fence(ShrinkPhase::Committed, info);
+        }
         Some(info)
     }
 
@@ -455,14 +479,26 @@ impl<T> Queue2D<T> {
     pub fn handle(&self) -> QueueHandle<'_, T> {
         let mut rng = self.seeder.rng();
         let last = rng.bounded(self.subs.len());
-        QueueHandle { queue: self, last_put: last, last_get: last, rng }
+        QueueHandle {
+            queue: self,
+            last_put: last,
+            last_get: last,
+            rng,
+            sampler: self.telemetry.sampler(),
+        }
     }
 
     /// Registers a handle with a deterministic RNG seed.
     pub fn handle_seeded(&self, seed: u64) -> QueueHandle<'_, T> {
         let mut rng = HopRng::seeded(seed);
         let last = rng.bounded(self.subs.len());
-        QueueHandle { queue: self, last_put: last, last_get: last, rng }
+        QueueHandle {
+            queue: self,
+            last_put: last,
+            last_get: last,
+            rng,
+            sampler: self.telemetry.sampler(),
+        }
     }
 
     /// Current value of the put window's `Global` counter (diagnostic).
@@ -543,6 +579,10 @@ impl<T: Send> ElasticTarget for Queue2D<T> {
 
     fn target_name(&self) -> &'static str {
         "2d-queue"
+    }
+
+    fn recorder(&self) -> Option<&dyn Recorder> {
+        Queue2D::recorder(self)
     }
 }
 
@@ -665,12 +705,14 @@ pub struct QueueHandle<'q, T> {
     last_put: usize,
     last_get: usize,
     rng: HopRng,
+    sampler: Sampler,
 }
 
 impl<T> QueueHandle<'_, T> {
     /// Enqueues `value` on some window-valid sub-queue.
     pub fn enqueue(&mut self, value: T) {
         let q = self.queue;
+        let start = q.telemetry.sample_start(&mut self.sampler);
         let guard = epoch::pin();
         let node = Owned::new(QNode { value: MaybeUninit::new(value), next: Atomic::null() });
         let mut end = PutEnd { subs: &q.subs, node: Some(node) };
@@ -687,12 +729,21 @@ impl<T> QueueHandle<'_, T> {
         c.add(|c| &c.global_restarts, st.restarts);
         c.add(|c| &c.shifts_up, st.shifts);
         c.add(|c| &c.ops, 1);
+        if let Some(r) = q.telemetry.recorder() {
+            if st.shifts > 0 {
+                r.window_shift(ShiftDir::Up, st.shifts);
+            }
+            if let Some(t0) = start {
+                r.op_sample(OpKind::Enqueue, clock::now_ns().saturating_sub(t0));
+            }
+        }
     }
 
     /// Dequeues an item; `None` when a covering sweep saw every sub-queue
     /// empty.
     pub fn dequeue(&mut self) -> Option<T> {
         let q = self.queue;
+        let start = q.telemetry.sample_start(&mut self.sampler);
         let guard = epoch::pin();
         let mut end = GetEnd { subs: &q.subs };
         let (out, st) = Search::new(&q.get, &q.get_global, &q.config).run(
@@ -708,6 +759,14 @@ impl<T> QueueHandle<'_, T> {
         c.add(|c| &c.shifts_down, st.shifts);
         c.add(|c| &c.empty_pops, u64::from(st.empty));
         c.add(|c| &c.ops, 1);
+        if let Some(r) = q.telemetry.recorder() {
+            if st.shifts > 0 {
+                r.window_shift(ShiftDir::Down, st.shifts);
+            }
+            if let Some(t0) = start {
+                r.op_sample(OpKind::Dequeue, clock::now_ns().saturating_sub(t0));
+            }
+        }
         out
     }
 }

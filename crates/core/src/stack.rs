@@ -29,6 +29,8 @@ use crate::params::Params;
 use crate::rng::{HandleSeeder, HopRng};
 use crate::search::SearchConfig;
 use crate::substack::{Contended, PreparedNode, SubStack};
+use crate::sync::Arc;
+use crate::telemetry::{clock, OpKind, Recorder, Sampler, ShiftDir, ShrinkPhase, TelemetryHook};
 use crate::traits::{ConcurrentStack, ElasticTarget, StackHandle};
 use crate::window::{ElasticWindow, RetuneError, WindowDesc, WindowInfo};
 
@@ -76,6 +78,7 @@ pub struct Stack2D<T> {
     config: SearchConfig,
     counters: OpCounters,
     seeder: HandleSeeder,
+    telemetry: TelemetryHook,
 }
 
 /// The push side of the stack-array, as driven by the search engine: a
@@ -202,11 +205,25 @@ impl<T> Stack2D<T> {
             config,
             counters: OpCounters::default(),
             seeder: HandleSeeder::new(seed),
+            telemetry: TelemetryHook::none(),
         }
     }
 
     pub(crate) fn from_builder_parts(config: SearchConfig, seed: Option<u64>) -> Self {
         Self::with_config_seeded(config, seed)
+    }
+
+    pub(crate) fn attach_recorder_parts(&mut self, recorder: Arc<dyn Recorder>, sample_every: u32) {
+        self.telemetry.attach(recorder, sample_every);
+    }
+
+    /// The attached telemetry sink, if any (see
+    /// [`Builder::recorder`](crate::Builder::recorder)). Elastic drivers
+    /// use this to emit their decision spans through the structure's own
+    /// sink.
+    #[inline]
+    pub fn recorder(&self) -> Option<&dyn Recorder> {
+        self.telemetry.recorder()
     }
 
     /// A snapshot of the stack's operation counters (contention, probes,
@@ -321,6 +338,12 @@ impl<T> Stack2D<T> {
         let (info, swung) = self.window.retune(params, self.subs.len())?;
         if swung {
             self.counters.add(|c| &c.retunes, 1);
+            if let Some(r) = self.telemetry.recorder() {
+                r.retune(info);
+                if info.pending_shrink() {
+                    r.shrink_fence(ShrinkPhase::Armed, info);
+                }
+            }
         }
         Ok(info)
     }
@@ -339,6 +362,9 @@ impl<T> Stack2D<T> {
             self.subs[tail].iter().all(|s| s.view(guard).is_empty())
         })?;
         self.counters.add(|c| &c.retunes, 1);
+        if let Some(r) = self.telemetry.recorder() {
+            r.shrink_fence(ShrinkPhase::Committed, info);
+        }
         Some(info)
     }
 
@@ -359,7 +385,7 @@ impl<T> Stack2D<T> {
         let mut rng = self.seeder.rng();
         let width = self.subs.len();
         let last = rng.bounded(width);
-        Handle2D { stack: self, last, rng }
+        Handle2D { stack: self, last, rng, sampler: self.telemetry.sampler() }
     }
 
     /// Registers a handle with a deterministic RNG seed — useful in tests
@@ -368,7 +394,7 @@ impl<T> Stack2D<T> {
         let mut rng = HopRng::seeded(seed);
         let width = self.subs.len();
         let last = rng.bounded(width);
-        Handle2D { stack: self, last, rng }
+        Handle2D { stack: self, last, rng, sampler: self.telemetry.sampler() }
     }
 
     /// Current value of the `Global` window counter (diagnostic).
@@ -452,6 +478,7 @@ pub struct Handle2D<'s, T> {
     stack: &'s Stack2D<T>,
     last: usize,
     rng: HopRng,
+    sampler: Sampler,
 }
 
 impl<'s, T> Handle2D<'s, T> {
@@ -472,6 +499,7 @@ impl<'s, T> Handle2D<'s, T> {
     /// retuned it).
     pub fn push(&mut self, value: T) {
         let stack = self.stack;
+        let start = stack.telemetry.sample_start(&mut self.sampler);
         let guard = epoch::pin();
         let mut side = PushSide { subs: &stack.subs, node: Some(PreparedNode::new(value)) };
         let (done, st) = Search::new(&stack.window, &stack.global, &stack.config).run(
@@ -487,6 +515,14 @@ impl<'s, T> Handle2D<'s, T> {
         c.add(|c| &c.global_restarts, st.restarts);
         c.add(|c| &c.shifts_up, st.shifts);
         c.add(|c| &c.ops, 1);
+        if let Some(r) = stack.telemetry.recorder() {
+            if st.shifts > 0 {
+                r.window_shift(ShiftDir::Up, st.shifts);
+            }
+            if let Some(t0) = start {
+                r.op_sample(OpKind::Push, clock::now_ns().saturating_sub(t0));
+            }
+        }
     }
 
     /// Pops an item; `None` when a covering sweep observed every sub-stack
@@ -494,6 +530,7 @@ impl<'s, T> Handle2D<'s, T> {
     /// corresponding strict stack ([`Params::k_bound`]).
     pub fn pop(&mut self) -> Option<T> {
         let stack = self.stack;
+        let start = stack.telemetry.sample_start(&mut self.sampler);
         let guard = epoch::pin();
         let mut side = PopSide { subs: &stack.subs };
         let (out, st) = Search::new(&stack.window, &stack.global, &stack.config).run(
@@ -509,6 +546,14 @@ impl<'s, T> Handle2D<'s, T> {
         c.add(|c| &c.shifts_down, st.shifts);
         c.add(|c| &c.empty_pops, u64::from(st.empty));
         c.add(|c| &c.ops, 1);
+        if let Some(r) = stack.telemetry.recorder() {
+            if st.shifts > 0 {
+                r.window_shift(ShiftDir::Down, st.shifts);
+            }
+            if let Some(t0) = start {
+                r.op_sample(OpKind::Pop, clock::now_ns().saturating_sub(t0));
+            }
+        }
         out
     }
 }
@@ -648,6 +693,10 @@ impl<T: Send> ElasticTarget for Stack2D<T> {
 
     fn target_name(&self) -> &'static str {
         "2d-stack"
+    }
+
+    fn recorder(&self) -> Option<&dyn Recorder> {
+        Stack2D::recorder(self)
     }
 }
 

@@ -1,0 +1,398 @@
+//! The structure-side observability hooks: the [`Recorder`] sink trait,
+//! the per-handle op [`Sampler`], and the telemetry [`clock`].
+//!
+//! The paper's whole performance argument is about *event frequencies* —
+//! lost CASes, window shifts, search restarts — and the elastic controller
+//! acts on those signals. This module is the emission side of making them
+//! observable: the three windowed structures (and the elastic drivers in
+//! `stack2d-adaptive`) report through a [`Recorder`], and the
+//! `stack2d-telemetry` crate supplies the real sink (a bounded lock-free
+//! event ring plus sharded latency histograms).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** A structure built without
+//!    [`Builder::recorder`](crate::Builder::recorder) carries `None`; the
+//!    hot path pays one discriminant check per operation and nothing else
+//!    (verified against the `BENCH_6.json` medians).
+//! 2. **Never block.** Every [`Recorder`] method is fire-and-forget; the
+//!    ring sink drops on overflow (counted) instead of blocking.
+//! 3. **Sampled spans, exhaustive structure events.** Op latency spans are
+//!    sampled 1-in-N per handle (default 64); window shifts, retunes,
+//!    shrink-fence transitions and controller decisions are rare enough to
+//!    emit unconditionally whenever a recorder is attached.
+//!
+//! All timestamps come from [`clock::now_ns`], the crate's single
+//! sanctioned time source (CI denies `std::time::Instant` elsewhere in
+//! core); under `--cfg model` it degrades to a logical counter so model
+//! executions stay schedule-deterministic.
+
+use crate::metrics::MetricsSnapshot;
+use crate::params::Params;
+use crate::sync::Arc;
+use crate::window::WindowInfo;
+
+/// Which operation a sampled span measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A [`Stack2D`](crate::Stack2D) push.
+    Push,
+    /// A [`Stack2D`](crate::Stack2D) pop (including empty pops).
+    Pop,
+    /// A [`Queue2D`](crate::Queue2D) enqueue.
+    Enqueue,
+    /// A [`Queue2D`](crate::Queue2D) dequeue (including empty dequeues).
+    Dequeue,
+    /// A [`Counter2D`](crate::Counter2D) increment.
+    Increment,
+}
+
+impl OpKind {
+    /// Stable lower-case name, used by exporters and event logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Push => "push",
+            OpKind::Pop => "pop",
+            OpKind::Enqueue => "enqueue",
+            OpKind::Dequeue => "dequeue",
+            OpKind::Increment => "increment",
+        }
+    }
+}
+
+/// Which way a `Global` window shift moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftDir {
+    /// The window was raised (push/put side; also counter increments).
+    Up,
+    /// The window was lowered (stack pop side) or the get window advanced.
+    Down,
+}
+
+impl ShiftDir {
+    /// Stable lower-case name, used by exporters and event logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShiftDir::Up => "up",
+            ShiftDir::Down => "down",
+        }
+    }
+}
+
+/// Lifecycle point of a two-phase width shrink (DESIGN.md §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShrinkPhase {
+    /// A shrinking retune installed the narrow push span and armed the
+    /// epoch fence; pops still cover the retired tail.
+    Armed,
+    /// The fence matured and a sweep proved the tail empty: the shrink
+    /// committed and the relaxation bound tightened.
+    Committed,
+}
+
+impl ShrinkPhase {
+    /// Stable lower-case name, used by exporters and event logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShrinkPhase::Armed => "armed",
+            ShrinkPhase::Committed => "committed",
+        }
+    }
+}
+
+/// What a controller tick's decision amounted to, closing its
+/// observation → decision → outcome triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlOutcome {
+    /// The controller held (no decision, or a no-op re-emission of the
+    /// standing parameters).
+    Hold,
+    /// The decided parameters took effect (the window swung).
+    Applied,
+    /// A previously armed width shrink committed this tick.
+    Committed,
+    /// The target rejected the decided parameters (capacity exceeded).
+    Rejected,
+}
+
+impl ControlOutcome {
+    /// Stable lower-case name, used by exporters and event logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ControlOutcome::Hold => "hold",
+            ControlOutcome::Applied => "applied",
+            ControlOutcome::Committed => "committed",
+            ControlOutcome::Rejected => "rejected",
+        }
+    }
+}
+
+/// A telemetry sink: the structures and the elastic drivers call these
+/// methods at their emission points; implementations record, forward or
+/// ignore. Every method has a no-op default, so a sink only implements the
+/// signals it cares about.
+///
+/// Implementations must be cheap and non-blocking — these calls sit on
+/// operation hot paths (sampled) and inside the controller loop. The
+/// reference implementation is `stack2d-telemetry`'s ring-buffered scope
+/// recorder; [`NoopRecorder`] is the explicit do-nothing sink.
+pub trait Recorder: Send + Sync {
+    /// A sampled operation span: `op` completed in `latency_ns` (clock
+    /// units of [`clock::now_ns`]). Emitted for 1-in-N operations per
+    /// handle, N = [`Builder::sample_every`](crate::Builder::sample_every).
+    fn op_sample(&self, op: OpKind, latency_ns: u64) {
+        let _ = (op, latency_ns);
+    }
+
+    /// One operation performed `count` successful `Global` shifts in
+    /// direction `dir`. Emitted for every operation that shifted (not just
+    /// sampled ones) while a recorder is attached.
+    fn window_shift(&self, dir: ShiftDir, count: u64) {
+        let _ = (dir, count);
+    }
+
+    /// A retune swung the window descriptor; `window` is the snapshot that
+    /// took effect.
+    fn retune(&self, window: WindowInfo) {
+        let _ = window;
+    }
+
+    /// A two-phase width shrink crossed a lifecycle point.
+    fn shrink_fence(&self, phase: ShrinkPhase, window: WindowInfo) {
+        let _ = (phase, window);
+    }
+
+    /// A controller sampled its target: `delta` are the counter increments
+    /// over the `interval_ns` since the previous tick, `window` the live
+    /// descriptor, `capacity` the width ceiling.
+    fn control_observation(
+        &self,
+        interval_ns: u64,
+        delta: MetricsSnapshot,
+        window: WindowInfo,
+        capacity: usize,
+    ) {
+        let _ = (interval_ns, delta, window, capacity);
+    }
+
+    /// The controller's verdict for that observation: `Some(params)` to
+    /// retune, `None` to hold.
+    fn control_decision(&self, decided: Option<Params>) {
+        let _ = decided;
+    }
+
+    /// How the decision landed, with the window in force afterwards.
+    fn control_outcome(&self, outcome: ControlOutcome, window: WindowInfo) {
+        let _ = (outcome, window);
+    }
+}
+
+/// The explicit do-nothing sink: every [`Recorder`] method keeps its no-op
+/// default. Useful as a placeholder and for overhead measurements that
+/// want the "recorder attached, sink free" cost.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use stack2d::telemetry::{NoopRecorder, Recorder};
+/// use stack2d::Stack2D;
+///
+/// let recorder: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+/// let stack: Stack2D<u32> = Stack2D::builder().recorder(recorder).build().unwrap();
+/// stack.push(1);
+/// assert_eq!(stack.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Deterministic 1-in-N op sampler, one per handle (not shared, not
+/// atomic). The first operation of every handle is sampled so short runs
+/// still produce signal; thereafter every `every`-th.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    every: u32,
+    countdown: u32,
+}
+
+impl Sampler {
+    /// A sampler firing on the first tick and then every `every` ticks
+    /// (`every = 0` behaves as 1: sample everything).
+    pub fn new(every: u32) -> Self {
+        Sampler { every: every.max(1), countdown: 0 }
+    }
+
+    /// Advances the sampler; `true` when this tick is sampled.
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        if self.countdown == 0 {
+            self.countdown = self.every - 1;
+            true
+        } else {
+            self.countdown -= 1;
+            false
+        }
+    }
+
+    /// The configured period.
+    pub fn every(&self) -> u32 {
+        self.every
+    }
+}
+
+/// The per-structure telemetry configuration: an optional shared sink and
+/// the op-span sampling period handles inherit.
+#[derive(Clone, Default)]
+pub(crate) struct TelemetryHook {
+    recorder: Option<Arc<dyn Recorder>>,
+    sample_every: u32,
+}
+
+impl TelemetryHook {
+    /// The disabled hook (no recorder; the default for every constructor
+    /// that does not go through [`Builder::recorder`](crate::Builder)).
+    pub(crate) const fn none() -> Self {
+        TelemetryHook { recorder: None, sample_every: 0 }
+    }
+
+    pub(crate) fn attach(&mut self, recorder: Arc<dyn Recorder>, sample_every: u32) {
+        self.recorder = Some(recorder);
+        self.sample_every = sample_every;
+    }
+
+    /// The attached sink, if any — the hot path's single discriminant
+    /// check.
+    #[inline]
+    pub(crate) fn recorder(&self) -> Option<&dyn Recorder> {
+        self.recorder.as_deref()
+    }
+
+    /// A sampler at this structure's configured period, for a new handle.
+    pub(crate) fn sampler(&self) -> Sampler {
+        Sampler::new(if self.sample_every == 0 { DEFAULT_SAMPLE_EVERY } else { self.sample_every })
+    }
+
+    /// Start-of-op hook: `Some(start_ns)` iff a recorder is attached and
+    /// the sampler elected this operation.
+    #[inline]
+    pub(crate) fn sample_start(&self, sampler: &mut Sampler) -> Option<u64> {
+        if self.recorder.is_some() && sampler.tick() {
+            Some(clock::now_ns())
+        } else {
+            None
+        }
+    }
+}
+
+impl core::fmt::Debug for TelemetryHook {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TelemetryHook")
+            .field("attached", &self.recorder.is_some())
+            .field("sample_every", &self.sample_every)
+            .finish()
+    }
+}
+
+/// The default op-span sampling period (1 in 64) when a recorder is
+/// attached without an explicit
+/// [`Builder::sample_every`](crate::Builder::sample_every).
+pub const DEFAULT_SAMPLE_EVERY: u32 = 64;
+
+/// The telemetry clock: monotone nanoseconds since the first use.
+///
+/// This is the single sanctioned time source inside `stack2d` (CI denies
+/// `std::time::Instant` anywhere else in `crates/core/src`), so that model
+/// builds can swap it wholesale: under `--cfg model` the "clock" is a
+/// logical counter — executions stay deterministic and timestamps still
+/// order events within one execution.
+pub mod clock {
+    /// Monotone timestamp in nanoseconds since the process's first call
+    /// (wall time normally; a logical tick under `--cfg model`).
+    #[cfg(not(model))]
+    #[inline]
+    pub fn now_ns() -> u64 {
+        use std::time::Instant;
+        // OnceLock, not the sync facade: the anchor is set-once process
+        // state, not protocol state a model schedule could permute.
+        static START: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+        let start = *START.get_or_init(Instant::now);
+        Instant::now().duration_since(start).as_nanos() as u64
+    }
+
+    /// Monotone timestamp in nanoseconds since the process's first call
+    /// (wall time normally; a logical tick under `--cfg model`).
+    ///
+    /// The model clock is deliberately *not* a loomlite atomic: timestamps
+    /// label events but are no part of any checked protocol, and making
+    /// every `now_ns` a scheduling point would explode model schedule
+    /// spaces for no added coverage.
+    #[cfg(model)]
+    #[inline]
+    pub fn now_ns() -> u64 {
+        static TICK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        TICK.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = clock::now_ns();
+        let b = clock::now_ns();
+        assert!(b >= a, "clock went backwards: {a} -> {b}");
+    }
+
+    #[test]
+    fn sampler_fires_first_then_every_n() {
+        let mut s = Sampler::new(4);
+        let fired: Vec<bool> = (0..9).map(|_| s.tick()).collect();
+        assert_eq!(fired, [true, false, false, false, true, false, false, false, true]);
+    }
+
+    #[test]
+    fn sampler_period_zero_samples_everything() {
+        let mut s = Sampler::new(0);
+        assert_eq!(s.every(), 1);
+        assert!((0..5).all(|_| s.tick()));
+    }
+
+    #[test]
+    fn noop_recorder_accepts_every_signal() {
+        use crate::{Params, Stack2D};
+        let r = NoopRecorder;
+        r.op_sample(OpKind::Push, 10);
+        r.window_shift(ShiftDir::Down, 2);
+        let stack: Stack2D<u8> = Stack2D::new(Params::default());
+        r.retune(stack.window());
+        r.shrink_fence(ShrinkPhase::Armed, stack.window());
+        r.control_observation(1, MetricsSnapshot::default(), stack.window(), 4);
+        r.control_decision(Some(Params::default()));
+        r.control_outcome(ControlOutcome::Hold, stack.window());
+    }
+
+    #[test]
+    fn hook_sample_start_requires_recorder() {
+        let hook = TelemetryHook::none();
+        let mut sampler = hook.sampler();
+        assert_eq!(sampler.every(), DEFAULT_SAMPLE_EVERY);
+        assert!(hook.sample_start(&mut sampler).is_none());
+        let mut hook = TelemetryHook::none();
+        hook.attach(Arc::new(NoopRecorder), 1);
+        let mut sampler = hook.sampler();
+        assert!(hook.sample_start(&mut sampler).is_some());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(OpKind::Push.name(), "push");
+        assert_eq!(OpKind::Dequeue.name(), "dequeue");
+        assert_eq!(ShiftDir::Up.name(), "up");
+        assert_eq!(ShrinkPhase::Committed.name(), "committed");
+        assert_eq!(ControlOutcome::Applied.name(), "applied");
+    }
+}

@@ -16,6 +16,7 @@
 
 use crate::metrics::MetricsSnapshot;
 use crate::params::Params;
+use crate::telemetry::Recorder;
 use crate::window::{RetuneError, WindowInfo};
 
 /// Per-thread produce/consume operations on a [`RelaxedOps`] structure.
@@ -350,6 +351,15 @@ pub trait ElasticTarget: Send + Sync {
     /// Short structure name for logs and experiment CSVs.
     fn target_name(&self) -> &'static str {
         "elastic"
+    }
+
+    /// The telemetry sink attached to the structure at build time
+    /// ([`Builder::recorder`](crate::Builder::recorder)), if any. Elastic
+    /// drivers emit their observation→decision→outcome spans through it so
+    /// controller activity lands in the same event stream as the
+    /// structure's own shifts and retunes. Defaults to `None`.
+    fn recorder(&self) -> Option<&dyn Recorder> {
+        None
     }
 }
 

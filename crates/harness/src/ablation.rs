@@ -19,7 +19,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use stack2d::{Counter2D, Params, Queue2D, Stack2D};
+use stack2d::sync::Arc;
+use stack2d::{Counter2D, Params, Queue2D, Recorder, Stack2D};
 use stack2d_workload::OpMix;
 
 use crate::algorithms::{AblationVariant, AnyStack};
@@ -210,6 +211,68 @@ pub fn run_mechanism_metrics(spec: &AblationSpec, ops_per_thread: usize) -> Tabl
             format!("{:.4}", m.shift_rate()),
             m.global_restarts.to_string(),
             m.empty_pops.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The telemetry pass: the full-mechanism baseline of every structure run
+/// once more with a `stack2d-telemetry` recorder attached (scopes
+/// `ablation-stack` / `ablation-queue` / `ablation-counter`), so the
+/// ablation's event-rate tables come with a stamped event stream and
+/// latency quantiles to drill into. Returns a small per-structure summary
+/// table; the real output is what the session writes on `finish`.
+pub fn run_instrumented_pass(
+    spec: &AblationSpec,
+    ops_per_thread: usize,
+    recorder_for: &dyn Fn(&str) -> Arc<dyn Recorder>,
+) -> Table {
+    use stack2d_workload::{prefill, run_fixed_ops};
+    let params = spec.params();
+    let mut t = Table::new(["structure", "scope", "ops", "k-bound"]);
+    {
+        let stack: Stack2D<u64> = Stack2D::builder()
+            .params(params)
+            .recorder(recorder_for("ablation-stack"))
+            .build()
+            .expect("valid ablation params");
+        prefill(&stack, 1_024);
+        let r = run_fixed_ops(&stack, spec.threads, ops_per_thread, OpMix::symmetric(), 3);
+        t.push_row([
+            "2d-stack".to_string(),
+            "ablation-stack".to_string(),
+            (r.pushes + r.pops).to_string(),
+            stack.k_bound().to_string(),
+        ]);
+    }
+    {
+        let queue: Queue2D<u64> = Queue2D::builder()
+            .params(params)
+            .recorder(recorder_for("ablation-queue"))
+            .build()
+            .expect("valid ablation params");
+        prefill(&queue, 1_024);
+        let r = run_fixed_ops(&queue, spec.threads, ops_per_thread, OpMix::symmetric(), 3);
+        t.push_row([
+            "2d-queue".to_string(),
+            "ablation-queue".to_string(),
+            (r.pushes + r.pops).to_string(),
+            queue.k_bound().to_string(),
+        ]);
+    }
+    {
+        let counter = Counter2D::builder()
+            .params(params)
+            .recorder(recorder_for("ablation-counter"))
+            .build()
+            .expect("valid ablation params");
+        // All-produce mix: every counter op is an increment.
+        let r = run_fixed_ops(&counter, spec.threads, ops_per_thread, OpMix::new(1_000), 3);
+        t.push_row([
+            "2d-counter".to_string(),
+            "ablation-counter".to_string(),
+            (r.pushes + r.pops).to_string(),
+            counter.spread_bound().to_string(),
         ]);
     }
     t

@@ -6,13 +6,18 @@
 //! ```text
 //! STACK2D_THREADS=8 cargo run --release -p stack2d-harness --bin ablation
 //! ```
+//!
+//! Pass `--telemetry <dir>` to additionally run the full-mechanism
+//! baseline of each structure with a `stack2d-telemetry` recorder
+//! attached and write the JSONL event stream plus Prometheus exposition
+//! into `<dir>`.
 
 use stack2d::{Counter2D, Queue2D};
 use stack2d_harness::ablation::{
-    run_counter_mechanisms, run_dimension_split, run_mechanisms, run_queue_mechanisms,
-    run_relaxed_mechanism_metrics, to_table, AblationSpec,
+    run_counter_mechanisms, run_dimension_split, run_instrumented_pass, run_mechanisms,
+    run_queue_mechanisms, run_relaxed_mechanism_metrics, to_table, AblationSpec,
 };
-use stack2d_harness::{write_csv, Settings};
+use stack2d_harness::{write_csv, Settings, TelemetrySession};
 
 fn main() {
     let settings = Settings::from_env();
@@ -62,4 +67,21 @@ fn main() {
     let dims_table = to_table(&dims);
     println!("dimension split (fixed k budget)\n{}", dims_table.to_text());
     let _ = write_csv("ablation_dimensions.csv", &dims_table);
+
+    if let Some(session) = TelemetrySession::from_args() {
+        eprintln!("ablation (telemetry pass): P={threads}, full-mechanism baselines");
+        let summary = run_instrumented_pass(&spec, 20_000, &|scope| session.recorder(scope));
+        println!("instrumented baseline pass\n{}", summary.to_text());
+        match session.finish() {
+            Ok(paths) => {
+                for path in paths {
+                    eprintln!("telemetry written to {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("telemetry write failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -29,8 +29,14 @@ use stack2d_harness::experiment::Settings;
 use stack2d_harness::fig3::{self, Fig3Spec};
 
 /// The bench targets of `crates/bench`, in manifest order.
-const BENCH_TARGETS: [&str; 5] =
-    ["fig1_relaxation", "fig2_scalability", "ablation_search", "micro_ops", "elastic_adapt"];
+const BENCH_TARGETS: [&str; 6] = [
+    "fig1_relaxation",
+    "fig2_scalability",
+    "ablation_search",
+    "micro_ops",
+    "elastic_adapt",
+    "telemetry_overhead",
+];
 
 /// One parsed criterion report line.
 struct BenchLine {

@@ -9,23 +9,33 @@
 //!   cargo run --release -p stack2d-harness --bin elastic
 //! ```
 //!
+//! Pass `--telemetry <dir>` to attach `stack2d-telemetry` scopes to the
+//! elastic runs: the directory receives the stamped event stream
+//! (`telemetry_events.jsonl`, including every controller
+//! observation→decision→outcome triple), a Prometheus exposition
+//! (`telemetry.prom`), and the retune logs (`retune_events.json`) —
+//! ready for `--bin telemetry_report`.
+//!
 //! Exits nonzero if either quality checker finds a distance beyond the
 //! instantaneous bound of its generation segment.
 
 use stack2d_harness::elastic::{
-    events_table, phases_table, quality_table, run, run_queue, ElasticSpec,
+    events_table, phases_table, quality_table, run_queue_with_recorder, run_with_recorder,
+    ElasticSpec,
 };
-use stack2d_harness::{write_csv, Settings};
+use stack2d_harness::{write_csv, Settings, TelemetrySession};
 
 fn main() {
     let settings = Settings::from_env();
     let spec = ElasticSpec::from_settings(&settings);
+    let session = TelemetrySession::from_args();
     eprintln!(
         "elastic: {} threads, {} bursts x {} ops/thread, capacity {}, k budget {}",
         spec.threads, spec.bursts, spec.burst_ops, spec.capacity, spec.max_k
     );
-    // `run` panics (nonzero exit) on a segment-quality violation.
-    let report = run(&spec);
+    let stack_recorder = session.as_ref().map(|s| s.recorder("elastic-stack"));
+    // `run_with_recorder` panics (nonzero exit) on a quality violation.
+    let report = run_with_recorder(&spec, stack_recorder.as_ref());
 
     let phases = phases_table(&report.points);
     println!("{}", phases.to_text());
@@ -50,7 +60,8 @@ fn main() {
     // The queue scenario: same controller, Queue2D target, a budget with
     // vertical headroom. `run_queue` panics on a quality violation.
     eprintln!("elastic queue: capacity {}, k budget {}", spec.capacity, spec.queue_max_k());
-    let queue_report = run_queue(&spec);
+    let queue_recorder = session.as_ref().map(|s| s.recorder("elastic-queue"));
+    let queue_report = run_queue_with_recorder(&spec, queue_recorder.as_ref());
     let queue_phases = phases_table(&queue_report.points);
     println!("elastic queue phases:\n{}", queue_phases.to_text());
     let queue_events = events_table(&queue_report.events);
@@ -81,6 +92,22 @@ fn main() {
         match write_csv(name, table) {
             Ok(path) => eprintln!("csv written to {}", path.display()),
             Err(e) => eprintln!("csv write failed: {e}"),
+        }
+    }
+
+    if let Some(session) = session {
+        session.record_retunes("elastic-stack", &report.events);
+        session.record_retunes("elastic-queue", &queue_report.events);
+        match session.finish() {
+            Ok(paths) => {
+                for path in paths {
+                    eprintln!("telemetry written to {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("telemetry write failed: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -7,18 +7,23 @@
 //! ```text
 //! STACK2D_MAX_THREADS=8 cargo run --release -p stack2d-harness --bin fig3
 //! ```
+//!
+//! Pass `--telemetry <dir>` to attach `stack2d-telemetry` scopes to the
+//! quality sweeps (`fig3-queue`, `fig3-counter`) and write the JSONL
+//! event stream plus Prometheus exposition into `<dir>`.
 
 use stack2d_harness::fig3::{
-    counter_quality_table, queue_quality_table, run_counter_quality, run_queue_quality,
-    run_throughput, throughput_table, Fig3Spec,
+    counter_quality_table, queue_quality_table, run_counter_quality_with_recorder,
+    run_queue_quality_with_recorder, run_throughput, throughput_table, Fig3Spec,
 };
-use stack2d_harness::{write_csv, Settings};
+use stack2d_harness::{write_csv, Settings, TelemetrySession};
 
 fn main() {
     let settings = Settings::from_env();
     let threads: usize =
         std::env::var("STACK2D_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
     let spec = Fig3Spec::new(threads, settings.max_threads);
+    let session = TelemetrySession::from_args();
 
     eprintln!(
         "fig3: quality at P={}, throughput over {:?}, k grid {:?}",
@@ -30,15 +35,31 @@ fn main() {
     println!("figure 3a: structure scalability\n{}", t.to_text());
     let _ = write_csv("fig3_throughput.csv", &t);
 
-    let queue_quality = run_queue_quality(&spec, &settings);
+    let queue_recorder = session.as_ref().map(|s| s.recorder("fig3-queue"));
+    let queue_quality = run_queue_quality_with_recorder(&spec, &settings, queue_recorder.as_ref());
     let t = queue_quality_table(&queue_quality);
     println!("figure 3b: queue overtake quality vs k\n{}", t.to_text());
     let _ = write_csv("fig3_queue_quality.csv", &t);
 
-    let counter_quality = run_counter_quality(&spec, &settings);
+    let counter_recorder = session.as_ref().map(|s| s.recorder("fig3-counter"));
+    let counter_quality =
+        run_counter_quality_with_recorder(&spec, &settings, counter_recorder.as_ref());
     let t = counter_quality_table(&counter_quality);
     println!("figure 3c: counter spread and exactness\n{}", t.to_text());
     let _ = write_csv("fig3_counter_quality.csv", &t);
 
+    if let Some(session) = session {
+        match session.finish() {
+            Ok(paths) => {
+                for path in paths {
+                    eprintln!("telemetry written to {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("telemetry write failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!("fig3 results written to {}", stack2d_harness::out_dir().display());
 }

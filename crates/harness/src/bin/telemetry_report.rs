@@ -1,0 +1,230 @@
+//! Renders and validates a `--telemetry <dir>` capture.
+//!
+//! ```text
+//! cargo run --release -p stack2d-harness --bin elastic -- --telemetry tel-out
+//! cargo run --release -p stack2d-harness --bin telemetry_report -- tel-out --check
+//! ```
+//!
+//! Reads the directory an instrumented binary wrote
+//! (`telemetry_events.jsonl`, `telemetry.prom`, and optionally
+//! `retune_events.json`), then prints per-scope event-type counts and
+//! p50/p99/p999 op latencies computed from the sampled `op_sample`
+//! events. With `--check` it additionally enforces — exiting nonzero on
+//! the first violation — that:
+//!
+//! * every JSONL line parses and carries the `scope`/`seq`/`at_ns`/`type`
+//!   envelope, with globally unique, per-scope-increasing `seq`;
+//! * within each scope, controller events form complete, causally
+//!   ordered observation→decision→outcome triples (no interleaving,
+//!   nothing missing);
+//! * the Prometheus exposition passes
+//!   [`stack2d_telemetry::export::validate_prometheus`];
+//! * a present retune log round-trips through the JSON layer.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use stack2d_harness::telemetry::{retune_events_from_json, EVENTS_FILE, PROM_FILE, RETUNE_FILE};
+use stack2d_harness::Table;
+use stack2d_telemetry::export::validate_prometheus;
+use stack2d_telemetry::json::{self, Value};
+
+/// One scope's accumulated view of the JSONL stream.
+#[derive(Default)]
+struct ScopeView {
+    /// Count per event `type`.
+    counts: BTreeMap<String, u64>,
+    /// Sampled op latencies, ns.
+    latencies: Vec<u64>,
+    /// `seq` stamps in file order.
+    seqs: Vec<u64>,
+    /// Controller event kinds in stream order (the triple alphabet).
+    control: Vec<String>,
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn parse_events(text: &str) -> Result<BTreeMap<String, ScopeView>, String> {
+    let mut scopes: BTreeMap<String, ScopeView> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let scope = v
+            .get("scope")
+            .and_then(Value::as_str)
+            .ok_or(format!("line {}: missing scope", lineno + 1))?;
+        let seq = v
+            .get("seq")
+            .and_then(Value::as_u64)
+            .ok_or(format!("line {}: missing seq", lineno + 1))?;
+        v.get("at_ns")
+            .and_then(Value::as_u64)
+            .ok_or(format!("line {}: missing at_ns", lineno + 1))?;
+        let kind = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or(format!("line {}: missing type", lineno + 1))?;
+        let view = scopes.entry(scope.to_string()).or_default();
+        *view.counts.entry(kind.to_string()).or_default() += 1;
+        view.seqs.push(seq);
+        if kind == "op_sample" {
+            let ns = v
+                .get("latency_ns")
+                .and_then(Value::as_u64)
+                .ok_or(format!("line {}: op_sample without latency_ns", lineno + 1))?;
+            view.latencies.push(ns);
+        }
+        if let Some(control) = kind.strip_prefix("control_") {
+            view.control.push(control.to_string());
+        }
+    }
+    Ok(scopes)
+}
+
+/// The `--check` invariants over one scope's stream.
+fn check_scope(name: &str, view: &ScopeView) -> Result<(), String> {
+    if !view.seqs.windows(2).all(|w| w[0] < w[1]) {
+        return Err(format!("scope {name}: seq stamps not strictly increasing"));
+    }
+    // The controller alphabet must spell complete triples: an observation
+    // opens one, a decision may only follow an observation, an outcome
+    // closes it, and the stream may not end mid-triple.
+    let mut state = "outcome"; // "nothing open"
+    for kind in &view.control {
+        let ok = match kind.as_str() {
+            "observation" => state == "outcome",
+            "decision" => state == "observation",
+            "outcome" => state == "decision",
+            other => return Err(format!("scope {name}: unknown control event {other}")),
+        };
+        if !ok {
+            return Err(format!(
+                "scope {name}: control_{kind} after control_{state} breaks the \
+                 observation→decision→outcome order"
+            ));
+        }
+        state = kind;
+    }
+    if state != "outcome" {
+        return Err(format!("scope {name}: stream ends mid-triple (after control_{state})"));
+    }
+    Ok(())
+}
+
+fn run(dir: &Path, check: bool) -> Result<(), String> {
+    let events_path = dir.join(EVENTS_FILE);
+    let text = std::fs::read_to_string(&events_path)
+        .map_err(|e| format!("{}: {e}", events_path.display()))?;
+    let scopes = parse_events(&text)?;
+
+    let mut table = Table::new([
+        "scope",
+        "events",
+        "dropped-hint",
+        "op-samples",
+        "p50-ns",
+        "p99-ns",
+        "p999-ns",
+    ]);
+    for (name, view) in &scopes {
+        let mut sorted = view.latencies.clone();
+        sorted.sort_unstable();
+        let total: u64 = view.counts.values().sum();
+        table.push_row([
+            name.clone(),
+            total.to_string(),
+            "see .prom".to_string(),
+            sorted.len().to_string(),
+            quantile(&sorted, 0.50).to_string(),
+            quantile(&sorted, 0.99).to_string(),
+            quantile(&sorted, 0.999).to_string(),
+        ]);
+    }
+    println!("telemetry capture in {}\n{}", dir.display(), table.to_text());
+    let mut types = Table::new(["scope", "type", "count"]);
+    for (name, view) in &scopes {
+        for (kind, count) in &view.counts {
+            types.push_row([name.clone(), kind.clone(), count.to_string()]);
+        }
+    }
+    println!("event types\n{}", types.to_text());
+
+    let prom_path = dir.join(PROM_FILE);
+    let prom =
+        std::fs::read_to_string(&prom_path).map_err(|e| format!("{}: {e}", prom_path.display()))?;
+    validate_prometheus(&prom).map_err(|e| format!("{}: {e}", prom_path.display()))?;
+    println!("prometheus exposition: {} lines, validates", prom.lines().count());
+
+    let retune_path = dir.join(RETUNE_FILE);
+    if let Ok(body) = std::fs::read_to_string(&retune_path) {
+        let logs = json::parse(&body).map_err(|e| format!("{}: {e}", retune_path.display()))?;
+        let logs = logs.as_arr().ok_or("retune log file must be a JSON array")?;
+        let mut t = Table::new(["scope", "retunes"]);
+        for log in logs {
+            let scope = log.get("scope").and_then(Value::as_str).unwrap_or("?");
+            let events = log.get("events").ok_or(format!("retune log {scope}: no events"))?;
+            let parsed = retune_events_from_json(&events.to_string())
+                .map_err(|e| format!("retune log {scope}: {e}"))?;
+            t.push_row([scope.to_string(), parsed.len().to_string()]);
+        }
+        println!("retune logs\n{}", t.to_text());
+    }
+
+    if check {
+        if scopes.is_empty() {
+            return Err("capture has no scopes — nothing was instrumented".to_string());
+        }
+        let mut all_seqs: Vec<u64> = scopes.values().flat_map(|v| v.seqs.iter().copied()).collect();
+        all_seqs.sort_unstable();
+        if all_seqs.windows(2).any(|w| w[0] == w[1]) {
+            return Err("seq stamps reused across scopes".to_string());
+        }
+        let mut checked_triples = 0usize;
+        for (name, view) in &scopes {
+            check_scope(name, view)?;
+            checked_triples += view.control.len() / 3;
+        }
+        if scopes.values().all(|v| v.control.is_empty()) {
+            println!("check: no controller events in this capture (non-elastic run)");
+        } else {
+            println!("check: {checked_triples} observation→decision→outcome triples, all ordered");
+        }
+        println!("check: all invariants hold");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut dir: Option<PathBuf> = None;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other if dir.is_none() => dir = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("unexpected argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("usage: telemetry_report <dir> [--check]");
+        return ExitCode::FAILURE;
+    };
+    match run(&dir, check) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("telemetry_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -30,7 +30,8 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use stack2d::rng::HopRng;
-use stack2d::{OpsHandle, Params, Queue2D, RelaxedOps, Stack2D};
+use stack2d::sync::Arc;
+use stack2d::{OpsHandle, Params, Queue2D, Recorder, RelaxedOps, Stack2D};
 use stack2d_adaptive::{AdaptiveBuilder, AimdController, RetuneEvent, RetuneKind};
 use stack2d_quality::segmented::{bounds_map, check_segments, MeasuredElastic, SegmentReport};
 use stack2d_quality::segmented_queue::MeasuredElasticQueue;
@@ -279,11 +280,29 @@ fn phase_points<S: RelaxedOps<u64>>(
 /// Panics if the segment checker finds a violation — that is a correctness
 /// bug, not a measurement artefact.
 pub fn run_quality(spec: &ElasticSpec) -> (SegmentReport, Vec<RetuneEvent>) {
+    run_quality_with_recorder(spec, None)
+}
+
+/// [`run_quality`] with an optional telemetry recorder attached to the
+/// elastic stack (controller decision spans and sampled op latencies flow
+/// into it).
+///
+/// # Panics
+///
+/// Panics if the segment checker finds a violation, like [`run_quality`].
+pub fn run_quality_with_recorder(
+    spec: &ElasticSpec,
+    recorder: Option<&Arc<dyn Recorder>>,
+) -> (SegmentReport, Vec<RetuneEvent>) {
     // Builder-constructed managed mode: the guard owns the controller
     // thread; no Arc/spawn/stop wiring at the call site.
-    let stack = Stack2D::<stack2d_quality::Label>::builder()
+    let mut builder = Stack2D::<stack2d_quality::Label>::builder()
         .params(spec.elastic_start())
-        .elastic_capacity(spec.capacity)
+        .elastic_capacity(spec.capacity);
+    if let Some(r) = recorder {
+        builder = builder.recorder(Arc::clone(r));
+    }
+    let stack = builder
         .adaptive(AimdController::new(spec.max_k), Duration::from_micros(spec.cadence_us))
         .expect("elastic_start params are valid");
     let initial = stack.window();
@@ -346,6 +365,18 @@ fn medianize(repeats: Vec<Vec<PhasePoint>>) -> Vec<PhasePoint> {
 /// through the same bursty workload (`spec.repeats` times each, median
 /// per phase), then the quality pass.
 pub fn run(spec: &ElasticSpec) -> ElasticReport {
+    run_with_recorder(spec, None)
+}
+
+/// [`run`] with an optional telemetry recorder: the elastic (timed and
+/// quality) runs attach it, so the scope collects sampled op spans,
+/// window shifts, retunes, and the controller's
+/// observation→decision→outcome triples. Static presets stay
+/// uninstrumented — they are the baseline.
+pub fn run_with_recorder(
+    spec: &ElasticSpec,
+    recorder: Option<&Arc<dyn Recorder>>,
+) -> ElasticReport {
     let mut points = Vec::new();
     for (label, params) in &spec.presets {
         let per_repeat: Vec<Vec<PhasePoint>> = (0..spec.repeats.max(1))
@@ -362,9 +393,13 @@ pub fn run(spec: &ElasticSpec) -> ElasticReport {
     let mut events = Vec::new();
     let per_repeat: Vec<Vec<PhasePoint>> = (0..spec.repeats.max(1))
         .map(|_| {
-            let stack = Stack2D::<u64>::builder()
+            let mut builder = Stack2D::<u64>::builder()
                 .params(spec.elastic_start())
-                .elastic_capacity(spec.capacity)
+                .elastic_capacity(spec.capacity);
+            if let Some(r) = recorder {
+                builder = builder.recorder(Arc::clone(r));
+            }
+            let stack = builder
                 .adaptive(AimdController::new(spec.max_k), Duration::from_micros(spec.cadence_us))
                 .expect("elastic_start params are valid");
             let repeat_points = phase_points("elastic", &*stack, spec, || {
@@ -397,7 +432,7 @@ pub fn run(spec: &ElasticSpec) -> ElasticReport {
         elastic >= worst_preset
     });
 
-    let (quality, _) = run_quality(spec);
+    let (quality, _) = run_quality_with_recorder(spec, recorder);
     ElasticReport { points, events, quality, width_adapted, elastic_beats_worst }
 }
 
@@ -440,12 +475,30 @@ pub struct ElasticQueueReport {
 /// Panics if the segment checker finds a violation — that is a
 /// correctness bug, not a measurement artefact.
 pub fn run_queue_quality(spec: &ElasticSpec) -> (SegmentReport, Vec<RetuneEvent>) {
+    run_queue_quality_with_recorder(spec, None)
+}
+
+/// [`run_queue_quality`] with an optional telemetry recorder attached to
+/// the elastic queue.
+///
+/// # Panics
+///
+/// Panics if the segment checker finds a violation, like
+/// [`run_queue_quality`].
+pub fn run_queue_quality_with_recorder(
+    spec: &ElasticSpec,
+    recorder: Option<&Arc<dyn Recorder>>,
+) -> (SegmentReport, Vec<RetuneEvent>) {
     let budget = spec.queue_max_k();
     // The acceptance shape of the managed API: the guard comes straight
     // off the queue builder and owns the controller thread.
-    let queue = Queue2D::<stack2d_quality::Label>::builder()
+    let mut builder = Queue2D::<stack2d_quality::Label>::builder()
         .params(spec.elastic_start())
-        .elastic_capacity(spec.queue_capacity())
+        .elastic_capacity(spec.queue_capacity());
+    if let Some(r) = recorder {
+        builder = builder.recorder(Arc::clone(r));
+    }
+    let queue = builder
         .adaptive(queue_controller(budget), Duration::from_micros(spec.queue_cadence_us()))
         .expect("elastic_start params are valid");
     let initial = queue.window();
@@ -495,15 +548,28 @@ pub fn run_queue_quality(spec: &ElasticSpec) -> (SegmentReport, Vec<RetuneEvent>
 /// per-phase throughput, the retune trajectory — width first, then
 /// depth/shift once width saturates — and per-generation dequeue quality.
 pub fn run_queue(spec: &ElasticSpec) -> ElasticQueueReport {
+    run_queue_with_recorder(spec, None)
+}
+
+/// [`run_queue`] with an optional telemetry recorder attached to the
+/// elastic queue in both the timed and quality passes.
+pub fn run_queue_with_recorder(
+    spec: &ElasticSpec,
+    recorder: Option<&Arc<dyn Recorder>>,
+) -> ElasticQueueReport {
     let budget = spec.queue_max_k();
     let mut events = Vec::new();
     let per_repeat: Vec<Vec<PhasePoint>> = (0..spec.repeats.max(1))
         .map(|_| {
             // Queue2D implements RelaxedOps directly, so the phased driver
             // runs it unchanged — no stack-shaped adapter needed.
-            let queue = Queue2D::<u64>::builder()
+            let mut builder = Queue2D::<u64>::builder()
                 .params(spec.elastic_start())
-                .elastic_capacity(spec.queue_capacity())
+                .elastic_capacity(spec.queue_capacity());
+            if let Some(r) = recorder {
+                builder = builder.recorder(Arc::clone(r));
+            }
+            let queue = builder
                 .adaptive(queue_controller(budget), Duration::from_micros(spec.queue_cadence_us()))
                 .expect("elastic_start params are valid");
             let repeat_points = phase_points("elastic-queue", &*queue, spec, || {
@@ -526,7 +592,7 @@ pub fn run_queue(spec: &ElasticSpec) -> ElasticQueueReport {
     let width_adapted =
         events.iter().any(|e| matches!(e.kind, RetuneKind::Grow | RetuneKind::Shrink));
     let walked_vertical = events.iter().any(|e| e.kind == RetuneKind::Vertical);
-    let (quality, _) = run_queue_quality(spec);
+    let (quality, _) = run_queue_quality_with_recorder(spec, recorder);
     ElasticQueueReport { points, events, quality, width_adapted, walked_vertical }
 }
 

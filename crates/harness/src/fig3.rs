@@ -20,7 +20,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use stack2d::{Counter2D, Params, Queue2D};
+use stack2d::sync::Arc;
+use stack2d::{Counter2D, Params, Queue2D, Recorder};
 use stack2d_quality::ErrorSummary;
 use stack2d_workload::{run_fixed_ops, OpMix};
 
@@ -110,11 +111,25 @@ pub struct QueueQualityPoint {
 
 /// Runs the queue quality sweep: overtake distances as `k` grows.
 pub fn run_queue_quality(spec: &Fig3Spec, settings: &Settings) -> Vec<QueueQualityPoint> {
+    run_queue_quality_with_recorder(spec, settings, None)
+}
+
+/// [`run_queue_quality`] with an optional telemetry recorder attached to
+/// every queue in the sweep (one shared scope; sampled op spans and
+/// window shifts flow into it).
+pub fn run_queue_quality_with_recorder(
+    spec: &Fig3Spec,
+    settings: &Settings,
+    recorder: Option<&Arc<dyn Recorder>>,
+) -> Vec<QueueQualityPoint> {
     spec.k_grid
         .iter()
         .map(|&k| {
-            let queue: Queue2D<u64> =
-                Queue2D::builder().for_bound(k).build().expect("for_bound params are valid");
+            let mut builder = Queue2D::builder().for_bound(k);
+            if let Some(r) = recorder {
+                builder = builder.recorder(Arc::clone(r));
+            }
+            let queue: Queue2D<u64> = builder.build().expect("for_bound params are valid");
             let bound = queue.k_bound();
             let quality = run_queue_overtakes(
                 &queue,
@@ -168,11 +183,25 @@ pub struct CounterQualityPoint {
 /// Runs the counter quality sweep: quiescent spread and exactness per
 /// thread count.
 pub fn run_counter_quality(spec: &Fig3Spec, settings: &Settings) -> Vec<CounterQualityPoint> {
+    run_counter_quality_with_recorder(spec, settings, None)
+}
+
+/// [`run_counter_quality`] with an optional telemetry recorder attached
+/// to every counter in the sweep (one shared scope).
+pub fn run_counter_quality_with_recorder(
+    spec: &Fig3Spec,
+    settings: &Settings,
+    recorder: Option<&Arc<dyn Recorder>>,
+) -> Vec<CounterQualityPoint> {
     spec.thread_grid
         .iter()
         .map(|&threads| {
             let params = Params::for_threads(threads);
-            let counter = Counter2D::builder().params(params).build().expect("valid");
+            let mut builder = Counter2D::builder().params(params);
+            if let Some(r) = recorder {
+                builder = builder.recorder(Arc::clone(r));
+            }
+            let counter = builder.build().expect("valid");
             let ops_per_thread = (settings.quality_ops / threads.max(1)).max(1);
             // All-produce mix: every op is an increment.
             let r = run_fixed_ops(&counter, threads, ops_per_thread, OpMix::new(1_000), 0xC0);

@@ -34,6 +34,7 @@ pub mod fig3;
 pub mod latency;
 pub mod quality_run;
 pub mod report;
+pub mod telemetry;
 pub mod tuning;
 
 pub use algorithms::{
@@ -43,6 +44,7 @@ pub use algorithms::{
 pub use experiment::{measure, measure_relaxed, measure_stack, DataPoint, Settings};
 pub use quality_run::{run_quality, run_queue_overtakes, QualityConfig};
 pub use report::{fmt_ops, Table};
+pub use telemetry::TelemetrySession;
 
 use std::path::PathBuf;
 

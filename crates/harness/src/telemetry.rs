@@ -1,0 +1,305 @@
+//! The harness side of `stack2d-telemetry`: the `--telemetry <dir>`
+//! session every instrumented binary shares.
+//!
+//! A [`TelemetrySession`] owns the scope [`Registry`], keeps an RAII
+//! [`Scraper`] draining the lock-free rings while the experiment runs,
+//! and on [`TelemetrySession::finish`] writes the two artefacts the
+//! `telemetry_report` binary (and CI's `telemetry-smoke` step) consume:
+//!
+//! * `telemetry_events.jsonl` — one stamped event per line, every scope;
+//! * `telemetry.prom` — Prometheus text exposition (latency quantiles,
+//!   per-type event counters, overflow drops).
+//!
+//! Binaries opt in by scanning their arguments with
+//! [`TelemetrySession::from_args`]: absent the flag, recorders stay
+//! `None` and the structures run with the zero-cost no-op hook.
+//!
+//! The module also round-trips `stack2d-adaptive`'s [`RetuneEvent`]
+//! through the hand-rolled JSON layer ([`retune_events_json`] /
+//! [`retune_events_from_json`]) so retune logs land next to the event
+//! stream as `retune_events.json`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use stack2d::sync::Arc;
+use stack2d::Recorder;
+use stack2d_adaptive::{RetuneEvent, RetuneKind};
+use stack2d_telemetry::json::{self, Value};
+use stack2d_telemetry::{export, Registry, Scraper};
+
+/// File name of the JSONL event stream written by [`TelemetrySession::finish`].
+pub const EVENTS_FILE: &str = "telemetry_events.jsonl";
+/// File name of the Prometheus exposition written by [`TelemetrySession::finish`].
+pub const PROM_FILE: &str = "telemetry.prom";
+/// File name of the retune-log JSON written when a binary records one.
+pub const RETUNE_FILE: &str = "retune_events.json";
+
+/// Cadence of the background scraper: fast enough that the default ring
+/// never laps between drains even under full sampling.
+const SCRAPE_CADENCE: Duration = Duration::from_millis(5);
+
+/// One `--telemetry <dir>` run: registry + scraper + output directory.
+#[derive(Debug)]
+pub struct TelemetrySession {
+    registry: Arc<Registry>,
+    scraper: Option<Scraper>,
+    dir: PathBuf,
+    retunes: Mutex<Vec<(String, Vec<RetuneEvent>)>>,
+}
+
+impl TelemetrySession {
+    /// Builds a session writing into `dir`, with the scraper running.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        let registry = Registry::new();
+        let scraper = Scraper::spawn(Arc::clone(&registry), SCRAPE_CADENCE);
+        TelemetrySession {
+            registry,
+            scraper: Some(scraper),
+            dir: dir.into(),
+            retunes: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Scans the process arguments for `--telemetry <dir>` (or
+    /// `--telemetry=<dir>`) and opens a session when present.
+    pub fn from_args() -> Option<Self> {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_arg_slice(&args)
+    }
+
+    fn from_arg_slice(args: &[String]) -> Option<Self> {
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if arg == "--telemetry" {
+                return Some(Self::new(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--telemetry needs a directory; using telemetry-out");
+                    "telemetry-out".to_string()
+                })));
+            }
+            if let Some(dir) = arg.strip_prefix("--telemetry=") {
+                return Some(Self::new(dir));
+            }
+        }
+        None
+    }
+
+    /// The session's registry (for direct scope access).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A recorder for the named scope, ready for
+    /// [`Builder::recorder`](stack2d::Builder::recorder).
+    pub fn recorder(&self, scope: &str) -> Arc<dyn Recorder> {
+        self.registry.scope(scope)
+    }
+
+    /// Stores a retune log under `scope`, to be written as JSON by
+    /// [`TelemetrySession::finish`].
+    pub fn record_retunes(&self, scope: &str, events: &[RetuneEvent]) {
+        self.retunes
+            .lock()
+            .expect("retune log poisoned")
+            .push((scope.to_string(), events.to_vec()));
+    }
+
+    /// Stops the scraper, final-drains every ring, and writes the JSONL,
+    /// Prometheus, and (when recorded) retune-log artefacts; returns the
+    /// paths written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or the writes.
+    pub fn finish(mut self) -> std::io::Result<Vec<PathBuf>> {
+        if let Some(scraper) = self.scraper.take() {
+            scraper.stop();
+        }
+        let report = self.registry.report();
+        std::fs::create_dir_all(&self.dir)?;
+        let events_path = self.dir.join(EVENTS_FILE);
+        std::fs::write(&events_path, export::jsonl(&report))?;
+        let prom_path = self.dir.join(PROM_FILE);
+        std::fs::write(&prom_path, export::prometheus(&report))?;
+        let mut written = vec![events_path, prom_path];
+        let retunes = std::mem::take(&mut *self.retunes.lock().expect("retune log poisoned"));
+        if !retunes.is_empty() {
+            let logs: Vec<Value> = retunes
+                .iter()
+                .map(|(scope, events)| {
+                    let mut obj = BTreeMap::new();
+                    obj.insert("scope".to_string(), Value::Str(scope.clone()));
+                    obj.insert(
+                        "events".to_string(),
+                        Value::Arr(events.iter().map(retune_event_json).collect()),
+                    );
+                    Value::Obj(obj)
+                })
+                .collect();
+            let path = self.dir.join(RETUNE_FILE);
+            std::fs::write(&path, format!("{}\n", Value::Arr(logs)))?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+fn num(n: u64) -> Value {
+    Value::Num(n as f64)
+}
+
+/// Serializes one [`RetuneEvent`] as a flat JSON object.
+pub fn retune_event_json(e: &RetuneEvent) -> Value {
+    let mut obj = BTreeMap::new();
+    obj.insert("at_us".to_string(), num(e.at.as_micros().min(u64::MAX as u128) as u64));
+    obj.insert("ops".to_string(), num(e.ops));
+    obj.insert("generation".to_string(), num(e.generation));
+    obj.insert("width".to_string(), num(e.width as u64));
+    obj.insert("pop_width".to_string(), num(e.pop_width as u64));
+    obj.insert("depth".to_string(), num(e.depth as u64));
+    obj.insert("shift".to_string(), num(e.shift as u64));
+    obj.insert("k_bound".to_string(), num(e.k_bound as u64));
+    obj.insert("kind".to_string(), Value::Str(retune_kind_name(e.kind).to_string()));
+    Value::Obj(obj)
+}
+
+fn retune_kind_name(kind: RetuneKind) -> &'static str {
+    match kind {
+        RetuneKind::Grow => "grow",
+        RetuneKind::Shrink => "shrink",
+        RetuneKind::Vertical => "vertical",
+        RetuneKind::Commit => "commit",
+    }
+}
+
+fn retune_kind_from_name(name: &str) -> Option<RetuneKind> {
+    Some(match name {
+        "grow" => RetuneKind::Grow,
+        "shrink" => RetuneKind::Shrink,
+        "vertical" => RetuneKind::Vertical,
+        "commit" => RetuneKind::Commit,
+        _ => return None,
+    })
+}
+
+/// Deserializes one [`RetuneEvent`] from [`retune_event_json`]'s shape.
+pub fn retune_event_from_json(v: &Value) -> Option<RetuneEvent> {
+    let field = |name: &str| v.get(name)?.as_u64();
+    Some(RetuneEvent {
+        at: Duration::from_micros(field("at_us")?),
+        ops: field("ops")?,
+        generation: field("generation")?,
+        width: field("width")? as usize,
+        pop_width: field("pop_width")? as usize,
+        depth: field("depth")? as usize,
+        shift: field("shift")? as usize,
+        k_bound: field("k_bound")? as usize,
+        kind: retune_kind_from_name(v.get("kind")?.as_str()?)?,
+    })
+}
+
+/// Serializes a retune log as a JSON array (one object per event).
+pub fn retune_events_json(events: &[RetuneEvent]) -> String {
+    Value::Arr(events.iter().map(retune_event_json).collect()).to_string()
+}
+
+/// Parses a retune log serialized by [`retune_events_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed element or parse error.
+pub fn retune_events_from_json(text: &str) -> Result<Vec<RetuneEvent>, String> {
+    let value = json::parse(text).map_err(|e| e.to_string())?;
+    let arr = value.as_arr().ok_or("retune log must be a JSON array")?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, v)| retune_event_from_json(v).ok_or(format!("malformed retune event at [{i}]")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn sample_events() -> Vec<RetuneEvent> {
+        vec![
+            RetuneEvent {
+                at: Duration::from_micros(120),
+                ops: 4_096,
+                generation: 1,
+                width: 8,
+                pop_width: 8,
+                depth: 1,
+                shift: 1,
+                k_bound: 21,
+                kind: RetuneKind::Grow,
+            },
+            RetuneEvent {
+                at: Duration::from_micros(950),
+                ops: 9_000,
+                generation: 2,
+                width: 4,
+                pop_width: 8,
+                depth: 1,
+                shift: 1,
+                k_bound: 21,
+                kind: RetuneKind::Shrink,
+            },
+        ]
+    }
+
+    #[test]
+    fn retune_events_round_trip_through_json() {
+        let events = sample_events();
+        let text = retune_events_json(&events);
+        let back = retune_events_from_json(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn malformed_retune_logs_are_rejected() {
+        assert!(retune_events_from_json("{}").is_err(), "non-array must fail");
+        assert!(retune_events_from_json(r#"[{"ops": 1}]"#).is_err(), "missing fields must fail");
+        let bad_kind = retune_events_json(&sample_events()).replace("grow", "teleport");
+        assert!(retune_events_from_json(&bad_kind).is_err(), "unknown kind must fail");
+    }
+
+    #[test]
+    fn from_arg_slice_finds_both_flag_shapes() {
+        let none: Vec<String> = vec!["bin".into(), "--other".into()];
+        assert!(TelemetrySession::from_arg_slice(&none).is_none());
+        let split: Vec<String> = vec!["bin".into(), "--telemetry".into(), "/tmp/t1".into()];
+        let s = TelemetrySession::from_arg_slice(&split).unwrap();
+        assert_eq!(s.dir, Path::new("/tmp/t1"));
+        let joined: Vec<String> = vec!["bin".into(), "--telemetry=/tmp/t2".into()];
+        let s = TelemetrySession::from_arg_slice(&joined).unwrap();
+        assert_eq!(s.dir, Path::new("/tmp/t2"));
+    }
+
+    #[test]
+    fn finish_writes_all_artefacts() {
+        let dir = std::env::temp_dir().join("stack2d-harness-telemetry-finish");
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = TelemetrySession::new(&dir);
+        let scope = session.registry().scope("s");
+        use stack2d::telemetry::OpKind;
+        scope.op_sample(OpKind::Push, 250);
+        session.record_retunes("s", &sample_events());
+        let written = session.finish().unwrap();
+        assert_eq!(written.len(), 3);
+        let jsonl = std::fs::read_to_string(dir.join(EVENTS_FILE)).unwrap();
+        assert!(jsonl.contains("\"op_sample\""));
+        let prom = std::fs::read_to_string(dir.join(PROM_FILE)).unwrap();
+        stack2d_telemetry::export::validate_prometheus(&prom).unwrap();
+        let retunes = std::fs::read_to_string(dir.join(RETUNE_FILE)).unwrap();
+        let parsed = json::parse(&retunes).unwrap();
+        let logs = parsed.as_arr().unwrap();
+        assert_eq!(logs.len(), 1);
+        let events = retune_events_from_json(&logs[0].get("events").unwrap().to_string()).unwrap();
+        assert_eq!(events, sample_events());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,142 @@
+//! The typed event taxonomy and the global causal stamp.
+//!
+//! Every signal a structure or controller emits through the core
+//! [`Recorder`](stack2d::Recorder) hooks lands here as one [`Event`]
+//! variant, wrapped in a [`Stamped`] envelope carrying a globally unique,
+//! monotonically allocated sequence number and a wall-clock-free timestamp
+//! from [`stack2d::telemetry::clock`]. The sequence number — one shared
+//! `fetch_add` counter across every scope — is what makes controller
+//! observation→decision→outcome triples *causally orderable* after the
+//! per-thread rings are merged: within one emitting thread, a later event
+//! always draws a larger `seq`.
+
+use stack2d::sync::atomic::{AtomicU64, Ordering};
+use stack2d::telemetry::{clock, ControlOutcome, OpKind, ShiftDir, ShrinkPhase};
+use stack2d::{MetricsSnapshot, Params, WindowInfo};
+
+/// One telemetry signal, as emitted by a structure hot path (sampled op
+/// spans, window shifts), a retune surface (retunes, shrink fences) or an
+/// elastic controller (the observation→decision→outcome triple).
+///
+/// All variants are `Copy` — events move through the lock-free ring by
+/// value, never touching the allocator on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub enum Event {
+    /// A sampled operation span: one in N operations of a handle records
+    /// its latency (N = [`stack2d::telemetry::Sampler`] period).
+    OpSample {
+        /// Which operation.
+        op: OpKind,
+        /// Measured span in nanoseconds ([`clock::now_ns`] domain).
+        latency_ns: u64,
+    },
+    /// One operation moved the `Global` window counter `count` steps.
+    WindowShift {
+        /// Push-side (`Up`) or pop-side (`Down`) shift.
+        dir: ShiftDir,
+        /// Number of steps the counter moved.
+        count: u64,
+    },
+    /// A retune swung the window descriptor to new parameters.
+    Retune {
+        /// The window snapshot that took effect.
+        window: WindowInfo,
+    },
+    /// A width shrink armed its epoch fence or committed.
+    ShrinkFence {
+        /// `Armed` when the retune leaves a pending tail, `Committed`
+        /// when `try_commit_shrink` proves it drained.
+        phase: ShrinkPhase,
+        /// The window snapshot at the transition.
+        window: WindowInfo,
+    },
+    /// A controller tick observed the structure (start of a decision
+    /// span).
+    ControlObservation {
+        /// Nanoseconds since the previous tick.
+        interval_ns: u64,
+        /// Counter delta over the interval.
+        delta: MetricsSnapshot,
+        /// The window at observation time.
+        window: WindowInfo,
+        /// The structure's width capacity.
+        capacity: usize,
+    },
+    /// The controller's verdict for the observed interval.
+    ControlDecision {
+        /// `Some(params)` to retune toward, `None` to hold.
+        decided: Option<Params>,
+    },
+    /// What actually happened to the structure after the decision.
+    ControlOutcome {
+        /// Hold / applied / committed / rejected.
+        outcome: ControlOutcome,
+        /// The window after the outcome.
+        window: WindowInfo,
+    },
+}
+
+impl Event {
+    /// Stable snake_case discriminant name, used as the JSONL `type` field
+    /// and the Prometheus `type` label.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::OpSample { .. } => "op_sample",
+            Event::WindowShift { .. } => "window_shift",
+            Event::Retune { .. } => "retune",
+            Event::ShrinkFence { .. } => "shrink_fence",
+            Event::ControlObservation { .. } => "control_observation",
+            Event::ControlDecision { .. } => "control_decision",
+            Event::ControlOutcome { .. } => "control_outcome",
+        }
+    }
+}
+
+/// An [`Event`] plus its causal envelope: the globally unique sequence
+/// number and the capture-time clock reading.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct Stamped {
+    /// Globally unique, monotonically allocated sequence number. Merging
+    /// per-thread rings and sorting by `seq` recovers a causally
+    /// consistent order (per emitting thread, and across threads wherever
+    /// the underlying `fetch_add`es are transitively ordered).
+    pub seq: u64,
+    /// Capture time in the [`clock::now_ns`] domain (process-relative
+    /// nanoseconds; a logical tick under `--cfg model`).
+    pub at_ns: u64,
+    /// The signal itself.
+    pub event: Event,
+}
+
+/// The one global sequence allocator behind [`Stamped::stamp`]. Routed
+/// through the `stack2d::sync` facade so ring interleavings stay
+/// explorable under `--cfg model`.
+static SEQ_GEN: AtomicU64 = AtomicU64::new(0);
+
+impl Stamped {
+    /// Wraps `event` with the next global sequence number and the current
+    /// clock reading.
+    pub fn stamp(event: Event) -> Self {
+        Stamped { seq: SEQ_GEN.fetch_add(1, Ordering::Relaxed), at_ns: clock::now_ns(), event }
+    }
+}
+
+#[cfg(all(test, not(model)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_are_strictly_increasing() {
+        let a = Stamped::stamp(Event::WindowShift { dir: ShiftDir::Up, count: 1 });
+        let b = Stamped::stamp(Event::WindowShift { dir: ShiftDir::Down, count: 2 });
+        assert!(b.seq > a.seq);
+        assert!(b.at_ns >= a.at_ns);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let w = Event::OpSample { op: OpKind::Push, latency_ns: 5 };
+        assert_eq!(w.kind_name(), "op_sample");
+        assert_eq!(Event::ControlDecision { decided: None }.kind_name(), "control_decision");
+    }
+}

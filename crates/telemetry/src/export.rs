@@ -1,0 +1,298 @@
+//! Report exporters: JSONL event logs and Prometheus text exposition.
+//!
+//! Both render a [`TelemetryReport`]. JSONL is the machine-readable
+//! archive — one self-describing object per line, causally ordered per
+//! scope by the `seq` field — and what `telemetry_report` re-reads for
+//! validation. The Prometheus format carries the aggregates (latency
+//! quantile summaries, event counts by type, overflow drops) for scrape-
+//! style consumers.
+
+use std::collections::BTreeMap;
+
+use stack2d::{MetricsSnapshot, Params, WindowInfo};
+
+use crate::event::{Event, Stamped};
+use crate::json::Value;
+use crate::registry::{ScopeReport, TelemetryReport};
+
+fn num(n: u64) -> Value {
+    Value::Num(n as f64)
+}
+
+fn window_fields(obj: &mut BTreeMap<String, Value>, w: WindowInfo) {
+    obj.insert("generation".into(), num(w.generation()));
+    obj.insert("width".into(), num(w.width() as u64));
+    obj.insert("pop_width".into(), num(w.pop_width() as u64));
+    obj.insert("depth".into(), num(w.depth() as u64));
+    obj.insert("shift".into(), num(w.shift() as u64));
+    obj.insert("k_bound".into(), num(w.k_bound() as u64));
+    obj.insert("pending_shrink".into(), Value::Bool(w.pending_shrink()));
+}
+
+fn params_json(p: Params) -> Value {
+    let mut obj = BTreeMap::new();
+    obj.insert("width".into(), num(p.width() as u64));
+    obj.insert("depth".into(), num(p.depth() as u64));
+    obj.insert("shift".into(), num(p.shift() as u64));
+    obj.insert("k_bound".into(), num(p.k_bound() as u64));
+    Value::Obj(obj)
+}
+
+/// Renders a [`MetricsSnapshot`] as a JSON object (the `delta` payload of
+/// `control_observation` lines). Inverse of [`metrics_from_json`].
+pub fn metrics_to_json(m: &MetricsSnapshot) -> Value {
+    let mut obj = BTreeMap::new();
+    obj.insert("cas_failures".into(), num(m.cas_failures));
+    obj.insert("probes".into(), num(m.probes));
+    obj.insert("shifts_up".into(), num(m.shifts_up));
+    obj.insert("shifts_down".into(), num(m.shifts_down));
+    obj.insert("global_restarts".into(), num(m.global_restarts));
+    obj.insert("empty_pops".into(), num(m.empty_pops));
+    obj.insert("ops".into(), num(m.ops));
+    obj.insert("retunes".into(), num(m.retunes));
+    Value::Obj(obj)
+}
+
+/// Rebuilds a [`MetricsSnapshot`] from [`metrics_to_json`] output; `None`
+/// when any field is missing or non-integral.
+pub fn metrics_from_json(v: &Value) -> Option<MetricsSnapshot> {
+    Some(MetricsSnapshot {
+        cas_failures: v.get("cas_failures")?.as_u64()?,
+        probes: v.get("probes")?.as_u64()?,
+        shifts_up: v.get("shifts_up")?.as_u64()?,
+        shifts_down: v.get("shifts_down")?.as_u64()?,
+        global_restarts: v.get("global_restarts")?.as_u64()?,
+        empty_pops: v.get("empty_pops")?.as_u64()?,
+        ops: v.get("ops")?.as_u64()?,
+        retunes: v.get("retunes")?.as_u64()?,
+    })
+}
+
+/// Renders one stamped event as a flat JSON object (one JSONL line,
+/// without the trailing newline).
+pub fn event_json(scope: &str, stamped: &Stamped) -> Value {
+    let mut obj = BTreeMap::new();
+    obj.insert("scope".into(), Value::Str(scope.to_string()));
+    obj.insert("seq".into(), num(stamped.seq));
+    obj.insert("at_ns".into(), num(stamped.at_ns));
+    obj.insert("type".into(), Value::Str(stamped.event.kind_name().to_string()));
+    match stamped.event {
+        Event::OpSample { op, latency_ns } => {
+            obj.insert("op".into(), Value::Str(op.name().to_string()));
+            obj.insert("latency_ns".into(), num(latency_ns));
+        }
+        Event::WindowShift { dir, count } => {
+            obj.insert("dir".into(), Value::Str(dir.name().to_string()));
+            obj.insert("count".into(), num(count));
+        }
+        Event::Retune { window } => window_fields(&mut obj, window),
+        Event::ShrinkFence { phase, window } => {
+            obj.insert("phase".into(), Value::Str(phase.name().to_string()));
+            window_fields(&mut obj, window);
+        }
+        Event::ControlObservation { interval_ns, delta, window, capacity } => {
+            obj.insert("interval_ns".into(), num(interval_ns));
+            obj.insert("capacity".into(), num(capacity as u64));
+            obj.insert("delta".into(), metrics_to_json(&delta));
+            window_fields(&mut obj, window);
+        }
+        Event::ControlDecision { decided } => {
+            obj.insert("decided".into(), decided.map_or(Value::Null, params_json));
+        }
+        Event::ControlOutcome { outcome, window } => {
+            obj.insert("outcome".into(), Value::Str(outcome.name().to_string()));
+            window_fields(&mut obj, window);
+        }
+    }
+    Value::Obj(obj)
+}
+
+/// Renders the whole report as JSONL: one event object per line, scopes in
+/// creation order, each scope's events in causal (`seq`) order.
+pub fn jsonl(report: &TelemetryReport) -> String {
+    let mut out = String::new();
+    for scope in &report.scopes {
+        for stamped in &scope.events {
+            out.push_str(&event_json(&scope.name, stamped).to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn prom_label(s: &str) -> String {
+    // Prometheus label escaping: backslash, quote and newline.
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn event_counts(scope: &ScopeReport) -> BTreeMap<&'static str, u64> {
+    let mut counts = BTreeMap::new();
+    for e in &scope.events {
+        *counts.entry(e.event.kind_name()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Renders the report in the Prometheus text exposition format: per-scope
+/// latency summaries (p50/p99/p999), event counts by type, and ring
+/// overflow counters.
+pub fn prometheus(report: &TelemetryReport) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP stack2d_op_latency_ns Sampled operation latency in nanoseconds.\n");
+    out.push_str("# TYPE stack2d_op_latency_ns summary\n");
+    for scope in &report.scopes {
+        let label = prom_label(&scope.name);
+        let h = &scope.histogram;
+        if h.count() > 0 {
+            for (q, name) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+                out.push_str(&format!(
+                    "stack2d_op_latency_ns{{scope=\"{label}\",quantile=\"{name}\"}} {}\n",
+                    h.quantile(q)
+                ));
+            }
+        }
+        out.push_str(&format!("stack2d_op_latency_ns_sum{{scope=\"{label}\"}} {}\n", h.sum()));
+        out.push_str(&format!("stack2d_op_latency_ns_count{{scope=\"{label}\"}} {}\n", h.count()));
+    }
+    out.push_str("# HELP stack2d_events_total Telemetry events collected, by type.\n");
+    out.push_str("# TYPE stack2d_events_total counter\n");
+    for scope in &report.scopes {
+        let label = prom_label(&scope.name);
+        for (kind, count) in event_counts(scope) {
+            out.push_str(&format!(
+                "stack2d_events_total{{scope=\"{label}\",type=\"{kind}\"}} {count}\n"
+            ));
+        }
+    }
+    out.push_str("# HELP stack2d_events_dropped_total Events dropped at ring overflow.\n");
+    out.push_str("# TYPE stack2d_events_dropped_total counter\n");
+    for scope in &report.scopes {
+        out.push_str(&format!(
+            "stack2d_events_dropped_total{{scope=\"{}\"}} {}\n",
+            prom_label(&scope.name),
+            scope.dropped
+        ));
+    }
+    out
+}
+
+/// Validates Prometheus text exposition syntax line by line: comments must
+/// be `# HELP` / `# TYPE`, samples must be `name{labels} value` with a
+/// parseable number. Returns the first offending line.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if !(rest.starts_with("HELP ") || rest.starts_with("TYPE ") || rest.is_empty()) {
+                return Err(format!("line {n}: comment is neither HELP nor TYPE: {line}"));
+            }
+            continue;
+        }
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(split) => split,
+            None => return Err(format!("line {n}: no value separator: {line}")),
+        };
+        if value_part.parse::<f64>().is_err() {
+            return Err(format!("line {n}: unparseable value {value_part:?}"));
+        }
+        let metric = name_part.split('{').next().unwrap_or("");
+        let ok_name = !metric.is_empty()
+            && metric.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            && !metric.starts_with(|c: char| c.is_ascii_digit());
+        if !ok_name {
+            return Err(format!("line {n}: invalid metric name {metric:?}"));
+        }
+        if name_part.contains('{') && !name_part.ends_with('}') {
+            return Err(format!("line {n}: unterminated label set: {line}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(all(test, not(model)))]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::registry::Registry;
+    use stack2d::telemetry::{OpKind, ShiftDir};
+    use stack2d::Recorder;
+
+    fn sample_report() -> TelemetryReport {
+        let registry = Registry::new();
+        let scope = registry.scope("stack");
+        scope.op_sample(OpKind::Push, 120);
+        scope.op_sample(OpKind::Pop, 480);
+        scope.window_shift(ShiftDir::Up, 2);
+        scope.control_decision(Some(Params::new(4, 8, 4).unwrap()));
+        scope.control_decision(None);
+        registry.report()
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_the_envelope() {
+        let text = jsonl(&sample_report());
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let mut last_seq = None;
+        for line in lines {
+            let v = json::parse(line).expect("every JSONL line is valid JSON");
+            assert_eq!(v.get("scope").unwrap().as_str(), Some("stack"));
+            let seq = v.get("seq").unwrap().as_u64().unwrap();
+            if let Some(prev) = last_seq {
+                assert!(seq > prev, "seq must increase within a scope");
+            }
+            last_seq = Some(seq);
+            assert!(v.get("type").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn decision_lines_distinguish_hold_from_retune() {
+        let text = jsonl(&sample_report());
+        let decisions: Vec<_> = text.lines().filter(|l| l.contains("control_decision")).collect();
+        assert_eq!(decisions.len(), 2);
+        let some = json::parse(decisions[0]).unwrap();
+        assert_eq!(some.get("decided").unwrap().get("width").unwrap().as_u64(), Some(4));
+        let none = json::parse(decisions[1]).unwrap();
+        assert_eq!(none.get("decided"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn metrics_round_trip_through_json() {
+        let m = MetricsSnapshot {
+            cas_failures: 1,
+            probes: 2,
+            shifts_up: 3,
+            shifts_down: 4,
+            global_restarts: 5,
+            empty_pops: 6,
+            ops: 7,
+            retunes: 8,
+        };
+        let v = json::parse(&metrics_to_json(&m).to_string()).unwrap();
+        assert_eq!(metrics_from_json(&v), Some(m));
+    }
+
+    #[test]
+    fn prometheus_output_validates_and_counts() {
+        let text = prometheus(&sample_report());
+        validate_prometheus(&text).expect("own output must validate");
+        assert!(text.contains("stack2d_op_latency_ns_count{scope=\"stack\"} 2"));
+        assert!(text.contains("stack2d_events_total{scope=\"stack\",type=\"op_sample\"} 2"));
+        assert!(text.contains("stack2d_events_dropped_total{scope=\"stack\"} 0"));
+        assert!(text.contains("quantile=\"0.999\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_exposition() {
+        assert!(validate_prometheus("# COMMENT nope\n").is_err());
+        assert!(validate_prometheus("metric_no_value\n").is_err());
+        assert!(validate_prometheus("metric{x=\"y\" 1\n").is_err());
+        assert!(validate_prometheus("9metric 1\n").is_err());
+        assert!(validate_prometheus("ok{a=\"b\"} 1.5\n").is_ok());
+    }
+}

@@ -15,7 +15,7 @@ const SUB: usize = 1 << SUB_BITS; // 16 linear sub-buckets per octave
 /// # Examples
 ///
 /// ```
-/// use stack2d_workload::LatencyHistogram;
+/// use stack2d_telemetry::LatencyHistogram;
 ///
 /// let mut h = LatencyHistogram::new();
 /// for ns in [100, 200, 300, 400] {
@@ -79,6 +79,11 @@ impl LatencyHistogram {
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all samples (exact; `u128` so it cannot overflow).
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 
     /// Mean of all samples; zero when empty.

@@ -1,0 +1,68 @@
+//! # stack2d-telemetry — the observability layer
+//!
+//! The paper's performance story is about *event frequencies* — lost
+//! CASes, window shifts, search restarts — and the elastic controllers act
+//! on those signals. This crate turns them into data: structures emit
+//! through the core [`Recorder`](stack2d::Recorder) hooks into named
+//! [`Scope`]s, each backed by a bounded lock-free [`EventRing`] (overflow
+//! is *counted, never blocking*) and a [`ShardedHistogram`] of sampled op
+//! latencies; a [`Registry`] aggregates scopes and a RAII [`Scraper`]
+//! drains rings on a cadence; [`export`] renders the final
+//! [`TelemetryReport`] as a JSONL event log or Prometheus text.
+//!
+//! ```text
+//! Stack2D / Queue2D / Counter2D ──(Recorder hooks, 1-in-N sampled)──┐
+//! ElasticRunner ticks ──(observation → decision → outcome)──────────┤
+//!                                                                   ▼
+//!                 Scope { EventRing + ShardedHistogram }  ×N ── Registry
+//!                                                                   │
+//!                     Scraper (RAII thread, cadence drains)         │
+//!                                                                   ▼
+//!                  TelemetryReport ── export::{jsonl, prometheus}
+//! ```
+//!
+//! Everything on the hot path is allocation-free and lock-free; atomics
+//! route through the `stack2d::sync` facade so the ring protocol is
+//! exercisable under `RUSTFLAGS="--cfg model"` (see `tests/model_ring.rs`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use stack2d::Stack2D;
+//! use stack2d_telemetry::{export, Registry};
+//!
+//! let registry = Registry::new();
+//! let stack: Stack2D<u64> = Stack2D::builder()
+//!     .for_threads(2)
+//!     .recorder(registry.scope("stack"))
+//!     .sample_every(8) // record 1-in-8 op latencies
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut h = stack.handle();
+//! for i in 0..64 {
+//!     h.push(i);
+//! }
+//! while h.pop().is_some() {}
+//!
+//! let report = registry.report();
+//! assert!(report.scopes[0].histogram.count() >= 16);
+//! assert!(export::validate_prometheus(&export::prometheus(&report)).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod event;
+pub mod export;
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod ring;
+pub mod sharded;
+
+pub use event::{Event, Stamped};
+pub use histogram::LatencyHistogram;
+pub use registry::{Registry, Scope, ScopeReport, Scraper, TelemetryReport};
+pub use ring::EventRing;
+pub use sharded::ShardedHistogram;

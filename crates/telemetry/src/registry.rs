@@ -1,0 +1,352 @@
+//! Named telemetry scopes, the registry that owns them, and the RAII
+//! scraper thread that drains rings on a cadence.
+//!
+//! A [`Scope`] is one structure's telemetry sink: it implements the core
+//! [`Recorder`] hooks by stamping each signal into its own lock-free
+//! [`EventRing`] and feeding sampled op latencies into a
+//! [`ShardedHistogram`]. A [`Registry`] hands out scopes by name
+//! (get-or-create, so a structure and its controller can share one), and a
+//! [`Scraper`] — mirroring `stack2d-adaptive`'s `Managed` RAII shape —
+//! periodically moves ring contents into each scope's collected log so a
+//! small ring survives long runs. [`Registry::report`] performs a final
+//! drain and yields the merged, seq-ordered [`TelemetryReport`] the
+//! exporters consume.
+
+use core::time::Duration;
+
+use stack2d::sync::atomic::{AtomicBool, Ordering};
+use stack2d::sync::{thread, Arc, Mutex};
+use stack2d::telemetry::{ControlOutcome, OpKind, ShiftDir, ShrinkPhase};
+use stack2d::{MetricsSnapshot, Params, Recorder, WindowInfo};
+
+use crate::event::{Event, Stamped};
+use crate::histogram::LatencyHistogram;
+use crate::ring::EventRing;
+use crate::sharded::ShardedHistogram;
+
+/// Default per-scope ring capacity: large enough that a scraper on a
+/// few-millisecond cadence never laps a sampled hot path, small enough to
+/// stay cache-resident (~64Ki events).
+const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// One named telemetry sink: an event ring plus a latency histogram.
+///
+/// Obtained from [`Registry::scope`]; attach it to a structure with
+/// [`Builder::recorder`](stack2d::Builder::recorder) (it implements the
+/// core [`Recorder`] trait).
+pub struct Scope {
+    name: String,
+    ring: EventRing,
+    hist: ShardedHistogram,
+    collected: Mutex<Vec<Stamped>>,
+}
+
+impl Scope {
+    fn new(name: &str, ring_capacity: usize) -> Self {
+        Scope {
+            name: name.to_string(),
+            ring: EventRing::new(ring_capacity),
+            hist: ShardedHistogram::new(),
+            collected: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The scope's name (the `scope` label in every export).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Events dropped by this scope's ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    #[inline]
+    fn emit(&self, event: Event) {
+        self.ring.push(Stamped::stamp(event));
+    }
+
+    /// Moves everything currently in the ring into the collected log.
+    pub fn scrape(&self) {
+        let mut collected = self.collected.lock();
+        self.ring.drain_into(&mut collected);
+    }
+
+    fn snapshot(&self) -> ScopeReport {
+        self.scrape();
+        let mut events = self.collected.lock().clone();
+        // Ring drains interleave arbitrarily with producers; the global
+        // stamp recovers the causal order.
+        events.sort_by_key(|e| e.seq);
+        ScopeReport {
+            name: self.name.clone(),
+            events,
+            histogram: self.hist.merged(),
+            dropped: self.ring.dropped(),
+        }
+    }
+}
+
+impl Recorder for Scope {
+    fn op_sample(&self, op: OpKind, latency_ns: u64) {
+        self.hist.record(latency_ns);
+        self.emit(Event::OpSample { op, latency_ns });
+    }
+
+    fn window_shift(&self, dir: ShiftDir, count: u64) {
+        self.emit(Event::WindowShift { dir, count });
+    }
+
+    fn retune(&self, window: WindowInfo) {
+        self.emit(Event::Retune { window });
+    }
+
+    fn shrink_fence(&self, phase: ShrinkPhase, window: WindowInfo) {
+        self.emit(Event::ShrinkFence { phase, window });
+    }
+
+    fn control_observation(
+        &self,
+        interval_ns: u64,
+        delta: MetricsSnapshot,
+        window: WindowInfo,
+        capacity: usize,
+    ) {
+        self.emit(Event::ControlObservation { interval_ns, delta, window, capacity });
+    }
+
+    fn control_decision(&self, decided: Option<Params>) {
+        self.emit(Event::ControlDecision { decided });
+    }
+
+    fn control_outcome(&self, outcome: ControlOutcome, window: WindowInfo) {
+        self.emit(Event::ControlOutcome { outcome, window });
+    }
+}
+
+impl core::fmt::Debug for Scope {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Scope").field("name", &self.name).field("dropped", &self.dropped()).finish()
+    }
+}
+
+/// Hands out named [`Scope`]s and aggregates them into reports.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d::Stack2D;
+/// use stack2d_telemetry::Registry;
+///
+/// let registry = Registry::new();
+/// let stack: Stack2D<u32> = Stack2D::builder()
+///     .for_threads(2)
+///     .recorder(registry.scope("stack"))
+///     .sample_every(1)
+///     .build()
+///     .unwrap();
+/// let mut h = stack.handle();
+/// h.push(7);
+/// h.pop();
+/// let report = registry.report();
+/// assert_eq!(report.scopes.len(), 1);
+/// assert!(report.scopes[0].histogram.count() >= 2);
+/// ```
+#[derive(Debug)]
+pub struct Registry {
+    scopes: Mutex<Vec<Arc<Scope>>>,
+    ring_capacity: usize,
+}
+
+impl Registry {
+    /// Creates a registry whose scopes use the default ring capacity.
+    pub fn new() -> Arc<Self> {
+        Self::with_ring_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// Creates a registry whose scopes hold at least `ring_capacity`
+    /// events each (rounded up to a power of two).
+    pub fn with_ring_capacity(ring_capacity: usize) -> Arc<Self> {
+        Arc::new(Registry { scopes: Mutex::new(Vec::new()), ring_capacity })
+    }
+
+    /// Returns the scope named `name`, creating it on first use. The same
+    /// `Arc` is returned for repeated calls, so a structure and the
+    /// controller driving it can share one event stream.
+    pub fn scope(&self, name: &str) -> Arc<Scope> {
+        let mut scopes = self.scopes.lock();
+        if let Some(s) = scopes.iter().find(|s| s.name == name) {
+            return Arc::clone(s);
+        }
+        let scope = Arc::new(Scope::new(name, self.ring_capacity));
+        scopes.push(Arc::clone(&scope));
+        scope
+    }
+
+    /// All scopes created so far, in creation order.
+    pub fn scopes(&self) -> Vec<Arc<Scope>> {
+        self.scopes.lock().clone()
+    }
+
+    /// Drains every scope's ring into its collected log (what the
+    /// [`Scraper`] thread calls on its cadence).
+    pub fn scrape(&self) {
+        for scope in self.scopes() {
+            scope.scrape();
+        }
+    }
+
+    /// Final-drains every scope and returns the merged, seq-ordered
+    /// report.
+    pub fn report(&self) -> TelemetryReport {
+        TelemetryReport { scopes: self.scopes().iter().map(|s| s.snapshot()).collect() }
+    }
+}
+
+/// Everything one scope saw: its causally ordered events, merged latency
+/// histogram, and overflow count.
+#[derive(Debug, Clone)]
+pub struct ScopeReport {
+    /// Scope name.
+    pub name: String,
+    /// Collected events, sorted by global sequence number.
+    pub events: Vec<Stamped>,
+    /// Merged op-latency histogram (populated when sampling is on).
+    pub histogram: LatencyHistogram,
+    /// Events dropped by the ring (overflow), never silently.
+    pub dropped: u64,
+}
+
+/// A full registry snapshot, ready for the exporters.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// One report per scope, in creation order.
+    pub scopes: Vec<ScopeReport>,
+}
+
+/// RAII scraper thread: drains every registry scope on a fixed cadence so
+/// bounded rings survive long runs, and stops (joining the thread) on
+/// drop — the same lifecycle shape as `stack2d-adaptive`'s `Managed`.
+///
+/// # Examples
+///
+/// ```
+/// use core::time::Duration;
+/// use stack2d_telemetry::{Registry, Scraper};
+///
+/// let registry = Registry::new();
+/// let scraper = Scraper::spawn(stack2d::sync::Arc::clone(&registry), Duration::from_millis(1));
+/// // ... run the workload ...
+/// drop(scraper); // joins the thread; report() still works afterwards
+/// let _report = registry.report();
+/// ```
+pub struct Scraper {
+    stop: Arc<AtomicBool>,
+    join: Option<thread::JoinHandle<()>>,
+}
+
+impl core::fmt::Debug for Scraper {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Scraper").field("running", &self.join.is_some()).finish()
+    }
+}
+
+impl Scraper {
+    /// Spawns the scraper thread draining `registry` every `cadence`.
+    pub fn spawn(registry: Arc<Registry>, cadence: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let join = thread::spawn(move || {
+            while !stop_flag.load(Ordering::Acquire) {
+                thread::sleep(cadence);
+                registry.scrape();
+            }
+            registry.scrape();
+        });
+        Scraper { stop, join: Some(join) }
+    }
+
+    /// Stops the scraper and joins its thread (equivalent to dropping).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for Scraper {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(all(test, not(model)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_is_get_or_create() {
+        let registry = Registry::new();
+        let a = registry.scope("stack");
+        let b = registry.scope("stack");
+        let c = registry.scope("queue");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(registry.scopes().len(), 2);
+    }
+
+    #[test]
+    fn report_orders_events_by_seq() {
+        let registry = Registry::with_ring_capacity(64);
+        let scope = registry.scope("s");
+        for i in 0..10 {
+            scope.window_shift(ShiftDir::Up, i);
+        }
+        scope.scrape();
+        for i in 10..20 {
+            scope.window_shift(ShiftDir::Down, i);
+        }
+        let report = registry.report();
+        let events = &report.scopes[0].events;
+        assert_eq!(events.len(), 20);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn op_samples_feed_the_histogram() {
+        let registry = Registry::new();
+        let scope = registry.scope("s");
+        scope.op_sample(OpKind::Push, 100);
+        scope.op_sample(OpKind::Pop, 300);
+        let report = registry.report();
+        assert_eq!(report.scopes[0].histogram.count(), 2);
+        assert_eq!(report.scopes[0].histogram.max(), 300);
+        assert_eq!(report.scopes[0].events.len(), 2);
+    }
+
+    #[test]
+    fn scraper_survives_ring_overflow_pressure() {
+        let registry = Registry::with_ring_capacity(32);
+        let scope = registry.scope("s");
+        let scraper = Scraper::spawn(Arc::clone(&registry), Duration::from_micros(100));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let scope = &scope;
+                s.spawn(move || {
+                    for i in 0..5_000 {
+                        scope.window_shift(ShiftDir::Up, i);
+                    }
+                });
+            }
+        });
+        scraper.stop();
+        let report = registry.report();
+        let got = report.scopes[0].events.len() as u64 + report.scopes[0].dropped;
+        assert_eq!(got, 20_000);
+    }
+}

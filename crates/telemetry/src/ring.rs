@@ -1,0 +1,306 @@
+//! The bounded lock-free event ring.
+//!
+//! A Vyukov-style MPMC array queue specialized for telemetry: producers
+//! are structure hot paths that must **never block and never allocate**,
+//! so when the ring is full the event is *dropped and counted* rather than
+//! waiting for the consumer. Each slot carries a sequence cell that hands
+//! exclusive access back and forth between one producer and one consumer
+//! per lap; the payload cell is written only while that ticket is held, so
+//! events cannot tear or be delivered twice (checked exhaustively by the
+//! `model_ring` test under `--cfg model`).
+//!
+//! The atomics route through the `stack2d::sync` facade; the payload cell
+//! is a plain `UnsafeCell<MaybeUninit<..>>` (the facade's model checker
+//! instruments atomics and schedules, not data cells — the per-slot
+//! sequence protocol is what proves the data accesses race-free).
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+
+use crossbeam_utils::CachePadded;
+use stack2d::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::event::Stamped;
+
+struct Slot {
+    /// Lap ticket: `pos` means "free for the producer of position `pos`",
+    /// `pos + 1` means "holds the value of position `pos`".
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<Stamped>>,
+}
+
+/// A bounded lock-free multi-producer ring of [`Stamped`] events.
+///
+/// Capacity is rounded up to a power of two. When full, [`EventRing::push`]
+/// drops the event and bumps [`EventRing::dropped`] — the hot path never
+/// blocks on a slow scraper.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_telemetry::{Event, EventRing, Stamped};
+/// use stack2d::telemetry::ShiftDir;
+///
+/// let ring = EventRing::new(4);
+/// for i in 0..6 {
+///     ring.push(Stamped::stamp(Event::WindowShift { dir: ShiftDir::Up, count: i }));
+/// }
+/// assert_eq!(ring.dropped(), 2); // capacity 4: two overflowed, counted
+/// let mut drained = Vec::new();
+/// ring.drain_into(&mut drained);
+/// assert_eq!(drained.len(), 4);
+/// ```
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+    dropped: CachePadded<AtomicU64>,
+}
+
+// SAFETY: the per-slot `seq` protocol grants exclusive access to `value`
+// to exactly one thread at a time (the producer that won `enqueue_pos` for
+// that position, then the consumer that won `dequeue_pos`), with Release
+// stores / Acquire loads ordering the data accesses; `Stamped` is `Send`.
+unsafe impl Send for EventRing {}
+// SAFETY: as above — all shared mutation of `value` cells is serialized by
+// the slot sequence handshake.
+unsafe impl Sync for EventRing {}
+
+impl EventRing {
+    /// Creates a ring holding at least `capacity` events (rounded up to a
+    /// power of two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EventRing {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
+            dropped: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events dropped because the ring was full at push time.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Appends an event; returns `false` (and counts the drop) when the
+    /// ring is full. Lock-free: a producer only retries when another
+    /// producer claimed the slot first.
+    pub fn push(&self, stamped: Stamped) -> bool {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS on `enqueue_pos` while
+                        // `slot.seq == pos` makes this thread the unique
+                        // writer of this slot for this lap; the consumer
+                        // will not read until the Release store below.
+                        unsafe { (*slot.value.get()).write(stamped) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                // The slot still holds a value from the previous lap: the
+                // ring is full. Count and drop — never block the op.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Removes the oldest event, or `None` when the ring is empty.
+    pub fn pop(&self) -> Option<Stamped> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos.wrapping_add(1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS on `dequeue_pos` while
+                        // `slot.seq == pos + 1` makes this thread the
+                        // unique reader of the value the producer
+                        // published with its Release store (paired with
+                        // the Acquire load of `seq` above).
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask).wrapping_add(1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drains everything currently in the ring into `out`, oldest first.
+    /// Concurrent pushes may land events behind the drain; call again to
+    /// pick them up.
+    pub fn drain_into(&self, out: &mut Vec<Stamped>) {
+        while let Some(e) = self.pop() {
+            out.push(e);
+        }
+    }
+}
+
+impl core::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(all(test, not(model)))]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use stack2d::telemetry::ShiftDir;
+
+    fn ev(count: u64) -> Stamped {
+        Stamped::stamp(Event::WindowShift { dir: ShiftDir::Up, count })
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(EventRing::new(0).capacity(), 2);
+        assert_eq!(EventRing::new(3).capacity(), 4);
+        assert_eq!(EventRing::new(4).capacity(), 4);
+        assert_eq!(EventRing::new(1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn fifo_within_capacity() {
+        let ring = EventRing::new(8);
+        for i in 0..8 {
+            assert!(ring.push(ev(i)));
+        }
+        for i in 0..8 {
+            let got = ring.pop().expect("eight in, eight out");
+            assert_eq!(got.event, Event::WindowShift { dir: ShiftDir::Up, count: i });
+        }
+        assert!(ring.pop().is_none());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_are_counted_exactly() {
+        let ring = EventRing::new(4);
+        let mut accepted = 0;
+        for i in 0..100 {
+            if ring.push(ev(i)) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 4);
+        assert_eq!(ring.dropped(), 96);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        // The *oldest* events survive — overflow drops the newcomer, so a
+        // saturated ring preserves the head of the stream.
+        assert_eq!(out.len(), 4);
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.event, Event::WindowShift { dir: ShiftDir::Up, count: i as u64 });
+        }
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let ring = EventRing::new(4);
+        for lap in 0..50u64 {
+            for i in 0..4 {
+                assert!(ring.push(ev(lap * 4 + i)));
+            }
+            let mut out = Vec::new();
+            ring.drain_into(&mut out);
+            assert_eq!(out.len(), 4);
+            assert_eq!(out[0].event, Event::WindowShift { dir: ShiftDir::Up, count: lap * 4 });
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn multi_producer_merge_is_deterministic_per_thread() {
+        // Determinism claim: however the threads interleave, each
+        // producer's own events arrive in its program order, nothing is
+        // duplicated, and accepted + dropped == attempted.
+        const THREADS: u64 = 4;
+        const PER: u64 = 1000;
+        let ring = std::sync::Arc::new(EventRing::new(512));
+        let collected = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let ring = std::sync::Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..PER {
+                        ring.push(ev(t * PER + i));
+                    }
+                });
+            }
+            let ring = std::sync::Arc::clone(&ring);
+            let collected = std::sync::Arc::clone(&collected);
+            s.spawn(move || {
+                let mut out = collected.lock().unwrap();
+                for _ in 0..10_000 {
+                    ring.drain_into(&mut out);
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let mut out = collected.lock().unwrap();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len() as u64 + ring.dropped(), THREADS * PER);
+        // Per-producer order: the payload counters of each thread must be
+        // strictly increasing in drain order.
+        let mut last = vec![None::<u64>; THREADS as usize];
+        let mut seen = std::collections::HashSet::new();
+        for e in out.iter() {
+            let Event::WindowShift { count, .. } = e.event else { panic!("unexpected event") };
+            assert!(seen.insert(count), "event {count} delivered twice");
+            let t = (count / PER) as usize;
+            if let Some(prev) = last[t] {
+                assert!(count > prev, "thread {t} order violated: {count} after {prev}");
+            }
+            last[t] = Some(count);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Thread-sharded latency recording.
+//!
+//! A [`LatencyHistogram`] is single-writer; telemetry needs many handles on
+//! many threads recording concurrently. [`ShardedHistogram`] spreads
+//! recorders over a power-of-two array of mutex-guarded shards keyed by a
+//! hash of the calling thread's id — under a steady thread set each thread
+//! effectively owns a shard, so the mutex is uncontended and the cost per
+//! recorded sample stays at one hash plus one uncontended lock. Shards
+//! merge into one histogram at scrape time; merging is exact (bucket-wise
+//! addition), so sharding never changes a reported quantile.
+
+use std::hash::{Hash, Hasher};
+
+use crossbeam_utils::CachePadded;
+use stack2d::sync::Mutex;
+
+use crate::histogram::LatencyHistogram;
+
+/// Default shard count — comfortably above the experiment thread counts so
+/// collisions stay rare, small enough to merge in microseconds.
+const DEFAULT_SHARDS: usize = 16;
+
+/// A concurrent, mergeable latency histogram: thread-sharded writers, one
+/// exact merged reader.
+///
+/// # Examples
+///
+/// ```
+/// use stack2d_telemetry::ShardedHistogram;
+///
+/// let h = ShardedHistogram::new();
+/// std::thread::scope(|s| {
+///     for t in 1..=4u64 {
+///         let h = &h;
+///         s.spawn(move || {
+///             for i in 0..100 {
+///                 h.record(t * 1000 + i);
+///             }
+///         });
+///     }
+/// });
+/// let merged = h.merged();
+/// assert_eq!(merged.count(), 400);
+/// assert!(merged.max() >= 4000);
+/// ```
+#[derive(Debug)]
+pub struct ShardedHistogram {
+    shards: Box<[CachePadded<Mutex<LatencyHistogram>>]>,
+    mask: usize,
+}
+
+impl ShardedHistogram {
+    /// Creates a sharded histogram with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates a sharded histogram with at least `shards` shards (rounded
+    /// up to a power of two, minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedHistogram {
+            shards: (0..n)
+                .map(|_| CachePadded::new(Mutex::new(LatencyHistogram::new())))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            mask: n - 1,
+        }
+    }
+
+    fn shard_index(&self) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut hasher);
+        (hasher.finish() as usize) & self.mask
+    }
+
+    /// Records one sample into the calling thread's shard.
+    pub fn record(&self, value: u64) {
+        self.shards[self.shard_index()].lock().record(value);
+    }
+
+    /// Merges every shard into one histogram (exact: bucket-wise sums).
+    pub fn merged(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for shard in self.shards.iter() {
+            out.merge(&shard.lock());
+        }
+        out
+    }
+
+    /// Total samples across all shards.
+    pub fn count(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().count()).sum()
+    }
+}
+
+impl Default for ShardedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(all(test, not(model)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_rounds_up() {
+        assert_eq!(ShardedHistogram::with_shards(0).shards.len(), 1);
+        assert_eq!(ShardedHistogram::with_shards(5).shards.len(), 8);
+    }
+
+    #[test]
+    fn merged_matches_serial_recording() {
+        let sharded = ShardedHistogram::with_shards(4);
+        let mut serial = LatencyHistogram::new();
+        for v in [10u64, 100, 1000, 10_000, 100_000] {
+            sharded.record(v);
+            serial.record(v);
+        }
+        let merged = sharded.merged();
+        assert_eq!(merged.count(), serial.count());
+        assert_eq!(merged.min(), serial.min());
+        assert_eq!(merged.max(), serial.max());
+        assert_eq!(merged.quantile(0.5), serial.quantile(0.5));
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = ShardedHistogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.merged().count(), 80_000);
+    }
+}

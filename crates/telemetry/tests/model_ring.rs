@@ -1,0 +1,106 @@
+//! Bounded model: the event ring's slot handshake across a wrap.
+//!
+//! Two producers race a consumer on a capacity-2 ring, forcing slot reuse
+//! (a wrap) within the schedule. The Vyukov per-slot sequence protocol
+//! must guarantee that no interleaving tears an event (a consumer
+//! observing a half-written payload) or delivers one twice, and that
+//! every attempted push is either delivered or counted as dropped —
+//! nothing vanishes.
+//!
+//! Run with `RUSTFLAGS="--cfg model" cargo test -p stack2d-telemetry --test model_ring`.
+#![cfg(model)]
+
+use loomlite::{check, Config};
+use stack2d::sync::{thread, Arc};
+use stack2d_telemetry::{Event, EventRing, Stamped};
+
+#[test]
+fn no_event_tears_or_double_delivers_across_a_wrap() {
+    let report = check(Config { max_schedules: 4_000, ..Config::default() }, || {
+        let ring = Arc::new(EventRing::new(2));
+        // The payload pairs `count` with `latency_ns` so a torn write
+        // (one field from each producer) is detectable.
+        let producers: Vec<_> = (0..2u64)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || {
+                    let mut accepted = 0u64;
+                    for i in 0..2u64 {
+                        let tag = t * 10 + i;
+                        let stamped = Stamped {
+                            seq: tag,
+                            at_ns: tag * 1_000,
+                            event: Event::OpSample {
+                                op: stack2d::telemetry::OpKind::Push,
+                                latency_ns: tag,
+                            },
+                        };
+                        if ring.push(stamped) {
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..4 {
+                    if let Some(e) = ring.pop() {
+                        got.push(e);
+                    }
+                }
+                got
+            })
+        };
+        let accepted: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+        let mut got = consumer.join().unwrap();
+        ring.drain_into(&mut got);
+        // Conservation: every push was delivered or counted as dropped.
+        assert_eq!(
+            got.len() as u64 + ring.dropped(),
+            4,
+            "events vanished: {} delivered + {} dropped of 4 attempted",
+            got.len(),
+            ring.dropped()
+        );
+        assert_eq!(accepted, got.len() as u64, "accepted pushes must all be delivered");
+        let mut seen = [false; 2 * 10 + 2];
+        for e in &got {
+            // Torn-write check: all three envelope/payload fields must
+            // describe the same logical event.
+            let Event::OpSample { latency_ns, .. } = e.event else {
+                panic!("payload from nowhere: {e:?}");
+            };
+            assert_eq!(latency_ns, e.seq, "torn event: payload {latency_ns} under seq {}", e.seq);
+            assert_eq!(e.at_ns, e.seq * 1_000, "torn event envelope: {e:?}");
+            let tag = e.seq as usize;
+            assert!(!seen[tag], "event {tag} delivered twice");
+            seen[tag] = true;
+        }
+        // Per-producer FIFO: producer t's first event (t*10) can never be
+        // delivered after its second (t*10+1) — overflow drops newcomers,
+        // never reorders.
+        for t in 0..2usize {
+            if seen[t * 10 + 1] {
+                let first = got.iter().position(|e| e.seq == (t * 10) as u64);
+                let second = got.iter().position(|e| e.seq == (t * 10 + 1) as u64).unwrap();
+                if let Some(first) = first {
+                    assert!(first < second, "producer {t} reordered");
+                }
+            }
+        }
+    })
+    .expect("no schedule may tear or double-deliver a ring event");
+    assert!(
+        report.schedules >= 200,
+        "expected a substantive exploration, got {} schedules",
+        report.schedules
+    );
+    eprintln!(
+        "model_ring: {} schedules (max depth {}, truncated: {})",
+        report.schedules, report.max_depth, report.truncated
+    );
+}

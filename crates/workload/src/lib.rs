@@ -8,7 +8,10 @@
 //!   ([`run_throughput`]) and a deterministic fixed-op variant for tests
 //!   ([`run_fixed_ops`]), both generic over
 //!   [`ConcurrentStack`](stack2d::ConcurrentStack);
-//! * [`histogram`] — log-linear latency histogram ([`LatencyHistogram`]);
+//! * [`LatencyHistogram`] — the log-linear latency histogram, re-exported
+//!   from `stack2d-telemetry` (its home since the observability layer
+//!   landed) so existing `stack2d_workload::LatencyHistogram` users keep
+//!   compiling;
 //! * [`affinity`] — the paper's thread-placement policy (fill socket 0,
 //!   then socket 1, then hyperthreads) as pure logic, with an explicit
 //!   no-op pinning shim (see DESIGN.md §3 for the substitution).
@@ -17,12 +20,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod affinity;
-pub mod histogram;
 pub mod mix;
 pub mod phases;
 pub mod runner;
 
-pub use histogram::LatencyHistogram;
 pub use mix::OpMix;
 pub use phases::{run_phased, run_roles, Phase, Workload};
 pub use runner::{prefill, run_fixed_ops, run_throughput, RunConfig, RunResult};
+pub use stack2d_telemetry::LatencyHistogram;

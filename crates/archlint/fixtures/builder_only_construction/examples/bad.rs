@@ -1,0 +1,17 @@
+//! Bad: hand-built `Params::new(...)` in an example.
+//!
+//! Doc decoy: the builder replaced `Params::new(2, 1, 1)` — prose is fine.
+
+struct Params;
+
+impl Params {
+    fn new(_w: usize, _d: usize, _s: usize) -> Result<Params, ()> {
+        Ok(Params)
+    }
+}
+
+fn main() {
+    // Comment decoy: Params::new(8, 1, 1)
+    let _p = Params::new(8, 1, 1).ok(); // FINDING: builder bypass
+    let _s = "ElasticRunner::spawn in a string is fine";
+}

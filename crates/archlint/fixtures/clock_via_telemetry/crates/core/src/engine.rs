@@ -1,0 +1,10 @@
+//! Bad: a wall-clock read inside core, outside telemetry.rs.
+//!
+//! Doc decoy: timestamps come from `std::time::Instant` normally — saying
+//! so in a comment must not fire.
+
+pub fn ticks() -> u128 {
+    // Comment decoy: std::time::Instant would hand the model a wall clock.
+    let t0 = std::time::Instant::now(); // FINDING: direct Instant
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,18 @@
+//! Bad: deprecated shims that outlived the one-PR window (current PR: 8).
+
+/// Expired: deprecated two PRs ago.
+#[deprecated(note = "use the builder; kept as a one-PR shim since PR 5")]
+pub fn old_constructor() {} // FINDING: PR 5 shim, current PR is 8
+
+/// No PR named at all: unenforceable, also a finding.
+#[deprecated(note = "use the builder instead")]
+pub fn undated_shim() {} // FINDING: note names no PR
+
+/// Fresh shim from this PR: fine.
+#[deprecated(note = "one-PR shim since PR 8; remove in PR 9")]
+pub fn fresh_shim() {}
+
+/// Decoy: `#[deprecated(note = "PR 1")]` in a doc comment is prose.
+pub fn decoy() -> &'static str {
+    "#[deprecated(note = \"PR 1\")] in a string is prose too"
+}

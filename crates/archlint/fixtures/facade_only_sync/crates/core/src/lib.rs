@@ -1,0 +1,30 @@
+//! Bad: direct sync primitives in a model-checked crate.
+//!
+//! Decoys a grep would fire on (and archlint must not): this doc comment
+//! mentions `use parking_lot::Mutex;` and `std::sync::atomic` freely.
+
+/// Doc decoy: `std::thread::spawn` in prose is fine.
+pub fn decoys() -> &'static str {
+    // Comment decoy: use parking_lot::Mutex;
+    let _in_string = "use std::sync::Mutex; std::thread::spawn";
+    let _in_raw = r#"parking_lot::Mutex inside a raw string "quoting" freely"#;
+    "ok"
+}
+
+use parking_lot::Mutex; // FINDING: direct parking_lot import
+
+pub fn bad_paths() {
+    let _m: Mutex<u8> = Mutex::new(0);
+    let _a = std::sync::atomic::AtomicUsize::new(0); // FINDING: std::sync path
+    std::thread::spawn(|| {}).join().ok(); // FINDING: raw spawn
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use raw primitives — never compiled under --cfg model.
+    #[test]
+    fn raw_sync_in_tests_is_fine() {
+        let a = std::sync::Arc::new(std::sync::Mutex::new(1));
+        std::thread::spawn(move || drop(a)).join().unwrap();
+    }
+}

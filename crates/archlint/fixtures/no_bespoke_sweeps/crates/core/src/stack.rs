@@ -1,0 +1,13 @@
+//! Bad: a bespoke descriptor-sweep loop re-grown in a structure module.
+//!
+//! Doc decoy: the engine's own loop is `for step in 0..width` — prose.
+
+pub fn sweep(width: usize) -> usize {
+    let mut probes = 0;
+    // Comment decoy: for step in 0..width { ... }
+    for step in 0..width {
+        // FINDING: the line above re-grows the engine's sweep
+        probes += step;
+    }
+    probes
+}

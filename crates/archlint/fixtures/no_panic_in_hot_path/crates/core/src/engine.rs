@@ -1,0 +1,27 @@
+//! Bad: panics in a hot-path module outside tests.
+//!
+//! Doc decoy: `.unwrap()` in prose — for example `x.unwrap()` — is fine.
+
+pub fn hot(v: Option<u32>) -> u32 {
+    // Comment decoy: .unwrap() / panic!("...")
+    let a = v.unwrap(); // FINDING: unwrap on the hot path
+    if a > 100 {
+        panic!("too big"); // FINDING: panic! on the hot path
+    }
+    a
+}
+
+pub fn justified(v: Option<u32>) -> u32 {
+    // archlint: allow(no-panic-in-hot-path) — invariant: caller prefilled.
+    v.expect("prefilled by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::hot(Some(3)), 3);
+        let x: Option<u32> = Some(7);
+        assert_eq!(x.unwrap(), 7);
+    }
+}

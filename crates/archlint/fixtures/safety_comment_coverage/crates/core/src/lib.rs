@@ -1,0 +1,45 @@
+//! Bad: `unsafe` sites without SAFETY comments.
+
+/// A documented obligation: this one is fine.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn documented(p: *const u8) -> u8 {
+    // SAFETY: caller contract (see # Safety above).
+    unsafe { *p }
+}
+
+pub fn covered(x: &mut u32) -> u32 {
+    let p: *mut u32 = x;
+    // SAFETY: `p` comes from a live &mut borrow — fine, no finding.
+    unsafe { *p }
+}
+
+pub fn uncovered(x: &mut u32) -> u32 {
+    let p: *mut u32 = x;
+    let v = unsafe { *p }; // FINDING: unsafe block, no SAFETY comment
+    v
+}
+
+pub unsafe fn undocumented(p: *const u8) -> u8 {
+    // FINDING on the fn above: no SAFETY / # Safety.
+    // SAFETY: caller promises validity.
+    unsafe { *p }
+}
+
+/// Decoy: a fn-*pointer* type is not an obligation site.
+pub struct Holder {
+    pub destroy: unsafe fn(*mut ()),
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_is_still_not_exempt_from_compilers() {
+        // Test code is outside this rule's reach by design.
+        let mut x = 3u32;
+        let p: *mut u32 = &mut x;
+        assert_eq!(unsafe { *p }, 3);
+    }
+}

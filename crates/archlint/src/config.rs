@@ -1,0 +1,200 @@
+//! `archlint.toml` — the explicit exemption surface.
+//!
+//! The grep wall's exemptions were invisible (a `grep -v` pipe segment
+//! buried in ci.yml); here every exemption is a named file with a reason,
+//! reviewed like code. The format is a small TOML subset parsed by hand
+//! (the crate is deliberately dependency-free):
+//!
+//! ```toml
+//! current_pr = 8
+//!
+//! [allow.facade-only-sync]
+//! "crates/workload/src/runner.rs" = "real OS threads by design"
+//! ```
+//!
+//! Allowlist entries naming a file that no longer exists are a hard error
+//! — the allowlist cannot rot silently.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Parsed configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// The PR currently being built — the clock `deprecation-expiry`
+    /// measures shim age against.
+    pub current_pr: u32,
+    /// `rule -> (repo-relative file -> reason)`.
+    pub allow: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+/// A configuration problem (exit code 2 territory, not a finding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "archlint.toml: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Whether `path` (repo-relative, `/`-separated) is allowlisted for
+    /// `rule`.
+    pub fn is_allowed(&self, rule: &str, path: &str) -> bool {
+        self.allow.get(rule).is_some_and(|files| files.contains_key(path))
+    }
+
+    /// Parses the config text. `known_rules` validates section names.
+    pub fn parse(text: &str, known_rules: &[&str]) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section: Option<String> = None;
+        for (no, raw) in text.lines().enumerate() {
+            let lineno = no + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let rule = name.strip_prefix("allow.").ok_or_else(|| {
+                    ConfigError(format!(
+                        "line {lineno}: unknown section [{name}] (expected [allow.<rule>])"
+                    ))
+                })?;
+                if !known_rules.contains(&rule) {
+                    return Err(ConfigError(format!(
+                        "line {lineno}: [allow.{rule}] names an unknown rule"
+                    )));
+                }
+                section = Some(rule.to_string());
+                cfg.allow.entry(rule.to_string()).or_default();
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| ConfigError(format!("line {lineno}: expected `key = value`")))?;
+            let key = unquote(key.trim());
+            let value = value.trim();
+            match &section {
+                None => {
+                    if key == "current_pr" {
+                        cfg.current_pr = value.parse().map_err(|_| {
+                            ConfigError(format!("line {lineno}: current_pr must be an integer"))
+                        })?;
+                    } else {
+                        return Err(ConfigError(format!(
+                            "line {lineno}: unknown top-level key `{key}`"
+                        )));
+                    }
+                }
+                Some(rule) => {
+                    let reason = unquote(value);
+                    if reason.is_empty() {
+                        return Err(ConfigError(format!(
+                            "line {lineno}: allowlist entry `{key}` needs a non-empty reason"
+                        )));
+                    }
+                    cfg.allow.get_mut(rule).expect("section inserted on entry").insert(key, reason);
+                }
+            }
+        }
+        if cfg.current_pr == 0 {
+            return Err(ConfigError("missing `current_pr` (deprecation-expiry needs it)".into()));
+        }
+        Ok(cfg)
+    }
+
+    /// Loads `<root>/archlint.toml` and verifies every allowlisted file
+    /// still exists under `root`.
+    pub fn load(root: &Path, known_rules: &[&str]) -> Result<Config, ConfigError> {
+        let path = root.join("archlint.toml");
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| ConfigError(format!("cannot read {}: {e}", path.display())))?;
+        let cfg = Self::parse(&text, known_rules)?;
+        for (rule, files) in &cfg.allow {
+            for file in files.keys() {
+                if !root.join(file).is_file() {
+                    return Err(ConfigError(format!(
+                        "stale allowlist entry: [allow.{rule}] names `{file}`, which does not exist"
+                    )));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(s: &str) -> String {
+    let s = s.trim();
+    s.strip_prefix('"').and_then(|s| s.strip_suffix('"')).unwrap_or(s).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["facade-only-sync", "no-panic-in-hot-path"];
+
+    #[test]
+    fn parses_sections_and_reasons() {
+        let cfg = Config::parse(
+            "# header\ncurrent_pr = 8\n\n[allow.facade-only-sync]\n\"a/b.rs\" = \"real threads\" # why\n",
+            RULES,
+        )
+        .unwrap();
+        assert_eq!(cfg.current_pr, 8);
+        assert!(cfg.is_allowed("facade-only-sync", "a/b.rs"));
+        assert!(!cfg.is_allowed("no-panic-in-hot-path", "a/b.rs"));
+    }
+
+    #[test]
+    fn unknown_rule_section_rejected() {
+        let err = Config::parse("current_pr = 8\n[allow.nope]\n", RULES).unwrap_err();
+        assert!(err.0.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn missing_current_pr_rejected() {
+        assert!(Config::parse("[allow.facade-only-sync]\n", RULES).is_err());
+    }
+
+    #[test]
+    fn empty_reason_rejected() {
+        let err =
+            Config::parse("current_pr = 8\n[allow.facade-only-sync]\n\"a.rs\" = \"\"\n", RULES)
+                .unwrap_err();
+        assert!(err.0.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn hash_inside_reason_string_is_kept() {
+        let cfg = Config::parse(
+            "current_pr = 8\n[allow.facade-only-sync]\n\"a.rs\" = \"uses #[thread] stuff\"\n",
+            RULES,
+        )
+        .unwrap();
+        assert_eq!(cfg.allow["facade-only-sync"]["a.rs"], "uses #[thread] stuff");
+    }
+}

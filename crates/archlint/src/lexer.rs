@@ -1,0 +1,287 @@
+//! A small comment/string/raw-string-aware Rust lexer.
+//!
+//! This is **not** a full Rust tokenizer — it is exactly the subset the
+//! architecture rules need to be immune to the false positives that sank
+//! the CI grep wall: it classifies every byte of a source file as code,
+//! comment, or literal, so a rule matching `parking_lot` can no longer
+//! fire on a doc comment, a string, or a `r#"..."#` raw string that
+//! merely *mentions* the path. The hard cases it must get right (and the
+//! unit tests pin): nested block comments, raw strings with arbitrary
+//! hash fences, lifetimes vs char literals, and `//` inside string
+//! literals.
+//!
+//! Multi-byte punctuation is collapsed only for the two sequences the
+//! rules match on (`::` and `..`); everything else is emitted one
+//! character at a time, which keeps the lexer honest and the matcher
+//! simple.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `parking_lot`, `width`, ...).
+    Ident,
+    /// A lifetime such as `'a` or `'_` (no closing quote).
+    Lifetime,
+    /// A character literal, `'x'` or `'\n'`.
+    Char,
+    /// A string or byte-string literal (`"..."`, `b"..."`).
+    Str,
+    /// A raw (byte) string literal (`r"..."`, `r#"..."#`, `br#"..."#`).
+    RawStr,
+    /// A numeric literal (integers and the digit runs of floats).
+    Number,
+    /// Punctuation; single character except the collapsed `::` and `..`.
+    Punct,
+    /// `//` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* ... */` comment (nesting-aware), including `/** ... */`.
+    BlockComment,
+}
+
+/// One token: kind plus the byte span and 1-based source line it starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Comments are trivia: rules that match code patterns skip them.
+    pub fn is_trivia(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this is a doc comment (`///`, `//!`, `/** ... */`).
+    pub fn is_doc(&self, src: &str) -> bool {
+        let t = self.text(src);
+        match self.kind {
+            TokenKind::LineComment => {
+                (t.starts_with("///") && !t.starts_with("////")) || t.starts_with("//!")
+            }
+            TokenKind::BlockComment => t.starts_with("/**") || t.starts_with("/*!"),
+            _ => false,
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes `src` into a token stream (trivia included, whitespace dropped).
+///
+/// The lexer never fails: unterminated literals and comments simply run to
+/// the end of the file, which is the right degraded behavior for a linter
+/// (the compiler will reject the file anyway).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let start = i;
+        let start_line = line;
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::LineComment,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comments nest in Rust.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::BlockComment,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if raw_str_fence(b, i).is_some() => {
+                // r"...", r#"..."#, br"...", br#"..."# (any hash count).
+                let (body_start, hashes) = raw_str_fence(b, i).expect("checked above");
+                i = body_start;
+                let fence: Vec<u8> =
+                    std::iter::once(b'"').chain((0..hashes).map(|_| b'#')).collect();
+                loop {
+                    if i >= b.len() {
+                        break;
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                        continue;
+                    }
+                    if b[i] == b'"' && b[i..].starts_with(&fence) {
+                        i += fence.len();
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::RawStr, start, end: i, line: start_line });
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                i += 1;
+                i = scan_quoted(b, i, &mut line);
+                tokens.push(Token { kind: TokenKind::Str, start, end: i, line: start_line });
+            }
+            b'"' => {
+                i = scan_quoted(b, i, &mut line);
+                tokens.push(Token { kind: TokenKind::Str, start, end: i, line: start_line });
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'a'` / `'\n'` are chars;
+                // `'a`, `'static`, `'_` are lifetimes.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    // Escaped char literal.
+                    i += 2; // consume '\ and the escape lead
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i = (i + 1).min(b.len());
+                    tokens.push(Token { kind: TokenKind::Char, start, end: i, line: start_line });
+                } else if i + 1 < b.len() && is_ident_start(b[i + 1]) {
+                    if i + 2 < b.len() && b[i + 2] == b'\'' {
+                        // 'x'
+                        i += 3;
+                        tokens.push(Token {
+                            kind: TokenKind::Char,
+                            start,
+                            end: i,
+                            line: start_line,
+                        });
+                    } else {
+                        // Lifetime: consume the identifier.
+                        i += 2;
+                        while i < b.len() && is_ident_continue(b[i]) {
+                            i += 1;
+                        }
+                        tokens.push(Token {
+                            kind: TokenKind::Lifetime,
+                            start,
+                            end: i,
+                            line: start_line,
+                        });
+                    }
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    // Non-identifier char like '(' or ' '.
+                    i += 3;
+                    tokens.push(Token { kind: TokenKind::Char, start, end: i, line: start_line });
+                } else {
+                    // Stray quote (macro hygiene etc.) — emit as punct.
+                    i += 1;
+                    tokens.push(Token { kind: TokenKind::Punct, start, end: i, line: start_line });
+                }
+            }
+            _ if is_ident_start(c) => {
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Ident, start, end: i, line: start_line });
+            }
+            _ if c.is_ascii_digit() => {
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Number, start, end: i, line: start_line });
+            }
+            b':' if i + 1 < b.len() && b[i + 1] == b':' => {
+                i += 2;
+                tokens.push(Token { kind: TokenKind::Punct, start, end: i, line: start_line });
+            }
+            b'.' if i + 1 < b.len() && b[i + 1] == b'.' => {
+                i += 2;
+                tokens.push(Token { kind: TokenKind::Punct, start, end: i, line: start_line });
+            }
+            _ => {
+                i += 1;
+                tokens.push(Token { kind: TokenKind::Punct, start, end: i, line: start_line });
+            }
+        }
+    }
+    tokens
+}
+
+/// If `b[i..]` starts a raw (byte) string, returns `(body_start, hashes)`
+/// where `body_start` is the index just past the opening quote.
+fn raw_str_fence(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        Some((j + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// Scans a `"..."` body starting at the opening quote; returns the index
+/// just past the closing quote. Backslash escapes (including `\"` and
+/// `\\`) are honored, so `//` inside a string stays inside the string.
+fn scan_quoted(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(b[i], b'"');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}

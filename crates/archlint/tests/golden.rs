@@ -1,0 +1,130 @@
+//! Golden-finding tests: every rule fires on its fixture mini-tree with
+//! the expected findings, and the workspace itself is the clean corpus
+//! (zero findings — this test is what makes `cargo test` enforce the
+//! architecture invariants, not just CI).
+
+use std::path::{Path, PathBuf};
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+/// Runs a full scan of a fixture tree and returns `(rule, file, line)`.
+fn scan(dir: &Path) -> Vec<(String, String, u32)> {
+    let scan = stack2d_archlint::run(dir, &[]).expect("scan succeeds");
+    scan.findings.into_iter().map(|f| (f.rule.to_string(), f.file, f.line)).collect()
+}
+
+#[test]
+fn facade_only_sync_fixture() {
+    let got = scan(&fixtures().join("facade_only_sync"));
+    let f = "crates/core/src/lib.rs";
+    assert_eq!(
+        got,
+        vec![
+            ("facade-only-sync".into(), f.into(), 14),
+            ("facade-only-sync".into(), f.into(), 18),
+            ("facade-only-sync".into(), f.into(), 19),
+        ]
+    );
+}
+
+#[test]
+fn clock_via_telemetry_fixture() {
+    let got = scan(&fixtures().join("clock_via_telemetry"));
+    assert_eq!(got, vec![("clock-via-telemetry".into(), "crates/core/src/engine.rs".into(), 8)]);
+}
+
+#[test]
+fn no_bespoke_sweeps_fixture() {
+    let got = scan(&fixtures().join("no_bespoke_sweeps"));
+    assert_eq!(got, vec![("no-bespoke-sweeps".into(), "crates/core/src/stack.rs".into(), 8)]);
+}
+
+#[test]
+fn builder_only_construction_fixture() {
+    let got = scan(&fixtures().join("builder_only_construction"));
+    assert_eq!(got, vec![("builder-only-construction".into(), "examples/bad.rs".into(), 15)]);
+}
+
+#[test]
+fn safety_comment_coverage_fixture() {
+    let got = scan(&fixtures().join("safety_comment_coverage"));
+    let f = "crates/core/src/lib.rs";
+    assert_eq!(
+        got,
+        vec![
+            ("safety-comment-coverage".into(), f.into(), 21),
+            ("safety-comment-coverage".into(), f.into(), 25),
+        ]
+    );
+}
+
+#[test]
+fn deprecation_expiry_fixture() {
+    let got = scan(&fixtures().join("deprecation_expiry"));
+    let f = "crates/core/src/lib.rs";
+    assert_eq!(
+        got,
+        vec![
+            ("deprecation-expiry".into(), f.into(), 4),
+            ("deprecation-expiry".into(), f.into(), 8),
+        ]
+    );
+}
+
+#[test]
+fn no_panic_in_hot_path_fixture() {
+    let got = scan(&fixtures().join("no_panic_in_hot_path"));
+    let f = "crates/core/src/engine.rs";
+    assert_eq!(
+        got,
+        vec![
+            ("no-panic-in-hot-path".into(), f.into(), 7),
+            ("no-panic-in-hot-path".into(), f.into(), 9),
+        ]
+    );
+}
+
+#[test]
+fn every_rule_has_a_firing_fixture() {
+    // A rule without a fixture could silently rot into never matching.
+    let mut fired: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(fixtures()).expect("fixtures dir") {
+        let dir = entry.expect("entry").path();
+        if dir.is_dir() {
+            for (rule, _, _) in scan(&dir) {
+                fired.insert(rule);
+            }
+        }
+    }
+    let all: std::collections::BTreeSet<String> =
+        stack2d_archlint::rules::rule_names().into_iter().map(String::from).collect();
+    assert_eq!(fired, all, "every rule must fire on at least one fixture");
+}
+
+#[test]
+fn workspace_is_the_clean_corpus() {
+    let scan = stack2d_archlint::run(&workspace_root(), &[]).expect("workspace scan");
+    assert!(
+        scan.findings.is_empty(),
+        "the workspace must stay archlint-clean; findings:\n{}",
+        stack2d_archlint::report::human(&scan.findings, scan.files_scanned)
+    );
+    // Sanity: the scan actually visited the tree (not an empty root).
+    assert!(scan.files_scanned > 100, "only {} files scanned", scan.files_scanned);
+}
+
+#[test]
+fn rule_filter_restricts_the_scan() {
+    let root = fixtures().join("facade_only_sync");
+    let scan =
+        stack2d_archlint::run(&root, &["no-panic-in-hot-path".to_string()]).expect("filtered scan");
+    assert!(scan.findings.is_empty());
+    let err = stack2d_archlint::run(&root, &["nope".to_string()]).unwrap_err();
+    assert!(err.to_string().contains("unknown rule"), "{err}");
+}

@@ -1,0 +1,114 @@
+//! Lexer unit tests for the cases that sank the grep wall: nested block
+//! comments, raw strings, lifetimes vs char literals, and `//` inside
+//! string literals.
+
+use stack2d_archlint::lexer::{lex, TokenKind};
+
+fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+    lex(src).into_iter().map(|t| (t.kind, t.text(src))).collect()
+}
+
+#[test]
+fn line_and_doc_comments_are_trivia() {
+    let src = "// plain\n/// doc\n//! inner\nlet x = 1;\n";
+    let toks = lex(src);
+    assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::LineComment).count(), 3, "{toks:?}");
+    assert!(toks[0].is_trivia());
+    assert!(!toks[0].is_doc(src));
+    assert!(toks[1].is_doc(src));
+    assert!(toks[2].is_doc(src));
+}
+
+#[test]
+fn nested_block_comments_close_at_the_right_depth() {
+    let src = "/* outer /* inner */ still comment */ code";
+    let k = kinds(src);
+    assert_eq!(k[0].0, TokenKind::BlockComment);
+    assert_eq!(k[0].1, "/* outer /* inner */ still comment */");
+    assert_eq!(k[1], (TokenKind::Ident, "code"));
+}
+
+#[test]
+fn double_slash_inside_string_stays_in_the_string() {
+    let src = r#"let url = "https://example.com"; use parking_lot::Mutex;"#;
+    let k = kinds(src);
+    let s = k.iter().find(|(kind, _)| *kind == TokenKind::Str).unwrap();
+    assert_eq!(s.1, "\"https://example.com\"");
+    // The import after the string is real code.
+    assert!(k.iter().any(|(kind, t)| *kind == TokenKind::Ident && *t == "parking_lot"));
+}
+
+#[test]
+fn escaped_quote_does_not_close_the_string() {
+    let src = r#"let s = "say \"hi\" // not a comment"; x"#;
+    let k = kinds(src);
+    let s = k.iter().find(|(kind, _)| *kind == TokenKind::Str).unwrap();
+    assert!(s.1.contains("not a comment"), "{s:?}");
+    assert_eq!(*k.last().unwrap(), (TokenKind::Ident, "x"));
+}
+
+#[test]
+fn raw_strings_with_hash_fences() {
+    let src = r###"let a = r"plain"; let b = r#"with "quotes" and \ no escapes"#; c"###;
+    let k = kinds(src);
+    let raws: Vec<_> = k.iter().filter(|(kind, _)| *kind == TokenKind::RawStr).collect();
+    assert_eq!(raws.len(), 2, "{k:?}");
+    assert_eq!(raws[0].1, "r\"plain\"");
+    assert!(raws[1].1.contains("\"quotes\""));
+    assert_eq!(*k.last().unwrap(), (TokenKind::Ident, "c"));
+}
+
+#[test]
+fn raw_byte_strings_lex_as_raw() {
+    let src = r##"let a = br#"bytes"#;"##;
+    let k = kinds(src);
+    assert!(k.iter().any(|(kind, t)| *kind == TokenKind::RawStr && t.starts_with("br#")));
+}
+
+#[test]
+fn lifetimes_vs_char_literals() {
+    let src = "fn f<'a>(x: &'a u8) -> char { let c = 'a'; let nl = '\\n'; let p = '('; c }";
+    let k = kinds(src);
+    let lifetimes: Vec<_> = k.iter().filter(|(kind, _)| *kind == TokenKind::Lifetime).collect();
+    let chars: Vec<_> = k.iter().filter(|(kind, _)| *kind == TokenKind::Char).collect();
+    assert_eq!(lifetimes.len(), 2, "{k:?}");
+    assert!(lifetimes.iter().all(|(_, t)| *t == "'a"));
+    assert_eq!(chars.len(), 3, "{k:?}");
+    assert_eq!(chars[0].1, "'a'");
+    assert_eq!(chars[1].1, "'\\n'");
+    assert_eq!(chars[2].1, "'('");
+}
+
+#[test]
+fn static_lifetime_and_underscore() {
+    let src = "&'static str; &'_ u8";
+    let k = kinds(src);
+    let lifetimes: Vec<_> =
+        k.iter().filter(|(kind, _)| *kind == TokenKind::Lifetime).map(|(_, t)| *t).collect();
+    assert_eq!(lifetimes, vec!["'static", "'_"]);
+}
+
+#[test]
+fn double_colon_and_dotdot_collapse() {
+    let src = "for step in 0..width { std::sync::atomic }";
+    let k = kinds(src);
+    assert!(k.contains(&(TokenKind::Punct, "..")));
+    assert_eq!(k.iter().filter(|(kind, t)| *kind == TokenKind::Punct && *t == "::").count(), 2);
+}
+
+#[test]
+fn line_numbers_survive_multiline_tokens() {
+    let src = "let a = \"two\nlines\";\n/* block\nspanning\nlines */\nlet b = 1;\n";
+    let toks = lex(src);
+    let b = toks.iter().find(|t| t.text(src) == "b").unwrap();
+    assert_eq!(b.line, 6, "{toks:?}");
+}
+
+#[test]
+fn unterminated_literals_run_to_eof_without_panicking() {
+    for src in ["let s = \"unterminated", "let s = r#\"unterminated", "/* unterminated"] {
+        let toks = lex(src);
+        assert!(!toks.is_empty());
+        assert_eq!(toks.last().unwrap().end, src.len());
+    }
+}

@@ -24,7 +24,7 @@ use stack2d::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
+use stack2d::sync::Mutex;
 
 use stack2d::rng::HopRng;
 use stack2d::{ConcurrentStack, StackHandle};

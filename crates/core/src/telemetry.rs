@@ -316,6 +316,7 @@ pub mod clock {
         use std::time::Instant;
         // OnceLock, not the sync facade: the anchor is set-once process
         // state, not protocol state a model schedule could permute.
+        // archlint: allow(facade-only-sync) — the facade has no OnceLock.
         static START: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
         let start = *START.get_or_init(Instant::now);
         Instant::now().duration_since(start).as_nanos() as u64
@@ -331,7 +332,10 @@ pub mod clock {
     #[cfg(model)]
     #[inline]
     pub fn now_ns() -> u64 {
+        // archlint: allow(facade-only-sync) — a loomlite atomic here would
+        // make every timestamp a scheduling point (see the doc above).
         static TICK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        // archlint: allow(facade-only-sync) — same raw tick as the line above.
         TICK.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 }

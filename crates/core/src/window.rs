@@ -97,6 +97,8 @@ impl WindowDesc {
     pub(crate) fn info(&self) -> WindowInfo {
         WindowInfo {
             params: Params::new(self.push_width, self.depth, self.shift)
+                // archlint: allow(no-panic-in-hot-path) — descriptors are
+                // only built from validated Params; failure is a core bug.
                 .expect("window descriptor always holds validated parameters"),
             pop_width: self.pop_width,
             generation: self.generation,
@@ -410,6 +412,8 @@ impl WindowInfo {
     /// so it stays honest while a shrink is pending.
     pub fn k_bound(&self) -> usize {
         Params::new(self.pop_width, self.params.depth(), self.params.shift())
+            // archlint: allow(no-panic-in-hot-path) — pop_width shrinks only
+            // toward validated widths; failure is a core bug, not input.
             .expect("pop_width >= 1 and depth/shift come from validated parameters")
             .k_bound()
     }

@@ -183,7 +183,7 @@ impl History {
 /// ```
 #[derive(Debug, Default)]
 pub struct SharedClock {
-    t: core::sync::atomic::AtomicU64,
+    t: stack2d::sync::atomic::AtomicU64,
 }
 
 impl SharedClock {
@@ -193,7 +193,7 @@ impl SharedClock {
     }
 
     fn tick(&self) -> u64 {
-        self.t.fetch_add(1, core::sync::atomic::Ordering::SeqCst)
+        self.t.fetch_add(1, stack2d::sync::atomic::Ordering::SeqCst)
     }
 }
 

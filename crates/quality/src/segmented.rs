@@ -21,7 +21,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use parking_lot::Mutex;
+use stack2d::sync::Mutex;
 
 use crate::oracle::{Label, Oracle};
 use stack2d::{Handle2D, Stack2D, WindowInfo};

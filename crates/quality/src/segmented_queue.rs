@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use parking_lot::Mutex;
+use stack2d::sync::Mutex;
 
 use crate::fenwick::Fenwick;
 use crate::oracle::Label;

@@ -314,6 +314,8 @@ impl Guard {
     /// The pointer must have been unlinked from the data structure (no new
     /// readers can acquire it) and must not be retired twice.
     pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        // SAFETY: callable only with the Box allocation recorded for this
+        // monomorphization, exactly once, after unreachability (see body).
         unsafe fn destroy<T>(p: *mut ()) {
             // SAFETY: `p` is the Box allocation recorded alongside this
             // monomorphization by `defer_destroy` below, invoked only once
@@ -423,6 +425,8 @@ impl<T> Pointer<T> for Owned<T> {
         std::mem::forget(self);
         raw
     }
+    // SAFETY: per the trait contract, `raw` is a live Box allocation and
+    // the caller transfers its unique ownership to the new `Owned`.
     unsafe fn from_raw_ptr(raw: *mut T) -> Self {
         Owned { raw, _marker: PhantomData }
     }
@@ -540,6 +544,8 @@ impl<T> Pointer<T> for Shared<'_, T> {
     fn into_raw_ptr(self) -> *mut T {
         self.raw.cast_mut()
     }
+    // SAFETY: per the trait contract, `raw` stays valid for the inferred
+    // lifetime; `Shared` adds no access of its own.
     unsafe fn from_raw_ptr(raw: *mut T) -> Self {
         Shared { raw, _marker: PhantomData }
     }

@@ -1,0 +1,18 @@
+//! Bad: the server crate is facade-covered too (PR 9 widened the rule) —
+//! connection threads must spawn/sleep through stack2d::sync so the
+//! service loop stays model-checkable alongside the structures it wraps.
+
+pub fn serve() {
+    // Comment decoy: std::thread::spawn in prose is fine.
+    let handle = std::thread::spawn(|| {}); // FINDING: raw spawn in server
+    std::thread::sleep(std::time::Duration::from_millis(1)); // FINDING: raw sleep in server
+    handle.join().ok();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_threads_in_tests_are_fine() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

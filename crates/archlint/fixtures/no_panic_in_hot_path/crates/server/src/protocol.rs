@@ -1,0 +1,19 @@
+//! Bad: the server's framing/decoding hot path (PR 9 widened the rule)
+//! must stay panic-free — every malformed byte sequence has to map to a
+//! typed error, so a stray unwrap here is a remote crash.
+
+pub fn decode(body: &[u8]) -> u8 {
+    // Comment decoy: .expect("...") in prose is fine.
+    let first = body.first().expect("frame body non-empty"); // FINDING: expect while decoding
+    *first
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::decode(&[7]), 7);
+        let x: Option<u8> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -40,8 +40,8 @@ pub fn registry() -> &'static [Rule] {
             name: "facade-only-sync",
             summary: "synchronization in model-checked crates goes through stack2d::sync",
             applies: |p| {
-                const CRATES: [&str; 6] =
-                    ["core", "adaptive", "baselines", "telemetry", "quality", "workload"];
+                const CRATES: [&str; 7] =
+                    ["core", "adaptive", "baselines", "telemetry", "quality", "workload", "server"];
                 p != "crates/core/src/sync.rs"
                     && CRATES.iter().any(|c| p.starts_with(&format!("crates/{c}/src/")))
             },
@@ -99,6 +99,9 @@ pub fn registry() -> &'static [Rule] {
                         | "crates/core/src/window.rs"
                         | "crates/core/src/queue2d.rs"
                         | "crates/core/src/counter2d.rs"
+                        | "crates/server/src/protocol.rs"
+                        | "crates/server/src/frame.rs"
+                        | "crates/server/src/conn.rs"
                 )
             },
             check: check_no_panic_in_hot_path,

@@ -22,13 +22,16 @@ fn scan(dir: &Path) -> Vec<(String, String, u32)> {
 #[test]
 fn facade_only_sync_fixture() {
     let got = scan(&fixtures().join("facade_only_sync"));
-    let f = "crates/core/src/lib.rs";
+    let core = "crates/core/src/lib.rs";
+    let server = "crates/server/src/conn.rs";
     assert_eq!(
         got,
         vec![
-            ("facade-only-sync".into(), f.into(), 14),
-            ("facade-only-sync".into(), f.into(), 18),
-            ("facade-only-sync".into(), f.into(), 19),
+            ("facade-only-sync".into(), core.into(), 14),
+            ("facade-only-sync".into(), core.into(), 18),
+            ("facade-only-sync".into(), core.into(), 19),
+            ("facade-only-sync".into(), server.into(), 7),
+            ("facade-only-sync".into(), server.into(), 8),
         ]
     );
 }
@@ -80,12 +83,14 @@ fn deprecation_expiry_fixture() {
 #[test]
 fn no_panic_in_hot_path_fixture() {
     let got = scan(&fixtures().join("no_panic_in_hot_path"));
-    let f = "crates/core/src/engine.rs";
+    let core = "crates/core/src/engine.rs";
+    let server = "crates/server/src/protocol.rs";
     assert_eq!(
         got,
         vec![
-            ("no-panic-in-hot-path".into(), f.into(), 7),
-            ("no-panic-in-hot-path".into(), f.into(), 9),
+            ("no-panic-in-hot-path".into(), core.into(), 7),
+            ("no-panic-in-hot-path".into(), core.into(), 9),
+            ("no-panic-in-hot-path".into(), server.into(), 7),
         ]
     );
 }

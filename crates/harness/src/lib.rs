@@ -13,6 +13,7 @@
 //! | mechanism & dimension ablations | [`ablation`] | `… --bin ablation` | §3–4 design claims (all three structures) |
 //! | asymmetric mixes | [`asymmetry`] | `… --bin asymmetry` | §2 elimination claim |
 //! | static vs elastic retuning | [`elastic`] | `… --bin elastic` | the title's "continuously relaxes" |
+//! | networked service load | [`server_load`] | `… --bin server_load` | §5 extensions (relaxed2d-server) |
 //!
 //! Scale is controlled by `STACK2D_*` environment variables (see
 //! [`experiment::Settings`]); defaults are CI-sized, paper-scale values are
@@ -34,6 +35,7 @@ pub mod fig3;
 pub mod latency;
 pub mod quality_run;
 pub mod report;
+pub mod server_load;
 pub mod telemetry;
 pub mod tuning;
 

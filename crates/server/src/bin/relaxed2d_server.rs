@@ -1,0 +1,102 @@
+//! Standalone relaxed2d server binary.
+//!
+//! ```text
+//! relaxed2d_server [--addr HOST:PORT] [--telemetry DIR]
+//!                  [--capacity N] [--budget K] [--cadence-ms MS]
+//!                  [--sample-every N] [--max-frame BYTES]
+//! ```
+//!
+//! Binds, prints `relaxed2d-server listening on ADDR` on stdout (the CI
+//! smoke job and the load generator wait for that line), then serves
+//! until a client sends the protocol `Shutdown` request; exits 0 after a
+//! graceful drain and telemetry flush.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use relaxed2d_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: relaxed2d_server [--addr HOST:PORT] [--telemetry DIR] [--capacity N] \
+         [--budget K] [--cadence-ms MS] [--sample-every N] [--max-frame BYTES]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServerConfig {
+    let mut config = ServerConfig { addr: "127.0.0.1:7421".to_string(), ..ServerConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            match args.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("missing value for {name}");
+                    usage();
+                }
+            }
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--telemetry" => config.telemetry_dir = Some(value("--telemetry").into()),
+            "--capacity" => config.tenants.elastic_capacity = num(&value("--capacity")),
+            "--budget" => config.tenants.k_budget = num(&value("--budget")),
+            "--cadence-ms" => {
+                config.tenants.cadence = Duration::from_millis(num(&value("--cadence-ms")) as u64);
+            }
+            "--sample-every" => config.tenants.sample_every = num(&value("--sample-every")) as u32,
+            "--max-frame" => config.max_frame_len = num(&value("--max-frame")) as u32,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    config
+}
+
+fn num(s: &str) -> usize {
+    match s.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("not a number: {s}");
+            usage();
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    let handle = match Server::spawn(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("relaxed2d-server listening on {}", handle.local_addr());
+    handle.wait();
+    match handle.shutdown() {
+        Ok(report) => {
+            for t in &report.tenants {
+                println!(
+                    "tenant {}/{}: ops={} retunes={}",
+                    t.personality.name(),
+                    t.name,
+                    t.ops,
+                    t.retunes
+                );
+            }
+            for path in &report.telemetry {
+                println!("telemetry written to {}", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("shutdown error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

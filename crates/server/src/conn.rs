@@ -1,0 +1,312 @@
+//! Per-connection service loop: frames in, batches executed, frames out.
+//!
+//! Each accepted socket gets one OS thread running [`serve_connection`].
+//! A request batch is executed in two passes: the first resolves every
+//! request against the tenant table (producing either an immediate
+//! response or a pending structure op holding its `Arc<Tenant>`), the
+//! second drives the pending ops through per-tenant [`OpsHandle`]s that
+//! are created at most once per frame and seeded with the connection id —
+//! so a connection replays a deterministic locality/hop sequence on every
+//! tenant it touches, batch after batch.
+//!
+//! Failure policy (exercised by `tests/protocol_fuzz.rs`): a frame that
+//! does not decode is answered with one typed `Malformed` error and the
+//! connection closes, an oversized length prefix is answered with
+//! `FrameTooLarge` and the connection closes, and a disconnect or torn
+//! frame tears the connection down quietly. The server process never
+//! panics on any input byte sequence.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+
+use stack2d::sync::atomic::{AtomicBool, Ordering};
+use stack2d::sync::Arc;
+use stack2d::OpsHandle;
+
+use crate::frame::{read_frame, write_frame, FrameError, FrameEvent};
+use crate::protocol::{
+    decode_request_batch, encode_response_batch, ErrorCode, Personality, Request, Response,
+};
+use crate::tenant::{Tenant, TenantMap, MAX_ACQUIRE_COST};
+
+/// Everything a connection thread needs, cloned per accept.
+pub(crate) struct ConnContext {
+    pub tenants: Arc<TenantMap>,
+    pub stop: Arc<AtomicBool>,
+    pub max_frame_len: u32,
+    pub conn_id: u64,
+}
+
+/// Runs one connection to completion (EOF, error, or server shutdown).
+pub(crate) fn serve_connection(stream: TcpStream, ctx: ConnContext) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if ctx.stop.load(Ordering::Acquire) {
+            break;
+        }
+        match read_frame(&mut reader, ctx.max_frame_len) {
+            Ok(FrameEvent::Idle) => continue,
+            Ok(FrameEvent::Closed) => break,
+            Ok(FrameEvent::Frame(body)) => match decode_request_batch(&body) {
+                Ok(reqs) => {
+                    let mut shutdown = false;
+                    let resps = execute_batch(&ctx.tenants, ctx.conn_id, &reqs, &mut shutdown);
+                    let ok = write_frame(&mut writer, &encode_response_batch(&resps)).is_ok();
+                    if shutdown {
+                        ctx.stop.store(true, Ordering::Release);
+                        break;
+                    }
+                    if !ok {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    // Typed reply, then teardown: the stream position is
+                    // no longer trustworthy after a malformed body.
+                    let err = Response::Error { code: ErrorCode::Malformed, detail: e.to_string() };
+                    let _ = write_frame(&mut writer, &encode_response_batch(&[err]));
+                    break;
+                }
+            },
+            Err(FrameError::Oversized(len)) => {
+                let err = Response::Error {
+                    code: ErrorCode::FrameTooLarge,
+                    detail: format!("len {len}"),
+                };
+                let _ = write_frame(&mut writer, &encode_response_batch(&[err]));
+                break;
+            }
+            Err(FrameError::Truncated | FrameError::Io(_)) => break,
+        }
+    }
+}
+
+/// A request after tenant resolution: either already answered, or a
+/// structure op pending handle execution.
+enum Slot {
+    Ready(Response),
+    Produce(Arc<Tenant>, u64),
+    Consume(Arc<Tenant>),
+    Acquire(Arc<Tenant>, u32),
+}
+
+fn unknown(personality: Personality, tenant: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::UnknownTenant,
+        detail: format!("{}/{tenant}", personality.name()),
+    }
+}
+
+fn resolve(tenants: &TenantMap, req: &Request, shutdown: &mut bool) -> Slot {
+    match req {
+        Request::Ping => Slot::Ready(Response::Pong),
+        Request::Shutdown => {
+            *shutdown = true;
+            Slot::Ready(Response::ShuttingDown)
+        }
+        Request::Create { personality, tenant, limit } => {
+            match tenants.get_or_create(*personality, tenant, *limit) {
+                Ok((_, fresh)) => Slot::Ready(Response::Created { fresh }),
+                Err(err) => Slot::Ready(err),
+            }
+        }
+        Request::Produce { personality, tenant, value } => {
+            match tenants.get(*personality, tenant) {
+                Some(t) if t.supports_ops() => Slot::Produce(t, *value),
+                Some(_) => Slot::Ready(Response::Error {
+                    code: ErrorCode::Unsupported,
+                    detail: "use acquire on a rate-limiter".to_string(),
+                }),
+                None => Slot::Ready(unknown(*personality, tenant)),
+            }
+        }
+        Request::Consume { personality, tenant } => match tenants.get(*personality, tenant) {
+            Some(t) if t.supports_ops() => Slot::Consume(t),
+            Some(_) => Slot::Ready(Response::Error {
+                code: ErrorCode::Unsupported,
+                detail: "rate-limiters cannot consume".to_string(),
+            }),
+            None => Slot::Ready(unknown(*personality, tenant)),
+        },
+        Request::Acquire { tenant, cost } => {
+            if *cost > MAX_ACQUIRE_COST {
+                return Slot::Ready(Response::Error {
+                    code: ErrorCode::BadRequest,
+                    detail: format!("cost {cost} over ceiling {MAX_ACQUIRE_COST}"),
+                });
+            }
+            match tenants.get(Personality::RateLimiter, tenant) {
+                Some(t) => Slot::Acquire(t, *cost),
+                None => Slot::Ready(unknown(Personality::RateLimiter, tenant)),
+            }
+        }
+        Request::Reset { tenant } => match tenants.get(Personality::RateLimiter, tenant) {
+            Some(t) if t.limiter_reset() => Slot::Ready(Response::Done),
+            Some(_) => Slot::Ready(Response::Error {
+                code: ErrorCode::Unsupported,
+                detail: "reset is rate-limiter only".to_string(),
+            }),
+            None => Slot::Ready(unknown(Personality::RateLimiter, tenant)),
+        },
+        Request::Stats { personality, tenant } => match tenants.get(*personality, tenant) {
+            Some(t) => Slot::Ready(t.stats()),
+            None => Slot::Ready(unknown(*personality, tenant)),
+        },
+    }
+}
+
+/// Executes one pipelined batch in order, reusing one seeded handle per
+/// tenant for the whole frame.
+pub(crate) fn execute_batch(
+    tenants: &TenantMap,
+    conn_seed: u64,
+    reqs: &[Request],
+    shutdown: &mut bool,
+) -> Vec<Response> {
+    let slots: Vec<Slot> = reqs.iter().map(|req| resolve(tenants, req, shutdown)).collect();
+    // Handles borrow the tenants kept alive inside `slots`; keyed by
+    // tenant identity so every request in the frame that touches the same
+    // tenant shares one handle.
+    let mut handles: HashMap<*const Tenant, Box<dyn OpsHandle<u64> + '_>> = HashMap::new();
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in &slots {
+        let resp = match slot {
+            Slot::Ready(resp) => resp.clone(),
+            Slot::Produce(t, value) => {
+                handle_for(&mut handles, t, conn_seed).produce(*value);
+                Response::Done
+            }
+            Slot::Consume(t) => match handle_for(&mut handles, t, conn_seed).consume() {
+                Some(value) => Response::Item { value },
+                None => Response::Empty,
+            },
+            Slot::Acquire(t, cost) => {
+                let h = handle_for(&mut handles, t, conn_seed);
+                for _ in 0..*cost {
+                    h.produce(1);
+                }
+                t.limiter_decision().unwrap_or(Response::Error {
+                    code: ErrorCode::Unsupported,
+                    detail: "not a rate-limiter".to_string(),
+                })
+            }
+        };
+        out.push(resp);
+    }
+    out
+}
+
+fn handle_for<'m, 's>(
+    handles: &'m mut HashMap<*const Tenant, Box<dyn OpsHandle<u64> + 's>>,
+    tenant: &'s Arc<Tenant>,
+    seed: u64,
+) -> &'m mut Box<dyn OpsHandle<u64> + 's> {
+    handles.entry(Arc::as_ptr(tenant)).or_insert_with(|| tenant.ops_handle(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantConfig;
+
+    fn map() -> TenantMap {
+        TenantMap::new(TenantConfig::default(), None)
+    }
+
+    fn run(map: &TenantMap, reqs: &[Request]) -> Vec<Response> {
+        let mut shutdown = false;
+        execute_batch(map, 1, reqs, &mut shutdown)
+    }
+
+    #[test]
+    fn batch_responses_line_up_with_requests() {
+        let map = map();
+        let q = Personality::TaskQueue;
+        let resps = run(
+            &map,
+            &[
+                Request::Ping,
+                Request::Create { personality: q, tenant: "t".into(), limit: 0 },
+                Request::Produce { personality: q, tenant: "t".into(), value: 9 },
+                Request::Consume { personality: q, tenant: "t".into() },
+                Request::Consume { personality: q, tenant: "t".into() },
+                Request::Stats { personality: q, tenant: "t".into() },
+            ],
+        );
+        assert_eq!(resps.len(), 6);
+        assert_eq!(resps[0], Response::Pong);
+        assert_eq!(resps[1], Response::Created { fresh: true });
+        assert_eq!(resps[2], Response::Done);
+        assert_eq!(resps[3], Response::Item { value: 9 });
+        assert_eq!(resps[4], Response::Empty);
+        assert!(matches!(resps[5], Response::Stats { .. }));
+    }
+
+    #[test]
+    fn unknown_tenants_and_wrong_verbs_get_typed_errors() {
+        let map = map();
+        let resps = run(
+            &map,
+            &[
+                Request::Produce {
+                    personality: Personality::TaskQueue,
+                    tenant: "ghost".into(),
+                    value: 1,
+                },
+                Request::Create {
+                    personality: Personality::RateLimiter,
+                    tenant: "api".into(),
+                    limit: 3,
+                },
+                Request::Consume { personality: Personality::RateLimiter, tenant: "api".into() },
+                Request::Acquire { tenant: "api".into(), cost: MAX_ACQUIRE_COST + 1 },
+            ],
+        );
+        assert!(matches!(resps[0], Response::Error { code: ErrorCode::UnknownTenant, .. }));
+        assert_eq!(resps[1], Response::Created { fresh: true });
+        assert!(matches!(resps[2], Response::Error { code: ErrorCode::Unsupported, .. }));
+        assert!(matches!(resps[3], Response::Error { code: ErrorCode::BadRequest, .. }));
+    }
+
+    #[test]
+    fn acquire_counts_cost_and_decides() {
+        let map = map();
+        let mut shutdown = false;
+        execute_batch(
+            &map,
+            1,
+            &[Request::Create {
+                personality: Personality::RateLimiter,
+                tenant: "api".into(),
+                limit: 4,
+            }],
+            &mut shutdown,
+        );
+        let resps = run(
+            &map,
+            &[
+                Request::Acquire { tenant: "api".into(), cost: 3 },
+                Request::Acquire { tenant: "api".into(), cost: 3 },
+                Request::Acquire { tenant: "api".into(), cost: 0 },
+            ],
+        );
+        assert_eq!(resps[0], Response::Decision { allowed: true, observed: 3, limit: 4 });
+        assert_eq!(resps[1], Response::Decision { allowed: false, observed: 6, limit: 4 });
+        // cost 0 is a pure decision probe.
+        assert_eq!(resps[2], Response::Decision { allowed: false, observed: 6, limit: 4 });
+    }
+
+    #[test]
+    fn shutdown_is_acknowledged_and_flagged() {
+        let map = map();
+        let mut shutdown = false;
+        let resps = execute_batch(&map, 1, &[Request::Shutdown], &mut shutdown);
+        assert_eq!(resps, vec![Response::ShuttingDown]);
+        assert!(shutdown);
+    }
+}

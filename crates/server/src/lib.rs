@@ -1,0 +1,59 @@
+//! relaxed2d-server: a multi-tenant TCP service front-end over the
+//! relaxed 2D structures.
+//!
+//! The server exposes named `Stack2D` / `Queue2D` / `Counter2D` instances
+//! — created on demand through the builder facade, each under its own
+//! background AIMD controller — behind three service *personalities*:
+//!
+//! * **task-queue** (`Queue2D<u64>`): producers submit opaque tickets,
+//!   workers fetch them, FIFO relaxed by the tenant's live window;
+//! * **rate-limiter** (`Counter2D`): hits count against a per-tenant
+//!   allowance and the admission decision reads the relaxed count — the
+//!   k-bound is the decision's worst-case staleness;
+//! * **object-pool** (`Stack2D<u64>`): object ids released onto and
+//!   acquired from a relaxed LIFO pool.
+//!
+//! The wire format is a hand-rolled length-prefixed binary protocol over
+//! plain `std::net` TCP ([`protocol`] + [`frame`]); each frame carries a
+//! pipelined batch of requests and is answered index-for-index. One OS
+//! thread serves each connection (the private `conn` module); tenants are
+//! shared through
+//! [`tenant::TenantMap`] and every connection gets seeded per-tenant
+//! [`stack2d::OpsHandle`]s, so the paper's locality story survives the
+//! network hop. With `--telemetry`, each tenant records into its own
+//! registry scope and the export lands on disk at shutdown
+//! ([`telemetry`]).
+//!
+//! Start one in-process with [`Server::spawn`] and talk to it with
+//! [`Client`]:
+//!
+//! ```
+//! use relaxed2d_server::{Client, Personality, Response, Server, ServerConfig};
+//!
+//! let handle = Server::spawn(ServerConfig::default()).expect("bind");
+//! let mut client = Client::connect(handle.local_addr()).expect("connect");
+//! client.create(Personality::TaskQueue, "orders", 0).expect("create");
+//! client.produce(Personality::TaskQueue, "orders", 7).expect("produce");
+//! assert_eq!(
+//!     client.consume(Personality::TaskQueue, "orders").expect("consume"),
+//!     Response::Item { value: 7 },
+//! );
+//! drop(client);
+//! handle.shutdown().expect("shutdown");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+mod conn;
+pub mod frame;
+pub mod protocol;
+pub mod server;
+pub mod telemetry;
+pub mod tenant;
+
+pub use client::{Client, ClientError};
+pub use frame::{FrameError, FrameEvent, DEFAULT_MAX_FRAME_LEN};
+pub use protocol::{ErrorCode, Personality, Request, Response, WireError, MAX_BATCH, MAX_NAME_LEN};
+pub use server::{Server, ServerConfig, ServerHandle, ShutdownReport, TenantSummary};
+pub use tenant::{TenantConfig, MAX_ACQUIRE_COST};

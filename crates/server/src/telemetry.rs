@@ -1,0 +1,75 @@
+//! Server-side telemetry plumbing.
+//!
+//! When a server is started with a telemetry directory, every tenant's
+//! structure (and its elastic controller) records into a per-tenant
+//! [`Scope`](stack2d_telemetry::Scope) named `"{personality}/{tenant}"`
+//! on one shared [`Registry`]. A background [`Scraper`] drains the
+//! lock-free rings on a cadence; at shutdown the final report is exported
+//! as JSONL events plus a Prometheus snapshot, using the same file names
+//! the harness emits so downstream tooling can point at either.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use stack2d::sync::Arc;
+use stack2d_telemetry::{export, Registry, Scraper};
+
+/// JSONL event log file name (matches the harness artefact).
+pub const EVENTS_FILE: &str = "telemetry_events.jsonl";
+/// Prometheus text-format snapshot file name (matches the harness).
+pub const PROM_FILE: &str = "telemetry.prom";
+
+const SCRAPE_CADENCE: Duration = Duration::from_millis(5);
+
+/// Registry + scraper + output directory for one server's lifetime.
+pub(crate) struct ServerTelemetry {
+    registry: Arc<Registry>,
+    scraper: Option<Scraper>,
+    dir: PathBuf,
+}
+
+impl ServerTelemetry {
+    pub fn new(dir: &Path) -> Self {
+        let registry = Registry::new();
+        let scraper = Scraper::spawn(Arc::clone(&registry), SCRAPE_CADENCE);
+        ServerTelemetry { registry, scraper: Some(scraper), dir: dir.to_path_buf() }
+    }
+
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Stops the scraper and writes the export artefacts; returns the
+    /// paths written.
+    pub fn finish(mut self) -> io::Result<Vec<PathBuf>> {
+        if let Some(scraper) = self.scraper.take() {
+            scraper.stop();
+        }
+        let report = self.registry.report();
+        std::fs::create_dir_all(&self.dir)?;
+        let events_path = self.dir.join(EVENTS_FILE);
+        std::fs::write(&events_path, export::jsonl(&report))?;
+        let prom_path = self.dir.join(PROM_FILE);
+        std::fs::write(&prom_path, export::prometheus(&report))?;
+        Ok(vec![events_path, prom_path])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_writes_both_artefacts() {
+        let dir = std::env::temp_dir().join(format!("r2d-srv-telemetry-{}", std::process::id()));
+        let t = ServerTelemetry::new(&dir);
+        t.registry().scope("task-queue/t0");
+        let written = t.finish().expect("export");
+        assert_eq!(written.len(), 2);
+        for path in &written {
+            assert!(path.exists(), "missing {}", path.display());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

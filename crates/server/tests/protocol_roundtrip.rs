@@ -1,0 +1,173 @@
+//! Wire round-trip coverage plus golden-bytes fixtures.
+//!
+//! The round-trip half proves encode∘decode is the identity for every
+//! message variant; the golden half pins the *exact* frame layout byte by
+//! byte, so any codec change that would break deployed peers fails here
+//! first (and has to edit an obviously-load-bearing fixture to proceed).
+
+use relaxed2d_server::frame::write_frame;
+use relaxed2d_server::protocol::{
+    decode_request_batch, decode_response_batch, encode_request_batch, encode_response_batch,
+    ErrorCode, Personality, Request, Response,
+};
+
+fn every_request() -> Vec<Request> {
+    vec![
+        Request::Ping,
+        Request::Create { personality: Personality::TaskQueue, tenant: "orders".into(), limit: 0 },
+        Request::Create {
+            personality: Personality::RateLimiter,
+            tenant: "api".into(),
+            limit: u64::MAX,
+        },
+        Request::Produce {
+            personality: Personality::ObjectPool,
+            tenant: "conns".into(),
+            value: u64::MAX,
+        },
+        Request::Consume { personality: Personality::TaskQueue, tenant: "orders".into() },
+        Request::Acquire { tenant: "api".into(), cost: 4096 },
+        Request::Reset { tenant: "api".into() },
+        Request::Stats { personality: Personality::ObjectPool, tenant: "conns".into() },
+        Request::Shutdown,
+    ]
+}
+
+fn every_response() -> Vec<Response> {
+    vec![
+        Response::Pong,
+        Response::Created { fresh: true },
+        Response::Created { fresh: false },
+        Response::Done,
+        Response::Item { value: u64::MAX },
+        Response::Empty,
+        Response::Decision { allowed: false, observed: 11, limit: 10 },
+        Response::Stats {
+            width: 4,
+            depth: 256,
+            shift: 2,
+            generation: 9,
+            k_bound: 1024,
+            ops: u64::MAX,
+            retunes: 3,
+        },
+        Response::Error { code: ErrorCode::UnknownTenant, detail: "task-queue/ghost".into() },
+        Response::Error { code: ErrorCode::Malformed, detail: "unknown message tag 0xff".into() },
+        Response::ShuttingDown,
+    ]
+}
+
+#[test]
+fn every_request_variant_round_trips() {
+    let reqs = every_request();
+    let decoded = decode_request_batch(&encode_request_batch(&reqs)).expect("decode");
+    assert_eq!(decoded, reqs);
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    let resps = every_response();
+    let decoded = decode_response_batch(&encode_response_batch(&resps)).expect("decode");
+    assert_eq!(decoded, resps);
+}
+
+#[test]
+fn single_message_batches_round_trip() {
+    for req in every_request() {
+        let batch = vec![req];
+        assert_eq!(decode_request_batch(&encode_request_batch(&batch)).expect("decode"), batch);
+    }
+    for resp in every_response() {
+        let batch = vec![resp];
+        assert_eq!(decode_response_batch(&encode_response_batch(&batch)).expect("decode"), batch);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden bytes: the frozen v1 layout
+// ---------------------------------------------------------------------------
+
+/// The exact body bytes for a representative request batch. Every field is
+/// spelled out so a layout change cannot hide inside a helper.
+#[test]
+fn golden_request_batch_bytes() {
+    let reqs = vec![
+        Request::Ping,
+        Request::Create { personality: Personality::TaskQueue, tenant: "ab".into(), limit: 5 },
+        Request::Acquire { tenant: "rl".into(), cost: 2 },
+        Request::Consume { personality: Personality::ObjectPool, tenant: "p".into() },
+    ];
+    #[rustfmt::skip]
+    let golden: Vec<u8> = vec![
+        0x04, 0x00,                                     // count = 4 (u16 LE)
+        0x01,                                           // Ping
+        0x02,                                           // Create
+        0x00,                                           //   personality = task-queue
+        0x02, b'a', b'b',                               //   name "ab"
+        0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //   limit = 5 (u64 LE)
+        0x05,                                           // Acquire
+        0x02, b'r', b'l',                               //   name "rl"
+        0x02, 0x00, 0x00, 0x00,                         //   cost = 2 (u32 LE)
+        0x04,                                           // Consume
+        0x02,                                           //   personality = object-pool
+        0x01, b'p',                                     //   name "p"
+    ];
+    assert_eq!(encode_request_batch(&reqs), golden);
+    assert_eq!(decode_request_batch(&golden).expect("golden decodes"), reqs);
+}
+
+/// The exact body bytes for a representative response batch.
+#[test]
+fn golden_response_batch_bytes() {
+    let resps = vec![
+        Response::Pong,
+        Response::Decision { allowed: true, observed: 7, limit: 9 },
+        Response::Stats {
+            width: 2,
+            depth: 8,
+            shift: 1,
+            generation: 3,
+            k_bound: 16,
+            ops: 100,
+            retunes: 2,
+        },
+        Response::Error { code: ErrorCode::UnknownTenant, detail: "x".into() },
+    ];
+    #[rustfmt::skip]
+    let golden: Vec<u8> = vec![
+        0x04, 0x00,                                     // count = 4 (u16 LE)
+        0x81,                                           // Pong
+        0x86,                                           // Decision
+        0x01,                                           //   allowed = true
+        0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //   observed = 7
+        0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //   limit = 9
+        0x87,                                           // Stats
+        0x02, 0x00, 0x00, 0x00,                         //   width = 2 (u32 LE)
+        0x08, 0x00, 0x00, 0x00,                         //   depth = 8
+        0x01, 0x00, 0x00, 0x00,                         //   shift = 1
+        0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //   generation = 3
+        0x10, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //   k_bound = 16
+        0x64, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //   ops = 100
+        0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //   retunes = 2
+        0x88,                                           // Error
+        0x00,                                           //   code = unknown-tenant
+        0x01, b'x',                                     //   detail "x"
+    ];
+    assert_eq!(encode_response_batch(&resps), golden);
+    assert_eq!(decode_response_batch(&golden).expect("golden decodes"), resps);
+}
+
+/// A whole frame on the wire: u32 LE length prefix, then the batch body.
+#[test]
+fn golden_frame_bytes() {
+    let body = encode_request_batch(&[Request::Ping]);
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &body).expect("write");
+    #[rustfmt::skip]
+    let golden: Vec<u8> = vec![
+        0x03, 0x00, 0x00, 0x00, // frame length = 3 (u32 LE)
+        0x01, 0x00,             // count = 1
+        0x01,                   // Ping
+    ];
+    assert_eq!(wire, golden);
+}

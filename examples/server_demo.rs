@@ -1,0 +1,94 @@
+//! The network service front-end, in one process.
+//!
+//! `relaxed2d-server` (DESIGN.md §13) serves named 2D structures to
+//! remote clients over a length-prefixed binary protocol. This example
+//! spawns the server on an ephemeral port, connects two clients, and
+//! exercises all three tenant personalities — a task queue backed by
+//! `Queue2D`, an object pool backed by `Stack2D`, and a rate limiter
+//! backed by `Counter2D` — including a pipelined batch (many requests
+//! per wire round trip) and the graceful-drain report.
+//!
+//! ```text
+//! cargo run --release --example server_demo
+//! ```
+
+use relaxed2d_server::{Client, Personality, Request, Response, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An ephemeral port keeps the example runnable anywhere; a real
+    // deployment passes a fixed `addr` (see the `relaxed2d_server` bin).
+    let handle = Server::spawn(ServerConfig::default())?;
+    let addr = handle.local_addr();
+    println!("server on {addr}");
+
+    // --- task queue: produce from one client, consume from another ----
+    let mut producer = Client::connect(addr)?;
+    let mut consumer = Client::connect(addr)?;
+
+    // Create is get-or-create: both clients can race to ensure the
+    // tenant exists; exactly one sees `fresh = true`.
+    producer.create(Personality::TaskQueue, "jobs", 0)?;
+    consumer.create(Personality::TaskQueue, "jobs", 0)?;
+
+    for job in 0..16u64 {
+        producer.produce(Personality::TaskQueue, "jobs", job)?;
+    }
+    let mut drained = Vec::new();
+    while let Response::Item { value } = consumer.consume(Personality::TaskQueue, "jobs")? {
+        drained.push(value);
+    }
+    drained.sort_unstable();
+    assert_eq!(drained, (0..16).collect::<Vec<_>>());
+    println!("task-queue/jobs: drained {} jobs (k-relaxed order)", drained.len());
+
+    // --- object pool: one pipelined frame instead of 32 round trips ---
+    producer.create(Personality::ObjectPool, "buffers", 0)?;
+    let mut batch = Vec::new();
+    for id in 0..16u64 {
+        batch.push(Request::Produce {
+            personality: Personality::ObjectPool,
+            tenant: "buffers".into(),
+            value: id,
+        });
+    }
+    for _ in 0..16 {
+        batch.push(Request::Consume {
+            personality: Personality::ObjectPool,
+            tenant: "buffers".into(),
+        });
+    }
+    let responses = producer.call(&batch)?;
+    let handed_out = responses.iter().filter(|r| matches!(r, Response::Item { .. })).count();
+    println!("object-pool/buffers: 32 requests in one frame, {handed_out} buffers handed out");
+
+    // --- rate limiter: spend tokens until the limit trips -------------
+    // `create`'s limit is the token allowance; `acquire(cost)` spends
+    // and decides against a k-relaxed reading of the counter.
+    producer.create(Personality::RateLimiter, "api", 10)?;
+    let (mut allowed, mut denied) = (0u32, 0u32);
+    for _ in 0..20 {
+        match producer.acquire("api", 1)? {
+            Response::Decision { allowed: true, .. } => allowed += 1,
+            Response::Decision { allowed: false, .. } => denied += 1,
+            other => return Err(format!("unexpected acquire reply: {other:?}").into()),
+        }
+    }
+    println!("rate-limiter/api: {allowed} allowed, {denied} throttled (limit 10, k-relaxed)");
+    assert!(denied > 0, "20 spends against a limit of 10 must throttle");
+
+    // --- graceful drain: per-tenant ops/retunes report ----------------
+    drop(producer);
+    drop(consumer);
+    handle.request_shutdown();
+    let report = handle.shutdown()?;
+    for tenant in &report.tenants {
+        println!(
+            "tenant {}/{}: ops={} retunes={}",
+            tenant.personality.name(),
+            tenant.name,
+            tenant.ops,
+            tenant.retunes
+        );
+    }
+    Ok(())
+}

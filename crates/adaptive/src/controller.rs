@@ -48,15 +48,26 @@ impl Observation {
     /// window absorbs the same traffic with none of either. Unlike a pure
     /// CAS-failure rate it also responds on machines where threads rarely
     /// overlap mid-instruction (e.g. single-core CI runners).
+    ///
+    /// Normalisation: events are divided by *search rounds*, not raw ops.
+    /// A batched call (`push_n`/`pop_n`) completes up to `depth` ops off a
+    /// single engine search, so one coordination event per batch would
+    /// read as `1/n` pressure under an ops denominator — batch-heavy
+    /// traffic would look artificially calm and starve the window of
+    /// growth. Snapshots recorded before the batching counters existed
+    /// (`search_rounds == 0` with `ops > 0`) fall back to the old
+    /// per-op normalisation.
     pub fn window_pressure(&self) -> f64 {
-        if self.delta.ops == 0 {
+        let rounds =
+            if self.delta.search_rounds > 0 { self.delta.search_rounds } else { self.delta.ops };
+        if rounds == 0 {
             return 0.0;
         }
         let events = self.delta.cas_failures
             + self.delta.global_restarts
             + self.delta.shifts_up
             + self.delta.shifts_down;
-        events as f64 / self.delta.ops as f64
+        events as f64 / rounds as f64
     }
 }
 
@@ -459,5 +470,31 @@ mod tests {
         let p = c.decide(&obs_at(Params::new(1, 1, 1).unwrap(), 1, 1_000, 500, 0)).unwrap();
         assert_eq!((p.width(), p.depth(), p.shift()), (1, 2, 2));
         assert_eq!(p.k_bound(), 0);
+    }
+
+    #[test]
+    fn pressure_normalises_by_search_rounds_not_ops() {
+        // 6_400 ops completed in 100 engine rounds (batch of 64): 50
+        // coordination events is one every other *round* — heavy pressure
+        // — even though it is under 1% of *ops*. The ops denominator
+        // would read 0.0078 and shrink; the rounds denominator reads 0.5.
+        let mut o = obs(4, 6_400, 50, 10_000);
+        o.delta.search_rounds = 100;
+        assert!((o.window_pressure() - 0.5).abs() < 1e-9);
+        // The AIMD controller must see through batching and grow.
+        let mut c = AimdController::new(10_000);
+        let p = c.decide(&o).expect("batched contention must grow");
+        assert_eq!(p.width(), 8);
+    }
+
+    #[test]
+    fn pressure_falls_back_to_ops_for_legacy_snapshots() {
+        // A delta recorded before the batching counters existed carries
+        // search_rounds == 0; pressure must keep its historical meaning.
+        let o = obs(4, 1_000, 100, 10_000);
+        assert_eq!(o.delta.search_rounds, 0);
+        assert!((o.window_pressure() - 0.1).abs() < 1e-9);
+        let empty = obs(4, 0, 0, 10_000);
+        assert_eq!(empty.window_pressure(), 0.0);
     }
 }

@@ -25,6 +25,7 @@
 //!     h.push(i);
 //!     h.pop();
 //! }
+//! drop(h); // handles borrow the structure; release before stopping
 //! let events = stack.stop(); // or just drop the guard
 //! assert!(events.iter().all(|e| e.k_bound <= 1_000));
 //! ```
@@ -231,6 +232,7 @@ mod tests {
         for _ in 0..50_000 {
             h.increment();
         }
+        drop(h);
         let value_before_stop = counter.value();
         let events = counter.stop();
         for e in &events {

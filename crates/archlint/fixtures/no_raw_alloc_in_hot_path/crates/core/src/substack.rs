@@ -1,0 +1,40 @@
+//! Bad: raw per-op allocation in an engine-core module.
+//!
+//! Doc decoy: `Box::new` in prose — for example `Box::new(node)` — is fine.
+
+pub fn hot(v: u32) -> *mut u32 {
+    // Comment decoy: Box::new(...) / vec![...]
+    let node = Box::new(v); // FINDING: raw heap node on the hot path
+    let mut buf = Vec::new(); // FINDING: growable buffer on the hot path
+    buf.push(v); // FINDING: reallocating append on the hot path
+    let _scratch = vec![0u8; 4]; // FINDING: vec! on the hot path
+    let _ = buf;
+    Box::into_raw(node)
+}
+
+pub fn dealloc_side(p: *mut u32) {
+    // SAFETY: fixture stand-in; `p` came from `Box::into_raw` above.
+    // `Box::from_raw` is the *deallocation* side and must stay legal.
+    drop(unsafe { Box::from_raw(p) });
+}
+
+pub fn justified(n: usize) -> Vec<u32> {
+    // archlint: allow(no-raw-alloc-in-hot-path) — one pre-sized buffer
+    // amortized across the whole batch.
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n as u32 {
+        // archlint: allow(no-raw-alloc-in-hot-path) — pre-sized push.
+        out.push(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn allocation_in_tests_is_fine() {
+        let v = vec![1u32, 2, 3];
+        let b = Box::new(4u32);
+        assert_eq!(v.len() + *b as usize, 7);
+    }
+}

@@ -106,6 +106,15 @@ pub fn registry() -> &'static [Rule] {
             },
             check: check_no_panic_in_hot_path,
         },
+        Rule {
+            name: "no-raw-alloc-in-hot-path",
+            summary: "per-op allocation in the engine core goes through the node pool",
+            // The two modules every operation funnels through. The pool
+            // itself and the structure facades (which allocate only at
+            // construction/retune time) are deliberately out of scope.
+            applies: |p| matches!(p, "crates/core/src/engine.rs" | "crates/core/src/substack.rs"),
+            check: check_no_raw_alloc_in_hot_path,
+        },
     ]
 }
 
@@ -518,6 +527,45 @@ fn check_no_panic_in_hot_path(ctx: &FileCtx<'_>, _cfg: &Config, out: &mut Vec<Fi
                 ctx.code_line(ci),
                 format!(
                     "`{t}` in hot-path module outside tests (return the error, or allow the site with a justified `// archlint: allow(no-panic-in-hot-path)`)"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+fn check_no_raw_alloc_in_hot_path(ctx: &FileCtx<'_>, _cfg: &Config, out: &mut Vec<Finding>) {
+    // The hot-path memory overhaul (DESIGN.md §14) routes every per-op
+    // node and descriptor through `pool::alloc` / `pool::recycle`; a raw
+    // `Box::new` or a growable `Vec` sneaking back into the engine core
+    // reintroduces a malloc per operation — exactly the cost PR 10
+    // removed. `Box::from_raw` stays legal (it is the deallocation side),
+    // and pre-sized batch buffers may be allowed per site.
+    for ci in 0..ctx.code.len() {
+        if ctx.in_test[ci] {
+            continue;
+        }
+        let t = ctx.code_text(ci);
+        let prev_dot = ci > 0 && ctx.code_text(ci - 1) == ".";
+        let next = |k: usize| ctx.code.get(ci + k).map(|&i| ctx.tokens[i].text(ctx.src));
+        let hit = match t {
+            "Box" => ctx.seq_at(ci, &["Box", "::", "new"]),
+            "Vec" => {
+                ctx.seq_at(ci, &["Vec", "::", "new"])
+                    || ctx.seq_at(ci, &["Vec", "::", "with_capacity"])
+            }
+            "vec" => next(1) == Some("!"),
+            // A reallocating append: growable buffers on the op path must
+            // be pre-sized and justified.
+            "push" => prev_dot && next(1) == Some("("),
+            _ => false,
+        };
+        if hit {
+            ctx.emit(
+                "no-raw-alloc-in-hot-path",
+                ctx.code_line(ci),
+                format!(
+                    "`{t}` allocates on the hot path (route nodes through pool::alloc/recycle, or allow the site with a justified `// archlint: allow(no-raw-alloc-in-hot-path)`)"
                 ),
                 out,
             );

@@ -96,6 +96,21 @@ fn no_panic_in_hot_path_fixture() {
 }
 
 #[test]
+fn no_raw_alloc_in_hot_path_fixture() {
+    let got = scan(&fixtures().join("no_raw_alloc_in_hot_path"));
+    let f = "crates/core/src/substack.rs";
+    assert_eq!(
+        got,
+        vec![
+            ("no-raw-alloc-in-hot-path".into(), f.into(), 7),
+            ("no-raw-alloc-in-hot-path".into(), f.into(), 8),
+            ("no-raw-alloc-in-hot-path".into(), f.into(), 9),
+            ("no-raw-alloc-in-hot-path".into(), f.into(), 10),
+        ]
+    );
+}
+
+#[test]
 fn every_rule_has_a_firing_fixture() {
     // A rule without a fixture could silently rot into never matching.
     let mut fired: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();

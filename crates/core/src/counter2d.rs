@@ -48,7 +48,7 @@ use crossbeam_utils::CachePadded;
 
 use crate::builder::Builder;
 use crate::engine::{Probe, ProbeTarget, Search};
-use crate::metrics::{MetricsSnapshot, OpCounters};
+use crate::metrics::{CounterHub, MetricsSnapshot, OpCounters};
 use crate::params::Params;
 use crate::rng::{HandleSeeder, HopRng};
 use crate::search::{SearchConfig, SearchPolicy};
@@ -81,7 +81,7 @@ pub struct Counter2D {
     /// Counts folded out of retired sub-counters at shrink commits.
     drained: CachePadded<AtomicUsize>,
     config: SearchConfig,
-    counters: OpCounters,
+    counters: CounterHub,
     seeder: HandleSeeder,
     telemetry: TelemetryHook,
 }
@@ -127,7 +127,7 @@ impl Counter2D {
             window: ElasticWindow::new(params),
             drained: CachePadded::new(AtomicUsize::new(0)),
             config,
-            counters: OpCounters::default(),
+            counters: CounterHub::default(),
             seeder: HandleSeeder::new(seed),
             telemetry: TelemetryHook::none(),
         }
@@ -286,14 +286,26 @@ impl Counter2D {
     pub fn handle(&self) -> CounterHandle<'_> {
         let mut rng = self.seeder.rng();
         let last = rng.bounded(self.subs.len());
-        CounterHandle { counter: self, last, rng, sampler: self.telemetry.sampler() }
+        CounterHandle {
+            counter: self,
+            last,
+            rng,
+            sampler: self.telemetry.sampler(),
+            counters: self.counters.register(),
+        }
     }
 
     /// Registers a handle with a deterministic RNG seed.
     pub fn handle_seeded(&self, seed: u64) -> CounterHandle<'_> {
         let mut rng = HopRng::seeded(seed);
         let last = rng.bounded(self.subs.len());
-        CounterHandle { counter: self, last, rng, sampler: self.telemetry.sampler() }
+        CounterHandle {
+            counter: self,
+            last,
+            rng,
+            sampler: self.telemetry.sampler(),
+            counters: self.counters.register(),
+        }
     }
 
     /// The aggregate count: the sum of all sub-counters plus the values
@@ -395,6 +407,12 @@ impl OpsHandle<u64> for CounterHandle<'_> {
     fn consume(&mut self) -> Option<u64> {
         None
     }
+
+    /// A produce batch is `values.len()` increments through the
+    /// search-amortizing [`add_n`](CounterHandle::add_n) path.
+    fn produce_n(&mut self, values: Vec<u64>) {
+        self.add_n(values.len());
+    }
 }
 
 impl RelaxedOps<u64> for Counter2D {
@@ -423,6 +441,16 @@ pub struct CounterHandle<'c> {
     last: usize,
     rng: HopRng,
     sampler: Sampler,
+    /// This handle's private counter block (single-writer; summed into
+    /// [`Counter2D::metrics`] while live, folded into the shared block on
+    /// drop). See [`CounterHub`](crate::metrics::CounterHub).
+    counters: Arc<OpCounters>,
+}
+
+impl Drop for CounterHandle<'_> {
+    fn drop(&mut self) {
+        self.counter.counters.release(&self.counters);
+    }
 }
 
 /// The increment side, as driven by the search engine: a sub-counter is
@@ -483,12 +511,65 @@ impl CounterHandle<'_> {
             &guard,
         );
         debug_assert!(done.is_some(), "an increment always completes");
-        let m = &c.counters;
-        m.add(|c| &c.probes, st.probes);
-        m.add(|c| &c.cas_failures, st.cas_failures);
-        m.add(|c| &c.global_restarts, st.restarts);
-        m.add(|c| &c.shifts_up, st.shifts);
-        m.add(|c| &c.ops, 1);
+        let m = &*self.counters;
+        m.bump(|c| &c.probes, st.probes);
+        m.bump(|c| &c.cas_failures, st.cas_failures);
+        m.bump(|c| &c.global_restarts, st.restarts);
+        m.bump(|c| &c.shifts_up, st.shifts);
+        m.bump(|c| &c.ops, 1);
+        m.bump(|c| &c.search_rounds, 1);
+        if let Some(r) = c.telemetry.recorder() {
+            if st.shifts > 0 {
+                r.window_shift(ShiftDir::Up, st.shifts);
+            }
+            if let Some(t0) = start {
+                r.op_sample(OpKind::Increment, clock::now_ns().saturating_sub(t0));
+            }
+        }
+    }
+
+    /// Adds `n` to the counter, amortizing the window search: after one
+    /// search round wins a sub-counter, up to `depth` units are claimed
+    /// against it (each CAS re-validated against the live `Global`) before
+    /// searching again. Observably equivalent to `n` calls to
+    /// [`increment`](CounterHandle::increment); the quiescent spread bound
+    /// is untouched (see DESIGN.md §14).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Counter2D, Params};
+    ///
+    /// let c = Counter2D::new(Params::default());
+    /// c.handle().add_n(1000);
+    /// assert_eq!(c.value(), 1000);
+    /// ```
+    pub fn add_n(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let c = self.counter;
+        let start = c.telemetry.sample_start(&mut self.sampler);
+        // Pin so the shrink fence covers these increments (see
+        // `increment`).
+        let guard = epoch::pin();
+        let mut side = IncrementSide { subs: &c.subs };
+        let (done, st) = Search::new(&c.window, &c.global, &c.config).run_batch(
+            &mut side,
+            n,
+            &mut self.last,
+            &mut self.rng,
+            &guard,
+        );
+        debug_assert_eq!(done.len(), n, "an increment batch always completes in full");
+        let m = &*self.counters;
+        m.bump(|c| &c.probes, st.probes);
+        m.bump(|c| &c.cas_failures, st.cas_failures);
+        m.bump(|c| &c.global_restarts, st.restarts);
+        m.bump(|c| &c.shifts_up, st.shifts);
+        m.bump(|c| &c.ops, n as u64);
+        m.bump(|c| &c.batched_ops, n as u64);
+        m.bump(|c| &c.search_rounds, 1);
         if let Some(r) = c.telemetry.recorder() {
             if st.shifts > 0 {
                 r.window_shift(ShiftDir::Up, st.shifts);

@@ -96,6 +96,14 @@ pub(crate) trait ProbeTarget {
     /// the *live* descriptor; `None` when the window cannot move (a pop
     /// window already resting at its floor).
     fn shift_target(&self, global: usize, live: &WindowDesc) -> Option<usize>;
+
+    /// Stages the side for the next operation of a batched drain
+    /// ([`Search::run_batch`]): producing sides load their next node here
+    /// and return `false` when no items remain. Consuming sides take the
+    /// default (always ready).
+    fn reload(&mut self) -> bool {
+        true
+    }
 }
 
 /// Event counts of one engine run, in the engine's own vocabulary; the
@@ -245,6 +253,165 @@ impl<'a> Search<'a> {
                     // by a stale shift; a failed CAS means another thread
                     // moved Global — either way the window changed and the
                     // search restarts fresh (from locality).
+                    let live = self.window.load(guard);
+                    if let Some(next) = target.shift_target(global, live) {
+                        if self
+                            .global
+                            .compare_exchange(global, next, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            stats.shifts += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched variant of [`Search::run`]: searches exactly like `run`,
+    /// but after winning a cell it keeps **draining that same cell** —
+    /// re-checking `Global` and revalidating the cell before every extra
+    /// item — until `max` operations completed, the cell stops validating,
+    /// or `w.depth` items were taken in the round (the window's per-cell
+    /// budget, which is what keeps a batch inside Theorem 1's `k`: a batch
+    /// never takes more from one cell than the window already permits).
+    ///
+    /// Returns the completed outputs (producers: one `()` per item
+    /// pushed). A consuming side returns short when a covering sweep
+    /// concludes every cell is empty (`stats.empty` is set, as in `run`).
+    /// With `max == 1` the observable effects are exactly `run`'s: same
+    /// probe order, same RNG consumption, same cell transitions.
+    pub(crate) fn run_batch<P: ProbeTarget>(
+        &self,
+        target: &mut P,
+        max: usize,
+        last: &mut usize,
+        rng: &mut HopRng,
+        guard: &Guard,
+    ) -> (Vec<P::Output>, SearchStats) {
+        let mut stats = SearchStats::default();
+        // archlint: allow(no-raw-alloc-in-hot-path) — one output buffer
+        // for the whole batch, amortized across up to `max` operations.
+        let mut out = Vec::with_capacity(max);
+        if max == 0 {
+            return (out, stats);
+        }
+        // One retirement fence for the whole batch: every node/descriptor
+        // the drain unlinks buffers inside this scope and is epoch-tagged
+        // when it drops (a later tag than per-op retirement would give —
+        // conservative, so reclamation is only ever delayed). A 1-op batch
+        // has nothing to amortize, so it skips the scope bookkeeping and
+        // stays on exactly `run`'s retirement path.
+        let _retire_scope = (max > 1).then(|| guard.retire_batch());
+        let mut resume: Option<usize> = None;
+        loop {
+            let w = self.window.load(guard);
+            let width = target.span(w);
+            let at = match resume.take() {
+                Some(s) => s % width,
+                None if self.locality => *last % width,
+                None => rng.bounded(width),
+            };
+            let global = self.global.load(Ordering::SeqCst);
+            let mut all_empty = true;
+            let mut end = RoundEnd::Exhausted;
+            // The cell the search round succeeded on, drained below once
+            // the probe iterator (and its rng borrow) is released.
+            let mut won: Option<usize> = None;
+            {
+                let mut probes = Probes::new(self.policy, width, at, rng);
+                let mut probe_no = 0;
+                #[allow(clippy::while_let_on_iterator)]
+                while let Some(i) = probes.next() {
+                    stats.probes += 1;
+                    let in_coverage = probes.in_coverage(probe_no);
+                    probe_no += 1;
+                    if self.global.load(Ordering::SeqCst) != global {
+                        end = RoundEnd::GlobalChanged(i);
+                        break;
+                    }
+                    match target.probe(i, w, global, guard) {
+                        Probe::Done(value) => {
+                            *last = i;
+                            // archlint: allow(no-raw-alloc-in-hot-path) —
+                            // pre-sized push into the batch buffer.
+                            out.push(value);
+                            if out.len() >= max || !target.reload() {
+                                return (out, stats);
+                            }
+                            won = Some(i);
+                            break;
+                        }
+                        Probe::Contended => {
+                            end = RoundEnd::Contention;
+                            break;
+                        }
+                        Probe::Invalid => {
+                            if in_coverage {
+                                all_empty = false;
+                            }
+                        }
+                        Probe::Empty => {}
+                    }
+                }
+            }
+            if let Some(i) = won {
+                // Drain the won cell under the round's descriptor; one
+                // item is already out.
+                let mut drained = 1usize;
+                loop {
+                    if drained >= w.depth {
+                        // Per-round cell budget spent; search again (the
+                        // next round revisits `i` first via locality).
+                        resume = Some(i);
+                        break;
+                    }
+                    // Fresh Global per drained item: the validity check
+                    // below always runs against the live window position.
+                    let g = self.global.load(Ordering::SeqCst);
+                    stats.probes += 1;
+                    match target.probe(i, w, g, guard) {
+                        Probe::Done(value) => {
+                            // archlint: allow(no-raw-alloc-in-hot-path) —
+                            // pre-sized push into the batch buffer.
+                            out.push(value);
+                            drained += 1;
+                            if out.len() >= max || !target.reload() {
+                                return (out, stats);
+                            }
+                        }
+                        Probe::Contended => {
+                            stats.cas_failures += 1;
+                            resume =
+                                Some(if self.hop_on_contention { rng.bounded(width) } else { i });
+                            break;
+                        }
+                        // The cell stopped validating (window edge or
+                        // exhausted): fall back to a full search round.
+                        Probe::Invalid | Probe::Empty => {
+                            resume = Some(i);
+                            break;
+                        }
+                    }
+                }
+                continue;
+            }
+            match end {
+                RoundEnd::GlobalChanged(i) => {
+                    stats.restarts += 1;
+                    resume = Some(i);
+                }
+                RoundEnd::Contention => {
+                    stats.cas_failures += 1;
+                    resume = Some(if self.hop_on_contention { rng.bounded(width) } else { at });
+                }
+                RoundEnd::Exhausted => {
+                    if P::CONSUMES && all_empty {
+                        // Every cell empty under one Global: the batch ends
+                        // here, possibly short.
+                        stats.empty = true;
+                        return (out, stats);
+                    }
                     let live = self.window.load(guard);
                     if let Some(next) = target.shift_target(global, live) {
                         if self

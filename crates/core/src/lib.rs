@@ -113,8 +113,11 @@
 pub mod builder;
 pub mod counter2d;
 mod engine;
+#[cfg(test)]
+mod layout;
 pub mod metrics;
 pub mod params;
+mod pool;
 pub mod queue2d;
 pub mod rng;
 pub mod search;
@@ -129,6 +132,7 @@ pub use builder::{Buildable, Builder};
 pub use counter2d::{Counter2D, CounterHandle};
 pub use metrics::MetricsSnapshot;
 pub use params::{Params, ParamsError};
+pub use pool::{pool_stats, PoolStats};
 pub use queue2d::{Queue2D, QueueHandle};
 pub use search::{SearchConfig, SearchPolicy};
 pub use stack::{Handle2D, Stack2D};

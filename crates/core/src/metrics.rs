@@ -22,6 +22,7 @@
 //! populated.
 
 use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 use core::fmt;
 
 use crossbeam_utils::CachePadded;
@@ -45,6 +46,13 @@ pub(crate) struct OpCounters {
     pub empty_pops: CachePadded<AtomicU64>,
     /// Completed operations (pushes + pops, including empty pops).
     pub ops: CachePadded<AtomicU64>,
+    /// Operations completed inside a batched call (`push_n`/`pop_n`);
+    /// a subset of `ops`.
+    pub batched_ops: CachePadded<AtomicU64>,
+    /// Engine invocations (one per `push`/`pop`/`increment` and one per
+    /// whole batched call) — the denominator that keeps per-search-round
+    /// rates honest under batching.
+    pub search_rounds: CachePadded<AtomicU64>,
     /// Window-descriptor swings (retunes and shrink commits).
     pub retunes: CachePadded<AtomicU64>,
 }
@@ -57,6 +65,33 @@ impl OpCounters {
         }
     }
 
+    /// Single-writer add for per-handle blocks ([`CounterHub::register`]):
+    /// only the owning handle ever writes the block, so a relaxed
+    /// load+store replaces the locked read-modify-write — the difference
+    /// is most of the metrics overhead of an uncontended op.
+    #[inline]
+    pub(crate) fn bump(&self, field: impl Fn(&Self) -> &CachePadded<AtomicU64>, n: u64) {
+        if n > 0 {
+            let f = field(self);
+            f.store(f.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed);
+        }
+    }
+
+    /// Folds this block into `base` (handle drop: the retiring handle's
+    /// counts move to the structure's shared block).
+    fn merge_into(&self, base: &OpCounters) {
+        base.add(|c| &c.cas_failures, self.cas_failures.load(Ordering::Relaxed));
+        base.add(|c| &c.probes, self.probes.load(Ordering::Relaxed));
+        base.add(|c| &c.shifts_up, self.shifts_up.load(Ordering::Relaxed));
+        base.add(|c| &c.shifts_down, self.shifts_down.load(Ordering::Relaxed));
+        base.add(|c| &c.global_restarts, self.global_restarts.load(Ordering::Relaxed));
+        base.add(|c| &c.empty_pops, self.empty_pops.load(Ordering::Relaxed));
+        base.add(|c| &c.ops, self.ops.load(Ordering::Relaxed));
+        base.add(|c| &c.batched_ops, self.batched_ops.load(Ordering::Relaxed));
+        base.add(|c| &c.search_rounds, self.search_rounds.load(Ordering::Relaxed));
+        base.add(|c| &c.retunes, self.retunes.load(Ordering::Relaxed));
+    }
+
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             cas_failures: self.cas_failures.load(Ordering::Relaxed),
@@ -66,10 +101,13 @@ impl OpCounters {
             global_restarts: self.global_restarts.load(Ordering::Relaxed),
             empty_pops: self.empty_pops.load(Ordering::Relaxed),
             ops: self.ops.load(Ordering::Relaxed),
+            batched_ops: self.batched_ops.load(Ordering::Relaxed),
+            search_rounds: self.search_rounds.load(Ordering::Relaxed),
             retunes: self.retunes.load(Ordering::Relaxed),
         }
     }
 
+    #[cfg(test)]
     pub(crate) fn reset(&self) {
         self.cas_failures.store(0, Ordering::Relaxed);
         self.probes.store(0, Ordering::Relaxed);
@@ -78,7 +116,84 @@ impl OpCounters {
         self.global_restarts.store(0, Ordering::Relaxed);
         self.empty_pops.store(0, Ordering::Relaxed);
         self.ops.store(0, Ordering::Relaxed);
+        self.batched_ops.store(0, Ordering::Relaxed);
+        self.search_rounds.store(0, Ordering::Relaxed);
         self.retunes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The counter state a windowed structure owns: one shared block for
+/// structure-level events (retunes) and retired handles, plus one
+/// **per-handle** block per live handle.
+///
+/// Handles write only their own block ([`OpCounters::bump`] — plain
+/// relaxed load+store, no locked read-modify-write), which removes the
+/// per-op atomic-RMW tax *and* the false-sharing between handles that a
+/// single shared block would cost under contention. [`CounterHub::snapshot`]
+/// sums base + live blocks, so `metrics()` stays exact at every instant;
+/// a dropped handle folds its block into the base first.
+#[derive(Debug, Default)]
+pub(crate) struct CounterHub {
+    base: OpCounters,
+    inner: Mutex<HubInner>,
+}
+
+#[derive(Debug, Default)]
+struct HubInner {
+    locals: Vec<Arc<OpCounters>>,
+    /// Raw totals at the last [`CounterHub::reset`]: per-handle blocks are
+    /// single-writer and must never be stored to from outside, so a reset
+    /// subtracts instead of zeroing.
+    baseline: MetricsSnapshot,
+}
+
+impl CounterHub {
+    /// Structure-level events (retunes, shrink commits) — multi-writer,
+    /// goes to the shared base block.
+    #[inline]
+    pub(crate) fn add(&self, field: impl Fn(&OpCounters) -> &CachePadded<AtomicU64>, n: u64) {
+        self.base.add(field, n);
+    }
+
+    /// A fresh per-handle block, summed into snapshots while registered.
+    /// The caller must pass it back to [`CounterHub::release`] when the
+    /// handle drops.
+    pub(crate) fn register(&self) -> Arc<OpCounters> {
+        let block = Arc::new(OpCounters::default());
+        self.inner.lock().locals.push(Arc::clone(&block));
+        block
+    }
+
+    /// Unregisters a handle's block, folding its counts into the base so
+    /// totals are unaffected by the handle's lifetime.
+    pub(crate) fn release(&self, block: &Arc<OpCounters>) {
+        let mut inner = self.inner.lock();
+        if let Some(i) = inner.locals.iter().position(|b| Arc::ptr_eq(b, block)) {
+            inner.locals.swap_remove(i);
+        }
+        block.merge_into(&self.base);
+    }
+
+    /// Raw monotone totals: base plus every live handle block.
+    fn raw(&self, inner: &HubInner) -> MetricsSnapshot {
+        let mut total = self.base.snapshot();
+        for block in &inner.locals {
+            total = total.merged(&block.snapshot());
+        }
+        total
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        self.raw(&inner).delta_since(&inner.baseline)
+    }
+
+    /// Zeroes the observable counters by re-basing the subtraction point
+    /// (per-handle blocks are single-writer, so they cannot be stored to
+    /// from here).
+    pub(crate) fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.baseline = self.raw(&inner);
     }
 }
 
@@ -115,6 +230,12 @@ pub struct MetricsSnapshot {
     pub empty_pops: u64,
     /// Completed operations.
     pub ops: u64,
+    /// Operations completed inside a batched call (subset of `ops`).
+    /// Absent from snapshots recorded before PR 10; readers treat it as 0.
+    pub batched_ops: u64,
+    /// Engine invocations (one per singular op, one per batched call).
+    /// Absent from snapshots recorded before PR 10; readers treat it as 0.
+    pub search_rounds: u64,
     /// Window-descriptor swings (retunes and shrink commits).
     pub retunes: u64,
 }
@@ -145,9 +266,28 @@ impl MetricsSnapshot {
             global_restarts: self.global_restarts.saturating_sub(earlier.global_restarts),
             empty_pops: self.empty_pops.saturating_sub(earlier.empty_pops),
             ops: self.ops.saturating_sub(earlier.ops),
+            batched_ops: self.batched_ops.saturating_sub(earlier.batched_ops),
+            search_rounds: self.search_rounds.saturating_sub(earlier.search_rounds),
             retunes: self.retunes.saturating_sub(earlier.retunes),
         }
     }
+    /// Fieldwise sum (wrapping like the underlying counters), used to fold
+    /// per-handle blocks into one total.
+    pub(crate) fn merged(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cas_failures: self.cas_failures.wrapping_add(other.cas_failures),
+            probes: self.probes.wrapping_add(other.probes),
+            shifts_up: self.shifts_up.wrapping_add(other.shifts_up),
+            shifts_down: self.shifts_down.wrapping_add(other.shifts_down),
+            global_restarts: self.global_restarts.wrapping_add(other.global_restarts),
+            empty_pops: self.empty_pops.wrapping_add(other.empty_pops),
+            ops: self.ops.wrapping_add(other.ops),
+            batched_ops: self.batched_ops.wrapping_add(other.batched_ops),
+            search_rounds: self.search_rounds.wrapping_add(other.search_rounds),
+            retunes: self.retunes.wrapping_add(other.retunes),
+        }
+    }
+
     /// Average sub-stack validations per completed operation — the paper's
     /// step-complexity proxy. Zero when no ops completed.
     pub fn probes_per_op(&self) -> f64 {
@@ -182,8 +322,10 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ops={} probes/op={:.2} cas-fail={} shifts(up/down)={}/{} restarts={} empty={} retunes={}",
+            "ops={} (batched {}) rounds={} probes/op={:.2} cas-fail={} shifts(up/down)={}/{} restarts={} empty={} retunes={}",
             self.ops,
+            self.batched_ops,
+            self.search_rounds,
             self.probes_per_op(),
             self.cas_failures,
             self.shifts_up,
@@ -214,10 +356,8 @@ mod tests {
             probes: 30,
             shifts_up: 2,
             shifts_down: 1,
-            global_restarts: 0,
-            empty_pops: 0,
             ops: 10,
-            retunes: 0,
+            ..Default::default()
         };
         assert_eq!(m.probes_per_op(), 3.0);
         assert_eq!(m.contention_rate(), 0.5);

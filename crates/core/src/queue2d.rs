@@ -53,13 +53,14 @@ use core::fmt;
 use core::mem::MaybeUninit;
 use core::ptr;
 
-use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Pointer, Shared};
 use crossbeam_utils::CachePadded;
 
 use crate::builder::Builder;
 use crate::engine::{Probe, ProbeTarget, Search};
-use crate::metrics::{MetricsSnapshot, OpCounters};
+use crate::metrics::{CounterHub, MetricsSnapshot, OpCounters};
 use crate::params::Params;
+use crate::pool;
 use crate::rng::{HandleSeeder, HopRng};
 use crate::search::{SearchConfig, SearchPolicy};
 use crate::sync::Arc;
@@ -72,14 +73,32 @@ struct QNode<T> {
     next: Atomic<QNode<T>>,
 }
 
-/// One Michael–Scott lock-free FIFO sub-queue with operation counters.
-struct SubQueue<T> {
+/// The dequeue end of a sub-queue: the MS head pointer plus the monotone
+/// count of completed dequeues — everything a `dequeue` mutates.
+struct GetLane<T> {
     head: Atomic<QNode<T>>,
-    tail: Atomic<QNode<T>>,
-    /// Monotone count of completed enqueues.
-    enq: AtomicUsize,
-    /// Monotone count of completed dequeues.
     deq: AtomicUsize,
+}
+
+/// The enqueue end: the MS tail pointer plus the monotone count of
+/// completed enqueues — everything an `enqueue` mutates.
+struct PutLane<T> {
+    tail: Atomic<QNode<T>>,
+    enq: AtomicUsize,
+}
+
+/// One Michael–Scott lock-free FIFO sub-queue with operation counters.
+///
+/// The two mutation ends live in separate cache-line-padded lanes: an MS
+/// queue's head and tail are written by disjoint operation kinds, so
+/// co-locating them would make every enqueue invalidate every dequeuer's
+/// cached line (and vice versa) even on different sub-queues of the same
+/// item flow. See DESIGN.md §14 for the padding map.
+struct SubQueue<T> {
+    get: CachePadded<GetLane<T>>,
+    put: CachePadded<PutLane<T>>,
+    /// Whether nodes are drawn from (and retired to) the node pool.
+    pooled: bool,
 }
 
 // SAFETY: the queue owns its nodes and transfers values across threads only
@@ -91,16 +110,24 @@ unsafe impl<T: Send> Sync for SubQueue<T> {}
 
 impl<T> SubQueue<T> {
     fn new() -> Self {
-        let dummy = Owned::new(QNode { value: MaybeUninit::uninit(), next: Atomic::null() });
+        Self::with_pool(false)
+    }
+
+    /// A sub-queue whose nodes cycle through the node pool (see `pool.rs`).
+    fn new_pooled() -> Self {
+        Self::with_pool(true)
+    }
+
+    fn with_pool(pooled: bool) -> Self {
+        let dummy = alloc_qnode(MaybeUninit::uninit(), pooled);
         // SAFETY: construction is single-threaded — nothing else can touch
         // the queue yet, satisfying the unprotected guard's exclusivity.
         let guard = unsafe { epoch::unprotected() };
         let dummy = dummy.into_shared(guard);
         SubQueue {
-            head: Atomic::from(dummy),
-            tail: Atomic::from(dummy),
-            enq: AtomicUsize::new(0),
-            deq: AtomicUsize::new(0),
+            get: CachePadded::new(GetLane { head: Atomic::from(dummy), deq: AtomicUsize::new(0) }),
+            put: CachePadded::new(PutLane { tail: Atomic::from(dummy), enq: AtomicUsize::new(0) }),
+            pooled,
         }
     }
 
@@ -108,15 +135,20 @@ impl<T> SubQueue<T> {
     /// contention so the window search can hop.
     fn try_enqueue(&self, node: Owned<QNode<T>>, guard: &Guard) -> Result<(), Owned<QNode<T>>> {
         let node = node.into_shared(guard);
-        let tail = self.tail.load(Ordering::Acquire, guard);
+        let tail = self.put.tail.load(Ordering::Acquire, guard);
         // SAFETY: tail is never null (a dummy node exists from construction)
         // and the epoch guard keeps the loaded node alive.
         let t = unsafe { tail.deref() };
         let next = t.next.load(Ordering::Acquire, guard);
         if !next.is_null() {
             // Tail lagging: help swing it, then report contention.
-            let _ =
-                self.tail.compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire, guard);
+            let _ = self.put.tail.compare_exchange(
+                tail,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                guard,
+            );
             // SAFETY: the node was never linked, so we still own it
             // exclusively.
             return Err(unsafe { node.into_owned() });
@@ -129,14 +161,14 @@ impl<T> SubQueue<T> {
             guard,
         ) {
             Ok(_) => {
-                let _ = self.tail.compare_exchange(
+                let _ = self.put.tail.compare_exchange(
                     tail,
                     node,
                     Ordering::AcqRel,
                     Ordering::Acquire,
                     guard,
                 );
-                self.enq.fetch_add(1, Ordering::AcqRel);
+                self.put.enq.fetch_add(1, Ordering::AcqRel);
                 Ok(())
             }
             // SAFETY: the failed CAS did not install the node, so we still
@@ -148,7 +180,7 @@ impl<T> SubQueue<T> {
     /// Single dequeue attempt. `Ok(None)` = observed empty, `Err(())` =
     /// lost a race.
     fn try_dequeue(&self, guard: &Guard) -> Result<Option<T>, ()> {
-        let head = self.head.load(Ordering::Acquire, guard);
+        let head = self.get.head.load(Ordering::Acquire, guard);
         // SAFETY: head is never null (dummy node) and the epoch guard keeps
         // the loaded node alive.
         let h = unsafe { head.deref() };
@@ -156,7 +188,8 @@ impl<T> SubQueue<T> {
         if next.is_null() {
             return Ok(None);
         }
-        match self.head.compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire, guard) {
+        match self.get.head.compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire, guard)
+        {
             Ok(_) => {
                 // SAFETY: winning the head CAS makes `next` the new dummy
                 // and grants us the unique right to move its value out; the
@@ -164,10 +197,19 @@ impl<T> SubQueue<T> {
                 // deallocation cannot double-drop it. `next` stays alive
                 // under the guard.
                 let value = unsafe { ptr::read(next.deref().value.as_ptr()) };
-                // SAFETY: the old dummy was unlinked by our CAS; only the
-                // winner retires it, exactly once.
-                unsafe { guard.defer_destroy(head) };
-                self.deq.fetch_add(1, Ordering::AcqRel);
+                if self.pooled {
+                    // SAFETY: the old dummy was unlinked by our CAS; only
+                    // the winner retires it, exactly once. Its value slot is
+                    // uninitialized (moved out or never set), so recycling
+                    // the storage without running drop glue is complete
+                    // reclamation, and every node originates from
+                    // `Box::into_raw` as `pool::recycle` requires.
+                    unsafe { guard.defer_destroy_with(head, pool::recycle::<QNode<T>>) };
+                } else {
+                    // SAFETY: as above; only the winner retires it.
+                    unsafe { guard.defer_destroy(head) };
+                }
+                self.get.deq.fetch_add(1, Ordering::AcqRel);
                 Ok(Some(value))
             }
             Err(_) => Err(()),
@@ -175,7 +217,7 @@ impl<T> SubQueue<T> {
     }
 
     fn is_empty(&self, guard: &Guard) -> bool {
-        let head = self.head.load(Ordering::Acquire, guard);
+        let head = self.get.head.load(Ordering::Acquire, guard);
         // SAFETY: head is never null (dummy node) and the epoch guard keeps
         // the loaded node alive.
         unsafe { head.deref() }.next.load(Ordering::Acquire, guard).is_null()
@@ -183,8 +225,18 @@ impl<T> SubQueue<T> {
 
     /// Resident items by the counters (enqueues minus dequeues).
     fn residency(&self) -> usize {
-        self.enq.load(Ordering::Acquire).saturating_sub(self.deq.load(Ordering::Acquire))
+        self.put.enq.load(Ordering::Acquire).saturating_sub(self.get.deq.load(Ordering::Acquire))
     }
+}
+
+/// Stages a value into an MS-queue node on the configured allocation path.
+#[inline]
+fn alloc_qnode<T>(value: MaybeUninit<T>, pooled: bool) -> Owned<QNode<T>> {
+    let node = QNode { value, next: Atomic::null() };
+    let raw = if pooled { pool::alloc(node) } else { pool::boxed(node) };
+    // SAFETY: both paths hand back a unique, properly initialized block that
+    // originated from `Box::into_raw`, which is exactly `Owned`'s contract.
+    unsafe { Owned::from_raw_ptr(raw) }
 }
 
 impl<T> Drop for SubQueue<T> {
@@ -194,7 +246,7 @@ impl<T> Drop for SubQueue<T> {
         // values, and the loop below drops exactly those.
         unsafe {
             let guard = epoch::unprotected();
-            let mut head = self.head.load(Ordering::Relaxed, guard);
+            let mut head = self.get.head.load(Ordering::Relaxed, guard);
             // The head node is a dummy: its value is uninitialized (either
             // from construction or already moved out by a dequeue).
             let mut first = true;
@@ -254,7 +306,7 @@ pub struct Queue2D<T> {
     /// path only; enqueues/dequeues never take it.
     retune_lock: crate::sync::Mutex<()>,
     config: SearchConfig,
-    counters: OpCounters,
+    counters: CounterHub,
     seeder: HandleSeeder,
     telemetry: TelemetryHook,
 }
@@ -293,8 +345,10 @@ impl<T> Queue2D<T> {
     pub(crate) fn from_builder_parts(config: SearchConfig, seed: Option<u64>) -> Self {
         let params = config.params();
         let capacity = config.capacity();
+        let make_sub =
+            if config.uses_node_pool() { SubQueue::new_pooled } else { SubQueue::new as fn() -> _ };
         let subs = (0..capacity)
-            .map(|_| CachePadded::new(SubQueue::new()))
+            .map(|_| CachePadded::new(make_sub()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         Queue2D {
@@ -305,7 +359,7 @@ impl<T> Queue2D<T> {
             get: ElasticWindow::new(params),
             retune_lock: crate::sync::Mutex::new(()),
             config,
-            counters: OpCounters::default(),
+            counters: CounterHub::default(),
             seeder: HandleSeeder::new(seed),
             telemetry: TelemetryHook::none(),
         }
@@ -485,6 +539,7 @@ impl<T> Queue2D<T> {
             last_get: last,
             rng,
             sampler: self.telemetry.sampler(),
+            counters: self.counters.register(),
         }
     }
 
@@ -498,6 +553,7 @@ impl<T> Queue2D<T> {
             last_get: last,
             rng,
             sampler: self.telemetry.sampler(),
+            counters: self.counters.register(),
         }
     }
 
@@ -516,8 +572,8 @@ impl<T> Queue2D<T> {
     /// Approximate number of resident items (enqueues minus dequeues,
     /// summed over the whole capacity so pending-shrink tails count).
     pub fn len(&self) -> usize {
-        let enq: usize = self.subs.iter().map(|s| s.enq.load(Ordering::Acquire)).sum();
-        let deq: usize = self.subs.iter().map(|s| s.deq.load(Ordering::Acquire)).sum();
+        let enq: usize = self.subs.iter().map(|s| s.put.enq.load(Ordering::Acquire)).sum();
+        let deq: usize = self.subs.iter().map(|s| s.get.deq.load(Ordering::Acquire)).sum();
         enq.saturating_sub(deq)
     }
 
@@ -594,6 +650,14 @@ impl<T: Send> OpsHandle<T> for QueueHandle<'_, T> {
     fn consume(&mut self) -> Option<T> {
         self.dequeue()
     }
+
+    fn produce_n(&mut self, values: Vec<T>) {
+        self.enqueue_n(values);
+    }
+
+    fn consume_n(&mut self, max: usize) -> Vec<T> {
+        self.dequeue_n(max)
+    }
 }
 
 impl<T: Send> RelaxedOps<T> for Queue2D<T> {
@@ -625,6 +689,12 @@ impl<T: Send> RelaxedOps<T> for Queue2D<T> {
 struct PutEnd<'q, T> {
     subs: &'q [CachePadded<SubQueue<T>>],
     node: Option<Owned<QNode<T>>>,
+    /// Remaining values of a batched enqueue, in reverse order (popped
+    /// from the back as [`ProbeTarget::reload`] stages them). Empty for a
+    /// singular enqueue.
+    pending: Vec<T>,
+    /// Whether staged nodes draw from the node pool.
+    pooled: bool,
 }
 
 impl<T> ProbeTarget for PutEnd<'_, T> {
@@ -636,7 +706,7 @@ impl<T> ProbeTarget for PutEnd<'_, T> {
     }
 
     fn probe(&mut self, i: usize, _w: &WindowDesc, global: usize, guard: &Guard) -> Probe<()> {
-        if self.subs[i].enq.load(Ordering::Acquire) < global {
+        if self.subs[i].put.enq.load(Ordering::Acquire) < global {
             // archlint: allow(no-panic-in-hot-path) — the engine calls each
             // probe at most once after Done; the node is present by contract.
             let n = self.node.take().expect("enqueue node present");
@@ -656,6 +726,17 @@ impl<T> ProbeTarget for PutEnd<'_, T> {
         // Every covered sub-queue is at the window's edge: raise it
         // (enqueue counts are monotone, so the put window only advances).
         Some(global + live.shift)
+    }
+
+    fn reload(&mut self) -> bool {
+        debug_assert!(self.node.is_none(), "reload with a node still staged");
+        match self.pending.pop() {
+            Some(v) => {
+                self.node = Some(alloc_qnode(MaybeUninit::new(v), self.pooled));
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -679,7 +760,7 @@ impl<T> ProbeTarget for GetEnd<'_, T> {
         if self.subs[i].is_empty(guard) {
             return Probe::Empty;
         }
-        if self.subs[i].deq.load(Ordering::Acquire) < global {
+        if self.subs[i].get.deq.load(Ordering::Acquire) < global {
             match self.subs[i].try_dequeue(guard) {
                 Ok(Some(v)) => Probe::Done(v),
                 // Drained between the emptiness check and the dequeue
@@ -708,6 +789,16 @@ pub struct QueueHandle<'q, T> {
     last_get: usize,
     rng: HopRng,
     sampler: Sampler,
+    /// This handle's private counter block (single-writer; summed into
+    /// [`Queue2D::metrics`] while live, folded into the shared block on
+    /// drop). See [`CounterHub`](crate::metrics::CounterHub).
+    counters: Arc<OpCounters>,
+}
+
+impl<T> Drop for QueueHandle<'_, T> {
+    fn drop(&mut self) {
+        self.queue.counters.release(&self.counters);
+    }
 }
 
 impl<T> QueueHandle<'_, T> {
@@ -716,8 +807,9 @@ impl<T> QueueHandle<'_, T> {
         let q = self.queue;
         let start = q.telemetry.sample_start(&mut self.sampler);
         let guard = epoch::pin();
-        let node = Owned::new(QNode { value: MaybeUninit::new(value), next: Atomic::null() });
-        let mut end = PutEnd { subs: &q.subs, node: Some(node) };
+        let pooled = q.config.uses_node_pool();
+        let node = alloc_qnode(MaybeUninit::new(value), pooled);
+        let mut end = PutEnd { subs: &q.subs, node: Some(node), pending: Vec::new(), pooled };
         let (done, st) = Search::new(&q.put, &q.put_global, &q.config).run(
             &mut end,
             &mut self.last_put,
@@ -725,12 +817,70 @@ impl<T> QueueHandle<'_, T> {
             &guard,
         );
         debug_assert!(done.is_some(), "an enqueue always completes");
-        let c = &q.counters;
-        c.add(|c| &c.probes, st.probes);
-        c.add(|c| &c.cas_failures, st.cas_failures);
-        c.add(|c| &c.global_restarts, st.restarts);
-        c.add(|c| &c.shifts_up, st.shifts);
-        c.add(|c| &c.ops, 1);
+        let c = &*self.counters;
+        c.bump(|c| &c.probes, st.probes);
+        c.bump(|c| &c.cas_failures, st.cas_failures);
+        c.bump(|c| &c.global_restarts, st.restarts);
+        c.bump(|c| &c.shifts_up, st.shifts);
+        c.bump(|c| &c.ops, 1);
+        c.bump(|c| &c.search_rounds, 1);
+        if let Some(r) = q.telemetry.recorder() {
+            if st.shifts > 0 {
+                r.window_shift(ShiftDir::Up, st.shifts);
+            }
+            if let Some(t0) = start {
+                r.op_sample(OpKind::Enqueue, clock::now_ns().saturating_sub(t0));
+            }
+        }
+    }
+
+    /// Enqueues every value in `values`, amortizing the window search:
+    /// after one search round wins a sub-queue, up to `depth` items are
+    /// appended to that same sub-queue (each re-validated against the live
+    /// put `Global`) before searching again. Observably equivalent to
+    /// enqueueing the values one by one; the k bound is untouched (see
+    /// DESIGN.md §14).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Params, Queue2D};
+    ///
+    /// let q = Queue2D::new(Params::default());
+    /// q.handle().enqueue_n((0..100).collect());
+    /// assert_eq!(q.len(), 100);
+    /// ```
+    pub fn enqueue_n(&mut self, values: Vec<T>) {
+        let n = values.len();
+        if n == 0 {
+            return;
+        }
+        let q = self.queue;
+        let start = q.telemetry.sample_start(&mut self.sampler);
+        let guard = epoch::pin();
+        let pooled = q.config.uses_node_pool();
+        let mut pending = values;
+        pending.reverse();
+        // archlint: allow(no-panic-in-hot-path) — `values` is non-empty here
+        // because the n == 0 case returned above, so the pop cannot fail.
+        let node = alloc_qnode(MaybeUninit::new(pending.pop().expect("n > 0")), pooled);
+        let mut end = PutEnd { subs: &q.subs, node: Some(node), pending, pooled };
+        let (done, st) = Search::new(&q.put, &q.put_global, &q.config).run_batch(
+            &mut end,
+            n,
+            &mut self.last_put,
+            &mut self.rng,
+            &guard,
+        );
+        debug_assert_eq!(done.len(), n, "an enqueue batch always completes in full");
+        let c = &*self.counters;
+        c.bump(|c| &c.probes, st.probes);
+        c.bump(|c| &c.cas_failures, st.cas_failures);
+        c.bump(|c| &c.global_restarts, st.restarts);
+        c.bump(|c| &c.shifts_up, st.shifts);
+        c.bump(|c| &c.ops, n as u64);
+        c.bump(|c| &c.batched_ops, n as u64);
+        c.bump(|c| &c.search_rounds, 1);
         if let Some(r) = q.telemetry.recorder() {
             if st.shifts > 0 {
                 r.window_shift(ShiftDir::Up, st.shifts);
@@ -754,13 +904,68 @@ impl<T> QueueHandle<'_, T> {
             &mut self.rng,
             &guard,
         );
-        let c = &q.counters;
-        c.add(|c| &c.probes, st.probes);
-        c.add(|c| &c.cas_failures, st.cas_failures);
-        c.add(|c| &c.global_restarts, st.restarts);
-        c.add(|c| &c.shifts_down, st.shifts);
-        c.add(|c| &c.empty_pops, u64::from(st.empty));
-        c.add(|c| &c.ops, 1);
+        let c = &*self.counters;
+        c.bump(|c| &c.probes, st.probes);
+        c.bump(|c| &c.cas_failures, st.cas_failures);
+        c.bump(|c| &c.global_restarts, st.restarts);
+        c.bump(|c| &c.shifts_down, st.shifts);
+        c.bump(|c| &c.empty_pops, u64::from(st.empty));
+        c.bump(|c| &c.ops, 1);
+        c.bump(|c| &c.search_rounds, 1);
+        if let Some(r) = q.telemetry.recorder() {
+            if st.shifts > 0 {
+                r.window_shift(ShiftDir::Down, st.shifts);
+            }
+            if let Some(t0) = start {
+                r.op_sample(OpKind::Dequeue, clock::now_ns().saturating_sub(t0));
+            }
+        }
+        out
+    }
+
+    /// Dequeues up to `max` items, amortizing the window search: after one
+    /// search round wins a sub-queue, up to `depth` items are taken from
+    /// that same sub-queue (each re-validated against the live get
+    /// `Global`) before searching again. Returns short when a covering
+    /// sweep observes every sub-queue empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Params, Queue2D};
+    ///
+    /// let q = Queue2D::new(Params::default());
+    /// q.handle().enqueue_n((0..10).collect());
+    /// assert_eq!(q.handle().dequeue_n(64).len(), 10);
+    /// ```
+    pub fn dequeue_n(&mut self, max: usize) -> Vec<T> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let q = self.queue;
+        let start = q.telemetry.sample_start(&mut self.sampler);
+        let guard = epoch::pin();
+        let mut end = GetEnd { subs: &q.subs };
+        let (out, st) = Search::new(&q.get, &q.get_global, &q.config).run_batch(
+            &mut end,
+            max,
+            &mut self.last_get,
+            &mut self.rng,
+            &guard,
+        );
+        let c = &*self.counters;
+        c.bump(|c| &c.probes, st.probes);
+        c.bump(|c| &c.cas_failures, st.cas_failures);
+        c.bump(|c| &c.global_restarts, st.restarts);
+        c.bump(|c| &c.shifts_down, st.shifts);
+        c.bump(|c| &c.empty_pops, u64::from(st.empty));
+        // An empty-terminated batch counts its empty observation as one
+        // op, mirroring the singular dequeue that would have returned
+        // `None`.
+        let n = out.len() as u64 + u64::from(st.empty);
+        c.bump(|c| &c.ops, n);
+        c.bump(|c| &c.batched_ops, n);
+        c.bump(|c| &c.search_rounds, 1);
         if let Some(r) = q.telemetry.recorder() {
             if st.shifts > 0 {
                 r.window_shift(ShiftDir::Down, st.shifts);

@@ -24,7 +24,7 @@ use crossbeam_utils::CachePadded;
 
 use crate::builder::Builder;
 use crate::engine::{Probe, ProbeTarget, Search};
-use crate::metrics::{MetricsSnapshot, OpCounters};
+use crate::metrics::{CounterHub, MetricsSnapshot, OpCounters};
 use crate::params::Params;
 use crate::rng::{HandleSeeder, HopRng};
 use crate::search::SearchConfig;
@@ -76,7 +76,7 @@ pub struct Stack2D<T> {
     /// epoch-protected and hot-swapped by [`Stack2D::retune`].
     window: ElasticWindow,
     config: SearchConfig,
-    counters: OpCounters,
+    counters: CounterHub,
     seeder: HandleSeeder,
     telemetry: TelemetryHook,
 }
@@ -86,6 +86,12 @@ pub struct Stack2D<T> {
 struct PushSide<'s, T> {
     subs: &'s [CachePadded<SubStack<T>>],
     node: Option<PreparedNode<T>>,
+    /// Remaining values of a batched push, in reverse order (popped from
+    /// the back as [`ProbeTarget::reload`] stages them). Empty for a
+    /// singular push.
+    pending: Vec<T>,
+    /// Whether staged nodes draw from the node pool.
+    pooled: bool,
 }
 
 impl<T> ProbeTarget for PushSide<'_, T> {
@@ -121,6 +127,27 @@ impl<T> ProbeTarget for PushSide<'_, T> {
     fn shift_target(&self, global: usize, live: &WindowDesc) -> Option<usize> {
         // Every sub-stack is at or above the window: raise it.
         Some(global + live.shift)
+    }
+
+    fn reload(&mut self) -> bool {
+        debug_assert!(self.node.is_none(), "reload with a node still staged");
+        match self.pending.pop() {
+            Some(v) => {
+                self.node = Some(prepare_node(v, self.pooled));
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Stages a value into a list node on the configured allocation path.
+#[inline]
+fn prepare_node<T>(value: T, pooled: bool) -> PreparedNode<T> {
+    if pooled {
+        PreparedNode::new_pooled(value)
+    } else {
+        PreparedNode::new(value)
     }
 }
 
@@ -194,8 +221,10 @@ impl<T> Stack2D<T> {
 
     fn with_config_seeded(config: SearchConfig, seed: Option<u64>) -> Self {
         let capacity = config.capacity();
+        let make_sub =
+            if config.uses_node_pool() { SubStack::new_pooled } else { SubStack::new as fn() -> _ };
         let subs = (0..capacity)
-            .map(|_| CachePadded::new(SubStack::new()))
+            .map(|_| CachePadded::new(make_sub()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         Stack2D {
@@ -203,7 +232,7 @@ impl<T> Stack2D<T> {
             global: CachePadded::new(AtomicUsize::new(config.params().initial_global())),
             window: ElasticWindow::new(config.params()),
             config,
-            counters: OpCounters::default(),
+            counters: CounterHub::default(),
             seeder: HandleSeeder::new(seed),
             telemetry: TelemetryHook::none(),
         }
@@ -385,7 +414,8 @@ impl<T> Stack2D<T> {
         let mut rng = self.seeder.rng();
         let width = self.subs.len();
         let last = rng.bounded(width);
-        Handle2D { stack: self, last, rng, sampler: self.telemetry.sampler() }
+        let counters = self.counters.register();
+        Handle2D { stack: self, last, rng, sampler: self.telemetry.sampler(), counters }
     }
 
     /// Registers a handle with a deterministic RNG seed — useful in tests
@@ -394,7 +424,8 @@ impl<T> Stack2D<T> {
         let mut rng = HopRng::seeded(seed);
         let width = self.subs.len();
         let last = rng.bounded(width);
-        Handle2D { stack: self, last, rng, sampler: self.telemetry.sampler() }
+        let counters = self.counters.register();
+        Handle2D { stack: self, last, rng, sampler: self.telemetry.sampler(), counters }
     }
 
     /// Current value of the `Global` window counter (diagnostic).
@@ -479,6 +510,16 @@ pub struct Handle2D<'s, T> {
     last: usize,
     rng: HopRng,
     sampler: Sampler,
+    /// This handle's private counter block (single-writer; summed into
+    /// [`Stack2D::metrics`] while live, folded into the shared block on
+    /// drop). See [`CounterHub`].
+    counters: Arc<OpCounters>,
+}
+
+impl<T> Drop for Handle2D<'_, T> {
+    fn drop(&mut self) {
+        self.stack.counters.release(&self.counters);
+    }
 }
 
 impl<'s, T> Handle2D<'s, T> {
@@ -501,7 +542,9 @@ impl<'s, T> Handle2D<'s, T> {
         let stack = self.stack;
         let start = stack.telemetry.sample_start(&mut self.sampler);
         let guard = epoch::pin();
-        let mut side = PushSide { subs: &stack.subs, node: Some(PreparedNode::new(value)) };
+        let pooled = stack.config.uses_node_pool();
+        let node = Some(prepare_node(value, pooled));
+        let mut side = PushSide { subs: &stack.subs, node, pending: Vec::new(), pooled };
         let (done, st) = Search::new(&stack.window, &stack.global, &stack.config).run(
             &mut side,
             &mut self.last,
@@ -509,12 +552,69 @@ impl<'s, T> Handle2D<'s, T> {
             &guard,
         );
         debug_assert!(done.is_some(), "a push always completes");
-        let c = &stack.counters;
-        c.add(|c| &c.probes, st.probes);
-        c.add(|c| &c.cas_failures, st.cas_failures);
-        c.add(|c| &c.global_restarts, st.restarts);
-        c.add(|c| &c.shifts_up, st.shifts);
-        c.add(|c| &c.ops, 1);
+        let c = &*self.counters;
+        c.bump(|c| &c.probes, st.probes);
+        c.bump(|c| &c.cas_failures, st.cas_failures);
+        c.bump(|c| &c.global_restarts, st.restarts);
+        c.bump(|c| &c.shifts_up, st.shifts);
+        c.bump(|c| &c.ops, 1);
+        c.bump(|c| &c.search_rounds, 1);
+        if let Some(r) = stack.telemetry.recorder() {
+            if st.shifts > 0 {
+                r.window_shift(ShiftDir::Up, st.shifts);
+            }
+            if let Some(t0) = start {
+                r.op_sample(OpKind::Push, clock::now_ns().saturating_sub(t0));
+            }
+        }
+    }
+
+    /// Pushes every value in `values`, amortizing the window search: after
+    /// one search round wins a sub-stack, up to `depth` items are pushed
+    /// onto that same sub-stack (each re-validated against the live
+    /// `Global`) before searching again. Observably equivalent to pushing
+    /// the values one by one — a batch never places more items on one
+    /// sub-stack than the window already permits, so Theorem 1's bound is
+    /// untouched (see DESIGN.md §14).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Params, Stack2D};
+    ///
+    /// let stack = Stack2D::new(Params::default());
+    /// stack.handle().push_n((0..100).collect());
+    /// assert_eq!(stack.len(), 100);
+    /// ```
+    pub fn push_n(&mut self, values: Vec<T>) {
+        let n = values.len();
+        if n == 0 {
+            return;
+        }
+        let stack = self.stack;
+        let start = stack.telemetry.sample_start(&mut self.sampler);
+        let guard = epoch::pin();
+        let pooled = stack.config.uses_node_pool();
+        let mut pending = values;
+        pending.reverse();
+        let node = Some(prepare_node(pending.pop().expect("n > 0"), pooled));
+        let mut side = PushSide { subs: &stack.subs, node, pending, pooled };
+        let (done, st) = Search::new(&stack.window, &stack.global, &stack.config).run_batch(
+            &mut side,
+            n,
+            &mut self.last,
+            &mut self.rng,
+            &guard,
+        );
+        debug_assert_eq!(done.len(), n, "a push batch always completes in full");
+        let c = &*self.counters;
+        c.bump(|c| &c.probes, st.probes);
+        c.bump(|c| &c.cas_failures, st.cas_failures);
+        c.bump(|c| &c.global_restarts, st.restarts);
+        c.bump(|c| &c.shifts_up, st.shifts);
+        c.bump(|c| &c.ops, n as u64);
+        c.bump(|c| &c.batched_ops, n as u64);
+        c.bump(|c| &c.search_rounds, 1);
         if let Some(r) = stack.telemetry.recorder() {
             if st.shifts > 0 {
                 r.window_shift(ShiftDir::Up, st.shifts);
@@ -539,13 +639,70 @@ impl<'s, T> Handle2D<'s, T> {
             &mut self.rng,
             &guard,
         );
-        let c = &stack.counters;
-        c.add(|c| &c.probes, st.probes);
-        c.add(|c| &c.cas_failures, st.cas_failures);
-        c.add(|c| &c.global_restarts, st.restarts);
-        c.add(|c| &c.shifts_down, st.shifts);
-        c.add(|c| &c.empty_pops, u64::from(st.empty));
-        c.add(|c| &c.ops, 1);
+        let c = &*self.counters;
+        c.bump(|c| &c.probes, st.probes);
+        c.bump(|c| &c.cas_failures, st.cas_failures);
+        c.bump(|c| &c.global_restarts, st.restarts);
+        c.bump(|c| &c.shifts_down, st.shifts);
+        c.bump(|c| &c.empty_pops, u64::from(st.empty));
+        c.bump(|c| &c.ops, 1);
+        c.bump(|c| &c.search_rounds, 1);
+        if let Some(r) = stack.telemetry.recorder() {
+            if st.shifts > 0 {
+                r.window_shift(ShiftDir::Down, st.shifts);
+            }
+            if let Some(t0) = start {
+                r.op_sample(OpKind::Pop, clock::now_ns().saturating_sub(t0));
+            }
+        }
+        out
+    }
+
+    /// Pops up to `max` items, amortizing the window search: after one
+    /// search round wins a sub-stack, up to `depth` items are drained from
+    /// that same sub-stack (each re-validated against the live `Global`)
+    /// before searching again. Returns short when a covering sweep
+    /// observes every sub-stack empty. The returned multiset is exactly
+    /// what `max` sequential [`pop`](Handle2D::pop)s would have returned,
+    /// and every item is within the same Theorem 1 bound.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stack2d::{Params, Stack2D};
+    ///
+    /// let stack = Stack2D::new(Params::default());
+    /// stack.handle().push_n((0..10).collect());
+    /// let items = stack.handle().pop_n(64);
+    /// assert_eq!(items.len(), 10);
+    /// ```
+    pub fn pop_n(&mut self, max: usize) -> Vec<T> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let stack = self.stack;
+        let start = stack.telemetry.sample_start(&mut self.sampler);
+        let guard = epoch::pin();
+        let mut side = PopSide { subs: &stack.subs };
+        let (out, st) = Search::new(&stack.window, &stack.global, &stack.config).run_batch(
+            &mut side,
+            max,
+            &mut self.last,
+            &mut self.rng,
+            &guard,
+        );
+        let c = &*self.counters;
+        c.bump(|c| &c.probes, st.probes);
+        c.bump(|c| &c.cas_failures, st.cas_failures);
+        c.bump(|c| &c.global_restarts, st.restarts);
+        c.bump(|c| &c.shifts_down, st.shifts);
+        c.bump(|c| &c.empty_pops, u64::from(st.empty));
+        // An empty-terminated batch counts its empty observation as one
+        // op, mirroring the singular pop that would have returned `None`.
+        let n = out.len() as u64 + u64::from(st.empty);
+        c.bump(|c| &c.ops, n);
+        c.bump(|c| &c.batched_ops, n);
+        c.bump(|c| &c.search_rounds, 1);
         if let Some(r) = stack.telemetry.recorder() {
             if st.shifts > 0 {
                 r.window_shift(ShiftDir::Down, st.shifts);
@@ -657,6 +814,14 @@ impl<T: Send> StackHandle<T> for Handle2D<'_, T> {
 
     fn pop(&mut self) -> Option<T> {
         Handle2D::pop(self)
+    }
+
+    fn push_n(&mut self, values: Vec<T>) {
+        Handle2D::push_n(self, values);
+    }
+
+    fn pop_n(&mut self, max: usize) -> Vec<T> {
+        Handle2D::pop_n(self, max)
     }
 }
 

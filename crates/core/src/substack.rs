@@ -21,7 +21,9 @@ use core::fmt;
 use core::mem::ManuallyDrop;
 use core::ptr;
 
-use crossbeam_epoch::{Atomic, Guard, Owned, Shared};
+use crossbeam_epoch::{Atomic, Guard, Owned, Pointer, Shared};
+
+use crate::pool;
 
 /// A node of the intrusive linked list that stores one item.
 ///
@@ -77,8 +79,17 @@ unsafe impl<T: Send> Send for PreparedNode<T> {}
 impl<T> PreparedNode<T> {
     /// Boxes `value` into a node ready for [`SubStack::try_push_at`].
     pub fn new(value: T) -> Self {
-        let raw =
-            Box::into_raw(Box::new(Node { value: ManuallyDrop::new(value), next: ptr::null() }));
+        let raw = pool::boxed(Node { value: ManuallyDrop::new(value), next: ptr::null() });
+        PreparedNode { raw }
+    }
+
+    /// Like [`PreparedNode::new`], but drawing the node's storage from the
+    /// calling thread's node pool. Pooled and boxed nodes are freely
+    /// interchangeable (every pool block originates from `Box::into_raw`),
+    /// so the un-pushed paths ([`PreparedNode::into_value`], `Drop`) stay
+    /// the plain boxed ones.
+    pub(crate) fn new_pooled(value: T) -> Self {
+        let raw = pool::alloc(Node { value: ManuallyDrop::new(value), next: ptr::null() });
         PreparedNode { raw }
     }
 
@@ -178,6 +189,9 @@ pub struct Contended<P>(pub P);
 /// ```
 pub struct SubStack<T> {
     desc: Atomic<Descriptor<T>>,
+    /// Whether retired descriptors/nodes are recycled through the node
+    /// pool (`pool.rs`) instead of freed; set once at construction.
+    pooled: bool,
 }
 
 // SAFETY: the stack owns its nodes and hands values across threads only by
@@ -190,7 +204,44 @@ unsafe impl<T: Send> Sync for SubStack<T> {}
 impl<T> SubStack<T> {
     /// Creates an empty sub-stack (descriptor `{top: null, count: 0}`).
     pub fn new() -> Self {
-        SubStack { desc: Atomic::new(Descriptor { top: ptr::null(), count: 0 }) }
+        SubStack { desc: Atomic::new(Descriptor { top: ptr::null(), count: 0 }), pooled: false }
+    }
+
+    /// Creates an empty sub-stack whose retired descriptors and nodes are
+    /// recycled through the thread-local node pool
+    /// ([`Builder::node_pool`](crate::Builder::node_pool)'s default path).
+    pub(crate) fn new_pooled() -> Self {
+        SubStack { desc: Atomic::new(Descriptor { top: ptr::null(), count: 0 }), pooled: true }
+    }
+
+    /// Allocates a descriptor on the structure's configured path (pool or
+    /// plain box); either way the block is `Box`-compatible.
+    #[inline]
+    fn alloc_desc(&self, desc: Descriptor<T>) -> Owned<Descriptor<T>> {
+        let raw = if self.pooled { pool::alloc(desc) } else { pool::boxed(desc) };
+        // SAFETY: `raw` is a unique, Box-compatible allocation from the
+        // pool or the allocator, owned by no one else.
+        unsafe { Owned::from_raw_ptr(raw) }
+    }
+
+    /// Retires a displaced descriptor on the structure's configured path.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as `Guard::defer_destroy`: `desc` must be unlinked
+    /// and retired exactly once.
+    #[inline]
+    unsafe fn retire_desc<'g>(&self, desc: Shared<'g, Descriptor<T>>, guard: &'g Guard) {
+        // Descriptors hold only raw pointers and a count — no drop glue —
+        // so recycling storage is exactly equivalent to the Box drop.
+        if self.pooled {
+            // SAFETY: forwarded caller contract; `recycle` fully reclaims
+            // the block and is safe from any thread.
+            unsafe { guard.defer_destroy_with(desc, pool::recycle::<Descriptor<T>>) };
+        } else {
+            // SAFETY: forwarded caller contract.
+            unsafe { guard.defer_destroy(desc) };
+        }
     }
 
     /// Takes a consistent `(top, count)` snapshot.
@@ -239,7 +290,7 @@ impl<T> SubStack<T> {
         // private until the CAS below succeeds, so the plain write cannot
         // race.
         unsafe { (*node.raw).next = old.top };
-        let new = Owned::new(Descriptor { top: node.raw as *const _, count: old.count + 1 });
+        let new = self.alloc_desc(Descriptor { top: node.raw as *const _, count: old.count + 1 });
         match self.desc.compare_exchange(view.desc, new, Ordering::AcqRel, Ordering::Acquire, guard)
         {
             Ok(_) => {
@@ -248,7 +299,7 @@ impl<T> SubStack<T> {
                 // SAFETY: our CAS unlinked the displaced descriptor, and only
                 // the CAS winner retires it; concurrent snapshot holders are
                 // protected by their own guards until reclamation.
-                unsafe { guard.defer_destroy(view.desc) };
+                unsafe { self.retire_desc(view.desc, guard) };
                 Ok(())
             }
             Err(_) => Err(Contended(node)),
@@ -278,7 +329,7 @@ impl<T> SubStack<T> {
         // SAFETY: the epoch guard keeps every node that was reachable at
         // snapshot time alive, and `top` was non-null above.
         let top = unsafe { &*old.top };
-        let new = Owned::new(Descriptor { top: top.next, count: old.count - 1 });
+        let new = self.alloc_desc(Descriptor { top: top.next, count: old.count - 1 });
         match self.desc.compare_exchange(view.desc, new, Ordering::AcqRel, Ordering::Acquire, guard)
         {
             Ok(_) => {
@@ -286,11 +337,26 @@ impl<T> SubStack<T> {
                 // consume this node's value; `value` is `ManuallyDrop`, so
                 // the deferred node deallocation won't double-drop it.
                 let value = unsafe { ptr::read(&*top.value) };
+                // Node and descriptor were unlinked by the same CAS, so
+                // they are retired as a pair: one epoch fence instead of
+                // two. Both reclaims are storage-only — the node's value
+                // was consumed above and descriptors carry no drop glue —
+                // so the unpooled hooks match what `Box::from_raw` did.
+                type Destroy = unsafe fn(*mut ());
+                let (destroy_node, destroy_desc): (Destroy, Destroy) = if self.pooled {
+                    (pool::recycle::<Node<T>>, pool::recycle::<Descriptor<T>>)
+                } else {
+                    (pool::free_block::<Node<T>>, pool::free_block::<Descriptor<T>>)
+                };
                 // SAFETY: the CAS unlinked both the node and the displaced
                 // descriptor; only the winner retires them, exactly once.
                 unsafe {
-                    guard.defer_destroy(Shared::from(old.top));
-                    guard.defer_destroy(view.desc);
+                    guard.defer_destroy_pair_with(
+                        Shared::from(old.top),
+                        destroy_node,
+                        view.desc,
+                        destroy_desc,
+                    );
                 }
                 Ok(Some(value))
             }
@@ -300,7 +366,8 @@ impl<T> SubStack<T> {
 
     /// Pushes `value`, retrying until the CAS succeeds (plain Treiber loop).
     pub fn push(&self, value: T) {
-        let mut node = PreparedNode::new(value);
+        let mut node =
+            if self.pooled { PreparedNode::new_pooled(value) } else { PreparedNode::new(value) };
         let guard = crossbeam_epoch::pin();
         loop {
             let view = self.view(&guard);

@@ -32,6 +32,33 @@ pub trait OpsHandle<T> {
     /// Removes an item; `None` when the structure was observed empty (or
     /// does not support consumption).
     fn consume(&mut self) -> Option<T>;
+
+    /// Inserts every value in `values`. The default loops over
+    /// [`produce`](OpsHandle::produce); the 2D structures override it with
+    /// a batched path that amortizes the window search across the batch
+    /// (one search round per won sub-structure instead of one per item).
+    /// Object-safe, so `dyn OpsHandle` callers (the server's connection
+    /// executor) reach the fast path.
+    fn produce_n(&mut self, values: Vec<T>) {
+        for v in values {
+            self.produce(v);
+        }
+    }
+
+    /// Removes up to `max` items, stopping early when the structure is
+    /// observed empty. The default loops over
+    /// [`consume`](OpsHandle::consume); the 2D structures override it with
+    /// a batched path.
+    fn consume_n(&mut self, max: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(max);
+        for _ in 0..max {
+            match self.consume() {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        out
+    }
 }
 
 /// Adapts any [`StackHandle`] into an [`OpsHandle`] (produce = push,
@@ -47,6 +74,14 @@ impl<T, H: StackHandle<T>> OpsHandle<T> for StackOps<H> {
 
     fn consume(&mut self) -> Option<T> {
         self.0.pop()
+    }
+
+    fn produce_n(&mut self, values: Vec<T>) {
+        self.0.push_n(values);
+    }
+
+    fn consume_n(&mut self, max: usize) -> Vec<T> {
+        self.0.pop_n(max)
     }
 }
 
@@ -259,6 +294,28 @@ pub trait StackHandle<T> {
 
     /// Pops an item; `None` when the stack was observed empty.
     fn pop(&mut self) -> Option<T>;
+
+    /// Pushes every value in `values`. The default loops over
+    /// [`push`](StackHandle::push); [`Handle2D`](crate::Handle2D)
+    /// overrides it with the search-amortizing batched path.
+    fn push_n(&mut self, values: Vec<T>) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Pops up to `max` items, stopping early on empty. The default loops
+    /// over [`pop`](StackHandle::pop).
+    fn pop_n(&mut self, max: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(max);
+        for _ in 0..max {
+            match self.pop() {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        out
+    }
 }
 
 /// A structure whose 2D window can be retuned online — what a feedback

@@ -29,11 +29,12 @@ use stack2d_harness::experiment::Settings;
 use stack2d_harness::fig3::{self, Fig3Spec};
 
 /// The bench targets of `crates/bench`, in manifest order.
-const BENCH_TARGETS: [&str; 6] = [
+const BENCH_TARGETS: [&str; 7] = [
     "fig1_relaxation",
     "fig2_scalability",
     "ablation_search",
     "micro_ops",
+    "mem_batch",
     "elastic_adapt",
     "telemetry_overhead",
 ];

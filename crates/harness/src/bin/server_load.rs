@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! server_load [--addr HOST:PORT] [--conns N] [--tenants N] [--depth N]
-//!             [--frames N] [--zipf S] [--rate F/S] [--seed N] [--shutdown]
+//!             [--frames N] [--zipf S] [--rate F/S] [--seed N] [--batch N]
+//!             [--shutdown]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral port
@@ -21,7 +22,7 @@ use stack2d_harness::write_csv;
 fn usage() -> ! {
     eprintln!(
         "usage: server_load [--addr HOST:PORT] [--conns N] [--tenants N] [--depth N] \
-         [--frames N] [--zipf S] [--rate F/S] [--seed N] [--shutdown]"
+         [--frames N] [--zipf S] [--rate F/S] [--seed N] [--batch N] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
             "--zipf" => spec.zipf = parse("--zipf", args.next()),
             "--rate" => spec.rate = parse("--rate", args.next()),
             "--seed" => spec.seed = parse("--seed", args.next()),
+            "--batch" => spec.batch = parse("--batch", args.next()),
             "--shutdown" => shutdown = true,
             "--help" | "-h" => usage(),
             other => {
@@ -82,8 +84,16 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "server_load: addr={} conns={}/personality tenants={} depth={} frames={} zipf={} rate={}",
-        spec.addr, spec.conns, spec.tenants, spec.depth, spec.frames, spec.zipf, spec.rate
+        "server_load: addr={} conns={}/personality tenants={} depth={} frames={} zipf={} \
+         rate={} batch={}",
+        spec.addr,
+        spec.conns,
+        spec.tenants,
+        spec.depth,
+        spec.frames,
+        spec.zipf,
+        spec.rate,
+        spec.batch
     );
     let results = match run_load(&spec) {
         Ok(r) => r,

@@ -333,6 +333,7 @@ pub fn run_quality_with_recorder(
     // Drain through the measurement so every label's distance is checked.
     let mut h = measured.handle();
     while h.pop() {}
+    drop(h);
     let records = measured.take_records();
     let oracle_len = measured.oracle_len();
     drop(measured);
@@ -529,6 +530,7 @@ pub fn run_queue_quality_with_recorder(
     // Drain through the measurement so every label's distance is checked.
     let mut h = measured.handle();
     while h.dequeue() {}
+    drop(h);
     let records = measured.take_records();
     let oracle_len = measured.oracle_len();
     drop(measured);

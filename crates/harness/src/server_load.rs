@@ -44,6 +44,11 @@ pub struct LoadSpec {
     pub rate: f64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Client-side coalescing run length: frames group this many
+    /// same-verb requests back to back so the server's adjacent-run
+    /// coalescer can execute them as one batched structure call. `1`
+    /// reproduces the historical strictly-alternating frames.
+    pub batch: usize,
 }
 
 impl Default for LoadSpec {
@@ -57,6 +62,7 @@ impl Default for LoadSpec {
             zipf: 0.9,
             rate: 0.0,
             seed: 0x5EED_2D2D,
+            batch: 1,
         }
     }
 }
@@ -115,15 +121,19 @@ fn tenant_name(i: usize) -> String {
 }
 
 /// Builds the `depth` requests of one frame for `personality` against
-/// `tenant`. Queue/pool frames alternate produce/consume; limiter frames
-/// acquire, with a reset folded in every 64th frame so the observed count
-/// keeps moving through allowance windows.
+/// `tenant`. Queue/pool frames alternate runs of `batch` produces with
+/// runs of `batch` consumes (`batch = 1` is the historical strict
+/// alternation); limiter frames acquire, with a reset folded in every
+/// 64th frame so the observed count keeps moving through allowance
+/// windows.
 fn build_frame(
     personality: Personality,
     tenant: &str,
     depth: usize,
     frame_idx: usize,
+    batch: usize,
 ) -> Vec<Request> {
+    let batch = batch.max(1);
     (0..depth)
         .map(|i| match personality {
             Personality::RateLimiter => {
@@ -134,7 +144,7 @@ fn build_frame(
                 }
             }
             _ => {
-                if i % 2 == 0 {
+                if (i / batch).is_multiple_of(2) {
                     Request::Produce {
                         personality,
                         tenant: tenant.to_string(),
@@ -183,7 +193,7 @@ fn drive_connection(
             }
         }
         let tenant = tenant_name(zipf.sample(&mut rng));
-        let batch = build_frame(personality, &tenant, spec.depth, frame_idx);
+        let batch = build_frame(personality, &tenant, spec.depth, frame_idx, spec.batch);
         // Open-loop correction: latency counts from the scheduled arrival,
         // not from whenever the connection got around to sending.
         let t0 = scheduled.unwrap_or_else(Instant::now);
@@ -315,6 +325,10 @@ pub fn to_table(spec: &LoadSpec, results: &[PersonalityResult]) -> Table {
         "p99_us",
         "p999_us",
         "retunes",
+        // Appended after the PR-9 columns so positional consumers (the
+        // server-smoke CI awk checks) keep working unchanged.
+        "batch",
+        "frames_per_s",
     ]);
     for r in results {
         let secs = r.elapsed.as_secs_f64();
@@ -333,6 +347,8 @@ pub fn to_table(spec: &LoadSpec, results: &[PersonalityResult]) -> Table {
             format!("{:.1}", r.latency.quantile(0.99) as f64 / 1e3),
             format!("{:.1}", r.latency.quantile(0.999) as f64 / 1e3),
             r.retunes.to_string(),
+            spec.batch.max(1).to_string(),
+            format!("{:.1}", throughput / spec.depth.max(1) as f64),
         ]);
     }
     table
@@ -369,14 +385,24 @@ mod tests {
 
     #[test]
     fn frames_alternate_ops_and_fold_in_resets() {
-        let frame = build_frame(Personality::TaskQueue, "t0", 6, 0);
+        let frame = build_frame(Personality::TaskQueue, "t0", 6, 0, 1);
         assert!(matches!(frame[0], Request::Produce { .. }));
         assert!(matches!(frame[1], Request::Consume { .. }));
         assert_eq!(frame.len(), 6);
 
-        let frame = build_frame(Personality::RateLimiter, "t0", 4, 63);
+        let frame = build_frame(Personality::RateLimiter, "t0", 4, 63, 1);
         assert!(matches!(frame[0], Request::Reset { .. }));
         assert!(matches!(frame[1], Request::Acquire { .. }));
+    }
+
+    #[test]
+    fn batched_frames_group_same_verb_runs() {
+        let frame = build_frame(Personality::TaskQueue, "t0", 8, 0, 4);
+        assert!(frame[..4].iter().all(|r| matches!(r, Request::Produce { .. })));
+        assert!(frame[4..].iter().all(|r| matches!(r, Request::Consume { .. })));
+        // batch = 0 is clamped rather than dividing by zero.
+        let frame = build_frame(Personality::TaskQueue, "t0", 4, 0, 0);
+        assert!(matches!(frame[1], Request::Consume { .. }));
     }
 
     #[test]
@@ -395,6 +421,7 @@ mod tests {
             tenants: 2,
             depth: 8,
             frames: 20,
+            batch: 4,
             ..LoadSpec::default()
         };
         let results = run_load(&spec).expect("load run");
@@ -403,7 +430,16 @@ mod tests {
             assert_eq!(r.ops, (spec.conns * spec.frames * spec.depth) as u64);
         }
         let table = to_table(&spec, &results);
-        assert_eq!(table.to_csv().lines().count(), 4);
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), 4);
+        // The batch columns append after the PR-9 layout.
+        let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+        assert_eq!(&header[header.len() - 2..], &["batch", "frames_per_s"]);
+        for line in csv.lines().skip(1) {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols[cols.len() - 2], "4");
+            assert!(cols[cols.len() - 1].parse::<f64>().unwrap() > 0.0);
+        }
         shutdown_server(&spec.addr).expect("shutdown request");
         handle.shutdown().expect("server drain");
     }

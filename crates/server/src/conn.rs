@@ -162,6 +162,15 @@ fn resolve(tenants: &TenantMap, req: &Request, shutdown: &mut bool) -> Slot {
 
 /// Executes one pipelined batch in order, reusing one seeded handle per
 /// tenant for the whole frame.
+///
+/// Adjacent same-tenant runs of one verb are coalesced into a single
+/// batched structure call (`produce_n` / `consume_n`), so a pipelined
+/// client pays one engine search round per run instead of one per
+/// request. Responses still line up one-to-one with requests: a coalesced
+/// produce run answers `Done` per request, and a consume run answers
+/// `Item` for each value the batch returned, then `Empty` for the rest —
+/// exactly what request-at-a-time execution would have produced, since
+/// handles are exclusive to this frame.
 pub(crate) fn execute_batch(
     tenants: &TenantMap,
     conn_seed: u64,
@@ -174,17 +183,38 @@ pub(crate) fn execute_batch(
     // tenant shares one handle.
     let mut handles: HashMap<*const Tenant, Box<dyn OpsHandle<u64> + '_>> = HashMap::new();
     let mut out = Vec::with_capacity(slots.len());
-    for slot in &slots {
-        let resp = match slot {
+    let mut i = 0;
+    while i < slots.len() {
+        let resp = match &slots[i] {
             Slot::Ready(resp) => resp.clone(),
             Slot::Produce(t, value) => {
-                handle_for(&mut handles, t, conn_seed).produce(*value);
-                Response::Done
+                let mut values = vec![*value];
+                let run = slots[i + 1..]
+                    .iter()
+                    .take_while(|s| matches!(s, Slot::Produce(nt, _) if Arc::ptr_eq(nt, t)))
+                    .map(|s| match s {
+                        Slot::Produce(_, v) => *v,
+                        _ => unreachable!(),
+                    });
+                values.extend(run);
+                let n = values.len();
+                handle_for(&mut handles, t, conn_seed).produce_n(values);
+                out.extend(std::iter::repeat_n(Response::Done, n));
+                i += n;
+                continue;
             }
-            Slot::Consume(t) => match handle_for(&mut handles, t, conn_seed).consume() {
-                Some(value) => Response::Item { value },
-                None => Response::Empty,
-            },
+            Slot::Consume(t) => {
+                let n = 1 + slots[i + 1..]
+                    .iter()
+                    .take_while(|s| matches!(s, Slot::Consume(nt) if Arc::ptr_eq(nt, t)))
+                    .count();
+                let got = handle_for(&mut handles, t, conn_seed).consume_n(n);
+                let misses = n - got.len();
+                out.extend(got.into_iter().map(|value| Response::Item { value }));
+                out.extend(std::iter::repeat_n(Response::Empty, misses));
+                i += n;
+                continue;
+            }
             Slot::Acquire(t, cost) => {
                 let h = handle_for(&mut handles, t, conn_seed);
                 for _ in 0..*cost {
@@ -197,6 +227,7 @@ pub(crate) fn execute_batch(
             }
         };
         out.push(resp);
+        i += 1;
     }
     out
 }
@@ -299,6 +330,62 @@ mod tests {
         assert_eq!(resps[1], Response::Decision { allowed: false, observed: 6, limit: 4 });
         // cost 0 is a pure decision probe.
         assert_eq!(resps[2], Response::Decision { allowed: false, observed: 6, limit: 4 });
+    }
+
+    #[test]
+    fn coalesced_runs_answer_per_request() {
+        let map = map();
+        let q = Personality::TaskQueue;
+        let produce = |v: u64| Request::Produce { personality: q, tenant: "t".into(), value: v };
+        let consume = || Request::Consume { personality: q, tenant: "t".into() };
+        let mut reqs = vec![Request::Create { personality: q, tenant: "t".into(), limit: 0 }];
+        reqs.extend((0..5).map(produce));
+        // Five consumes against four remaining... no: five produced, so
+        // six consumes — the last must report Empty.
+        reqs.extend((0..6).map(|_| consume()));
+        let resps = run(&map, &reqs);
+        assert_eq!(resps.len(), 12);
+        assert!(resps[1..6].iter().all(|r| *r == Response::Done), "one Done per produce");
+        let mut got: Vec<u64> = resps[6..11]
+            .iter()
+            .map(|r| match r {
+                Response::Item { value } => *value,
+                other => panic!("expected Item, got {other:?}"),
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4], "coalesced consume returns the produced multiset");
+        assert_eq!(resps[11], Response::Empty, "over-ask trails with Empty");
+    }
+
+    #[test]
+    fn coalescing_respects_tenant_and_verb_boundaries() {
+        let map = map();
+        let q = Personality::TaskQueue;
+        let resps = run(
+            &map,
+            &[
+                Request::Create { personality: q, tenant: "a".into(), limit: 0 },
+                Request::Create { personality: q, tenant: "b".into(), limit: 0 },
+                // Interleaved tenants: each run is length 1; order must
+                // still line up request-for-request.
+                Request::Produce { personality: q, tenant: "a".into(), value: 1 },
+                Request::Produce { personality: q, tenant: "b".into(), value: 2 },
+                Request::Consume { personality: q, tenant: "b".into() },
+                Request::Consume { personality: q, tenant: "a".into() },
+                Request::Consume { personality: q, tenant: "a".into() },
+            ],
+        );
+        assert_eq!(
+            &resps[2..],
+            &[
+                Response::Done,
+                Response::Done,
+                Response::Item { value: 2 },
+                Response::Item { value: 1 },
+                Response::Empty,
+            ]
+        );
     }
 
     #[test]

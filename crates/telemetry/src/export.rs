@@ -49,13 +49,21 @@ pub fn metrics_to_json(m: &MetricsSnapshot) -> Value {
     obj.insert("global_restarts".into(), num(m.global_restarts));
     obj.insert("empty_pops".into(), num(m.empty_pops));
     obj.insert("ops".into(), num(m.ops));
+    obj.insert("batched_ops".into(), num(m.batched_ops));
+    obj.insert("search_rounds".into(), num(m.search_rounds));
     obj.insert("retunes".into(), num(m.retunes));
     Value::Obj(obj)
 }
 
 /// Rebuilds a [`MetricsSnapshot`] from [`metrics_to_json`] output; `None`
-/// when any field is missing or non-integral.
+/// when any field is missing or non-integral. The PR-10 batching fields
+/// (`batched_ops`, `search_rounds`) default to 0 so event streams recorded
+/// by older builds still load.
 pub fn metrics_from_json(v: &Value) -> Option<MetricsSnapshot> {
+    let legacy_zero = |key: &str| match v.get(key) {
+        Some(x) => x.as_u64(),
+        None => Some(0),
+    };
     Some(MetricsSnapshot {
         cas_failures: v.get("cas_failures")?.as_u64()?,
         probes: v.get("probes")?.as_u64()?,
@@ -64,6 +72,8 @@ pub fn metrics_from_json(v: &Value) -> Option<MetricsSnapshot> {
         global_restarts: v.get("global_restarts")?.as_u64()?,
         empty_pops: v.get("empty_pops")?.as_u64()?,
         ops: v.get("ops")?.as_u64()?,
+        batched_ops: legacy_zero("batched_ops")?,
+        search_rounds: legacy_zero("search_rounds")?,
         retunes: v.get("retunes")?.as_u64()?,
     })
 }
@@ -271,6 +281,8 @@ mod tests {
             global_restarts: 5,
             empty_pops: 6,
             ops: 7,
+            batched_ops: 9,
+            search_rounds: 10,
             retunes: 8,
         };
         let v = json::parse(&metrics_to_json(&m).to_string()).unwrap();

@@ -62,7 +62,12 @@ mod sync {
 /// How many retirements a thread buffers before attempting a collection.
 /// Models retire a handful of nodes per execution, so the model-mode
 /// threshold is low enough for collection to actually run under the checker.
-const COLLECT_EVERY: usize = if cfg!(model) { 4 } else { 64 };
+/// The release threshold amortizes the collection walk (registry lock +
+/// record scan + garbage sweep) over enough retirements that a hot loop
+/// retiring two or three blocks per op pays low single-digit nanoseconds
+/// for reclamation; at ~tens of bytes per retired block the buffer stays
+/// a few KiB per thread.
+const COLLECT_EVERY: usize = if cfg!(model) { 4 } else { 256 };
 
 /// One registered participant. `state == 0` means "not pinned"; otherwise
 /// `state == (epoch << 1) | 1`.
@@ -136,6 +141,11 @@ struct LocalHandle {
     pin_depth: Cell<usize>,
     garbage: RefCell<Vec<(usize, Deferred)>>,
     retired_since_collect: Cell<usize>,
+    /// Open [`RetireBatch`] scopes on this thread. While positive,
+    /// retirements buffer in `batch_pending` and skip the per-call fence;
+    /// the outermost scope's end pays one fence for all of them.
+    batch_depth: Cell<usize>,
+    batch_pending: RefCell<Vec<Deferred>>,
 }
 
 impl LocalHandle {
@@ -147,6 +157,8 @@ impl LocalHandle {
             pin_depth: Cell::new(0),
             garbage: RefCell::new(Vec::new()),
             retired_since_collect: Cell::new(0),
+            batch_depth: Cell::new(0),
+            batch_pending: RefCell::new(Vec::new()),
         }
     }
 
@@ -182,6 +194,10 @@ impl LocalHandle {
     }
 
     fn defer(&self, item: Deferred) {
+        if self.batch_depth.get() > 0 {
+            self.batch_pending.borrow_mut().push(item);
+            return;
+        }
         // The fence orders the caller's unlinking CAS (AcqRel) before the
         // epoch read, so the tag can never under-approximate the epoch in
         // which the pointee became unreachable.
@@ -200,6 +216,75 @@ impl LocalHandle {
         if n >= COLLECT_EVERY {
             self.retired_since_collect.set(0);
             self.collect();
+        }
+    }
+
+    /// Defers two retirements under a single ordering fence and epoch
+    /// read. Semantically identical to two [`LocalHandle::defer`] calls —
+    /// both items get the same (valid) epoch tag, since no thread-visible
+    /// step separates them.
+    fn defer_two(&self, a: Deferred, b: Deferred) {
+        if self.batch_depth.get() > 0 {
+            let mut pending = self.batch_pending.borrow_mut();
+            pending.push(a);
+            pending.push(b);
+            return;
+        }
+        fence(Ordering::SeqCst);
+        let epoch = with_global(|g| g.epoch.load(Ordering::SeqCst));
+        if cfg!(model) {
+            with_global(|g| {
+                let mut orphans = g.orphans.lock();
+                orphans.push((epoch, a));
+                orphans.push((epoch, b));
+            });
+        } else {
+            let mut garbage = self.garbage.borrow_mut();
+            garbage.push((epoch, a));
+            garbage.push((epoch, b));
+        }
+        let n = self.retired_since_collect.get() + 2;
+        if n >= COLLECT_EVERY {
+            self.retired_since_collect.set(0);
+            self.collect();
+        } else {
+            self.retired_since_collect.set(n);
+        }
+    }
+
+    fn begin_retire_batch(&self) {
+        self.batch_depth.set(self.batch_depth.get() + 1);
+    }
+
+    /// Closes one batch scope; the outermost close tags everything the
+    /// scope buffered under a single fence + epoch read. The tag is taken
+    /// *after* every unlinking CAS the scope performed (the fence orders
+    /// them before the epoch read), so it can only over-approximate each
+    /// item's true retirement epoch — reclamation is delayed, never
+    /// premature.
+    fn end_retire_batch(&self) {
+        let depth = self.batch_depth.get();
+        debug_assert!(depth > 0, "end_retire_batch without matching begin");
+        self.batch_depth.set(depth - 1);
+        if depth != 1 {
+            return;
+        }
+        // Drain in place (not `mem::take`) so the pending buffer keeps its
+        // capacity across scopes — a batch flush must not itself allocate.
+        let mut pending = self.batch_pending.borrow_mut();
+        if pending.is_empty() {
+            return;
+        }
+        fence(Ordering::SeqCst);
+        let epoch = with_global(|g| g.epoch.load(Ordering::SeqCst));
+        let n = self.retired_since_collect.get() + pending.len();
+        self.garbage.borrow_mut().extend(pending.drain(..).map(|item| (epoch, item)));
+        drop(pending);
+        if n >= COLLECT_EVERY {
+            self.retired_since_collect.set(0);
+            self.collect();
+        } else {
+            self.retired_since_collect.set(n);
         }
     }
 
@@ -254,8 +339,17 @@ impl Drop for LocalHandle {
             return;
         }
         // Hand unfinished garbage to the registry so another thread's
-        // collection frees it; drop our record from the scan set.
-        let garbage = std::mem::take(&mut *self.garbage.borrow_mut());
+        // collection frees it; drop our record from the scan set. A batch
+        // scope cannot outlive its guard (it borrows it), so by thread
+        // teardown `batch_pending` is empty in correct usage — the tag
+        // below is a defensive conservative bound, not a hot path.
+        let mut garbage = std::mem::take(&mut *self.garbage.borrow_mut());
+        let pending = std::mem::take(&mut *self.batch_pending.borrow_mut());
+        if !pending.is_empty() {
+            fence(Ordering::SeqCst);
+            let epoch = with_global(|g| g.epoch.load(Ordering::SeqCst));
+            garbage.extend(pending.into_iter().map(|item| (epoch, item)));
+        }
         with_global(|g| {
             if !garbage.is_empty() {
                 g.orphans.lock().extend(garbage);
@@ -335,10 +429,114 @@ impl Guard {
         }
     }
 
+    /// Like [`Guard::defer_destroy`], but with a caller-supplied
+    /// reclamation function instead of the default `Box` drop. This is the
+    /// hook node pools use: `destroy` can return the block to a freelist
+    /// rather than handing it back to the allocator.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Guard::defer_destroy`] (the pointer must be
+    /// unlinked and never retired twice), plus: `destroy` must fully
+    /// reclaim the block it is given, must be safe to call with `ptr`'s
+    /// address from *any* thread (collection may run on a different thread
+    /// than the retiring one), and must tolerate being called after the
+    /// retiring thread has exited.
+    pub unsafe fn defer_destroy_with<T>(&self, ptr: Shared<'_, T>, destroy: unsafe fn(*mut ())) {
+        let raw = ptr.raw.cast_mut().cast::<()>();
+        debug_assert!(!raw.is_null(), "defer_destroy_with on null");
+        if self.active {
+            LOCAL.with(|l| l.defer(Deferred { ptr: raw, destroy }));
+        } else {
+            // SAFETY: the unprotected guard's contract promises exclusive
+            // access, so the pointee can be reclaimed immediately; the
+            // caller's contract makes `destroy` sound on this block.
+            unsafe { destroy(raw) };
+        }
+    }
+
+    /// Retires two blocks unlinked by the *same* atomic step (e.g. a pop
+    /// that displaces both a descriptor and a list node) with one ordering
+    /// fence and one epoch read instead of two. Equivalent to two
+    /// [`Guard::defer_destroy_with`] calls, just cheaper.
+    ///
+    /// # Safety
+    ///
+    /// The contract of [`Guard::defer_destroy_with`] applies to each
+    /// `(ptr, destroy)` pair independently; additionally both pointers
+    /// must have been unlinked before this call (they share one epoch
+    /// tag, so neither may become unreachable later than the other's
+    /// retirement point).
+    pub unsafe fn defer_destroy_pair_with<T, U>(
+        &self,
+        a: Shared<'_, T>,
+        destroy_a: unsafe fn(*mut ()),
+        b: Shared<'_, U>,
+        destroy_b: unsafe fn(*mut ()),
+    ) {
+        let raw_a = a.raw.cast_mut().cast::<()>();
+        let raw_b = b.raw.cast_mut().cast::<()>();
+        debug_assert!(!raw_a.is_null() && !raw_b.is_null(), "defer_destroy_pair_with on null");
+        if self.active {
+            LOCAL.with(|l| {
+                l.defer_two(
+                    Deferred { ptr: raw_a, destroy: destroy_a },
+                    Deferred { ptr: raw_b, destroy: destroy_b },
+                );
+            });
+        } else {
+            // SAFETY: the unprotected guard's contract promises exclusive
+            // access; the caller's contract makes both reclaims sound.
+            unsafe {
+                destroy_a(raw_a);
+                destroy_b(raw_b);
+            }
+        }
+    }
+
     /// Forces a collection cycle (best effort).
     pub fn flush(&self) {
         if self.active {
             LOCAL.with(|l| l.collect());
+        }
+    }
+
+    /// Opens a [`RetireBatch`] scope: until the returned witness drops,
+    /// retirements through this thread's guards skip the per-call `SeqCst`
+    /// fence and epoch read, and are all tagged at scope end under a
+    /// single fence. The end-of-scope tag is taken after every unlinking
+    /// CAS performed inside the scope, so it over-approximates each item's
+    /// true retirement epoch — strictly conservative (reclamation can only
+    /// be delayed, never premature). This is the batched-operation
+    /// amortization: a `pop_n` draining `n` nodes pays one retirement
+    /// fence instead of `n`.
+    ///
+    /// Scopes nest (the outermost end flushes). In model mode this is a
+    /// no-op so the checker keeps exploring the exact per-retirement
+    /// protocol the non-batched paths use. The unprotected guard also
+    /// returns a no-op scope — its retirements free immediately and need
+    /// no ordering.
+    pub fn retire_batch(&self) -> RetireBatch<'_> {
+        let active = self.active && !cfg!(model);
+        if active {
+            LOCAL.with(|l| l.begin_retire_batch());
+        }
+        RetireBatch { active, _guard: PhantomData }
+    }
+}
+
+/// RAII witness of a batched-retirement scope; see [`Guard::retire_batch`].
+pub struct RetireBatch<'g> {
+    active: bool,
+    _guard: PhantomData<&'g Guard>,
+}
+
+impl Drop for RetireBatch<'_> {
+    fn drop(&mut self) {
+        if self.active {
+            // `try_with`: mirrors `Guard::drop` — a scope alive during
+            // thread teardown must not re-initialize LOCAL.
+            let _ = LOCAL.try_with(|l| l.end_retire_batch());
         }
     }
 }
@@ -704,6 +902,55 @@ mod tests {
         // The replacement is still owned by `atomic`; free it for the test.
         // SAFETY: the test is single-threaded again here, so the unprotected
         // guard's exclusivity holds and the pointee is live and unaliased.
+        unsafe {
+            let guard = unprotected();
+            let cur = atomic.load(Ordering::Relaxed, guard);
+            drop(cur.into_owned());
+        }
+    }
+
+    #[test]
+    fn batched_retirements_flush_at_scope_end_and_still_free() {
+        struct Canary(Arc<AtomicUsize>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        const N: usize = 32;
+        let drops = Arc::new(AtomicUsize::new(0));
+        let atomic = Atomic::new(Canary(Arc::clone(&drops)));
+        {
+            let guard = pin();
+            let batch = guard.retire_batch();
+            for _ in 0..N {
+                let old = atomic.load(Ordering::Acquire, &guard);
+                match atomic.compare_exchange(
+                    old,
+                    Owned::new(Canary(Arc::clone(&drops))),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    &guard,
+                ) {
+                    // SAFETY: the successful CAS unlinked `old`, and this
+                    // is its only retirement.
+                    Ok(_) => unsafe { guard.defer_destroy(old) },
+                    Err(_) => unreachable!("single-threaded CAS cannot lose"),
+                }
+            }
+            // Nothing may free while the scope holds the retirements —
+            // they carry no epoch tag yet.
+            guard.flush();
+            assert_eq!(drops.load(Ordering::SeqCst), 0, "batched garbage freed before flush");
+            drop(batch);
+        }
+        for _ in 0..4 {
+            let guard = pin();
+            guard.flush();
+            drop(guard);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), N, "all batched retirements must drop");
+        // SAFETY: single-threaded again; the pointee is live and unaliased.
         unsafe {
             let guard = unprotected();
             let cur = atomic.load(Ordering::Relaxed, guard);
